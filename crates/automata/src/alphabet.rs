@@ -1,0 +1,225 @@
+//! Minterm alphabets: partitioning the Unicode scalar space into the
+//! equivalence classes induced by a set of [`CharSet`]s.
+//!
+//! DFAs over raw Unicode would need 0x110000-ary transition tables. All
+//! automata in a constraint problem instead share one [`Alphabet`]: the
+//! coarsest partition such that every `CharSet` appearing in the problem
+//! is a union of classes. Typical problems produce a handful of classes.
+
+use std::sync::Arc;
+
+use crate::charset::CharSet;
+
+/// Identifier of an alphabet class (a "minterm").
+pub type ClassId = u16;
+
+/// A partition of the scalar-value space into disjoint classes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Alphabet {
+    /// Sorted interval boundaries: interval `i` is
+    /// `[boundaries[i], boundaries[i+1])`.
+    boundaries: Vec<u32>,
+    /// Class of each interval.
+    interval_class: Vec<ClassId>,
+    /// The character set of each class.
+    classes: Vec<CharSet>,
+}
+
+impl Alphabet {
+    /// Builds the minterm partition for a collection of character sets.
+    ///
+    /// Every input set is exactly a union of the resulting classes.
+    /// Characters not covered by any input set fall into "rest" classes.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use automata::{Alphabet, CharSet};
+    ///
+    /// let alpha = Alphabet::from_sets(&[
+    ///     CharSet::range('a', 'z'),
+    ///     CharSet::range('m', '9'.max('0')), // overlapping set
+    /// ]);
+    /// assert!(alpha.class_count() >= 2);
+    /// let c1 = alpha.classify('b');
+    /// let c2 = alpha.classify('c');
+    /// assert_eq!(c1, c2); // b and c are never distinguished
+    /// ```
+    pub fn from_sets(sets: &[CharSet]) -> Alphabet {
+        // Collect boundaries: starts and one-past-ends of every range.
+        // The surrogate block D800–DFFF is carved out: `char` cannot
+        // represent it, and complements exclude it, so no class may
+        // contain it.
+        let mut bounds: Vec<u32> = vec![0, 0xD800, 0xE000, 0x110000];
+        for set in sets {
+            for &(lo, hi) in set.ranges() {
+                bounds.push(lo);
+                bounds.push(hi + 1);
+            }
+        }
+        bounds.sort_unstable();
+        bounds.dedup();
+
+        // Signature per interval: which sets contain it.
+        let mut interval_class = Vec::with_capacity(bounds.len() - 1);
+        let mut classes: Vec<CharSet> = Vec::new();
+        let mut signature_to_class: std::collections::HashMap<Vec<bool>, ClassId> =
+            std::collections::HashMap::new();
+        for w in bounds.windows(2) {
+            let (lo, hi) = (w[0], w[1] - 1);
+            let surrogate_gap = lo >= 0xD800 && hi <= 0xDFFF;
+            let probe = char::from_u32(lo)
+                .or_else(|| char::from_u32(hi))
+                .unwrap_or('\u{FFFD}');
+            let signature: Vec<bool> = if surrogate_gap {
+                vec![false; sets.len()]
+            } else {
+                sets.iter().map(|s| s.contains(probe)).collect()
+            };
+            let class = *signature_to_class.entry(signature).or_insert_with(|| {
+                classes.push(CharSet::empty());
+                (classes.len() - 1) as ClassId
+            });
+            if !surrogate_gap {
+                classes[class as usize] =
+                    classes[class as usize].union(&CharSet::from_ranges(vec![(lo, hi)]));
+            }
+            interval_class.push(class);
+        }
+        Alphabet {
+            boundaries: bounds,
+            interval_class,
+            classes,
+        }
+    }
+
+    /// Builds an alphabet shared across regexes and literal strings.
+    pub fn for_problem(regex_sets: &[CharSet], literals: &[&str]) -> Arc<Alphabet> {
+        let mut sets = regex_sets.to_vec();
+        for lit in literals {
+            for c in lit.chars() {
+                sets.push(CharSet::single(c));
+            }
+        }
+        Arc::new(Alphabet::from_sets(&sets))
+    }
+
+    /// Number of classes.
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Maps a character to its class.
+    pub fn classify(&self, c: char) -> ClassId {
+        let v = c as u32;
+        // Find the interval via binary search: last boundary ≤ v.
+        let idx = match self.boundaries.binary_search(&v) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        self.interval_class[idx.min(self.interval_class.len() - 1)]
+    }
+
+    /// The character set of a class.
+    pub fn class_set(&self, class: ClassId) -> &CharSet {
+        &self.classes[class as usize]
+    }
+
+    /// A readable representative character of a class.
+    pub fn representative(&self, class: ClassId) -> char {
+        self.classes[class as usize]
+            .pick()
+            .expect("classes are nonempty")
+    }
+
+    /// Decomposes a set into the classes it covers.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that the set is a union of classes, which holds
+    /// whenever the set participated in [`Alphabet::from_sets`].
+    pub fn classes_of(&self, set: &CharSet) -> Vec<ClassId> {
+        let mut out = Vec::new();
+        for (id, class) in self.classes.iter().enumerate() {
+            let inter = class.intersect(set);
+            if !inter.is_empty() {
+                debug_assert_eq!(
+                    inter,
+                    *class,
+                    "set must be a union of alphabet classes"
+                );
+                out.push(id as ClassId);
+            }
+        }
+        out
+    }
+
+    /// Converts a word of class ids into a concrete string of
+    /// representatives.
+    pub fn realize(&self, word: &[ClassId]) -> String {
+        word.iter().map(|&c| self.representative(c)).collect()
+    }
+
+    /// Converts a string into class ids.
+    pub fn abstract_word(&self, word: &str) -> Vec<ClassId> {
+        word.chars().map(|c| self.classify(c)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_set_two_classes() {
+        let alpha = Alphabet::from_sets(&[CharSet::range('a', 'z')]);
+        assert_eq!(alpha.class_count(), 2);
+        assert_eq!(alpha.classify('m'), alpha.classify('q'));
+        assert_ne!(alpha.classify('m'), alpha.classify('9'));
+    }
+
+    #[test]
+    fn overlapping_sets_refine() {
+        let alpha = Alphabet::from_sets(&[
+            CharSet::range('a', 'm'),
+            CharSet::range('g', 'z'),
+        ]);
+        // Classes: [a-f], [g-m], [n-z], rest.
+        assert_eq!(alpha.class_count(), 4);
+        assert_ne!(alpha.classify('a'), alpha.classify('h'));
+        assert_ne!(alpha.classify('h'), alpha.classify('p'));
+    }
+
+    #[test]
+    fn sets_are_unions_of_classes() {
+        let set = CharSet::range('0', '9');
+        let alpha = Alphabet::from_sets(&[set.clone(), CharSet::range('5', 'k')]);
+        let classes = alpha.classes_of(&set);
+        let mut union = CharSet::empty();
+        for c in classes {
+            union = union.union(alpha.class_set(c));
+        }
+        assert_eq!(union, set);
+    }
+
+    #[test]
+    fn realize_round_trip() {
+        let alpha = Alphabet::from_sets(&[CharSet::single('x'), CharSet::single('y')]);
+        let word = alpha.abstract_word("xyx");
+        let back = alpha.realize(&word);
+        assert_eq!(back, "xyx");
+    }
+
+    #[test]
+    fn empty_sets_one_class() {
+        let alpha = Alphabet::from_sets(&[]);
+        assert_eq!(alpha.class_count(), 1);
+    }
+
+    #[test]
+    fn classify_extremes() {
+        let alpha = Alphabet::from_sets(&[CharSet::single('a')]);
+        let _ = alpha.classify('\0');
+        let _ = alpha.classify(char::MAX);
+    }
+}

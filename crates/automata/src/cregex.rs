@@ -1,0 +1,549 @@
+//! Classical regular expressions extended with intersection and
+//! complement.
+//!
+//! [`CRegex`] is the target language of the capturing-language models:
+//! backreference-free, capture-free, assertion-free expressions whose
+//! word problem the string solver decides via automata. Intersection
+//! (`And`) and complement (`Not`) are included because lookaheads encode
+//! language intersection (§2.4 of the paper) and non-membership
+//! constraints need complements; both are eliminated during DFA
+//! compilation.
+
+use std::fmt;
+use std::sync::Arc;
+
+use regex_syntax_es6::ast::Ast;
+
+use crate::charset::CharSet;
+
+/// A classical regular expression over [`CharSet`] transitions, with
+/// intersection and complement.
+///
+/// # Examples
+///
+/// ```
+/// use automata::{CRegex, CharSet};
+///
+/// // goo+d
+/// let re = CRegex::concat(vec![
+///     CRegex::lit("go"),
+///     CRegex::plus(CRegex::set(CharSet::single('o'))),
+///     CRegex::lit("d"),
+/// ]);
+/// assert_eq!(re.to_string(), "gooo*d");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum CRegex {
+    /// The empty language `∅`.
+    EmptySet,
+    /// The language `{ε}`.
+    Epsilon,
+    /// One character drawn from a set.
+    Set(CharSet),
+    /// Concatenation.
+    Concat(Vec<CRegex>),
+    /// Union.
+    Alt(Vec<CRegex>),
+    /// Kleene star.
+    Star(Arc<CRegex>),
+    /// Language intersection (eliminated by DFA product).
+    And(Vec<CRegex>),
+    /// Language complement (eliminated by DFA complement).
+    Not(Arc<CRegex>),
+}
+
+impl CRegex {
+    /// A literal string.
+    pub fn lit(s: &str) -> CRegex {
+        let items: Vec<CRegex> = s.chars().map(|c| CRegex::Set(CharSet::single(c))).collect();
+        match items.len() {
+            0 => CRegex::Epsilon,
+            1 => items.into_iter().next().expect("one item"),
+            _ => CRegex::Concat(items),
+        }
+    }
+
+    /// One character from `set`; the empty set yields `∅`.
+    pub fn set(set: CharSet) -> CRegex {
+        if set.is_empty() {
+            CRegex::EmptySet
+        } else {
+            CRegex::Set(set)
+        }
+    }
+
+    /// Any single character.
+    pub fn any_char() -> CRegex {
+        CRegex::Set(CharSet::any())
+    }
+
+    /// `.*` over the full alphabet.
+    pub fn anything() -> CRegex {
+        CRegex::star(CRegex::any_char())
+    }
+
+    /// Smart concatenation: flattens, drops `ε`, propagates `∅`.
+    pub fn concat(items: Vec<CRegex>) -> CRegex {
+        let mut flat = Vec::with_capacity(items.len());
+        for item in items {
+            match item {
+                CRegex::Epsilon => {}
+                CRegex::EmptySet => return CRegex::EmptySet,
+                CRegex::Concat(inner) => flat.extend(inner),
+                other => flat.push(other),
+            }
+        }
+        match flat.len() {
+            0 => CRegex::Epsilon,
+            1 => flat.pop().expect("one item"),
+            _ => CRegex::Concat(flat),
+        }
+    }
+
+    /// Smart union: flattens and drops `∅` branches.
+    pub fn alt(items: Vec<CRegex>) -> CRegex {
+        let mut flat = Vec::with_capacity(items.len());
+        for item in items {
+            match item {
+                CRegex::EmptySet => {}
+                CRegex::Alt(inner) => flat.extend(inner),
+                other => flat.push(other),
+            }
+        }
+        flat.dedup();
+        match flat.len() {
+            0 => CRegex::EmptySet,
+            1 => flat.pop().expect("one item"),
+            _ => CRegex::Alt(flat),
+        }
+    }
+
+    /// Kleene star with trivial simplifications.
+    pub fn star(item: CRegex) -> CRegex {
+        match item {
+            CRegex::EmptySet | CRegex::Epsilon => CRegex::Epsilon,
+            star @ CRegex::Star(_) => star,
+            other => CRegex::Star(Arc::new(other)),
+        }
+    }
+
+    /// `r+` as `rr*`.
+    pub fn plus(item: CRegex) -> CRegex {
+        CRegex::concat(vec![item.clone(), CRegex::star(item)])
+    }
+
+    /// `r?` as `r|ε`.
+    pub fn opt(item: CRegex) -> CRegex {
+        CRegex::alt(vec![item, CRegex::Epsilon])
+    }
+
+    /// Intersection.
+    pub fn and(items: Vec<CRegex>) -> CRegex {
+        let mut flat = Vec::with_capacity(items.len());
+        for item in items {
+            match item {
+                CRegex::And(inner) => flat.extend(inner),
+                other => flat.push(other),
+            }
+        }
+        match flat.len() {
+            0 => CRegex::anything(),
+            1 => flat.pop().expect("one item"),
+            _ => CRegex::And(flat),
+        }
+    }
+
+    /// Complement.
+    pub fn not(item: CRegex) -> CRegex {
+        match item {
+            CRegex::Not(inner) => Arc::unwrap_or_clone(inner),
+            other => CRegex::Not(Arc::new(other)),
+        }
+    }
+
+    /// Bounded repetition `r{min,max}` (unrolled).
+    pub fn repeat(item: CRegex, min: u32, max: Option<u32>) -> CRegex {
+        let mut parts = vec![item.clone(); min as usize];
+        match max {
+            None => parts.push(CRegex::star(item)),
+            Some(max) => {
+                for _ in min..max {
+                    parts.push(CRegex::opt(item.clone()));
+                }
+            }
+        }
+        CRegex::concat(parts)
+    }
+
+    /// True if `ε` is in the language (conservative for `And`/`Not`:
+    /// exact, computed structurally).
+    pub fn nullable(&self) -> bool {
+        match self {
+            CRegex::EmptySet => false,
+            CRegex::Epsilon | CRegex::Star(_) => true,
+            CRegex::Set(_) => false,
+            CRegex::Concat(items) => items.iter().all(CRegex::nullable),
+            CRegex::Alt(items) => items.iter().any(CRegex::nullable),
+            CRegex::And(items) => items.iter().all(CRegex::nullable),
+            CRegex::Not(inner) => !inner.nullable(),
+        }
+    }
+
+    /// Collects every [`CharSet`] used in the expression, for alphabet
+    /// (minterm) construction.
+    pub fn collect_sets(&self, out: &mut Vec<CharSet>) {
+        match self {
+            CRegex::Set(set) => out.push(set.clone()),
+            CRegex::Concat(items) | CRegex::Alt(items) | CRegex::And(items) => {
+                for item in items {
+                    item.collect_sets(out);
+                }
+            }
+            CRegex::Star(inner) | CRegex::Not(inner) => inner.collect_sets(out),
+            _ => {}
+        }
+    }
+
+    /// True if the expression contains `And` or `Not` (requiring DFA
+    /// operations to compile).
+    pub fn has_boolean_ops(&self) -> bool {
+        match self {
+            CRegex::And(_) | CRegex::Not(_) => true,
+            CRegex::Concat(items) | CRegex::Alt(items) => {
+                items.iter().any(CRegex::has_boolean_ops)
+            }
+            CRegex::Star(inner) => inner.has_boolean_ops(),
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for CRegex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CRegex::EmptySet => write!(f, "∅"),
+            CRegex::Epsilon => write!(f, "ε"),
+            CRegex::Set(set) => {
+                if set.len() == 1 {
+                    let c = set.pick().expect("nonempty");
+                    if c.is_ascii_graphic() || c == ' ' {
+                        return write!(f, "{c}");
+                    }
+                }
+                write!(f, "[")?;
+                let mut shown = 0;
+                for &(lo, hi) in set.ranges() {
+                    if shown >= 4 {
+                        write!(f, "…")?;
+                        break;
+                    }
+                    let lo_c = char::from_u32(lo).unwrap_or('?');
+                    let hi_c = char::from_u32(hi).unwrap_or('?');
+                    if lo == hi {
+                        write!(f, "{}", printable(lo_c))?;
+                    } else {
+                        write!(f, "{}-{}", printable(lo_c), printable(hi_c))?;
+                    }
+                    shown += 1;
+                }
+                write!(f, "]")
+            }
+            CRegex::Concat(items) => {
+                for item in items {
+                    match item {
+                        CRegex::Alt(_) => write!(f, "({item})")?,
+                        _ => write!(f, "{item}")?,
+                    }
+                }
+                Ok(())
+            }
+            CRegex::Alt(items) => {
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "|")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                Ok(())
+            }
+            CRegex::Star(inner) => match &**inner {
+                CRegex::Set(_) | CRegex::Epsilon => write!(f, "{inner}*"),
+                _ => write!(f, "({inner})*"),
+            },
+            CRegex::And(items) => {
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "&")?;
+                    }
+                    write!(f, "({item})")?;
+                }
+                Ok(())
+            }
+            CRegex::Not(inner) => write!(f, "¬({inner})"),
+        }
+    }
+}
+
+fn printable(c: char) -> String {
+    if c.is_ascii_graphic() || c == ' ' {
+        c.to_string()
+    } else {
+        format!("u{:04X}", c as u32)
+    }
+}
+
+/// Error converting an ES6 AST to a classical regex.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NotClassical {
+    /// Description of the offending construct.
+    pub construct: &'static str,
+}
+
+impl fmt::Display for NotClassical {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "regex is not classical: contains {}", self.construct)
+    }
+}
+
+impl std::error::Error for NotClassical {}
+
+/// Options for classical compilation.
+#[derive(Debug, Clone)]
+pub struct CompileOptions {
+    /// Characters excluded from `.` and negated classes — the ⟨/⟩
+    /// meta-characters of Algorithm 2, which must never be produced by
+    /// user-regex wildcards.
+    pub exclude: CharSet,
+    /// Apply the `i` flag by case-expanding literals and classes.
+    pub ignore_case: bool,
+    /// Apply the `s` flag: `.` also matches line terminators.
+    pub dot_all: bool,
+}
+
+impl Default for CompileOptions {
+    fn default() -> CompileOptions {
+        CompileOptions {
+            exclude: CharSet::empty(),
+            ignore_case: false,
+            dot_all: false,
+        }
+    }
+}
+
+/// Compiles a capture-free, backreference-free, assertion-free ES6 AST
+/// into a classical regex.
+///
+/// Capture groups are accepted and compiled transparently (their
+/// grouping is classical); lookaheads compile to intersections
+/// (`(?=A)B → L(A.*) ∩ L(B)` — note this is only used for *trailing
+/// context within the same model variable*, see Table 2). Anchors, word
+/// boundaries and backreferences are rejected — the model layer
+/// eliminates those first.
+///
+/// # Errors
+///
+/// Returns [`NotClassical`] when the AST contains backreferences, word
+/// boundaries or anchors.
+pub fn compile_classical(ast: &Ast, opts: &CompileOptions) -> Result<CRegex, NotClassical> {
+    Ok(match ast {
+        Ast::Empty => CRegex::Epsilon,
+        Ast::Literal(c) => {
+            if opts.ignore_case {
+                let mut set = CharSet::single(*c);
+                for v in regex_syntax_es6::class::simple_case_variants(*c) {
+                    set = set.union(&CharSet::single(v));
+                }
+                CRegex::set(set)
+            } else {
+                CRegex::Set(CharSet::single(*c))
+            }
+        }
+        Ast::Dot => {
+            let base = if opts.dot_all {
+                CharSet::any()
+            } else {
+                let terminators =
+                    CharSet::from_ranges(vec![(0x0A, 0x0A), (0x0D, 0x0D), (0x2028, 0x2029)]);
+                CharSet::any().difference(&terminators)
+            };
+            CRegex::set(base.difference(&opts.exclude))
+        }
+        Ast::Class(class) => {
+            let class = if opts.ignore_case {
+                class.case_insensitive()
+            } else {
+                class.clone()
+            };
+            let set = CharSet::from_class(&class);
+            // Negated classes could admit the meta-characters.
+            CRegex::set(set.difference(&opts.exclude))
+        }
+        Ast::Assertion(_) => {
+            return Err(NotClassical {
+                construct: "anchor or word boundary",
+            })
+        }
+        Ast::Group { ast, .. } | Ast::NonCapturing(ast) => compile_classical(ast, opts)?,
+        Ast::Lookahead { negative, ast } => {
+            // Standalone compilation of a lookahead asserts the rest of
+            // the word: (?=A) → A.* and (?!A) → ¬(A.*). The model layer
+            // combines this with the continuation via And.
+            let inner = compile_classical(ast, opts)?;
+            let assertion = CRegex::concat(vec![inner, CRegex::anything()]);
+            if *negative {
+                CRegex::not(assertion)
+            } else {
+                assertion
+            }
+        }
+        Ast::Repeat { ast, min, max, .. } => {
+            let inner = compile_classical(ast, opts)?;
+            CRegex::repeat(inner, *min, *max)
+        }
+        Ast::Alt(items) => CRegex::alt(
+            items
+                .iter()
+                .map(|i| compile_classical(i, opts))
+                .collect::<Result<_, _>>()?,
+        ),
+        Ast::Concat(items) => {
+            // A lookahead inside a concatenation constrains the suffix:
+            // compile as And(lookahead-language, rest).
+            let mut parts: Vec<CRegex> = Vec::new();
+            let mut i = 0;
+            while i < items.len() {
+                match &items[i] {
+                    Ast::Lookahead { negative, ast } => {
+                        let inner = compile_classical(ast, opts)?;
+                        let assertion = CRegex::concat(vec![inner, CRegex::anything()]);
+                        let assertion = if *negative {
+                            CRegex::not(assertion)
+                        } else {
+                            assertion
+                        };
+                        let rest = compile_classical(
+                            &Ast::concat(items[i + 1..].to_vec()),
+                            opts,
+                        )?;
+                        parts.push(CRegex::and(vec![assertion, rest]));
+                        return Ok(CRegex::concat(parts));
+                    }
+                    other => parts.push(compile_classical(other, opts)?),
+                }
+                i += 1;
+            }
+            CRegex::concat(parts)
+        }
+        Ast::Backref(_) => {
+            return Err(NotClassical {
+                construct: "backreference",
+            })
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regex_syntax_es6::parse;
+
+    fn compile(pattern: &str) -> CRegex {
+        compile_classical(
+            &parse(pattern).expect("parse"),
+            &CompileOptions::default(),
+        )
+        .expect("classical")
+    }
+
+    #[test]
+    fn literal_compilation() {
+        assert_eq!(CRegex::lit("ab").to_string(), "ab");
+    }
+
+    #[test]
+    fn smart_constructors_simplify() {
+        assert_eq!(
+            CRegex::concat(vec![CRegex::Epsilon, CRegex::lit("a")]),
+            CRegex::lit("a")
+        );
+        assert_eq!(
+            CRegex::concat(vec![CRegex::EmptySet, CRegex::lit("a")]),
+            CRegex::EmptySet
+        );
+        assert_eq!(CRegex::alt(vec![CRegex::EmptySet]), CRegex::EmptySet);
+        assert_eq!(CRegex::star(CRegex::Epsilon), CRegex::Epsilon);
+    }
+
+    #[test]
+    fn nullable() {
+        assert!(compile("a*").nullable());
+        assert!(!compile("a+").nullable());
+        assert!(compile("a|").nullable());
+        assert!(!CRegex::not(CRegex::anything()).nullable());
+    }
+
+    #[test]
+    fn rejects_non_classical() {
+        let opts = CompileOptions::default();
+        assert!(compile_classical(&parse(r"(a)\1").expect("parse"), &opts).is_err());
+        assert!(compile_classical(&parse(r"\bfoo").expect("parse"), &opts).is_err());
+        assert!(compile_classical(&parse("^a").expect("parse"), &opts).is_err());
+    }
+
+    #[test]
+    fn captures_compile_transparently() {
+        assert_eq!(compile("(ab)c"), compile("(?:ab)c"));
+    }
+
+    #[test]
+    fn lookahead_becomes_intersection() {
+        let re = compile("(?=ab)a.");
+        assert!(re.has_boolean_ops());
+    }
+
+    #[test]
+    fn dot_excludes_meta_chars() {
+        let opts = CompileOptions {
+            exclude: CharSet::single('\u{E000}'),
+            ..CompileOptions::default()
+        };
+        let re = compile_classical(&parse(".").expect("parse"), &opts).expect("classical");
+        match re {
+            CRegex::Set(set) => {
+                assert!(!set.contains('\u{E000}'));
+                assert!(set.contains('x'));
+                assert!(!set.contains('\n'));
+            }
+            other => panic!("expected set, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ignore_case_expands() {
+        let opts = CompileOptions {
+            ignore_case: true,
+            ..CompileOptions::default()
+        };
+        let re = compile_classical(&parse("a").expect("parse"), &opts).expect("classical");
+        match re {
+            CRegex::Set(set) => {
+                assert!(set.contains('a') && set.contains('A'));
+            }
+            other => panic!("expected set, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn repeat_unrolls() {
+        let re = CRegex::repeat(CRegex::lit("a"), 2, Some(3));
+        // aa(a|ε)
+        assert!(!re.nullable());
+    }
+
+    #[test]
+    fn collect_sets_finds_all() {
+        let mut sets = Vec::new();
+        compile("[a-z]+[0-9]").collect_sets(&mut sets);
+        assert_eq!(sets.len(), 3); // [a-z] twice (plus unrolling) + [0-9]
+    }
+}

@@ -1,0 +1,577 @@
+//! Deterministic finite automata over minterm alphabets.
+//!
+//! DFAs here are always *complete* (every state has a transition for
+//! every class), which makes complementation a matter of flipping
+//! accepting states and makes products total. The solver relies on:
+//!
+//! * [`Dfa::intersect`]/[`Dfa::union`] — products over a shared alphabet;
+//! * [`Dfa::complement`] — for non-membership constraints;
+//! * [`Dfa::is_empty`]/[`Dfa::shortest_word`] — UNSAT detection and
+//!   witness generation;
+//! * [`Dfa::words`]/[`WordIter`] — bounded enumeration in length order;
+//! * [`Dfa::step`]/[`Dfa::distance_to_accept`] — incremental runs with
+//!   dead-state pruning during word-equation search.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use crate::alphabet::{Alphabet, ClassId};
+use crate::cregex::CRegex;
+use crate::nfa::Nfa;
+
+/// A complete deterministic finite automaton.
+#[derive(Debug, Clone)]
+pub struct Dfa {
+    /// Flattened transition table: `state * class_count + class`.
+    transitions: Vec<u32>,
+    accepting: Vec<bool>,
+    start: u32,
+    class_count: usize,
+    alphabet: Arc<Alphabet>,
+    /// BFS distance from each state to the nearest accepting state
+    /// (`None` = dead).
+    distances: Vec<Option<u32>>,
+}
+
+impl Dfa {
+    /// Compiles a classical regex to a DFA over `alphabet`.
+    ///
+    /// The alphabet must contain every `CharSet` of the regex (build it
+    /// with [`Alphabet::from_sets`] over the whole problem).
+    pub fn from_cregex(re: &CRegex, alphabet: &Arc<Alphabet>) -> Dfa {
+        match re {
+            CRegex::And(items) => {
+                let mut iter = items.iter();
+                let first = iter.next().expect("And is non-empty");
+                let mut acc = Dfa::from_cregex(first, alphabet);
+                for item in iter {
+                    acc = acc.intersect(&Dfa::from_cregex(item, alphabet));
+                }
+                acc
+            }
+            CRegex::Not(inner) => Dfa::from_cregex(inner, alphabet).complement(),
+            _ => {
+                let nfa = Nfa::thompson(re, alphabet);
+                Dfa::from_nfa(&nfa)
+            }
+        }
+    }
+
+    /// Subset construction.
+    pub fn from_nfa(nfa: &Nfa) -> Dfa {
+        let class_count = nfa.alphabet.class_count();
+        let mut start_set = vec![nfa.start];
+        nfa.epsilon_closure(&mut start_set);
+
+        let mut ids: HashMap<Vec<u32>, u32> = HashMap::new();
+        let mut transitions: Vec<u32> = Vec::new();
+        let mut accepting: Vec<bool> = Vec::new();
+        let mut worklist: VecDeque<Vec<u32>> = VecDeque::new();
+
+        ids.insert(start_set.clone(), 0);
+        transitions.resize(class_count, u32::MAX);
+        accepting.push(start_set.contains(&nfa.accept));
+        worklist.push_back(start_set);
+
+        while let Some(set) = worklist.pop_front() {
+            let id = ids[&set];
+            for class in 0..class_count {
+                let mut next: Vec<u32> = Vec::new();
+                for &s in &set {
+                    for &(c, t) in &nfa.states[s as usize].transitions {
+                        if c as usize == class && !next.contains(&t) {
+                            next.push(t);
+                        }
+                    }
+                }
+                nfa.epsilon_closure(&mut next);
+                let next_id = match ids.get(&next) {
+                    Some(&id) => id,
+                    None => {
+                        let new_id = accepting.len() as u32;
+                        ids.insert(next.clone(), new_id);
+                        transitions.extend(std::iter::repeat_n(u32::MAX, class_count));
+                        accepting.push(next.contains(&nfa.accept));
+                        worklist.push_back(next);
+                        new_id
+                    }
+                };
+                transitions[id as usize * class_count + class] = next_id;
+            }
+        }
+
+        let mut dfa = Dfa {
+            transitions,
+            accepting,
+            start: 0,
+            class_count,
+            alphabet: Arc::clone(&nfa.alphabet),
+            distances: Vec::new(),
+        };
+        dfa.compute_distances();
+        dfa
+    }
+
+    /// A DFA accepting exactly one word.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics when the word's characters are not singleton
+    /// classes of `alphabet`; use [`Dfa::from_word_classes`] for words
+    /// that did not contribute to the alphabet.
+    pub fn from_word(word: &str, alphabet: &Arc<Alphabet>) -> Dfa {
+        Dfa::from_cregex(&CRegex::lit(word), alphabet)
+    }
+
+    /// A DFA accepting exactly the words whose *class sequence* equals
+    /// that of `word` — an overapproximation of `{word}` at minterm
+    /// granularity, safe for any word regardless of the alphabet's
+    /// construction. Used for residual-guide pruning in the solver.
+    pub fn from_word_classes(word: &str, alphabet: &Arc<Alphabet>) -> Dfa {
+        let classes = alphabet.abstract_word(word);
+        let class_count = alphabet.class_count();
+        let n = classes.len();
+        // States 0..=n along the word, plus a dead state n+1.
+        let dead = (n + 1) as u32;
+        let mut transitions = vec![dead; (n + 2) * class_count];
+        for (i, &c) in classes.iter().enumerate() {
+            transitions[i * class_count + c as usize] = (i + 1) as u32;
+        }
+        let mut accepting = vec![false; n + 2];
+        accepting[n] = true;
+        let mut dfa = Dfa {
+            transitions,
+            accepting,
+            start: 0,
+            class_count,
+            alphabet: Arc::clone(alphabet),
+            distances: Vec::new(),
+        };
+        dfa.compute_distances();
+        dfa
+    }
+
+    /// A DFA accepting every word.
+    pub fn universal(alphabet: &Arc<Alphabet>) -> Dfa {
+        Dfa::from_cregex(&CRegex::anything(), alphabet)
+    }
+
+    /// Number of states.
+    pub fn state_count(&self) -> usize {
+        self.accepting.len()
+    }
+
+    /// The shared alphabet.
+    pub fn alphabet(&self) -> &Arc<Alphabet> {
+        &self.alphabet
+    }
+
+    /// The start state.
+    pub fn start_state(&self) -> u32 {
+        self.start
+    }
+
+    /// Transition function.
+    pub fn step(&self, state: u32, class: ClassId) -> u32 {
+        self.transitions[state as usize * self.class_count + class as usize]
+    }
+
+    /// Runs the DFA over a string from `state`.
+    pub fn run(&self, state: u32, word: &str) -> u32 {
+        word.chars()
+            .fold(state, |s, c| self.step(s, self.alphabet.classify(c)))
+    }
+
+    /// Acceptance predicate.
+    pub fn is_accepting(&self, state: u32) -> bool {
+        self.accepting[state as usize]
+    }
+
+    /// Language membership.
+    pub fn contains(&self, word: &str) -> bool {
+        self.is_accepting(self.run(self.start, word))
+    }
+
+    /// BFS distance from `state` to the nearest accepting state, or
+    /// `None` when no accepting state is reachable (dead state).
+    pub fn distance_to_accept(&self, state: u32) -> Option<u32> {
+        self.distances[state as usize]
+    }
+
+    /// True when the language is empty.
+    pub fn is_empty(&self) -> bool {
+        self.distances[self.start as usize].is_none()
+    }
+
+    /// True when `ε` is accepted.
+    pub fn accepts_empty(&self) -> bool {
+        self.is_accepting(self.start)
+    }
+
+    /// Complement (flips acceptance; completeness makes this exact).
+    pub fn complement(&self) -> Dfa {
+        let mut out = Dfa {
+            transitions: self.transitions.clone(),
+            accepting: self.accepting.iter().map(|&a| !a).collect(),
+            start: self.start,
+            class_count: self.class_count,
+            alphabet: Arc::clone(&self.alphabet),
+            distances: Vec::new(),
+        };
+        out.compute_distances();
+        out
+    }
+
+    /// Intersection product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two DFAs use different alphabets.
+    pub fn intersect(&self, other: &Dfa) -> Dfa {
+        self.product(other, |a, b| a && b)
+    }
+
+    /// Union product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two DFAs use different alphabets.
+    pub fn union(&self, other: &Dfa) -> Dfa {
+        self.product(other, |a, b| a || b)
+    }
+
+    fn product(&self, other: &Dfa, accept: impl Fn(bool, bool) -> bool) -> Dfa {
+        assert_eq!(
+            self.class_count, other.class_count,
+            "product requires a shared alphabet"
+        );
+        let class_count = self.class_count;
+        let mut ids: HashMap<(u32, u32), u32> = HashMap::new();
+        let mut transitions: Vec<u32> = Vec::new();
+        let mut accepting: Vec<bool> = Vec::new();
+        let mut worklist = VecDeque::new();
+
+        let start_pair = (self.start, other.start);
+        ids.insert(start_pair, 0);
+        transitions.resize(class_count, u32::MAX);
+        accepting.push(accept(
+            self.is_accepting(self.start),
+            other.is_accepting(other.start),
+        ));
+        worklist.push_back(start_pair);
+
+        while let Some((a, b)) = worklist.pop_front() {
+            let id = ids[&(a, b)];
+            for class in 0..class_count {
+                let next = (self.step(a, class as ClassId), other.step(b, class as ClassId));
+                let next_id = match ids.get(&next) {
+                    Some(&id) => id,
+                    None => {
+                        let new_id = accepting.len() as u32;
+                        ids.insert(next, new_id);
+                        transitions.extend(std::iter::repeat_n(u32::MAX, class_count));
+                        accepting.push(accept(
+                            self.is_accepting(next.0),
+                            other.is_accepting(next.1),
+                        ));
+                        worklist.push_back(next);
+                        new_id
+                    }
+                };
+                transitions[id as usize * class_count + class] = next_id;
+            }
+        }
+
+        let mut dfa = Dfa {
+            transitions,
+            accepting,
+            start: 0,
+            class_count,
+            alphabet: Arc::clone(&self.alphabet),
+            distances: Vec::new(),
+        };
+        dfa.compute_distances();
+        dfa
+    }
+
+    fn compute_distances(&mut self) {
+        let n = self.state_count();
+        let mut distances: Vec<Option<u32>> = vec![None; n];
+        // Reverse BFS from accepting states.
+        let mut reverse: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for state in 0..n {
+            for class in 0..self.class_count {
+                let next = self.transitions[state * self.class_count + class];
+                reverse[next as usize].push(state as u32);
+            }
+        }
+        let mut queue = VecDeque::new();
+        for (state, &acc) in self.accepting.iter().enumerate() {
+            if acc {
+                distances[state] = Some(0);
+                queue.push_back(state as u32);
+            }
+        }
+        while let Some(state) = queue.pop_front() {
+            let d = distances[state as usize].expect("queued states have distance");
+            for &prev in &reverse[state as usize] {
+                if distances[prev as usize].is_none() {
+                    distances[prev as usize] = Some(d + 1);
+                    queue.push_back(prev);
+                }
+            }
+        }
+        self.distances = distances;
+    }
+
+    /// The shortest accepted word (readable representatives), if any.
+    pub fn shortest_word(&self) -> Option<String> {
+        let mut state = self.start;
+        let mut remaining = self.distances[state as usize]?;
+        let mut word = String::new();
+        while remaining > 0 {
+            // Greedily pick a class that decreases the distance.
+            let mut advanced = false;
+            for class in 0..self.class_count {
+                let next = self.step(state, class as ClassId);
+                if self.distances[next as usize] == Some(remaining - 1) {
+                    word.push(self.alphabet.representative(class as ClassId));
+                    state = next;
+                    remaining -= 1;
+                    advanced = true;
+                    break;
+                }
+            }
+            debug_assert!(advanced, "distance function must decrease");
+            if !advanced {
+                return None;
+            }
+        }
+        Some(word)
+    }
+
+    /// Enumerates accepted words in length order (then class-id order),
+    /// up to `max_len` characters, yielding at most `limit` words.
+    pub fn words(&self, max_len: usize, limit: usize) -> Vec<String> {
+        self.iter_words(max_len).take(limit).collect()
+    }
+
+    /// An iterator over accepted words in length order.
+    pub fn iter_words(&self, max_len: usize) -> WordIter<'_> {
+        let mut queue = VecDeque::new();
+        queue.push_back((self.start, Vec::new()));
+        WordIter {
+            dfa: self,
+            queue,
+            max_len,
+        }
+    }
+
+    /// True when the accepted language is infinite.
+    pub fn is_infinite(&self) -> bool {
+        // A live cycle reachable from start that can reach acceptance.
+        // DFS detecting a cycle among live states.
+        let n = self.state_count();
+        let live = |s: u32| self.distances[s as usize].is_some();
+        if !live(self.start) {
+            return false;
+        }
+        let mut color = vec![0u8; n]; // 0 unvisited, 1 on stack, 2 done
+        let mut stack: Vec<(u32, usize)> = vec![(self.start, 0)];
+        color[self.start as usize] = 1;
+        while let Some(&mut (state, ref mut class)) = stack.last_mut() {
+            if *class >= self.class_count {
+                color[state as usize] = 2;
+                stack.pop();
+                continue;
+            }
+            let c = *class;
+            *class += 1;
+            let next = self.step(state, c as ClassId);
+            if !live(next) {
+                continue;
+            }
+            match color[next as usize] {
+                0 => {
+                    color[next as usize] = 1;
+                    stack.push((next, 0));
+                }
+                1 => return true,
+                _ => {}
+            }
+        }
+        false
+    }
+}
+
+/// Iterator over accepted words in length order; see
+/// [`Dfa::iter_words`].
+#[derive(Debug)]
+pub struct WordIter<'a> {
+    dfa: &'a Dfa,
+    queue: VecDeque<(u32, Vec<ClassId>)>,
+    max_len: usize,
+}
+
+impl Iterator for WordIter<'_> {
+    type Item = String;
+
+    fn next(&mut self) -> Option<String> {
+        while let Some((state, word)) = self.queue.pop_front() {
+            if word.len() < self.max_len {
+                for class in 0..self.dfa.class_count {
+                    let next = self.dfa.step(state, class as ClassId);
+                    if self.dfa.distances[next as usize].is_some() {
+                        let mut w = word.clone();
+                        w.push(class as ClassId);
+                        self.queue.push_back((next, w));
+                    }
+                }
+            }
+            if self.dfa.is_accepting(state) {
+                return Some(self.dfa.alphabet.realize(&word));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::charset::CharSet;
+    use regex_syntax_es6::parse;
+
+    fn dfa(pattern: &str) -> Dfa {
+        let ast = parse(pattern).expect("parse");
+        let re = crate::cregex::compile_classical(
+            &ast,
+            &crate::cregex::CompileOptions::default(),
+        )
+        .expect("classical");
+        let mut sets = Vec::new();
+        re.collect_sets(&mut sets);
+        let alphabet = Arc::new(Alphabet::from_sets(&sets));
+        Dfa::from_cregex(&re, &alphabet)
+    }
+
+    #[test]
+    fn membership() {
+        let d = dfa("goo+d");
+        assert!(d.contains("good"));
+        assert!(d.contains("goood"));
+        assert!(!d.contains("god"));
+        assert!(!d.contains("goodx"));
+    }
+
+    #[test]
+    fn complement_flips() {
+        let d = dfa("a+");
+        let c = d.complement();
+        assert!(!c.contains("aa"));
+        assert!(c.contains("b"));
+        assert!(c.contains(""));
+    }
+
+    #[test]
+    fn intersection() {
+        let re_a = parse("[ab]*").expect("parse");
+        let re_b = parse("[bc]*").expect("parse");
+        let opts = crate::cregex::CompileOptions::default();
+        let ca = crate::cregex::compile_classical(&re_a, &opts).expect("classical");
+        let cb = crate::cregex::compile_classical(&re_b, &opts).expect("classical");
+        let mut sets = Vec::new();
+        ca.collect_sets(&mut sets);
+        cb.collect_sets(&mut sets);
+        let alphabet = Arc::new(Alphabet::from_sets(&sets));
+        let da = Dfa::from_cregex(&ca, &alphabet);
+        let db = Dfa::from_cregex(&cb, &alphabet);
+        let inter = da.intersect(&db);
+        assert!(inter.contains("bbb"));
+        assert!(!inter.contains("ab"));
+        assert!(inter.contains(""));
+    }
+
+    #[test]
+    fn emptiness() {
+        let d = dfa("a");
+        assert!(!d.is_empty());
+        let never = d.intersect(&d.complement());
+        assert!(never.is_empty());
+        assert_eq!(never.shortest_word(), None);
+    }
+
+    #[test]
+    fn shortest_word() {
+        let d = dfa("goo+d");
+        assert_eq!(d.shortest_word(), Some("good".to_string()));
+    }
+
+    #[test]
+    fn shortest_word_empty_language_is_none() {
+        let d = dfa("a").intersect(&dfa("a").complement());
+        assert_eq!(d.shortest_word(), None);
+    }
+
+    #[test]
+    fn word_enumeration_in_length_order() {
+        let d = dfa("a|bb|ccc");
+        let words = d.words(5, 10);
+        assert_eq!(words, vec!["a", "bb", "ccc"]);
+    }
+
+    #[test]
+    fn word_enumeration_respects_max_len() {
+        let d = dfa("a*");
+        let words = d.words(2, 100);
+        assert_eq!(words, vec!["", "a", "aa"]);
+    }
+
+    #[test]
+    fn infinite_detection() {
+        assert!(dfa("a*").is_infinite());
+        assert!(!dfa("a{1,3}").is_infinite());
+        assert!(!dfa("abc").is_infinite());
+    }
+
+    #[test]
+    fn lookahead_intersection_via_dfa() {
+        // (?=a[ab]*)aab… intersection behaviour end-to-end.
+        let d = dfa("(?=ab)a[bc]");
+        assert!(d.contains("ab"));
+        assert!(!d.contains("ac"));
+    }
+
+    #[test]
+    fn negative_lookahead_via_complement() {
+        let d = dfa("(?!ab)a[bc]");
+        assert!(!d.contains("ab"));
+        assert!(d.contains("ac"));
+    }
+
+    #[test]
+    fn from_word_exact() {
+        let alphabet = Alphabet::for_problem(&[CharSet::range('a', 'z')], &["hey"]);
+        let d = Dfa::from_word("hey", &alphabet);
+        assert!(d.contains("hey"));
+        assert!(!d.contains("he"));
+        assert!(!d.contains("heyy"));
+    }
+
+    #[test]
+    fn universal_accepts_everything() {
+        let alphabet = Alphabet::for_problem(&[], &["x"]);
+        let d = Dfa::universal(&alphabet);
+        assert!(d.contains(""));
+        assert!(d.contains("anything at all"));
+    }
+
+    #[test]
+    fn distances_decrease_along_accepting_path() {
+        let d = dfa("abc");
+        let s0 = d.start_state();
+        assert_eq!(d.distance_to_accept(s0), Some(3));
+        let s1 = d.step(s0, d.alphabet().classify('a'));
+        assert_eq!(d.distance_to_accept(s1), Some(2));
+    }
+}

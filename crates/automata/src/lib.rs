@@ -1,0 +1,44 @@
+//! Classical regular language automata: the decision-procedure substrate
+//! of the string solver.
+//!
+//! The capturing-language models of the paper reduce ES6 regex matching
+//! to *classical* regular membership plus string constraints (§4). This
+//! crate provides the classical side:
+//!
+//! * [`CharSet`] — scalar-value sets as sorted ranges;
+//! * [`CRegex`] — classical regexes extended with intersection and
+//!   complement (for lookaheads and non-membership);
+//! * [`Alphabet`] — minterm partitions shared across a constraint
+//!   problem, keeping DFAs small;
+//! * [`Nfa`]/[`Dfa`] — Thompson construction, subset construction,
+//!   product, complement, emptiness, shortest-word and bounded word
+//!   enumeration.
+//!
+//! # Examples
+//!
+//! ```
+//! use automata::{compile_classical, Alphabet, CompileOptions, Dfa};
+//! use std::sync::Arc;
+//!
+//! let ast = regex_syntax_es6::parse("goo+d")?;
+//! let re = compile_classical(&ast, &CompileOptions::default())?;
+//! let mut sets = Vec::new();
+//! re.collect_sets(&mut sets);
+//! let alphabet = Arc::new(Alphabet::from_sets(&sets));
+//! let dfa = Dfa::from_cregex(&re, &alphabet);
+//! assert!(dfa.contains("goood"));
+//! assert_eq!(dfa.shortest_word(), Some("good".to_string()));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod alphabet;
+pub mod charset;
+pub mod cregex;
+pub mod dfa;
+pub mod nfa;
+
+pub use alphabet::{Alphabet, ClassId};
+pub use charset::CharSet;
+pub use cregex::{compile_classical, CompileOptions, CRegex, NotClassical};
+pub use dfa::{Dfa, WordIter};
+pub use nfa::{Nfa, NfaState, StateId};

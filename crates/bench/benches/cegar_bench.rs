@@ -1,0 +1,50 @@
+//! Micro-benchmarks for the CEGAR loop (Algorithm 1), including the
+//! refinement-limit ablation of §7.4.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use expose_core::{api::build_match_model, cegar::CegarSolver, model::BuildConfig};
+use regex_syntax_es6::Regex;
+use std::hint::black_box;
+use strsolve::{Formula, Solver, VarPool};
+
+fn solve_with_limit(literal: &str, pin: Option<&str>, limit: usize) -> bool {
+    let regex = Regex::parse_literal(literal).expect("literal");
+    let mut pool = VarPool::new();
+    let c = build_match_model(&regex, true, &mut pool, &BuildConfig::default());
+    let problem = match pin {
+        Some(value) => Formula::eq_lit(c.input, value),
+        None => Formula::top(),
+    };
+    let cegar = CegarSolver::new(Solver::default(), limit);
+    cegar.solve(&problem, &[c]).outcome.is_sat()
+}
+
+fn bench_cegar(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cegar");
+    group.sample_size(15);
+
+    group.bench_function("no_refinement_needed", |b| {
+        b.iter(|| black_box(solve_with_limit("/^[0-9]+$/", None, 20)));
+    });
+
+    group.bench_function("precedence_refinement", |b| {
+        // The §3.4 example: requires refinement to settle C1 = ⊥.
+        b.iter(|| black_box(solve_with_limit("/^a*(a)?$/", Some("aa"), 20)));
+    });
+
+    group.bench_function("backref_membership", |b| {
+        b.iter(|| black_box(solve_with_limit(r"/^(ab|c)\1$/", None, 20)));
+    });
+
+    // Refinement-limit ablation (§7.4: limits of five or fewer feasible).
+    for limit in [1usize, 5, 20] {
+        group.bench_function(format!("limit_{limit}"), |b| {
+            b.iter(|| black_box(solve_with_limit("/^(a*)(a*)$/", Some("aaa"), limit)));
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_cegar);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! End-to-end DSE benchmarks: one library workload per support level,
+//! plus the mutable-backreference soundness ablation (§4.3).
+
+use bench::{run_workload, Budget};
+use corpus::library_workloads;
+use criterion::{criterion_group, criterion_main, Criterion};
+use expose_core::model::BuildConfig;
+use expose_core::SupportLevel;
+use expose_dse::parser::parse_program;
+use expose_dse::{run_dse, EngineConfig, Harness};
+use std::hint::black_box;
+
+fn bench_dse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dse");
+    group.sample_size(10);
+
+    let workloads = library_workloads();
+    let yn = workloads.iter().find(|w| w.name == "yn").expect("yn");
+    for level in SupportLevel::ALL {
+        group.bench_function(format!("yn_{:?}", level), |b| {
+            b.iter(|| black_box(run_workload(yn, level, Budget { executions: 6, steps: 20_000 })));
+        });
+    }
+
+    // Ablation: sound vs approximate mutable-backreference models.
+    let src = r#"function f(s) {
+        if (/^((a|b)\2)+$/.test(s)) { return "rep"; }
+        return "no";
+    }"#;
+    for (name, sound) in [("backref_approx", false), ("backref_sound", true)] {
+        group.bench_function(name, |b| {
+            let program = parse_program(src).expect("parse");
+            let config = EngineConfig {
+                max_executions: 4,
+                build: BuildConfig {
+                    sound_mutable_backrefs: sound,
+                    ..BuildConfig::default()
+                },
+                ..EngineConfig::default()
+            };
+            b.iter(|| {
+                black_box(run_dse(&program, &Harness::strings("f", 1), &config))
+            });
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_dse);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Micro-benchmarks for the concrete ES6 matcher (the CEGAR oracle).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use es6_matcher::RegExp;
+use std::hint::black_box;
+
+fn bench_matcher(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matcher");
+    group.sample_size(30);
+
+    group.bench_function("literal_scan", |b| {
+        let mut re = RegExp::new("goo+d", "").expect("regex");
+        b.iter(|| black_box(re.test("it was a goood day today")));
+    });
+
+    group.bench_function("captures_xml", |b| {
+        let mut re = RegExp::new(r"<(\w+)>([0-9]*)<\/\1>", "").expect("regex");
+        b.iter(|| black_box(re.exec("pre <timeout>500</timeout> post")));
+    });
+
+    group.bench_function("backtracking_alternation", |b| {
+        let mut re = RegExp::new("^(a|aa)*b$", "").expect("regex");
+        b.iter(|| black_box(re.test("aaaaaaaaaaab")));
+    });
+
+    group.bench_function("lookahead", |b| {
+        let mut re = RegExp::new(r"(?=\d{4})\d+-ok", "").expect("regex");
+        b.iter(|| black_box(re.test("1234-ok")));
+    });
+
+    group.bench_function("ignore_case_class", |b| {
+        let mut re = RegExp::new("[a-z]+[0-9]{2,4}", "i").expect("regex");
+        b.iter(|| black_box(re.test("HELLO1234")));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_matcher);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Micro-benchmarks for capturing-language model construction (Table 2/3).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use expose_core::model::BuildConfig;
+use regex_syntax_es6::Regex;
+use std::hint::black_box;
+use strsolve::VarPool;
+
+fn bench_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model");
+    group.sample_size(30);
+
+    for (name, literal) in [
+        ("plain", "/goo+d/"),
+        ("captures", r"/<(\w+)>([0-9]*)<\/\1>/"),
+        ("anchored", "/^[0-9]{1,8}$/"),
+        ("lookahead", r"/(?=[a-z])\w+/"),
+        ("alternation", "/alpha|beta|gamma|delta/"),
+    ] {
+        let regex = Regex::parse_literal(literal).expect("literal");
+        group.bench_function(format!("build_positive_{name}"), |b| {
+            b.iter(|| {
+                let mut pool = VarPool::new();
+                black_box(expose_core::build_match_model(
+                    &regex,
+                    true,
+                    &mut pool,
+                    &BuildConfig::default(),
+                ))
+            });
+        });
+        group.bench_function(format!("build_negative_{name}"), |b| {
+            b.iter(|| {
+                let mut pool = VarPool::new();
+                black_box(expose_core::build_match_model(
+                    &regex,
+                    false,
+                    &mut pool,
+                    &BuildConfig::default(),
+                ))
+            });
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Table 5: feature usage by unique regex.
+//!
+//! Runs the survey over the synthetic corpus and prints per-feature
+//! total and unique counts with the paper's percentages for comparison.
+//! Corpus size via argv[1] (default 20,000 packages).
+
+use std::collections::HashMap;
+
+use corpus::{generate_corpus, CorpusProfile};
+use survey::survey_packages;
+
+/// Paper values: feature → (total %, unique %).
+fn paper_percentages() -> HashMap<&'static str, (f64, f64)> {
+    HashMap::from([
+        ("Capture Groups", (24.71, 38.94)),
+        ("Global Flag", (27.44, 29.56)),
+        ("Character Class", (27.97, 23.24)),
+        ("Kleene+", (16.14, 22.08)),
+        ("Kleene*", (17.94, 21.76)),
+        ("Ignore Case Flag", (14.28, 19.25)),
+        ("Ranges", (13.33, 17.06)),
+        ("Non-capturing", (12.94, 8.49)),
+        ("Repetition", (3.7, 5.58)),
+        ("Kleene* (Lazy)", (2.41, 4.33)),
+        ("Multiline Flag", (1.44, 3.47)),
+        ("Word Boundary", (3.53, 3.17)),
+        ("Kleene+ (Lazy)", (1.56, 1.99)),
+        ("Lookaheads", (1.85, 1.02)),
+        ("Backreferences", (0.67, 0.80)),
+        ("Repetition (Lazy)", (0.03, 0.07)),
+        ("Quantified BRefs", (0.01, 0.04)),
+        ("Sticky Flag", (0.001, 0.02)),
+        ("Unicode Flag", (0.001, 0.02)),
+    ])
+}
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20_000);
+    println!("Table 5: Feature usage by unique regex (synthetic corpus, n={n})");
+    bench::rule(86);
+    println!(
+        "{:<20} {:>9} {:>8} {:>8}   {:>9} {:>8} {:>8}",
+        "Feature", "total", "meas.%", "paper%", "unique", "meas.%", "paper%"
+    );
+    bench::rule(86);
+    let packages = generate_corpus(n, &CorpusProfile::default(), 0xC0FFEE);
+    let survey = survey_packages(&packages);
+    let paper = paper_percentages();
+    println!(
+        "{:<20} {:>9} {:>8} {:>8}   {:>9} {:>8} {:>8}",
+        "Total Regex", survey.features.total, "100%", "100%", survey.features.unique, "100%", "100%"
+    );
+    for (name, total, tp, unique, up) in survey.features.rows() {
+        let (paper_tp, paper_up) = paper.get(name).copied().unwrap_or((0.0, 0.0));
+        println!(
+            "{name:<20} {total:>9} {tp:>7.2}% {paper_tp:>7.2}%   {unique:>9} {up:>7.2}% {paper_up:>7.2}%"
+        );
+    }
+    bench::rule(86);
+    println!("The ordering (captures > classes > quantifiers > … > quantified brefs) is the");
+    println!("shape claim; absolute rates depend on the synthetic pool composition.");
+}

@@ -1,0 +1,338 @@
+//! Counterexample-guided abstraction refinement for matching precedence
+//! (Algorithm 1, §5 of the paper).
+//!
+//! The Table 2/3 models ignore greediness, so a satisfying assignment
+//! may carry capture values no real ES6 engine would produce (§3.4's
+//! `/^a*(a)?$/` example). [`CegarSolver::solve`] runs Algorithm 1
+//! verbatim: solve the SMT problem, validate every capturing-language
+//! constraint against the concrete ES6 matcher, refine (pin captures for
+//! matched words of positive constraints; ban words that disagree with
+//! the constraint polarity) and repeat up to a refinement limit.
+
+use std::time::Instant;
+
+use es6_matcher::RegExp;
+use strsolve::{Formula, Model, Outcome, SolveStats, Solver};
+
+use crate::api::CapturingConstraint;
+
+/// Statistics for one CEGAR query (feeds Table 8).
+#[derive(Debug, Clone, Default)]
+pub struct CegarStats {
+    /// Number of refinement iterations performed.
+    pub refinements: usize,
+    /// True when the refinement limit was hit (result `Unknown`).
+    pub limit_hit: bool,
+    /// Aggregated solver statistics across iterations.
+    pub solver: SolveStats,
+    /// Total wall-clock time of the CEGAR loop.
+    pub duration: std::time::Duration,
+    /// Whether any constraint in the problem modeled a capture group.
+    pub had_captures: bool,
+}
+
+/// The result of a CEGAR-checked query.
+#[derive(Debug, Clone)]
+pub struct CegarResult {
+    /// The verdict: `Sat` models have specification-correct captures.
+    pub outcome: Outcome,
+    /// Query statistics.
+    pub stats: CegarStats,
+}
+
+/// Algorithm 1: a satisfiability checker for constraint problems with
+/// capturing-language membership constraints.
+///
+/// # Examples
+///
+/// The §3.4 example: the model alone admits `("aa", "aa", "a")` for
+/// `/^a*(a)?$/`, but CEGAR converges to the engine-correct `C₁ = ⊥`:
+///
+/// ```
+/// use expose_core::{api::build_match_model, cegar::CegarSolver, model::BuildConfig};
+/// use regex_syntax_es6::Regex;
+/// use strsolve::{Formula, VarPool};
+///
+/// let regex = Regex::parse_literal("/^a*(a)?$/")?;
+/// let mut pool = VarPool::new();
+/// let c = build_match_model(&regex, true, &mut pool, &BuildConfig::default());
+/// // Force the input to be "aa".
+/// let problem = Formula::and(vec![Formula::eq_lit(c.input, "aa")]);
+/// let result = CegarSolver::default().solve(&problem, &[c.clone()]);
+/// let model = result.outcome.model().expect("sat");
+/// // Matching precedence: the greedy a* consumes both characters.
+/// assert!(!model.get_bool(c.captures[1].defined));
+/// # Ok::<(), regex_syntax_es6::ParseError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CegarSolver {
+    solver: Solver,
+    refinement_limit: usize,
+}
+
+impl Default for CegarSolver {
+    fn default() -> CegarSolver {
+        CegarSolver {
+            solver: Solver::default(),
+            // §7.2: "We limited the refinement scheme to 20 iterations,
+            // which we identified as effective in preliminary testing."
+            refinement_limit: 20,
+        }
+    }
+}
+
+impl CegarSolver {
+    /// Creates a CEGAR solver with a custom base solver and limit.
+    pub fn new(solver: Solver, refinement_limit: usize) -> CegarSolver {
+        CegarSolver {
+            solver,
+            refinement_limit,
+        }
+    }
+
+    /// The refinement limit.
+    pub fn refinement_limit(&self) -> usize {
+        self.refinement_limit
+    }
+
+    /// Decides `problem ∧ ⋀ⱼ constraintⱼ` with specification-correct
+    /// capture assignments (Algorithm 1).
+    ///
+    /// `problem` carries the rest of the path condition; `constraints`
+    /// are the modeled capturing-language constraints.
+    pub fn solve(
+        &self,
+        problem: &Formula,
+        constraints: &[CapturingConstraint],
+    ) -> CegarResult {
+        let start = Instant::now();
+        let mut stats = CegarStats {
+            had_captures: constraints
+                .iter()
+                .any(|c| c.captures.len() > 1 || c.regex.ast.has_backref()),
+            ..CegarStats::default()
+        };
+
+        // P := problem ∧ all constraint models.
+        let mut parts = vec![problem.clone()];
+        parts.extend(constraints.iter().map(|c| c.formula.clone()));
+        let mut p = Formula::and(parts);
+
+        loop {
+            let (outcome, solve_stats) = self.solver.solve(&p);
+            stats.solver.absorb(&solve_stats);
+            let model = match outcome {
+                Outcome::Sat(m) => m,
+                other => {
+                    stats.duration = start.elapsed();
+                    return CegarResult {
+                        outcome: other,
+                        stats,
+                    };
+                }
+            };
+
+            let mut failed = false;
+            for constraint in constraints {
+                if let Some(refinement) = self.validate(constraint, &model) {
+                    failed = true;
+                    p = Formula::and(vec![p, refinement]);
+                }
+            }
+
+            if !failed {
+                stats.duration = start.elapsed();
+                return CegarResult {
+                    outcome: Outcome::Sat(model),
+                    stats,
+                };
+            }
+            stats.refinements += 1;
+            if stats.refinements >= self.refinement_limit {
+                stats.limit_hit = true;
+                stats.duration = start.elapsed();
+                return CegarResult {
+                    outcome: Outcome::Unknown,
+                    stats,
+                };
+            }
+        }
+    }
+
+    /// Lines 9–22 of Algorithm 1 for one constraint: validates the
+    /// candidate assignment with the concrete matcher; returns a
+    /// refinement formula when the candidate is spurious.
+    fn validate(
+        &self,
+        constraint: &CapturingConstraint,
+        model: &Model,
+    ) -> Option<Formula> {
+        let input = model.get_str(constraint.input).unwrap_or_default();
+        // ConcreteMatch(M[w], R): the ES6-compliant oracle.
+        let mut oracle = RegExp::from_regex(oracle_regex(&constraint.regex));
+        let concrete = oracle.exec(input);
+
+        match (concrete, constraint.positive) {
+            (Some(result), true) => {
+                // Check capture agreement (lines 12–15).
+                let mut agree = true;
+                for (i, cap) in constraint.captures.iter().enumerate() {
+                    let concrete_value = result.captures.get(i).cloned().flatten();
+                    let model_value = if model.get_bool(cap.defined) {
+                        Some(model.get_str(cap.value).unwrap_or_default().to_string())
+                    } else {
+                        None
+                    };
+                    if concrete_value != model_value {
+                        agree = false;
+                        break;
+                    }
+                }
+                if agree {
+                    None
+                } else {
+                    // Refinement: pin the captures for this word
+                    // (line 15): w = M[w] ⟹ ⋀ᵢ Cᵢ = C♮ᵢ.
+                    let mut pins = Vec::new();
+                    for (i, cap) in constraint.captures.iter().enumerate() {
+                        match result.captures.get(i).cloned().flatten() {
+                            Some(value) => {
+                                pins.push(Formula::bool_is(cap.defined, true));
+                                pins.push(Formula::eq_lit(cap.value, value));
+                            }
+                            None => pins.push(cap.undefined()),
+                        }
+                    }
+                    Some(Formula::implies_eq_lit(
+                        constraint.input,
+                        input,
+                        Formula::and(pins),
+                    ))
+                }
+            }
+            // Non-membership constraint, but the word matches
+            // concretely: ban the word (line 18).
+            (Some(_), false) => Some(Formula::ne_lit(constraint.input, input)),
+            // Positive constraint, but no concrete match: ban the word
+            // (line 22).
+            (None, true) => Some(Formula::ne_lit(constraint.input, input)),
+            // Negative constraint, no concrete match: consistent.
+            (None, false) => None,
+        }
+    }
+}
+
+/// The oracle regex: the original pattern with the stateful flags
+/// cleared (`lastIndex` slicing is applied before modeling, Algorithm 2
+/// lines 2–4).
+fn oracle_regex(regex: &regex_syntax_es6::Regex) -> regex_syntax_es6::Regex {
+    let mut r = regex.clone();
+    r.flags.global = false;
+    r.flags.sticky = false;
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::build_match_model;
+    use crate::model::BuildConfig;
+    use regex_syntax_es6::Regex;
+    use strsolve::VarPool;
+
+    fn run(
+        literal: &str,
+        positive: bool,
+        extra: impl FnOnce(&CapturingConstraint) -> Formula,
+    ) -> (CegarResult, CapturingConstraint, VarPool) {
+        let regex = Regex::parse_literal(literal).expect("literal");
+        let mut pool = VarPool::new();
+        let c = build_match_model(&regex, positive, &mut pool, &BuildConfig::default());
+        let problem = extra(&c);
+        let result = CegarSolver::default().solve(&problem, &[c.clone()]);
+        (result, c, pool)
+    }
+
+    #[test]
+    fn paper_refinement_example() {
+        // §3.4: /^a*(a)?$/ on "aa" — C1 must be ⊥, not "a".
+        let (result, c, _) = run("/^a*(a)?$/", true, |c| {
+            Formula::eq_lit(c.input, "aa")
+        });
+        let model = result.outcome.model().expect("sat");
+        assert!(!model.get_bool(c.captures[1].defined));
+        // C0 must be the full greedy match.
+        assert_eq!(model.get_str(c.captures[0].value), Some("aa"));
+    }
+
+    #[test]
+    fn greedy_capture_assignment() {
+        // /(a*)(a*)/ on "aaa": greedy first group takes everything.
+        let (result, c, _) = run("/^(a*)(a*)$/", true, |c| {
+            Formula::eq_lit(c.input, "aaa")
+        });
+        let model = result.outcome.model().expect("sat");
+        assert_eq!(model.get_str(c.captures[1].value), Some("aaa"));
+        assert_eq!(model.get_str(c.captures[2].value), Some(""));
+    }
+
+    #[test]
+    fn lazy_quantifier_precedence() {
+        // /(a*?)(a*)/ on "aaa": lazy first group takes nothing.
+        let (result, c, _) = run("/^(a*?)(a*)$/", true, |c| {
+            Formula::eq_lit(c.input, "aaa")
+        });
+        let model = result.outcome.model().expect("sat");
+        assert_eq!(model.get_str(c.captures[1].value), Some(""));
+        assert_eq!(model.get_str(c.captures[2].value), Some("aaa"));
+    }
+
+    #[test]
+    fn alternation_precedence() {
+        // /(a|ab)/ matching "ab…": leftmost alternative wins at the
+        // first matching position, so C1 = "a".
+        let (result, c, _) = run("/(a|ab)/", true, |c| {
+            Formula::eq_lit(c.input, "ab")
+        });
+        let model = result.outcome.model().expect("sat");
+        assert_eq!(model.get_str(c.captures[1].value), Some("a"));
+    }
+
+    #[test]
+    fn unsat_when_input_cannot_match() {
+        let (result, _, _) = run("/^[0-9]+$/", true, |c| {
+            Formula::eq_lit(c.input, "xyz")
+        });
+        assert_eq!(result.outcome, Outcome::Unsat);
+    }
+
+    #[test]
+    fn negative_query_returns_nonmatching_word() {
+        let (result, c, _) = run("/^a+$/", false, |_| Formula::top());
+        let model = result.outcome.model().expect("sat");
+        let input = model.get_str(c.input).expect("assigned");
+        let mut oracle = RegExp::from_regex(c.regex.clone());
+        assert!(!oracle.test(input));
+    }
+
+    #[test]
+    fn backreference_membership_via_cegar() {
+        // /^(ab|c)\1$/ requires the two halves to be equal.
+        let (result, c, _) = run(r"/^(ab|c)\1$/", true, |_| Formula::top());
+        let model = result.outcome.model().expect("sat");
+        let input = model.get_str(c.input).expect("assigned");
+        let mut oracle = RegExp::from_regex(c.regex.clone());
+        assert!(oracle.test(input), "witness {input:?} must match");
+    }
+
+    #[test]
+    fn stats_track_refinements() {
+        let (result, _, _) = run("/^a*(a)?$/", true, |c| {
+            Formula::eq_lit(c.input, "aa")
+        });
+        // The spurious capture assignment may or may not be proposed
+        // first, but the loop must terminate within the limit.
+        assert!(!result.stats.limit_hit);
+        assert!(result.stats.refinements <= 20);
+    }
+}

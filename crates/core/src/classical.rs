@@ -1,0 +1,301 @@
+//! Word-language compilation helpers.
+//!
+//! Two services on top of [`automata::compile_classical`]:
+//!
+//! * [`try_wrapped_word_language`] — the *exact* word language of the
+//!   Algorithm 2 wrapping `(?:.|\n)*?(R)(?:.|\n)*?` over marked input
+//!   `⟨input⟩`, available when `R` is backreference-free and uses anchors
+//!   only at its top level. Used for exact non-membership constraints
+//!   (`∀C: (w, C) ∉ Lc(R)` reduces to `w ∉ L(...)` because captures do
+//!   not affect the word language).
+//! * [`overapprox_word_regex`] — a total overapproximation of the same
+//!   language for *any* ES6 regex (backreferences become optional copies
+//!   of their groups, lookarounds and inner anchors weaken to `ε`).
+//!   Conjoined to positive membership queries as a *necessary* condition,
+//!   it steers the solver's word enumeration toward matching inputs
+//!   without affecting the model's meaning.
+
+use automata::{compile_classical, CharSet, CompileOptions, CRegex};
+use regex_syntax_es6::ast::{AssertionKind, Ast};
+use regex_syntax_es6::rewrite::strip_captures;
+use regex_syntax_es6::Flags;
+
+use crate::meta::{INPUT_END, INPUT_START};
+
+/// Compile options for user regexes: meta-characters are excluded from
+/// wildcards and negated classes, and flags are applied.
+pub fn user_compile_options(flags: Flags) -> CompileOptions {
+    CompileOptions {
+        exclude: crate::meta::meta_set(),
+        ignore_case: flags.ignore_case,
+        dot_all: flags.dot_all,
+    }
+}
+
+/// Any character, including the meta-characters (the wrapper wildcard
+/// `(?:.|\n)*?` of Algorithm 2 must be able to consume the markers).
+pub fn wrapper_wildcard() -> CRegex {
+    CRegex::star(CRegex::set(CharSet::any()))
+}
+
+/// `Σ*` over characters excluding the meta-characters.
+pub fn no_meta_star() -> CRegex {
+    CRegex::star(CRegex::set(CharSet::any().difference(&crate::meta::meta_set())))
+}
+
+/// Splits a top-level concatenation into (leading `^`?, body, trailing
+/// `$`?). Returns `None` if anchors appear anywhere else.
+fn split_top_anchors(ast: &Ast) -> Option<(bool, Vec<Ast>, bool)> {
+    let items: Vec<Ast> = match ast {
+        Ast::Concat(items) => items.clone(),
+        other => vec![other.clone()],
+    };
+    let mut start = false;
+    let mut end = false;
+    let mut body = items.as_slice();
+    if let Some(Ast::Assertion(AssertionKind::StartAnchor)) = body.first() {
+        start = true;
+        body = &body[1..];
+    }
+    if let Some(Ast::Assertion(AssertionKind::EndAnchor)) = body.last() {
+        end = true;
+        body = &body[..body.len() - 1];
+    }
+    if body.iter().any(Ast::has_assertion) {
+        return None;
+    }
+    Some((start, end, body.to_vec()))
+        .map(|(s, e, b)| (s, b, e))
+}
+
+/// The exact word language of the wrapped pattern over marked input, if
+/// computable classically.
+///
+/// Returns `None` when the regex contains backreferences, word
+/// boundaries, multiline anchors, or anchors below the top level.
+pub fn try_wrapped_word_language(ast: &Ast, flags: Flags) -> Option<CRegex> {
+    if ast.has_backref() {
+        return None;
+    }
+    if flags.multiline && ast.has_assertion() {
+        return None;
+    }
+    let (anchored_start, body, anchored_end) = split_top_anchors(ast)?;
+    let body = Ast::concat(body);
+    let opts = user_compile_options(flags);
+    let inner = compile_classical(&strip_captures(&body), &opts).ok()?;
+    // Marker uniqueness: an anchored start means the wrapper consumed
+    // exactly `⟨`; unanchored, it consumed `⟨` plus arbitrary text.
+    let start_marker = CRegex::set(CharSet::single(INPUT_START));
+    let end_marker = CRegex::set(CharSet::single(INPUT_END));
+    let left = if anchored_start {
+        start_marker
+    } else {
+        CRegex::concat(vec![start_marker, no_meta_star()])
+    };
+    let right = if anchored_end {
+        end_marker
+    } else {
+        CRegex::concat(vec![no_meta_star(), end_marker])
+    };
+    Some(CRegex::concat(vec![left, inner, right]))
+}
+
+/// A total overapproximation of the wrapped word language, used to guide
+/// word enumeration for positive membership queries.
+pub fn overapprox_word_regex(ast: &Ast, flags: Flags) -> CRegex {
+    let opts = user_compile_options(flags);
+    let (anchored_start, body, anchored_end) = match split_top_anchors(ast) {
+        Some(split) => split,
+        // Anchors in odd positions: ignore anchoring (overapproximate).
+        None => (false, vec![ast.clone()], false),
+    };
+    let body = Ast::concat(body);
+    let inner = overapprox_body(&body, ast, &opts, 0);
+    let start_marker = CRegex::set(CharSet::single(INPUT_START));
+    let end_marker = CRegex::set(CharSet::single(INPUT_END));
+    let left = if anchored_start && !flags.multiline {
+        start_marker
+    } else {
+        CRegex::concat(vec![start_marker, no_meta_star()])
+    };
+    let right = if anchored_end && !flags.multiline {
+        end_marker
+    } else {
+        CRegex::concat(vec![no_meta_star(), end_marker])
+    };
+    CRegex::concat(vec![left, inner, right])
+}
+
+/// Overapproximates an arbitrary AST as a classical regex: assertions
+/// and lookarounds weaken to `ε`, backreferences to an optional copy of
+/// the referenced group's language.
+fn overapprox_body(ast: &Ast, root: &Ast, opts: &CompileOptions, depth: u32) -> CRegex {
+    match ast {
+        Ast::Empty => CRegex::Epsilon,
+        Ast::Assertion(_) | Ast::Lookahead { .. } => CRegex::Epsilon,
+        Ast::Backref(k) => {
+            if depth >= 4 {
+                // Self-referential chains: fall back to ε|anything-ish;
+                // ε alone would underapproximate, so use the loosest
+                // sound choice for a necessary condition: Σ*.
+                return no_meta_star();
+            }
+            match find_group(root, *k) {
+                // A backreference matches ε (group undefined) or a word
+                // from (an overapproximation of) the group's language.
+                Some(group_body) => CRegex::opt(overapprox_body(
+                    &group_body,
+                    root,
+                    opts,
+                    depth + 1,
+                )),
+                None => CRegex::Epsilon,
+            }
+        }
+        Ast::Group { ast, .. } | Ast::NonCapturing(ast) => {
+            overapprox_body(ast, root, opts, depth)
+        }
+        Ast::Repeat { ast, min, max, .. } => {
+            CRegex::repeat(overapprox_body(ast, root, opts, depth), *min, *max)
+        }
+        Ast::Alt(items) => CRegex::alt(
+            items
+                .iter()
+                .map(|i| overapprox_body(i, root, opts, depth))
+                .collect(),
+        ),
+        Ast::Concat(items) => CRegex::concat(
+            items
+                .iter()
+                .map(|i| overapprox_body(i, root, opts, depth))
+                .collect(),
+        ),
+        // Leaf cases are classical already.
+        leaf => compile_classical(leaf, opts).unwrap_or_else(|_| no_meta_star()),
+    }
+}
+
+/// Finds the body of capture group `k`.
+fn find_group(ast: &Ast, k: u32) -> Option<Ast> {
+    match ast {
+        Ast::Group { index, ast } if *index == k => Some((**ast).clone()),
+        Ast::Group { ast, .. } | Ast::NonCapturing(ast) | Ast::Lookahead { ast, .. } => {
+            find_group(ast, k)
+        }
+        Ast::Repeat { ast, .. } => find_group(ast, k),
+        Ast::Alt(items) | Ast::Concat(items) => {
+            items.iter().find_map(|i| find_group(i, k))
+        }
+        _ => None,
+    }
+}
+
+/// `t̂₁*` of the Table 2 quantification rule: the classical star of the
+/// capture-stripped body, when it is classical.
+pub fn try_hat_star(body: &Ast, flags: Flags) -> Option<CRegex> {
+    if body.has_backref() || body.has_assertion() {
+        return None;
+    }
+    let opts = user_compile_options(flags);
+    compile_classical(&strip_captures(body), &opts)
+        .ok()
+        .map(CRegex::star)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::meta::wrap_input;
+    use automata::{Alphabet, Dfa};
+    use regex_syntax_es6::parse;
+    use std::sync::Arc;
+
+    fn dfa_of(re: &CRegex) -> Dfa {
+        let mut sets = Vec::new();
+        re.collect_sets(&mut sets);
+        let alphabet = Arc::new(Alphabet::from_sets(&sets));
+        Dfa::from_cregex(re, &alphabet)
+    }
+
+    #[test]
+    fn unanchored_word_language() {
+        let ast = parse("goo+d").expect("parse");
+        let re = try_wrapped_word_language(&ast, Flags::empty()).expect("classical");
+        let dfa = dfa_of(&re);
+        assert!(dfa.contains(&wrap_input("so goood")));
+        assert!(!dfa.contains(&wrap_input("god")));
+    }
+
+    #[test]
+    fn anchored_word_language() {
+        let ast = parse("^[0-9]+$").expect("parse");
+        let re = try_wrapped_word_language(&ast, Flags::empty()).expect("classical");
+        let dfa = dfa_of(&re);
+        assert!(dfa.contains(&wrap_input("123")));
+        assert!(!dfa.contains(&wrap_input("x123")));
+        assert!(!dfa.contains(&wrap_input("123x")));
+        assert!(!dfa.contains(&wrap_input("")));
+    }
+
+    #[test]
+    fn start_anchor_only() {
+        let ast = parse("^ab").expect("parse");
+        let re = try_wrapped_word_language(&ast, Flags::empty()).expect("classical");
+        let dfa = dfa_of(&re);
+        assert!(dfa.contains(&wrap_input("abc")));
+        assert!(!dfa.contains(&wrap_input("xab")));
+    }
+
+    #[test]
+    fn backrefs_are_not_classical() {
+        let ast = parse(r"(a)\1").expect("parse");
+        assert!(try_wrapped_word_language(&ast, Flags::empty()).is_none());
+    }
+
+    #[test]
+    fn inner_anchor_rejected() {
+        let ast = parse("a(?:^b)?").expect("parse");
+        assert!(try_wrapped_word_language(&ast, Flags::empty()).is_none());
+    }
+
+    #[test]
+    fn overapprox_contains_all_matches() {
+        // The overapproximation must accept every truly matching input.
+        let ast = parse(r"<(\w+)>([0-9]*)<\/\1>").expect("parse");
+        let re = overapprox_word_regex(&ast, Flags::empty());
+        let dfa = dfa_of(&re);
+        assert!(dfa.contains(&wrap_input("<a>1</a>")));
+        assert!(dfa.contains(&wrap_input("xx<tag>99</tag>yy")));
+        // It may also accept non-matches (it is an overapproximation):
+        assert!(dfa.contains(&wrap_input("<a>1</b>")));
+        // But it must still prune grossly wrong words.
+        assert!(!dfa.contains(&wrap_input("no tags at all")));
+    }
+
+    #[test]
+    fn overapprox_with_anchors() {
+        let ast = parse("^a+$").expect("parse");
+        let re = overapprox_word_regex(&ast, Flags::empty());
+        let dfa = dfa_of(&re);
+        assert!(dfa.contains(&wrap_input("aaa")));
+        assert!(!dfa.contains(&wrap_input("baa")));
+    }
+
+    #[test]
+    fn hat_star_strips_captures() {
+        let body = parse("(ab|c)").expect("parse");
+        let re = try_hat_star(&body, Flags::empty()).expect("classical");
+        let dfa = dfa_of(&re);
+        assert!(dfa.contains(""));
+        assert!(dfa.contains("abc"));
+        assert!(dfa.contains("cab"));
+        assert!(!dfa.contains("b"));
+    }
+
+    #[test]
+    fn hat_star_rejects_backrefs() {
+        let body = parse(r"(a)\1").expect("parse");
+        assert!(try_hat_star(&body, Flags::empty()).is_none());
+    }
+}

@@ -1,0 +1,78 @@
+//! Regex support levels for the evaluation (§7.3, Table 7).
+
+/// How much regex support the DSE engine applies — the four
+/// configurations compared in Table 7 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SupportLevel {
+    /// Execute all regex methods concretely (concretize arguments and
+    /// results) — the baseline.
+    Concrete,
+    /// Model regex matching (including word boundaries and lookaheads)
+    /// but concretize capture-group accesses and backreferences.
+    Modeling,
+    /// Additionally model capture groups and backreferences.
+    Captures,
+    /// Additionally run the CEGAR matching-precedence refinement —
+    /// the paper's full system.
+    Refinement,
+}
+
+impl SupportLevel {
+    /// All levels, in Table 7 order.
+    pub const ALL: [SupportLevel; 4] = [
+        SupportLevel::Concrete,
+        SupportLevel::Modeling,
+        SupportLevel::Captures,
+        SupportLevel::Refinement,
+    ];
+
+    /// True when regex operations are modeled symbolically at all.
+    pub fn models_regex(self) -> bool {
+        self != SupportLevel::Concrete
+    }
+
+    /// True when capture groups are modeled.
+    pub fn models_captures(self) -> bool {
+        matches!(self, SupportLevel::Captures | SupportLevel::Refinement)
+    }
+
+    /// True when the CEGAR refinement runs.
+    pub fn refines(self) -> bool {
+        self == SupportLevel::Refinement
+    }
+
+    /// The Table 7 row label.
+    pub fn label(self) -> &'static str {
+        match self {
+            SupportLevel::Concrete => "Concrete Regular Expressions",
+            SupportLevel::Modeling => "+ Modeling RegEx",
+            SupportLevel::Captures => "+ Captures & Backreferences",
+            SupportLevel::Refinement => "+ Refinement",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_matches_capability() {
+        assert!(SupportLevel::Concrete < SupportLevel::Refinement);
+        assert!(!SupportLevel::Concrete.models_regex());
+        assert!(SupportLevel::Modeling.models_regex());
+        assert!(!SupportLevel::Modeling.models_captures());
+        assert!(SupportLevel::Captures.models_captures());
+        assert!(!SupportLevel::Captures.refines());
+        assert!(SupportLevel::Refinement.refines());
+    }
+
+    #[test]
+    fn labels_match_table7() {
+        assert_eq!(SupportLevel::ALL.len(), 4);
+        assert_eq!(
+            SupportLevel::Refinement.label(),
+            "+ Refinement"
+        );
+    }
+}

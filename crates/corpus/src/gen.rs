@@ -1,0 +1,190 @@
+//! Synthetic NPM-style corpus generation.
+//!
+//! The paper surveys 415,487 real NPM packages (§7.1). That corpus is
+//! unobtainable offline, so this module generates a deterministic
+//! synthetic corpus whose *regex feature mix* is calibrated to the
+//! frequencies the paper reports in Tables 4 and 5: ~35% of packages
+//! contain a regex, ~20% a capture group, ~4% a backreference, ~0.1% a
+//! quantified backreference; repeated inclusion of the same popular
+//! expressions drives the total/unique split.
+
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::{RngExt, SeedableRng};
+
+use survey::Package;
+
+/// Paper-calibrated package-level probabilities (Table 4).
+#[derive(Debug, Clone)]
+pub struct CorpusProfile {
+    /// Fraction of packages with source files (91.9% in the paper).
+    pub with_sources: f64,
+    /// Fraction with at least one regex (34.9%).
+    pub with_regex: f64,
+    /// Among regex packages: fraction with captures (20.5/34.9).
+    pub captures_given_regex: f64,
+    /// Among capture packages: fraction with backreferences (3.8/20.5).
+    pub backrefs_given_captures: f64,
+    /// Among backref packages: fraction with quantified backreferences
+    /// (0.1/3.8).
+    pub quantified_given_backrefs: f64,
+    /// Mean regexes per regex-using package (9.5M / 145k ≈ 65 in the
+    /// paper; scaled down for tractability while keeping the
+    /// total≫unique skew).
+    pub regexes_per_package: usize,
+}
+
+impl Default for CorpusProfile {
+    fn default() -> CorpusProfile {
+        CorpusProfile {
+            with_sources: 0.919,
+            with_regex: 0.349,
+            captures_given_regex: 0.587, // 20.5% / 34.9%
+            backrefs_given_captures: 0.187, // 3.8% / 20.5%
+            quantified_given_backrefs: 0.032, // 0.12% / 3.8%
+            regexes_per_package: 12,
+        }
+    }
+}
+
+/// Popular "plain" regexes (the repeated-inclusion pool; mirrors common
+/// StackOverflow-style patterns the paper observes being copy-pasted).
+const COMMON_PLAIN: &[&str] = &[
+    "/^\\s+|\\s+$/g",
+    "/[^a-z0-9]/gi",
+    "/^[0-9]+$/",
+    "/\\s+/",
+    "/^#?(?:[a-f0-9]{6}|[a-f0-9]{3})$/",
+    "/[A-Z]/g",
+    "/^-?[0-9]+(?:\\.[0-9]+)?$/",
+    "/\\.js$/",
+    "/^\\//",
+    "/x?y{1,3}z/",
+    "/foo|bar|baz/m",
+    "/\\bword\\b/",
+    "/(?=ok)ok[a-z]*/",
+    "/a+b*c?/y",
+    "/\\u0041[\\x41]/u",
+];
+
+/// Popular capture-group regexes.
+const COMMON_CAPTURES: &[&str] = &[
+    "/^([a-z]+):\\/\\/([^/]+)/",
+    "/(\\d{4})-(\\d{2})-(\\d{2})/",
+    "/([a-z]+)=([^&]*)/g",
+    "/^v?(\\d+)\\.(\\d+)\\.(\\d+)$/",
+    "/<([a-z][a-z0-9]*)[^>]*>/i",
+    "/(\\w+)@(\\w+)\\.([a-z]{2,6})/",
+    "/^(.*?):(\\d+)$/m",
+    "/(?:(a)|(b))+/",
+];
+
+/// Backreference regexes (non-quantified).
+const COMMON_BACKREFS: &[&str] = &[
+    "/(['\"])(.*?)\\1/",
+    "/<(\\w+)>.*?<\\/\\1>/",
+    "/\\b(\\w+)\\s+\\1\\b/",
+    "/^(a+)b\\1$/",
+];
+
+/// Quantified-backreference regexes (the rare, tricky class of §4.3).
+const COMMON_QUANTIFIED_BACKREFS: &[&str] =
+    &["/((a|b)\\2)+/", "/(?:(\\w)\\1)+/", "/((x+)\\2)*y/"];
+
+/// Generates a deterministic corpus of `n` packages.
+///
+/// # Examples
+///
+/// ```
+/// use corpus::gen::{generate_corpus, CorpusProfile};
+///
+/// let packages = generate_corpus(100, &CorpusProfile::default(), 42);
+/// assert_eq!(packages.len(), 100);
+/// // Determinism: same seed, same corpus.
+/// let again = generate_corpus(100, &CorpusProfile::default(), 42);
+/// assert_eq!(packages[7].sources, again[7].sources);
+/// ```
+pub fn generate_corpus(n: usize, profile: &CorpusProfile, seed: u64) -> Vec<Package> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| generate_package(i, profile, &mut rng))
+        .collect()
+}
+
+fn generate_package(index: usize, profile: &CorpusProfile, rng: &mut StdRng) -> Package {
+    let name = format!("pkg-{index:06}");
+    if rng.random::<f64>() >= profile.with_sources {
+        return Package {
+            name,
+            sources: Vec::new(),
+        };
+    }
+    let mut source = String::from("'use strict';\n");
+    let has_regex = rng.random::<f64>() < profile.with_regex / profile.with_sources;
+    if has_regex {
+        let n_regexes = 1 + rng.random_range(0..profile.regexes_per_package * 2);
+        let has_captures = rng.random::<f64>() < profile.captures_given_regex;
+        let has_backrefs =
+            has_captures && rng.random::<f64>() < profile.backrefs_given_captures;
+        let has_quantified =
+            has_backrefs && rng.random::<f64>() < profile.quantified_given_backrefs;
+        for k in 0..n_regexes {
+            let literal = if has_quantified && k == 0 {
+                COMMON_QUANTIFIED_BACKREFS.choose(rng).expect("nonempty")
+            } else if has_backrefs && k <= 1 {
+                COMMON_BACKREFS.choose(rng).expect("nonempty")
+            } else if has_captures && k % 3 == 0 {
+                COMMON_CAPTURES.choose(rng).expect("nonempty")
+            } else {
+                COMMON_PLAIN.choose(rng).expect("nonempty")
+            };
+            source.push_str(&format!(
+                "exports.check{k} = function (s) {{ return {literal}.test(s); }};\n"
+            ));
+        }
+    } else {
+        source.push_str("exports.id = function (x) { return x; };\n");
+    }
+    Package {
+        name,
+        sources: vec![source],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use survey::survey_packages;
+
+    #[test]
+    fn corpus_matches_paper_shape() {
+        let packages = generate_corpus(2000, &CorpusProfile::default(), 7);
+        let s = survey_packages(&packages);
+        let pct = |n: usize| 100.0 * n as f64 / s.packages.packages as f64;
+        // Within a few points of Table 4's 34.9 / 20.5 / 3.8.
+        assert!((25.0..45.0).contains(&pct(s.packages.with_regex)));
+        assert!((12.0..30.0).contains(&pct(s.packages.with_captures)));
+        assert!((1.0..9.0).contains(&pct(s.packages.with_backrefs)));
+        assert!(pct(s.packages.with_quantified_backrefs) < 1.0);
+    }
+
+    #[test]
+    fn total_exceeds_unique() {
+        let packages = generate_corpus(500, &CorpusProfile::default(), 3);
+        let s = survey_packages(&packages);
+        assert!(s.features.total > s.features.unique);
+    }
+
+    #[test]
+    fn all_pool_regexes_parse() {
+        for literal in COMMON_PLAIN
+            .iter()
+            .chain(COMMON_CAPTURES)
+            .chain(COMMON_BACKREFS)
+            .chain(COMMON_QUANTIFIED_BACKREFS)
+        {
+            regex_syntax_es6::Regex::parse_literal(literal)
+                .unwrap_or_else(|e| panic!("pool regex {literal} must parse: {e}"));
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! Synthetic workloads for the evaluation reproduction.
+//!
+//! Three generators:
+//!
+//! * [`gen`] — an NPM-style package corpus calibrated to the paper's
+//!   Table 4/5 feature frequencies (the survey substrate);
+//! * [`libs`] — the eleven Table 6 library workloads, mini-JS programs
+//!   modeled after the named NPM packages;
+//! * [`dse_programs`] — the Table 7 population: packages that apply at
+//!   least one regex to a symbolic string, spanning the feature classes
+//!   that separate the four support levels.
+//!
+//! Everything is deterministic given a seed, so table regeneration is
+//! reproducible.
+
+pub mod dse_programs;
+pub mod gen;
+pub mod libs;
+
+pub use dse_programs::{generate_dse_programs, DseProgram, ProgramClass};
+pub use gen::{generate_corpus, CorpusProfile};
+pub use libs::{library_workloads, LibraryWorkload};

@@ -1,0 +1,286 @@
+//! The Table 6 library workloads.
+//!
+//! Eleven mini-JS programs modeled after the NPM libraries of the
+//! paper's head-to-head comparison (§7.2): each captures the regex-heavy
+//! entry path of the named package (tag parsing for `fast-xml-parser`,
+//! version parsing for `semver`, truthy-string detection for `yn`, …).
+//! The programs run on the `expose-dse` engine; their sources use only
+//! the mini language.
+
+/// One Table 6 workload.
+#[derive(Debug, Clone, Copy)]
+pub struct LibraryWorkload {
+    /// The NPM package the workload is modeled after.
+    pub name: &'static str,
+    /// Mini-JS source.
+    pub source: &'static str,
+    /// Entry function.
+    pub entry: &'static str,
+    /// Number of symbolic string arguments.
+    pub arity: usize,
+}
+
+/// All eleven workloads, in Table 6 row order.
+pub fn library_workloads() -> Vec<LibraryWorkload> {
+    vec![
+        LibraryWorkload {
+            name: "babel-eslint",
+            entry: "lex",
+            arity: 1,
+            source: r#"
+function lex(src) {
+    if (/^\s*$/.test(src)) { return "empty"; }
+    if (/^[0-9]+$/.test(src)) { return "number"; }
+    if (/^[a-zA-Z_$][a-zA-Z0-9_$]*$/.test(src)) {
+        if (src === "function") { return "kw-function"; }
+        if (src === "return") { return "kw-return"; }
+        if (src === "let") { return "kw-let"; }
+        return "identifier";
+    }
+    if (/^"[^"]*"$/.test(src)) { return "string"; }
+    if (/^\/\/.*$/.test(src)) { return "comment"; }
+    let op = /^(===|!==|==|!=|\+|-)$/.exec(src);
+    if (op) {
+        if (op[1] === "===") { return "strict-eq"; }
+        return "operator";
+    }
+    return "unknown";
+}
+"#,
+        },
+        LibraryWorkload {
+            name: "fast-xml-parser",
+            entry: "parse",
+            arity: 1,
+            source: r#"
+function parse(xml) {
+    let m = /^<([a-z]+)>(.*)<\/\1>$/.exec(xml);
+    if (m) {
+        if (m[1] === "root") {
+            let inner = /^<(item|value)>([a-z0-9]*)<\/\2>$/.exec(m[2]);
+            if (inner) {
+                if (inner[2] === "") { return "empty-item"; }
+                return "nested";
+            }
+            return "root-with-text";
+        }
+        return "element";
+    }
+    if (/^<([a-z]+)\s*\/>$/.test(xml)) { return "self-closing"; }
+    if (/^<!--/.test(xml)) { return "comment"; }
+    return "text";
+}
+"#,
+        },
+        LibraryWorkload {
+            name: "js-yaml",
+            entry: "parseLine",
+            arity: 1,
+            source: r#"
+function parseLine(line) {
+    if (/^\s*#/.test(line)) { return "comment"; }
+    if (/^---/.test(line)) { return "document-start"; }
+    let kv = /^([a-z_]+):\s*(.*)$/.exec(line);
+    if (kv) {
+        if (/^[0-9]+$/.test(kv[2])) { return "int-value"; }
+        if (/^(true|false)$/.test(kv[2])) { return "bool-value"; }
+        if (kv[2] === "") { return "empty-value"; }
+        return "string-value";
+    }
+    if (/^\s*-\s/.test(line)) { return "sequence-item"; }
+    return "plain";
+}
+"#,
+        },
+        LibraryWorkload {
+            name: "minimist",
+            entry: "parseArg",
+            arity: 1,
+            source: r#"
+function parseArg(arg) {
+    let long = /^--([a-z]+)=(.*)$/.exec(arg);
+    if (long) {
+        if (long[1] === "timeout") {
+            if (/^[0-9]+$/.test(long[2])) { return "timeout-num"; }
+            return "timeout-bad";
+        }
+        return "long-with-value";
+    }
+    if (/^--no-([a-z]+)$/.test(arg)) { return "negated"; }
+    if (/^--[a-z]+$/.test(arg)) { return "long-flag"; }
+    if (/^-[a-z]+$/.test(arg)) { return "short-flags"; }
+    return "positional";
+}
+"#,
+        },
+        LibraryWorkload {
+            name: "moment",
+            entry: "parseDate",
+            arity: 1,
+            source: r#"
+function parseDate(s) {
+    let iso = /^(\d{4})-(\d{2})-(\d{2})$/.exec(s);
+    if (iso) {
+        if (iso[2] === "00") { return "bad-month"; }
+        return "iso-date";
+    }
+    let time = /^(\d{2}):(\d{2})(:(\d{2}))?$/.exec(s);
+    if (time) {
+        if (time[4]) { return "time-with-seconds"; }
+        return "time";
+    }
+    if (/^\d{4}$/.test(s)) { return "year"; }
+    if (/^[a-z]+ \d{1,2}$/i.test(s)) { return "month-day"; }
+    return "invalid";
+}
+"#,
+        },
+        LibraryWorkload {
+            name: "query-string",
+            entry: "parsePair",
+            arity: 1,
+            source: r#"
+function parsePair(pair) {
+    let kv = /^([a-z0-9]+)=([^&]*)$/.exec(pair);
+    if (kv) {
+        if (kv[1] === "q") {
+            if (kv[2] === "") { return "empty-query"; }
+            return "query";
+        }
+        if (/^[0-9]+$/.test(kv[2])) { return "numeric-param"; }
+        return "param";
+    }
+    if (/^[a-z0-9]+$/.test(pair)) { return "flag"; }
+    if (/^#/.test(pair)) { return "fragment"; }
+    return "malformed";
+}
+"#,
+        },
+        LibraryWorkload {
+            name: "semver",
+            entry: "parseVersion",
+            arity: 1,
+            source: r#"
+function parseVersion(v) {
+    let m = /^v?(\d+)\.(\d+)\.(\d+)(-([a-z0-9.]+))?$/.exec(v);
+    if (m) {
+        if (m[5]) {
+            if (/^(alpha|beta|rc)/.test(m[5])) { return "prerelease"; }
+            return "tagged";
+        }
+        if (m[1] === "0") { return "unstable"; }
+        return "release";
+    }
+    let range = /^([\^~])(\d+)\.(\d+)\.(\d+)$/.exec(v);
+    if (range) {
+        if (range[1] === "^") { return "caret-range"; }
+        return "tilde-range";
+    }
+    if (/^(\d+)(\.(x|\d+))?$/.test(v)) { return "partial"; }
+    return "invalid";
+}
+"#,
+        },
+        LibraryWorkload {
+            name: "url-parse",
+            entry: "parseUrl",
+            arity: 1,
+            source: r#"
+function parseUrl(url) {
+    let m = /^([a-z]+):\/\/([a-z0-9.-]+)(:(\d+))?(\/.*)?$/.exec(url);
+    if (m) {
+        if (m[1] === "https") {
+            if (m[4]) { return "https-with-port"; }
+            return "https";
+        }
+        if (m[1] === "http") { return "http"; }
+        return "other-scheme";
+    }
+    if (/^\/\//.test(url)) { return "protocol-relative"; }
+    if (/^\//.test(url)) { return "absolute-path"; }
+    if (/^[a-z0-9.-]+$/.test(url)) { return "bare-host"; }
+    return "relative";
+}
+"#,
+        },
+        LibraryWorkload {
+            name: "validator",
+            entry: "classify",
+            arity: 1,
+            source: r#"
+function classify(s) {
+    if (/^[a-z0-9._%-]+@[a-z0-9.-]+\.[a-z]{2,}$/.test(s)) { return "email"; }
+    if (/^[0-9a-f]{8}-[0-9a-f]{4}-[0-9a-f]{4}-[0-9a-f]{4}-[0-9a-f]{12}$/.test(s)) {
+        return "uuid";
+    }
+    if (/^-?[0-9]+$/.test(s)) { return "int"; }
+    if (/^-?[0-9]*\.[0-9]+$/.test(s)) { return "float"; }
+    if (/^(true|false)$/.test(s)) { return "boolean"; }
+    if (/^[A-Za-z]+$/.test(s)) { return "alpha"; }
+    if (/^[A-Za-z0-9]+$/.test(s)) { return "alphanumeric"; }
+    return "unknown";
+}
+"#,
+        },
+        LibraryWorkload {
+            name: "xml",
+            entry: "buildTag",
+            arity: 2,
+            source: r#"
+function buildTag(name, content) {
+    if (!/^[a-z][a-z0-9]*$/.test(name)) { return "bad-name"; }
+    if (/[<>&]/.test(content)) { return "needs-escape"; }
+    if (content === "") { return "<" + name + "/>"; }
+    let tag = "<" + name + ">" + content + "</" + name + ">";
+    if (/^<(\w+)>[0-9]+<\/\1>$/.test(tag)) { return "numeric-element"; }
+    return tag;
+}
+"#,
+        },
+        LibraryWorkload {
+            name: "yn",
+            entry: "yn",
+            arity: 1,
+            source: r#"
+function yn(input) {
+    if (/^(y|yes|true|1)$/i.test(input)) { return "yes"; }
+    if (/^(n|no|false|0)$/i.test(input)) { return "no"; }
+    if (/^\s+$/.test(input)) { return "blank"; }
+    if (input === "") { return "empty"; }
+    return "default";
+}
+"#,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eleven_workloads() {
+        assert_eq!(library_workloads().len(), 11);
+    }
+
+    #[test]
+    fn names_match_table6() {
+        let names: Vec<&str> = library_workloads().iter().map(|w| w.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "babel-eslint",
+                "fast-xml-parser",
+                "js-yaml",
+                "minimist",
+                "moment",
+                "query-string",
+                "semver",
+                "url-parse",
+                "validator",
+                "xml",
+                "yn",
+            ]
+        );
+    }
+}

@@ -1,0 +1,313 @@
+//! The DSE driver: generational search with CUPA-style scheduling.
+//!
+//! Mirrors ExpoSE's architecture (§6.2): each executed test case yields
+//! a trace; all feasible clause flips are solved to generate new test
+//! cases, which are sorted into buckets keyed by the program fork point
+//! that created them; the next test case is drawn from the
+//! least-accessed bucket, prioritizing unexplored code.
+
+use std::collections::{HashMap, HashSet};
+
+use expose_core::model::BuildConfig;
+use expose_core::SupportLevel;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use strsolve::{Solver, SolverConfig};
+
+use crate::ast::{Program, StmtId};
+use crate::interp::{execute, Harness, InterpConfig};
+use crate::solve::{solve_flip, QueryRecord};
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Regex support level (the Table 7 axis).
+    pub support: SupportLevel,
+    /// Maximum number of concrete executions.
+    pub max_executions: usize,
+    /// Maximum clause flips attempted per trace.
+    pub max_flips_per_trace: usize,
+    /// Interpreter step budget per execution.
+    pub max_steps: u64,
+    /// Solver limits.
+    pub solver: SolverConfig,
+    /// Model-construction limits.
+    pub build: BuildConfig,
+    /// CEGAR refinement limit (§7.2 uses 20).
+    pub refinement_limit: usize,
+    /// RNG seed for bucket sampling (deterministic runs).
+    pub seed: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            support: SupportLevel::Refinement,
+            max_executions: 64,
+            max_flips_per_trace: 24,
+            max_steps: 100_000,
+            solver: SolverConfig::default(),
+            build: BuildConfig::default(),
+            refinement_limit: 20,
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// The result of a DSE run.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Covered statement ids.
+    pub coverage: HashSet<StmtId>,
+    /// Total statements in the program.
+    pub stmt_count: u32,
+    /// Number of concrete executions performed.
+    pub executions: usize,
+    /// Number of distinct inputs generated (tests).
+    pub tests_generated: usize,
+    /// Statement ids of failed assertions, with the triggering inputs.
+    pub bugs: Vec<(StmtId, Vec<String>)>,
+    /// Per-query statistics (Table 8 source data).
+    pub queries: Vec<QueryRecord>,
+}
+
+impl Report {
+    /// Statement coverage as a fraction in `[0, 1]`.
+    pub fn coverage_fraction(&self) -> f64 {
+        if self.stmt_count == 0 {
+            return 0.0;
+        }
+        self.coverage.len() as f64 / f64::from(self.stmt_count)
+    }
+}
+
+/// A queued test case.
+#[derive(Debug, Clone)]
+struct TestCase {
+    inputs: Vec<String>,
+}
+
+/// Runs dynamic symbolic execution on a program.
+///
+/// # Examples
+///
+/// Finding the Listing 1 bug (§3.2): the engine discovers the input
+/// `"<timeout></timeout>"` that makes the assertion fail.
+///
+/// ```
+/// use expose_dse::{run_dse, EngineConfig, Harness, parser::parse_program};
+///
+/// let program = parse_program(r#"
+///     function f(x) {
+///         if (/^a+$/.test(x)) { return 1; }
+///         return 0;
+///     }
+/// "#)?;
+/// let report = run_dse(&program, &Harness::strings("f", 1), &EngineConfig::default());
+/// assert!(report.coverage_fraction() > 0.9);
+/// # Ok::<(), expose_dse::parser::ParseError>(())
+/// ```
+pub fn run_dse(program: &Program, harness: &Harness, config: &EngineConfig) -> Report {
+    let mut report = Report {
+        stmt_count: program.stmt_count,
+        ..Report::default()
+    };
+    let solver = Solver::new(config.solver.clone());
+    let interp_config = InterpConfig {
+        support: config.support,
+        max_steps: config.max_steps,
+    };
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // CUPA buckets: fork point → queued cases, with access counts.
+    let mut buckets: HashMap<StmtId, Vec<TestCase>> = HashMap::new();
+    let mut accesses: HashMap<StmtId, usize> = HashMap::new();
+    let mut seen_inputs: HashSet<Vec<String>> = HashSet::new();
+
+    let seed_case = TestCase {
+        inputs: vec![String::new(); harness.input_count()],
+    };
+    seen_inputs.insert(seed_case.inputs.clone());
+    buckets.entry(0).or_default().push(seed_case);
+
+    while report.executions < config.max_executions {
+        // Pick the least-accessed non-empty bucket.
+        let Some(&bucket_key) = buckets
+            .iter()
+            .filter(|(_, cases)| !cases.is_empty())
+            .map(|(k, _)| k)
+            .min_by_key(|k| accesses.get(k).copied().unwrap_or(0))
+        else {
+            break;
+        };
+        *accesses.entry(bucket_key).or_insert(0) += 1;
+        let cases = buckets.get_mut(&bucket_key).expect("bucket exists");
+        let idx = rng.random_range(0..cases.len());
+        let case = cases.swap_remove(idx);
+
+        // Concrete + symbolic execution.
+        let trace = execute(program, harness, &case.inputs, &interp_config);
+        report.executions += 1;
+        report.coverage.extend(trace.coverage.iter().copied());
+        for &failure in &trace.assertion_failures {
+            if !report.bugs.iter().any(|(id, _)| *id == failure) {
+                report.bugs.push((failure, case.inputs.clone()));
+            }
+        }
+
+        if !config.support.models_regex() && trace.path.is_empty() {
+            continue;
+        }
+
+        // Generational search: flip every clause of the trace.
+        let flips = trace.path.len().min(config.max_flips_per_trace);
+        for k in 0..flips {
+            if report.executions + buckets.values().map(Vec::len).sum::<usize>()
+                >= config.max_executions * 4
+            {
+                break;
+            }
+            let result = solve_flip(
+                &trace,
+                k,
+                config.support,
+                &solver,
+                config.refinement_limit,
+                &config.build,
+            );
+            report.queries.push(result.record.clone());
+            if let Some(mut inputs) = result.inputs {
+                // Pad to the harness arity.
+                while inputs.len() < harness.input_count() {
+                    inputs.push(String::new());
+                }
+                if seen_inputs.insert(inputs.clone()) {
+                    report.tests_generated += 1;
+                    buckets
+                        .entry(trace.path[k].branch_id)
+                        .or_default()
+                        .push(TestCase { inputs });
+                }
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn run(src: &str, harness: Harness, config: EngineConfig) -> Report {
+        let program = parse_program(src).expect("parse");
+        run_dse(&program, &harness, &config)
+    }
+
+    #[test]
+    fn covers_both_branches_of_string_equality() {
+        let report = run(
+            r#"function f(x) {
+                if (x === "magic") { return 1; } else { return 0; }
+            }"#,
+            Harness::strings("f", 1),
+            EngineConfig {
+                max_executions: 8,
+                ..EngineConfig::default()
+            },
+        );
+        assert!(report.coverage_fraction() > 0.99, "{report:?}");
+        assert!(report.tests_generated >= 1);
+    }
+
+    #[test]
+    fn covers_regex_guarded_code() {
+        let report = run(
+            r#"function f(x) {
+                if (/^[0-9]+$/.test(x)) { return "digits"; }
+                return "other";
+            }"#,
+            Harness::strings("f", 1),
+            EngineConfig {
+                max_executions: 8,
+                ..EngineConfig::default()
+            },
+        );
+        assert!(report.coverage_fraction() > 0.99, "{report:?}");
+    }
+
+    #[test]
+    fn concrete_level_cannot_flip_regex() {
+        let report = run(
+            r#"function f(x) {
+                if (/^zz+q$/.test(x)) { return 1; }
+                return 0;
+            }"#,
+            Harness::strings("f", 1),
+            EngineConfig {
+                support: SupportLevel::Concrete,
+                max_executions: 8,
+                ..EngineConfig::default()
+            },
+        );
+        // The then-branch is unreachable without regex modeling.
+        assert!(report.coverage_fraction() < 1.0);
+    }
+
+    #[test]
+    fn finds_listing1_bug() {
+        // Listing 1 of the paper (§3.2), adapted to the mini language:
+        // the assertion fails for "<timeout></timeout>" because the
+        // Kleene star admits an empty numeric part.
+        let src = r#"function f(args) {
+            let timeout = "500";
+            for (let i = 0; i < args.length; i = i + 1) {
+                let arg = args[i];
+                let parts = /^<(\w+)>([0-9]*)<\/\1>$/.exec(arg);
+                if (parts) {
+                    if (parts[1] === "timeout") {
+                        timeout = parts[2];
+                    }
+                }
+            }
+            assert(/^[0-9]+$/.test(timeout) === true);
+        }"#;
+        let report = run(
+            src,
+            Harness::string_array("f", 1),
+            EngineConfig {
+                max_executions: 48,
+                ..EngineConfig::default()
+            },
+        );
+        assert!(
+            !report.bugs.is_empty(),
+            "the Listing 1 bug must be found: {report:?}"
+        );
+        // The triggering input must really break the assertion: a
+        // <timeout> tag with an empty number.
+        let (_, inputs) = &report.bugs[0];
+        let mut oracle =
+            es6_matcher::RegExp::new(r"^<(\w+)>([0-9]*)<\/\1>$", "").expect("regex");
+        let m = oracle.exec(&inputs[0]).expect("bug input matches the regex");
+        assert_eq!(m.group(1), Some("timeout"));
+        assert_eq!(m.group(2), Some(""));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let src = r#"function f(x) {
+            if (x === "a") { return 1; }
+            if (x === "b") { return 2; }
+            return 0;
+        }"#;
+        let config = EngineConfig {
+            max_executions: 8,
+            ..EngineConfig::default()
+        };
+        let r1 = run(src, Harness::strings("f", 1), config.clone());
+        let r2 = run(src, Harness::strings("f", 1), config);
+        assert_eq!(r1.coverage, r2.coverage);
+        assert_eq!(r1.tests_generated, r2.tests_generated);
+    }
+}

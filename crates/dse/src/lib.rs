@@ -1,0 +1,46 @@
+//! A dynamic symbolic execution engine for a JavaScript-like language
+//! with sound symbolic ES6 regex support — the ExpoSE reproduction.
+//!
+//! The crate provides:
+//!
+//! * a mini-JS language ([`ast`], [`lexer`], [`parser`]) rich enough to
+//!   express the paper's workloads (Listing 1 is a test case);
+//! * a concolic interpreter ([`interp`]) that records path conditions
+//!   and regex events (§3.2);
+//! * query construction and solving ([`solve`]) through the
+//!   capturing-language models and CEGAR loop of [`expose_core`];
+//! * a generational-search driver with CUPA-style scheduling
+//!   ([`engine`], §6.2), parameterized by the Table 7 support levels.
+//!
+//! # Examples
+//!
+//! ```
+//! use expose_dse::{run_dse, EngineConfig, Harness, parser::parse_program};
+//!
+//! let program = parse_program(r#"
+//!     function check(s) {
+//!         if (/^-?[0-9]+$/.test(s)) { return "int"; }
+//!         return "other";
+//!     }
+//! "#)?;
+//! let report = run_dse(&program, &Harness::strings("check", 1), &EngineConfig::default());
+//! assert!(report.coverage_fraction() > 0.9);
+//! # Ok::<(), expose_dse::parser::ParseError>(())
+//! ```
+
+pub mod ast;
+pub mod batch;
+pub mod engine;
+pub mod interp;
+pub mod lexer;
+pub mod parser;
+pub mod solve;
+pub mod sym;
+pub mod value;
+
+pub use batch::{run_batch, Job};
+pub use engine::{run_dse, EngineConfig, Report};
+pub use interp::{execute, ArgSpec, Harness, InterpConfig};
+pub use solve::{solve_flip, FlipResult, QueryRecord};
+pub use sym::{Clause, RegexEvent, SymExpr, Trace};
+pub use value::{Concolic, Value};

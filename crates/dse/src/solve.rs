@@ -1,0 +1,471 @@
+//! Translation of path conditions into solver queries.
+//!
+//! Flipping clause `k` of a trace's path condition produces the query
+//! `pc₀ ∧ … ∧ pcₖ₋₁ ∧ ¬pcₖ` (§3.2). Boolean symbolic expressions
+//! translate to [`strsolve::Formula`]s; regex events translate to
+//! Algorithm 2 models via [`expose_core::build_match_model`], with the
+//! polarity demanded by the query, and the whole problem is decided by
+//! the CEGAR solver (or the plain solver below the `Refinement` support
+//! level — the Table 7 ablation).
+
+use std::collections::HashMap;
+
+use expose_core::api::CapturingConstraint;
+use expose_core::cegar::CegarSolver;
+use expose_core::model::BuildConfig;
+use expose_core::negate::nnf_negate;
+use expose_core::SupportLevel;
+use strsolve::{Formula, Outcome, Solver, StrVar, Term, VarPool};
+
+use crate::sym::{RegexEvent, SymExpr, Trace};
+
+/// Statistics for one flip query (rows of Table 8).
+#[derive(Debug, Clone, Default)]
+pub struct QueryRecord {
+    /// Wall-clock duration.
+    pub duration: std::time::Duration,
+    /// Whether a regex was modeled in this query.
+    pub modeled_regex: bool,
+    /// Whether a capture group or backreference was modeled.
+    pub had_captures: bool,
+    /// Refinements performed by CEGAR.
+    pub refinements: usize,
+    /// Whether the refinement limit was hit.
+    pub limit_hit: bool,
+    /// The verdict (true = SAT with new inputs).
+    pub sat: bool,
+}
+
+/// The result of solving one flipped path condition.
+#[derive(Debug)]
+pub struct FlipResult {
+    /// New concrete inputs when satisfiable.
+    pub inputs: Option<Vec<String>>,
+    /// Query statistics.
+    pub record: QueryRecord,
+}
+
+/// Builds and solves the query for flipping clause `flip_index` of the
+/// trace under the given support level.
+pub fn solve_flip(
+    trace: &Trace,
+    flip_index: usize,
+    support: SupportLevel,
+    solver: &Solver,
+    refinement_limit: usize,
+    build: &BuildConfig,
+) -> FlipResult {
+    let started = std::time::Instant::now();
+    let mut builder = QueryBuilder {
+        pool: VarPool::new(),
+        events: &trace.events,
+        input_vars: HashMap::new(),
+        constraints: HashMap::new(),
+        polarity: HashMap::new(),
+        build: build.clone(),
+        infeasible: false,
+    };
+
+    let mut conjuncts = Vec::new();
+    for (i, clause) in trace.path.iter().enumerate() {
+        if i > flip_index {
+            break;
+        }
+        let expected = if i == flip_index {
+            !clause.taken
+        } else {
+            clause.taken
+        };
+        conjuncts.push(builder.bool_formula(&clause.cond, expected));
+    }
+    let record_base = QueryRecord {
+        modeled_regex: !builder.constraints.is_empty(),
+        had_captures: builder
+            .constraints
+            .values()
+            .any(|c| c.captures.len() > 1 || c.regex.ast.has_backref()),
+        ..QueryRecord::default()
+    };
+
+    if builder.infeasible {
+        return FlipResult {
+            inputs: None,
+            record: QueryRecord {
+                duration: started.elapsed(),
+                ..record_base
+            },
+        };
+    }
+
+    let problem = Formula::and(conjuncts);
+    let constraints: Vec<CapturingConstraint> =
+        builder.constraints.values().cloned().collect();
+
+    let (outcome, refinements, limit_hit) = if support.refines() {
+        let cegar = CegarSolver::new(solver.clone(), refinement_limit);
+        let result = cegar.solve(&problem, &constraints);
+        (
+            result.outcome,
+            result.stats.refinements,
+            result.stats.limit_hit,
+        )
+    } else {
+        // Captures-without-refinement ablation: conjoin the models and
+        // accept the first assignment (may be spurious — Table 7).
+        let mut parts = vec![problem];
+        parts.extend(constraints.iter().map(|c| c.formula.clone()));
+        let (outcome, _stats) = solver.solve(&Formula::and(parts));
+        (outcome, 0, false)
+    };
+
+    let inputs = match outcome {
+        Outcome::Sat(model) => {
+            let n_inputs = trace.inputs_used.max(
+                builder
+                    .input_vars
+                    .keys()
+                    .copied()
+                    .max()
+                    .map_or(0, |k| k + 1),
+            );
+            let mut inputs = vec![String::new(); n_inputs];
+            for (&k, &var) in &builder.input_vars {
+                inputs[k] = model.get_str(var).unwrap_or_default().to_string();
+            }
+            Some(inputs)
+        }
+        _ => None,
+    };
+
+    FlipResult {
+        record: QueryRecord {
+            duration: started.elapsed(),
+            refinements,
+            limit_hit,
+            sat: inputs.is_some(),
+            ..record_base
+        },
+        inputs,
+    }
+}
+
+struct QueryBuilder<'a> {
+    pool: VarPool,
+    events: &'a [RegexEvent],
+    input_vars: HashMap<usize, StrVar>,
+    constraints: HashMap<usize, CapturingConstraint>,
+    polarity: HashMap<usize, bool>,
+    build: BuildConfig,
+    infeasible: bool,
+}
+
+impl QueryBuilder<'_> {
+    fn input_var(&mut self, k: usize) -> StrVar {
+        if let Some(&v) = self.input_vars.get(&k) {
+            return v;
+        }
+        let v = self.pool.fresh_str(format!("input{k}"));
+        self.input_vars.insert(k, v);
+        v
+    }
+
+    /// The Algorithm 2 constraint for a regex event, built on demand
+    /// with the polarity the query requires.
+    fn event_constraint(&mut self, event: usize, positive: bool) -> Option<Formula> {
+        if let Some(&p) = self.polarity.get(&event) {
+            if p != positive {
+                // The same event is required to both match and not match:
+                // infeasible query.
+                self.infeasible = true;
+                return None;
+            }
+            return Some(Formula::top());
+        }
+        self.polarity.insert(event, positive);
+        let info = &self.events[event];
+        let constraint = expose_core::build_match_model(
+            &info.regex,
+            positive,
+            &mut self.pool,
+            &self.build,
+        );
+        // Tie the model's input variable to the subject expression.
+        let subject_terms = self.string_terms(&info.subject.clone());
+        let tie = match subject_terms {
+            Some((terms, guards)) => Formula::and(
+                guards
+                    .into_iter()
+                    .chain(std::iter::once(Formula::eq_concat(
+                        constraint.input,
+                        terms,
+                    )))
+                    .collect(),
+            ),
+            None => Formula::top(),
+        };
+        let formula = tie;
+        self.constraints.insert(event, constraint);
+        Some(formula)
+    }
+
+    /// Translates a string-sorted expression into concatenation terms
+    /// plus definedness guards for any captures involved.
+    fn string_terms(&mut self, e: &SymExpr) -> Option<(Vec<Term>, Vec<Formula>)> {
+        match e {
+            SymExpr::Input(k) => Some((vec![Term::Var(self.input_var(*k))], vec![])),
+            SymExpr::StrLit(s) => Some((vec![Term::Lit(s.clone())], vec![])),
+            SymExpr::Concat(items) => {
+                let mut terms = Vec::new();
+                let mut guards = Vec::new();
+                for item in items {
+                    let (t, g) = self.string_terms(item)?;
+                    terms.extend(t);
+                    guards.extend(g);
+                }
+                Some((terms, guards))
+            }
+            SymExpr::Capture { event, index } => {
+                // Referencing a capture requires the event to have
+                // matched positively.
+                let event_formula = self.event_constraint(*event, true)?;
+                let constraint = self.constraints.get(event)?;
+                let cap = *constraint.captures.get(*index)?;
+                Some((
+                    vec![Term::Var(cap.value)],
+                    vec![
+                        event_formula,
+                        Formula::bool_is(cap.defined, true),
+                    ],
+                ))
+            }
+            _ => None,
+        }
+    }
+
+    /// Translates a boolean-sorted expression, asserted to equal
+    /// `expected`.
+    fn bool_formula(&mut self, e: &SymExpr, expected: bool) -> Formula {
+        match e {
+            SymExpr::BoolLit(b) => {
+                if *b == expected {
+                    Formula::top()
+                } else {
+                    Formula::bottom()
+                }
+            }
+            SymExpr::Not(inner) => self.bool_formula(inner, !expected),
+            SymExpr::And(a, b) => {
+                if expected {
+                    Formula::and(vec![
+                        self.bool_formula(a, true),
+                        self.bool_formula(b, true),
+                    ])
+                } else {
+                    Formula::or(vec![
+                        self.bool_formula(a, false),
+                        self.bool_formula(b, false),
+                    ])
+                }
+            }
+            SymExpr::Or(a, b) => {
+                if expected {
+                    Formula::or(vec![
+                        self.bool_formula(a, true),
+                        self.bool_formula(b, true),
+                    ])
+                } else {
+                    Formula::and(vec![
+                        self.bool_formula(a, false),
+                        self.bool_formula(b, false),
+                    ])
+                }
+            }
+            SymExpr::StrEq(a, b) => {
+                let Some((ta, ga)) = self.string_terms(a) else {
+                    return Formula::top();
+                };
+                let Some((tb, gb)) = self.string_terms(b) else {
+                    return Formula::top();
+                };
+                let v = self.pool.fresh_str("eq");
+                let core = Formula::and(vec![
+                    Formula::eq_concat(v, ta.clone()),
+                    Formula::eq_concat(v, tb.clone()),
+                ]);
+                if expected {
+                    Formula::and(
+                        ga.into_iter()
+                            .chain(gb)
+                            .chain(std::iter::once(core))
+                            .collect(),
+                    )
+                } else {
+                    // Inequality: either a guard fails (e.g. an
+                    // undefined capture) or the values differ.
+                    let va = self.pool.fresh_str("ne.lhs");
+                    let vb = self.pool.fresh_str("ne.rhs");
+                    let differ = Formula::and(vec![
+                        Formula::eq_concat(va, ta),
+                        Formula::eq_concat(vb, tb),
+                        Formula::ne_var(va, vb),
+                    ]);
+                    let mut branches: Vec<Formula> = ga
+                        .into_iter()
+                        .chain(gb)
+                        .map(|g| nnf_negate(&g))
+                        .collect();
+                    branches.push(differ);
+                    Formula::or(branches)
+                }
+            }
+            SymExpr::TestResult { event } => {
+                match self.event_constraint(*event, expected) {
+                    Some(f) => f,
+                    None => Formula::bottom(),
+                }
+            }
+            SymExpr::CaptureDefined { event, index } => {
+                let Some(f) = self.event_constraint(*event, true) else {
+                    return Formula::bottom();
+                };
+                let Some(constraint) = self.constraints.get(event) else {
+                    return Formula::bottom();
+                };
+                match constraint.captures.get(*index) {
+                    Some(cap) => Formula::and(vec![
+                        f,
+                        Formula::bool_is(cap.defined, expected),
+                    ]),
+                    None => Formula::bottom(),
+                }
+            }
+            // String-sorted expressions in boolean position: truthiness
+            // = non-emptiness.
+            s if s.is_string() => {
+                let Some((terms, guards)) = self.string_terms(s) else {
+                    return Formula::top();
+                };
+                let v = self.pool.fresh_str("truthy");
+                let def = Formula::eq_concat(v, terms);
+                if expected {
+                    Formula::and(
+                        guards
+                            .into_iter()
+                            .chain([def, Formula::ne_lit(v, "")])
+                            .collect(),
+                    )
+                } else {
+                    Formula::and(
+                        guards
+                            .into_iter()
+                            .chain([def, Formula::eq_lit(v, "")])
+                            .collect(),
+                    )
+                }
+            }
+            _ => Formula::top(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{execute, Harness, InterpConfig};
+    use crate::parser::parse_program;
+
+    fn flip_last(src: &str, inputs: &[&str]) -> FlipResult {
+        let program = parse_program(src).expect("parse");
+        let inputs: Vec<String> = inputs.iter().map(|s| s.to_string()).collect();
+        let trace = execute(
+            &program,
+            &Harness::strings("f", 1),
+            &inputs,
+            &InterpConfig::default(),
+        );
+        assert!(!trace.path.is_empty(), "expected a symbolic path");
+        solve_flip(
+            &trace,
+            trace.path.len() - 1,
+            SupportLevel::Refinement,
+            &Solver::default(),
+            20,
+            &BuildConfig::default(),
+        )
+    }
+
+    #[test]
+    fn flip_string_equality() {
+        let result = flip_last(
+            r#"function f(x) { if (x === "secret") { return 1; } return 0; }"#,
+            &["nope"],
+        );
+        let inputs = result.inputs.expect("sat");
+        assert_eq!(inputs[0], "secret");
+    }
+
+    #[test]
+    fn flip_regex_test_to_match() {
+        let result = flip_last(
+            r#"function f(x) { let ok = /^go+d$/.test(x); return ok; }"#,
+            &["nope"],
+        );
+        let inputs = result.inputs.expect("sat");
+        let mut oracle = es6_matcher::RegExp::new("^go+d$", "").expect("regex");
+        assert!(oracle.test(&inputs[0]), "flipped input {:?}", inputs[0]);
+        assert!(result.record.modeled_regex);
+    }
+
+    #[test]
+    fn flip_capture_comparison() {
+        // Drive execution into the m[1] === "timeout" comparison, then
+        // flip it: the solver must produce "<timeout>".
+        let src = r#"function f(x) {
+            let m = /^<([a-z]+)>$/.exec(x);
+            if (m) { if (m[1] === "timeout") { return 1; } }
+            return 0;
+        }"#;
+        let result = flip_last(src, &["<div>"]);
+        let inputs = result.inputs.expect("sat");
+        assert_eq!(inputs[0], "<timeout>");
+        assert!(result.record.had_captures);
+    }
+
+    #[test]
+    fn flip_concat_equality() {
+        let result = flip_last(
+            r#"function f(x) { let s = "a" + x; if (s === "ab") { return 1; } return 0; }"#,
+            &["zz"],
+        );
+        let inputs = result.inputs.expect("sat");
+        assert_eq!(inputs[0], "b");
+    }
+
+    #[test]
+    fn infeasible_flip_is_unsat() {
+        // Flip of `x === x-same-literal` prefix conflict: prefix pins x
+        // to "a", flip demands x !== "a" — the same clause twice makes
+        // the flipped query unsatisfiable.
+        let src = r#"function f(x) {
+            if (x === "a") { if (x === "a") { return 1; } }
+            return 0;
+        }"#;
+        let program = parse_program(src).expect("parse");
+        let trace = execute(
+            &program,
+            &Harness::strings("f", 1),
+            &["a".to_string()],
+            &InterpConfig::default(),
+        );
+        assert_eq!(trace.path.len(), 2);
+        let result = solve_flip(
+            &trace,
+            1,
+            SupportLevel::Refinement,
+            &Solver::default(),
+            20,
+            &BuildConfig::default(),
+        );
+        assert!(result.inputs.is_none());
+    }
+}

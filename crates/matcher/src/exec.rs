@@ -1,0 +1,635 @@
+//! The backtracking match engine.
+//!
+//! This follows the continuation-passing semantics of ES262 §21.2.2
+//! (Pattern Semantics): every AST node is interpreted as a *matcher* that
+//! receives the current position and capture state plus a continuation,
+//! and backtracking is realized by returning `false` to the caller, who
+//! then tries the next alternative. The engine reproduces the
+//! specification's observable behaviour exactly:
+//!
+//! * greedy quantifiers try the longest iteration count first, lazy ones
+//!   the shortest (matching precedence, §2.4 of the paper);
+//! * capture slots inside a quantified atom are reset to undefined at the
+//!   start of every iteration (RepeatMatcher step 4);
+//! * an iteration of a quantifier beyond the minimum that matches the
+//!   empty string fails, terminating `(a?)*`-style loops;
+//! * backreferences to undefined groups match the empty string;
+//! * positive lookaheads retain capture assignments, negative lookaheads
+//!   discard them.
+
+use regex_syntax_es6::ast::{AssertionKind, Ast};
+use regex_syntax_es6::class::is_line_terminator;
+use regex_syntax_es6::Flags;
+
+/// A capture slot: byte-free `(start, end)` character offsets, or
+/// `None` for undefined (the paper's `⊥`, distinct from an empty match).
+pub type CaptureSlot = Option<(usize, usize)>;
+
+/// Capture state during matching: slot `i` holds group `i` (slot 0 is
+/// unused; the whole match is tracked by the driver).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Captures(pub Vec<CaptureSlot>);
+
+impl Captures {
+    fn new(group_count: u32) -> Captures {
+        Captures(vec![None; group_count as usize + 1])
+    }
+}
+
+/// The result of a successful anchored match attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Match {
+    /// Character offset at which the match starts.
+    pub start: usize,
+    /// Character offset one past the end of the match.
+    pub end: usize,
+    /// Final capture state (slot 0 unused).
+    pub captures: Captures,
+}
+
+/// The match engine for one pattern.
+#[derive(Debug)]
+pub struct Engine<'a> {
+    ast: &'a Ast,
+    flags: Flags,
+    group_count: u32,
+}
+
+impl<'a> Engine<'a> {
+    /// Creates an engine for a pattern AST under the given flags.
+    pub fn new(ast: &'a Ast, flags: Flags) -> Engine<'a> {
+        Engine {
+            ast,
+            flags,
+            group_count: ast.capture_count(),
+        }
+    }
+
+    /// Attempts an anchored match at character offset `start`.
+    ///
+    /// Returns the match with final capture state, or `None`. This is
+    /// the spec's `[[Match]](input, start)`; the unanchored search loop
+    /// lives in [`crate::api::RegExp::exec`].
+    pub fn match_at(&self, input: &[char], start: usize) -> Option<Match> {
+        if start > input.len() {
+            return None;
+        }
+        let mut caps = Captures::new(self.group_count);
+        let mut end = None;
+        let matched = self.matches(
+            self.ast,
+            input,
+            start,
+            &mut caps,
+            &mut |pos, _caps| {
+                end = Some(pos);
+                true
+            },
+        );
+        if matched {
+            Some(Match {
+                start,
+                end: end.expect("continuation ran on success"),
+                captures: caps,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Core matcher: match `node` at `pos`, then run the continuation.
+    ///
+    /// The continuation may mutate `caps` further; on failure the matcher
+    /// restores any capture slots it modified before returning, so the
+    /// caller observes unchanged state.
+    fn matches(
+        &self,
+        node: &Ast,
+        input: &[char],
+        pos: usize,
+        caps: &mut Captures,
+        k: &mut dyn FnMut(usize, &mut Captures) -> bool,
+    ) -> bool {
+        match node {
+            Ast::Empty => k(pos, caps),
+            Ast::Literal(c) => {
+                if pos < input.len() && self.char_eq(*c, input[pos]) {
+                    k(pos + 1, caps)
+                } else {
+                    false
+                }
+            }
+            Ast::Dot => {
+                if pos < input.len()
+                    && (self.flags.dot_all || !is_line_terminator(input[pos]))
+                {
+                    k(pos + 1, caps)
+                } else {
+                    false
+                }
+            }
+            Ast::Class(set) => {
+                if pos < input.len() && self.class_contains(set, input[pos]) {
+                    k(pos + 1, caps)
+                } else {
+                    false
+                }
+            }
+            Ast::Assertion(kind) => {
+                if self.assertion_holds(*kind, input, pos) {
+                    k(pos, caps)
+                } else {
+                    false
+                }
+            }
+            Ast::Group { index, ast } => {
+                let slot = *index as usize;
+                let saved = caps.0[slot];
+                let ok = self.matches(ast, input, pos, caps, &mut |end, caps| {
+                    let inner_saved = caps.0[slot];
+                    caps.0[slot] = Some((pos, end));
+                    if k(end, caps) {
+                        true
+                    } else {
+                        caps.0[slot] = inner_saved;
+                        false
+                    }
+                });
+                if !ok {
+                    caps.0[slot] = saved;
+                }
+                ok
+            }
+            Ast::NonCapturing(inner) => self.matches(inner, input, pos, caps, k),
+            Ast::Lookahead { negative, ast } => {
+                self.lookahead(*negative, ast, input, pos, caps, k)
+            }
+            Ast::Repeat { ast, min, max, lazy } => {
+                let inner_groups = ast.capture_indices();
+                self.repeat(
+                    ast,
+                    *min,
+                    max.unwrap_or(u32::MAX),
+                    !*lazy,
+                    &inner_groups,
+                    input,
+                    pos,
+                    0,
+                    caps,
+                    k,
+                )
+            }
+            Ast::Alt(branches) => {
+                for branch in branches {
+                    if self.matches(branch, input, pos, caps, k) {
+                        return true;
+                    }
+                }
+                false
+            }
+            Ast::Concat(items) => self.match_seq(items, input, pos, caps, k),
+            Ast::Backref(group) => self.backref(*group, input, pos, caps, k),
+        }
+    }
+
+    fn match_seq(
+        &self,
+        items: &[Ast],
+        input: &[char],
+        pos: usize,
+        caps: &mut Captures,
+        k: &mut dyn FnMut(usize, &mut Captures) -> bool,
+    ) -> bool {
+        match items.split_first() {
+            None => k(pos, caps),
+            Some((first, rest)) => self.matches(first, input, pos, caps, &mut |pos2, caps| {
+                self.match_seq(rest, input, pos2, caps, k)
+            }),
+        }
+    }
+
+    /// ES262 RepeatMatcher. `count` is the number of completed
+    /// iterations.
+    #[allow(clippy::too_many_arguments)]
+    fn repeat(
+        &self,
+        atom: &Ast,
+        min: u32,
+        max: u32,
+        greedy: bool,
+        inner_groups: &[u32],
+        input: &[char],
+        pos: usize,
+        count: u32,
+        caps: &mut Captures,
+        k: &mut dyn FnMut(usize, &mut Captures) -> bool,
+    ) -> bool {
+        if count < min {
+            // Mandatory iterations.
+            self.repeat_once(atom, min, max, greedy, inner_groups, input, pos, count, caps, k)
+        } else if greedy {
+            self.repeat_once(atom, min, max, greedy, inner_groups, input, pos, count, caps, k)
+                || k(pos, caps)
+        } else {
+            k(pos, caps)
+                || self.repeat_once(
+                    atom, min, max, greedy, inner_groups, input, pos, count, caps, k,
+                )
+        }
+    }
+
+    /// One more iteration of a quantified atom, then recurse.
+    #[allow(clippy::too_many_arguments)]
+    fn repeat_once(
+        &self,
+        atom: &Ast,
+        min: u32,
+        max: u32,
+        greedy: bool,
+        inner_groups: &[u32],
+        input: &[char],
+        pos: usize,
+        count: u32,
+        caps: &mut Captures,
+        k: &mut dyn FnMut(usize, &mut Captures) -> bool,
+    ) -> bool {
+        if count >= max {
+            return false;
+        }
+        // RepeatMatcher step 4: clear capture slots inside the atom at
+        // the start of each iteration.
+        let saved: Vec<CaptureSlot> =
+            inner_groups.iter().map(|&g| caps.0[g as usize]).collect();
+        for &g in inner_groups {
+            caps.0[g as usize] = None;
+        }
+        let ok = self.matches(atom, input, pos, caps, &mut |pos2, caps| {
+            // An iteration beyond the minimum that consumed nothing
+            // would loop forever; the spec fails it.
+            if pos2 == pos && count + 1 > min {
+                return false;
+            }
+            self.repeat(
+                atom, min, max, greedy, inner_groups, input, pos2, count + 1, caps, k,
+            )
+        });
+        if !ok {
+            for (i, &g) in inner_groups.iter().enumerate() {
+                caps.0[g as usize] = saved[i];
+            }
+        }
+        ok
+    }
+
+    fn lookahead(
+        &self,
+        negative: bool,
+        ast: &Ast,
+        input: &[char],
+        pos: usize,
+        caps: &mut Captures,
+        k: &mut dyn FnMut(usize, &mut Captures) -> bool,
+    ) -> bool {
+        if negative {
+            // Captures made while attempting a negative lookahead are
+            // discarded whether it matches or not (spec: the Matcher runs
+            // on a copy; on success the whole assertion fails).
+            let mut probe = caps.clone();
+            let matched =
+                self.matches(ast, input, pos, &mut probe, &mut |_pos, _caps| true);
+            if matched {
+                false
+            } else {
+                k(pos, caps)
+            }
+        } else {
+            // Positive lookahead: capture assignments persist, position
+            // rewinds.
+            let saved = caps.clone();
+            let matched = self.matches(ast, input, pos, caps, &mut |_pos, _caps| true);
+            if !matched {
+                *caps = saved;
+                return false;
+            }
+            if k(pos, caps) {
+                true
+            } else {
+                *caps = saved;
+                false
+            }
+        }
+    }
+
+    fn backref(
+        &self,
+        group: u32,
+        input: &[char],
+        pos: usize,
+        caps: &mut Captures,
+        k: &mut dyn FnMut(usize, &mut Captures) -> bool,
+    ) -> bool {
+        match caps.0[group as usize] {
+            // Undefined group: matches the empty string (§21.2.2.9).
+            None => k(pos, caps),
+            Some((start, end)) => {
+                let len = end - start;
+                if pos + len > input.len() {
+                    return false;
+                }
+                for i in 0..len {
+                    if !self.char_eq(input[start + i], input[pos + i]) {
+                        return false;
+                    }
+                }
+                k(pos + len, caps)
+            }
+        }
+    }
+
+    fn assertion_holds(&self, kind: AssertionKind, input: &[char], pos: usize) -> bool {
+        match kind {
+            AssertionKind::StartAnchor => {
+                pos == 0
+                    || (self.flags.multiline && is_line_terminator(input[pos - 1]))
+            }
+            AssertionKind::EndAnchor => {
+                pos == input.len()
+                    || (self.flags.multiline && is_line_terminator(input[pos]))
+            }
+            AssertionKind::WordBoundary => {
+                self.is_word_at(input, pos.wrapping_sub(1)) != self.is_word_at(input, pos)
+            }
+            AssertionKind::NotWordBoundary => {
+                self.is_word_at(input, pos.wrapping_sub(1)) == self.is_word_at(input, pos)
+            }
+        }
+    }
+
+    fn is_word_at(&self, input: &[char], pos: usize) -> bool {
+        input
+            .get(pos)
+            .is_some_and(|&c| c.is_ascii_alphanumeric() || c == '_')
+    }
+
+    fn char_eq(&self, a: char, b: char) -> bool {
+        if a == b {
+            return true;
+        }
+        if self.flags.ignore_case {
+            canonicalize(a, self.flags.unicode) == canonicalize(b, self.flags.unicode)
+        } else {
+            false
+        }
+    }
+
+    fn class_contains(&self, set: &regex_syntax_es6::class::ClassSet, c: char) -> bool {
+        if set.contains(c) {
+            return true;
+        }
+        if self.flags.ignore_case {
+            // Compare canonicalized forms in both directions, as the
+            // spec's Canonicalize does for class atoms.
+            let canon = canonicalize(c, self.flags.unicode);
+            if canon != c && set.contains(canon) {
+                return true;
+            }
+            for variant in regex_syntax_es6::class::simple_case_variants(c) {
+                if set.contains(variant) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+/// ES262 §21.2.2.8.2 Canonicalize: simple uppercase mapping, keeping the
+/// original character when the mapping is multi-character or when a
+/// non-ASCII character would map to an ASCII one (non-unicode mode).
+pub fn canonicalize(c: char, unicode: bool) -> char {
+    let mut upper = c.to_uppercase();
+    if upper.clone().count() != 1 {
+        return c;
+    }
+    let u = upper.next().expect("one char");
+    if !unicode && (c as u32) >= 128 && (u as u32) < 128 {
+        return c;
+    }
+    u
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regex_syntax_es6::parse;
+
+    fn engine_match(
+        pattern: &str,
+        flags: &str,
+        input: &str,
+    ) -> Option<(usize, usize, Vec<Option<String>>)> {
+        let ast = parse(pattern).expect("pattern should parse");
+        let flags: Flags = flags.parse().expect("flags should parse");
+        let engine = Engine::new(&ast, flags);
+        let chars: Vec<char> = input.chars().collect();
+        for start in 0..=chars.len() {
+            if let Some(m) = engine.match_at(&chars, start) {
+                let caps = m
+                    .captures
+                    .0
+                    .iter()
+                    .skip(1)
+                    .map(|slot| {
+                        slot.map(|(s, e)| chars[s..e].iter().collect::<String>())
+                    })
+                    .collect();
+                return Some((m.start, m.end, caps));
+            }
+        }
+        None
+    }
+
+    #[test]
+    fn literal_match() {
+        assert_eq!(engine_match("abc", "", "xxabcxx"), Some((2, 5, vec![])));
+    }
+
+    #[test]
+    fn greedy_star_takes_longest() {
+        let (start, end, _) = engine_match("a*", "", "aaa").expect("match");
+        assert_eq!((start, end), (0, 3));
+    }
+
+    #[test]
+    fn lazy_star_takes_shortest() {
+        let (start, end, _) = engine_match("a*?", "", "aaa").expect("match");
+        assert_eq!((start, end), (0, 0));
+    }
+
+    #[test]
+    fn matching_precedence_affects_captures() {
+        // §3.4 of the paper: /^a*(a)?$/ on "aa" must leave C1 undefined
+        // because the greedy a* consumes both characters.
+        let (_, _, caps) = engine_match("^a*(a)?$", "", "aa").expect("match");
+        assert_eq!(caps, vec![None]);
+    }
+
+    #[test]
+    fn lazy_gives_capture_instead() {
+        // With a lazy star the optional group takes the last `a`.
+        let (_, _, caps) = engine_match("^a*?(a)?", "", "aa").expect("match");
+        assert_eq!(caps, vec![Some("a".to_string())]);
+    }
+
+    #[test]
+    fn alternation_prefers_left() {
+        let (start, end, _) = engine_match("a|ab", "", "ab").expect("match");
+        assert_eq!((start, end), (0, 1));
+    }
+
+    #[test]
+    fn capture_groups_record_last_match() {
+        // "bbbbcbcd".match(/a|((b)*c)*d/) -> ["bbbbcbcd", "bc", "b"] (§2.2)
+        let (_, _, caps) = engine_match("a|((b)*c)*d", "", "bbbbcbcd").expect("match");
+        assert_eq!(
+            caps,
+            vec![Some("bc".to_string()), Some("b".to_string())]
+        );
+    }
+
+    #[test]
+    fn quantified_group_resets_captures_per_iteration() {
+        // ES6: /(?:(a)|(b))+/ on "ab" clears group 1 in iteration 2.
+        let (_, _, caps) = engine_match("(?:(a)|(b))+", "", "ab").expect("match");
+        assert_eq!(caps, vec![None, Some("b".to_string())]);
+    }
+
+    #[test]
+    fn empty_iteration_terminates() {
+        // (a?)* on "" must terminate and match empty.
+        let (start, end, _) = engine_match("(a?)*", "", "").expect("match");
+        assert_eq!((start, end), (0, 0));
+    }
+
+    #[test]
+    fn backreference_matches_previous_capture() {
+        assert!(engine_match(r"(\w+) \1", "", "hey hey").is_some());
+        assert!(engine_match(r"^(\w+) \1$", "", "hey you").is_none());
+    }
+
+    #[test]
+    fn backreference_undefined_matches_empty() {
+        // Group 1 never matches, so \1 matches ε.
+        assert_eq!(
+            engine_match(r"(?:(a)|b)\1c", "", "bc").map(|(s, e, _)| (s, e)),
+            Some((0, 2))
+        );
+    }
+
+    #[test]
+    fn mutable_backreference_iterations() {
+        // §4.3: /((a|b)\2)+/ matches "aabb" with \2 rebinding.
+        assert!(engine_match(r"^((a|b)\2)+$", "", "aabb").is_some());
+        assert!(engine_match(r"^((a|b)\2)+$", "", "aabab").is_none());
+    }
+
+    #[test]
+    fn paper_mutable_backref_strings() {
+        // §4.3 discusses /((a|b)\2)+\1\2/. The paper's illustrative
+        // string "aabbaabbb" does NOT match under real ES6 semantics
+        // (verified against V8): per-iteration capture reset forces \1
+        // to equal the final block. These assertions encode the
+        // engine-verified behaviour.
+        assert!(engine_match(r"^((a|b)\2)+\1\2$", "", "aaaaa").is_some());
+        assert!(engine_match(r"^((a|b)\2)+\1\2$", "", "aabbbbb").is_some());
+        assert!(engine_match(r"^((a|b)\2)+\1\2$", "", "aabbaabbb").is_none());
+        assert!(engine_match(r"^((a|b)\2)+\1\2$", "", "aabaaabaa").is_none());
+    }
+
+    #[test]
+    fn positive_lookahead() {
+        assert!(engine_match(r"foo(?=bar)", "", "foobar").is_some());
+        assert!(engine_match(r"foo(?=bar)", "", "foobaz").is_none());
+    }
+
+    #[test]
+    fn negative_lookahead() {
+        assert!(engine_match(r"foo(?!bar)", "", "foobaz").is_some());
+        assert!(engine_match(r"^foo(?!bar)", "", "foobar").is_none());
+    }
+
+    #[test]
+    fn lookahead_captures_persist() {
+        let (_, _, caps) = engine_match(r"(?=(ab))a", "", "ab").expect("match");
+        assert_eq!(caps, vec![Some("ab".to_string())]);
+    }
+
+    #[test]
+    fn word_boundaries() {
+        assert_eq!(engine_match(r"\bfoo\b", "", "a foo b").map(|(s, e, _)| (s, e)), Some((2, 5)));
+        assert!(engine_match(r"\bfoo\b", "", "afoob").is_none());
+        assert!(engine_match(r"\Bfoo", "", "afoo").is_some());
+        assert!(engine_match(r"^\Bfoo", "", " foo").is_none());
+    }
+
+    #[test]
+    fn anchors_multiline() {
+        assert!(engine_match("^b$", "m", "a\nb\nc").is_some());
+        assert!(engine_match("^b$", "", "a\nb\nc").is_none());
+    }
+
+    #[test]
+    fn dot_excludes_newline() {
+        assert!(engine_match("a.b", "", "a\nb").is_none());
+        assert!(engine_match("a.b", "s", "a\nb").is_some());
+        assert!(engine_match("a.b", "", "axb").is_some());
+    }
+
+    #[test]
+    fn ignore_case() {
+        assert!(engine_match("abc", "i", "AbC").is_some());
+        assert!(engine_match("[a-z]+", "i", "HELLO").is_some());
+        assert!(engine_match(r"(a)\1", "i", "aA").is_some());
+    }
+
+    #[test]
+    fn bounded_repetition() {
+        assert_eq!(engine_match("a{2,3}", "", "aaaa").map(|(s, e, _)| (s, e)), Some((0, 3)));
+        assert!(engine_match("^a{2,3}$", "", "a").is_none());
+        assert!(engine_match("^a{2,3}$", "", "aaaa").is_none());
+    }
+
+    #[test]
+    fn lazy_bounded_repetition() {
+        assert_eq!(engine_match("a{2,3}?", "", "aaaa").map(|(s, e, _)| (s, e)), Some((0, 2)));
+    }
+
+    #[test]
+    fn goood_paper_example() {
+        // /goo+d/ from §1.
+        assert!(engine_match("goo+d", "", "it is goood").is_some());
+        assert!(engine_match("goo+d", "", "god").is_none());
+    }
+
+    #[test]
+    fn xml_tag_example() {
+        // §1: /<(\w+)>.*?<\/\1>/ parses matching XML tags.
+        let (_, _, caps) =
+            engine_match(r"<(\w+)>.*?<\/\1>", "", "<b>bold</b>").expect("match");
+        assert_eq!(caps, vec![Some("b".to_string())]);
+        assert!(engine_match(r"^<(\w+)>.*?<\/\1>$", "", "<b>bold</i>").is_none());
+    }
+
+    #[test]
+    fn nested_quantifier_backtracking() {
+        assert!(engine_match("^(a+)+b$", "", "aaab").is_some());
+        assert!(engine_match("^(a|aa)*b$", "", "aaaaab").is_some());
+    }
+
+    #[test]
+    fn canonicalize_sharp_s() {
+        // ß uppercases to "SS" (multi-char): stays ß in non-unicode mode.
+        assert_eq!(canonicalize('ß', false), 'ß');
+        assert_eq!(canonicalize('a', false), 'A');
+    }
+}

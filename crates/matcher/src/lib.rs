@@ -1,0 +1,27 @@
+//! An ES6-compliant backtracking regular expression matcher.
+//!
+//! This crate is the *concrete matcher* of the PLDI'19 reproduction: the
+//! specification-faithful oracle that the CEGAR refinement loop
+//! (Algorithm 1 of the paper) uses to validate candidate capture-group
+//! assignments. It interprets the [`regex_syntax_es6::Ast`] directly with
+//! the continuation-passing semantics of ES262 §21.2.2, so matching
+//! precedence (greedy/lazy), capture-reset-per-iteration, backreferences
+//! and lookaheads all behave exactly as in a JavaScript engine.
+//!
+//! # Examples
+//!
+//! ```
+//! use es6_matcher::RegExp;
+//!
+//! let mut re = RegExp::from_literal(r"/<(\w+)>([0-9]*)<\/\1>/")?;
+//! let m = re.exec("<timeout>500</timeout>").expect("should match");
+//! assert_eq!(m.group(1), Some("timeout"));
+//! assert_eq!(m.group(2), Some("500"));
+//! # Ok::<(), regex_syntax_es6::ParseError>(())
+//! ```
+
+pub mod api;
+pub mod exec;
+
+pub use api::{string_match, string_replace, string_search, string_split, MatchResult, RegExp};
+pub use exec::{canonicalize, Captures, Engine, Match};

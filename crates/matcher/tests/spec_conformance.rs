@@ -1,0 +1,164 @@
+//! ES262 conformance corpus for the concrete matcher: each case is a
+//! (regex, flags, input, expected result) quadruple validated against
+//! V8 behaviour. This is the oracle of the whole system, so its
+//! conformance is tested densely.
+
+use es6_matcher::{string_replace, string_split, RegExp};
+
+fn exec(pattern: &str, flags: &str, input: &str) -> Option<Vec<Option<String>>> {
+    RegExp::new(pattern, flags)
+        .expect("pattern parses")
+        .exec(input)
+        .map(|m| m.captures)
+}
+
+fn groups(pattern: &str, input: &str) -> Vec<Option<String>> {
+    exec(pattern, "", input).expect("should match")
+}
+
+#[test]
+fn quantifier_precedence_corpus() {
+    // (greedy) a* takes all; lazy takes none.
+    assert_eq!(groups("(a*)(a*)", "aaa")[1].as_deref(), Some("aaa"));
+    assert_eq!(groups("(a*?)(a*)", "aaa")[1].as_deref(), Some(""));
+    assert_eq!(groups("(a+?)(a*)", "aaa")[1].as_deref(), Some("a"));
+    // Bounded lazy stops at the minimum that allows a match.
+    assert_eq!(groups("a{1,3}?b", "aaab")[0].as_deref(), Some("aaab"));
+    assert_eq!(groups("(a{1,3}?)", "aaa")[1].as_deref(), Some("a"));
+}
+
+#[test]
+fn alternation_order_corpus() {
+    assert_eq!(groups("(a|ab)(b?)", "ab")[1].as_deref(), Some("a"));
+    assert_eq!(groups("(ab|a)(b?)", "ab")[1].as_deref(), Some("ab"));
+    // Leftmost position wins: at index 1 the "abc" branch matches
+    // before the scan ever reaches the 'b' at index 2 (V8-verified).
+    assert_eq!(
+        exec("b|abc", "", "xabc").expect("match")[0].as_deref(),
+        Some("abc")
+    );
+}
+
+#[test]
+fn capture_reset_corpus() {
+    // V8: /(?:(a)|(b))+/.exec("ab") → ["ab", undefined, "b"].
+    let caps = groups("(?:(a)|(b))+", "ab");
+    assert_eq!(caps[1], None);
+    assert_eq!(caps[2].as_deref(), Some("b"));
+    // V8: /((a)|(b))*/.exec("ab") → ["ab", "b", undefined, "b"].
+    let caps = groups("((a)|(b))*", "ab");
+    assert_eq!(caps[1].as_deref(), Some("b"));
+    assert_eq!(caps[2], None);
+    assert_eq!(caps[3].as_deref(), Some("b"));
+}
+
+#[test]
+fn backreference_corpus() {
+    assert!(exec(r"(a)\1", "", "aa").is_some());
+    assert!(exec(r"^(a)\1$", "", "ab").is_none());
+    // Undefined group backreference matches empty (V8).
+    assert_eq!(
+        exec(r"(?:(a)|b)\1", "", "b").expect("match")[0].as_deref(),
+        Some("b")
+    );
+    // Case-insensitive backreference.
+    assert!(exec(r"^(ab)\1$", "i", "abAB").is_some());
+}
+
+#[test]
+fn lookahead_corpus() {
+    assert_eq!(
+        exec(r"a(?=b)", "", "ab").expect("match")[0].as_deref(),
+        Some("a")
+    );
+    assert!(exec(r"a(?!b)", "", "ab").is_none());
+    assert!(exec(r"a(?!b)", "", "ac").is_some());
+    // Nested lookahead with captures persisting.
+    let caps = groups(r"(?=(a+))a*b", "aaab");
+    assert_eq!(caps[1].as_deref(), Some("aaa"));
+    // Negative lookahead leaves captures undefined.
+    let caps = groups(r"(?!(x))a", "a");
+    assert_eq!(caps[1], None);
+}
+
+#[test]
+fn anchor_corpus() {
+    assert!(exec("^$", "", "").is_some());
+    assert!(exec("^$", "", "x").is_none());
+    assert!(exec("^ab$", "m", "zz\nab").is_some());
+    assert!(exec("^ab$", "", "zz\nab").is_none());
+    // $ before \n in multiline.
+    assert_eq!(
+        exec("^(a+)$", "m", "aa\nbb").expect("match")[1].as_deref(),
+        Some("aa")
+    );
+}
+
+#[test]
+fn word_boundary_corpus() {
+    assert_eq!(
+        exec(r"\b(\w+)\b", "", " hello ").expect("match")[1].as_deref(),
+        Some("hello")
+    );
+    assert!(exec(r"\bcat\b", "", "concatenate").is_none());
+    assert!(exec(r"\Bcat\B", "", "concatenate").is_some());
+    assert!(exec(r"\bcat\b", "", "a cat").is_some());
+}
+
+#[test]
+fn class_corpus() {
+    assert!(exec(r"[\d]+", "", "42x").is_some());
+    assert!(exec(r"[^\d]+", "", "42").is_none());
+    assert!(exec(r"[a-c-e]", "", "-").is_some()); // literal dash
+    assert!(exec(r"[\b]", "", "\u{8}").is_some()); // backspace in class
+    assert!(exec("[]", "", "anything").is_none()); // empty class: never
+    assert!(exec("[^]", "", "x").is_some()); // negated empty: any
+}
+
+#[test]
+fn dot_and_flags_corpus() {
+    assert!(exec("a.c", "", "abc").is_some());
+    assert!(exec("a.c", "", "a\nc").is_none());
+    assert!(exec("a.c", "s", "a\nc").is_some());
+    assert!(exec("AbC", "i", "abc").is_some());
+    assert!(exec("[a-z]+", "i", "XYZ").is_some());
+}
+
+#[test]
+fn empty_repetition_termination() {
+    // All of these must terminate (the spec's empty-iteration rule).
+    assert!(exec("(?:)*", "", "x").is_some());
+    assert!(exec("(a?)*b", "", "b").is_some());
+    assert!(exec("(a*)*b", "", "aab").is_some());
+    assert!(exec("(a*b*)*c", "", "c").is_some());
+}
+
+#[test]
+fn replace_and_split_corpus() {
+    let mut re = RegExp::new("(a)(b)", "").expect("regex");
+    assert_eq!(string_replace("xaby", &mut re, "[$2$1]"), "x[ba]y");
+    let re = RegExp::new("-", "").expect("regex");
+    assert_eq!(string_split("a-b-c", &re, None), vec!["a", "b", "c"]);
+    let re = RegExp::new("x", "").expect("regex");
+    assert_eq!(string_split("abc", &re, None), vec!["abc"]);
+}
+
+#[test]
+fn exec_index_and_input() {
+    let mut re = RegExp::new("b+", "").expect("regex");
+    let m = re.exec("aabbbcc").expect("match");
+    assert_eq!(m.index, 2);
+    assert_eq!(m.input, "aabbbcc");
+    assert_eq!(m.matched(), "bbb");
+}
+
+#[test]
+fn global_flag_iteration_protocol() {
+    let mut re = RegExp::new("a", "g").expect("regex");
+    let mut indices = Vec::new();
+    while let Some(m) = re.exec("ababa") {
+        indices.push(m.index);
+    }
+    assert_eq!(indices, vec![0, 2, 4]);
+    assert_eq!(re.last_index(), 0);
+}

@@ -1,0 +1,277 @@
+//! Structural analyses over regex ASTs.
+//!
+//! The central analysis is the backreference classification of
+//! Definition 2 in the paper: every backreference occurrence `\k` is
+//! *empty*, *mutable* or *immutable*, which selects the Table 3 model
+//! used for it.
+
+use std::collections::HashMap;
+
+use crate::ast::Ast;
+
+/// The type of a backreference occurrence per Definition 2 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BackrefType {
+    /// Refers to a group that has not finished matching at the point the
+    /// backreference is evaluated (forward reference or self-reference);
+    /// always matches `ε`.
+    Empty,
+    /// Can only take a single value during a match.
+    Immutable,
+    /// Both the group and the backreference sit under a common quantifier
+    /// that can iterate, so the referenced value can change between
+    /// iterations.
+    Mutable,
+}
+
+/// One backreference occurrence discovered by [`classify_backrefs`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackrefInfo {
+    /// Index of this occurrence in pre-order traversal (0-based among
+    /// backreference nodes only).
+    pub occurrence: usize,
+    /// The referenced capture-group number.
+    pub group: u32,
+    /// The Definition 2 classification.
+    pub kind: BackrefType,
+    /// True when the backreference itself sits under a quantifier that
+    /// can iterate (the `\k*`-shaped rows of Table 3).
+    pub quantified: bool,
+}
+
+/// Classifies every backreference occurrence in `ast`.
+///
+/// # Examples
+///
+/// The paper's example `/((a|b)\2)+\1\2/`: the inner `\2` is mutable, the
+/// trailing `\1` and `\2` are immutable.
+///
+/// ```
+/// use regex_syntax_es6::{parse, analysis::{classify_backrefs, BackrefType}};
+///
+/// let infos = classify_backrefs(&parse(r"((a|b)\2)+\1\2")?);
+/// let kinds: Vec<_> = infos.iter().map(|i| i.kind).collect();
+/// assert_eq!(kinds, vec![
+///     BackrefType::Mutable,
+///     BackrefType::Immutable,
+///     BackrefType::Immutable,
+/// ]);
+/// # Ok::<(), regex_syntax_es6::ParseError>(())
+/// ```
+pub fn classify_backrefs(ast: &Ast) -> Vec<BackrefInfo> {
+    let mut walker = Walker::default();
+    walker.visit(ast, &[]);
+    let Walker {
+        groups, backrefs, ..
+    } = walker;
+
+    backrefs
+        .iter()
+        .enumerate()
+        .map(|(occurrence, br)| {
+            let kind = match groups.get(&br.group) {
+                // Group number exceeding the pattern's group count cannot
+                // occur after parsing, but classify defensively.
+                None => BackrefType::Empty,
+                Some(info) => {
+                    if br.post_position < info.post_position {
+                        // Backreference seen before the group closes in
+                        // post-order: forward or self reference.
+                        BackrefType::Empty
+                    } else if shares_iterating_quantifier(&br.quantifiers, &info.quantifiers) {
+                        BackrefType::Mutable
+                    } else {
+                        BackrefType::Immutable
+                    }
+                }
+            };
+            BackrefInfo {
+                occurrence,
+                group: br.group,
+                kind,
+                quantified: br
+                    .quantifiers
+                    .iter()
+                    .any(|q| q.can_iterate),
+            }
+        })
+        .collect()
+}
+
+/// True if the AST contains a backreference classified as mutable, or any
+/// backreference under an iterating quantifier — the cases where the
+/// Table 3 approximation can make the model underapproximate (§5.4).
+pub fn has_quantified_backref(ast: &Ast) -> bool {
+    classify_backrefs(ast)
+        .iter()
+        .any(|info| info.kind == BackrefType::Mutable || info.quantified)
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct QuantifierCtx {
+    /// Pre-order id of the quantifier node.
+    id: usize,
+    /// Whether the quantifier can perform more than one iteration
+    /// (`max ≥ 2` or unbounded). `r?` cannot change a capture between
+    /// iterations.
+    can_iterate: bool,
+}
+
+#[derive(Debug)]
+struct GroupRecord {
+    post_position: usize,
+    quantifiers: Vec<QuantifierCtx>,
+}
+
+#[derive(Debug)]
+struct BackrefRecord {
+    group: u32,
+    post_position: usize,
+    quantifiers: Vec<QuantifierCtx>,
+}
+
+#[derive(Default)]
+struct Walker {
+    next_id: usize,
+    post_counter: usize,
+    groups: HashMap<u32, GroupRecord>,
+    backrefs: Vec<BackrefRecord>,
+}
+
+impl Walker {
+    fn visit(&mut self, ast: &Ast, quantifiers: &[QuantifierCtx]) {
+        let _node_id = self.next_id;
+        self.next_id += 1;
+        match ast {
+            Ast::Group { index, ast } => {
+                self.visit(ast, quantifiers);
+                // Post-order position: group closes after its body.
+                let post_position = self.post();
+                self.groups.insert(
+                    *index,
+                    GroupRecord {
+                        post_position,
+                        quantifiers: quantifiers.to_vec(),
+                    },
+                );
+                return;
+            }
+            Ast::NonCapturing(inner) => self.visit(inner, quantifiers),
+            Ast::Lookahead { ast, .. } => self.visit(ast, quantifiers),
+            Ast::Repeat { ast, min: _, max, .. } => {
+                let mut inner_ctx = quantifiers.to_vec();
+                inner_ctx.push(QuantifierCtx {
+                    id: self.next_id,
+                    can_iterate: max.map_or(true, |m| m >= 2),
+                });
+                self.visit(ast, &inner_ctx);
+            }
+            Ast::Alt(items) | Ast::Concat(items) => {
+                for item in items {
+                    self.visit(item, quantifiers);
+                }
+            }
+            Ast::Backref(group) => {
+                let post_position = self.post();
+                self.backrefs.push(BackrefRecord {
+                    group: *group,
+                    post_position,
+                    quantifiers: quantifiers.to_vec(),
+                });
+            }
+            _ => {}
+        }
+        // Leaf/structural nodes consume a post-order slot so relative
+        // ordering between groups and backrefs stays faithful.
+        self.post();
+    }
+
+    fn post(&mut self) -> usize {
+        let v = self.post_counter;
+        self.post_counter += 1;
+        v
+    }
+}
+
+fn shares_iterating_quantifier(a: &[QuantifierCtx], b: &[QuantifierCtx]) -> bool {
+    a.iter()
+        .any(|qa| qa.can_iterate && b.iter().any(|qb| qb.id == qa.id))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    fn kinds(pattern: &str) -> Vec<BackrefType> {
+        classify_backrefs(&parse(pattern).expect("pattern should parse"))
+            .iter()
+            .map(|i| i.kind)
+            .collect()
+    }
+
+    #[test]
+    fn plain_backref_is_immutable() {
+        assert_eq!(kinds(r"(a)\1"), vec![BackrefType::Immutable]);
+    }
+
+    #[test]
+    fn self_reference_is_empty() {
+        // Paper: /(a\1)*/ — the backreference refers to a superterm.
+        assert_eq!(kinds(r"(a\1)*"), vec![BackrefType::Empty]);
+    }
+
+    #[test]
+    fn forward_reference_is_empty() {
+        // Paper: /\1(a)/ — the group appears later in the term.
+        assert_eq!(kinds(r"\1(a)"), vec![BackrefType::Empty]);
+    }
+
+    #[test]
+    fn shared_quantifier_is_mutable() {
+        // Paper: /((a|b)\2)+/ — \2 can change across iterations.
+        assert_eq!(kinds(r"((a|b)\2)+"), vec![BackrefType::Mutable]);
+    }
+
+    #[test]
+    fn optional_quantifier_is_not_mutable() {
+        // `?` cannot iterate more than once, so the value cannot change.
+        assert_eq!(kinds(r"((a)\2)?"), vec![BackrefType::Immutable]);
+    }
+
+    #[test]
+    fn quantified_flag_for_starred_backref() {
+        let infos =
+            classify_backrefs(&parse(r"(a)\1*").expect("parse"));
+        assert_eq!(infos.len(), 1);
+        assert_eq!(infos[0].kind, BackrefType::Immutable);
+        assert!(infos[0].quantified);
+    }
+
+    #[test]
+    fn paper_full_example() {
+        // /((a|b)\2)+\1\2/: mutable, then two immutables.
+        assert_eq!(
+            kinds(r"((a|b)\2)+\1\2"),
+            vec![
+                BackrefType::Mutable,
+                BackrefType::Immutable,
+                BackrefType::Immutable
+            ]
+        );
+    }
+
+    #[test]
+    fn group_in_one_branch_backref_in_other() {
+        // Group closes before the backref in post-order (concat order).
+        assert_eq!(kinds(r"(?:(a))\1"), vec![BackrefType::Immutable]);
+    }
+
+    #[test]
+    fn detector_for_quantified_backrefs() {
+        assert!(has_quantified_backref(
+            &parse(r"((a|b)\2)+").expect("parse")
+        ));
+        assert!(!has_quantified_backref(&parse(r"(a)\1").expect("parse")));
+    }
+}

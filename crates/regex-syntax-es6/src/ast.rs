@@ -1,0 +1,431 @@
+//! Abstract syntax tree for ECMAScript 2015 (ES6) regular expressions.
+//!
+//! The AST mirrors the grammar of the ES6 specification (§21.2.1 of
+//! ECMA-262): a *pattern* is an alternation of *alternatives*, each a
+//! concatenation of *terms*; terms are assertions or quantified atoms. The
+//! node set here covers the complete ES6 surface syntax, including capture
+//! groups, non-capturing groups, lookaheads, backreferences, word
+//! boundaries, anchors, character classes and all greedy and lazy
+//! quantifiers.
+
+use std::fmt;
+
+use crate::class::ClassSet;
+
+/// A parsed ES6 regular expression node.
+///
+/// `Ast` is the shared currency of this workspace: the concrete matcher
+/// interprets it directly, the rewriter normalizes it (Table 1 of the
+/// paper), and the capturing-language model compiles it to string
+/// constraints.
+///
+/// # Examples
+///
+/// ```
+/// use regex_syntax_es6::parse;
+///
+/// let ast = parse(r"(a|b)+\1")?;
+/// assert_eq!(ast.to_source(), r"(a|b)+\1");
+/// # Ok::<(), regex_syntax_es6::ParseError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Ast {
+    /// The empty expression `ε` (matches the empty string).
+    Empty,
+    /// A single literal character.
+    Literal(char),
+    /// The wildcard `.` (any character except line terminators, unless the
+    /// `s` flag is in effect).
+    Dot,
+    /// A character class such as `[a-z0-9]`, `\d` or `[^\w]`.
+    Class(ClassSet),
+    /// A zero-width assertion: `^`, `$`, `\b` or `\B`.
+    Assertion(AssertionKind),
+    /// A numbered capture group `( ... )`.
+    Group {
+        /// 1-based capture index, assigned left to right by order of the
+        /// opening parenthesis (index 0 is the implicit whole-match group).
+        index: u32,
+        /// The sub-expression inside the parentheses.
+        ast: Box<Ast>,
+    },
+    /// A non-capturing group `(?: ... )`.
+    NonCapturing(Box<Ast>),
+    /// A lookahead assertion `(?= ... )` (positive) or `(?! ... )`
+    /// (negative).
+    Lookahead {
+        /// True for `(?! ... )`.
+        negative: bool,
+        /// The asserted sub-expression.
+        ast: Box<Ast>,
+    },
+    /// A quantified term: `r*`, `r+`, `r?`, `r{m}`, `r{m,}`, `r{m,n}` and
+    /// their lazy variants.
+    Repeat {
+        /// The repeated sub-expression.
+        ast: Box<Ast>,
+        /// Minimum number of repetitions.
+        min: u32,
+        /// Maximum number of repetitions; `None` means unbounded.
+        max: Option<u32>,
+        /// True when the quantifier is lazy (`*?`, `+?`, `??`, `{m,n}?`).
+        lazy: bool,
+    },
+    /// An alternation `a|b|c`. Always has at least two branches.
+    Alt(Vec<Ast>),
+    /// A concatenation of terms. Always has at least two items.
+    Concat(Vec<Ast>),
+    /// A backreference `\1` .. `\99` to a numbered capture group.
+    Backref(u32),
+}
+
+/// The kind of a zero-width assertion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AssertionKind {
+    /// `^` — start of input (or of a line under the `m` flag).
+    StartAnchor,
+    /// `$` — end of input (or of a line under the `m` flag).
+    EndAnchor,
+    /// `\b` — word boundary.
+    WordBoundary,
+    /// `\B` — non-word boundary.
+    NotWordBoundary,
+}
+
+impl Ast {
+    /// Builds a concatenation, flattening nested concatenations and
+    /// dropping `ε` items.
+    ///
+    /// Zero items produce [`Ast::Empty`]; a single item is returned as-is.
+    pub fn concat(items: Vec<Ast>) -> Ast {
+        let mut flat = Vec::with_capacity(items.len());
+        for item in items {
+            match item {
+                Ast::Empty => {}
+                Ast::Concat(inner) => flat.extend(inner),
+                other => flat.push(other),
+            }
+        }
+        match flat.len() {
+            0 => Ast::Empty,
+            1 => flat.pop().expect("one item"),
+            _ => Ast::Concat(flat),
+        }
+    }
+
+    /// Builds an alternation; a single branch is returned as-is.
+    ///
+    /// Unlike [`Ast::concat`], empty branches are preserved because `a|`
+    /// legitimately matches either `a` or the empty string.
+    pub fn alt(mut branches: Vec<Ast>) -> Ast {
+        match branches.len() {
+            0 => Ast::Empty,
+            1 => branches.pop().expect("one branch"),
+            _ => Ast::Alt(branches),
+        }
+    }
+
+    /// Returns the number of capture groups contained in this AST.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use regex_syntax_es6::parse;
+    /// assert_eq!(parse("a|((b)*c)*d")?.capture_count(), 2);
+    /// # Ok::<(), regex_syntax_es6::ParseError>(())
+    /// ```
+    pub fn capture_count(&self) -> u32 {
+        match self {
+            Ast::Group { ast, .. } => 1 + ast.capture_count(),
+            Ast::NonCapturing(ast) | Ast::Lookahead { ast, .. } => ast.capture_count(),
+            Ast::Repeat { ast, .. } => ast.capture_count(),
+            Ast::Alt(items) | Ast::Concat(items) => {
+                items.iter().map(Ast::capture_count).sum()
+            }
+            _ => 0,
+        }
+    }
+
+    /// Returns the capture-group indices contained in this AST, in
+    /// left-to-right order of the opening parenthesis.
+    pub fn capture_indices(&self) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.collect_captures(&mut out);
+        out
+    }
+
+    fn collect_captures(&self, out: &mut Vec<u32>) {
+        match self {
+            Ast::Group { index, ast } => {
+                out.push(*index);
+                ast.collect_captures(out);
+            }
+            Ast::NonCapturing(ast) | Ast::Lookahead { ast, .. } => ast.collect_captures(out),
+            Ast::Repeat { ast, .. } => ast.collect_captures(out),
+            Ast::Alt(items) | Ast::Concat(items) => {
+                for item in items {
+                    item.collect_captures(out);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// True if the AST contains a backreference anywhere.
+    pub fn has_backref(&self) -> bool {
+        match self {
+            Ast::Backref(_) => true,
+            Ast::Group { ast, .. } | Ast::NonCapturing(ast) | Ast::Lookahead { ast, .. } => {
+                ast.has_backref()
+            }
+            Ast::Repeat { ast, .. } => ast.has_backref(),
+            Ast::Alt(items) | Ast::Concat(items) => items.iter().any(Ast::has_backref),
+            _ => false,
+        }
+    }
+
+    /// True if the AST contains a capture group anywhere.
+    pub fn has_captures(&self) -> bool {
+        match self {
+            Ast::Group { .. } => true,
+            Ast::NonCapturing(ast) | Ast::Lookahead { ast, .. } => ast.has_captures(),
+            Ast::Repeat { ast, .. } => ast.has_captures(),
+            Ast::Alt(items) | Ast::Concat(items) => items.iter().any(Ast::has_captures),
+            _ => false,
+        }
+    }
+
+    /// True if the AST contains a lookahead assertion anywhere.
+    pub fn has_lookahead(&self) -> bool {
+        match self {
+            Ast::Lookahead { .. } => true,
+            Ast::Group { ast, .. } | Ast::NonCapturing(ast) => ast.has_lookahead(),
+            Ast::Repeat { ast, .. } => ast.has_lookahead(),
+            Ast::Alt(items) | Ast::Concat(items) => items.iter().any(Ast::has_lookahead),
+            _ => false,
+        }
+    }
+
+    /// True if the AST contains an anchor (`^` or `$`) or word boundary.
+    pub fn has_assertion(&self) -> bool {
+        match self {
+            Ast::Assertion(_) => true,
+            Ast::Group { ast, .. } | Ast::NonCapturing(ast) | Ast::Lookahead { ast, .. } => {
+                ast.has_assertion()
+            }
+            Ast::Repeat { ast, .. } => ast.has_assertion(),
+            Ast::Alt(items) | Ast::Concat(items) => items.iter().any(Ast::has_assertion),
+            _ => false,
+        }
+    }
+
+    /// True if this expression can match the empty string (ignoring
+    /// capture-group effects). Assertions are treated as nullable.
+    pub fn is_nullable(&self) -> bool {
+        match self {
+            Ast::Empty | Ast::Assertion(_) | Ast::Lookahead { .. } => true,
+            Ast::Literal(_) | Ast::Dot | Ast::Class(_) => false,
+            // A backreference to an undefined or empty group matches ε.
+            Ast::Backref(_) => true,
+            Ast::Group { ast, .. } | Ast::NonCapturing(ast) => ast.is_nullable(),
+            Ast::Repeat { ast, min, .. } => *min == 0 || ast.is_nullable(),
+            Ast::Alt(items) => items.iter().any(Ast::is_nullable),
+            Ast::Concat(items) => items.iter().all(Ast::is_nullable),
+        }
+    }
+
+    /// Renders the AST back to regex source text.
+    ///
+    /// The output re-parses to an equal AST (round-trip property, checked
+    /// by property tests).
+    pub fn to_source(&self) -> String {
+        let mut buf = String::new();
+        self.write_source(&mut buf, Precedence::Alt);
+        buf
+    }
+
+    fn write_source(&self, buf: &mut String, enclosing: Precedence) {
+        let own = self.precedence();
+        let need_parens = own < enclosing;
+        if need_parens {
+            buf.push_str("(?:");
+        }
+        match self {
+            Ast::Empty => {}
+            Ast::Literal(c) => push_escaped(buf, *c),
+            Ast::Dot => buf.push('.'),
+            Ast::Class(set) => buf.push_str(&set.to_source()),
+            Ast::Assertion(kind) => buf.push_str(match kind {
+                AssertionKind::StartAnchor => "^",
+                AssertionKind::EndAnchor => "$",
+                AssertionKind::WordBoundary => r"\b",
+                AssertionKind::NotWordBoundary => r"\B",
+            }),
+            Ast::Group { ast, .. } => {
+                buf.push('(');
+                ast.write_source(buf, Precedence::Alt);
+                buf.push(')');
+            }
+            Ast::NonCapturing(ast) => {
+                buf.push_str("(?:");
+                ast.write_source(buf, Precedence::Alt);
+                buf.push(')');
+            }
+            Ast::Lookahead { negative, ast } => {
+                buf.push_str(if *negative { "(?!" } else { "(?=" });
+                ast.write_source(buf, Precedence::Alt);
+                buf.push(')');
+            }
+            Ast::Repeat { ast, min, max, lazy } => {
+                ast.write_source(buf, Precedence::Atom);
+                match (min, max) {
+                    (0, None) => buf.push('*'),
+                    (1, None) => buf.push('+'),
+                    (0, Some(1)) => buf.push('?'),
+                    (m, None) => buf.push_str(&format!("{{{m},}}")),
+                    (m, Some(n)) if m == n => buf.push_str(&format!("{{{m}}}")),
+                    (m, Some(n)) => buf.push_str(&format!("{{{m},{n}}}")),
+                }
+                if *lazy {
+                    buf.push('?');
+                }
+            }
+            Ast::Alt(items) => {
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        buf.push('|');
+                    }
+                    item.write_source(buf, Precedence::Concat);
+                }
+            }
+            Ast::Concat(items) => {
+                for item in items {
+                    item.write_source(buf, Precedence::Repeat);
+                }
+            }
+            Ast::Backref(n) => {
+                buf.push('\\');
+                buf.push_str(&n.to_string());
+            }
+        }
+        if need_parens {
+            buf.push(')');
+        }
+    }
+
+    fn precedence(&self) -> Precedence {
+        match self {
+            Ast::Alt(_) => Precedence::Alt,
+            Ast::Concat(_) => Precedence::Concat,
+            Ast::Repeat { .. } => Precedence::Repeat,
+            Ast::Empty => Precedence::Concat,
+            _ => Precedence::Atom,
+        }
+    }
+}
+
+impl fmt::Display for Ast {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_source())
+    }
+}
+
+/// Operator precedence levels used when rendering source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Precedence {
+    Alt,
+    Concat,
+    Repeat,
+    Atom,
+}
+
+/// Characters that must be escaped when they appear as literals at the
+/// top level of a pattern.
+pub(crate) const SYNTAX_CHARS: &[char] = &[
+    '^', '$', '\\', '.', '*', '+', '?', '(', ')', '[', ']', '{', '}', '|', '/',
+];
+
+pub(crate) fn push_escaped(buf: &mut String, c: char) {
+    match c {
+        '\n' => buf.push_str(r"\n"),
+        '\r' => buf.push_str(r"\r"),
+        '\t' => buf.push_str(r"\t"),
+        '\x0B' => buf.push_str(r"\v"),
+        '\x0C' => buf.push_str(r"\f"),
+        '\0' => buf.push_str(r"\0"),
+        c if SYNTAX_CHARS.contains(&c) => {
+            buf.push('\\');
+            buf.push(c);
+        }
+        c if (c as u32) < 0x20 => {
+            buf.push_str(&format!(r"\x{:02x}", c as u32));
+        }
+        c => buf.push(c),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concat_flattens() {
+        assert_eq!(Ast::concat(vec![]), Ast::Empty);
+        assert_eq!(Ast::concat(vec![Ast::Literal('a')]), Ast::Literal('a'));
+        assert_eq!(
+            Ast::concat(vec![Ast::Empty, Ast::Literal('a'), Ast::Empty]),
+            Ast::Literal('a')
+        );
+    }
+
+    #[test]
+    fn alt_preserves_empty_branches() {
+        let alt = Ast::alt(vec![Ast::Literal('a'), Ast::Empty]);
+        assert_eq!(alt, Ast::Alt(vec![Ast::Literal('a'), Ast::Empty]));
+    }
+
+    #[test]
+    fn capture_count_nested() {
+        let ast = Ast::Group {
+            index: 1,
+            ast: Box::new(Ast::Group {
+                index: 2,
+                ast: Box::new(Ast::Literal('a')),
+            }),
+        };
+        assert_eq!(ast.capture_count(), 2);
+        assert_eq!(ast.capture_indices(), vec![1, 2]);
+    }
+
+    #[test]
+    fn nullable_cases() {
+        assert!(Ast::Empty.is_nullable());
+        assert!(!Ast::Literal('a').is_nullable());
+        assert!(Ast::Repeat {
+            ast: Box::new(Ast::Literal('a')),
+            min: 0,
+            max: None,
+            lazy: false
+        }
+        .is_nullable());
+        assert!(!Ast::Repeat {
+            ast: Box::new(Ast::Literal('a')),
+            min: 1,
+            max: None,
+            lazy: false
+        }
+        .is_nullable());
+    }
+
+    #[test]
+    fn source_escapes_metacharacters() {
+        let ast = Ast::Literal('+');
+        assert_eq!(ast.to_source(), r"\+");
+    }
+
+    #[test]
+    fn display_matches_to_source() {
+        let ast = Ast::Concat(vec![Ast::Literal('a'), Ast::Dot]);
+        assert_eq!(format!("{ast}"), ast.to_source());
+    }
+}

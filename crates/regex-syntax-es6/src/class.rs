@@ -1,0 +1,447 @@
+//! Character classes for ES6 regexes.
+//!
+//! A [`ClassSet`] is the parsed form of a bracketed class such as
+//! `[a-z0-9_]` or `[^\d]`, and also backs the predefined escapes `\d`,
+//! `\D`, `\w`, `\W`, `\s`, `\S`. Classes resolve to a normalized,
+//! sorted set of disjoint scalar-value ranges via [`ClassSet::ranges`],
+//! which is the representation used by the automata layer.
+
+use std::fmt::Write as _;
+
+/// Maximum Unicode scalar value.
+pub const MAX_CHAR: u32 = 0x10FFFF;
+
+/// One syntactic item inside a bracketed character class.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ClassItem {
+    /// A single character, e.g. `a`.
+    Single(char),
+    /// An inclusive range, e.g. `a-z`.
+    Range(char, char),
+    /// A predefined class escape, e.g. `\d` or `\W`.
+    Perl(PerlClass),
+}
+
+/// The predefined (Perl-style) class escapes of ES6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PerlClass {
+    /// Which base set this escape denotes.
+    pub kind: PerlKind,
+    /// True for the negated uppercase variants `\D`, `\W`, `\S`.
+    pub negated: bool,
+}
+
+/// Base sets for [`PerlClass`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PerlKind {
+    /// `\d` — ASCII digits `[0-9]`.
+    Digit,
+    /// `\w` — word characters `[A-Za-z0-9_]`.
+    Word,
+    /// `\s` — ES6 whitespace and line terminators.
+    Space,
+}
+
+/// A character class: a possibly negated union of [`ClassItem`]s.
+///
+/// # Examples
+///
+/// ```
+/// use regex_syntax_es6::class::ClassSet;
+///
+/// let digits = ClassSet::digit();
+/// assert!(digits.contains('7'));
+/// assert!(!digits.contains('x'));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ClassSet {
+    /// True for `[^ ... ]`.
+    pub negated: bool,
+    /// The items as written, in source order.
+    pub items: Vec<ClassItem>,
+}
+
+impl ClassSet {
+    /// Creates a class from items.
+    pub fn new(negated: bool, items: Vec<ClassItem>) -> ClassSet {
+        ClassSet { negated, items }
+    }
+
+    /// The class `\d`.
+    pub fn digit() -> ClassSet {
+        ClassSet::perl(PerlKind::Digit, false)
+    }
+
+    /// The class `\w`.
+    pub fn word() -> ClassSet {
+        ClassSet::perl(PerlKind::Word, false)
+    }
+
+    /// The class `\s`.
+    pub fn space() -> ClassSet {
+        ClassSet::perl(PerlKind::Space, false)
+    }
+
+    /// A class holding exactly one predefined escape.
+    pub fn perl(kind: PerlKind, negated: bool) -> ClassSet {
+        ClassSet {
+            negated: false,
+            items: vec![ClassItem::Perl(PerlClass { kind, negated })],
+        }
+    }
+
+    /// A class matching a single character.
+    pub fn single(c: char) -> ClassSet {
+        ClassSet {
+            negated: false,
+            items: vec![ClassItem::Single(c)],
+        }
+    }
+
+    /// Tests membership of a character.
+    pub fn contains(&self, c: char) -> bool {
+        let inside = self.items.iter().any(|item| item_contains(item, c));
+        inside != self.negated
+    }
+
+    /// Resolves the class to sorted, disjoint, inclusive scalar ranges.
+    ///
+    /// Negation is applied over the full Unicode scalar space (surrogates
+    /// are excluded since `char` cannot represent them).
+    pub fn ranges(&self) -> Vec<(u32, u32)> {
+        let mut raw: Vec<(u32, u32)> = Vec::new();
+        for item in &self.items {
+            match item {
+                ClassItem::Single(c) => raw.push((*c as u32, *c as u32)),
+                ClassItem::Range(lo, hi) => raw.push((*lo as u32, *hi as u32)),
+                ClassItem::Perl(p) => raw.extend(perl_ranges(*p)),
+            }
+        }
+        let mut normalized = normalize_ranges(raw);
+        if self.negated {
+            normalized = complement_ranges(&normalized);
+        }
+        normalized
+    }
+
+    /// Renders the class back to source text.
+    pub fn to_source(&self) -> String {
+        // Single predefined escapes render bare (`\d`), everything else
+        // renders bracketed.
+        if !self.negated && self.items.len() == 1 {
+            if let ClassItem::Perl(p) = &self.items[0] {
+                return perl_source(*p);
+            }
+        }
+        let mut buf = String::from("[");
+        if self.negated {
+            buf.push('^');
+        }
+        for item in &self.items {
+            match item {
+                ClassItem::Single(c) => push_class_escaped(&mut buf, *c),
+                ClassItem::Range(lo, hi) => {
+                    push_class_escaped(&mut buf, *lo);
+                    buf.push('-');
+                    push_class_escaped(&mut buf, *hi);
+                }
+                ClassItem::Perl(p) => buf.push_str(&perl_source(*p)),
+            }
+        }
+        buf.push(']');
+        buf
+    }
+
+    /// Returns a class matching the same characters case-insensitively:
+    /// every cased character gains its simple upper/lowercase counterpart.
+    ///
+    /// This implements the `rewriteForIgnoreCase` step of Algorithm 2 in
+    /// the paper, using simple (non-full) case folding as ES6 does for
+    /// non-unicode patterns.
+    pub fn case_insensitive(&self) -> ClassSet {
+        let mut items = Vec::new();
+        for item in &self.items {
+            match item {
+                ClassItem::Single(c) => {
+                    items.push(ClassItem::Single(*c));
+                    for folded in simple_case_variants(*c) {
+                        if folded != *c {
+                            items.push(ClassItem::Single(folded));
+                        }
+                    }
+                }
+                ClassItem::Range(lo, hi) => {
+                    items.push(ClassItem::Range(*lo, *hi));
+                    // Expand ASCII letter ranges to both cases; non-ASCII
+                    // ranges are kept as-is plus per-endpoint folds, which
+                    // is exact for the ASCII fragment the evaluation uses.
+                    if let Some((flo, fhi)) = fold_ascii_range(*lo, *hi) {
+                        items.push(ClassItem::Range(flo, fhi));
+                    }
+                }
+                ClassItem::Perl(p) => items.push(ClassItem::Perl(*p)),
+            }
+        }
+        ClassSet {
+            negated: self.negated,
+            items,
+        }
+    }
+
+    /// True when the class matches no character at all (e.g. `[]`).
+    pub fn is_empty_set(&self) -> bool {
+        self.ranges().is_empty()
+    }
+}
+
+fn item_contains(item: &ClassItem, c: char) -> bool {
+    match item {
+        ClassItem::Single(s) => *s == c,
+        ClassItem::Range(lo, hi) => (*lo..=*hi).contains(&c),
+        ClassItem::Perl(p) => perl_contains(*p, c),
+    }
+}
+
+fn perl_contains(p: PerlClass, c: char) -> bool {
+    let base = match p.kind {
+        PerlKind::Digit => c.is_ascii_digit(),
+        PerlKind::Word => c.is_ascii_alphanumeric() || c == '_',
+        PerlKind::Space => is_es_space(c),
+    };
+    base != p.negated
+}
+
+/// ES6 `\s`: WhiteSpace ∪ LineTerminator (§21.2.2.12).
+pub fn is_es_space(c: char) -> bool {
+    matches!(
+        c,
+        '\t' | '\n' | '\x0B' | '\x0C' | '\r' | ' ' | '\u{A0}' | '\u{1680}'
+            | '\u{2000}'..='\u{200A}' | '\u{2028}' | '\u{2029}' | '\u{202F}'
+            | '\u{205F}' | '\u{3000}' | '\u{FEFF}'
+    )
+}
+
+/// ES6 line terminators (§11.3), relevant for `.` and multiline anchors.
+pub fn is_line_terminator(c: char) -> bool {
+    matches!(c, '\n' | '\r' | '\u{2028}' | '\u{2029}')
+}
+
+/// The ranges denoted by a predefined escape.
+pub fn perl_ranges(p: PerlClass) -> Vec<(u32, u32)> {
+    let base: Vec<(u32, u32)> = match p.kind {
+        PerlKind::Digit => vec![('0' as u32, '9' as u32)],
+        PerlKind::Word => vec![
+            ('0' as u32, '9' as u32),
+            ('A' as u32, 'Z' as u32),
+            ('_' as u32, '_' as u32),
+            ('a' as u32, 'z' as u32),
+        ],
+        PerlKind::Space => vec![
+            (0x09, 0x0D),
+            (0x20, 0x20),
+            (0xA0, 0xA0),
+            (0x1680, 0x1680),
+            (0x2000, 0x200A),
+            (0x2028, 0x2029),
+            (0x202F, 0x202F),
+            (0x205F, 0x205F),
+            (0x3000, 0x3000),
+            (0xFEFF, 0xFEFF),
+        ],
+    };
+    if p.negated {
+        complement_ranges(&normalize_ranges(base))
+    } else {
+        base
+    }
+}
+
+/// Sorts and merges overlapping or adjacent ranges.
+pub fn normalize_ranges(mut ranges: Vec<(u32, u32)>) -> Vec<(u32, u32)> {
+    ranges.retain(|(lo, hi)| lo <= hi);
+    ranges.sort_unstable();
+    let mut out: Vec<(u32, u32)> = Vec::with_capacity(ranges.len());
+    for (lo, hi) in ranges {
+        match out.last_mut() {
+            Some((_, phi)) if lo <= phi.saturating_add(1) => {
+                *phi = (*phi).max(hi);
+            }
+            _ => out.push((lo, hi)),
+        }
+    }
+    out
+}
+
+/// Complements normalized ranges over the Unicode scalar space, excluding
+/// the surrogate block D800–DFFF.
+pub fn complement_ranges(ranges: &[(u32, u32)]) -> Vec<(u32, u32)> {
+    let mut out = Vec::new();
+    let mut next = 0u32;
+    for &(lo, hi) in ranges {
+        if lo > next {
+            out.push((next, lo - 1));
+        }
+        next = hi.saturating_add(1);
+    }
+    if next <= MAX_CHAR {
+        out.push((next, MAX_CHAR));
+    }
+    // Remove the surrogate gap.
+    let mut cleaned = Vec::with_capacity(out.len() + 1);
+    for (lo, hi) in out {
+        if hi < 0xD800 || lo > 0xDFFF {
+            cleaned.push((lo, hi));
+        } else {
+            if lo < 0xD800 {
+                cleaned.push((lo, 0xD7FF));
+            }
+            if hi > 0xDFFF {
+                cleaned.push((0xE000, hi));
+            }
+        }
+    }
+    cleaned
+}
+
+fn perl_source(p: PerlClass) -> String {
+    let c = match (p.kind, p.negated) {
+        (PerlKind::Digit, false) => 'd',
+        (PerlKind::Digit, true) => 'D',
+        (PerlKind::Word, false) => 'w',
+        (PerlKind::Word, true) => 'W',
+        (PerlKind::Space, false) => 's',
+        (PerlKind::Space, true) => 'S',
+    };
+    format!("\\{c}")
+}
+
+fn push_class_escaped(buf: &mut String, c: char) {
+    match c {
+        '\\' | ']' | '^' | '-' => {
+            buf.push('\\');
+            buf.push(c);
+        }
+        '\n' => buf.push_str(r"\n"),
+        '\r' => buf.push_str(r"\r"),
+        '\t' => buf.push_str(r"\t"),
+        c if (c as u32) < 0x20 => {
+            let _ = write!(buf, r"\x{:02x}", c as u32);
+        }
+        c => buf.push(c),
+    }
+}
+
+/// Simple case variants of a character (its to-upper and to-lower images,
+/// when single-character).
+pub fn simple_case_variants(c: char) -> Vec<char> {
+    let mut out = Vec::new();
+    let mut upper = c.to_uppercase();
+    if upper.clone().count() == 1 {
+        out.push(upper.next().expect("one char"));
+    }
+    let mut lower = c.to_lowercase();
+    if lower.clone().count() == 1 {
+        out.push(lower.next().expect("one char"));
+    }
+    out
+}
+
+fn fold_ascii_range(lo: char, hi: char) -> Option<(char, char)> {
+    if lo.is_ascii_lowercase() && hi.is_ascii_lowercase() {
+        Some((lo.to_ascii_uppercase(), hi.to_ascii_uppercase()))
+    } else if lo.is_ascii_uppercase() && hi.is_ascii_uppercase() {
+        Some((lo.to_ascii_lowercase(), hi.to_ascii_lowercase()))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digit_membership() {
+        let d = ClassSet::digit();
+        assert!(d.contains('0'));
+        assert!(d.contains('9'));
+        assert!(!d.contains('a'));
+    }
+
+    #[test]
+    fn negated_class() {
+        let set = ClassSet::new(true, vec![ClassItem::Single('a')]);
+        assert!(!set.contains('a'));
+        assert!(set.contains('b'));
+    }
+
+    #[test]
+    fn word_ranges_sorted_disjoint() {
+        let w = ClassSet::word();
+        let ranges = w.ranges();
+        for pair in ranges.windows(2) {
+            assert!(pair[0].1 < pair[1].0, "ranges must be disjoint and sorted");
+        }
+    }
+
+    #[test]
+    fn negated_perl_class_complement() {
+        let not_digit = ClassSet::perl(PerlKind::Digit, true);
+        assert!(not_digit.contains('a'));
+        assert!(!not_digit.contains('5'));
+    }
+
+    #[test]
+    fn complement_excludes_surrogates() {
+        let all = complement_ranges(&[]);
+        assert!(all
+            .iter()
+            .all(|&(lo, hi)| hi < 0xD800 || lo > 0xDFFF));
+    }
+
+    #[test]
+    fn normalize_merges_adjacent() {
+        let merged = normalize_ranges(vec![(0, 4), (5, 9), (20, 30), (25, 40)]);
+        assert_eq!(merged, vec![(0, 9), (20, 40)]);
+    }
+
+    #[test]
+    fn space_matches_es_whitespace() {
+        let s = ClassSet::space();
+        for c in ['\t', '\n', '\r', ' ', '\u{A0}', '\u{2028}'] {
+            assert!(s.contains(c), "{c:?} should be \\s");
+        }
+        assert!(!s.contains('x'));
+    }
+
+    #[test]
+    fn case_insensitive_expands_letters() {
+        let set = ClassSet::new(false, vec![ClassItem::Range('a', 'z')]);
+        let ci = set.case_insensitive();
+        assert!(ci.contains('A'));
+        assert!(ci.contains('q'));
+    }
+
+    #[test]
+    fn source_round_trip_bracketed() {
+        let set = ClassSet::new(
+            true,
+            vec![
+                ClassItem::Single('a'),
+                ClassItem::Range('0', '9'),
+                ClassItem::Perl(PerlClass {
+                    kind: PerlKind::Word,
+                    negated: false,
+                }),
+            ],
+        );
+        assert_eq!(set.to_source(), r"[^a0-9\w]");
+    }
+
+    #[test]
+    fn empty_class_matches_nothing() {
+        let set = ClassSet::new(false, vec![]);
+        assert!(set.is_empty_set());
+        assert!(!set.contains('a'));
+    }
+}

@@ -1,0 +1,241 @@
+//! Regex feature classification for the usage survey (§7.1, Tables 4–5).
+//!
+//! [`FeatureSet`] records which of the paper's nineteen surveyed features
+//! a regex uses. The survey crate aggregates these over whole corpora.
+
+use crate::analysis::has_quantified_backref;
+use crate::ast::Ast;
+use crate::parser::Regex;
+
+/// The features surveyed in Table 5 of the paper.
+///
+/// Each field mirrors one row; `FeatureSet::of` computes the set for a
+/// parsed regex.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FeatureSet {
+    /// `( ... )` capture groups.
+    pub capture_groups: bool,
+    /// The `g` flag.
+    pub global_flag: bool,
+    /// Bracketed character classes `[...]` or predefined escapes.
+    pub character_class: bool,
+    /// Greedy `+`.
+    pub kleene_plus: bool,
+    /// Greedy `*`.
+    pub kleene_star: bool,
+    /// The `i` flag.
+    pub ignore_case_flag: bool,
+    /// Ranges `a-z` inside classes.
+    pub ranges: bool,
+    /// Non-capturing groups `(?: ... )`.
+    pub non_capturing: bool,
+    /// Bounded repetition `{m}`, `{m,}`, `{m,n}`.
+    pub repetition: bool,
+    /// Lazy `*?`.
+    pub kleene_star_lazy: bool,
+    /// The `m` flag.
+    pub multiline_flag: bool,
+    /// `\b` or `\B`.
+    pub word_boundary: bool,
+    /// Lazy `+?`.
+    pub kleene_plus_lazy: bool,
+    /// `(?= ... )` or `(?! ... )`.
+    pub lookaheads: bool,
+    /// `\1` ... `\99`.
+    pub backreferences: bool,
+    /// Lazy bounded repetition `{m,n}?`.
+    pub repetition_lazy: bool,
+    /// Backreferences under (or to groups under) an iterating quantifier.
+    pub quantified_backrefs: bool,
+    /// The `y` flag.
+    pub sticky_flag: bool,
+    /// The `u` flag.
+    pub unicode_flag: bool,
+}
+
+impl FeatureSet {
+    /// Computes the feature set of a parsed regex.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use regex_syntax_es6::{Regex, Flags, features::FeatureSet};
+    ///
+    /// let re = Regex::new(r"(\w+)-\1", "gi".parse()?)?;
+    /// let features = FeatureSet::of(&re);
+    /// assert!(features.capture_groups);
+    /// assert!(features.backreferences);
+    /// assert!(features.global_flag && features.ignore_case_flag);
+    /// # Ok::<(), regex_syntax_es6::ParseError>(())
+    /// ```
+    pub fn of(regex: &Regex) -> FeatureSet {
+        let mut set = FeatureSet {
+            global_flag: regex.flags.global,
+            ignore_case_flag: regex.flags.ignore_case,
+            multiline_flag: regex.flags.multiline,
+            sticky_flag: regex.flags.sticky,
+            unicode_flag: regex.flags.unicode,
+            ..FeatureSet::default()
+        };
+        scan(&regex.ast, &mut set);
+        if set.backreferences && has_quantified_backref(&regex.ast) {
+            set.quantified_backrefs = true;
+        }
+        set
+    }
+
+    /// True if any non-classical feature is present (capture groups,
+    /// backreferences, lookaheads or word boundaries) — the features that
+    /// prevent direct translation to the classical word problem (§1).
+    pub fn is_non_classical(&self) -> bool {
+        self.capture_groups || self.backreferences || self.lookaheads || self.word_boundary
+    }
+
+    /// Iterates over `(feature name, present)` pairs in Table 5 row
+    /// order.
+    pub fn rows(&self) -> [(&'static str, bool); 19] {
+        [
+            ("Capture Groups", self.capture_groups),
+            ("Global Flag", self.global_flag),
+            ("Character Class", self.character_class),
+            ("Kleene+", self.kleene_plus),
+            ("Kleene*", self.kleene_star),
+            ("Ignore Case Flag", self.ignore_case_flag),
+            ("Ranges", self.ranges),
+            ("Non-capturing", self.non_capturing),
+            ("Repetition", self.repetition),
+            ("Kleene* (Lazy)", self.kleene_star_lazy),
+            ("Multiline Flag", self.multiline_flag),
+            ("Word Boundary", self.word_boundary),
+            ("Kleene+ (Lazy)", self.kleene_plus_lazy),
+            ("Lookaheads", self.lookaheads),
+            ("Backreferences", self.backreferences),
+            ("Repetition (Lazy)", self.repetition_lazy),
+            ("Quantified BRefs", self.quantified_backrefs),
+            ("Sticky Flag", self.sticky_flag),
+            ("Unicode Flag", self.unicode_flag),
+        ]
+    }
+}
+
+fn scan(ast: &Ast, set: &mut FeatureSet) {
+    match ast {
+        Ast::Class(class) => {
+            set.character_class = true;
+            if class
+                .items
+                .iter()
+                .any(|item| matches!(item, crate::class::ClassItem::Range(..)))
+            {
+                set.ranges = true;
+            }
+        }
+        Ast::Assertion(kind) => {
+            use crate::ast::AssertionKind::*;
+            if matches!(kind, WordBoundary | NotWordBoundary) {
+                set.word_boundary = true;
+            }
+        }
+        Ast::Group { ast, .. } => {
+            set.capture_groups = true;
+            scan(ast, set);
+        }
+        Ast::NonCapturing(inner) => {
+            set.non_capturing = true;
+            scan(inner, set);
+        }
+        Ast::Lookahead { ast, .. } => {
+            set.lookaheads = true;
+            scan(ast, set);
+        }
+        Ast::Repeat { ast, min, max, lazy } => {
+            match (*min, *max, *lazy) {
+                (0, None, false) => set.kleene_star = true,
+                (0, None, true) => set.kleene_star_lazy = true,
+                (1, None, false) => set.kleene_plus = true,
+                (1, None, true) => set.kleene_plus_lazy = true,
+                (0, Some(1), _) => set.repetition = true, // `?` counted as repetition
+                (_, _, false) => set.repetition = true,
+                (_, _, true) => set.repetition_lazy = true,
+            }
+            scan(ast, set);
+        }
+        Ast::Alt(items) | Ast::Concat(items) => {
+            for item in items {
+                scan(item, set);
+            }
+        }
+        Ast::Backref(_) => set.backreferences = true,
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Flags, Regex};
+
+    fn features(literal: &str) -> FeatureSet {
+        FeatureSet::of(&Regex::parse_literal(literal).expect("literal should parse"))
+    }
+
+    #[test]
+    fn classical_regex_has_no_nonclassical_features() {
+        let f = features("/ab*c/");
+        assert!(f.kleene_star);
+        assert!(!f.is_non_classical());
+    }
+
+    #[test]
+    fn capture_and_backref() {
+        let f = features(r"/(\w+)\s\1/");
+        assert!(f.capture_groups);
+        assert!(f.backreferences);
+        assert!(f.character_class);
+        assert!(f.is_non_classical());
+        assert!(!f.quantified_backrefs);
+    }
+
+    #[test]
+    fn quantified_backref_detected() {
+        let f = features(r"/((a|b)\2)+/");
+        assert!(f.quantified_backrefs);
+    }
+
+    #[test]
+    fn lazy_variants() {
+        let f = features("/a*?b+?c{1,2}?/");
+        assert!(f.kleene_star_lazy);
+        assert!(f.kleene_plus_lazy);
+        assert!(f.repetition_lazy);
+    }
+
+    #[test]
+    fn flags_recorded() {
+        let f = features("/a/gimsuy");
+        assert!(f.global_flag);
+        assert!(f.ignore_case_flag);
+        assert!(f.multiline_flag);
+        assert!(f.sticky_flag);
+        assert!(f.unicode_flag);
+    }
+
+    #[test]
+    fn lookahead_and_word_boundary() {
+        let f = features(r"/\bfoo(?=bar)/");
+        assert!(f.word_boundary);
+        assert!(f.lookaheads);
+        assert!(f.is_non_classical());
+    }
+
+    #[test]
+    fn rows_cover_all_19_features() {
+        let f = features("/a/");
+        assert_eq!(f.rows().len(), 19);
+    }
+
+    #[test]
+    fn _ignore_case_flag_unused_warning_guard() {
+        let _ = Regex::new("a", Flags::empty());
+    }
+}

@@ -1,0 +1,140 @@
+//! Regex flags (`g`, `i`, `m`, `s`, `u`, `y`).
+
+use std::fmt;
+use std::str::FromStr;
+
+/// The flag set of an ES6 `RegExp`.
+///
+/// The paper's evaluation covers `g i m u y` (§2.1); `s` (dotAll,
+/// ES2018) is additionally supported because the corpus generator uses it
+/// in its "unsupported feature" bucket.
+///
+/// # Examples
+///
+/// ```
+/// use regex_syntax_es6::Flags;
+///
+/// let flags: Flags = "gi".parse()?;
+/// assert!(flags.global && flags.ignore_case);
+/// assert_eq!(flags.to_string(), "gi");
+/// # Ok::<(), regex_syntax_es6::ParseError>(())
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct Flags {
+    /// `g` — find all matches / advance `lastIndex`.
+    pub global: bool,
+    /// `i` — case-insensitive matching.
+    pub ignore_case: bool,
+    /// `m` — `^`/`$` also match at line terminators.
+    pub multiline: bool,
+    /// `s` — `.` also matches line terminators (ES2018 dotAll).
+    pub dot_all: bool,
+    /// `u` — unicode escape semantics.
+    pub unicode: bool,
+    /// `y` — sticky: matching starts exactly at `lastIndex`.
+    pub sticky: bool,
+}
+
+impl Flags {
+    /// Flags with every bit clear.
+    pub fn empty() -> Flags {
+        Flags::default()
+    }
+
+    /// True when matching is anchored at `lastIndex` for `exec`/`test`.
+    ///
+    /// Per §2.1 of the paper the `g` flag is equivalent to `y` for the
+    /// `test` and `exec` methods of `RegExp`.
+    pub fn is_stateful(&self) -> bool {
+        self.global || self.sticky
+    }
+}
+
+impl FromStr for Flags {
+    type Err = crate::ParseError;
+
+    fn from_str(s: &str) -> Result<Flags, Self::Err> {
+        let mut flags = Flags::default();
+        for c in s.chars() {
+            let field = match c {
+                'g' => &mut flags.global,
+                'i' => &mut flags.ignore_case,
+                'm' => &mut flags.multiline,
+                's' => &mut flags.dot_all,
+                'u' => &mut flags.unicode,
+                'y' => &mut flags.sticky,
+                other => {
+                    return Err(crate::ParseError::new(
+                        0,
+                        format!("unknown regex flag `{other}`"),
+                    ))
+                }
+            };
+            if *field {
+                return Err(crate::ParseError::new(
+                    0,
+                    format!("duplicate regex flag `{c}`"),
+                ));
+            }
+            *field = true;
+        }
+        Ok(flags)
+    }
+}
+
+impl fmt::Display for Flags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (set, c) in [
+            (self.global, 'g'),
+            (self.ignore_case, 'i'),
+            (self.multiline, 'm'),
+            (self.dot_all, 's'),
+            (self.unicode, 'u'),
+            (self.sticky, 'y'),
+        ] {
+            if set {
+                write!(f, "{c}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_all_flags() {
+        let flags: Flags = "gimsuy".parse().expect("valid flags");
+        assert!(flags.global);
+        assert!(flags.ignore_case);
+        assert!(flags.multiline);
+        assert!(flags.dot_all);
+        assert!(flags.unicode);
+        assert!(flags.sticky);
+    }
+
+    #[test]
+    fn reject_duplicate() {
+        assert!("gg".parse::<Flags>().is_err());
+    }
+
+    #[test]
+    fn reject_unknown() {
+        assert!("x".parse::<Flags>().is_err());
+    }
+
+    #[test]
+    fn display_round_trip() {
+        let flags: Flags = "iy".parse().expect("valid");
+        assert_eq!(flags.to_string(), "iy");
+    }
+
+    #[test]
+    fn global_implies_stateful() {
+        let flags: Flags = "g".parse().expect("valid");
+        assert!(flags.is_stateful());
+        assert!(!Flags::empty().is_stateful());
+    }
+}

@@ -1,0 +1,39 @@
+//! Parser, AST and analyses for the complete ECMAScript 2015 (ES6)
+//! regular expression language.
+//!
+//! This crate is the syntactic foundation of the PLDI'19 reproduction
+//! *Sound Regular Expression Semantics for Dynamic Symbolic Execution of
+//! JavaScript*: every other crate in the workspace consumes the [`Ast`]
+//! defined here. It provides:
+//!
+//! * a complete ES6 regex parser ([`parse`], [`Regex::parse_literal`])
+//!   with the Annex B web-compatibility tolerances of real engines;
+//! * character classes and their resolution to scalar ranges
+//!   ([`class::ClassSet`]);
+//! * flags ([`Flags`]);
+//! * the Table 1 rewritings ([`rewrite`]);
+//! * the Definition 2 backreference classification ([`analysis`]);
+//! * the Table 5 feature survey ([`features::FeatureSet`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use regex_syntax_es6::{Regex, features::FeatureSet};
+//!
+//! let re = Regex::parse_literal(r"/<(\w+)>([0-9]*)<\/\1>/")?;
+//! assert_eq!(re.capture_count, 2);
+//! assert!(FeatureSet::of(&re).backreferences);
+//! # Ok::<(), regex_syntax_es6::ParseError>(())
+//! ```
+
+pub mod analysis;
+pub mod ast;
+pub mod class;
+pub mod features;
+pub mod flags;
+pub mod parser;
+pub mod rewrite;
+
+pub use ast::{AssertionKind, Ast};
+pub use flags::Flags;
+pub use parser::{parse, ParseError, Regex};

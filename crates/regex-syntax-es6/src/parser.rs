@@ -1,0 +1,847 @@
+//! Recursive-descent parser for the full ES6 regex grammar.
+//!
+//! The parser follows §21.2.1 of ECMA-262 2015 together with the Annex B
+//! web-compatibility extensions that real engines implement: an unmatched
+//! `{` that does not begin a quantifier is a literal, `]` outside a class
+//! is a literal, and a decimal escape that exceeds the pattern's group
+//! count parses as a legacy octal/identity escape rather than an error.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::ast::{Ast, AssertionKind};
+use crate::class::{ClassItem, ClassSet, PerlClass, PerlKind};
+use crate::flags::Flags;
+
+/// An error produced while parsing a regex pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    position: usize,
+    message: String,
+}
+
+impl ParseError {
+    pub(crate) fn new(position: usize, message: impl Into<String>) -> ParseError {
+        ParseError {
+            position,
+            message: message.into(),
+        }
+    }
+
+    /// Byte offset in the pattern at which the error was detected.
+    pub fn position(&self) -> usize {
+        self.position
+    }
+
+    /// Human-readable description of the problem.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "regex parse error at offset {}: {}", self.position, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+/// A parsed regex together with its flags — the analogue of a JavaScript
+/// `RegExp` literal such as `/goo+d/gi`.
+///
+/// # Examples
+///
+/// ```
+/// use regex_syntax_es6::Regex;
+///
+/// let re = Regex::parse_literal("/goo+d/i")?;
+/// assert!(re.flags.ignore_case);
+/// assert_eq!(re.capture_count, 0);
+/// # Ok::<(), regex_syntax_es6::ParseError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Regex {
+    /// The pattern body.
+    pub ast: Ast,
+    /// The flag set.
+    pub flags: Flags,
+    /// Number of capture groups in the pattern (excluding group 0).
+    pub capture_count: u32,
+    /// The original source text of the pattern body.
+    pub source: String,
+}
+
+impl Regex {
+    /// Parses a bare pattern with the given flags.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseError`] if the pattern is not valid ES6 regex
+    /// syntax.
+    pub fn new(pattern: &str, flags: Flags) -> Result<Regex, ParseError> {
+        let ast = parse(pattern)?;
+        let capture_count = ast.capture_count();
+        Ok(Regex {
+            ast,
+            flags,
+            capture_count,
+            source: pattern.to_string(),
+        })
+    }
+
+    /// Parses a `/pattern/flags` literal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseError`] if the literal is malformed or the pattern
+    /// or flags are invalid.
+    pub fn parse_literal(literal: &str) -> Result<Regex, ParseError> {
+        let rest = literal
+            .strip_prefix('/')
+            .ok_or_else(|| ParseError::new(0, "regex literal must start with `/`"))?;
+        // Find the closing unescaped `/` that is not inside a class.
+        let mut in_class = false;
+        let mut escaped = false;
+        let mut split = None;
+        for (i, c) in rest.char_indices() {
+            if escaped {
+                escaped = false;
+                continue;
+            }
+            match c {
+                '\\' => escaped = true,
+                '[' => in_class = true,
+                ']' => in_class = false,
+                '/' if !in_class => {
+                    split = Some(i);
+                    break;
+                }
+                _ => {}
+            }
+        }
+        let split =
+            split.ok_or_else(|| ParseError::new(literal.len(), "unterminated regex literal"))?;
+        let pattern = &rest[..split];
+        let flags: Flags = rest[split + 1..].parse()?;
+        Regex::new(pattern, flags)
+    }
+}
+
+impl fmt::Display for Regex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "/{}/{}", self.source, self.flags)
+    }
+}
+
+/// Parses a bare ES6 regex pattern into an [`Ast`].
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on invalid syntax (unbalanced parentheses,
+/// dangling quantifiers, bad escapes, out-of-order class ranges, ...).
+///
+/// # Examples
+///
+/// ```
+/// use regex_syntax_es6::parse;
+///
+/// let ast = parse(r"<(\w+)>([0-9]*)<\/\1>")?;
+/// assert_eq!(ast.capture_count(), 2);
+/// # Ok::<(), regex_syntax_es6::ParseError>(())
+/// ```
+pub fn parse(pattern: &str) -> Result<Ast, ParseError> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let total_groups = count_groups(&chars);
+    let mut parser = Parser {
+        chars: &chars,
+        pos: 0,
+        next_group: 1,
+        total_groups,
+    };
+    let ast = parser.parse_alternation()?;
+    if parser.pos != parser.chars.len() {
+        return Err(ParseError::new(
+            parser.pos,
+            format!("unexpected `{}`", parser.chars[parser.pos]),
+        ));
+    }
+    Ok(ast)
+}
+
+/// Counts capturing `(` in a pattern, skipping escapes, classes and `(?`.
+fn count_groups(chars: &[char]) -> u32 {
+    let mut count = 0;
+    let mut i = 0;
+    let mut in_class = false;
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => i += 1,
+            '[' if !in_class => in_class = true,
+            ']' if in_class => in_class = false,
+            '(' if !in_class => {
+                if chars.get(i + 1) != Some(&'?') {
+                    count += 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    count
+}
+
+struct Parser<'a> {
+    chars: &'a [char],
+    pos: usize,
+    next_group: u32,
+    total_groups: u32,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, offset: usize) -> Option<char> {
+        self.chars.get(self.pos + offset).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError::new(self.pos, message)
+    }
+
+    fn parse_alternation(&mut self) -> Result<Ast, ParseError> {
+        let mut branches = vec![self.parse_alternative()?];
+        while self.eat('|') {
+            branches.push(self.parse_alternative()?);
+        }
+        Ok(Ast::alt(branches))
+    }
+
+    fn parse_alternative(&mut self) -> Result<Ast, ParseError> {
+        let mut items = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            items.push(self.parse_term()?);
+        }
+        Ok(Ast::concat(items))
+    }
+
+    fn parse_term(&mut self) -> Result<Ast, ParseError> {
+        let atom = self.parse_atom()?;
+        self.parse_quantifier(atom)
+    }
+
+    fn parse_quantifier(&mut self, atom: Ast) -> Result<Ast, ParseError> {
+        let (min, max) = match self.peek() {
+            Some('*') => {
+                self.bump();
+                (0, None)
+            }
+            Some('+') => {
+                self.bump();
+                (1, None)
+            }
+            Some('?') => {
+                self.bump();
+                (0, Some(1))
+            }
+            Some('{') => match self.try_parse_bounds() {
+                Some(bounds) => bounds,
+                None => return Ok(atom), // Annex B: literal `{`
+            },
+            _ => return Ok(atom),
+        };
+        if matches!(
+            atom,
+            Ast::Assertion(_) | Ast::Lookahead { .. } | Ast::Empty
+        ) {
+            return Err(self.error("quantifier follows nothing quantifiable"));
+        }
+        if let Some(max) = max {
+            if min > max {
+                return Err(self.error(format!(
+                    "quantifier range out of order: {{{min},{max}}}"
+                )));
+            }
+        }
+        let lazy = self.eat('?');
+        Ok(Ast::Repeat {
+            ast: Box::new(atom),
+            min,
+            max,
+            lazy,
+        })
+    }
+
+    /// Attempts to parse `{m}`, `{m,}` or `{m,n}` starting at `{`;
+    /// restores the position and returns `None` when the braces do not
+    /// form a quantifier (Annex B tolerance).
+    fn try_parse_bounds(&mut self) -> Option<(u32, Option<u32>)> {
+        let start = self.pos;
+        debug_assert_eq!(self.peek(), Some('{'));
+        self.bump();
+        let Some(min) = self.parse_decimal() else {
+            self.pos = start;
+            return None;
+        };
+        let result = if self.eat('}') {
+            Some((min, Some(min)))
+        } else if self.eat(',') {
+            if self.eat('}') {
+                Some((min, None))
+            } else {
+                let max = self.parse_decimal();
+                match (max, self.eat('}')) {
+                    (Some(max), true) => Some((min, Some(max))),
+                    _ => None,
+                }
+            }
+        } else {
+            None
+        };
+        if result.is_none() {
+            self.pos = start;
+        }
+        result
+    }
+
+    fn parse_decimal(&mut self) -> Option<u32> {
+        let mut value: u64 = 0;
+        let mut any = false;
+        while let Some(c) = self.peek() {
+            if let Some(d) = c.to_digit(10) {
+                any = true;
+                value = value.saturating_mul(10).saturating_add(u64::from(d));
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if any {
+            Some(value.min(u64::from(u32::MAX)) as u32)
+        } else {
+            None
+        }
+    }
+
+    fn parse_atom(&mut self) -> Result<Ast, ParseError> {
+        let c = self.peek().ok_or_else(|| self.error("unexpected end of pattern"))?;
+        match c {
+            '^' => {
+                self.bump();
+                Ok(Ast::Assertion(AssertionKind::StartAnchor))
+            }
+            '$' => {
+                self.bump();
+                Ok(Ast::Assertion(AssertionKind::EndAnchor))
+            }
+            '.' => {
+                self.bump();
+                Ok(Ast::Dot)
+            }
+            '(' => self.parse_group(),
+            '[' => self.parse_class(),
+            '\\' => self.parse_escape(),
+            '*' | '+' | '?' => Err(self.error(format!("dangling quantifier `{c}`"))),
+            ')' => Err(self.error("unmatched `)`")),
+            _ => {
+                self.bump();
+                Ok(Ast::Literal(c))
+            }
+        }
+    }
+
+    fn parse_group(&mut self) -> Result<Ast, ParseError> {
+        debug_assert_eq!(self.peek(), Some('('));
+        self.bump();
+        let kind = if self.eat('?') {
+            match self.peek() {
+                Some(':') => {
+                    self.bump();
+                    GroupKind::NonCapturing
+                }
+                Some('=') => {
+                    self.bump();
+                    GroupKind::Lookahead { negative: false }
+                }
+                Some('!') => {
+                    self.bump();
+                    GroupKind::Lookahead { negative: true }
+                }
+                Some('<') => {
+                    return Err(self.error(
+                        "lookbehind and named groups are not part of ES6",
+                    ))
+                }
+                _ => return Err(self.error("invalid group modifier after `(?`")),
+            }
+        } else {
+            let index = self.next_group;
+            self.next_group += 1;
+            GroupKind::Capturing { index }
+        };
+        let inner = self.parse_alternation()?;
+        if !self.eat(')') {
+            return Err(self.error("unterminated group: expected `)`"));
+        }
+        Ok(match kind {
+            GroupKind::Capturing { index } => Ast::Group {
+                index,
+                ast: Box::new(inner),
+            },
+            GroupKind::NonCapturing => Ast::NonCapturing(Box::new(inner)),
+            GroupKind::Lookahead { negative } => Ast::Lookahead {
+                negative,
+                ast: Box::new(inner),
+            },
+        })
+    }
+
+    fn parse_class(&mut self) -> Result<Ast, ParseError> {
+        debug_assert_eq!(self.peek(), Some('['));
+        self.bump();
+        let negated = self.eat('^');
+        let mut items = Vec::new();
+        loop {
+            let c = self
+                .peek()
+                .ok_or_else(|| self.error("unterminated character class"))?;
+            if c == ']' {
+                self.bump();
+                break;
+            }
+            let first = self.parse_class_member()?;
+            // Try to form a range `first-last`.
+            if self.peek() == Some('-')
+                && self.peek_at(1).is_some()
+                && self.peek_at(1) != Some(']')
+            {
+                if let ClassMember::Char(lo) = first {
+                    self.bump(); // `-`
+                    let second = self.parse_class_member()?;
+                    match second {
+                        ClassMember::Char(hi) => {
+                            if (lo as u32) > (hi as u32) {
+                                return Err(self.error(format!(
+                                    "class range out of order: {lo}-{hi}"
+                                )));
+                            }
+                            items.push(ClassItem::Range(lo, hi));
+                            continue;
+                        }
+                        ClassMember::Perl(p) => {
+                            // Annex B: `[a-\d]` treats `-` as literal.
+                            items.push(ClassItem::Single(lo));
+                            items.push(ClassItem::Single('-'));
+                            items.push(ClassItem::Perl(p));
+                            continue;
+                        }
+                    }
+                }
+            }
+            match first {
+                ClassMember::Char(c) => items.push(ClassItem::Single(c)),
+                ClassMember::Perl(p) => items.push(ClassItem::Perl(p)),
+            }
+        }
+        Ok(Ast::Class(ClassSet::new(negated, items)))
+    }
+
+    fn parse_class_member(&mut self) -> Result<ClassMember, ParseError> {
+        let c = self
+            .bump()
+            .ok_or_else(|| self.error("unterminated character class"))?;
+        if c != '\\' {
+            return Ok(ClassMember::Char(c));
+        }
+        let esc = self
+            .bump()
+            .ok_or_else(|| self.error("trailing backslash in class"))?;
+        Ok(match esc {
+            'd' => ClassMember::Perl(PerlClass { kind: PerlKind::Digit, negated: false }),
+            'D' => ClassMember::Perl(PerlClass { kind: PerlKind::Digit, negated: true }),
+            'w' => ClassMember::Perl(PerlClass { kind: PerlKind::Word, negated: false }),
+            'W' => ClassMember::Perl(PerlClass { kind: PerlKind::Word, negated: true }),
+            's' => ClassMember::Perl(PerlClass { kind: PerlKind::Space, negated: false }),
+            'S' => ClassMember::Perl(PerlClass { kind: PerlKind::Space, negated: true }),
+            'b' => ClassMember::Char('\x08'), // backspace inside a class
+            other => ClassMember::Char(self.finish_char_escape(other)?),
+        })
+    }
+
+    fn parse_escape(&mut self) -> Result<Ast, ParseError> {
+        debug_assert_eq!(self.peek(), Some('\\'));
+        self.bump();
+        let c = self
+            .bump()
+            .ok_or_else(|| self.error("trailing backslash"))?;
+        Ok(match c {
+            'b' => Ast::Assertion(AssertionKind::WordBoundary),
+            'B' => Ast::Assertion(AssertionKind::NotWordBoundary),
+            'd' => Ast::Class(ClassSet::perl(PerlKind::Digit, false)),
+            'D' => Ast::Class(ClassSet::perl(PerlKind::Digit, true)),
+            'w' => Ast::Class(ClassSet::perl(PerlKind::Word, false)),
+            'W' => Ast::Class(ClassSet::perl(PerlKind::Word, true)),
+            's' => Ast::Class(ClassSet::perl(PerlKind::Space, false)),
+            'S' => Ast::Class(ClassSet::perl(PerlKind::Space, true)),
+            '1'..='9' => {
+                // Decimal escape: a backreference when the pattern has
+                // that many groups, otherwise a legacy octal escape
+                // (Annex B).
+                let start = self.pos - 1;
+                let mut n = c.to_digit(10).expect("digit");
+                while let Some(d) = self.peek().and_then(|c| c.to_digit(10)) {
+                    let candidate = n * 10 + d;
+                    if candidate > self.total_groups {
+                        break;
+                    }
+                    n = candidate;
+                    self.bump();
+                }
+                if n <= self.total_groups {
+                    Ast::Backref(n)
+                } else {
+                    // Legacy octal: reinterpret the digits at `start`.
+                    self.pos = start;
+                    let value = self.parse_legacy_octal();
+                    Ast::Literal(
+                        char::from_u32(value)
+                            .ok_or_else(|| self.error("invalid octal escape"))?,
+                    )
+                }
+            }
+            other => Ast::Literal(self.finish_char_escape(other)?),
+        })
+    }
+
+    /// Handles the character-valued escapes shared between classes and
+    /// the top level: control escapes, hex, unicode, null and identity.
+    fn finish_char_escape(&mut self, c: char) -> Result<char, ParseError> {
+        Ok(match c {
+            'n' => '\n',
+            'r' => '\r',
+            't' => '\t',
+            'v' => '\x0B',
+            'f' => '\x0C',
+            '0' => {
+                // `\0` is NUL unless followed by a digit (legacy octal).
+                if self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                    self.pos -= 1;
+                    let value = self.parse_legacy_octal();
+                    char::from_u32(value).ok_or_else(|| self.error("invalid octal escape"))?
+                } else {
+                    '\0'
+                }
+            }
+            'c' => {
+                // Control escape `\cX`.
+                match self.peek() {
+                    Some(l) if l.is_ascii_alphabetic() => {
+                        self.bump();
+                        char::from_u32((l as u32) % 32).expect("control char")
+                    }
+                    // Annex B: a lone `\c` is a literal backslash-c; we
+                    // return `c` and leave the next char alone.
+                    _ => 'c',
+                }
+            }
+            'x' => {
+                let h1 = self.hex_digit()?;
+                let h2 = self.hex_digit()?;
+                char::from_u32(h1 * 16 + h2).ok_or_else(|| self.error("invalid hex escape"))?
+            }
+            'u' => self.parse_unicode_escape()?,
+            other => other, // identity escape
+        })
+    }
+
+    fn parse_legacy_octal(&mut self) -> u32 {
+        let mut value = 0u32;
+        let mut digits = 0;
+        while digits < 3 {
+            match self.peek().and_then(|c| c.to_digit(8)) {
+                Some(d) if value * 8 + d <= 0xFF => {
+                    value = value * 8 + d;
+                    digits += 1;
+                    self.bump();
+                }
+                _ => break,
+            }
+        }
+        value
+    }
+
+    fn hex_digit(&mut self) -> Result<u32, ParseError> {
+        self.bump()
+            .and_then(|c| c.to_digit(16))
+            .ok_or_else(|| self.error("expected hex digit"))
+    }
+
+    fn parse_unicode_escape(&mut self) -> Result<char, ParseError> {
+        if self.eat('{') {
+            // `\u{XXXXXX}` (u-flag syntax; accepted unconditionally).
+            let mut value = 0u32;
+            let mut any = false;
+            while let Some(d) = self.peek().and_then(|c| c.to_digit(16)) {
+                any = true;
+                value = value.saturating_mul(16).saturating_add(d);
+                self.bump();
+            }
+            if !any || !self.eat('}') {
+                return Err(self.error("malformed \\u{...} escape"));
+            }
+            char::from_u32(value).ok_or_else(|| self.error("invalid code point"))
+        } else {
+            let mut value = 0u32;
+            for _ in 0..4 {
+                value = value * 16 + self.hex_digit()?;
+            }
+            // Surrogates cannot be `char`; map them to the replacement
+            // character (they only arise in malformed UTF-16 patterns).
+            Ok(char::from_u32(value).unwrap_or('\u{FFFD}'))
+        }
+    }
+}
+
+enum GroupKind {
+    Capturing { index: u32 },
+    NonCapturing,
+    Lookahead { negative: bool },
+}
+
+enum ClassMember {
+    Char(char),
+    Perl(PerlClass),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(pattern: &str) -> Ast {
+        parse(pattern).expect("pattern should parse")
+    }
+
+    #[test]
+    fn literal_concat() {
+        assert_eq!(
+            p("abc"),
+            Ast::Concat(vec![Ast::Literal('a'), Ast::Literal('b'), Ast::Literal('c')])
+        );
+    }
+
+    #[test]
+    fn alternation_branches() {
+        match p("a|b|c") {
+            Ast::Alt(items) => assert_eq!(items.len(), 3),
+            other => panic!("expected alternation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_alternation_branch() {
+        match p("a|") {
+            Ast::Alt(items) => {
+                assert_eq!(items.len(), 2);
+                assert_eq!(items[1], Ast::Empty);
+            }
+            other => panic!("expected alternation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn quantifiers() {
+        assert_eq!(
+            p("a*"),
+            Ast::Repeat { ast: Box::new(Ast::Literal('a')), min: 0, max: None, lazy: false }
+        );
+        assert_eq!(
+            p("a+?"),
+            Ast::Repeat { ast: Box::new(Ast::Literal('a')), min: 1, max: None, lazy: true }
+        );
+        assert_eq!(
+            p("a{2,5}"),
+            Ast::Repeat { ast: Box::new(Ast::Literal('a')), min: 2, max: Some(5), lazy: false }
+        );
+        assert_eq!(
+            p("a{3}"),
+            Ast::Repeat { ast: Box::new(Ast::Literal('a')), min: 3, max: Some(3), lazy: false }
+        );
+        assert_eq!(
+            p("a{2,}"),
+            Ast::Repeat { ast: Box::new(Ast::Literal('a')), min: 2, max: None, lazy: false }
+        );
+    }
+
+    #[test]
+    fn braces_literal_when_not_quantifier() {
+        // Annex B tolerance: `{x}` is a literal sequence.
+        assert_eq!(
+            p("a{x}"),
+            Ast::Concat(vec![
+                Ast::Literal('a'),
+                Ast::Literal('{'),
+                Ast::Literal('x'),
+                Ast::Literal('}'),
+            ])
+        );
+    }
+
+    #[test]
+    fn group_numbering_by_open_paren() {
+        // The paper's example: /a|((b)*c)*d/ numbers outer group 1, inner 2.
+        let ast = p("a|((b)*c)*d");
+        assert_eq!(ast.capture_indices(), vec![1, 2]);
+    }
+
+    #[test]
+    fn noncapturing_and_lookahead() {
+        assert!(matches!(p("(?:ab)"), Ast::NonCapturing(_)));
+        assert!(matches!(p("(?=a)"), Ast::Lookahead { negative: false, .. }));
+        assert!(matches!(p("(?!a)"), Ast::Lookahead { negative: true, .. }));
+    }
+
+    #[test]
+    fn backreference_vs_octal() {
+        assert_eq!(p(r"(a)\1").capture_count(), 1);
+        assert!(matches!(p(r"(a)\1"), Ast::Concat(v) if matches!(v[1], Ast::Backref(1))));
+        // No group 2 exists: `\2` is a legacy octal escape (STX, 0x02).
+        assert!(matches!(p(r"(a)\2"), Ast::Concat(v) if v[1] == Ast::Literal('\x02')));
+    }
+
+    #[test]
+    fn multi_digit_backreference() {
+        let mut pat = String::new();
+        for _ in 0..11 {
+            pat.push_str("(a)");
+        }
+        pat.push_str(r"\11");
+        let ast = p(&pat);
+        assert!(ast.has_backref());
+        match ast {
+            Ast::Concat(items) => assert_eq!(*items.last().expect("last"), Ast::Backref(11)),
+            other => panic!("expected concat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn escapes() {
+        assert_eq!(p(r"\n"), Ast::Literal('\n'));
+        assert_eq!(p(r"\x41"), Ast::Literal('A'));
+        assert_eq!(p(r"A"), Ast::Literal('A'));
+        assert_eq!(p(r"\u{1F600}"), Ast::Literal('\u{1F600}'));
+        assert_eq!(p(r"\cA"), Ast::Literal('\x01'));
+        assert_eq!(p(r"\0"), Ast::Literal('\0'));
+        assert_eq!(p(r"\$"), Ast::Literal('$'));
+    }
+
+    #[test]
+    fn class_parsing() {
+        let ast = p(r"[a-z0-9_\d]");
+        match ast {
+            Ast::Class(set) => {
+                assert!(!set.negated);
+                assert!(set.contains('m'));
+                assert!(set.contains('5'));
+                assert!(set.contains('_'));
+            }
+            other => panic!("expected class, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn negated_class_parsing() {
+        let ast = p(r"[^abc]");
+        match ast {
+            Ast::Class(set) => {
+                assert!(set.negated);
+                assert!(!set.contains('a'));
+                assert!(set.contains('d'));
+            }
+            other => panic!("expected class, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn class_backspace_escape() {
+        match p(r"[\b]") {
+            Ast::Class(set) => assert!(set.contains('\x08')),
+            other => panic!("expected class, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn word_boundary_outside_class() {
+        assert_eq!(p(r"\b"), Ast::Assertion(AssertionKind::WordBoundary));
+        assert_eq!(p(r"\B"), Ast::Assertion(AssertionKind::NotWordBoundary));
+    }
+
+    #[test]
+    fn anchors() {
+        let ast = p("^ab$");
+        match ast {
+            Ast::Concat(items) => {
+                assert_eq!(items[0], Ast::Assertion(AssertionKind::StartAnchor));
+                assert_eq!(items[3], Ast::Assertion(AssertionKind::EndAnchor));
+            }
+            other => panic!("expected concat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse("(a").is_err());
+        assert!(parse("a)").is_err());
+        assert!(parse("*a").is_err());
+        assert!(parse("[a").is_err());
+        assert!(parse(r"\x4").is_err());
+        assert!(parse("a{3,1}").is_err());
+        assert!(parse("(?<name>a)").is_err());
+        assert!(parse("[z-a]").is_err());
+        assert!(parse("(?=a)*").is_err());
+    }
+
+    #[test]
+    fn paper_xml_regex() {
+        let ast = p(r"<(\w+)>([0-9]*)<\/\1>");
+        assert_eq!(ast.capture_count(), 2);
+        assert!(ast.has_backref());
+    }
+
+    #[test]
+    fn literal_parsing() {
+        let re = Regex::parse_literal("/a[/]b/g").expect("literal should parse");
+        assert!(re.flags.global);
+        assert_eq!(re.source, "a[/]b");
+        assert!(Regex::parse_literal("abc").is_err());
+        assert!(Regex::parse_literal("/abc").is_err());
+        assert!(Regex::parse_literal("/a/zz").is_err());
+    }
+
+    #[test]
+    fn escaped_slash_in_literal() {
+        let re = Regex::parse_literal(r"/a\/b/").expect("literal should parse");
+        assert_eq!(re.source, r"a\/b");
+    }
+}

@@ -1,0 +1,253 @@
+//! Table 1 rewritings: desugaring derived quantifiers and normalizing
+//! matching precedence.
+//!
+//! The paper (§4.1) rewrites every regex to a normal form containing only
+//! alternation, concatenation, Kleene star, groups, lookarounds and
+//! backreferences:
+//!
+//! * `r+`      → `r*r`
+//! * `r{m,n}`  → `rⁿ | ... | rᵐ`
+//! * `r?`      → `r|ε`
+//! * lazy quantifiers → their greedy equivalents (matching precedence is
+//!   restored later by the CEGAR refinement loop)
+//!
+//! Because the rules for `+` and `{m,n}` duplicate capture groups, the
+//! rewriting makes capture-group correspondence explicit: the canonical
+//! capture of a duplicated group is the one in the *last* copy that can
+//! match. The capturing-language model builder performs that bookkeeping
+//! on solver variables; the functions here provide the pure AST
+//! transformations used for classical (capture-free) compilation, for the
+//! `t̂` construction of Table 2, and as an executable rendition of
+//! Table 1 itself.
+
+use crate::ast::Ast;
+
+/// Replaces every capture group with a non-capturing group.
+///
+/// This is the `t̂` ("t-hat") construction used by the quantification
+/// model of Table 2: `t̂₁` is regular whenever `t₁` is backreference-free.
+///
+/// # Examples
+///
+/// ```
+/// use regex_syntax_es6::{parse, rewrite::strip_captures};
+///
+/// let ast = strip_captures(&parse("(a|(b))c")?);
+/// assert_eq!(ast.capture_count(), 0);
+/// assert_eq!(ast.to_source(), "(?:a|(?:b))c");
+/// # Ok::<(), regex_syntax_es6::ParseError>(())
+/// ```
+pub fn strip_captures(ast: &Ast) -> Ast {
+    match ast {
+        Ast::Group { ast, .. } => Ast::NonCapturing(Box::new(strip_captures(ast))),
+        Ast::NonCapturing(inner) => Ast::NonCapturing(Box::new(strip_captures(inner))),
+        Ast::Lookahead { negative, ast } => Ast::Lookahead {
+            negative: *negative,
+            ast: Box::new(strip_captures(ast)),
+        },
+        Ast::Repeat { ast, min, max, lazy } => Ast::Repeat {
+            ast: Box::new(strip_captures(ast)),
+            min: *min,
+            max: *max,
+            lazy: *lazy,
+        },
+        Ast::Alt(items) => Ast::Alt(items.iter().map(strip_captures).collect()),
+        Ast::Concat(items) => Ast::Concat(items.iter().map(strip_captures).collect()),
+        other => other.clone(),
+    }
+}
+
+/// Rewrites all lazy quantifiers to their greedy equivalents.
+///
+/// The capturing-language models are agnostic to matching precedence
+/// (§4.1); greediness is recovered by refinement.
+pub fn normalize_lazy(ast: &Ast) -> Ast {
+    match ast {
+        Ast::Repeat { ast, min, max, .. } => Ast::Repeat {
+            ast: Box::new(normalize_lazy(ast)),
+            min: *min,
+            max: *max,
+            lazy: false,
+        },
+        Ast::Group { index, ast } => Ast::Group {
+            index: *index,
+            ast: Box::new(normalize_lazy(ast)),
+        },
+        Ast::NonCapturing(inner) => Ast::NonCapturing(Box::new(normalize_lazy(inner))),
+        Ast::Lookahead { negative, ast } => Ast::Lookahead {
+            negative: *negative,
+            ast: Box::new(normalize_lazy(ast)),
+        },
+        Ast::Alt(items) => Ast::Alt(items.iter().map(normalize_lazy).collect()),
+        Ast::Concat(items) => Ast::Concat(items.iter().map(normalize_lazy).collect()),
+        other => other.clone(),
+    }
+}
+
+/// Bound on `{m,n}` expansion size to keep Table 1 desugaring tractable.
+///
+/// Patterns exceeding this produce repeated copies only up to the cap;
+/// the model builder and automata compiler handle large bounds natively
+/// instead of calling [`desugar`].
+pub const MAX_EXPANSION: u32 = 64;
+
+/// Applies the Table 1 rewriting rules, producing an AST containing only
+/// `*` quantifiers (plus groups, lookarounds, alternation, concatenation
+/// and backreferences).
+///
+/// Capture groups duplicated by the expansion keep their original index;
+/// consumers that need the §4.1 capture correspondence (`Cᵢ = Cᵢ,last`)
+/// must allocate distinct variables per copy — see
+/// `expose_core::model`. For capture-free ASTs the result is exactly
+/// language-equivalent.
+///
+/// # Examples
+///
+/// ```
+/// use regex_syntax_es6::{parse, rewrite::desugar};
+///
+/// // r+ → r*r
+/// assert_eq!(desugar(&parse("ab+")?).to_source(), "ab*b");
+/// // r? → r|ε (the trailing `|` denotes the empty branch)
+/// assert_eq!(desugar(&parse("a?")?).to_source(), "a|");
+/// # Ok::<(), regex_syntax_es6::ParseError>(())
+/// ```
+pub fn desugar(ast: &Ast) -> Ast {
+    match ast {
+        Ast::Repeat { ast: inner, min, max, .. } => {
+            let inner = desugar(inner);
+            match (*min, *max) {
+                // r* stays.
+                (0, None) => star(inner),
+                // r+ → r*r
+                (1, None) => Ast::concat(vec![star(inner.clone()), inner]),
+                // r? → r|ε
+                (0, Some(1)) => Ast::alt(vec![inner, Ast::Empty]),
+                // r{m,} → r…r r*   (m copies then star)
+                (m, None) => {
+                    let m = m.min(MAX_EXPANSION);
+                    let mut items = vec![inner.clone(); m as usize];
+                    items.push(star(inner));
+                    Ast::concat(items)
+                }
+                // r{m,n} → rⁿ | … | rᵐ
+                (m, Some(n)) => {
+                    let n = n.min(m.saturating_add(MAX_EXPANSION));
+                    let mut branches = Vec::new();
+                    for count in (m..=n).rev() {
+                        branches.push(power(&inner, count));
+                    }
+                    Ast::alt(branches)
+                }
+            }
+        }
+        Ast::Group { index, ast } => Ast::Group {
+            index: *index,
+            ast: Box::new(desugar(ast)),
+        },
+        Ast::NonCapturing(inner) => Ast::NonCapturing(Box::new(desugar(inner))),
+        Ast::Lookahead { negative, ast } => Ast::Lookahead {
+            negative: *negative,
+            ast: Box::new(desugar(ast)),
+        },
+        Ast::Alt(items) => Ast::Alt(items.iter().map(desugar).collect()),
+        Ast::Concat(items) => Ast::concat(items.iter().map(desugar).collect()),
+        other => other.clone(),
+    }
+}
+
+fn star(ast: Ast) -> Ast {
+    Ast::Repeat {
+        ast: Box::new(ast),
+        min: 0,
+        max: None,
+        lazy: false,
+    }
+}
+
+fn power(ast: &Ast, count: u32) -> Ast {
+    match count {
+        0 => Ast::Empty,
+        1 => ast.clone(),
+        n => Ast::concat(vec![ast.clone(); n as usize]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    fn p(pattern: &str) -> Ast {
+        parse(pattern).expect("pattern should parse")
+    }
+
+    #[test]
+    fn strip_makes_capture_free() {
+        let stripped = strip_captures(&p("((a)|(b))+"));
+        assert_eq!(stripped.capture_count(), 0);
+    }
+
+    #[test]
+    fn normalize_lazy_removes_laziness() {
+        let ast = normalize_lazy(&p("a*?b+?c??"));
+        fn no_lazy(ast: &Ast) -> bool {
+            match ast {
+                Ast::Repeat { ast, lazy, .. } => !lazy && no_lazy(ast),
+                Ast::Group { ast, .. } | Ast::NonCapturing(ast) | Ast::Lookahead { ast, .. } => {
+                    no_lazy(ast)
+                }
+                Ast::Alt(items) | Ast::Concat(items) => items.iter().all(no_lazy),
+                _ => true,
+            }
+        }
+        assert!(no_lazy(&ast));
+    }
+
+    #[test]
+    fn desugar_plus() {
+        assert_eq!(desugar(&p("b+")).to_source(), "b*b");
+    }
+
+    #[test]
+    fn desugar_optional() {
+        assert_eq!(desugar(&p("a?")).to_source(), "a|");
+    }
+
+    #[test]
+    fn desugar_repetition_range() {
+        // a{1,2} → aa|a
+        assert_eq!(desugar(&p("a{1,2}")).to_source(), "aa|a");
+    }
+
+    #[test]
+    fn desugar_exact_repetition() {
+        assert_eq!(desugar(&p("a{3}")).to_source(), "aaa");
+    }
+
+    #[test]
+    fn desugar_open_repetition() {
+        assert_eq!(desugar(&p("a{2,}")).to_source(), "aaa*");
+    }
+
+    #[test]
+    fn desugar_keeps_star() {
+        assert_eq!(desugar(&p("a*")).to_source(), "a*");
+    }
+
+    #[test]
+    fn desugar_nested() {
+        // (a+)? → ((a*a)|ε) — group preserved.
+        let out = desugar(&p("(a+)?"));
+        assert_eq!(out.capture_count(), 1);
+        assert_eq!(out.to_source(), "(a*a)|");
+    }
+
+    #[test]
+    fn paper_repetition_capture_duplication() {
+        // §4.1: rewriting (a){1,2} duplicates the capture group.
+        let out = desugar(&p("(a){1,2}"));
+        assert_eq!(out.to_source(), "(a)(a)|(a)");
+        assert_eq!(out.capture_count(), 3);
+    }
+}

@@ -1,0 +1,106 @@
+//! Property tests: printing a parsed AST re-parses to an equal AST, and
+//! structural analyses are stable under the round trip.
+
+use proptest::prelude::*;
+use regex_syntax_es6::ast::Ast;
+use regex_syntax_es6::rewrite::{desugar, normalize_lazy, strip_captures};
+use regex_syntax_es6::parse;
+
+/// A generator of syntactically valid ES6 regex ASTs (via source
+/// strings assembled from safe fragments).
+fn arb_pattern() -> impl Strategy<Value = String> {
+    let atom = prop_oneof![
+        Just("a".to_string()),
+        Just("b".to_string()),
+        Just("[a-z]".to_string()),
+        Just("[^0-9]".to_string()),
+        Just(r"\d".to_string()),
+        Just(r"\w".to_string()),
+        Just(".".to_string()),
+        Just(r"\.".to_string()),
+        Just(r"\n".to_string()),
+    ];
+    let quantified = (atom, prop_oneof![
+        Just("".to_string()),
+        Just("*".to_string()),
+        Just("+".to_string()),
+        Just("?".to_string()),
+        Just("*?".to_string()),
+        Just("{2,3}".to_string()),
+    ])
+        .prop_map(|(a, q)| format!("{a}{q}"));
+    let seq = proptest::collection::vec(quantified, 1..4)
+        .prop_map(|parts| parts.concat());
+    // One level of grouping and alternation.
+    (seq.clone(), seq.clone(), seq)
+        .prop_map(|(a, b, c)| format!("(?:{a}|{b})({c})"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn to_source_round_trips(pattern in arb_pattern()) {
+        let ast = parse(&pattern).expect("generated pattern parses");
+        let printed = ast.to_source();
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|e| panic!("printed {printed:?} must parse: {e}"));
+        prop_assert_eq!(ast, reparsed);
+    }
+
+    #[test]
+    fn rewrites_preserve_capture_free_invariants(pattern in arb_pattern()) {
+        let ast = parse(&pattern).expect("parses");
+        let stripped = strip_captures(&ast);
+        prop_assert_eq!(stripped.capture_count(), 0);
+        // normalize_lazy never changes capture structure.
+        let normalized = normalize_lazy(&ast);
+        prop_assert_eq!(normalized.capture_count(), ast.capture_count());
+        // desugar keeps nullability.
+        let desugared = desugar(&ast);
+        prop_assert_eq!(desugared.is_nullable(), ast.is_nullable());
+    }
+
+    #[test]
+    fn round_trip_is_idempotent(pattern in arb_pattern()) {
+        let ast = parse(&pattern).expect("parses");
+        let once = ast.to_source();
+        let twice = parse(&once).expect("parses").to_source();
+        prop_assert_eq!(once, twice);
+    }
+}
+
+#[test]
+fn round_trip_fixed_corpus() {
+    // Hand-picked regressions and paper expressions.
+    for pattern in [
+        r"<(\w+)>([0-9]*)<\/\1>",
+        "a|((b)*c)*d",
+        r"((a|b)\2)+\1\2",
+        "^a*(a)?$",
+        r"(?=ok)ok[a-z]*",
+        r"(?!no)[a-z]+",
+        r"\bword\b",
+        "x{2,}y{3}z{1,4}",
+        "a+?b*?c??",
+        "[-a-z]",
+        r"[\]\\]",
+        "(?:(a)|(b))+",
+    ] {
+        let ast = parse(pattern).expect("parses");
+        let printed = ast.to_source();
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|e| panic!("{printed:?} must reparse: {e}"));
+        assert_eq!(ast, reparsed, "round trip of {pattern}");
+    }
+}
+
+fn assert_is_empty_like(ast: &Ast) {
+    // Smoke helper used to keep the Ast import exercised.
+    let _ = ast.capture_count();
+}
+
+#[test]
+fn helper_compiles() {
+    assert_is_empty_like(&parse("a").expect("parses"));
+}

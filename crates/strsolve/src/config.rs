@@ -1,0 +1,67 @@
+//! Solver resource limits.
+
+/// Resource limits for one [`crate::Solver::solve`] call.
+///
+/// The solver is a bounded decision procedure: within the limits it is
+/// refutation-sound (UNSAT answers are definite) and model-sound (SAT
+/// models satisfy the formula); when a limit is hit it answers
+/// [`crate::Outcome::Unknown`], which the DSE layer treats like an SMT
+/// solver timeout (§5.3 of the paper).
+#[derive(Debug, Clone)]
+pub struct SolverConfig {
+    /// Maximum candidate word length per variable, in characters.
+    pub max_word_len: usize,
+    /// Maximum candidate words enumerated per variable per search node.
+    pub max_candidates_per_var: usize,
+    /// Global budget of search-tree nodes across the whole query.
+    pub max_nodes: u64,
+    /// Maximum boolean (disjunction) branches explored.
+    pub max_bool_branches: u64,
+}
+
+impl Default for SolverConfig {
+    fn default() -> SolverConfig {
+        SolverConfig {
+            max_word_len: 24,
+            max_candidates_per_var: 64,
+            max_nodes: 100_000,
+            max_bool_branches: 4_096,
+        }
+    }
+}
+
+impl SolverConfig {
+    /// A small-budget configuration for latency-sensitive callers.
+    pub fn fast() -> SolverConfig {
+        SolverConfig {
+            max_word_len: 12,
+            max_candidates_per_var: 128,
+            max_nodes: 10_000,
+            max_bool_branches: 512,
+        }
+    }
+
+    /// A generous configuration for offline experiments.
+    pub fn thorough() -> SolverConfig {
+        SolverConfig {
+            max_word_len: 48,
+            max_candidates_per_var: 4_096,
+            max_nodes: 1_000_000,
+            max_bool_branches: 65_536,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_ordered() {
+        let fast = SolverConfig::fast();
+        let default = SolverConfig::default();
+        let thorough = SolverConfig::thorough();
+        assert!(fast.max_nodes < default.max_nodes);
+        assert!(default.max_nodes < thorough.max_nodes);
+    }
+}

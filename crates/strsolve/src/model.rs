@@ -1,0 +1,86 @@
+//! Satisfying assignments.
+
+use std::collections::HashMap;
+
+use crate::vars::{BoolVar, StrVar};
+
+/// A satisfying assignment returned by the solver.
+///
+/// Every string variable mentioned in the formula is mapped to a
+/// concrete string; boolean (definedness) variables to `bool`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Model {
+    strings: HashMap<StrVar, String>,
+    bools: HashMap<BoolVar, bool>,
+}
+
+impl Model {
+    /// Creates an empty model.
+    pub fn new() -> Model {
+        Model::default()
+    }
+
+    /// The value of a string variable.
+    pub fn get_str(&self, v: StrVar) -> Option<&str> {
+        self.strings.get(&v).map(String::as_str)
+    }
+
+    /// The value of a boolean variable (defaults to `false` when the
+    /// variable was unconstrained).
+    pub fn get_bool(&self, v: BoolVar) -> bool {
+        self.bools.get(&v).copied().unwrap_or(false)
+    }
+
+    /// Sets a string variable.
+    pub fn set_str(&mut self, v: StrVar, value: impl Into<String>) {
+        self.strings.insert(v, value.into());
+    }
+
+    /// Sets a boolean variable.
+    pub fn set_bool(&mut self, v: BoolVar, value: bool) {
+        self.bools.insert(v, value);
+    }
+
+    /// Number of assigned string variables.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// True when no variable is assigned.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty() && self.bools.is_empty()
+    }
+
+    /// Iterates over string assignments.
+    pub fn iter_strings(&self) -> impl Iterator<Item = (StrVar, &str)> + '_ {
+        self.strings.iter().map(|(&v, s)| (v, s.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vars::VarPool;
+
+    #[test]
+    fn set_and_get() {
+        let mut pool = VarPool::new();
+        let v = pool.fresh_str("v");
+        let b = pool.fresh_bool("b");
+        let mut m = Model::new();
+        m.set_str(v, "hello");
+        m.set_bool(b, true);
+        assert_eq!(m.get_str(v), Some("hello"));
+        assert!(m.get_bool(b));
+        assert_eq!(m.len(), 1);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn unconstrained_bool_defaults_false() {
+        let mut pool = VarPool::new();
+        let b = pool.fresh_bool("b");
+        let m = Model::new();
+        assert!(!m.get_bool(b));
+    }
+}

@@ -1,0 +1,1207 @@
+//! The solving engine.
+//!
+//! A query runs in two layers:
+//!
+//! 1. **Boolean layer** — DFS over disjunctions of the NNF formula,
+//!    producing conjunctions of atoms (with a branch budget);
+//! 2. **String layer** — for each conjunction: union-find over variable
+//!    aliases, per-variable DFA intersection of all regular constraints
+//!    (including complements for negative ones), then a guided
+//!    bounded search over word-equation assignments with dead-state
+//!    pruning.
+//!
+//! Within its budgets the procedure is *refutation-sound* (`Unsat` is
+//! definite: every variable's constraint DFA is exact, and enumeration
+//! exhaustion is tracked) and *model-sound* (`Sat` models are checked
+//! against every atom before being returned). Budget exhaustion yields
+//! `Unknown`, which DSE treats like an SMT timeout (paper §5.3).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use automata::{Alphabet, CRegex, Dfa};
+
+use crate::config::SolverConfig;
+use crate::formula::{Atom, Formula};
+use crate::model::Model;
+use crate::stats::SolveStats;
+use crate::vars::{BoolVar, StrVar, Term};
+
+/// The verdict of a query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// Satisfiable, with a witness assignment.
+    Sat(Model),
+    /// Definitely unsatisfiable (within exact reasoning).
+    Unsat,
+    /// A resource limit was hit before a verdict was reached.
+    Unknown,
+}
+
+impl Outcome {
+    /// True for `Sat`.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, Outcome::Sat(_))
+    }
+
+    /// Extracts the model of a `Sat` outcome.
+    pub fn model(self) -> Option<Model> {
+        match self {
+            Outcome::Sat(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+/// A string-constraint solver with fixed resource limits.
+///
+/// # Examples
+///
+/// The §3.3 flavour of constraint — a word split into pieces with
+/// regular constraints per piece:
+///
+/// ```
+/// use strsolve::{Formula, Solver, Term, VarPool};
+/// use automata::{CharSet, CRegex};
+///
+/// let mut pool = VarPool::new();
+/// let w = pool.fresh_str("w");
+/// let w1 = pool.fresh_str("w1");
+/// let w2 = pool.fresh_str("w2");
+/// let formula = Formula::and(vec![
+///     Formula::eq_concat(w, vec![Term::Var(w1), Term::Var(w2)]),
+///     Formula::in_re(w1, CRegex::plus(CRegex::set(CharSet::single('a')))),
+///     Formula::in_re(w2, CRegex::lit("b")),
+///     Formula::ne_lit(w, "ab"),
+/// ]);
+/// let (outcome, _stats) = Solver::default().solve(&formula);
+/// let model = outcome.model().expect("satisfiable");
+/// assert_eq!(model.get_str(w), Some("aab"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Solver {
+    config: SolverConfig,
+}
+
+impl Solver {
+    /// Creates a solver with the given limits.
+    pub fn new(config: SolverConfig) -> Solver {
+        Solver { config }
+    }
+
+    /// The configured limits.
+    pub fn config(&self) -> &SolverConfig {
+        &self.config
+    }
+
+    /// Decides a formula, returning the verdict and query statistics.
+    pub fn solve(&self, formula: &Formula) -> (Outcome, SolveStats) {
+        let start = Instant::now();
+        let mut search = Search {
+            config: &self.config,
+            stats: SolveStats::default(),
+            nodes_left: self.config.max_nodes,
+            branches_left: self.config.max_bool_branches,
+        };
+        let mut atoms = Vec::new();
+        let outcome = search.boolean_dfs(&[formula], &mut atoms);
+        search.stats.duration = start.elapsed();
+        (outcome, search.stats)
+    }
+}
+
+struct Search<'a> {
+    config: &'a SolverConfig,
+    stats: SolveStats,
+    nodes_left: u64,
+    branches_left: u64,
+}
+
+impl Search<'_> {
+    /// Explores disjunctions; `pending` are formulas still to flatten,
+    /// `atoms` the conjunction accumulated so far.
+    fn boolean_dfs(&mut self, pending: &[&Formula], atoms: &mut Vec<Atom>) -> Outcome {
+        // Flatten conjunctions and atoms until we hit a disjunction.
+        let mut local: Vec<&Formula> = pending.to_vec();
+        let mut pushed = 0usize;
+        let result = loop {
+            match local.pop() {
+                None => break self.solve_conjunction(atoms),
+                Some(Formula::Atom(a)) => {
+                    if matches!(a, Atom::False) {
+                        break Outcome::Unsat;
+                    }
+                    if !matches!(a, Atom::True) {
+                        atoms.push(a.clone());
+                        pushed += 1;
+                    }
+                }
+                Some(Formula::And(items)) => {
+                    for item in items {
+                        local.push(item);
+                    }
+                }
+                Some(Formula::Or(branches)) => {
+                    let mut any_unknown = false;
+                    let mut branch_result = Outcome::Unsat;
+                    for branch in branches {
+                        if self.branches_left == 0 {
+                            any_unknown = true;
+                            break;
+                        }
+                        self.branches_left -= 1;
+                        self.stats.bool_branches += 1;
+                        let mut sub_pending = local.clone();
+                        sub_pending.push(branch);
+                        let before = atoms.len();
+                        let r = self.boolean_dfs(&sub_pending, atoms);
+                        atoms.truncate(before);
+                        match r {
+                            Outcome::Sat(m) => {
+                                branch_result = Outcome::Sat(m);
+                                break;
+                            }
+                            Outcome::Unknown => any_unknown = true,
+                            Outcome::Unsat => {}
+                        }
+                    }
+                    if !branch_result.is_sat() && any_unknown {
+                        branch_result = Outcome::Unknown;
+                    }
+                    break branch_result;
+                }
+            }
+        };
+        atoms.truncate(atoms.len() - pushed.min(atoms.len()));
+        result
+    }
+
+    /// Decides a conjunction of atoms.
+    fn solve_conjunction(&mut self, atoms: &[Atom]) -> Outcome {
+        // --- Boolean flags ---------------------------------------------
+        let mut bools: HashMap<BoolVar, bool> = HashMap::new();
+        for atom in atoms {
+            if let Atom::Bool(b, v) = atom {
+                match bools.insert(*b, *v) {
+                    Some(prev) if prev != *v => return Outcome::Unsat,
+                    _ => {}
+                }
+            }
+        }
+
+        // --- Union-find over aliases ------------------------------------
+        let mut uf = UnionFind::default();
+        for atom in atoms {
+            match atom {
+                Atom::EqVar(a, b) => uf.union(*a, *b),
+                // An equation `v = [u]` with a single variable part is an
+                // alias: merging lets the DFAs intersect directly.
+                Atom::EqConcat(v, parts)
+                    if parts.len() == 1
+                        && matches!(parts[0], Term::Var(_)) =>
+                {
+                    if let Term::Var(u) = &parts[0] {
+                        uf.union(*v, *u);
+                    }
+                }
+                Atom::NeVar(a, b) => {
+                    uf.touch(*a);
+                    uf.touch(*b);
+                }
+                Atom::InRe(v, _)
+                | Atom::NotInRe(v, _)
+                | Atom::EqLit(v, _)
+                | Atom::NeLit(v, _) => uf.touch(*v),
+                Atom::EqConcat(v, parts) => {
+                    uf.touch(*v);
+                    for p in parts {
+                        if let Term::Var(u) = p {
+                            uf.touch(*u);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        // --- Per-root constraint collection ------------------------------
+        #[derive(Default)]
+        struct VarCons {
+            pos: Vec<Arc<CRegex>>,
+            neg: Vec<Arc<CRegex>>,
+            eq: Option<String>,
+            ne: Vec<String>,
+        }
+        let mut cons: HashMap<StrVar, VarCons> = HashMap::new();
+        let mut equations: Vec<(StrVar, Vec<Part>)> = Vec::new();
+        let mut ne_pairs: Vec<(StrVar, StrVar)> = Vec::new();
+        for atom in atoms {
+            match atom {
+                Atom::InRe(v, re) => {
+                    cons.entry(uf.find(*v)).or_default().pos.push(Arc::clone(re));
+                }
+                Atom::NotInRe(v, re) => {
+                    cons.entry(uf.find(*v)).or_default().neg.push(Arc::clone(re));
+                }
+                Atom::EqLit(v, s) => {
+                    let entry = cons.entry(uf.find(*v)).or_default();
+                    match &entry.eq {
+                        Some(prev) if prev != s => return Outcome::Unsat,
+                        _ => entry.eq = Some(s.clone()),
+                    }
+                }
+                Atom::NeLit(v, s) => {
+                    cons.entry(uf.find(*v)).or_default().ne.push(s.clone());
+                }
+                Atom::NeVar(a, b) => {
+                    let (ra, rb) = (uf.find(*a), uf.find(*b));
+                    if ra == rb {
+                        // x ≠ x is unsatisfiable.
+                        return Outcome::Unsat;
+                    }
+                    ne_pairs.push((ra, rb));
+                }
+                Atom::EqConcat(v, parts) => {
+                    let lhs = uf.find(*v);
+                    let parts: Vec<Part> = parts
+                        .iter()
+                        .map(|t| match t {
+                            Term::Var(u) => Part::Var(uf.find(*u)),
+                            Term::Lit(s) => Part::Lit(s.clone()),
+                        })
+                        .collect();
+                    // Single-variable equations were merged as aliases;
+                    // after union-find they degenerate to `v = [v]`.
+                    if parts.len() == 1 && parts[0] == Part::Var(lhs) {
+                        continue;
+                    }
+                    let eq = (lhs, parts);
+                    if !equations.contains(&eq) {
+                        equations.push(eq);
+                    }
+                }
+                _ => {}
+            }
+        }
+        // Quick inconsistency: eq vs ne on the same root.
+        for info in cons.values() {
+            if let Some(eq) = &info.eq {
+                if info.ne.iter().any(|ne| ne == eq) {
+                    return Outcome::Unsat;
+                }
+            }
+        }
+
+        // --- Occurs check (cyclic equations are outside the fragment) ----
+        if has_cycle(&equations) {
+            return Outcome::Unknown;
+        }
+        let equations = topo_sort(equations);
+
+        // --- Alphabet -----------------------------------------------------
+        let mut sets = Vec::new();
+        let mut literal_chars = String::new();
+        for info in cons.values() {
+            for re in info.pos.iter().chain(info.neg.iter()) {
+                re.collect_sets(&mut sets);
+            }
+            if let Some(eq) = &info.eq {
+                literal_chars.push_str(eq);
+            }
+            for ne in &info.ne {
+                literal_chars.push_str(ne);
+            }
+        }
+        for (_, parts) in &equations {
+            for p in parts {
+                if let Part::Lit(s) = p {
+                    literal_chars.push_str(s);
+                }
+            }
+        }
+        let alphabet: Arc<Alphabet> = Alphabet::for_problem(&sets, &[&literal_chars]);
+
+        // --- Per-root DFAs -----------------------------------------------
+        let universal = Dfa::universal(&alphabet);
+        let mut dfas: HashMap<StrVar, Dfa> = HashMap::new();
+        let mut roots: Vec<StrVar> = cons.keys().copied().collect();
+        for (lhs, parts) in &equations {
+            roots.push(*lhs);
+            for p in parts {
+                if let Part::Var(v) = p {
+                    roots.push(*v);
+                }
+            }
+        }
+        for &(a, b) in &ne_pairs {
+            roots.push(a);
+            roots.push(b);
+        }
+        roots.sort_unstable();
+        roots.dedup();
+        for &root in &roots {
+            let mut dfa = universal.clone();
+            if let Some(info) = cons.get(&root) {
+                for re in &info.pos {
+                    self.stats.dfas_built += 1;
+                    dfa = dfa.intersect(&Dfa::from_cregex(re, &alphabet));
+                }
+                for re in &info.neg {
+                    self.stats.dfas_built += 1;
+                    dfa = dfa.intersect(&Dfa::from_cregex(re, &alphabet).complement());
+                }
+                if let Some(eq) = &info.eq {
+                    self.stats.dfas_built += 1;
+                    dfa = dfa.intersect(&Dfa::from_word(eq, &alphabet));
+                }
+                for ne in &info.ne {
+                    self.stats.dfas_built += 1;
+                    dfa = dfa.intersect(&Dfa::from_word(ne, &alphabet).complement());
+                }
+            }
+            if dfa.is_empty() {
+                return Outcome::Unsat;
+            }
+            dfas.insert(root, dfa);
+        }
+
+        // --- Assignment search --------------------------------------------
+        let mut assignment: HashMap<StrVar, String> = HashMap::new();
+        // Pin equality literals immediately.
+        for (&root, info) in &cons {
+            if let Some(eq) = &info.eq {
+                assignment.insert(root, eq.clone());
+            }
+        }
+
+        // Free variables in first-occurrence order across equations,
+        // stably sorted so the most constrained languages enumerate
+        // first: finite, then infinite-nonempty, then near-universal
+        // (the latter are best derived by propagation/unit slicing).
+        let lhs_set: std::collections::HashSet<StrVar> =
+            equations.iter().map(|(l, _)| *l).collect();
+        let mut order: Vec<StrVar> = Vec::new();
+        for (_, parts) in &equations {
+            for p in parts {
+                if let Part::Var(v) = p {
+                    if !lhs_set.contains(v)
+                        && !assignment.contains_key(v)
+                        && !order.contains(v)
+                    {
+                        order.push(*v);
+                    }
+                }
+            }
+        }
+        // Nesting depth: equations whose lhs feeds other equations are
+        // "inner"; their free variables should be assigned first so the
+        // outer words become derivable by propagation/unit slicing.
+        let mut eq_depth: HashMap<StrVar, u32> = HashMap::new();
+        for _ in 0..equations.len() {
+            let mut changed = false;
+            for (lhs, _) in &equations {
+                let depth = equations
+                    .iter()
+                    .filter(|(_, parts)| {
+                        parts.iter().any(|p| matches!(p, Part::Var(v) if v == lhs))
+                    })
+                    .map(|(outer, _)| eq_depth.get(outer).copied().unwrap_or(0) + 1)
+                    .max()
+                    .unwrap_or(0);
+                if eq_depth.get(lhs) != Some(&depth) {
+                    eq_depth.insert(*lhs, depth);
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        let var_depth = |v: &StrVar| -> u32 {
+            equations
+                .iter()
+                .filter(|(_, parts)| {
+                    parts.iter().any(|p| matches!(p, Part::Var(u) if u == v))
+                })
+                .map(|(lhs, _)| eq_depth.get(lhs).copied().unwrap_or(0))
+                .max()
+                .unwrap_or(0)
+        };
+        order.sort_by_key(|v| {
+            let dfa = &dfas[v];
+            let class = if !dfa.is_infinite() {
+                0u8
+            } else if !dfa.accepts_empty() {
+                1
+            } else {
+                2
+            };
+            (class, std::cmp::Reverse(var_depth(v)))
+        });
+
+        let mut ctx = StringCtx {
+            alphabet,
+            dfas,
+            equations,
+            order,
+            bools,
+            roots,
+            uf,
+            ne_pairs,
+        };
+
+        // Membership-only variables (not in any equation, not pinned)
+        // get their shortest accepted word directly.
+        for &root in &ctx.roots {
+            let in_equations = ctx.equations.iter().any(|(l, parts)| {
+                *l == root
+                    || parts
+                        .iter()
+                        .any(|p| matches!(p, Part::Var(v) if *v == root))
+            });
+            if !in_equations && !assignment.contains_key(&root) {
+                let word = ctx.dfas[&root]
+                    .shortest_word()
+                    .expect("nonempty language checked above");
+                assignment.insert(root, word);
+            }
+        }
+
+        match self.assign(&mut ctx, &mut assignment, 0) {
+            StepResult::Sat => {
+                let mut model = Model::new();
+                for (&b, &v) in &ctx.bools {
+                    model.set_bool(b, v);
+                }
+                // Map every variable through its root.
+                let all_vars = ctx.uf.all_vars();
+                for v in all_vars {
+                    let root = ctx.uf.find(v);
+                    let value = assignment.get(&root).cloned().unwrap_or_default();
+                    model.set_str(v, value);
+                }
+                Outcome::Sat(model)
+            }
+            StepResult::Exhausted => Outcome::Unsat,
+            StepResult::Truncated => Outcome::Unknown,
+        }
+    }
+
+    /// Depth-first assignment of free variables.
+    fn assign(
+        &mut self,
+        ctx: &mut StringCtx,
+        assignment: &mut HashMap<StrVar, String>,
+        index: usize,
+    ) -> StepResult {
+        if self.nodes_left == 0 {
+            self.stats.truncated = true;
+            return StepResult::Truncated;
+        }
+        self.nodes_left -= 1;
+        self.stats.nodes += 1;
+
+        // Propagate equations to fixpoint; collect newly assigned lhs so
+        // we can undo on backtrack.
+        let mut trail: Vec<StrVar> = Vec::new();
+        match propagate(ctx, assignment, &mut trail) {
+            Ok(()) => {}
+            Err(()) => {
+                undo(assignment, &trail);
+                return StepResult::Exhausted;
+            }
+        }
+
+        // Find the next unassigned free variable.
+        let mut idx = index;
+        while idx < ctx.order.len() && assignment.contains_key(&ctx.order[idx]) {
+            idx += 1;
+        }
+        if idx >= ctx.order.len() {
+            // Everything assigned: final verification.
+            let ok = final_check(ctx, assignment);
+            if ok {
+                return StepResult::Sat;
+            }
+            undo(assignment, &trail);
+            return StepResult::Exhausted;
+        }
+
+        let var = ctx.order[idx];
+        let (candidates, truncated) = self.generate_candidates(ctx, assignment, var);
+        if truncated {
+            self.stats.truncated = true;
+        }
+        let mut any_truncated = truncated;
+        for cand in candidates {
+            assignment.insert(var, cand);
+            match self.assign(ctx, assignment, idx + 1) {
+                StepResult::Sat => return StepResult::Sat,
+                StepResult::Truncated => any_truncated = true,
+                StepResult::Exhausted => {}
+            }
+            assignment.remove(&var);
+        }
+        undo(assignment, &trail);
+        if any_truncated {
+            StepResult::Truncated
+        } else {
+            StepResult::Exhausted
+        }
+    }
+
+    /// Enumerates candidate words for `var`, guided by the residual
+    /// states of the equations it participates in.
+    fn generate_candidates(
+        &mut self,
+        ctx: &StringCtx,
+        assignment: &HashMap<StrVar, String>,
+        var: StrVar,
+    ) -> (Vec<String>, bool) {
+        let var_dfa = &ctx.dfas[&var];
+        // Guides: (lhs dfa, state after running the assigned prefix), for
+        // every equation where all parts before the first occurrence of
+        // `var` are assigned. When the lhs value is already pinned, the
+        // guide is the exact-word DFA of that value — the strongest
+        // possible residual constraint.
+        let mut guides: Vec<(Dfa, u32)> = Vec::new();
+        'eqs: for (lhs, parts) in &ctx.equations {
+            let lhs_dfa: Dfa = match assignment.get(lhs) {
+                Some(value) => {
+                    self.stats.dfas_built += 1;
+                    // Class-granularity word DFA: the pinned value may
+                    // contain characters that are not singleton classes.
+                    Dfa::from_word_classes(value, &ctx.alphabet)
+                }
+                None => ctx.dfas[lhs].clone(),
+            };
+            let mut state = lhs_dfa.start_state();
+            for p in parts {
+                match p {
+                    Part::Var(v) if *v == var => {
+                        guides.push((lhs_dfa, state));
+                        continue 'eqs;
+                    }
+                    Part::Var(v) => match assignment.get(v) {
+                        Some(w) => state = lhs_dfa.run(state, w),
+                        None => continue 'eqs,
+                    },
+                    Part::Lit(s) => state = lhs_dfa.run(state, s),
+                }
+            }
+        }
+
+        // Best-first (A*-style) search over (var state, guide states):
+        // priority = word length + residual distances to acceptance in
+        // the variable DFA and every guide. This finds words that
+        // *complete* the surrounding equations early, instead of
+        // flooding the budget with short irrelevant words.
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
+        let mut out = Vec::new();
+        let mut truncated = false;
+        let max_expansions = self
+            .config
+            .max_candidates_per_var
+            .saturating_mul(64)
+            .max(4_096);
+        let mut expansions = 0usize;
+        let class_count = ctx.alphabet.class_count();
+        let g0: Vec<u32> = guides.iter().map(|(_, s)| *s).collect();
+        if guides
+            .iter()
+            .any(|(d, s)| d.distance_to_accept(*s).is_none())
+        {
+            return (out, false);
+        }
+        let priority = |len: usize, vs: u32, gs: &[u32]| -> u64 {
+            let mut p = len as u64;
+            p += u64::from(var_dfa.distance_to_accept(vs).unwrap_or(0));
+            for (i, (gd, _)) in guides.iter().enumerate() {
+                p += u64::from(gd.distance_to_accept(gs[i]).unwrap_or(0));
+            }
+            p
+        };
+        let mut counter = 0u64; // FIFO tiebreak → length order among ties
+        let mut heap: BinaryHeap<Reverse<(u64, u64, u32, Vec<u32>, Vec<u16>)>> =
+            BinaryHeap::new();
+        let p0 = priority(0, var_dfa.start_state(), &g0);
+        heap.push(Reverse((p0, counter, var_dfa.start_state(), g0, Vec::new())));
+        while let Some(Reverse((_, _, vs, gs, word))) = heap.pop() {
+            if out.len() >= self.config.max_candidates_per_var
+                || expansions >= max_expansions
+            {
+                truncated = true;
+                break;
+            }
+            if var_dfa.is_accepting(vs) {
+                self.stats.candidates += 1;
+                out.push(ctx.alphabet.realize(&word));
+            }
+            if word.len() >= self.config.max_word_len {
+                truncated = true;
+                continue;
+            }
+            for class in 0..class_count {
+                expansions += 1;
+                let nvs = var_dfa.step(vs, class as u16);
+                if var_dfa.distance_to_accept(nvs).is_none() {
+                    continue;
+                }
+                let mut ngs = Vec::with_capacity(gs.len());
+                let mut live = true;
+                for (i, (gd, _)) in guides.iter().enumerate() {
+                    let n = gd.step(gs[i], class as u16);
+                    if gd.distance_to_accept(n).is_none() {
+                        live = false;
+                        break;
+                    }
+                    ngs.push(n);
+                }
+                if !live {
+                    continue;
+                }
+                let mut nw = word.clone();
+                nw.push(class as u16);
+                counter += 1;
+                let p = priority(nw.len(), nvs, &ngs);
+                heap.push(Reverse((p, counter, nvs, ngs, nw)));
+            }
+        }
+        (out, truncated)
+    }
+}
+
+enum StepResult {
+    Sat,
+    Exhausted,
+    Truncated,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Part {
+    Var(StrVar),
+    Lit(String),
+}
+
+struct StringCtx {
+    alphabet: Arc<Alphabet>,
+    dfas: HashMap<StrVar, Dfa>,
+    equations: Vec<(StrVar, Vec<Part>)>,
+    order: Vec<StrVar>,
+    bools: HashMap<BoolVar, bool>,
+    roots: Vec<StrVar>,
+    uf: UnionFind,
+    ne_pairs: Vec<(StrVar, StrVar)>,
+}
+
+/// Propagates fully-determined equations (computing lhs values) and
+/// prefix-prunes partially determined ones. Returns `Err` on conflict.
+fn propagate(
+    ctx: &StringCtx,
+    assignment: &mut HashMap<StrVar, String>,
+    trail: &mut Vec<StrVar>,
+) -> Result<(), ()> {
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for (lhs, parts) in &ctx.equations {
+            let mut value = String::new();
+            let mut complete = true;
+            let lhs_dfa = &ctx.dfas[lhs];
+            let mut state = lhs_dfa.start_state();
+            for p in parts {
+                let piece: Option<&str> = match p {
+                    Part::Var(v) => assignment.get(v).map(String::as_str),
+                    Part::Lit(s) => Some(s.as_str()),
+                };
+                match piece {
+                    Some(s) => {
+                        value.push_str(s);
+                        state = lhs_dfa.run(state, s);
+                        if lhs_dfa.distance_to_accept(state).is_none() {
+                            // The lhs DFA can never accept any extension
+                            // of this prefix.
+                            return Err(());
+                        }
+                    }
+                    None => {
+                        complete = false;
+                        break;
+                    }
+                }
+            }
+            if complete {
+                match assignment.get(lhs) {
+                    Some(existing) => {
+                        if *existing != value {
+                            return Err(());
+                        }
+                    }
+                    None => {
+                        if !lhs_dfa.is_accepting(state) {
+                            return Err(());
+                        }
+                        assignment.insert(*lhs, value);
+                        trail.push(*lhs);
+                        changed = true;
+                    }
+                }
+            } else if let Some(existing) = assignment.get(lhs) {
+                // lhs pinned: the assigned prefix must be a prefix of it.
+                if !existing.starts_with(&value) {
+                    return Err(());
+                }
+                // Unit slicing: with exactly one unassigned variable part
+                // (occurring once), its value is forced by the pinned lhs.
+                let unassigned: Vec<&StrVar> = parts
+                    .iter()
+                    .filter_map(|p| match p {
+                        Part::Var(v) if !assignment.contains_key(v) => Some(v),
+                        _ => None,
+                    })
+                    .collect();
+                if unassigned.len() == 1 {
+                    let var = *unassigned[0];
+                    let mut prefix = String::new();
+                    let mut suffix = String::new();
+                    let mut before = true;
+                    for p in parts {
+                        let piece: Option<&str> = match p {
+                            Part::Var(v) if *v == var => {
+                                before = false;
+                                continue;
+                            }
+                            Part::Var(v) => assignment.get(v).map(String::as_str),
+                            Part::Lit(s) => Some(s.as_str()),
+                        };
+                        let piece = piece.expect("only `var` is unassigned");
+                        if before {
+                            prefix.push_str(piece);
+                        } else {
+                            suffix.push_str(piece);
+                        }
+                    }
+                    let existing_chars: Vec<char> = existing.chars().collect();
+                    let prefix_chars: Vec<char> = prefix.chars().collect();
+                    let suffix_chars: Vec<char> = suffix.chars().collect();
+                    if existing_chars.len() < prefix_chars.len() + suffix_chars.len()
+                        || !existing.starts_with(&prefix)
+                        || !existing.ends_with(&suffix)
+                    {
+                        return Err(());
+                    }
+                    let middle: String = existing_chars
+                        [prefix_chars.len()..existing_chars.len() - suffix_chars.len()]
+                        .iter()
+                        .collect();
+                    if let Some(dfa) = ctx.dfas.get(&var) {
+                        if !dfa.contains(&middle) {
+                            return Err(());
+                        }
+                    }
+                    assignment.insert(var, middle);
+                    trail.push(var);
+                    changed = true;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn undo(assignment: &mut HashMap<StrVar, String>, trail: &[StrVar]) {
+    for v in trail {
+        assignment.remove(v);
+    }
+}
+
+fn final_check(ctx: &StringCtx, assignment: &HashMap<StrVar, String>) -> bool {
+    for (lhs, parts) in &ctx.equations {
+        let Some(lhs_val) = assignment.get(lhs) else {
+            return false;
+        };
+        let mut value = String::new();
+        for p in parts {
+            match p {
+                Part::Var(v) => match assignment.get(v) {
+                    Some(s) => value.push_str(s),
+                    None => return false,
+                },
+                Part::Lit(s) => value.push_str(s),
+            }
+        }
+        if *lhs_val != value {
+            return false;
+        }
+    }
+    for (&root, dfa) in &ctx.dfas {
+        if let Some(value) = assignment.get(&root) {
+            if !dfa.contains(value) {
+                return false;
+            }
+        }
+    }
+    for &(a, b) in &ctx.ne_pairs {
+        match (assignment.get(&a), assignment.get(&b)) {
+            (Some(va), Some(vb)) if va == vb => return false,
+            _ => {}
+        }
+    }
+    true
+}
+
+fn has_cycle(equations: &[(StrVar, Vec<Part>)]) -> bool {
+    // DFS from each lhs through parts that are themselves lhs.
+    let lhs_parts: HashMap<StrVar, &Vec<Part>> =
+        equations.iter().map(|(l, p)| (*l, p)).collect();
+    fn visit(
+        v: StrVar,
+        lhs_parts: &HashMap<StrVar, &Vec<Part>>,
+        visiting: &mut Vec<StrVar>,
+        done: &mut Vec<StrVar>,
+    ) -> bool {
+        if done.contains(&v) {
+            return false;
+        }
+        if visiting.contains(&v) {
+            return true;
+        }
+        visiting.push(v);
+        if let Some(parts) = lhs_parts.get(&v) {
+            for p in *parts {
+                if let Part::Var(u) = p {
+                    if visit(*u, lhs_parts, visiting, done) {
+                        return true;
+                    }
+                }
+            }
+        }
+        visiting.pop();
+        done.push(v);
+        false
+    }
+    let mut done = Vec::new();
+    for &(lhs, _) in equations {
+        let mut visiting = Vec::new();
+        if visit(lhs, &lhs_parts, &mut visiting, &mut done) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Orders equations so that inner (dependency) equations come first.
+fn topo_sort(equations: Vec<(StrVar, Vec<Part>)>) -> Vec<(StrVar, Vec<Part>)> {
+    let mut out: Vec<(StrVar, Vec<Part>)> = Vec::with_capacity(equations.len());
+    let mut remaining = equations;
+    while !remaining.is_empty() {
+        let lhs_pending: std::collections::HashSet<StrVar> =
+            remaining.iter().map(|(l, _)| *l).collect();
+        let (ready, rest): (Vec<_>, Vec<_>) =
+            remaining.into_iter().partition(|(lhs, parts)| {
+                parts.iter().all(|p| match p {
+                    Part::Var(v) => !lhs_pending.contains(v) || v == lhs,
+                    Part::Lit(_) => true,
+                })
+            });
+        if ready.is_empty() {
+            // Cycle was excluded earlier; defensive fallback.
+            out.extend(rest);
+            break;
+        }
+        out.extend(ready);
+        remaining = rest;
+    }
+    out
+}
+
+#[derive(Debug, Default)]
+struct UnionFind {
+    parent: HashMap<StrVar, StrVar>,
+}
+
+impl UnionFind {
+    fn touch(&mut self, v: StrVar) {
+        self.parent.entry(v).or_insert(v);
+    }
+
+    fn find(&mut self, v: StrVar) -> StrVar {
+        self.touch(v);
+        let mut root = v;
+        while self.parent[&root] != root {
+            root = self.parent[&root];
+        }
+        // Path compression.
+        let mut cur = v;
+        while self.parent[&cur] != root {
+            let next = self.parent[&cur];
+            self.parent.insert(cur, root);
+            cur = next;
+        }
+        root
+    }
+
+    fn union(&mut self, a: StrVar, b: StrVar) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra != rb {
+            self.parent.insert(ra, rb);
+        }
+    }
+
+    fn all_vars(&self) -> Vec<StrVar> {
+        self.parent.keys().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vars::VarPool;
+    use automata::CharSet;
+
+    fn solve(f: &Formula) -> Outcome {
+        Solver::default().solve(f).0
+    }
+
+    fn re_char(c: char) -> CRegex {
+        CRegex::set(CharSet::single(c))
+    }
+
+    #[test]
+    fn trivial_sat_and_unsat() {
+        assert!(solve(&Formula::top()).is_sat());
+        assert_eq!(solve(&Formula::bottom()), Outcome::Unsat);
+    }
+
+    #[test]
+    fn membership_witness() {
+        let mut pool = VarPool::new();
+        let v = pool.fresh_str("v");
+        let re = CRegex::plus(re_char('a'));
+        let outcome = solve(&Formula::in_re(v, re));
+        let model = outcome.model().expect("sat");
+        assert_eq!(model.get_str(v), Some("a"));
+    }
+
+    #[test]
+    fn membership_conflict_is_unsat() {
+        let mut pool = VarPool::new();
+        let v = pool.fresh_str("v");
+        let f = Formula::and(vec![
+            Formula::in_re(v, CRegex::plus(re_char('a'))),
+            Formula::in_re(v, CRegex::plus(re_char('b'))),
+        ]);
+        assert_eq!(solve(&f), Outcome::Unsat);
+    }
+
+    #[test]
+    fn eq_lit_checked_against_membership() {
+        let mut pool = VarPool::new();
+        let v = pool.fresh_str("v");
+        let f = Formula::and(vec![
+            Formula::in_re(v, CRegex::plus(re_char('a'))),
+            Formula::eq_lit(v, "aaa"),
+        ]);
+        let model = solve(&f).model().expect("sat");
+        assert_eq!(model.get_str(v), Some("aaa"));
+        let f = Formula::and(vec![
+            Formula::in_re(v, CRegex::plus(re_char('a'))),
+            Formula::eq_lit(v, "ab"),
+        ]);
+        assert_eq!(solve(&f), Outcome::Unsat);
+    }
+
+    #[test]
+    fn concat_equation() {
+        let mut pool = VarPool::new();
+        let w = pool.fresh_str("w");
+        let a = pool.fresh_str("a");
+        let b = pool.fresh_str("b");
+        let f = Formula::and(vec![
+            Formula::eq_concat(w, vec![Term::Var(a), Term::Var(b)]),
+            Formula::in_re(a, CRegex::plus(re_char('x'))),
+            Formula::in_re(b, CRegex::plus(re_char('y'))),
+            Formula::eq_lit(w, "xxyy"),
+        ]);
+        let model = solve(&f).model().expect("sat");
+        assert_eq!(model.get_str(a), Some("xx"));
+        assert_eq!(model.get_str(b), Some("yy"));
+    }
+
+    #[test]
+    fn concat_equation_unsat() {
+        let mut pool = VarPool::new();
+        let w = pool.fresh_str("w");
+        let a = pool.fresh_str("a");
+        let b = pool.fresh_str("b");
+        let f = Formula::and(vec![
+            Formula::eq_concat(w, vec![Term::Var(a), Term::Var(b)]),
+            Formula::in_re(a, CRegex::plus(re_char('x'))),
+            Formula::in_re(b, CRegex::plus(re_char('y'))),
+            Formula::eq_lit(w, "yx"),
+        ]);
+        assert_eq!(solve(&f), Outcome::Unsat);
+    }
+
+    #[test]
+    fn negative_membership() {
+        let mut pool = VarPool::new();
+        let v = pool.fresh_str("v");
+        let f = Formula::and(vec![
+            Formula::in_re(v, CRegex::star(re_char('a'))),
+            Formula::not_in_re(v, CRegex::Epsilon),
+            Formula::ne_lit(v, "a"),
+        ]);
+        let model = solve(&f).model().expect("sat");
+        assert_eq!(model.get_str(v), Some("aa"));
+    }
+
+    #[test]
+    fn alias_merging() {
+        let mut pool = VarPool::new();
+        let a = pool.fresh_str("a");
+        let b = pool.fresh_str("b");
+        let f = Formula::and(vec![
+            Formula::eq_var(a, b),
+            Formula::eq_lit(b, "shared"),
+        ]);
+        let model = solve(&f).model().expect("sat");
+        assert_eq!(model.get_str(a), Some("shared"));
+    }
+
+    #[test]
+    fn alias_conflict() {
+        let mut pool = VarPool::new();
+        let a = pool.fresh_str("a");
+        let b = pool.fresh_str("b");
+        let f = Formula::and(vec![
+            Formula::eq_var(a, b),
+            Formula::eq_lit(a, "x"),
+            Formula::eq_lit(b, "y"),
+        ]);
+        assert_eq!(solve(&f), Outcome::Unsat);
+    }
+
+    #[test]
+    fn disjunction_explores_branches() {
+        let mut pool = VarPool::new();
+        let v = pool.fresh_str("v");
+        let f = Formula::or(vec![
+            Formula::and(vec![
+                Formula::eq_lit(v, "a"),
+                Formula::ne_lit(v, "a"), // contradiction
+            ]),
+            Formula::eq_lit(v, "b"),
+        ]);
+        let model = solve(&f).model().expect("sat");
+        assert_eq!(model.get_str(v), Some("b"));
+    }
+
+    #[test]
+    fn bool_flags() {
+        let mut pool = VarPool::new();
+        let b = pool.fresh_bool("defined");
+        let f = Formula::and(vec![Formula::bool_is(b, true)]);
+        let model = solve(&f).model().expect("sat");
+        assert!(model.get_bool(b));
+        let f = Formula::and(vec![
+            Formula::bool_is(b, true),
+            Formula::bool_is(b, false),
+        ]);
+        assert_eq!(solve(&f), Outcome::Unsat);
+    }
+
+    #[test]
+    fn nested_equations() {
+        // w = u ++ "c", u = a ++ b — two-level nesting.
+        let mut pool = VarPool::new();
+        let w = pool.fresh_str("w");
+        let u = pool.fresh_str("u");
+        let a = pool.fresh_str("a");
+        let b = pool.fresh_str("b");
+        let f = Formula::and(vec![
+            Formula::eq_concat(w, vec![Term::Var(u), Term::lit("c")]),
+            Formula::eq_concat(u, vec![Term::Var(a), Term::Var(b)]),
+            Formula::in_re(a, re_char('x')),
+            Formula::in_re(b, re_char('y')),
+        ]);
+        let model = solve(&f).model().expect("sat");
+        assert_eq!(model.get_str(w), Some("xyc"));
+        assert_eq!(model.get_str(u), Some("xy"));
+    }
+
+    #[test]
+    fn refinement_shape() {
+        // The CEGAR clause shape: (w = "aa" ⟹ c = "") ∧ w = "aa".
+        let mut pool = VarPool::new();
+        let w = pool.fresh_str("w");
+        let c = pool.fresh_str("c");
+        let f = Formula::and(vec![
+            Formula::eq_lit(w, "aa"),
+            Formula::implies_eq_lit(w, "aa", Formula::eq_lit(c, "")),
+        ]);
+        let model = solve(&f).model().expect("sat");
+        assert_eq!(model.get_str(c), Some(""));
+    }
+
+    #[test]
+    fn cyclic_equation_is_unknown() {
+        let mut pool = VarPool::new();
+        let a = pool.fresh_str("a");
+        let b = pool.fresh_str("b");
+        let f = Formula::and(vec![
+            Formula::eq_concat(a, vec![Term::Var(b), Term::lit("x")]),
+            Formula::eq_concat(b, vec![Term::Var(a)]),
+        ]);
+        assert_eq!(solve(&f), Outcome::Unknown);
+    }
+
+    #[test]
+    fn shared_var_multiple_occurrences() {
+        // w = v ++ v (backreference shape): both halves equal.
+        let mut pool = VarPool::new();
+        let w = pool.fresh_str("w");
+        let v = pool.fresh_str("v");
+        let f = Formula::and(vec![
+            Formula::eq_concat(w, vec![Term::Var(v), Term::Var(v)]),
+            Formula::in_re(
+                v,
+                CRegex::alt(vec![CRegex::lit("ab"), CRegex::lit("c")]),
+            ),
+            Formula::ne_lit(w, "cc"),
+        ]);
+        let model = solve(&f).model().expect("sat");
+        assert_eq!(model.get_str(w), Some("abab"));
+    }
+
+    #[test]
+    fn unsat_exhaustive_finite_language() {
+        // v ∈ {a, b} and w = v ++ v and w = "ab" — impossible.
+        let mut pool = VarPool::new();
+        let w = pool.fresh_str("w");
+        let v = pool.fresh_str("v");
+        let f = Formula::and(vec![
+            Formula::eq_concat(w, vec![Term::Var(v), Term::Var(v)]),
+            Formula::in_re(v, CRegex::alt(vec![CRegex::lit("a"), CRegex::lit("b")])),
+            Formula::eq_lit(w, "ab"),
+        ]);
+        assert_eq!(solve(&f), Outcome::Unsat);
+    }
+
+    #[test]
+    fn stats_are_recorded() {
+        let mut pool = VarPool::new();
+        let v = pool.fresh_str("v");
+        let (outcome, stats) = Solver::default().solve(&Formula::in_re(
+            v,
+            CRegex::plus(re_char('z')),
+        ));
+        assert!(outcome.is_sat());
+        assert!(stats.nodes >= 1);
+        assert!(stats.duration.as_nanos() > 0);
+    }
+}

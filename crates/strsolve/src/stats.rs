@@ -1,0 +1,57 @@
+//! Query statistics, feeding the Table 8 reproduction.
+
+use std::time::Duration;
+
+/// Statistics for one solver query.
+#[derive(Debug, Clone, Default)]
+pub struct SolveStats {
+    /// Wall-clock time spent in the query.
+    pub duration: Duration,
+    /// Search-tree nodes visited.
+    pub nodes: u64,
+    /// Boolean branches explored.
+    pub bool_branches: u64,
+    /// Candidate words generated across all variables.
+    pub candidates: u64,
+    /// True when any enumeration was cut short by a limit (the query
+    /// outcome can then be `Unknown` instead of `Unsat`).
+    pub truncated: bool,
+    /// Number of DFA products/complements built.
+    pub dfas_built: u64,
+}
+
+impl SolveStats {
+    /// Merges another query's statistics into this one (used by the
+    /// per-package aggregation of Table 8).
+    pub fn absorb(&mut self, other: &SolveStats) {
+        self.duration += other.duration;
+        self.nodes += other.nodes;
+        self.bool_branches += other.bool_branches;
+        self.candidates += other.candidates;
+        self.truncated |= other.truncated;
+        self.dfas_built += other.dfas_built;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_accumulates() {
+        let mut a = SolveStats {
+            nodes: 10,
+            candidates: 5,
+            ..SolveStats::default()
+        };
+        let b = SolveStats {
+            nodes: 7,
+            truncated: true,
+            ..SolveStats::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.nodes, 17);
+        assert!(a.truncated);
+        assert_eq!(a.candidates, 5);
+    }
+}

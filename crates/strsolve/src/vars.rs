@@ -1,0 +1,156 @@
+//! Variables and terms of the string constraint language.
+
+use std::fmt;
+
+/// A string variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StrVar(pub(crate) u32);
+
+/// A boolean variable (used for capture-definedness flags, the paper's
+/// `C ≠ ⊥` tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BoolVar(pub(crate) u32);
+
+impl StrVar {
+    /// Raw index (stable within one [`VarPool`]).
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl BoolVar {
+    /// Raw index (stable within one [`VarPool`]).
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for StrVar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+impl fmt::Display for BoolVar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+/// One element of a concatenation: a variable or a literal string.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Term {
+    /// A string variable.
+    Var(StrVar),
+    /// A constant string.
+    Lit(String),
+}
+
+impl Term {
+    /// Convenience constructor for literal terms.
+    pub fn lit(s: impl Into<String>) -> Term {
+        Term::Lit(s.into())
+    }
+}
+
+impl From<StrVar> for Term {
+    fn from(v: StrVar) -> Term {
+        Term::Var(v)
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Lit(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+/// Allocator for fresh variables, with debug names.
+///
+/// # Examples
+///
+/// ```
+/// use strsolve::VarPool;
+///
+/// let mut pool = VarPool::new();
+/// let w = pool.fresh_str("w");
+/// let c1 = pool.fresh_str("C1");
+/// assert_ne!(w, c1);
+/// assert_eq!(pool.name(w), "w");
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct VarPool {
+    str_names: Vec<String>,
+    bool_names: Vec<String>,
+}
+
+impl VarPool {
+    /// Creates an empty pool.
+    pub fn new() -> VarPool {
+        VarPool::default()
+    }
+
+    /// Allocates a fresh string variable.
+    pub fn fresh_str(&mut self, name: impl Into<String>) -> StrVar {
+        self.str_names.push(name.into());
+        StrVar((self.str_names.len() - 1) as u32)
+    }
+
+    /// Allocates a fresh boolean variable.
+    pub fn fresh_bool(&mut self, name: impl Into<String>) -> BoolVar {
+        self.bool_names.push(name.into());
+        BoolVar((self.bool_names.len() - 1) as u32)
+    }
+
+    /// Debug name of a string variable.
+    pub fn name(&self, v: StrVar) -> &str {
+        &self.str_names[v.0 as usize]
+    }
+
+    /// Debug name of a boolean variable.
+    pub fn bool_name(&self, v: BoolVar) -> &str {
+        &self.bool_names[v.0 as usize]
+    }
+
+    /// Number of string variables allocated.
+    pub fn str_count(&self) -> usize {
+        self.str_names.len()
+    }
+
+    /// Number of boolean variables allocated.
+    pub fn bool_count(&self) -> usize {
+        self.bool_names.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_vars_are_distinct() {
+        let mut pool = VarPool::new();
+        let a = pool.fresh_str("a");
+        let b = pool.fresh_str("b");
+        assert_ne!(a, b);
+        assert_eq!(pool.str_count(), 2);
+    }
+
+    #[test]
+    fn names_preserved() {
+        let mut pool = VarPool::new();
+        let v = pool.fresh_str("input");
+        let b = pool.fresh_bool("C1.defined");
+        assert_eq!(pool.name(v), "input");
+        assert_eq!(pool.bool_name(b), "C1.defined");
+    }
+
+    #[test]
+    fn term_display() {
+        assert_eq!(Term::lit("ab").to_string(), "\"ab\"");
+        assert_eq!(Term::Var(StrVar(3)).to_string(), "s3");
+    }
+}

@@ -1,0 +1,360 @@
+//! Static regex-usage survey (§7.1 of the paper, Tables 4 and 5).
+//!
+//! A lightweight static analysis that parses JavaScript-like source
+//! files, extracts regex literals (like the paper, `new RegExp(...)`
+//! construction is not detected — the numbers are a lower bound), and
+//! aggregates feature statistics per package and per unique expression.
+
+use std::collections::{BTreeMap, HashSet};
+
+use regex_syntax_es6::features::FeatureSet;
+use regex_syntax_es6::Regex;
+
+/// One scanned package: a name plus its source files.
+#[derive(Debug, Clone)]
+pub struct Package {
+    /// Package name.
+    pub name: String,
+    /// Source file contents.
+    pub sources: Vec<String>,
+}
+
+/// Extracts the regex literals from one source text.
+///
+/// Uses the same literal/division disambiguation as the mini-JS lexer:
+/// a `/` in expression position starts a regex literal. Literals that
+/// fail to parse as ES6 regexes are skipped.
+///
+/// # Examples
+///
+/// ```
+/// use survey::extract_regexes;
+///
+/// let found = extract_regexes(r#"let r = /a(b)+/g; let d = x / y;"#);
+/// assert_eq!(found.len(), 1);
+/// assert_eq!(found[0].to_string(), "/a(b)+/g");
+/// ```
+pub fn extract_regexes(source: &str) -> Vec<Regex> {
+    let chars: Vec<char> = source.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    let mut expect_value = true;
+    while i < chars.len() {
+        let c = chars[i];
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c == '/' && chars.get(i + 1) == Some(&'/') {
+            while i < chars.len() && chars[i] != '\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c == '/' && chars.get(i + 1) == Some(&'*') {
+            i += 2;
+            while i + 1 < chars.len() && !(chars[i] == '*' && chars[i + 1] == '/') {
+                i += 1;
+            }
+            i = (i + 2).min(chars.len());
+            continue;
+        }
+        if c == '"' || c == '\'' || c == '`' {
+            let quote = c;
+            i += 1;
+            while i < chars.len() {
+                if chars[i] == '\\' {
+                    i += 2;
+                    continue;
+                }
+                if chars[i] == quote {
+                    i += 1;
+                    break;
+                }
+                i += 1;
+            }
+            expect_value = false;
+            continue;
+        }
+        if c == '/' && expect_value {
+            let start = i;
+            i += 1;
+            let mut in_class = false;
+            let mut escaped = false;
+            let mut terminated = false;
+            while i < chars.len() {
+                let rc = chars[i];
+                if escaped {
+                    escaped = false;
+                } else {
+                    match rc {
+                        '\\' => escaped = true,
+                        '[' => in_class = true,
+                        ']' => in_class = false,
+                        '/' if !in_class => {
+                            terminated = true;
+                            break;
+                        }
+                        '\n' => break,
+                        _ => {}
+                    }
+                }
+                i += 1;
+            }
+            if terminated {
+                i += 1;
+                while i < chars.len() && chars[i].is_ascii_alphabetic() {
+                    i += 1;
+                }
+                let literal: String = chars[start..i].iter().collect();
+                if let Ok(regex) = Regex::parse_literal(&literal) {
+                    out.push(regex);
+                }
+                expect_value = false;
+                continue;
+            }
+            // Not a regex after all; treat as division.
+            i = start + 1;
+            expect_value = true;
+            continue;
+        }
+        if c.is_ascii_alphanumeric() || c == '_' || c == '$' {
+            let start = i;
+            while i < chars.len()
+                && (chars[i].is_ascii_alphanumeric() || chars[i] == '_' || chars[i] == '$')
+            {
+                i += 1;
+            }
+            // After these keywords a `/` starts a regex, not division.
+            let word: String = chars[start..i].iter().collect();
+            expect_value = matches!(
+                word.as_str(),
+                "return" | "typeof" | "case" | "in" | "of" | "new" | "delete" | "do"
+                    | "else" | "void" | "instanceof" | "yield" | "await"
+            );
+            continue;
+        }
+        expect_value = !matches!(c, ')' | ']');
+        i += 1;
+    }
+    out
+}
+
+/// Table 4: regex usage by package.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PackageStats {
+    /// Total packages scanned.
+    pub packages: usize,
+    /// Packages with at least one source file.
+    pub with_sources: usize,
+    /// Packages containing at least one regex.
+    pub with_regex: usize,
+    /// Packages containing a capture group.
+    pub with_captures: usize,
+    /// Packages containing a backreference.
+    pub with_backrefs: usize,
+    /// Packages containing a quantified backreference.
+    pub with_quantified_backrefs: usize,
+}
+
+impl PackageStats {
+    /// Table 4 rows as `(label, count, percent)`.
+    pub fn rows(&self) -> Vec<(&'static str, usize, f64)> {
+        let pct = |n: usize| {
+            if self.packages == 0 {
+                0.0
+            } else {
+                100.0 * n as f64 / self.packages as f64
+            }
+        };
+        vec![
+            ("Packages", self.packages, 100.0),
+            ("... with source files", self.with_sources, pct(self.with_sources)),
+            ("... with regular expressions", self.with_regex, pct(self.with_regex)),
+            ("... with capture groups", self.with_captures, pct(self.with_captures)),
+            ("... with backreferences", self.with_backrefs, pct(self.with_backrefs)),
+            (
+                "... with quantified backreferences",
+                self.with_quantified_backrefs,
+                pct(self.with_quantified_backrefs),
+            ),
+        ]
+    }
+}
+
+/// Table 5: per-feature counts, total and unique.
+#[derive(Debug, Clone, Default)]
+pub struct FeatureStats {
+    /// Total regexes seen.
+    pub total: usize,
+    /// Unique regexes (by `/source/flags` text).
+    pub unique: usize,
+    /// Per-feature `(total count, unique count)`.
+    pub counts: BTreeMap<&'static str, (usize, usize)>,
+}
+
+impl FeatureStats {
+    /// Table 5 rows: `(feature, total, total %, unique, unique %)`
+    /// sorted by unique count descending (as in the paper).
+    pub fn rows(&self) -> Vec<(&'static str, usize, f64, usize, f64)> {
+        let mut rows: Vec<_> = self
+            .counts
+            .iter()
+            .map(|(&name, &(total, unique))| {
+                let tp = if self.total == 0 {
+                    0.0
+                } else {
+                    100.0 * total as f64 / self.total as f64
+                };
+                let up = if self.unique == 0 {
+                    0.0
+                } else {
+                    100.0 * unique as f64 / self.unique as f64
+                };
+                (name, total, tp, unique, up)
+            })
+            .collect();
+        rows.sort_by(|a, b| b.3.cmp(&a.3).then(a.0.cmp(b.0)));
+        rows
+    }
+}
+
+/// The complete survey result.
+#[derive(Debug, Clone, Default)]
+pub struct Survey {
+    /// Table 4 data.
+    pub packages: PackageStats,
+    /// Table 5 data.
+    pub features: FeatureStats,
+}
+
+/// Runs the survey over a corpus of packages.
+pub fn survey_packages(packages: &[Package]) -> Survey {
+    let mut out = Survey::default();
+    out.packages.packages = packages.len();
+    let mut unique: HashSet<String> = HashSet::new();
+
+    for package in packages {
+        if !package.sources.is_empty() {
+            out.packages.with_sources += 1;
+        }
+        let mut pkg_regex = false;
+        let mut pkg_caps = false;
+        let mut pkg_brefs = false;
+        let mut pkg_qbrefs = false;
+        for source in &package.sources {
+            for regex in extract_regexes(source) {
+                let features = FeatureSet::of(&regex);
+                pkg_regex = true;
+                pkg_caps |= features.capture_groups;
+                pkg_brefs |= features.backreferences;
+                pkg_qbrefs |= features.quantified_backrefs;
+
+                out.features.total += 1;
+                let key = regex.to_string();
+                let is_new = unique.insert(key);
+                if is_new {
+                    out.features.unique += 1;
+                }
+                for (name, present) in features.rows() {
+                    let entry = out.features.counts.entry(name).or_insert((0, 0));
+                    if present {
+                        entry.0 += 1;
+                        if is_new {
+                            entry.1 += 1;
+                        }
+                    }
+                }
+            }
+        }
+        out.packages.with_regex += usize::from(pkg_regex);
+        out.packages.with_captures += usize::from(pkg_caps);
+        out.packages.with_backrefs += usize::from(pkg_brefs);
+        out.packages.with_quantified_backrefs += usize::from(pkg_qbrefs);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkg(name: &str, sources: &[&str]) -> Package {
+        Package {
+            name: name.into(),
+            sources: sources.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    #[test]
+    fn extraction_skips_division() {
+        let found = extract_regexes("let a = x / y; let b = q / r;");
+        assert!(found.is_empty());
+    }
+
+    #[test]
+    fn extraction_finds_multiple() {
+        let found = extract_regexes(
+            r#"
+            const A = /foo/;
+            function f(s) { return s.match(/b(a)r/i); }
+            // comment with /not-a-regex/
+            const inString = "/also/not";
+            "#,
+        );
+        assert_eq!(found.len(), 2);
+    }
+
+    #[test]
+    fn extraction_handles_class_slash() {
+        let found = extract_regexes(r"let r = /a[/]b/;");
+        assert_eq!(found.len(), 1);
+    }
+
+    #[test]
+    fn package_stats() {
+        let packages = vec![
+            pkg("plain", &["let x = 1;"]),
+            pkg("regex", &["/abc/.test(s);"]),
+            pkg("caps", &[r"/(a)\1/.exec(s);"]),
+            pkg("quantified", &[r"/((a|b)\2)+/.test(s);"]),
+            pkg("empty", &[]),
+        ];
+        let survey = survey_packages(&packages);
+        assert_eq!(survey.packages.packages, 5);
+        assert_eq!(survey.packages.with_sources, 4);
+        assert_eq!(survey.packages.with_regex, 3);
+        assert_eq!(survey.packages.with_captures, 2);
+        assert_eq!(survey.packages.with_backrefs, 2);
+        assert_eq!(survey.packages.with_quantified_backrefs, 1);
+    }
+
+    #[test]
+    fn unique_vs_total() {
+        let packages = vec![
+            pkg("a", &["/dup/.test(s);"]),
+            pkg("b", &["/dup/.test(s);", "/only/.test(s);"]),
+        ];
+        let survey = survey_packages(&packages);
+        assert_eq!(survey.features.total, 3);
+        assert_eq!(survey.features.unique, 2);
+    }
+
+    #[test]
+    fn feature_rows_have_19_features() {
+        let packages = vec![pkg("a", &["/a/.test(s);"])];
+        let survey = survey_packages(&packages);
+        assert_eq!(survey.features.counts.len(), 19);
+    }
+
+    #[test]
+    fn table4_rows_percentages() {
+        let packages = vec![pkg("a", &["/x/.test(s);"]), pkg("b", &["1;"])];
+        let survey = survey_packages(&packages);
+        let rows = survey.packages.rows();
+        assert_eq!(rows[0].1, 2);
+        let regex_row = rows.iter().find(|r| r.0.contains("regular")).expect("row");
+        assert_eq!(regex_row.1, 1);
+        assert!((regex_row.2 - 50.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,43 @@
+//! Quickstart: solve capturing-language constraints for an ES6 regex.
+//!
+//! Models `/<(\w+)>([0-9]*)<\/\1>/` (the Listing 1 regex), asks the
+//! CEGAR solver for a matching input whose first capture group equals
+//! `"timeout"`, and validates the witness with the concrete matcher.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use expose::core::{api::build_match_model, cegar::CegarSolver, model::BuildConfig};
+use expose::matcher::RegExp;
+use expose::strsolve::{Formula, VarPool};
+use expose::syntax::Regex;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let regex = Regex::parse_literal(r"/<(\w+)>([0-9]*)<\/\1>/")?;
+    println!("regex: {regex}");
+
+    // Build the Algorithm 2 membership model (w, C0, C1, C2) ∈ Lc(R).
+    let mut pool = VarPool::new();
+    let constraint = build_match_model(&regex, true, &mut pool, &BuildConfig::default());
+
+    // Constrain C1 = "timeout" (the §3.2 scenario).
+    let problem = Formula::and(vec![
+        Formula::bool_is(constraint.captures[1].defined, true),
+        Formula::eq_lit(constraint.captures[1].value, "timeout"),
+    ]);
+
+    // Solve with matching-precedence refinement (Algorithm 1).
+    let result = CegarSolver::default().solve(&problem, &[constraint.clone()]);
+    let model = result.outcome.model().expect("constraint is satisfiable");
+    let input = model.get_str(constraint.input).expect("input assigned");
+    println!("solver witness: {input:?}");
+    println!("refinements used: {}", result.stats.refinements);
+
+    // Validate with the concrete ES6 matcher — the witness must really
+    // match and bind C1 = "timeout".
+    let mut oracle = RegExp::from_regex(regex);
+    let m = oracle.exec(input).expect("witness matches concretely");
+    println!("concrete match: {:?}", m.captures);
+    assert_eq!(m.group(1), Some("timeout"));
+    println!("OK: capture-correct input generated.");
+    Ok(())
+}

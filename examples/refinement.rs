@@ -1,0 +1,46 @@
+//! The §3.4 matching-precedence walkthrough.
+//!
+//! The base model for `/^a*(a)?$/` admits the spurious tuple
+//! ("aa", "aa", "a"); the CEGAR loop (Algorithm 1) validates candidates
+//! against the concrete matcher and refines until the capture agrees
+//! with greedy semantics: C1 = ⊥.
+//!
+//! Run with: `cargo run --example refinement`
+
+use expose::core::{api::build_match_model, cegar::CegarSolver, model::BuildConfig};
+use expose::strsolve::{Formula, Solver, VarPool};
+use expose::syntax::Regex;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let regex = Regex::parse_literal("/^a*(a)?$/")?;
+    println!("regex: {regex}, input pinned to \"aa\"");
+
+    let mut pool = VarPool::new();
+    let c = build_match_model(&regex, true, &mut pool, &BuildConfig::default());
+    let problem = Formula::eq_lit(c.input, "aa");
+
+    // Without refinement the base model may assign C1 = "a" (spurious).
+    let plain = Solver::default();
+    let mut parts = vec![problem.clone(), c.formula.clone()];
+    parts.push(Formula::top());
+    let (outcome, _) = plain.solve(&Formula::and(parts));
+    if let Some(model) = outcome.model() {
+        let c1 = if model.get_bool(c.captures[1].defined) {
+            format!("{:?}", model.get_str(c.captures[1].value).unwrap_or(""))
+        } else {
+            "⊥".to_string()
+        };
+        println!("base model (no refinement): C1 = {c1}");
+    }
+
+    // With CEGAR the answer is engine-correct: C1 = ⊥.
+    let result = CegarSolver::default().solve(&problem, &[c.clone()]);
+    let model = result.outcome.model().expect("satisfiable");
+    assert!(!model.get_bool(c.captures[1].defined));
+    println!(
+        "CEGAR ({} refinement(s)): C1 = ⊥, C0 = {:?} — matches V8/spec semantics",
+        result.stats.refinements,
+        model.get_str(c.captures[0].value).unwrap_or("")
+    );
+    Ok(())
+}

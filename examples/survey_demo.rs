@@ -1,0 +1,28 @@
+//! The §7.1 survey on a synthetic corpus sample.
+//!
+//! Generates 2,000 synthetic packages calibrated to the paper's feature
+//! frequencies and prints the Table 4 rows. (The full table binaries in
+//! `crates/bench` print paper-vs-measured comparisons.)
+//!
+//! Run with: `cargo run --example survey_demo`
+
+use expose::corpus::{generate_corpus, CorpusProfile};
+use expose::survey::survey_packages;
+
+fn main() {
+    let packages = generate_corpus(2_000, &CorpusProfile::default(), 1);
+    let survey = survey_packages(&packages);
+
+    println!("survey over {} synthetic packages:", survey.packages.packages);
+    for (label, count, pct) in survey.packages.rows() {
+        println!("  {label:<38} {count:>7}  {pct:>5.1}%");
+    }
+    println!(
+        "regexes: {} total, {} unique",
+        survey.features.total, survey.features.unique
+    );
+    println!("top features by unique usage:");
+    for (name, _total, _tp, unique, up) in survey.features.rows().into_iter().take(6) {
+        println!("  {name:<20} {unique:>6} ({up:.1}% of unique)");
+    }
+}

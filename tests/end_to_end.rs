@@ -1,0 +1,180 @@
+//! Cross-crate integration tests: parser → model → solver → CEGAR →
+//! oracle, and the full DSE pipeline.
+
+use expose::core::{api::build_match_model, cegar::CegarSolver, model::BuildConfig};
+use expose::dse::{parser::parse_program, run_dse, EngineConfig, Harness};
+use expose::matcher::RegExp;
+use expose::strsolve::{Formula, Outcome, VarPool};
+use expose::syntax::Regex;
+
+/// Solves a positive membership query and validates the witness with
+/// the concrete matcher.
+fn witness_for(literal: &str) -> Option<String> {
+    let regex = Regex::parse_literal(literal).expect("literal");
+    let mut pool = VarPool::new();
+    let c = build_match_model(&regex, true, &mut pool, &BuildConfig::default());
+    let result = CegarSolver::default().solve(&Formula::top(), &[c.clone()]);
+    match result.outcome {
+        Outcome::Sat(model) => {
+            let input = model.get_str(c.input).expect("assigned").to_string();
+            let mut oracle = RegExp::from_regex(regex);
+            assert!(
+                oracle.test(&input),
+                "CEGAR witness {input:?} must match {literal} concretely"
+            );
+            Some(input)
+        }
+        _ => None,
+    }
+}
+
+/// Solves a negative query and validates the witness does not match.
+fn non_witness_for(literal: &str) -> Option<String> {
+    let regex = Regex::parse_literal(literal).expect("literal");
+    let mut pool = VarPool::new();
+    let c = build_match_model(&regex, false, &mut pool, &BuildConfig::default());
+    let result = CegarSolver::default().solve(&Formula::top(), &[c.clone()]);
+    match result.outcome {
+        Outcome::Sat(model) => {
+            let input = model.get_str(c.input).expect("assigned").to_string();
+            let mut oracle = RegExp::from_regex(regex);
+            assert!(
+                !oracle.test(&input),
+                "negative witness {input:?} must NOT match {literal}"
+            );
+            Some(input)
+        }
+        _ => None,
+    }
+}
+
+#[test]
+fn membership_witnesses_validate() {
+    for literal in [
+        "/goo+d/",
+        "/^[0-9]{2,4}$/",
+        r"/^<(\w+)>$/",
+        "/a|b|c/",
+        r"/\bword\b/",
+        "/(?=ab)a./",
+        "/colou?r/i",
+        "/^line$/m",
+    ] {
+        assert!(
+            witness_for(literal).is_some(),
+            "{literal} should have a witness"
+        );
+    }
+}
+
+#[test]
+fn backref_witnesses_validate() {
+    for literal in [r"/^(ab|c)\1$/", r"/(['x])y\1/", r"/^(a+)-\1$/"] {
+        assert!(
+            witness_for(literal).is_some(),
+            "{literal} should have a witness"
+        );
+    }
+}
+
+#[test]
+fn non_membership_witnesses_validate() {
+    for literal in ["/^a+$/", "/goo+d/", "/^[0-9]+$/", r"/^(x)\1$/"] {
+        assert!(
+            non_witness_for(literal).is_some(),
+            "{literal} should have a non-matching witness"
+        );
+    }
+}
+
+#[test]
+fn unsatisfiable_membership_is_unsat() {
+    // `a` anchored both ways to be both "a" and "b" via conjunction.
+    let regex = Regex::parse_literal("/^a$/").expect("literal");
+    let mut pool = VarPool::new();
+    let c = build_match_model(&regex, true, &mut pool, &BuildConfig::default());
+    let problem = Formula::eq_lit(c.input, "b");
+    let result = CegarSolver::default().solve(&problem, &[c]);
+    assert_eq!(result.outcome, Outcome::Unsat);
+}
+
+#[test]
+fn paper_overview_path_constraints() {
+    // §3.2's second step: covering the "timeout" branch requires an
+    // input whose C1 is exactly "timeout".
+    let regex = Regex::parse_literal(r"/^<(\w+)>([0-9]*)<\/\1>$/").expect("literal");
+    let mut pool = VarPool::new();
+    let c = build_match_model(&regex, true, &mut pool, &BuildConfig::default());
+    let problem = Formula::and(vec![
+        Formula::bool_is(c.captures[1].defined, true),
+        Formula::eq_lit(c.captures[1].value, "timeout"),
+        // The bug: C2 (the number) empty.
+        Formula::bool_is(c.captures[2].defined, true),
+        Formula::eq_lit(c.captures[2].value, ""),
+    ]);
+    let result = CegarSolver::default().solve(&problem, &[c.clone()]);
+    let model = result.outcome.model().expect("satisfiable");
+    let input = model.get_str(c.input).expect("assigned");
+    assert_eq!(input, "<timeout></timeout>");
+}
+
+#[test]
+fn dse_covers_nested_regex_branches() {
+    let program = parse_program(
+        r#"function route(path) {
+            let m = /^\/api\/([a-z]+)\/([0-9]+)$/.exec(path);
+            if (m) {
+                if (m[1] === "users") { return "user"; }
+                return "resource";
+            }
+            if (/^\/static\//.test(path)) { return "static"; }
+            return "404";
+        }"#,
+    )
+    .expect("parse");
+    let report = run_dse(
+        &program,
+        &Harness::strings("route", 1),
+        &EngineConfig {
+            max_executions: 24,
+            ..EngineConfig::default()
+        },
+    );
+    assert!(
+        report.coverage_fraction() > 0.99,
+        "all four outcomes reachable: {report:?}"
+    );
+}
+
+#[test]
+fn support_levels_are_monotone_on_capture_program() {
+    use expose::core::SupportLevel;
+    let src = r#"function f(s) {
+        let m = /^([a-z]+):([0-9]+)$/.exec(s);
+        if (m) {
+            if (m[1] === "port") { return "port"; }
+            return "pair";
+        }
+        return "none";
+    }"#;
+    let program = parse_program(src).expect("parse");
+    let mut coverage = Vec::new();
+    for level in SupportLevel::ALL {
+        let report = run_dse(
+            &program,
+            &Harness::strings("f", 1),
+            &EngineConfig {
+                support: level,
+                max_executions: 16,
+                ..EngineConfig::default()
+            },
+        );
+        coverage.push(report.coverage_fraction());
+    }
+    // Concrete ≤ Modeling ≤ Captures (±: refinement equal here).
+    assert!(coverage[1] >= coverage[0]);
+    assert!(coverage[2] >= coverage[1]);
+    assert!(coverage[3] >= coverage[2] - 1e-9);
+    // And captures genuinely matter for this program.
+    assert!(coverage[2] > coverage[1]);
+}

@@ -1,0 +1,108 @@
+//! Property-based tests of the paper's central soundness invariants:
+//!
+//! * every CEGAR-accepted model re-validates under the concrete matcher
+//!   with identical capture assignments (Algorithm 1 termination
+//!   property, §5.4);
+//! * the concrete matcher agrees with a classical DFA on regular
+//!   patterns.
+
+use expose::core::{api::build_match_model, cegar::CegarSolver, model::BuildConfig};
+use expose::matcher::RegExp;
+use expose::strsolve::{Formula, Outcome, VarPool};
+use expose::syntax::Regex;
+use proptest::prelude::*;
+
+/// A small pool of regexes covering the feature matrix.
+fn regex_pool() -> Vec<&'static str> {
+    vec![
+        "/^a*(a)?$/",
+        "/^(a*)(a*)$/",
+        "/^(a|ab)(c|bc)$/",
+        r"/^(\w+)=(\w*)$/",
+        "/(x+)(x*)y/",
+        r"/^(ab|c)\1$/",
+        "/^-?([0-9]+)(\\.([0-9]+))?$/",
+        "/(?:(a)|(b))+/",
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// CEGAR-accepted capture assignments equal the engine's.
+    #[test]
+    fn cegar_models_agree_with_oracle(
+        idx in 0usize..8,
+        pin in "[ab=x0-9]{0,4}",
+    ) {
+        let literal = regex_pool()[idx];
+        let regex = Regex::parse_literal(literal).expect("literal");
+        let mut pool = VarPool::new();
+        let c = build_match_model(&regex, true, &mut pool, &BuildConfig::default());
+        // Half the runs pin the input to a random short string, which
+        // stresses the refinement loop on ambiguous splits.
+        let problem = if pin.is_empty() {
+            Formula::top()
+        } else {
+            Formula::eq_lit(c.input, pin.clone())
+        };
+        let result = CegarSolver::default().solve(&problem, &[c.clone()]);
+        if let Outcome::Sat(model) = result.outcome {
+            let input = model.get_str(c.input).expect("assigned");
+            let mut oracle = RegExp::from_regex(regex);
+            let concrete = oracle.exec(input).expect("must match concretely");
+            for (i, cap) in c.captures.iter().enumerate() {
+                let oracle_value = concrete.captures.get(i).cloned().flatten();
+                let model_value = if model.get_bool(cap.defined) {
+                    Some(model.get_str(cap.value).unwrap_or("").to_string())
+                } else {
+                    None
+                };
+                prop_assert_eq!(
+                    oracle_value, model_value,
+                    "capture {} of {} on {:?}", i, literal, input
+                );
+            }
+        }
+    }
+
+    /// The backtracking matcher decides classical membership exactly as
+    /// the DFA does.
+    #[test]
+    fn matcher_agrees_with_dfa(input in "[abc]{0,8}") {
+        use expose::automata::{compile_classical, Alphabet, CompileOptions, Dfa};
+        use std::sync::Arc;
+
+        for pattern in ["a(b|c)*", "(ab)+c?", "a{2,3}b", "(a|b)c"] {
+            let ast = expose::syntax::parse(pattern).expect("parse");
+            let re = compile_classical(&ast, &CompileOptions::default()).expect("classical");
+            let mut sets = Vec::new();
+            re.collect_sets(&mut sets);
+            let alphabet = Arc::new(Alphabet::from_sets(&sets));
+            let dfa = Dfa::from_cregex(&re, &alphabet);
+
+            // Anchor the pattern for whole-word comparison.
+            let mut anchored = RegExp::new(&format!("^(?:{pattern})$"), "").expect("regex");
+            prop_assert_eq!(
+                anchored.test(&input),
+                dfa.contains(&input),
+                "pattern {} on {:?}", pattern, input
+            );
+        }
+    }
+
+    /// Negative models never produce matching witnesses.
+    #[test]
+    fn negative_witnesses_never_match(idx in 0usize..8) {
+        let literal = regex_pool()[idx];
+        let regex = Regex::parse_literal(literal).expect("literal");
+        let mut pool = VarPool::new();
+        let c = build_match_model(&regex, false, &mut pool, &BuildConfig::default());
+        let result = CegarSolver::default().solve(&Formula::top(), &[c.clone()]);
+        if let Outcome::Sat(model) = result.outcome {
+            let input = model.get_str(c.input).expect("assigned");
+            let mut oracle = RegExp::from_regex(regex);
+            prop_assert!(!oracle.test(input), "{} matched {:?}", literal, input);
+        }
+    }
+}

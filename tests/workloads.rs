@@ -1,0 +1,58 @@
+//! The Table 6 workloads as integration tests: every library program
+//! parses, runs, and full support beats concretization on the
+//! regex-heavy ones.
+
+use expose::core::SupportLevel;
+use expose::dse::{parser::parse_program, run_dse, EngineConfig, Harness};
+
+#[test]
+fn all_workloads_execute() {
+    for w in expose::corpus::library_workloads() {
+        let program = parse_program(w.source)
+            .unwrap_or_else(|e| panic!("{} must parse: {e}", w.name));
+        let report = run_dse(
+            &program,
+            &Harness::strings(w.entry, w.arity),
+            &EngineConfig {
+                max_executions: 2,
+                ..EngineConfig::default()
+            },
+        );
+        assert!(report.executions >= 1, "{} must run", w.name);
+        assert!(report.coverage_fraction() > 0.0, "{} must cover code", w.name);
+    }
+}
+
+#[test]
+fn full_support_beats_concrete_on_yn() {
+    let w = expose::corpus::library_workloads()
+        .into_iter()
+        .find(|w| w.name == "yn")
+        .expect("yn workload");
+    let program = parse_program(w.source).expect("parse");
+    let harness = Harness::strings(w.entry, w.arity);
+    let concrete = run_dse(
+        &program,
+        &harness,
+        &EngineConfig {
+            support: SupportLevel::Concrete,
+            max_executions: 10,
+            ..EngineConfig::default()
+        },
+    );
+    let full = run_dse(
+        &program,
+        &harness,
+        &EngineConfig {
+            support: SupportLevel::Refinement,
+            max_executions: 10,
+            ..EngineConfig::default()
+        },
+    );
+    assert!(
+        full.coverage_fraction() > concrete.coverage_fraction(),
+        "full {:.2} vs concrete {:.2}",
+        full.coverage_fraction(),
+        concrete.coverage_fraction()
+    );
+}

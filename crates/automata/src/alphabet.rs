@@ -143,11 +143,7 @@ impl Alphabet {
         for (id, class) in self.classes.iter().enumerate() {
             let inter = class.intersect(set);
             if !inter.is_empty() {
-                debug_assert_eq!(
-                    inter,
-                    *class,
-                    "set must be a union of alphabet classes"
-                );
+                debug_assert_eq!(inter, *class, "set must be a union of alphabet classes");
                 out.push(id as ClassId);
             }
         }
@@ -180,10 +176,7 @@ mod tests {
 
     #[test]
     fn overlapping_sets_refine() {
-        let alpha = Alphabet::from_sets(&[
-            CharSet::range('a', 'm'),
-            CharSet::range('g', 'z'),
-        ]);
+        let alpha = Alphabet::from_sets(&[CharSet::range('a', 'm'), CharSet::range('g', 'z')]);
         // Classes: [a-f], [g-m], [n-z], rest.
         assert_eq!(alpha.class_count(), 4);
         assert_ne!(alpha.classify('a'), alpha.classify('h'));

@@ -154,6 +154,7 @@ impl CRegex {
     }
 
     /// Complement.
+    #[allow(clippy::should_implement_trait)] // constructor family: star/plus/opt/not
     pub fn not(item: CRegex) -> CRegex {
         match item {
             CRegex::Not(inner) => Arc::unwrap_or_clone(inner),
@@ -209,9 +210,7 @@ impl CRegex {
     pub fn has_boolean_ops(&self) -> bool {
         match self {
             CRegex::And(_) | CRegex::Not(_) => true,
-            CRegex::Concat(items) | CRegex::Alt(items) => {
-                items.iter().any(CRegex::has_boolean_ops)
-            }
+            CRegex::Concat(items) | CRegex::Alt(items) => items.iter().any(CRegex::has_boolean_ops),
             CRegex::Star(inner) => inner.has_boolean_ops(),
             _ => false,
         }
@@ -231,8 +230,7 @@ impl fmt::Display for CRegex {
                     }
                 }
                 write!(f, "[")?;
-                let mut shown = 0;
-                for &(lo, hi) in set.ranges() {
+                for (shown, &(lo, hi)) in set.ranges().iter().enumerate() {
                     if shown >= 4 {
                         write!(f, "…")?;
                         break;
@@ -244,7 +242,6 @@ impl fmt::Display for CRegex {
                     } else {
                         write!(f, "{}-{}", printable(lo_c), printable(hi_c))?;
                     }
-                    shown += 1;
                 }
                 write!(f, "]")
             }
@@ -421,10 +418,7 @@ pub fn compile_classical(ast: &Ast, opts: &CompileOptions) -> Result<CRegex, Not
                         } else {
                             assertion
                         };
-                        let rest = compile_classical(
-                            &Ast::concat(items[i + 1..].to_vec()),
-                            opts,
-                        )?;
+                        let rest = compile_classical(&Ast::concat(items[i + 1..].to_vec()), opts)?;
                         parts.push(CRegex::and(vec![assertion, rest]));
                         return Ok(CRegex::concat(parts));
                     }
@@ -448,11 +442,8 @@ mod tests {
     use regex_syntax_es6::parse;
 
     fn compile(pattern: &str) -> CRegex {
-        compile_classical(
-            &parse(pattern).expect("parse"),
-            &CompileOptions::default(),
-        )
-        .expect("classical")
+        compile_classical(&parse(pattern).expect("parse"), &CompileOptions::default())
+            .expect("classical")
     }
 
     #[test]

@@ -263,7 +263,10 @@ impl Dfa {
         while let Some((a, b)) = worklist.pop_front() {
             let id = ids[&(a, b)];
             for class in 0..class_count {
-                let next = (self.step(a, class as ClassId), other.step(b, class as ClassId));
+                let next = (
+                    self.step(a, class as ClassId),
+                    other.step(b, class as ClassId),
+                );
                 let next_id = match ids.get(&next) {
                     Some(&id) => id,
                     None => {
@@ -444,11 +447,8 @@ mod tests {
 
     fn dfa(pattern: &str) -> Dfa {
         let ast = parse(pattern).expect("parse");
-        let re = crate::cregex::compile_classical(
-            &ast,
-            &crate::cregex::CompileOptions::default(),
-        )
-        .expect("classical");
+        let re = crate::cregex::compile_classical(&ast, &crate::cregex::CompileOptions::default())
+            .expect("classical");
         let mut sets = Vec::new();
         re.collect_sets(&mut sets);
         let alphabet = Arc::new(Alphabet::from_sets(&sets));

@@ -39,6 +39,6 @@ pub mod nfa;
 
 pub use alphabet::{Alphabet, ClassId};
 pub use charset::CharSet;
-pub use cregex::{compile_classical, CompileOptions, CRegex, NotClassical};
+pub use cregex::{compile_classical, CRegex, CompileOptions, NotClassical};
 pub use dfa::{Dfa, WordIter};
 pub use nfa::{Nfa, NfaState, StateId};

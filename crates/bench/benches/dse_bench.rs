@@ -18,7 +18,16 @@ fn bench_dse(c: &mut Criterion) {
     let yn = workloads.iter().find(|w| w.name == "yn").expect("yn");
     for level in SupportLevel::ALL {
         group.bench_function(format!("yn_{:?}", level), |b| {
-            b.iter(|| black_box(run_workload(yn, level, Budget { executions: 6, steps: 20_000 })));
+            b.iter(|| {
+                black_box(run_workload(
+                    yn,
+                    level,
+                    Budget {
+                        executions: 6,
+                        steps: 20_000,
+                    },
+                ))
+            });
         });
     }
 
@@ -38,9 +47,7 @@ fn bench_dse(c: &mut Criterion) {
                 },
                 ..EngineConfig::default()
             };
-            b.iter(|| {
-                black_box(run_dse(&program, &Harness::strings("f", 1), &config))
-            });
+            b.iter(|| black_box(run_dse(&program, &Harness::strings("f", 1), &config)));
         });
     }
 

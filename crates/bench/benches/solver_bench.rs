@@ -1,6 +1,6 @@
 //! Micro-benchmarks for the string constraint solver (the Z3 substitute).
 
-use automata::{CharSet, CRegex};
+use automata::{CRegex, CharSet};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use strsolve::{Formula, Solver, Term, VarPool};

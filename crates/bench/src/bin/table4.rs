@@ -36,9 +36,7 @@ fn main() {
         survey.packages.rows().into_iter().zip(PAPER)
     {
         assert_eq!(&label, plabel, "row order must match the paper");
-        println!(
-            "{label:<38} {pcount:>10} {ppct:>6.1}%   {measured:>10} {measured_pct:>6.1}%"
-        );
+        println!("{label:<38} {pcount:>10} {ppct:>6.1}%   {measured:>10} {measured_pct:>6.1}%");
     }
     bench::rule(78);
     println!("Shape check: percentages should track the paper column within a few points.");

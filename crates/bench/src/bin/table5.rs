@@ -51,7 +51,13 @@ fn main() {
     let paper = paper_percentages();
     println!(
         "{:<20} {:>9} {:>8} {:>8}   {:>9} {:>8} {:>8}",
-        "Total Regex", survey.features.total, "100%", "100%", survey.features.unique, "100%", "100%"
+        "Total Regex",
+        survey.features.total,
+        "100%",
+        "100%",
+        survey.features.unique,
+        "100%",
+        "100%"
     );
     for (name, total, tp, unique, up) in survey.features.rows() {
         let (paper_tp, paper_up) = paper.get(name).copied().unwrap_or((0.0, 0.0));

@@ -16,7 +16,13 @@ use expose_core::SupportLevel;
 const PAPER: &[(&str, &str, &str, &str, &str)] = &[
     ("Concrete Regular Expressions", "-", "-", "-", "11.46"),
     ("+ Modeling RegEx", "528", "46.68%", "+6.16%", "10.14"),
-    ("+ Captures & Backreferences", "194", "17.15%", "+4.18%", "9.42"),
+    (
+        "+ Captures & Backreferences",
+        "194",
+        "17.15%",
+        "+4.18%",
+        "9.42",
+    ),
     ("+ Refinement", "63", "5.57%", "+4.17%", "8.70"),
 ];
 
@@ -78,7 +84,11 @@ fn main() {
         println!(
             "{:<30} {:>5} {:>8} {:>8} {:>10.2} | {:>5} {:>8} {:>7} {:>9}",
             level.label(),
-            if li == 0 { "-".to_string() } else { improved.to_string() },
+            if li == 0 {
+                "-".to_string()
+            } else {
+                improved.to_string()
+            },
             imp_pct,
             gain,
             rate,

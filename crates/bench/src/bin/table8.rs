@@ -54,7 +54,7 @@ fn main() {
     let package_time = |f: &dyn Fn(&QueryRecord) -> bool| -> Vec<Duration> {
         per_package
             .iter()
-            .filter(|qs| qs.iter().any(|q| f(q)))
+            .filter(|qs| qs.iter().any(f))
             .map(|qs| qs.iter().map(|q| q.duration).sum())
             .collect()
     };
@@ -69,7 +69,10 @@ fn main() {
 
     println!("Table 8: Solver times per package and per query ({n} packages)");
     bench::rule(72);
-    println!("{:<38} {:>10} {:>10} {:>10}", "Packages/Queries", "min", "max", "mean");
+    println!(
+        "{:<38} {:>10} {:>10} {:>10}",
+        "Packages/Queries", "min", "max", "mean"
+    );
     bench::rule(72);
     summarize("All packages", &package_time(&|_| true));
     summarize("With capture groups", &package_time(&|q| q.had_captures));
@@ -82,7 +85,10 @@ fn main() {
     summarize("All queries", &query_time(&|_| true));
     summarize("With capture groups", &query_time(&|q| q.had_captures));
     summarize("With refinement", &query_time(&|q| q.refinements > 0));
-    summarize("Where refinement limit is hit", &query_time(&|q| q.limit_hit));
+    summarize(
+        "Where refinement limit is hit",
+        &query_time(&|q| q.limit_hit),
+    );
     bench::rule(72);
 
     let total: usize = per_package.iter().map(Vec::len).sum();
@@ -101,11 +107,7 @@ fn main() {
         .flatten()
         .filter(|q| q.refinements > 0)
         .count();
-    let limit = per_package
-        .iter()
-        .flatten()
-        .filter(|q| q.limit_hit)
-        .count();
+    let limit = per_package.iter().flatten().filter(|q| q.limit_hit).count();
     println!("Query population: {total} total; {with_regex} modeled a regex; {with_caps} modeled");
     println!("captures/backrefs; {refined} required refinement; {limit} hit the limit.");
     println!("(Paper: 58.4M total; 7.6% regex; 1.1% captures; 0.1% refined; 0.003% limit.)");

@@ -49,11 +49,7 @@ pub fn engine_config(support: SupportLevel, budget: Budget) -> EngineConfig {
 }
 
 /// Runs one Table 6 library workload at a support level.
-pub fn run_workload(
-    workload: &LibraryWorkload,
-    support: SupportLevel,
-    budget: Budget,
-) -> Report {
+pub fn run_workload(workload: &LibraryWorkload, support: SupportLevel, budget: Budget) -> Report {
     let program = parse_program(workload.source)
         .unwrap_or_else(|e| panic!("workload {} must parse: {e}", workload.name));
     let harness = Harness::strings(workload.entry, workload.arity);
@@ -61,11 +57,7 @@ pub fn run_workload(
 }
 
 /// Runs one generated Table 7 program at a support level.
-pub fn run_generated(
-    program: &DseProgram,
-    support: SupportLevel,
-    budget: Budget,
-) -> Report {
+pub fn run_generated(program: &DseProgram, support: SupportLevel, budget: Budget) -> Report {
     let parsed = parse_program(&program.source)
         .unwrap_or_else(|e| panic!("program {} must parse: {e}", program.name));
     let harness = Harness::strings(&program.entry, program.arity);

@@ -13,9 +13,7 @@
 use regex_syntax_es6::Regex;
 use strsolve::{Formula, StrVar, Term, VarPool};
 
-use crate::classical::{
-    no_meta_star, overapprox_word_regex, try_wrapped_word_language,
-};
+use crate::classical::{no_meta_star, overapprox_word_regex, try_wrapped_word_language};
 use crate::meta::{INPUT_END, INPUT_START};
 use crate::model::{BuildConfig, CaptureVar, ModelBuilder};
 use crate::negate::nnf_negate;
@@ -131,10 +129,7 @@ fn build_positive(
 
     let formula = Formula::and(vec![
         well_formed,
-        Formula::eq_concat(
-            wrapped,
-            vec![Term::Var(w1), Term::Var(w0), Term::Var(w3)],
-        ),
+        Formula::eq_concat(wrapped, vec![Term::Var(w1), Term::Var(w0), Term::Var(w3)]),
         Formula::in_re(w1, pre_lang),
         Formula::in_re(w3, post_lang),
         Formula::in_re(w0, crate::classical::no_meta_star()),
@@ -209,15 +204,26 @@ fn build_negative(
     let post_lang = automata::CRegex::concat(vec![crate::classical::no_meta_star(), end_marker]);
 
     let match_structure = Formula::and(vec![
-        Formula::eq_concat(
-            wrapped,
-            vec![Term::Var(w1), Term::Var(w0), Term::Var(w3)],
-        ),
+        Formula::eq_concat(wrapped, vec![Term::Var(w1), Term::Var(w0), Term::Var(w3)]),
         Formula::in_re(w1, pre_lang),
         Formula::in_re(w3, post_lang),
         body,
     ]);
-    let formula = Formula::and(vec![well_formed, nnf_negate(&match_structure)]);
+    // The negated structural model keeps the partition equations
+    // positive (§4.4), so it is only satisfiable when the match shape
+    // can be laid out over the word at all. Words where it cannot (no
+    // substring fits the structure) are genuine non-matches the
+    // negation would otherwise miss — cover them with the sound escape
+    // hatch "the wrapped word violates a necessary condition of
+    // matching" (the overapproximated word language).
+    let guide = overapprox_word_regex(&regex.ast, regex.flags);
+    let formula = Formula::and(vec![
+        well_formed,
+        Formula::or(vec![
+            Formula::not_in_re(wrapped, guide),
+            nnf_negate(&match_structure),
+        ]),
+    ]);
 
     CapturingConstraint {
         regex: regex.clone(),

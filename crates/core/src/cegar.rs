@@ -58,7 +58,7 @@ pub struct CegarResult {
 /// let c = build_match_model(&regex, true, &mut pool, &BuildConfig::default());
 /// // Force the input to be "aa".
 /// let problem = Formula::and(vec![Formula::eq_lit(c.input, "aa")]);
-/// let result = CegarSolver::default().solve(&problem, &[c.clone()]);
+/// let result = CegarSolver::default().solve(&problem, std::slice::from_ref(&c));
 /// let model = result.outcome.model().expect("sat");
 /// // Matching precedence: the greedy a* consumes both characters.
 /// assert!(!model.get_bool(c.captures[1].defined));
@@ -100,11 +100,7 @@ impl CegarSolver {
     ///
     /// `problem` carries the rest of the path condition; `constraints`
     /// are the modeled capturing-language constraints.
-    pub fn solve(
-        &self,
-        problem: &Formula,
-        constraints: &[CapturingConstraint],
-    ) -> CegarResult {
+    pub fn solve(&self, problem: &Formula, constraints: &[CapturingConstraint]) -> CegarResult {
         let start = Instant::now();
         let mut stats = CegarStats {
             had_captures: constraints
@@ -124,19 +120,41 @@ impl CegarSolver {
             let model = match outcome {
                 Outcome::Sat(m) => m,
                 other => {
+                    // An inexact negative model does not overapproximate
+                    // the complement (the §4.4 shape misses nothing for
+                    // Sat — the oracle validates — but its Unsat is not
+                    // a proof), so refusal must be downgraded.
+                    let unsound_unsat = matches!(other, Outcome::Unsat)
+                        && constraints.iter().any(|c| !c.positive && !c.exact);
                     stats.duration = start.elapsed();
                     return CegarResult {
-                        outcome: other,
+                        outcome: if unsound_unsat {
+                            Outcome::Unknown
+                        } else {
+                            other
+                        },
                         stats,
                     };
                 }
             };
 
             let mut failed = false;
+            // Capture-mismatched (constraint, word) pairs of this round:
+            // their words still satisfy the constraint polarity, only
+            // the capture split was spurious.
+            let mut mismatches = Vec::new();
             for constraint in constraints {
-                if let Some(refinement) = self.validate(constraint, &model) {
-                    failed = true;
-                    p = Formula::and(vec![p, refinement]);
+                match self.validate(constraint, &model) {
+                    Validation::Valid => {}
+                    Validation::Refine(refinement) => {
+                        failed = true;
+                        p = Formula::and(vec![p, refinement]);
+                    }
+                    Validation::CaptureMismatch { word, refinement } => {
+                        failed = true;
+                        p = Formula::and(vec![p, refinement]);
+                        mismatches.push((constraint.input, word));
+                    }
                 }
             }
 
@@ -156,17 +174,64 @@ impl CegarSolver {
                     stats,
                 };
             }
+
+            // Progress guarantee: an implication alone does not stop the
+            // solver from wandering to a fresh word (with yet another
+            // spurious split) every round. Probe the mismatched words
+            // directly — their captures are now pinned, so either the
+            // probe yields a specification-correct model, or the words
+            // provably cannot support the path condition and are banned.
+            if !mismatches.is_empty() {
+                let pinned = Formula::and(
+                    mismatches
+                        .iter()
+                        .map(|(input, word)| Formula::eq_lit(*input, word.clone()))
+                        .collect(),
+                );
+                let probe = Formula::and(vec![p.clone(), pinned]);
+                let (outcome, solve_stats) = self.solver.solve(&probe);
+                stats.solver.absorb(&solve_stats);
+                match outcome {
+                    Outcome::Sat(m)
+                        if constraints
+                            .iter()
+                            .all(|c| matches!(self.validate(c, &m), Validation::Valid)) =>
+                    {
+                        stats.duration = start.elapsed();
+                        return CegarResult {
+                            outcome: Outcome::Sat(m),
+                            stats,
+                        };
+                    }
+                    // Spurious on some other constraint: fall through to
+                    // the main loop, which will refine it.
+                    Outcome::Sat(_) => {}
+                    // No engine-correct assignment over these words
+                    // satisfies the problem, so at least one of them
+                    // must change. Sound to ban as a disjunction.
+                    Outcome::Unsat => {
+                        p = Formula::and(vec![
+                            p,
+                            Formula::or(
+                                mismatches
+                                    .iter()
+                                    .map(|(input, word)| Formula::ne_lit(*input, word.clone()))
+                                    .collect(),
+                            ),
+                        ]);
+                    }
+                    // Budget exhaustion: banning now could make a later
+                    // Unsat unsound, so keep only the implication.
+                    Outcome::Unknown => {}
+                }
+            }
         }
     }
 
     /// Lines 9–22 of Algorithm 1 for one constraint: validates the
     /// candidate assignment with the concrete matcher; returns a
     /// refinement formula when the candidate is spurious.
-    fn validate(
-        &self,
-        constraint: &CapturingConstraint,
-        model: &Model,
-    ) -> Option<Formula> {
+    fn validate(&self, constraint: &CapturingConstraint, model: &Model) -> Validation {
         let input = model.get_str(constraint.input).unwrap_or_default();
         // ConcreteMatch(M[w], R): the ES6-compliant oracle.
         let mut oracle = RegExp::from_regex(oracle_regex(&constraint.regex));
@@ -189,7 +254,7 @@ impl CegarSolver {
                     }
                 }
                 if agree {
-                    None
+                    Validation::Valid
                 } else {
                     // Refinement: pin the captures for this word
                     // (line 15): w = M[w] ⟹ ⋀ᵢ Cᵢ = C♮ᵢ.
@@ -203,23 +268,42 @@ impl CegarSolver {
                             None => pins.push(cap.undefined()),
                         }
                     }
-                    Some(Formula::implies_eq_lit(
-                        constraint.input,
-                        input,
-                        Formula::and(pins),
-                    ))
+                    Validation::CaptureMismatch {
+                        word: input.to_string(),
+                        refinement: Formula::implies_eq_lit(
+                            constraint.input,
+                            input,
+                            Formula::and(pins),
+                        ),
+                    }
                 }
             }
             // Non-membership constraint, but the word matches
             // concretely: ban the word (line 18).
-            (Some(_), false) => Some(Formula::ne_lit(constraint.input, input)),
+            (Some(_), false) => Validation::Refine(Formula::ne_lit(constraint.input, input)),
             // Positive constraint, but no concrete match: ban the word
             // (line 22).
-            (None, true) => Some(Formula::ne_lit(constraint.input, input)),
+            (None, true) => Validation::Refine(Formula::ne_lit(constraint.input, input)),
             // Negative constraint, no concrete match: consistent.
-            (None, false) => None,
+            (None, false) => Validation::Valid,
         }
     }
+}
+
+/// The verdict of validating one constraint against a candidate model.
+enum Validation {
+    /// The concrete matcher agrees with the candidate.
+    Valid,
+    /// Spurious for polarity reasons; conjoin the refinement and retry.
+    Refine(Formula),
+    /// The word satisfies the constraint polarity but the capture split
+    /// is spurious; the refinement pins the engine's captures for it.
+    CaptureMismatch {
+        /// The candidate word (value of the constraint's input var).
+        word: String,
+        /// `input = word ⟹ ⋀ᵢ Cᵢ = C♮ᵢ`.
+        refinement: Formula,
+    },
 }
 
 /// The oracle regex: the original pattern with the stateful flags
@@ -249,16 +333,14 @@ mod tests {
         let mut pool = VarPool::new();
         let c = build_match_model(&regex, positive, &mut pool, &BuildConfig::default());
         let problem = extra(&c);
-        let result = CegarSolver::default().solve(&problem, &[c.clone()]);
+        let result = CegarSolver::default().solve(&problem, std::slice::from_ref(&c));
         (result, c, pool)
     }
 
     #[test]
     fn paper_refinement_example() {
         // §3.4: /^a*(a)?$/ on "aa" — C1 must be ⊥, not "a".
-        let (result, c, _) = run("/^a*(a)?$/", true, |c| {
-            Formula::eq_lit(c.input, "aa")
-        });
+        let (result, c, _) = run("/^a*(a)?$/", true, |c| Formula::eq_lit(c.input, "aa"));
         let model = result.outcome.model().expect("sat");
         assert!(!model.get_bool(c.captures[1].defined));
         // C0 must be the full greedy match.
@@ -268,9 +350,7 @@ mod tests {
     #[test]
     fn greedy_capture_assignment() {
         // /(a*)(a*)/ on "aaa": greedy first group takes everything.
-        let (result, c, _) = run("/^(a*)(a*)$/", true, |c| {
-            Formula::eq_lit(c.input, "aaa")
-        });
+        let (result, c, _) = run("/^(a*)(a*)$/", true, |c| Formula::eq_lit(c.input, "aaa"));
         let model = result.outcome.model().expect("sat");
         assert_eq!(model.get_str(c.captures[1].value), Some("aaa"));
         assert_eq!(model.get_str(c.captures[2].value), Some(""));
@@ -279,9 +359,7 @@ mod tests {
     #[test]
     fn lazy_quantifier_precedence() {
         // /(a*?)(a*)/ on "aaa": lazy first group takes nothing.
-        let (result, c, _) = run("/^(a*?)(a*)$/", true, |c| {
-            Formula::eq_lit(c.input, "aaa")
-        });
+        let (result, c, _) = run("/^(a*?)(a*)$/", true, |c| Formula::eq_lit(c.input, "aaa"));
         let model = result.outcome.model().expect("sat");
         assert_eq!(model.get_str(c.captures[1].value), Some(""));
         assert_eq!(model.get_str(c.captures[2].value), Some("aaa"));
@@ -291,18 +369,14 @@ mod tests {
     fn alternation_precedence() {
         // /(a|ab)/ matching "ab…": leftmost alternative wins at the
         // first matching position, so C1 = "a".
-        let (result, c, _) = run("/(a|ab)/", true, |c| {
-            Formula::eq_lit(c.input, "ab")
-        });
+        let (result, c, _) = run("/(a|ab)/", true, |c| Formula::eq_lit(c.input, "ab"));
         let model = result.outcome.model().expect("sat");
         assert_eq!(model.get_str(c.captures[1].value), Some("a"));
     }
 
     #[test]
     fn unsat_when_input_cannot_match() {
-        let (result, _, _) = run("/^[0-9]+$/", true, |c| {
-            Formula::eq_lit(c.input, "xyz")
-        });
+        let (result, _, _) = run("/^[0-9]+$/", true, |c| Formula::eq_lit(c.input, "xyz"));
         assert_eq!(result.outcome, Outcome::Unsat);
     }
 
@@ -327,9 +401,7 @@ mod tests {
 
     #[test]
     fn stats_track_refinements() {
-        let (result, _, _) = run("/^a*(a)?$/", true, |c| {
-            Formula::eq_lit(c.input, "aa")
-        });
+        let (result, _, _) = run("/^a*(a)?$/", true, |c| Formula::eq_lit(c.input, "aa"));
         // The spurious capture assignment may or may not be proposed
         // first, but the loop must terminate within the limit.
         assert!(!result.stats.limit_hit);

@@ -15,7 +15,7 @@
 //!   it steers the solver's word enumeration toward matching inputs
 //!   without affecting the model's meaning.
 
-use automata::{compile_classical, CharSet, CompileOptions, CRegex};
+use automata::{compile_classical, CRegex, CharSet, CompileOptions};
 use regex_syntax_es6::ast::{AssertionKind, Ast};
 use regex_syntax_es6::rewrite::strip_captures;
 use regex_syntax_es6::Flags;
@@ -40,7 +40,9 @@ pub fn wrapper_wildcard() -> CRegex {
 
 /// `Σ*` over characters excluding the meta-characters.
 pub fn no_meta_star() -> CRegex {
-    CRegex::star(CRegex::set(CharSet::any().difference(&crate::meta::meta_set())))
+    CRegex::star(CRegex::set(
+        CharSet::any().difference(&crate::meta::meta_set()),
+    ))
 }
 
 /// Splits a top-level concatenation into (leading `^`?, body, trailing
@@ -64,8 +66,7 @@ fn split_top_anchors(ast: &Ast) -> Option<(bool, Vec<Ast>, bool)> {
     if body.iter().any(Ast::has_assertion) {
         return None;
     }
-    Some((start, end, body.to_vec()))
-        .map(|(s, e, b)| (s, b, e))
+    Some((start, end, body.to_vec())).map(|(s, e, b)| (s, b, e))
 }
 
 /// The exact word language of the wrapped pattern over marked input, if
@@ -144,18 +145,13 @@ fn overapprox_body(ast: &Ast, root: &Ast, opts: &CompileOptions, depth: u32) -> 
             match find_group(root, *k) {
                 // A backreference matches ε (group undefined) or a word
                 // from (an overapproximation of) the group's language.
-                Some(group_body) => CRegex::opt(overapprox_body(
-                    &group_body,
-                    root,
-                    opts,
-                    depth + 1,
-                )),
+                Some(group_body) => {
+                    CRegex::opt(overapprox_body(&group_body, root, opts, depth + 1))
+                }
                 None => CRegex::Epsilon,
             }
         }
-        Ast::Group { ast, .. } | Ast::NonCapturing(ast) => {
-            overapprox_body(ast, root, opts, depth)
-        }
+        Ast::Group { ast, .. } | Ast::NonCapturing(ast) => overapprox_body(ast, root, opts, depth),
         Ast::Repeat { ast, min, max, .. } => {
             CRegex::repeat(overapprox_body(ast, root, opts, depth), *min, *max)
         }
@@ -184,9 +180,7 @@ fn find_group(ast: &Ast, k: u32) -> Option<Ast> {
             find_group(ast, k)
         }
         Ast::Repeat { ast, .. } => find_group(ast, k),
-        Ast::Alt(items) | Ast::Concat(items) => {
-            items.iter().find_map(|i| find_group(i, k))
-        }
+        Ast::Alt(items) | Ast::Concat(items) => items.iter().find_map(|i| find_group(i, k)),
         _ => None,
     }
 }

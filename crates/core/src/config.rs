@@ -70,9 +70,6 @@ mod tests {
     #[test]
     fn labels_match_table7() {
         assert_eq!(SupportLevel::ALL.len(), 4);
-        assert_eq!(
-            SupportLevel::Refinement.label(),
-            "+ Refinement"
-        );
+        assert_eq!(SupportLevel::Refinement.label(), "+ Refinement");
     }
 }

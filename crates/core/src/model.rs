@@ -27,7 +27,7 @@
 
 use std::collections::HashMap;
 
-use automata::{compile_classical, CharSet, CRegex};
+use automata::{compile_classical, CRegex, CharSet};
 use regex_syntax_es6::ast::{AssertionKind, Ast};
 use regex_syntax_es6::rewrite::normalize_lazy;
 use regex_syntax_es6::Flags;
@@ -278,9 +278,7 @@ impl<'p> ModelBuilder<'p> {
                     undefs.push(self.undef_all(other));
                 }
             }
-            alts.push(Formula::and(
-                std::iter::once(body).chain(undefs).collect(),
-            ));
+            alts.push(Formula::and(std::iter::once(body).chain(undefs).collect()));
         }
         Formula::or(alts)
     }
@@ -310,9 +308,7 @@ impl<'p> ModelBuilder<'p> {
         for (i, item) in items.iter().enumerate() {
             terms.push(match item {
                 Ast::Assertion(_) | Ast::Lookahead { .. } => None,
-                Ast::Literal(c) if !self.flags.ignore_case => {
-                    Some(Term::Lit(c.to_string()))
-                }
+                Ast::Literal(c) if !self.flags.ignore_case => Some(Term::Lit(c.to_string())),
                 _ => Some(Term::Var(self.pool.fresh_str(format!("w.{i}")))),
             });
         }
@@ -321,10 +317,8 @@ impl<'p> ModelBuilder<'p> {
 
         for (i, item) in items.iter().enumerate() {
             // Context before item i (within this concat) and after it.
-            let local_prefix: Vec<Term> =
-                terms[..i].iter().flatten().cloned().collect();
-            let local_suffix: Vec<Term> =
-                terms[i + 1..].iter().flatten().cloned().collect();
+            let local_prefix: Vec<Term> = terms[..i].iter().flatten().cloned().collect();
+            let local_suffix: Vec<Term> = terms[i + 1..].iter().flatten().cloned().collect();
             let full_prefix = prefix.as_ref().map(|p| {
                 let mut v = p.clone();
                 v.extend(local_prefix.iter().cloned());
@@ -340,12 +334,7 @@ impl<'p> ModelBuilder<'p> {
                     conjuncts.push(self.assertion(*kind, full_prefix, full_suffix));
                 }
                 (None, Ast::Lookahead { negative, ast }) => {
-                    conjuncts.push(self.lookahead(
-                        *negative,
-                        ast,
-                        full_prefix,
-                        full_suffix,
-                    ));
+                    conjuncts.push(self.lookahead(*negative, ast, full_prefix, full_suffix));
                 }
                 (Some(Term::Lit(_)), _) => {}
                 (Some(Term::Var(v)), _) => {
@@ -385,10 +374,7 @@ impl<'p> ModelBuilder<'p> {
                     ]);
                     Formula::and(vec![
                         def,
-                        Formula::or(vec![
-                            Formula::eq_lit(p, ""),
-                            Formula::in_re(p, ends_with),
-                        ]),
+                        Formula::or(vec![Formula::eq_lit(p, ""), Formula::in_re(p, ends_with)]),
                     ])
                 }
             },
@@ -410,10 +396,7 @@ impl<'p> ModelBuilder<'p> {
                     ]);
                     Formula::and(vec![
                         def,
-                        Formula::or(vec![
-                            Formula::eq_lit(s, ""),
-                            Formula::in_re(s, starts_with),
-                        ]),
+                        Formula::or(vec![Formula::eq_lit(s, ""), Formula::in_re(s, starts_with)]),
                     ])
                 }
             },
@@ -429,12 +412,9 @@ impl<'p> ModelBuilder<'p> {
                 let any_star = CRegex::star(CRegex::set(CharSet::any()));
                 let ends_nonword =
                     CRegex::concat(vec![any_star.clone(), CRegex::set(non_word.clone())]);
-                let ends_word =
-                    CRegex::concat(vec![any_star.clone(), CRegex::set(word.clone())]);
-                let starts_word =
-                    CRegex::concat(vec![CRegex::set(word), any_star.clone()]);
-                let starts_nonword =
-                    CRegex::concat(vec![CRegex::set(non_word), any_star]);
+                let ends_word = CRegex::concat(vec![any_star.clone(), CRegex::set(word.clone())]);
+                let starts_word = CRegex::concat(vec![CRegex::set(word), any_star.clone()]);
+                let starts_nonword = CRegex::concat(vec![CRegex::set(non_word), any_star]);
                 if kind == AssertionKind::WordBoundary {
                     // Table 2: boundary either way.
                     let disj = Formula::or(vec![
@@ -504,29 +484,25 @@ impl<'p> ModelBuilder<'p> {
             // Negative lookahead: la ∉ L(t₁.*); inner captures reset.
             let undefs = self.undef_all(inner);
             let opts = user_compile_options(self.flags);
-            let assertion = match compile_classical(
-                &regex_syntax_es6::rewrite::strip_captures(inner),
-                &opts,
-            ) {
-                Ok(re) => {
-                    let lang = CRegex::concat(vec![
-                        re,
-                        CRegex::star(CRegex::set(CharSet::any())),
-                    ]);
-                    Formula::not_in_re(la, lang)
-                }
-                Err(_) => {
-                    // Backreference inside a negative lookahead: negate
-                    // the structural model (§4.4).
-                    let u = self.pool.fresh_str("nla.head");
-                    let v = self.pool.fresh_str("nla.rest");
-                    let inner_model = self.model(inner, u, None, None);
-                    crate::negate::nnf_negate(&Formula::and(vec![
-                        Formula::eq_concat(la, vec![Term::Var(u), Term::Var(v)]),
-                        inner_model,
-                    ]))
-                }
-            };
+            let assertion =
+                match compile_classical(&regex_syntax_es6::rewrite::strip_captures(inner), &opts) {
+                    Ok(re) => {
+                        let lang =
+                            CRegex::concat(vec![re, CRegex::star(CRegex::set(CharSet::any()))]);
+                        Formula::not_in_re(la, lang)
+                    }
+                    Err(_) => {
+                        // Backreference inside a negative lookahead: negate
+                        // the structural model (§4.4).
+                        let u = self.pool.fresh_str("nla.head");
+                        let v = self.pool.fresh_str("nla.rest");
+                        let inner_model = self.model(inner, u, None, None);
+                        crate::negate::nnf_negate(&Formula::and(vec![
+                            Formula::eq_concat(la, vec![Term::Var(u), Term::Var(v)]),
+                            inner_model,
+                        ]))
+                    }
+                };
             Formula::and(vec![la_def, undefs, assertion])
         }
     }
@@ -555,10 +531,7 @@ impl<'p> ModelBuilder<'p> {
             // t? → t|ε.
             (0, Some(1)) => {
                 let matched = self.model(body, w, None, None);
-                let skipped = Formula::and(vec![
-                    Formula::eq_lit(w, ""),
-                    self.undef_all(body),
-                ]);
+                let skipped = Formula::and(vec![Formula::eq_lit(w, ""), self.undef_all(body)]);
                 Formula::or(vec![matched, skipped])
             }
             // t+ → t*t (§4.1): captures come from the final copy.
@@ -621,10 +594,7 @@ impl<'p> ModelBuilder<'p> {
     /// canonical captures bound by the last copy.
     fn repeat_branch(&mut self, body: &Ast, j: u32, w: StrVar) -> Formula {
         if j == 0 {
-            return Formula::and(vec![
-                Formula::eq_lit(w, ""),
-                self.undef_all(body),
-            ]);
+            return Formula::and(vec![Formula::eq_lit(w, ""), self.undef_all(body)]);
         }
         let mut terms = Vec::new();
         let mut conjuncts = Vec::new();

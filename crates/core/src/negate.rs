@@ -146,10 +146,7 @@ mod tests {
         let mut pool = VarPool::new();
         let w = pool.fresh_str("w");
         let a = pool.fresh_str("a");
-        let f = Formula::and(vec![Formula::eq_concat(
-            w,
-            vec![Term::Var(a)],
-        )]);
+        let f = Formula::and(vec![Formula::eq_concat(w, vec![Term::Var(a)])]);
         // Formula::and of a single item collapses to the atom itself.
         assert_eq!(nnf_negate(&f), Formula::bottom());
     }
@@ -158,16 +155,10 @@ mod tests {
     fn or_becomes_and() {
         let mut pool = VarPool::new();
         let v = pool.fresh_str("v");
-        let f = Formula::or(vec![
-            Formula::eq_lit(v, "a"),
-            Formula::eq_lit(v, "b"),
-        ]);
+        let f = Formula::or(vec![Formula::eq_lit(v, "a"), Formula::eq_lit(v, "b")]);
         assert_eq!(
             nnf_negate(&f),
-            Formula::and(vec![
-                Formula::ne_lit(v, "a"),
-                Formula::ne_lit(v, "b"),
-            ])
+            Formula::and(vec![Formula::ne_lit(v, "a"), Formula::ne_lit(v, "b"),])
         );
     }
 

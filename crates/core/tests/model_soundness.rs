@@ -3,8 +3,8 @@
 //! (every concretely matching input satisfies the model), and CEGAR
 //! answers must be engine-exact.
 
-use expose_core::{api::build_match_model, cegar::CegarSolver, model::BuildConfig};
 use es6_matcher::RegExp;
+use expose_core::{api::build_match_model, cegar::CegarSolver, model::BuildConfig};
 use regex_syntax_es6::Regex;
 use strsolve::{Formula, Outcome, Solver, VarPool};
 
@@ -33,11 +33,10 @@ fn assert_model_admits(literal: &str, matching_inputs: &[&str]) {
 fn positive_models_overapproximate() {
     assert_model_admits("/goo+d/", &["good", "goood", "xx goood yy"]);
     assert_model_admits("/^[0-9]+$/", &["1", "42", "0009"]);
-    assert_model_admits(r"/^<(\w+)>([0-9]*)<\/\1>$/", &[
-        "<a>1</a>",
-        "<timeout></timeout>",
-        "<tag>99</tag>",
-    ]);
+    assert_model_admits(
+        r"/^<(\w+)>([0-9]*)<\/\1>$/",
+        &["<a>1</a>", "<timeout></timeout>", "<tag>99</tag>"],
+    );
     assert_model_admits("/^a*(a)?$/", &["", "a", "aa", "aaa"]);
     assert_model_admits(r"/(?=ab)a./", &["ab", "xxabyy"]);
     assert_model_admits(r"/\bhi\b/", &["hi", "say hi now"]);
@@ -60,8 +59,7 @@ fn negative_models_overapproximate_nonmembership() {
             assert!(!oracle.test(input), "setup: {input:?} must not match");
             let mut pool = VarPool::new();
             let c = build_match_model(&regex, false, &mut pool, &BuildConfig::default());
-            let f =
-                Formula::and(vec![Formula::eq_lit(c.input, *input), c.formula.clone()]);
+            let f = Formula::and(vec![Formula::eq_lit(c.input, *input), c.formula.clone()]);
             let (outcome, _) = Solver::default().solve(&f);
             assert!(
                 !matches!(outcome, Outcome::Unsat),
@@ -85,11 +83,12 @@ fn cegar_is_engine_exact_on_pinned_inputs() {
         let regex = Regex::parse_literal(literal).expect("literal");
         let mut pool = VarPool::new();
         let c = build_match_model(&regex, true, &mut pool, &BuildConfig::default());
-        let result =
-            CegarSolver::default().solve(&Formula::eq_lit(c.input, *input), &[c.clone()]);
-        let model = result.outcome.model().unwrap_or_else(|| {
-            panic!("{literal} on {input:?} must be SAT")
-        });
+        let result = CegarSolver::default()
+            .solve(&Formula::eq_lit(c.input, *input), std::slice::from_ref(&c));
+        let model = result
+            .outcome
+            .model()
+            .unwrap_or_else(|| panic!("{literal} on {input:?} must be SAT"));
         let mut oracle = RegExp::from_regex(regex);
         let concrete = oracle.exec(input).expect("matches");
         for (i, cap) in c.captures.iter().enumerate() {

@@ -39,8 +39,8 @@ impl Default for CorpusProfile {
         CorpusProfile {
             with_sources: 0.919,
             with_regex: 0.349,
-            captures_given_regex: 0.587, // 20.5% / 34.9%
-            backrefs_given_captures: 0.187, // 3.8% / 20.5%
+            captures_given_regex: 0.587,      // 20.5% / 34.9%
+            backrefs_given_captures: 0.187,   // 3.8% / 20.5%
             quantified_given_backrefs: 0.032, // 0.12% / 3.8%
             regexes_per_package: 12,
         }
@@ -88,8 +88,7 @@ const COMMON_BACKREFS: &[&str] = &[
 ];
 
 /// Quantified-backreference regexes (the rare, tricky class of §4.3).
-const COMMON_QUANTIFIED_BACKREFS: &[&str] =
-    &["/((a|b)\\2)+/", "/(?:(\\w)\\1)+/", "/((x+)\\2)*y/"];
+const COMMON_QUANTIFIED_BACKREFS: &[&str] = &["/((a|b)\\2)+/", "/(?:(\\w)\\1)+/", "/((x+)\\2)*y/"];
 
 /// Generates a deterministic corpus of `n` packages.
 ///
@@ -124,8 +123,7 @@ fn generate_package(index: usize, profile: &CorpusProfile, rng: &mut StdRng) -> 
     if has_regex {
         let n_regexes = 1 + rng.random_range(0..profile.regexes_per_package * 2);
         let has_captures = rng.random::<f64>() < profile.captures_given_regex;
-        let has_backrefs =
-            has_captures && rng.random::<f64>() < profile.backrefs_given_captures;
+        let has_backrefs = has_captures && rng.random::<f64>() < profile.backrefs_given_captures;
         let has_quantified =
             has_backrefs && rng.random::<f64>() < profile.quantified_given_backrefs;
         for k in 0..n_regexes {

@@ -102,9 +102,15 @@ mod tests {
     #[test]
     fn batch_preserves_order_and_results() {
         let jobs = vec![
-            job("a", r#"function f(x) { if (x === "1") { return 1; } return 0; }"#),
+            job(
+                "a",
+                r#"function f(x) { if (x === "1") { return 1; } return 0; }"#,
+            ),
             job("b", r#"function f(x) { return 0; }"#),
-            job("c", r#"function f(x) { if (/^z+$/.test(x)) { return 1; } return 0; }"#),
+            job(
+                "c",
+                r#"function f(x) { if (/^z+$/.test(x)) { return 1; } return 0; }"#,
+            ),
         ];
         let sequential: Vec<_> = jobs
             .iter()
@@ -121,10 +127,7 @@ mod tests {
 
     #[test]
     fn single_worker_works() {
-        let reports = run_batch(
-            vec![job("only", r#"function f(x) { return x; }"#)],
-            1,
-        );
+        let reports = run_batch(vec![job("only", r#"function f(x) { return x; }"#)], 1);
         assert_eq!(reports.len(), 1);
     }
 

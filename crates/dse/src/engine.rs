@@ -287,9 +287,10 @@ mod tests {
         // The triggering input must really break the assertion: a
         // <timeout> tag with an empty number.
         let (_, inputs) = &report.bugs[0];
-        let mut oracle =
-            es6_matcher::RegExp::new(r"^<(\w+)>([0-9]*)<\/\1>$", "").expect("regex");
-        let m = oracle.exec(&inputs[0]).expect("bug input matches the regex");
+        let mut oracle = es6_matcher::RegExp::new(r"^<(\w+)>([0-9]*)<\/\1>$", "").expect("regex");
+        let m = oracle
+            .exec(&inputs[0])
+            .expect("bug input matches the regex");
         assert_eq!(m.group(1), Some("timeout"));
         assert_eq!(m.group(2), Some(""));
     }

@@ -254,9 +254,7 @@ impl Interp {
                     }
                     Target::Index(base, index) => {
                         let idx = self.eval(index, scope);
-                        if let (Expr::Var(name), Value::Num(n)) =
-                            (base.as_ref(), &idx.value)
-                        {
+                        if let (Expr::Var(name), Value::Num(n)) = (base.as_ref(), &idx.value) {
                             let i = *n as usize;
                             if let Some(mut arr) = scope.lookup(name) {
                                 if let Value::Array(items) = &mut arr.value {
@@ -264,9 +262,7 @@ impl Interp {
                                         items[i] = v;
                                     } else {
                                         while items.len() < i {
-                                            items.push(Concolic::concrete(
-                                                Value::Undefined,
-                                            ));
+                                            items.push(Concolic::concrete(Value::Undefined));
                                         }
                                         items.push(v);
                                     }
@@ -422,8 +418,7 @@ impl Interp {
             }
             Expr::Binary(op, lhs, rhs) => self.eval_binary(*op, lhs, rhs, scope),
             Expr::Call(name, args) => {
-                let argv: Vec<Concolic> =
-                    args.iter().map(|a| self.eval(a, scope)).collect();
+                let argv: Vec<Concolic> = args.iter().map(|a| self.eval(a, scope)).collect();
                 match self.functions.get(name).cloned() {
                     Some(func) => self.call_function(&func, argv),
                     None => Concolic::concrete(Value::Undefined),
@@ -431,8 +426,7 @@ impl Interp {
             }
             Expr::MethodCall(recv, name, args) => {
                 let r = self.eval(recv, scope);
-                let argv: Vec<Concolic> =
-                    args.iter().map(|a| self.eval(a, scope)).collect();
+                let argv: Vec<Concolic> = args.iter().map(|a| self.eval(a, scope)).collect();
                 self.eval_method(r, name, argv)
             }
         }
@@ -456,13 +450,7 @@ impl Interp {
         }
     }
 
-    fn eval_binary(
-        &mut self,
-        op: BinOp,
-        lhs: &Expr,
-        rhs: &Expr,
-        scope: &mut Scope,
-    ) -> Concolic {
+    fn eval_binary(&mut self, op: BinOp, lhs: &Expr, rhs: &Expr, scope: &mut Scope) -> Concolic {
         // Short-circuit operators evaluate lazily.
         if matches!(op, BinOp::And | BinOp::Or) {
             let l = self.eval(lhs, scope);
@@ -491,9 +479,7 @@ impl Interp {
         let r = self.eval(rhs, scope);
         match op {
             BinOp::Add => match (&l.value, &r.value) {
-                (Value::Num(a), Value::Num(b)) => {
-                    Concolic::concrete(Value::Num(a + b))
-                }
+                (Value::Num(a), Value::Num(b)) => Concolic::concrete(Value::Num(a + b)),
                 _ => {
                     // String concatenation (JS coerces).
                     let result = format!("{}{}", l.value.to_display(), r.value.to_display());
@@ -562,17 +548,13 @@ impl Interp {
     /// Symbolic equality between two concolic values, when expressible.
     fn equality_sym(&self, l: &Concolic, r: &Concolic) -> Option<SymExpr> {
         // Equality on capture-definedness: `x === undefined`.
-        if let (Some(SymExpr::Capture { event, index }), Value::Undefined) =
-            (&l.sym, &r.value)
-        {
+        if let (Some(SymExpr::Capture { event, index }), Value::Undefined) = (&l.sym, &r.value) {
             return Some(SymExpr::Not(Box::new(SymExpr::CaptureDefined {
                 event: *event,
                 index: *index,
             })));
         }
-        if let (Value::Undefined, Some(SymExpr::Capture { event, index })) =
-            (&l.value, &r.sym)
-        {
+        if let (Value::Undefined, Some(SymExpr::Capture { event, index })) = (&l.value, &r.sym) {
             return Some(SymExpr::Not(Box::new(SymExpr::CaptureDefined {
                 event: *event,
                 index: *index,
@@ -593,30 +575,25 @@ impl Interp {
 
     // --- Regex and string methods ----------------------------------------
 
-    fn eval_method(
-        &mut self,
-        recv: Concolic,
-        name: &str,
-        args: Vec<Concolic>,
-    ) -> Concolic {
+    fn eval_method(&mut self, recv: Concolic, name: &str, args: Vec<Concolic>) -> Concolic {
         match (&recv.value, name) {
             (Value::RegExp(regex), "test") => {
-                let subject = args.first().cloned().unwrap_or_else(|| {
-                    Concolic::concrete(Value::Str(String::new()))
-                });
+                let subject = args
+                    .first()
+                    .cloned()
+                    .unwrap_or_else(|| Concolic::concrete(Value::Str(String::new())));
                 self.regex_exec(regex.clone(), subject, true)
             }
             (Value::RegExp(regex), "exec") => {
-                let subject = args.first().cloned().unwrap_or_else(|| {
-                    Concolic::concrete(Value::Str(String::new()))
-                });
+                let subject = args
+                    .first()
+                    .cloned()
+                    .unwrap_or_else(|| Concolic::concrete(Value::Str(String::new())));
                 self.regex_exec(regex.clone(), subject, false)
             }
             (Value::Str(_), "match") => {
                 // s.match(re) without `g` behaves like re.exec(s).
-                if let Some(Value::RegExp(regex)) =
-                    args.first().map(|a| a.value.clone())
-                {
+                if let Some(Value::RegExp(regex)) = args.first().map(|a| a.value.clone()) {
                     if !regex.flags.global {
                         return self.regex_exec(regex, recv, false);
                     }
@@ -635,12 +612,10 @@ impl Interp {
                 Concolic::concrete(Value::Null)
             }
             (Value::Str(s), "search") => {
-                if let Some(Value::RegExp(regex)) =
-                    args.first().map(|a| a.value.clone())
-                {
+                if let Some(Value::RegExp(regex)) = args.first().map(|a| a.value.clone()) {
                     let re = es6_matcher::RegExp::from_regex((*regex).clone());
                     return Concolic::concrete(Value::Num(
-                        es6_matcher::string_search(s, &re) as f64,
+                        es6_matcher::string_search(s, &re) as f64
                     ));
                 }
                 Concolic::concrete(Value::Num(-1.0))
@@ -652,9 +627,7 @@ impl Interp {
                             let re = es6_matcher::RegExp::from_regex((**regex).clone());
                             es6_matcher::string_split(s, &re, None)
                         }
-                        Value::Str(sep) => {
-                            s.split(sep.as_str()).map(String::from).collect()
-                        }
+                        Value::Str(sep) => s.split(sep.as_str()).map(String::from).collect(),
                         _ => vec![s.clone()],
                     };
                     return Concolic::concrete(Value::Array(
@@ -681,12 +654,8 @@ impl Interp {
                 };
                 Concolic::concrete(Value::Str(result))
             }
-            (Value::Str(s), "toLowerCase") => {
-                Concolic::concrete(Value::Str(s.to_lowercase()))
-            }
-            (Value::Str(s), "toUpperCase") => {
-                Concolic::concrete(Value::Str(s.to_uppercase()))
-            }
+            (Value::Str(s), "toLowerCase") => Concolic::concrete(Value::Str(s.to_lowercase())),
+            (Value::Str(s), "toUpperCase") => Concolic::concrete(Value::Str(s.to_uppercase())),
             (Value::Str(s), "trim") => Concolic::concrete(Value::Str(s.trim().into())),
             (Value::Str(s), "charAt") => {
                 let i = args.first().map(|a| to_num(&a.value) as usize).unwrap_or(0);
@@ -762,12 +731,7 @@ impl Interp {
     /// The symbolic regex operation (§3.2): runs the concrete matcher,
     /// records a [`RegexEvent`] when the subject is symbolic, and
     /// returns the (concolic) result.
-    fn regex_exec(
-        &mut self,
-        regex: Rc<Regex>,
-        subject: Concolic,
-        as_test: bool,
-    ) -> Concolic {
+    fn regex_exec(&mut self, regex: Rc<Regex>, subject: Concolic, as_test: bool) -> Concolic {
         let concrete_subject = subject.value.to_display();
         let mut oracle = es6_matcher::RegExp::from_regex(oracle_regex(&regex));
         let result = oracle.exec(&concrete_subject);
@@ -811,8 +775,7 @@ impl Interp {
                 sym: event.map(|event| SymExpr::TestResult { event }),
             },
             Some(m) => {
-                let model_captures =
-                    self.config.support.models_captures() && event.is_some();
+                let model_captures = self.config.support.models_captures() && event.is_some();
                 let items: Vec<Concolic> = m
                     .captures
                     .iter()
@@ -939,10 +902,9 @@ mod tests {
 
     #[test]
     fn concrete_support_level_records_nothing() {
-        let program = parse_program(
-            r#"function f(x) { if (/a/.test(x)) { return 1; } return 0; }"#,
-        )
-        .expect("parse");
+        let program =
+            parse_program(r#"function f(x) { if (/a/.test(x)) { return 1; } return 0; }"#)
+                .expect("parse");
         let config = InterpConfig {
             support: SupportLevel::Concrete,
             ..InterpConfig::default()
@@ -969,8 +931,8 @@ mod tests {
 
     #[test]
     fn loops_terminate_via_budget() {
-        let program = parse_program("function f(x) { while (true) { let a = 1; } }")
-            .expect("parse");
+        let program =
+            parse_program("function f(x) { while (true) { let a = 1; } }").expect("parse");
         let config = InterpConfig {
             max_steps: 1000,
             ..InterpConfig::default()

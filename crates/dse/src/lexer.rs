@@ -50,8 +50,8 @@ impl fmt::Display for LexError {
 impl std::error::Error for LexError {}
 
 const PUNCTS: &[&str] = &[
-    "===", "!==", "==", "!=", "<=", ">=", "&&", "||", "=", "<", ">", "+", "-",
-    "*", "%", "(", ")", "{", "}", "[", "]", ";", ",", ".", "!", ":", "?", "/",
+    "===", "!==", "==", "!=", "<=", ">=", "&&", "||", "=", "<", ">", "+", "-", "*", "%", "(", ")",
+    "{", "}", "[", "]", ";", ",", ".", "!", ":", "?", "/",
 ];
 
 /// Tokenizes mini-JS source.

@@ -18,7 +18,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at token {}: {}", self.position, self.message)
+        write!(
+            f,
+            "parse error at token {}: {}",
+            self.position, self.message
+        )
     }
 }
 
@@ -517,8 +521,7 @@ mod tests {
 
     #[test]
     fn parse_let_and_if() {
-        let p = parse_program("let x = 1; if (x === 1) { x = 2; } else { x = 3; }")
-            .expect("parse");
+        let p = parse_program("let x = 1; if (x === 1) { x = 2; } else { x = 3; }").expect("parse");
         assert_eq!(p.body.len(), 2);
     }
 
@@ -582,8 +585,7 @@ mod tests {
 
     #[test]
     fn parse_member_and_chained_calls() {
-        let p = parse_program(r#"let n = s.length; let t = s.replace(/a/g, "b");"#)
-            .expect("parse");
+        let p = parse_program(r#"let n = s.length; let t = s.replace(/a/g, "b");"#).expect("parse");
         assert_eq!(p.body.len(), 2);
     }
 

@@ -98,8 +98,7 @@ pub fn solve_flip(
     }
 
     let problem = Formula::and(conjuncts);
-    let constraints: Vec<CapturingConstraint> =
-        builder.constraints.values().cloned().collect();
+    let constraints: Vec<CapturingConstraint> = builder.constraints.values().cloned().collect();
 
     let (outcome, refinements, limit_hit) = if support.refines() {
         let cegar = CegarSolver::new(solver.clone(), refinement_limit);
@@ -183,22 +182,15 @@ impl QueryBuilder<'_> {
         }
         self.polarity.insert(event, positive);
         let info = &self.events[event];
-        let constraint = expose_core::build_match_model(
-            &info.regex,
-            positive,
-            &mut self.pool,
-            &self.build,
-        );
+        let constraint =
+            expose_core::build_match_model(&info.regex, positive, &mut self.pool, &self.build);
         // Tie the model's input variable to the subject expression.
         let subject_terms = self.string_terms(&info.subject.clone());
         let tie = match subject_terms {
             Some((terms, guards)) => Formula::and(
                 guards
                     .into_iter()
-                    .chain(std::iter::once(Formula::eq_concat(
-                        constraint.input,
-                        terms,
-                    )))
+                    .chain(std::iter::once(Formula::eq_concat(constraint.input, terms)))
                     .collect(),
             ),
             None => Formula::top(),
@@ -232,10 +224,7 @@ impl QueryBuilder<'_> {
                 let cap = *constraint.captures.get(*index)?;
                 Some((
                     vec![Term::Var(cap.value)],
-                    vec![
-                        event_formula,
-                        Formula::bool_is(cap.defined, true),
-                    ],
+                    vec![event_formula, Formula::bool_is(cap.defined, true)],
                 ))
             }
             _ => None,
@@ -256,10 +245,7 @@ impl QueryBuilder<'_> {
             SymExpr::Not(inner) => self.bool_formula(inner, !expected),
             SymExpr::And(a, b) => {
                 if expected {
-                    Formula::and(vec![
-                        self.bool_formula(a, true),
-                        self.bool_formula(b, true),
-                    ])
+                    Formula::and(vec![self.bool_formula(a, true), self.bool_formula(b, true)])
                 } else {
                     Formula::or(vec![
                         self.bool_formula(a, false),
@@ -269,10 +255,7 @@ impl QueryBuilder<'_> {
             }
             SymExpr::Or(a, b) => {
                 if expected {
-                    Formula::or(vec![
-                        self.bool_formula(a, true),
-                        self.bool_formula(b, true),
-                    ])
+                    Formula::or(vec![self.bool_formula(a, true), self.bool_formula(b, true)])
                 } else {
                     Formula::and(vec![
                         self.bool_formula(a, false),
@@ -309,21 +292,16 @@ impl QueryBuilder<'_> {
                         Formula::eq_concat(vb, tb),
                         Formula::ne_var(va, vb),
                     ]);
-                    let mut branches: Vec<Formula> = ga
-                        .into_iter()
-                        .chain(gb)
-                        .map(|g| nnf_negate(&g))
-                        .collect();
+                    let mut branches: Vec<Formula> =
+                        ga.into_iter().chain(gb).map(|g| nnf_negate(&g)).collect();
                     branches.push(differ);
                     Formula::or(branches)
                 }
             }
-            SymExpr::TestResult { event } => {
-                match self.event_constraint(*event, expected) {
-                    Some(f) => f,
-                    None => Formula::bottom(),
-                }
-            }
+            SymExpr::TestResult { event } => match self.event_constraint(*event, expected) {
+                Some(f) => f,
+                None => Formula::bottom(),
+            },
             SymExpr::CaptureDefined { event, index } => {
                 let Some(f) = self.event_constraint(*event, true) else {
                     return Formula::bottom();
@@ -332,10 +310,7 @@ impl QueryBuilder<'_> {
                     return Formula::bottom();
                 };
                 match constraint.captures.get(*index) {
-                    Some(cap) => Formula::and(vec![
-                        f,
-                        Formula::bool_is(cap.defined, expected),
-                    ]),
+                    Some(cap) => Formula::and(vec![f, Formula::bool_is(cap.defined, expected)]),
                     None => Formula::bottom(),
                 }
             }

@@ -56,10 +56,7 @@ impl SymExpr {
     pub fn is_string(&self) -> bool {
         matches!(
             self,
-            SymExpr::Input(_)
-                | SymExpr::StrLit(_)
-                | SymExpr::Concat(_)
-                | SymExpr::Capture { .. }
+            SymExpr::Input(_) | SymExpr::StrLit(_) | SymExpr::Concat(_) | SymExpr::Capture { .. }
         )
     }
 

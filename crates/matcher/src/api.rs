@@ -137,12 +137,9 @@ impl RegExp {
                     self.last_index = m.end;
                 }
                 let mut captures = Vec::with_capacity(m.captures.0.len());
-                captures
-                    .push(Some(chars[m.start..m.end].iter().collect::<String>()));
+                captures.push(Some(chars[m.start..m.end].iter().collect::<String>()));
                 for slot in m.captures.0.iter().skip(1) {
-                    captures.push(
-                        slot.map(|(s, e)| chars[s..e].iter().collect::<String>()),
-                    );
+                    captures.push(slot.map(|(s, e)| chars[s..e].iter().collect::<String>()));
                 }
                 Some(MatchResult {
                     captures,
@@ -235,33 +232,19 @@ pub fn string_replace(input: &str, regexp: &mut RegExp, replacement: &str) -> St
     let mut cursor = 0usize;
     regexp.set_last_index(0);
     loop {
+        // Search from `cursor` manually so non-global regexes also
+        // continue correctly on the first iteration.
         let m = {
-            let mut probe = RegExp::from_regex(regexp.regex().clone());
-            probe.set_last_index(cursor);
-            let sticky_start = if regexp.flags().is_stateful() { cursor } else { 0 };
-            let _ = sticky_start;
-            // Search from `cursor` manually so non-global regexes also
-            // continue correctly on the first iteration.
             let engine = Engine::new(&regexp.regex().ast, regexp.flags());
-            let search_from = cursor;
-            let found = if regexp.flags().sticky {
-                engine.match_at(&chars, search_from)
+            if regexp.flags().sticky {
+                engine.match_at(&chars, cursor)
             } else {
-                (search_from..=chars.len())
-                    .find_map(|at| engine.match_at(&chars, at))
-            };
-            found
+                (cursor..=chars.len()).find_map(|at| engine.match_at(&chars, at))
+            }
         };
         let Some(m) = m else { break };
         out.extend(&chars[cursor..m.start]);
-        expand_replacement(
-            &mut out,
-            replacement,
-            &chars,
-            m.start,
-            m.end,
-            &m.captures.0,
-        );
+        expand_replacement(&mut out, replacement, &chars, m.start, m.end, &m.captures.0);
         let advanced = if m.end == m.start {
             // Empty match: copy one char through to avoid looping.
             if m.end < chars.len() {

@@ -76,16 +76,10 @@ impl<'a> Engine<'a> {
         }
         let mut caps = Captures::new(self.group_count);
         let mut end = None;
-        let matched = self.matches(
-            self.ast,
-            input,
-            start,
-            &mut caps,
-            &mut |pos, _caps| {
-                end = Some(pos);
-                true
-            },
-        );
+        let matched = self.matches(self.ast, input, start, &mut caps, &mut |pos, _caps| {
+            end = Some(pos);
+            true
+        });
         if matched {
             Some(Match {
                 start,
@@ -120,9 +114,7 @@ impl<'a> Engine<'a> {
                 }
             }
             Ast::Dot => {
-                if pos < input.len()
-                    && (self.flags.dot_all || !is_line_terminator(input[pos]))
-                {
+                if pos < input.len() && (self.flags.dot_all || !is_line_terminator(input[pos])) {
                     k(pos + 1, caps)
                 } else {
                     false
@@ -161,10 +153,13 @@ impl<'a> Engine<'a> {
                 ok
             }
             Ast::NonCapturing(inner) => self.matches(inner, input, pos, caps, k),
-            Ast::Lookahead { negative, ast } => {
-                self.lookahead(*negative, ast, input, pos, caps, k)
-            }
-            Ast::Repeat { ast, min, max, lazy } => {
+            Ast::Lookahead { negative, ast } => self.lookahead(*negative, ast, input, pos, caps, k),
+            Ast::Repeat {
+                ast,
+                min,
+                max,
+                lazy,
+            } => {
                 let inner_groups = ast.capture_indices();
                 self.repeat(
                     ast,
@@ -210,7 +205,9 @@ impl<'a> Engine<'a> {
 
     /// ES262 RepeatMatcher. `count` is the number of completed
     /// iterations.
-    #[allow(clippy::too_many_arguments)]
+    // if_same_then_else: greedy and lazy branches contain the same two
+    // calls in OPPOSITE order; evaluation order is matching precedence.
+    #[allow(clippy::too_many_arguments, clippy::if_same_then_else)]
     fn repeat(
         &self,
         atom: &Ast,
@@ -226,14 +223,44 @@ impl<'a> Engine<'a> {
     ) -> bool {
         if count < min {
             // Mandatory iterations.
-            self.repeat_once(atom, min, max, greedy, inner_groups, input, pos, count, caps, k)
+            self.repeat_once(
+                atom,
+                min,
+                max,
+                greedy,
+                inner_groups,
+                input,
+                pos,
+                count,
+                caps,
+                k,
+            )
         } else if greedy {
-            self.repeat_once(atom, min, max, greedy, inner_groups, input, pos, count, caps, k)
-                || k(pos, caps)
+            self.repeat_once(
+                atom,
+                min,
+                max,
+                greedy,
+                inner_groups,
+                input,
+                pos,
+                count,
+                caps,
+                k,
+            ) || k(pos, caps)
         } else {
             k(pos, caps)
                 || self.repeat_once(
-                    atom, min, max, greedy, inner_groups, input, pos, count, caps, k,
+                    atom,
+                    min,
+                    max,
+                    greedy,
+                    inner_groups,
+                    input,
+                    pos,
+                    count,
+                    caps,
+                    k,
                 )
         }
     }
@@ -258,8 +285,7 @@ impl<'a> Engine<'a> {
         }
         // RepeatMatcher step 4: clear capture slots inside the atom at
         // the start of each iteration.
-        let saved: Vec<CaptureSlot> =
-            inner_groups.iter().map(|&g| caps.0[g as usize]).collect();
+        let saved: Vec<CaptureSlot> = inner_groups.iter().map(|&g| caps.0[g as usize]).collect();
         for &g in inner_groups {
             caps.0[g as usize] = None;
         }
@@ -270,7 +296,16 @@ impl<'a> Engine<'a> {
                 return false;
             }
             self.repeat(
-                atom, min, max, greedy, inner_groups, input, pos2, count + 1, caps, k,
+                atom,
+                min,
+                max,
+                greedy,
+                inner_groups,
+                input,
+                pos2,
+                count + 1,
+                caps,
+                k,
             )
         });
         if !ok {
@@ -295,8 +330,7 @@ impl<'a> Engine<'a> {
             // discarded whether it matches or not (spec: the Matcher runs
             // on a copy; on success the whole assertion fails).
             let mut probe = caps.clone();
-            let matched =
-                self.matches(ast, input, pos, &mut probe, &mut |_pos, _caps| true);
+            let matched = self.matches(ast, input, pos, &mut probe, &mut |_pos, _caps| true);
             if matched {
                 false
             } else {
@@ -349,12 +383,10 @@ impl<'a> Engine<'a> {
     fn assertion_holds(&self, kind: AssertionKind, input: &[char], pos: usize) -> bool {
         match kind {
             AssertionKind::StartAnchor => {
-                pos == 0
-                    || (self.flags.multiline && is_line_terminator(input[pos - 1]))
+                pos == 0 || (self.flags.multiline && is_line_terminator(input[pos - 1]))
             }
             AssertionKind::EndAnchor => {
-                pos == input.len()
-                    || (self.flags.multiline && is_line_terminator(input[pos]))
+                pos == input.len() || (self.flags.multiline && is_line_terminator(input[pos]))
             }
             AssertionKind::WordBoundary => {
                 self.is_word_at(input, pos.wrapping_sub(1)) != self.is_word_at(input, pos)
@@ -439,9 +471,7 @@ mod tests {
                     .0
                     .iter()
                     .skip(1)
-                    .map(|slot| {
-                        slot.map(|(s, e)| chars[s..e].iter().collect::<String>())
-                    })
+                    .map(|slot| slot.map(|(s, e)| chars[s..e].iter().collect::<String>()))
                     .collect();
                 return Some((m.start, m.end, caps));
             }
@@ -491,10 +521,7 @@ mod tests {
     fn capture_groups_record_last_match() {
         // "bbbbcbcd".match(/a|((b)*c)*d/) -> ["bbbbcbcd", "bc", "b"] (§2.2)
         let (_, _, caps) = engine_match("a|((b)*c)*d", "", "bbbbcbcd").expect("match");
-        assert_eq!(
-            caps,
-            vec![Some("bc".to_string()), Some("b".to_string())]
-        );
+        assert_eq!(caps, vec![Some("bc".to_string()), Some("b".to_string())]);
     }
 
     #[test]
@@ -566,7 +593,10 @@ mod tests {
 
     #[test]
     fn word_boundaries() {
-        assert_eq!(engine_match(r"\bfoo\b", "", "a foo b").map(|(s, e, _)| (s, e)), Some((2, 5)));
+        assert_eq!(
+            engine_match(r"\bfoo\b", "", "a foo b").map(|(s, e, _)| (s, e)),
+            Some((2, 5))
+        );
         assert!(engine_match(r"\bfoo\b", "", "afoob").is_none());
         assert!(engine_match(r"\Bfoo", "", "afoo").is_some());
         assert!(engine_match(r"^\Bfoo", "", " foo").is_none());
@@ -594,14 +624,20 @@ mod tests {
 
     #[test]
     fn bounded_repetition() {
-        assert_eq!(engine_match("a{2,3}", "", "aaaa").map(|(s, e, _)| (s, e)), Some((0, 3)));
+        assert_eq!(
+            engine_match("a{2,3}", "", "aaaa").map(|(s, e, _)| (s, e)),
+            Some((0, 3))
+        );
         assert!(engine_match("^a{2,3}$", "", "a").is_none());
         assert!(engine_match("^a{2,3}$", "", "aaaa").is_none());
     }
 
     #[test]
     fn lazy_bounded_repetition() {
-        assert_eq!(engine_match("a{2,3}?", "", "aaaa").map(|(s, e, _)| (s, e)), Some((0, 2)));
+        assert_eq!(
+            engine_match("a{2,3}?", "", "aaaa").map(|(s, e, _)| (s, e)),
+            Some((0, 2))
+        );
     }
 
     #[test]
@@ -614,8 +650,7 @@ mod tests {
     #[test]
     fn xml_tag_example() {
         // §1: /<(\w+)>.*?<\/\1>/ parses matching XML tags.
-        let (_, _, caps) =
-            engine_match(r"<(\w+)>.*?<\/\1>", "", "<b>bold</b>").expect("match");
+        let (_, _, caps) = engine_match(r"<(\w+)>.*?<\/\1>", "", "<b>bold</b>").expect("match");
         assert_eq!(caps, vec![Some("b".to_string())]);
         assert!(engine_match(r"^<(\w+)>.*?<\/\1>$", "", "<b>bold</i>").is_none());
     }

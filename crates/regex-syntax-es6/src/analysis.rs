@@ -89,10 +89,7 @@ pub fn classify_backrefs(ast: &Ast) -> Vec<BackrefInfo> {
                 occurrence,
                 group: br.group,
                 kind,
-                quantified: br
-                    .quantifiers
-                    .iter()
-                    .any(|q| q.can_iterate),
+                quantified: br.quantifiers.iter().any(|q| q.can_iterate),
             }
         })
         .collect()
@@ -158,11 +155,13 @@ impl Walker {
             }
             Ast::NonCapturing(inner) => self.visit(inner, quantifiers),
             Ast::Lookahead { ast, .. } => self.visit(ast, quantifiers),
-            Ast::Repeat { ast, min: _, max, .. } => {
+            Ast::Repeat {
+                ast, min: _, max, ..
+            } => {
                 let mut inner_ctx = quantifiers.to_vec();
                 inner_ctx.push(QuantifierCtx {
                     id: self.next_id,
-                    can_iterate: max.map_or(true, |m| m >= 2),
+                    can_iterate: max.is_none_or(|m| m >= 2),
                 });
                 self.visit(ast, &inner_ctx);
             }
@@ -241,8 +240,7 @@ mod tests {
 
     #[test]
     fn quantified_flag_for_starred_backref() {
-        let infos =
-            classify_backrefs(&parse(r"(a)\1*").expect("parse"));
+        let infos = classify_backrefs(&parse(r"(a)\1*").expect("parse"));
         assert_eq!(infos.len(), 1);
         assert_eq!(infos[0].kind, BackrefType::Immutable);
         assert!(infos[0].quantified);

@@ -139,9 +139,7 @@ impl Ast {
             Ast::Group { ast, .. } => 1 + ast.capture_count(),
             Ast::NonCapturing(ast) | Ast::Lookahead { ast, .. } => ast.capture_count(),
             Ast::Repeat { ast, .. } => ast.capture_count(),
-            Ast::Alt(items) | Ast::Concat(items) => {
-                items.iter().map(Ast::capture_count).sum()
-            }
+            Ast::Alt(items) | Ast::Concat(items) => items.iter().map(Ast::capture_count).sum(),
             _ => 0,
         }
     }
@@ -276,7 +274,12 @@ impl Ast {
                 ast.write_source(buf, Precedence::Alt);
                 buf.push(')');
             }
-            Ast::Repeat { ast, min, max, lazy } => {
+            Ast::Repeat {
+                ast,
+                min,
+                max,
+                lazy,
+            } => {
                 ast.write_source(buf, Precedence::Atom);
                 match (min, max) {
                     (0, None) => buf.push('*'),

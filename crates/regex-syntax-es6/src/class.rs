@@ -215,9 +215,14 @@ fn perl_contains(p: PerlClass, c: char) -> bool {
 pub fn is_es_space(c: char) -> bool {
     matches!(
         c,
-        '\t' | '\n' | '\x0B' | '\x0C' | '\r' | ' ' | '\u{A0}' | '\u{1680}'
-            | '\u{2000}'..='\u{200A}' | '\u{2028}' | '\u{2029}' | '\u{202F}'
-            | '\u{205F}' | '\u{3000}' | '\u{FEFF}'
+        '\t' | '\n' | '\x0B' | '\x0C' | '\r' | ' ' | '\u{A0}' | '\u{1680}' | '\u{2000}'
+            ..='\u{200A}'
+                | '\u{2028}'
+                | '\u{2029}'
+                | '\u{202F}'
+                | '\u{205F}'
+                | '\u{3000}'
+                | '\u{FEFF}'
     )
 }
 
@@ -394,9 +399,7 @@ mod tests {
     #[test]
     fn complement_excludes_surrogates() {
         let all = complement_ranges(&[]);
-        assert!(all
-            .iter()
-            .all(|&(lo, hi)| hi < 0xD800 || lo > 0xDFFF));
+        assert!(all.iter().all(|&(lo, hi)| hi < 0xD800 || lo > 0xDFFF));
     }
 
     #[test]

@@ -148,7 +148,12 @@ fn scan(ast: &Ast, set: &mut FeatureSet) {
             set.lookaheads = true;
             scan(ast, set);
         }
-        Ast::Repeat { ast, min, max, lazy } => {
+        Ast::Repeat {
+            ast,
+            min,
+            max,
+            lazy,
+        } => {
             match (*min, *max, *lazy) {
                 (0, None, false) => set.kleene_star = true,
                 (0, None, true) => set.kleene_star_lazy = true,

@@ -9,7 +9,7 @@
 use std::error::Error;
 use std::fmt;
 
-use crate::ast::{Ast, AssertionKind};
+use crate::ast::{AssertionKind, Ast};
 use crate::class::{ClassItem, ClassSet, PerlClass, PerlKind};
 use crate::flags::Flags;
 
@@ -41,7 +41,11 @@ impl ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "regex parse error at offset {}: {}", self.position, self.message)
+        write!(
+            f,
+            "regex parse error at offset {}: {}",
+            self.position, self.message
+        )
     }
 }
 
@@ -179,10 +183,8 @@ fn count_groups(chars: &[char]) -> u32 {
             '\\' => i += 1,
             '[' if !in_class => in_class = true,
             ']' if in_class => in_class = false,
-            '(' if !in_class => {
-                if chars.get(i + 1) != Some(&'?') {
-                    count += 1;
-                }
+            '(' if !in_class && chars.get(i + 1) != Some(&'?') => {
+                count += 1;
             }
             _ => {}
         }
@@ -272,17 +274,12 @@ impl<'a> Parser<'a> {
             },
             _ => return Ok(atom),
         };
-        if matches!(
-            atom,
-            Ast::Assertion(_) | Ast::Lookahead { .. } | Ast::Empty
-        ) {
+        if matches!(atom, Ast::Assertion(_) | Ast::Lookahead { .. } | Ast::Empty) {
             return Err(self.error("quantifier follows nothing quantifiable"));
         }
         if let Some(max) = max {
             if min > max {
-                return Err(self.error(format!(
-                    "quantifier range out of order: {{{min},{max}}}"
-                )));
+                return Err(self.error(format!("quantifier range out of order: {{{min},{max}}}")));
             }
         }
         let lazy = self.eat('?');
@@ -346,7 +343,9 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_atom(&mut self) -> Result<Ast, ParseError> {
-        let c = self.peek().ok_or_else(|| self.error("unexpected end of pattern"))?;
+        let c = self
+            .peek()
+            .ok_or_else(|| self.error("unexpected end of pattern"))?;
         match c {
             '^' => {
                 self.bump();
@@ -390,9 +389,7 @@ impl<'a> Parser<'a> {
                     GroupKind::Lookahead { negative: true }
                 }
                 Some('<') => {
-                    return Err(self.error(
-                        "lookbehind and named groups are not part of ES6",
-                    ))
+                    return Err(self.error("lookbehind and named groups are not part of ES6"))
                 }
                 _ => return Err(self.error("invalid group modifier after `(?`")),
             }
@@ -433,9 +430,7 @@ impl<'a> Parser<'a> {
             }
             let first = self.parse_class_member()?;
             // Try to form a range `first-last`.
-            if self.peek() == Some('-')
-                && self.peek_at(1).is_some()
-                && self.peek_at(1) != Some(']')
+            if self.peek() == Some('-') && self.peek_at(1).is_some() && self.peek_at(1) != Some(']')
             {
                 if let ClassMember::Char(lo) = first {
                     self.bump(); // `-`
@@ -443,9 +438,9 @@ impl<'a> Parser<'a> {
                     match second {
                         ClassMember::Char(hi) => {
                             if (lo as u32) > (hi as u32) {
-                                return Err(self.error(format!(
-                                    "class range out of order: {lo}-{hi}"
-                                )));
+                                return Err(
+                                    self.error(format!("class range out of order: {lo}-{hi}"))
+                                );
                             }
                             items.push(ClassItem::Range(lo, hi));
                             continue;
@@ -479,12 +474,30 @@ impl<'a> Parser<'a> {
             .bump()
             .ok_or_else(|| self.error("trailing backslash in class"))?;
         Ok(match esc {
-            'd' => ClassMember::Perl(PerlClass { kind: PerlKind::Digit, negated: false }),
-            'D' => ClassMember::Perl(PerlClass { kind: PerlKind::Digit, negated: true }),
-            'w' => ClassMember::Perl(PerlClass { kind: PerlKind::Word, negated: false }),
-            'W' => ClassMember::Perl(PerlClass { kind: PerlKind::Word, negated: true }),
-            's' => ClassMember::Perl(PerlClass { kind: PerlKind::Space, negated: false }),
-            'S' => ClassMember::Perl(PerlClass { kind: PerlKind::Space, negated: true }),
+            'd' => ClassMember::Perl(PerlClass {
+                kind: PerlKind::Digit,
+                negated: false,
+            }),
+            'D' => ClassMember::Perl(PerlClass {
+                kind: PerlKind::Digit,
+                negated: true,
+            }),
+            'w' => ClassMember::Perl(PerlClass {
+                kind: PerlKind::Word,
+                negated: false,
+            }),
+            'W' => ClassMember::Perl(PerlClass {
+                kind: PerlKind::Word,
+                negated: true,
+            }),
+            's' => ClassMember::Perl(PerlClass {
+                kind: PerlKind::Space,
+                negated: false,
+            }),
+            'S' => ClassMember::Perl(PerlClass {
+                kind: PerlKind::Space,
+                negated: true,
+            }),
             'b' => ClassMember::Char('\x08'), // backspace inside a class
             other => ClassMember::Char(self.finish_char_escape(other)?),
         })
@@ -526,8 +539,7 @@ impl<'a> Parser<'a> {
                     self.pos = start;
                     let value = self.parse_legacy_octal();
                     Ast::Literal(
-                        char::from_u32(value)
-                            .ok_or_else(|| self.error("invalid octal escape"))?,
+                        char::from_u32(value).ok_or_else(|| self.error("invalid octal escape"))?,
                     )
                 }
             }
@@ -647,7 +659,11 @@ mod tests {
     fn literal_concat() {
         assert_eq!(
             p("abc"),
-            Ast::Concat(vec![Ast::Literal('a'), Ast::Literal('b'), Ast::Literal('c')])
+            Ast::Concat(vec![
+                Ast::Literal('a'),
+                Ast::Literal('b'),
+                Ast::Literal('c')
+            ])
         );
     }
 
@@ -674,23 +690,48 @@ mod tests {
     fn quantifiers() {
         assert_eq!(
             p("a*"),
-            Ast::Repeat { ast: Box::new(Ast::Literal('a')), min: 0, max: None, lazy: false }
+            Ast::Repeat {
+                ast: Box::new(Ast::Literal('a')),
+                min: 0,
+                max: None,
+                lazy: false
+            }
         );
         assert_eq!(
             p("a+?"),
-            Ast::Repeat { ast: Box::new(Ast::Literal('a')), min: 1, max: None, lazy: true }
+            Ast::Repeat {
+                ast: Box::new(Ast::Literal('a')),
+                min: 1,
+                max: None,
+                lazy: true
+            }
         );
         assert_eq!(
             p("a{2,5}"),
-            Ast::Repeat { ast: Box::new(Ast::Literal('a')), min: 2, max: Some(5), lazy: false }
+            Ast::Repeat {
+                ast: Box::new(Ast::Literal('a')),
+                min: 2,
+                max: Some(5),
+                lazy: false
+            }
         );
         assert_eq!(
             p("a{3}"),
-            Ast::Repeat { ast: Box::new(Ast::Literal('a')), min: 3, max: Some(3), lazy: false }
+            Ast::Repeat {
+                ast: Box::new(Ast::Literal('a')),
+                min: 3,
+                max: Some(3),
+                lazy: false
+            }
         );
         assert_eq!(
             p("a{2,}"),
-            Ast::Repeat { ast: Box::new(Ast::Literal('a')), min: 2, max: None, lazy: false }
+            Ast::Repeat {
+                ast: Box::new(Ast::Literal('a')),
+                min: 2,
+                max: None,
+                lazy: false
+            }
         );
     }
 
@@ -718,7 +759,13 @@ mod tests {
     #[test]
     fn noncapturing_and_lookahead() {
         assert!(matches!(p("(?:ab)"), Ast::NonCapturing(_)));
-        assert!(matches!(p("(?=a)"), Ast::Lookahead { negative: false, .. }));
+        assert!(matches!(
+            p("(?=a)"),
+            Ast::Lookahead {
+                negative: false,
+                ..
+            }
+        ));
         assert!(matches!(p("(?!a)"), Ast::Lookahead { negative: true, .. }));
     }
 

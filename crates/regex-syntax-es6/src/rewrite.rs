@@ -45,7 +45,12 @@ pub fn strip_captures(ast: &Ast) -> Ast {
             negative: *negative,
             ast: Box::new(strip_captures(ast)),
         },
-        Ast::Repeat { ast, min, max, lazy } => Ast::Repeat {
+        Ast::Repeat {
+            ast,
+            min,
+            max,
+            lazy,
+        } => Ast::Repeat {
             ast: Box::new(strip_captures(ast)),
             min: *min,
             max: *max,
@@ -114,7 +119,12 @@ pub const MAX_EXPANSION: u32 = 64;
 /// ```
 pub fn desugar(ast: &Ast) -> Ast {
     match ast {
-        Ast::Repeat { ast: inner, min, max, .. } => {
+        Ast::Repeat {
+            ast: inner,
+            min,
+            max,
+            ..
+        } => {
             let inner = desugar(inner);
             match (*min, *max) {
                 // r* stays.

@@ -3,8 +3,8 @@
 
 use proptest::prelude::*;
 use regex_syntax_es6::ast::Ast;
-use regex_syntax_es6::rewrite::{desugar, normalize_lazy, strip_captures};
 use regex_syntax_es6::parse;
+use regex_syntax_es6::rewrite::{desugar, normalize_lazy, strip_captures};
 
 /// A generator of syntactically valid ES6 regex ASTs (via source
 /// strings assembled from safe fragments).
@@ -20,20 +20,21 @@ fn arb_pattern() -> impl Strategy<Value = String> {
         Just(r"\.".to_string()),
         Just(r"\n".to_string()),
     ];
-    let quantified = (atom, prop_oneof![
-        Just("".to_string()),
-        Just("*".to_string()),
-        Just("+".to_string()),
-        Just("?".to_string()),
-        Just("*?".to_string()),
-        Just("{2,3}".to_string()),
-    ])
+    let quantified = (
+        atom,
+        prop_oneof![
+            Just("".to_string()),
+            Just("*".to_string()),
+            Just("+".to_string()),
+            Just("?".to_string()),
+            Just("*?".to_string()),
+            Just("{2,3}".to_string()),
+        ],
+    )
         .prop_map(|(a, q)| format!("{a}{q}"));
-    let seq = proptest::collection::vec(quantified, 1..4)
-        .prop_map(|parts| parts.concat());
+    let seq = proptest::collection::vec(quantified, 1..4).prop_map(|parts| parts.concat());
     // One level of grouping and alternation.
-    (seq.clone(), seq.clone(), seq)
-        .prop_map(|(a, b, c)| format!("(?:{a}|{b})({c})"))
+    (seq.clone(), seq.clone(), seq).prop_map(|(a, b, c)| format!("(?:{a}|{b})({c})"))
 }
 
 proptest! {
@@ -89,8 +90,7 @@ fn round_trip_fixed_corpus() {
     ] {
         let ast = parse(pattern).expect("parses");
         let printed = ast.to_source();
-        let reparsed = parse(&printed)
-            .unwrap_or_else(|e| panic!("{printed:?} must reparse: {e}"));
+        let reparsed = parse(&printed).unwrap_or_else(|e| panic!("{printed:?} must reparse: {e}"));
         assert_eq!(ast, reparsed, "round trip of {pattern}");
     }
 }

@@ -130,10 +130,7 @@ impl Formula {
     /// line 15).
     pub fn implies_eq_lit(v: StrVar, lit: impl Into<String>, body: Formula) -> Formula {
         let lit = lit.into();
-        Formula::or(vec![
-            Formula::Atom(Atom::NeLit(v, lit)),
-            body,
-        ])
+        Formula::or(vec![Formula::Atom(Atom::NeLit(v, lit)), body])
     }
 
     /// Atom shortcut.
@@ -185,9 +182,7 @@ impl Formula {
     pub fn atom_count(&self) -> usize {
         match self {
             Formula::Atom(_) => 1,
-            Formula::And(items) | Formula::Or(items) => {
-                items.iter().map(Formula::atom_count).sum()
-            }
+            Formula::And(items) | Formula::Or(items) => items.iter().map(Formula::atom_count).sum(),
         }
     }
 
@@ -196,9 +191,7 @@ impl Formula {
         match self {
             Formula::Atom(_) => 0,
             Formula::And(items) => items.iter().map(Formula::or_count).sum(),
-            Formula::Or(items) => {
-                1 + items.iter().map(Formula::or_count).sum::<usize>()
-            }
+            Formula::Or(items) => 1 + items.iter().map(Formula::or_count).sum::<usize>(),
         }
     }
 }

@@ -198,8 +198,7 @@ impl Search<'_> {
                 // An equation `v = [u]` with a single variable part is an
                 // alias: merging lets the DFAs intersect directly.
                 Atom::EqConcat(v, parts)
-                    if parts.len() == 1
-                        && matches!(parts[0], Term::Var(_)) =>
+                    if parts.len() == 1 && matches!(parts[0], Term::Var(_)) =>
                 {
                     if let Term::Var(u) = &parts[0] {
                         uf.union(*v, *u);
@@ -209,10 +208,9 @@ impl Search<'_> {
                     uf.touch(*a);
                     uf.touch(*b);
                 }
-                Atom::InRe(v, _)
-                | Atom::NotInRe(v, _)
-                | Atom::EqLit(v, _)
-                | Atom::NeLit(v, _) => uf.touch(*v),
+                Atom::InRe(v, _) | Atom::NotInRe(v, _) | Atom::EqLit(v, _) | Atom::NeLit(v, _) => {
+                    uf.touch(*v)
+                }
                 Atom::EqConcat(v, parts) => {
                     uf.touch(*v);
                     for p in parts {
@@ -239,10 +237,16 @@ impl Search<'_> {
         for atom in atoms {
             match atom {
                 Atom::InRe(v, re) => {
-                    cons.entry(uf.find(*v)).or_default().pos.push(Arc::clone(re));
+                    cons.entry(uf.find(*v))
+                        .or_default()
+                        .pos
+                        .push(Arc::clone(re));
                 }
                 Atom::NotInRe(v, re) => {
-                    cons.entry(uf.find(*v)).or_default().neg.push(Arc::clone(re));
+                    cons.entry(uf.find(*v))
+                        .or_default()
+                        .neg
+                        .push(Arc::clone(re));
                 }
                 Atom::EqLit(v, s) => {
                     let entry = cons.entry(uf.find(*v)).or_default();
@@ -298,6 +302,7 @@ impl Search<'_> {
             return Outcome::Unknown;
         }
         let equations = topo_sort(equations);
+        let equations = flatten_equations(equations);
 
         // --- Alphabet -----------------------------------------------------
         let mut sets = Vec::new();
@@ -385,10 +390,7 @@ impl Search<'_> {
         for (_, parts) in &equations {
             for p in parts {
                 if let Part::Var(v) = p {
-                    if !lhs_set.contains(v)
-                        && !assignment.contains_key(v)
-                        && !order.contains(v)
-                    {
+                    if !lhs_set.contains(v) && !assignment.contains_key(v) && !order.contains(v) {
                         order.push(*v);
                     }
                 }
@@ -421,9 +423,7 @@ impl Search<'_> {
         let var_depth = |v: &StrVar| -> u32 {
             equations
                 .iter()
-                .filter(|(_, parts)| {
-                    parts.iter().any(|p| matches!(p, Part::Var(u) if u == v))
-                })
+                .filter(|(_, parts)| parts.iter().any(|p| matches!(p, Part::Var(u) if u == v)))
                 .map(|(lhs, _)| eq_depth.get(lhs).copied().unwrap_or(0))
                 .max()
                 .unwrap_or(0)
@@ -468,7 +468,7 @@ impl Search<'_> {
             }
         }
 
-        match self.assign(&mut ctx, &mut assignment, 0) {
+        match self.assign(&mut ctx, &mut assignment) {
             StepResult::Sat => {
                 let mut model = Model::new();
                 for (&b, &v) in &ctx.bools {
@@ -493,7 +493,6 @@ impl Search<'_> {
         &mut self,
         ctx: &mut StringCtx,
         assignment: &mut HashMap<StrVar, String>,
-        index: usize,
     ) -> StepResult {
         if self.nodes_left == 0 {
             self.stats.truncated = true;
@@ -513,12 +512,12 @@ impl Search<'_> {
             }
         }
 
-        // Find the next unassigned free variable.
-        let mut idx = index;
-        while idx < ctx.order.len() && assignment.contains_key(&ctx.order[idx]) {
-            idx += 1;
-        }
-        if idx >= ctx.order.len() {
+        // Pick the next unassigned free variable dynamically,
+        // preferring the strongest available guide (fail-first): a
+        // variable whose equation lhs is already a concrete word
+        // enumerates a handful of slices, while an unguided
+        // near-universal variable floods the budget.
+        let Some(var) = select_var(ctx, assignment) else {
             // Everything assigned: final verification.
             let ok = final_check(ctx, assignment);
             if ok {
@@ -526,9 +525,7 @@ impl Search<'_> {
             }
             undo(assignment, &trail);
             return StepResult::Exhausted;
-        }
-
-        let var = ctx.order[idx];
+        };
         let (candidates, truncated) = self.generate_candidates(ctx, assignment, var);
         if truncated {
             self.stats.truncated = true;
@@ -536,7 +533,7 @@ impl Search<'_> {
         let mut any_truncated = truncated;
         for cand in candidates {
             assignment.insert(var, cand);
-            match self.assign(ctx, assignment, idx + 1) {
+            match self.assign(ctx, assignment) {
                 StepResult::Sat => return StepResult::Sat,
                 StepResult::Truncated => any_truncated = true,
                 StepResult::Exhausted => {}
@@ -625,14 +622,19 @@ impl Search<'_> {
             p
         };
         let mut counter = 0u64; // FIFO tiebreak → length order among ties
-        let mut heap: BinaryHeap<Reverse<(u64, u64, u32, Vec<u32>, Vec<u16>)>> =
-            BinaryHeap::new();
+                                // (priority, fifo counter, var state, guide states, word classes).
+        type SearchNode = (u64, u64, u32, Vec<u32>, Vec<u16>);
+        let mut heap: BinaryHeap<Reverse<SearchNode>> = BinaryHeap::new();
         let p0 = priority(0, var_dfa.start_state(), &g0);
-        heap.push(Reverse((p0, counter, var_dfa.start_state(), g0, Vec::new())));
+        heap.push(Reverse((
+            p0,
+            counter,
+            var_dfa.start_state(),
+            g0,
+            Vec::new(),
+        )));
         while let Some(Reverse((_, _, vs, gs, word))) = heap.pop() {
-            if out.len() >= self.config.max_candidates_per_var
-                || expansions >= max_expansions
-            {
+            if out.len() >= self.config.max_candidates_per_var || expansions >= max_expansions {
                 truncated = true;
                 break;
             }
@@ -812,6 +814,59 @@ fn propagate(
     Ok(())
 }
 
+/// Picks the unassigned free variable with the strongest guide:
+/// 0 — some equation has it first-unassigned with a concrete lhs word;
+/// 1 — same but the lhs language is finite;
+/// 2 — same but the lhs language is infinite (weak guide);
+/// 3 — no equation ready to guide it.
+/// Static order position breaks ties, keeping the search deterministic.
+fn select_var(ctx: &StringCtx, assignment: &HashMap<StrVar, String>) -> Option<StrVar> {
+    let mut best: Option<(u8, usize)> = None;
+    for (pos, &var) in ctx.order.iter().enumerate() {
+        if assignment.contains_key(&var) {
+            continue;
+        }
+        let mut score = 3u8;
+        for (lhs, parts) in &ctx.equations {
+            let mut preceding_assigned = true;
+            let mut found = false;
+            for part in parts {
+                match part {
+                    Part::Var(v) if *v == var => {
+                        found = true;
+                        break;
+                    }
+                    Part::Var(v) => {
+                        if !assignment.contains_key(v) {
+                            preceding_assigned = false;
+                            break;
+                        }
+                    }
+                    Part::Lit(_) => {}
+                }
+            }
+            if !found || !preceding_assigned {
+                continue;
+            }
+            let strength = if assignment.contains_key(lhs) {
+                0
+            } else if !ctx.dfas[lhs].is_infinite() {
+                1
+            } else {
+                2
+            };
+            score = score.min(strength);
+            if score == 0 {
+                break;
+            }
+        }
+        if best.is_none_or(|(s, p)| (score, pos) < (s, p)) {
+            best = Some((score, pos));
+        }
+    }
+    best.map(|(_, pos)| ctx.order[pos])
+}
+
 fn undo(assignment: &mut HashMap<StrVar, String>, trail: &[StrVar]) {
     for v in trail {
         assignment.remove(v);
@@ -855,8 +910,7 @@ fn final_check(ctx: &StringCtx, assignment: &HashMap<StrVar, String>) -> bool {
 
 fn has_cycle(equations: &[(StrVar, Vec<Part>)]) -> bool {
     // DFS from each lhs through parts that are themselves lhs.
-    let lhs_parts: HashMap<StrVar, &Vec<Part>> =
-        equations.iter().map(|(l, p)| (*l, p)).collect();
+    let lhs_parts: HashMap<StrVar, &Vec<Part>> = equations.iter().map(|(l, p)| (*l, p)).collect();
     fn visit(
         v: StrVar,
         lhs_parts: &HashMap<StrVar, &Vec<Part>>,
@@ -893,6 +947,65 @@ fn has_cycle(equations: &[(StrVar, Vec<Part>)]) -> bool {
     false
 }
 
+/// Adds the transitive closures of nested equations: when the lhs of
+/// one equation occurs as a part of another, the substituted (implied)
+/// equation is appended alongside the originals. The originals keep
+/// intermediate variables derivable by propagation; the flattened
+/// copies relate *base* variables directly to outer words, so a pinned
+/// outer word guides candidate enumeration for inner variables instead
+/// of leaving them near-universal (which floods the node budget).
+fn flatten_equations(equations: Vec<(StrVar, Vec<Part>)>) -> Vec<(StrVar, Vec<Part>)> {
+    // First definition wins for variables with several equations; the
+    // others still get checked via their own (flattened) equations.
+    let mut defs: HashMap<StrVar, Vec<Part>> = HashMap::new();
+    for (lhs, parts) in &equations {
+        defs.entry(*lhs).or_insert_with(|| parts.clone());
+    }
+    let mut out = equations.clone();
+    for (lhs, parts) in &equations {
+        let mut current = parts.clone();
+        // The occurs check ran on ONE definition per variable; with
+        // several definitions the substitution graph can still cycle
+        // (e.g. x = [y,"a"], y = [x,"c"] alongside an acyclic x
+        // definition). In an acyclic system the substitution depth is
+        // bounded by the number of equations, so fuel exhaustion means
+        // a cycle: abandon the flattened copy (it is only a redundant
+        // search guide) and keep the original equation.
+        let mut fuel = equations.len() + 1;
+        let mut diverged = false;
+        loop {
+            let mut next = Vec::with_capacity(current.len());
+            let mut changed = false;
+            for part in &current {
+                match part {
+                    Part::Var(v) if *v != *lhs && defs.contains_key(v) => {
+                        next.extend(defs[v].iter().cloned());
+                        changed = true;
+                    }
+                    other => next.push(other.clone()),
+                }
+            }
+            current = next;
+            if !changed {
+                break;
+            }
+            fuel -= 1;
+            if fuel == 0 {
+                diverged = true;
+                break;
+            }
+        }
+        if diverged {
+            continue;
+        }
+        let flattened = (*lhs, current);
+        if !out.contains(&flattened) {
+            out.push(flattened);
+        }
+    }
+    out
+}
+
 /// Orders equations so that inner (dependency) equations come first.
 fn topo_sort(equations: Vec<(StrVar, Vec<Part>)>) -> Vec<(StrVar, Vec<Part>)> {
     let mut out: Vec<(StrVar, Vec<Part>)> = Vec::with_capacity(equations.len());
@@ -900,13 +1013,12 @@ fn topo_sort(equations: Vec<(StrVar, Vec<Part>)>) -> Vec<(StrVar, Vec<Part>)> {
     while !remaining.is_empty() {
         let lhs_pending: std::collections::HashSet<StrVar> =
             remaining.iter().map(|(l, _)| *l).collect();
-        let (ready, rest): (Vec<_>, Vec<_>) =
-            remaining.into_iter().partition(|(lhs, parts)| {
-                parts.iter().all(|p| match p {
-                    Part::Var(v) => !lhs_pending.contains(v) || v == lhs,
-                    Part::Lit(_) => true,
-                })
-            });
+        let (ready, rest): (Vec<_>, Vec<_>) = remaining.into_iter().partition(|(lhs, parts)| {
+            parts.iter().all(|p| match p {
+                Part::Var(v) => !lhs_pending.contains(v) || v == lhs,
+                Part::Lit(_) => true,
+            })
+        });
         if ready.is_empty() {
             // Cycle was excluded earlier; defensive fallback.
             out.extend(rest);
@@ -1065,10 +1177,7 @@ mod tests {
         let mut pool = VarPool::new();
         let a = pool.fresh_str("a");
         let b = pool.fresh_str("b");
-        let f = Formula::and(vec![
-            Formula::eq_var(a, b),
-            Formula::eq_lit(b, "shared"),
-        ]);
+        let f = Formula::and(vec![Formula::eq_var(a, b), Formula::eq_lit(b, "shared")]);
         let model = solve(&f).model().expect("sat");
         assert_eq!(model.get_str(a), Some("shared"));
     }
@@ -1108,10 +1217,7 @@ mod tests {
         let f = Formula::and(vec![Formula::bool_is(b, true)]);
         let model = solve(&f).model().expect("sat");
         assert!(model.get_bool(b));
-        let f = Formula::and(vec![
-            Formula::bool_is(b, true),
-            Formula::bool_is(b, false),
-        ]);
+        let f = Formula::and(vec![Formula::bool_is(b, true), Formula::bool_is(b, false)]);
         assert_eq!(solve(&f), Outcome::Unsat);
     }
 
@@ -1168,10 +1274,7 @@ mod tests {
         let v = pool.fresh_str("v");
         let f = Formula::and(vec![
             Formula::eq_concat(w, vec![Term::Var(v), Term::Var(v)]),
-            Formula::in_re(
-                v,
-                CRegex::alt(vec![CRegex::lit("ab"), CRegex::lit("c")]),
-            ),
+            Formula::in_re(v, CRegex::alt(vec![CRegex::lit("ab"), CRegex::lit("c")])),
             Formula::ne_lit(w, "cc"),
         ]);
         let model = solve(&f).model().expect("sat");
@@ -1196,12 +1299,34 @@ mod tests {
     fn stats_are_recorded() {
         let mut pool = VarPool::new();
         let v = pool.fresh_str("v");
-        let (outcome, stats) = Solver::default().solve(&Formula::in_re(
-            v,
-            CRegex::plus(re_char('z')),
-        ));
+        let (outcome, stats) =
+            Solver::default().solve(&Formula::in_re(v, CRegex::plus(re_char('z'))));
         assert!(outcome.is_sat());
         assert!(stats.nodes >= 1);
         assert!(stats.duration.as_nanos() > 0);
+    }
+
+    #[test]
+    fn multiply_defined_variable_cycle_terminates() {
+        // Regression: x has an acyclic definition (the one the occurs
+        // check happens to follow) AND a definition that cycles through
+        // y. Equation flattening must not diverge substituting the
+        // cyclic pair; the solver has to return within its budgets.
+        let mut pool = VarPool::new();
+        let x = pool.fresh_str("x");
+        let y = pool.fresh_str("y");
+        let p = pool.fresh_str("p");
+        let w = pool.fresh_str("w");
+        let f = Formula::and(vec![
+            Formula::eq_concat(x, vec![Term::Var(p), Term::lit("b")]),
+            Formula::eq_concat(p, vec![Term::lit("e")]),
+            Formula::eq_concat(x, vec![Term::Var(y), Term::lit("a")]),
+            Formula::eq_concat(y, vec![Term::Var(x), Term::lit("c")]),
+            Formula::eq_concat(p, vec![Term::Var(x), Term::lit("d")]),
+            Formula::eq_concat(w, vec![Term::Var(x), Term::Var(x)]),
+        ]);
+        // Any verdict is acceptable; the point is termination.
+        let (_outcome, stats) = Solver::default().solve(&f);
+        assert!(stats.duration.as_secs() < 30);
     }
 }

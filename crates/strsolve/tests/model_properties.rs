@@ -1,0 +1,212 @@
+//! Seeded random-formula property tests: every `Sat` model the solver
+//! produces must satisfy the formula it was produced from, under an
+//! independent, direct evaluator. Covers the three constraint families
+//! the capturing-language models emit — word equations (concat),
+//! regular membership, and negation (`∉`, `≠`).
+
+use std::sync::Arc;
+
+use automata::{Alphabet, CRegex, CharSet, Dfa};
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::{RngExt, SeedableRng};
+use strsolve::{Atom, Formula, Model, Outcome, Solver, StrVar, Term, VarPool};
+
+/// Direct DFA-based membership check, independent of the solver's own
+/// propagation machinery.
+fn re_contains(re: &CRegex, word: &str) -> bool {
+    let mut sets = Vec::new();
+    re.collect_sets(&mut sets);
+    for c in word.chars() {
+        sets.push(CharSet::single(c));
+    }
+    let alphabet = Arc::new(Alphabet::from_sets(&sets));
+    Dfa::from_cregex(re, &alphabet).contains(word)
+}
+
+fn term_value(term: &Term, model: &Model) -> Option<String> {
+    match term {
+        Term::Var(v) => model.get_str(*v).map(str::to_string),
+        Term::Lit(s) => Some(s.clone()),
+    }
+}
+
+/// Evaluates a formula directly against a model. Unassigned string
+/// variables evaluate pessimistically to `false` so the property also
+/// catches models that forget assignments.
+fn eval(formula: &Formula, model: &Model) -> bool {
+    match formula {
+        Formula::And(items) => items.iter().all(|f| eval(f, model)),
+        Formula::Or(items) => items.iter().any(|f| eval(f, model)),
+        Formula::Atom(atom) => match atom {
+            Atom::True => true,
+            Atom::False => false,
+            Atom::Bool(b, value) => model.get_bool(*b) == *value,
+            Atom::EqLit(v, lit) => model.get_str(*v) == Some(lit.as_str()),
+            Atom::NeLit(v, lit) => model.get_str(*v).is_some_and(|value| value != lit.as_str()),
+            Atom::EqVar(v, u) => {
+                model.get_str(*v).is_some() && model.get_str(*v) == model.get_str(*u)
+            }
+            Atom::NeVar(v, u) => match (model.get_str(*v), model.get_str(*u)) {
+                (Some(a), Some(b)) => a != b,
+                _ => false,
+            },
+            Atom::InRe(v, re) => model
+                .get_str(*v)
+                .is_some_and(|value| re_contains(re, value)),
+            Atom::NotInRe(v, re) => model
+                .get_str(*v)
+                .is_some_and(|value| !re_contains(re, value)),
+            Atom::EqConcat(v, parts) => {
+                let Some(lhs) = model.get_str(*v) else {
+                    return false;
+                };
+                let mut rhs = String::new();
+                for part in parts {
+                    match term_value(part, model) {
+                        Some(value) => rhs.push_str(&value),
+                        None => return false,
+                    }
+                }
+                lhs == rhs
+            }
+        },
+    }
+}
+
+/// A small random classical regex over {a, b, c}.
+fn random_regex(rng: &mut StdRng, depth: usize) -> CRegex {
+    let leaf = |rng: &mut StdRng| {
+        let options = [
+            CRegex::set(CharSet::single('a')),
+            CRegex::set(CharSet::single('b')),
+            CRegex::set(CharSet::range('a', 'c')),
+            CRegex::lit("ab"),
+            CRegex::lit("c"),
+        ];
+        options.choose(rng).expect("nonempty").clone()
+    };
+    if depth == 0 {
+        return leaf(rng);
+    }
+    match rng.random_range(0usize..6) {
+        0 => CRegex::star(random_regex(rng, depth - 1)),
+        1 => CRegex::plus(random_regex(rng, depth - 1)),
+        2 => CRegex::opt(random_regex(rng, depth - 1)),
+        3 => CRegex::concat(vec![
+            random_regex(rng, depth - 1),
+            random_regex(rng, depth - 1),
+        ]),
+        4 => CRegex::alt(vec![
+            random_regex(rng, depth - 1),
+            random_regex(rng, depth - 1),
+        ]),
+        _ => leaf(rng),
+    }
+}
+
+/// A random conjunction of concat equations, memberships and negations
+/// over a small variable pool.
+fn random_formula(rng: &mut StdRng, pool: &mut VarPool) -> Formula {
+    let vars: Vec<StrVar> = (0..4).map(|i| pool.fresh_str(format!("v{i}"))).collect();
+    let literals = ["", "a", "b", "ab", "abc", "cc"];
+    let n = 1 + rng.random_range(0usize..4);
+    let mut conjuncts = Vec::new();
+    for _ in 0..n {
+        let v = *vars.choose(rng).expect("nonempty");
+        let u = *vars.choose(rng).expect("nonempty");
+        let lit = *literals.choose(rng).expect("nonempty");
+        conjuncts.push(match rng.random_range(0usize..6) {
+            // Word equations.
+            0 => Formula::eq_concat(v, vec![Term::Var(u), Term::lit(lit)]),
+            1 => Formula::eq_concat(v, vec![Term::lit(lit), Term::Var(u), Term::Var(u)]),
+            // Membership.
+            2 => Formula::in_re(v, random_regex(rng, 2)),
+            // Negation family.
+            3 => Formula::not_in_re(v, random_regex(rng, 2)),
+            4 => Formula::ne_lit(v, lit),
+            _ => Formula::eq_lit(v, lit),
+        });
+    }
+    Formula::and(conjuncts)
+}
+
+#[test]
+fn random_sat_models_satisfy_their_formula() {
+    let mut sat = 0usize;
+    let mut total = 0usize;
+    for seed in 0..400u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut pool = VarPool::new();
+        let formula = random_formula(&mut rng, &mut pool);
+        total += 1;
+        let (outcome, _) = Solver::default().solve(&formula);
+        if let Outcome::Sat(model) = outcome {
+            sat += 1;
+            assert!(
+                eval(&formula, &model),
+                "seed {seed}: model {model:?} does not satisfy {formula}"
+            );
+        }
+    }
+    // The generator must actually exercise the solver.
+    assert!(sat >= total / 4, "only {sat}/{total} instances were Sat");
+}
+
+#[test]
+fn membership_witnesses_are_members() {
+    for seed in 0..200u64 {
+        let mut rng = StdRng::seed_from_u64(0x5eed ^ seed);
+        let mut pool = VarPool::new();
+        let v = pool.fresh_str("v");
+        let re = random_regex(&mut rng, 3);
+        let formula = Formula::in_re(v, re.clone());
+        if let (Outcome::Sat(model), _) = Solver::default().solve(&formula) {
+            let value = model.get_str(v).expect("assigned");
+            assert!(
+                re_contains(&re, value),
+                "seed {seed}: witness {value:?} not in L({re})"
+            );
+        }
+    }
+}
+
+#[test]
+fn negation_witnesses_are_non_members() {
+    for seed in 0..200u64 {
+        let mut rng = StdRng::seed_from_u64(0xbad ^ seed);
+        let mut pool = VarPool::new();
+        let v = pool.fresh_str("v");
+        let re = random_regex(&mut rng, 3);
+        let formula = Formula::not_in_re(v, re.clone());
+        if let (Outcome::Sat(model), _) = Solver::default().solve(&formula) {
+            let value = model.get_str(v).expect("assigned");
+            assert!(
+                !re_contains(&re, value),
+                "seed {seed}: witness {value:?} unexpectedly in L({re})"
+            );
+        }
+    }
+}
+
+#[test]
+fn concat_with_duplicated_variable_is_consistent() {
+    // The backreference shape: w = u ++ u ++ "x", u ∈ (ab)+.
+    for seed in 0..50u64 {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9e37));
+        let mut pool = VarPool::new();
+        let w = pool.fresh_str("w");
+        let u = pool.fresh_str("u");
+        let re = CRegex::plus(random_regex(&mut rng, 1));
+        let formula = Formula::and(vec![
+            Formula::eq_concat(w, vec![Term::Var(u), Term::Var(u), Term::lit("x")]),
+            Formula::in_re(u, re.clone()),
+        ]);
+        if let (Outcome::Sat(model), _) = Solver::default().solve(&formula) {
+            let wv = model.get_str(w).expect("assigned");
+            let uv = model.get_str(u).expect("assigned");
+            assert_eq!(wv, format!("{uv}{uv}x"), "seed {seed}");
+            assert!(re_contains(&re, uv), "seed {seed}");
+        }
+    }
+}

@@ -2,7 +2,7 @@
 //! model satisfies the formula under direct evaluation) and agreement
 //! with brute-force enumeration on small finite instances.
 
-use automata::{CharSet, CRegex};
+use automata::{CRegex, CharSet};
 use proptest::prelude::*;
 use strsolve::{Formula, Outcome, Solver, Term, VarPool};
 
@@ -24,10 +24,7 @@ fn small_re(i: usize) -> CRegex {
         0 => CRegex::plus(CRegex::set(CharSet::single('a'))),
         1 => CRegex::star(CRegex::set(CharSet::range('a', 'b'))),
         2 => CRegex::alt(vec![CRegex::lit("ab"), CRegex::lit("ba")]),
-        3 => CRegex::concat(vec![
-            CRegex::lit("x"),
-            CRegex::opt(CRegex::lit("y")),
-        ]),
+        3 => CRegex::concat(vec![CRegex::lit("x"), CRegex::opt(CRegex::lit("y"))]),
         _ => CRegex::repeat(CRegex::set(CharSet::single('c')), 1, Some(3)),
     }
 }
@@ -97,10 +94,7 @@ fn backref_shape_equation() {
     let w = pool.fresh_str("w");
     let v = pool.fresh_str("v");
     let f = Formula::and(vec![
-        Formula::eq_concat(
-            w,
-            vec![Term::Var(v), Term::lit("-"), Term::Var(v)],
-        ),
+        Formula::eq_concat(w, vec![Term::Var(v), Term::lit("-"), Term::Var(v)]),
         Formula::in_re(v, CRegex::plus(CRegex::set(CharSet::single('a')))),
         Formula::ne_lit(w, "a-a"),
     ]);

@@ -129,8 +129,19 @@ pub fn extract_regexes(source: &str) -> Vec<Regex> {
             let word: String = chars[start..i].iter().collect();
             expect_value = matches!(
                 word.as_str(),
-                "return" | "typeof" | "case" | "in" | "of" | "new" | "delete" | "do"
-                    | "else" | "void" | "instanceof" | "yield" | "await"
+                "return"
+                    | "typeof"
+                    | "case"
+                    | "in"
+                    | "of"
+                    | "new"
+                    | "delete"
+                    | "do"
+                    | "else"
+                    | "void"
+                    | "instanceof"
+                    | "yield"
+                    | "await"
             );
             continue;
         }
@@ -169,10 +180,26 @@ impl PackageStats {
         };
         vec![
             ("Packages", self.packages, 100.0),
-            ("... with source files", self.with_sources, pct(self.with_sources)),
-            ("... with regular expressions", self.with_regex, pct(self.with_regex)),
-            ("... with capture groups", self.with_captures, pct(self.with_captures)),
-            ("... with backreferences", self.with_backrefs, pct(self.with_backrefs)),
+            (
+                "... with source files",
+                self.with_sources,
+                pct(self.with_sources),
+            ),
+            (
+                "... with regular expressions",
+                self.with_regex,
+                pct(self.with_regex),
+            ),
+            (
+                "... with capture groups",
+                self.with_captures,
+                pct(self.with_captures),
+            ),
+            (
+                "... with backreferences",
+                self.with_backrefs,
+                pct(self.with_backrefs),
+            ),
             (
                 "... with quantified backreferences",
                 self.with_quantified_backrefs,

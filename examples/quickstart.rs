@@ -26,7 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ]);
 
     // Solve with matching-precedence refinement (Algorithm 1).
-    let result = CegarSolver::default().solve(&problem, &[constraint.clone()]);
+    let result = CegarSolver::default().solve(&problem, std::slice::from_ref(&constraint));
     let model = result.outcome.model().expect("constraint is satisfiable");
     let input = model.get_str(constraint.input).expect("input assigned");
     println!("solver witness: {input:?}");

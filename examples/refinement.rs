@@ -34,7 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // With CEGAR the answer is engine-correct: C1 = ⊥.
-    let result = CegarSolver::default().solve(&problem, &[c.clone()]);
+    let result = CegarSolver::default().solve(&problem, std::slice::from_ref(&c));
     let model = result.outcome.model().expect("satisfiable");
     assert!(!model.get_bool(c.captures[1].defined));
     println!(

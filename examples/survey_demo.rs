@@ -13,7 +13,10 @@ fn main() {
     let packages = generate_corpus(2_000, &CorpusProfile::default(), 1);
     let survey = survey_packages(&packages);
 
-    println!("survey over {} synthetic packages:", survey.packages.packages);
+    println!(
+        "survey over {} synthetic packages:",
+        survey.packages.packages
+    );
     for (label, count, pct) in survey.packages.rows() {
         println!("  {label:<38} {count:>7}  {pct:>5.1}%");
     }

@@ -45,7 +45,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     match report.bugs.first() {
         Some((stmt, inputs)) => {
-            println!("assertion failure at statement {stmt} with input {:?}", inputs[0]);
+            println!(
+                "assertion failure at statement {stmt} with input {:?}",
+                inputs[0]
+            );
             println!("(the paper's predicted bug input is \"<timeout></timeout>\")");
         }
         None => println!("no bug found — increase the execution budget"),

@@ -41,9 +41,9 @@
 
 pub use automata;
 pub use corpus;
+pub use es6_matcher as matcher;
 pub use expose_core as core;
 pub use expose_dse as dse;
-pub use es6_matcher as matcher;
 pub use regex_syntax_es6 as syntax;
 pub use strsolve;
 pub use survey;

@@ -13,7 +13,7 @@ fn witness_for(literal: &str) -> Option<String> {
     let regex = Regex::parse_literal(literal).expect("literal");
     let mut pool = VarPool::new();
     let c = build_match_model(&regex, true, &mut pool, &BuildConfig::default());
-    let result = CegarSolver::default().solve(&Formula::top(), &[c.clone()]);
+    let result = CegarSolver::default().solve(&Formula::top(), std::slice::from_ref(&c));
     match result.outcome {
         Outcome::Sat(model) => {
             let input = model.get_str(c.input).expect("assigned").to_string();
@@ -33,7 +33,7 @@ fn non_witness_for(literal: &str) -> Option<String> {
     let regex = Regex::parse_literal(literal).expect("literal");
     let mut pool = VarPool::new();
     let c = build_match_model(&regex, false, &mut pool, &BuildConfig::default());
-    let result = CegarSolver::default().solve(&Formula::top(), &[c.clone()]);
+    let result = CegarSolver::default().solve(&Formula::top(), std::slice::from_ref(&c));
     match result.outcome {
         Outcome::Sat(model) => {
             let input = model.get_str(c.input).expect("assigned").to_string();
@@ -112,7 +112,7 @@ fn paper_overview_path_constraints() {
         Formula::bool_is(c.captures[2].defined, true),
         Formula::eq_lit(c.captures[2].value, ""),
     ]);
-    let result = CegarSolver::default().solve(&problem, &[c.clone()]);
+    let result = CegarSolver::default().solve(&problem, std::slice::from_ref(&c));
     let model = result.outcome.model().expect("satisfiable");
     let input = model.get_str(c.input).expect("assigned");
     assert_eq!(input, "<timeout></timeout>");

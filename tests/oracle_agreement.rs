@@ -46,7 +46,7 @@ proptest! {
         } else {
             Formula::eq_lit(c.input, pin.clone())
         };
-        let result = CegarSolver::default().solve(&problem, &[c.clone()]);
+        let result = CegarSolver::default().solve(&problem, std::slice::from_ref(&c));
         if let Outcome::Sat(model) = result.outcome {
             let input = model.get_str(c.input).expect("assigned");
             let mut oracle = RegExp::from_regex(regex);
@@ -98,7 +98,7 @@ proptest! {
         let regex = Regex::parse_literal(literal).expect("literal");
         let mut pool = VarPool::new();
         let c = build_match_model(&regex, false, &mut pool, &BuildConfig::default());
-        let result = CegarSolver::default().solve(&Formula::top(), &[c.clone()]);
+        let result = CegarSolver::default().solve(&Formula::top(), std::slice::from_ref(&c));
         if let Outcome::Sat(model) = result.outcome {
             let input = model.get_str(c.input).expect("assigned");
             let mut oracle = RegExp::from_regex(regex);

@@ -8,8 +8,8 @@ use expose::dse::{parser::parse_program, run_dse, EngineConfig, Harness};
 #[test]
 fn all_workloads_execute() {
     for w in expose::corpus::library_workloads() {
-        let program = parse_program(w.source)
-            .unwrap_or_else(|e| panic!("{} must parse: {e}", w.name));
+        let program =
+            parse_program(w.source).unwrap_or_else(|e| panic!("{} must parse: {e}", w.name));
         let report = run_dse(
             &program,
             &Harness::strings(w.entry, w.arity),
@@ -19,7 +19,11 @@ fn all_workloads_execute() {
             },
         );
         assert!(report.executions >= 1, "{} must run", w.name);
-        assert!(report.coverage_fraction() > 0.0, "{} must cover code", w.name);
+        assert!(
+            report.coverage_fraction() > 0.0,
+            "{} must cover code",
+            w.name
+        );
     }
 }
 

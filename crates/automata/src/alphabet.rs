@@ -14,7 +14,7 @@ use crate::charset::CharSet;
 pub type ClassId = u16;
 
 /// A partition of the scalar-value space into disjoint classes.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Alphabet {
     /// Sorted interval boundaries: interval `i` is
     /// `[boundaries[i], boundaries[i+1])`.

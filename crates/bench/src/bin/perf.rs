@@ -1,0 +1,308 @@
+//! The CI performance trajectory: quick-budget DSE, serial/uncached vs
+//! parallel/cached, emitted as machine-readable `BENCH_dse.json`.
+//!
+//! Two configurations run the same workload set (the Table 6 library
+//! programs plus a slice of the generated Table 7 population):
+//!
+//! * **baseline** — `flip_workers = 1`, both caches disabled: the
+//!   engine exactly as the paper's serial reproduction ran it;
+//! * **optimized** — `flip_workers ≥ 4`, model + query caches shared
+//!   across all workloads.
+//!
+//! Both must produce byte-identical query verdicts (`verdict_diffs`
+//! must be 0 — the caches and the fan-out are proven
+//! behavior-preserving, not just fast). The emitted artifact is
+//! uploaded by the `perf-smoke` CI job; with `--check <baseline.json>`
+//! the binary gates on a >2× wall-clock regression against the
+//! checked-in baseline.
+//!
+//! ```text
+//! cargo run --release -p bench --bin perf -- \
+//!     [--out BENCH_dse.json] [--check crates/bench/baseline/BENCH_dse.json] \
+//!     [--flip-workers 4] [--programs 10]
+//! ```
+
+use std::time::Instant;
+
+use bench::{engine_config, Budget};
+use corpus::{generate_dse_programs, library_workloads};
+use expose_core::cache::CacheStats;
+use expose_core::SupportLevel;
+use expose_dse::parser::parse_program;
+use expose_dse::{run_dse_with_caches, DseCaches, EngineConfig, Harness, Report};
+
+/// One named, parsed workload.
+struct Workload {
+    name: String,
+    program: expose_dse::ast::Program,
+    harness: Harness,
+}
+
+fn workload_set(generated: usize) -> Vec<Workload> {
+    let mut set = Vec::new();
+    for w in library_workloads() {
+        set.push(Workload {
+            name: w.name.to_string(),
+            program: parse_program(w.source)
+                .unwrap_or_else(|e| panic!("workload {} must parse: {e}", w.name)),
+            harness: Harness::strings(w.entry, w.arity),
+        });
+    }
+    for p in generate_dse_programs(generated, 0xbe7c) {
+        set.push(Workload {
+            name: p.name.clone(),
+            program: parse_program(&p.source)
+                .unwrap_or_else(|e| panic!("program {} must parse: {e}", p.name)),
+            harness: Harness::strings(&p.entry, p.arity),
+        });
+    }
+    set
+}
+
+/// Aggregate numbers for one configuration over the whole set.
+#[derive(Default)]
+struct Aggregate {
+    wall_ms: f64,
+    solver_ms: f64,
+    flip_queries: u64,
+    solver_nodes: u64,
+    tests_generated: u64,
+    coverage_sum: f64,
+    model_cache_hits: u64,
+    model_cache_misses: u64,
+    query_cache_hits: u64,
+    query_cache_misses: u64,
+}
+
+impl Aggregate {
+    fn absorb(&mut self, report: &Report) {
+        self.solver_ms += report.solver_time().as_secs_f64() * 1e3;
+        self.flip_queries += report.queries.len() as u64;
+        self.solver_nodes += report.solver_nodes();
+        self.tests_generated += report.tests_generated as u64;
+        self.coverage_sum += report.coverage_fraction();
+        self.model_cache_hits += report.model_cache_hits;
+        self.model_cache_misses += report.model_cache_misses;
+        self.query_cache_hits += report.query_cache_hits;
+        self.query_cache_misses += report.query_cache_misses;
+    }
+
+    fn hit_rate(hits: u64, misses: u64) -> f64 {
+        CacheStats { hits, misses }.hit_rate()
+    }
+
+    fn json(&self, workloads: usize) -> String {
+        format!(
+            concat!(
+                "{{\n",
+                "    \"wall_ms\": {:.1},\n",
+                "    \"solver_ms\": {:.1},\n",
+                "    \"flip_queries\": {},\n",
+                "    \"solver_nodes\": {},\n",
+                "    \"tests_generated\": {},\n",
+                "    \"mean_coverage\": {:.4},\n",
+                "    \"model_cache_hits\": {},\n",
+                "    \"model_cache_misses\": {},\n",
+                "    \"model_cache_hit_rate\": {:.4},\n",
+                "    \"query_cache_hits\": {},\n",
+                "    \"query_cache_misses\": {},\n",
+                "    \"query_cache_hit_rate\": {:.4}\n",
+                "  }}"
+            ),
+            self.wall_ms,
+            self.solver_ms,
+            self.flip_queries,
+            self.solver_nodes,
+            self.tests_generated,
+            self.coverage_sum / workloads.max(1) as f64,
+            self.model_cache_hits,
+            self.model_cache_misses,
+            Self::hit_rate(self.model_cache_hits, self.model_cache_misses),
+            self.query_cache_hits,
+            self.query_cache_misses,
+            Self::hit_rate(self.query_cache_hits, self.query_cache_misses),
+        )
+    }
+}
+
+/// The per-query verdict trail of one workload, for the
+/// zero-difference check.
+type VerdictTrail = Vec<(bool, usize, bool)>;
+
+fn verdicts(report: &Report) -> VerdictTrail {
+    report
+        .queries
+        .iter()
+        .map(|q| (q.sat, q.refinements, q.limit_hit))
+        .collect()
+}
+
+fn run_config(
+    set: &[Workload],
+    config_for: impl Fn() -> EngineConfig,
+    caches: &DseCaches,
+) -> (Aggregate, Vec<VerdictTrail>) {
+    let mut aggregate = Aggregate::default();
+    let mut trails = Vec::with_capacity(set.len());
+    let started = Instant::now();
+    for w in set {
+        let report = run_dse_with_caches(&w.program, &w.harness, &config_for(), caches);
+        if std::env::var("PERF_VERBOSE").is_ok() {
+            eprintln!(
+                "  {:24} solver {:7.1} ms, {:3} queries, {:6} nodes",
+                w.name,
+                report.solver_time().as_secs_f64() * 1e3,
+                report.queries.len(),
+                report.solver_nodes(),
+            );
+        }
+        aggregate.absorb(&report);
+        trails.push(verdicts(&report));
+    }
+    aggregate.wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    (aggregate, trails)
+}
+
+/// Pulls `"key": <number>` out of a flat JSON document — enough to read
+/// our own artifact back without a JSON dependency.
+fn extract_number(json: &str, key: &str) -> Option<f64> {
+    let pattern = format!("\"{key}\":");
+    let at = json.find(&pattern)? + pattern.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() {
+    let mut out = String::from("BENCH_dse.json");
+    let mut check: Option<String> = None;
+    let mut flip_workers = 4usize;
+    let mut programs = 10usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--out" => out = value("--out"),
+            "--check" => check = Some(value("--check")),
+            "--flip-workers" => {
+                flip_workers = value("--flip-workers").parse().expect("worker count")
+            }
+            "--programs" => programs = value("--programs").parse().expect("program count"),
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+    assert!(
+        flip_workers >= 4,
+        "the tracked configuration uses flip_workers >= 4"
+    );
+
+    let set = workload_set(programs);
+    eprintln!(
+        "perf: {} workloads, quick budget, flip_workers={flip_workers}",
+        set.len()
+    );
+
+    let base_config = || {
+        let mut config = EngineConfig {
+            flip_workers: 1,
+            model_cache_capacity: 0,
+            query_cache_capacity: 0,
+            ..engine_config(SupportLevel::Refinement, Budget::quick())
+        };
+        // The baseline is the engine exactly as the serial reproduction
+        // ran it: every cache this PR introduced is off.
+        config.solver.dfa_cache_capacity = 0;
+        config
+    };
+    let (baseline, baseline_trails) = run_config(&set, base_config, &DseCaches::disabled());
+    eprintln!(
+        "perf: baseline (serial, uncached) {:.0} ms",
+        baseline.wall_ms
+    );
+
+    let opt_config = || EngineConfig {
+        flip_workers,
+        ..engine_config(SupportLevel::Refinement, Budget::quick())
+    };
+    let shared = DseCaches::from_config(&opt_config());
+    let (optimized, optimized_trails) = run_config(&set, opt_config, &shared);
+    eprintln!(
+        "perf: optimized (parallel, cached) {:.0} ms",
+        optimized.wall_ms
+    );
+
+    let mut verdict_diffs = 0usize;
+    for ((w, a), b) in set.iter().zip(&baseline_trails).zip(&optimized_trails) {
+        if a != b {
+            verdict_diffs += 1;
+            eprintln!("perf: verdict trail mismatch in workload {}", w.name);
+        }
+    }
+    let speedup = baseline.wall_ms / optimized.wall_ms.max(1e-9);
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"schema\": \"expose-bench-dse/v1\",\n",
+            "  \"budget\": \"quick\",\n",
+            "  \"workloads\": {},\n",
+            "  \"flip_workers\": {},\n",
+            "  \"baseline_wall_ms\": {:.1},\n",
+            "  \"optimized_wall_ms\": {:.1},\n",
+            "  \"speedup\": {:.3},\n",
+            "  \"verdict_diffs\": {},\n",
+            "  \"baseline\": {},\n",
+            "  \"optimized\": {}\n",
+            "}}\n"
+        ),
+        set.len(),
+        flip_workers,
+        baseline.wall_ms,
+        optimized.wall_ms,
+        speedup,
+        verdict_diffs,
+        baseline.json(set.len()),
+        optimized.json(set.len()),
+    );
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    eprintln!("perf: speedup {speedup:.2}x, verdict_diffs {verdict_diffs}, wrote {out}");
+
+    if verdict_diffs > 0 {
+        eprintln!("perf: FAIL — parallel/cached run changed {verdict_diffs} verdict trail(s)");
+        std::process::exit(2);
+    }
+    if speedup < 1.5 {
+        // Advisory on arbitrary machines; the CI gate is the checked-in
+        // baseline comparison below.
+        eprintln!("perf: WARN — speedup {speedup:.2}x below the 1.5x target");
+    }
+    if let Some(path) = check {
+        let reference = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        let reference_ms = extract_number(&reference, "optimized_wall_ms")
+            .unwrap_or_else(|| panic!("no optimized_wall_ms in {path}"));
+        let limit = reference_ms * 2.0;
+        eprintln!(
+            "perf: check {:.0} ms against baseline {:.0} ms (limit {:.0} ms)",
+            optimized.wall_ms, reference_ms, limit
+        );
+        if optimized.wall_ms > limit {
+            eprintln!("perf: FAIL — optimized wall-clock regressed more than 2x the baseline");
+            std::process::exit(3);
+        }
+        // Machine-independent gate: the absolute-ms comparison above
+        // also measures runner speed, so additionally require the
+        // same-run baseline→optimized ratio to stay above a floor well
+        // under the tracked ~2.5x (a drop below it means the caches or
+        // the fan-out genuinely stopped paying for themselves).
+        if speedup < 1.2 {
+            eprintln!("perf: FAIL — same-run speedup {speedup:.2}x fell below the 1.2x floor");
+            std::process::exit(4);
+        }
+    }
+}

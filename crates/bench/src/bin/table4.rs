@@ -2,7 +2,7 @@
 //!
 //! Generates the synthetic corpus (calibrated to the paper's observed
 //! frequencies) and runs the §7.1 survey over it, printing the paper's
-//! numbers next to the measured ones. Corpus size via argv[1]
+//! numbers next to the measured ones. Corpus size via `argv[1]`
 //! (default 20,000 packages).
 
 use corpus::{generate_corpus, CorpusProfile};

@@ -2,7 +2,7 @@
 //!
 //! Runs the survey over the synthetic corpus and prints per-feature
 //! total and unique counts with the paper's percentages for comparison.
-//! Corpus size via argv[1] (default 20,000 packages).
+//! Corpus size via `argv[1]` (default 20,000 packages).
 
 use std::collections::HashMap;
 

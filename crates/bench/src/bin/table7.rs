@@ -3,7 +3,7 @@
 //! Runs the generated Table 7 population under the four support levels
 //! (concrete / +modeling / +captures / +refinement) and reports, per
 //! level: packages improved vs. concrete, the geometric-mean coverage
-//! increase, and the test execution rate. Population size via argv[1]
+//! increase, and the test execution rate. Population size via `argv[1]`
 //! (default 60; the paper uses 1,131 real packages).
 
 use std::time::Instant;

@@ -4,7 +4,7 @@
 //! statistics from the CEGAR solver, and prints min/max/mean solver time
 //! per package and per query for the four categories of the paper
 //! (all / with captures / with refinement / refinement limit hit).
-//! Population size via argv[1] (default 60).
+//! Population size via `argv[1]` (default 60).
 
 use std::time::Duration;
 

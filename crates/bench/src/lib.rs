@@ -20,10 +20,13 @@ pub struct Budget {
 }
 
 impl Budget {
-    /// A quick budget for benches and CI.
+    /// A quick budget for benches and CI. Generous enough in
+    /// executions that the generational search re-visits shared path
+    /// prefixes — the regime the cross-query caches are built for (and
+    /// the regime real DSE runs spend their time in).
     pub fn quick() -> Budget {
         Budget {
-            executions: 24,
+            executions: 40,
             steps: 50_000,
         }
     }

@@ -41,6 +41,29 @@ pub struct CapturingConstraint {
     pub exact: bool,
 }
 
+impl CapturingConstraint {
+    /// The constraint with every variable shifted into another pool's
+    /// numbering — the rebasing step of the cross-query model cache
+    /// ([`crate::cache::ModelCache`]): a constraint built against a
+    /// private pool is grafted onto a query's pool with the offsets
+    /// returned by [`strsolve::VarPool::absorb`].
+    pub fn offset_vars(&self, str_offset: u32, bool_offset: u32) -> CapturingConstraint {
+        CapturingConstraint {
+            regex: self.regex.clone(),
+            input: self.input.offset_by(str_offset),
+            wrapped: self.wrapped.offset_by(str_offset),
+            captures: self
+                .captures
+                .iter()
+                .map(|c| c.offset_by(str_offset, bool_offset))
+                .collect(),
+            positive: self.positive,
+            formula: self.formula.offset_vars(str_offset, bool_offset),
+            exact: self.exact,
+        }
+    }
+}
+
 /// Builds the Algorithm 2 model for a match (`exec` returning a result,
 /// `test` returning `true`) or a non-match (`∉`, `test` returning
 /// `false`) of `regex` against a fresh symbolic input string.

@@ -114,8 +114,20 @@ impl CegarSolver {
         parts.extend(constraints.iter().map(|c| c.formula.clone()));
         let mut p = Formula::and(parts);
 
+        // The cross-query result cache is only consulted for the
+        // initial, unrefined problem. Once lemmas have been learned the
+        // formula carries query-specific refinements, and caching those
+        // would at best pollute the cache and at worst (under a key
+        // collision) leak a verdict across incomparable lemma sets —
+        // every refined iteration and probe solves uncached.
+        let mut unrefined = true;
         loop {
-            let (outcome, solve_stats) = self.solver.solve(&p);
+            let (outcome, solve_stats) = if unrefined {
+                self.solver.solve(&p)
+            } else {
+                self.solver.solve_uncached(&p)
+            };
+            unrefined = false;
             stats.solver.absorb(&solve_stats);
             let model = match outcome {
                 Outcome::Sat(m) => m,
@@ -189,7 +201,7 @@ impl CegarSolver {
                         .collect(),
                 );
                 let probe = Formula::and(vec![p.clone(), pinned]);
-                let (outcome, solve_stats) = self.solver.solve(&probe);
+                let (outcome, solve_stats) = self.solver.solve_uncached(&probe);
                 stats.solver.absorb(&solve_stats);
                 match outcome {
                     Outcome::Sat(m)

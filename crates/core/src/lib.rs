@@ -13,7 +13,10 @@
 //!   concrete ES6 matcher as oracle;
 //! * [`api`] — Algorithm 2, the symbolic `RegExp.exec`/`test` models
 //!   with the ⟨/⟩ input markers ([`meta`]) and flag handling;
-//! * [`config`] — the §7.3 support levels used by the evaluation.
+//! * [`config`] — the §7.3 support levels used by the evaluation;
+//! * [`cache`] — the cross-query model cache that amortizes model
+//!   construction over the thousands of times DSE re-encounters the
+//!   same regex.
 //!
 //! # Examples
 //!
@@ -37,6 +40,7 @@
 //! ```
 
 pub mod api;
+pub mod cache;
 pub mod cegar;
 pub mod classical;
 pub mod config;
@@ -45,6 +49,7 @@ pub mod model;
 pub mod negate;
 
 pub use api::{build_match_model, CapturingConstraint};
+pub use cache::{CacheStats, ModelCache};
 pub use cegar::{CegarResult, CegarSolver, CegarStats};
 pub use config::SupportLevel;
 pub use model::{BuildConfig, CaptureVar, ModelBuilder, RegexModel};

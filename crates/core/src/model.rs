@@ -66,10 +66,19 @@ impl CaptureVar {
             Formula::eq_var(self.value, w),
         ])
     }
+
+    /// The capture variable shifted into another pool's numbering (see
+    /// [`strsolve::VarPool::absorb`]).
+    pub fn offset_by(&self, str_offset: u32, bool_offset: u32) -> CaptureVar {
+        CaptureVar {
+            value: self.value.offset_by(str_offset),
+            defined: self.defined.offset_by(bool_offset),
+        }
+    }
 }
 
 /// Configuration for model construction.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct BuildConfig {
     /// Maximum number of explicit copies when expanding `{m,n}`
     /// repetitions (§4.1); beyond it the model falls back to a classical
@@ -91,6 +100,18 @@ impl Default for BuildConfig {
             max_backref_copies: 3,
             sound_mutable_backrefs: false,
         }
+    }
+}
+
+impl BuildConfig {
+    /// A stable fingerprint of the limits, used as part of the model
+    /// cache key: models built under different expansion bounds differ
+    /// structurally and must not be shared.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        self.hash(&mut hasher);
+        hasher.finish()
     }
 }
 

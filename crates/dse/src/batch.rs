@@ -12,7 +12,8 @@ use crossbeam::thread;
 use parking_lot::Mutex;
 
 use crate::ast::Program;
-use crate::engine::{run_dse, EngineConfig, Report};
+use crate::caching::DseCaches;
+use crate::engine::{resolve_workers, run_dse_with_caches, EngineConfig, Report};
 use crate::interp::Harness;
 
 /// One DSE job: a parsed program plus its harness and configuration.
@@ -29,12 +30,17 @@ pub struct Job {
 }
 
 /// Runs a batch of jobs on `workers` threads, returning reports in the
-/// order of the input jobs.
+/// order of the input jobs. `workers == 0` means "auto" and clamps to
+/// `max(1, available_parallelism)` — the default for CLI-style callers
+/// that pass an unvalidated knob through.
+///
+/// All jobs share one model/query cache set (sized to the largest
+/// capacities requested by any job), so a regex or query solved for
+/// one package is free for every other.
 ///
 /// # Panics
 ///
-/// Panics if a worker thread panics (propagating the inner panic), or
-/// if `workers == 0`.
+/// Panics if a worker thread panics (propagating the inner panic).
 ///
 /// # Examples
 ///
@@ -57,8 +63,18 @@ pub struct Job {
 /// assert!(reports.iter().all(|r| r.coverage_fraction() > 0.9));
 /// ```
 pub fn run_batch(jobs: Vec<Job>, workers: usize) -> Vec<Report> {
-    assert!(workers > 0, "need at least one worker");
+    let workers = resolve_workers(workers);
     let n = jobs.len();
+    let caches = DseCaches::new(
+        jobs.iter()
+            .map(|j| j.config.model_cache_capacity)
+            .max()
+            .unwrap_or(0),
+        jobs.iter()
+            .map(|j| j.config.query_cache_capacity)
+            .max()
+            .unwrap_or(0),
+    );
     let queue: Mutex<std::collections::VecDeque<(usize, Job)>> =
         Mutex::new(jobs.into_iter().enumerate().collect());
     let results: Mutex<Vec<Option<Report>>> = Mutex::new((0..n).map(|_| None).collect());
@@ -68,7 +84,7 @@ pub fn run_batch(jobs: Vec<Job>, workers: usize) -> Vec<Report> {
             scope.spawn(|_| loop {
                 let next = queue.lock().pop_front();
                 let Some((index, job)) = next else { break };
-                let report = run_dse(&job.program, &job.harness, &job.config);
+                let report = run_dse_with_caches(&job.program, &job.harness, &job.config, &caches);
                 results.lock()[index] = Some(report);
             });
         }
@@ -85,6 +101,7 @@ pub fn run_batch(jobs: Vec<Job>, workers: usize) -> Vec<Report> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::run_dse;
     use crate::parser::parse_program;
 
     fn job(name: &str, src: &str) -> Job {
@@ -135,5 +152,42 @@ mod tests {
     fn empty_batch() {
         let reports = run_batch(Vec::new(), 4);
         assert!(reports.is_empty());
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_auto() {
+        // Previously a panic; now "auto" (max(1, available_parallelism)).
+        let reports = run_batch(
+            vec![job(
+                "auto",
+                r#"function f(x) { if (x === "q") { return 1; } return 0; }"#,
+            )],
+            0,
+        );
+        assert_eq!(reports.len(), 1);
+        assert!(reports[0].coverage_fraction() > 0.9);
+    }
+
+    #[test]
+    fn jobs_share_the_cache_set() {
+        // Two identical jobs: the second should hit models/queries the
+        // first one populated.
+        let jobs = vec![
+            job(
+                "one",
+                r#"function f(x) { if (/^k+$/.test(x)) { return 1; } return 0; }"#,
+            ),
+            job(
+                "two",
+                r#"function f(x) { if (/^k+$/.test(x)) { return 1; } return 0; }"#,
+            ),
+        ];
+        let reports = run_batch(jobs, 1);
+        assert_eq!(reports[0].coverage, reports[1].coverage);
+        let second = &reports[1];
+        assert!(
+            second.model_cache_hits > 0 || second.query_cache_hits > 0,
+            "second job saw no cross-job cache hits: {second:?}"
+        );
     }
 }

@@ -1,0 +1,68 @@
+//! The engine's shared cache set.
+//!
+//! One [`DseCaches`] instance is shared by every flip query of a DSE
+//! run — and, via [`crate::batch::run_batch`], across all jobs of a
+//! batch: the model cache amortizes regex→SMT model construction and
+//! the query cache amortizes whole solver queries (child traces share
+//! their path prefix with the parent, so the prefix flip queries repeat
+//! verbatim). Both caches are verdict-preserving: a hit returns exactly
+//! what a fresh build/solve would (see `tests/cache_differential.rs`),
+//! so sharing never perturbs the reproduced tables.
+
+use std::sync::Arc;
+
+use expose_core::cache::ModelCache;
+use strsolve::QueryCache;
+
+use crate::engine::EngineConfig;
+
+/// The shared caches of a DSE run (cheap to clone; clones share state).
+#[derive(Debug, Clone)]
+pub struct DseCaches {
+    /// Regex → built Algorithm 2 model, shared across queries/traces.
+    pub model: Arc<ModelCache>,
+    /// Canonicalized formula → solver verdict.
+    pub query: Arc<QueryCache>,
+}
+
+impl DseCaches {
+    /// Creates a cache set with the given capacities (`0` disables the
+    /// respective cache).
+    pub fn new(model_capacity: usize, query_capacity: usize) -> DseCaches {
+        DseCaches {
+            model: Arc::new(ModelCache::new(model_capacity)),
+            query: Arc::new(QueryCache::new(query_capacity)),
+        }
+    }
+
+    /// A cache set sized from an engine configuration.
+    pub fn from_config(config: &EngineConfig) -> DseCaches {
+        DseCaches::new(config.model_cache_capacity, config.query_cache_capacity)
+    }
+
+    /// A fully disabled cache set (every lookup misses and stores
+    /// nothing) — the uncached baseline of the perf harness.
+    pub fn disabled() -> DseCaches {
+        DseCaches::new(0, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_state() {
+        let caches = DseCaches::new(8, 8);
+        let clone = caches.clone();
+        assert!(Arc::ptr_eq(&caches.model, &clone.model));
+        assert!(Arc::ptr_eq(&caches.query, &clone.query));
+    }
+
+    #[test]
+    fn disabled_set_is_empty_capacity() {
+        let caches = DseCaches::disabled();
+        assert!(caches.model.is_empty());
+        assert!(caches.query.is_empty());
+    }
+}

@@ -5,18 +5,31 @@
 //! cases, which are sorted into buckets keyed by the program fork point
 //! that created them; the next test case is drawn from the
 //! least-accessed bucket, prioritizing unexplored code.
+//!
+//! The flip-solving loop — where DSE spends nearly all of its
+//! wall-clock (§6.2 of the paper reports solver time dominating) — is
+//! the unit of parallelism: the flips of one trace are independent
+//! queries, fanned out over [`EngineConfig::flip_workers`] scoped
+//! threads and re-ordered deterministically by clause index before any
+//! engine state is touched, so a run's report is identical for any
+//! worker count. Regex models and solver verdicts are shared across
+//! queries (and across batch jobs) through [`DseCaches`].
 
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
+use crossbeam::thread;
 use expose_core::model::BuildConfig;
 use expose_core::SupportLevel;
+use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use strsolve::{Solver, SolverConfig};
 
 use crate::ast::{Program, StmtId};
+use crate::caching::DseCaches;
 use crate::interp::{execute, Harness, InterpConfig};
-use crate::solve::{solve_flip, QueryRecord};
+use crate::solve::{solve_flip, FlipResult, QueryRecord};
 
 /// Engine configuration.
 #[derive(Debug, Clone)]
@@ -37,6 +50,15 @@ pub struct EngineConfig {
     pub refinement_limit: usize,
     /// RNG seed for bucket sampling (deterministic runs).
     pub seed: u64,
+    /// Worker threads for per-trace clause-flip solving. `1` (the
+    /// default) solves serially on the calling thread; `0` means
+    /// "auto": `max(1, available_parallelism)`. Reports are identical
+    /// for every worker count.
+    pub flip_workers: usize,
+    /// Capacity of the shared regex-model cache (`0` disables it).
+    pub model_cache_capacity: usize,
+    /// Capacity of the shared solver-query cache (`0` disables it).
+    pub query_cache_capacity: usize,
 }
 
 impl Default for EngineConfig {
@@ -50,7 +72,23 @@ impl Default for EngineConfig {
             build: BuildConfig::default(),
             refinement_limit: 20,
             seed: 0x5eed,
+            flip_workers: 1,
+            model_cache_capacity: 512,
+            query_cache_capacity: 2048,
         }
+    }
+}
+
+/// Resolves a worker-count knob: `0` means `max(1,
+/// available_parallelism)`.
+pub(crate) fn resolve_workers(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+            .max(1)
+    } else {
+        requested
     }
 }
 
@@ -69,6 +107,14 @@ pub struct Report {
     pub bugs: Vec<(StmtId, Vec<String>)>,
     /// Per-query statistics (Table 8 source data).
     pub queries: Vec<QueryRecord>,
+    /// Regex models served from the shared model cache.
+    pub model_cache_hits: u64,
+    /// Regex models built fresh.
+    pub model_cache_misses: u64,
+    /// Solver calls answered from the shared query cache.
+    pub query_cache_hits: u64,
+    /// Solver calls that ran the full search.
+    pub query_cache_misses: u64,
 }
 
 impl Report {
@@ -78,6 +124,43 @@ impl Report {
             return 0.0;
         }
         self.coverage.len() as f64 / f64::from(self.stmt_count)
+    }
+
+    /// Model-cache hit rate in `[0, 1]` (`0` with no lookups).
+    pub fn model_cache_hit_rate(&self) -> f64 {
+        expose_core::cache::CacheStats {
+            hits: self.model_cache_hits,
+            misses: self.model_cache_misses,
+        }
+        .hit_rate()
+    }
+
+    /// Query-cache hit rate in `[0, 1]` (`0` with no lookups).
+    pub fn query_cache_hit_rate(&self) -> f64 {
+        expose_core::cache::CacheStats {
+            hits: self.query_cache_hits,
+            misses: self.query_cache_misses,
+        }
+        .hit_rate()
+    }
+
+    /// Total search-tree nodes visited by the solver.
+    pub fn solver_nodes(&self) -> u64 {
+        self.queries.iter().map(|q| q.solver_nodes).sum()
+    }
+
+    /// Total wall-clock spent in solver queries.
+    pub fn solver_time(&self) -> std::time::Duration {
+        self.queries.iter().map(|q| q.duration).sum()
+    }
+
+    /// Absorbs one flip query's record into the report.
+    fn record_query(&mut self, record: QueryRecord) {
+        self.model_cache_hits += record.model_cache_hits;
+        self.model_cache_misses += record.model_cache_misses;
+        self.query_cache_hits += record.query_cache_hits;
+        self.query_cache_misses += record.query_cache_misses;
+        self.queries.push(record);
     }
 }
 
@@ -108,11 +191,29 @@ struct TestCase {
 /// # Ok::<(), expose_dse::parser::ParseError>(())
 /// ```
 pub fn run_dse(program: &Program, harness: &Harness, config: &EngineConfig) -> Report {
+    run_dse_with_caches(program, harness, config, &DseCaches::from_config(config))
+}
+
+/// [`run_dse`] with caller-provided caches, so several runs (e.g. the
+/// jobs of a [`crate::batch::run_batch`]) share models and verdicts.
+pub fn run_dse_with_caches(
+    program: &Program,
+    harness: &Harness,
+    config: &EngineConfig,
+    caches: &DseCaches,
+) -> Report {
     let mut report = Report {
         stmt_count: program.stmt_count,
         ..Report::default()
     };
-    let solver = Solver::new(config.solver.clone());
+    // A zero-capacity query cache is fully disabled: skip attaching it
+    // so the uncached baseline pays no canonicalization overhead.
+    let solver = if caches.query.capacity() > 0 {
+        Solver::new(config.solver.clone()).with_cache(caches.query.clone())
+    } else {
+        Solver::new(config.solver.clone())
+    };
+    let flip_workers = resolve_workers(config.flip_workers);
     let interp_config = InterpConfig {
         support: config.support,
         max_steps: config.max_steps,
@@ -131,12 +232,14 @@ pub fn run_dse(program: &Program, harness: &Harness, config: &EngineConfig) -> R
     buckets.entry(0).or_default().push(seed_case);
 
     while report.executions < config.max_executions {
-        // Pick the least-accessed non-empty bucket.
+        // Pick the least-accessed non-empty bucket; ties break on the
+        // bucket key so the choice never depends on map iteration
+        // order (run-to-run determinism).
         let Some(&bucket_key) = buckets
             .iter()
             .filter(|(_, cases)| !cases.is_empty())
             .map(|(k, _)| k)
-            .min_by_key(|k| accesses.get(k).copied().unwrap_or(0))
+            .min_by_key(|&&k| (accesses.get(&k).copied().unwrap_or(0), k))
         else {
             break;
         };
@@ -159,23 +262,19 @@ pub fn run_dse(program: &Program, harness: &Harness, config: &EngineConfig) -> R
             continue;
         }
 
-        // Generational search: flip every clause of the trace.
-        let flips = trace.path.len().min(config.max_flips_per_trace);
-        for k in 0..flips {
-            if report.executions + buckets.values().map(Vec::len).sum::<usize>()
-                >= config.max_executions * 4
-            {
-                break;
-            }
-            let result = solve_flip(
-                &trace,
-                k,
-                config.support,
-                &solver,
-                config.refinement_limit,
-                &config.build,
-            );
-            report.queries.push(result.record.clone());
+        // Generational search: flip every clause of the trace. The
+        // queue-growth budget is fixed *before* solving (at most `room`
+        // flips can enqueue anything), so the set of solved flips — and
+        // with it the report — does not depend on solve results
+        // arriving in any particular order.
+        let queued: usize = buckets.values().map(Vec::len).sum();
+        let room = (config.max_executions * 4).saturating_sub(report.executions + queued);
+        let flips = trace.path.len().min(config.max_flips_per_trace).min(room);
+        let results = solve_trace_flips(&trace, flips, config, &solver, caches, flip_workers);
+
+        // Deterministic post-processing in clause order.
+        for (k, result) in results.into_iter().enumerate() {
+            report.record_query(result.record);
             if let Some(mut inputs) = result.inputs {
                 // Pad to the harness arity.
                 while inputs.len() < harness.input_count() {
@@ -192,6 +291,57 @@ pub fn run_dse(program: &Program, harness: &Harness, config: &EngineConfig) -> R
         }
     }
     report
+}
+
+/// Solves the first `flips` clause flips of a trace, returning results
+/// indexed by clause — concurrently over `workers` scoped threads when
+/// more than one is requested, serially otherwise. Work is handed out
+/// through an atomic cursor; results land in their clause slot, so the
+/// returned order (and everything derived from it) is
+/// worker-count-independent.
+fn solve_trace_flips(
+    trace: &crate::sym::Trace,
+    flips: usize,
+    config: &EngineConfig,
+    solver: &Solver,
+    caches: &DseCaches,
+    workers: usize,
+) -> Vec<FlipResult> {
+    let one_flip = |k: usize| {
+        solve_flip(
+            trace,
+            k,
+            config.support,
+            solver,
+            config.refinement_limit,
+            &config.build,
+            caches,
+        )
+    };
+    if workers <= 1 || flips <= 1 {
+        return (0..flips).map(one_flip).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<FlipResult>>> = Mutex::new((0..flips).map(|_| None).collect());
+    thread::scope(|scope| {
+        for _ in 0..workers.min(flips) {
+            scope.spawn(|_| loop {
+                let k = cursor.fetch_add(1, Ordering::Relaxed);
+                if k >= flips {
+                    break;
+                }
+                let result = one_flip(k);
+                slots.lock()[k] = Some(result);
+            });
+        }
+    })
+    .expect("flip worker panicked");
+    slots
+        .into_inner()
+        .into_iter()
+        .map(|slot| slot.expect("all flips solved"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -293,6 +443,103 @@ mod tests {
             .expect("bug input matches the regex");
         assert_eq!(m.group(1), Some("timeout"));
         assert_eq!(m.group(2), Some(""));
+    }
+
+    /// Everything except timing- and scheduling-dependent fields
+    /// (durations, cache hit/miss splits under concurrency).
+    fn comparable(r: &Report) -> impl PartialEq + std::fmt::Debug {
+        (
+            r.coverage.clone(),
+            r.stmt_count,
+            r.executions,
+            r.tests_generated,
+            r.bugs.clone(),
+            r.queries
+                .iter()
+                .map(|q| {
+                    (
+                        q.modeled_regex,
+                        q.had_captures,
+                        q.refinements,
+                        q.limit_hit,
+                        q.sat,
+                    )
+                })
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    #[test]
+    fn report_identical_across_flip_worker_counts() {
+        let src = r#"function f(x) {
+            let m = /^<([a-z]+)>$/.exec(x);
+            if (m) { if (m[1] === "timeout") { return 1; } return 2; }
+            if (x === "plain") { return 3; }
+            return 0;
+        }"#;
+        let base = EngineConfig {
+            max_executions: 12,
+            ..EngineConfig::default()
+        };
+        let serial = run(
+            src,
+            Harness::strings("f", 1),
+            EngineConfig {
+                flip_workers: 1,
+                ..base.clone()
+            },
+        );
+        let parallel = run(
+            src,
+            Harness::strings("f", 1),
+            EngineConfig {
+                flip_workers: 8,
+                ..base.clone()
+            },
+        );
+        let auto = run(
+            src,
+            Harness::strings("f", 1),
+            EngineConfig {
+                flip_workers: 0,
+                ..base
+            },
+        );
+        assert_eq!(comparable(&serial), comparable(&parallel));
+        assert_eq!(comparable(&serial), comparable(&auto));
+    }
+
+    #[test]
+    fn caches_do_not_change_the_report() {
+        let src = r#"function f(x) {
+            if (/^[0-9]+$/.test(x)) { return "digits"; }
+            if (/^[a-z]+$/.test(x)) { return "alpha"; }
+            return "other";
+        }"#;
+        let cached = run(
+            src,
+            Harness::strings("f", 1),
+            EngineConfig {
+                max_executions: 12,
+                ..EngineConfig::default()
+            },
+        );
+        let uncached = run(
+            src,
+            Harness::strings("f", 1),
+            EngineConfig {
+                max_executions: 12,
+                model_cache_capacity: 0,
+                query_cache_capacity: 0,
+                ..EngineConfig::default()
+            },
+        );
+        assert_eq!(comparable(&cached), comparable(&uncached));
+        // The cached run must actually have exercised the caches.
+        assert!(cached.model_cache_hits > 0, "{cached:?}");
+        assert!(cached.query_cache_hits > 0);
+        assert_eq!(uncached.model_cache_hits, 0);
+        assert_eq!(uncached.query_cache_hits, 0);
     }
 
     #[test]

@@ -30,6 +30,7 @@
 
 pub mod ast;
 pub mod batch;
+pub mod caching;
 pub mod engine;
 pub mod interp;
 pub mod lexer;
@@ -39,7 +40,8 @@ pub mod sym;
 pub mod value;
 
 pub use batch::{run_batch, Job};
-pub use engine::{run_dse, EngineConfig, Report};
+pub use caching::DseCaches;
+pub use engine::{run_dse, run_dse_with_caches, EngineConfig, Report};
 pub use interp::{execute, ArgSpec, Harness, InterpConfig};
 pub use solve::{solve_flip, FlipResult, QueryRecord};
 pub use sym::{Clause, RegexEvent, SymExpr, Trace};

@@ -17,6 +17,7 @@ use expose_core::negate::nnf_negate;
 use expose_core::SupportLevel;
 use strsolve::{Formula, Outcome, Solver, StrVar, Term, VarPool};
 
+use crate::caching::DseCaches;
 use crate::sym::{RegexEvent, SymExpr, Trace};
 
 /// Statistics for one flip query (rows of Table 8).
@@ -34,6 +35,16 @@ pub struct QueryRecord {
     pub limit_hit: bool,
     /// The verdict (true = SAT with new inputs).
     pub sat: bool,
+    /// Regex models served from the shared model cache.
+    pub model_cache_hits: u64,
+    /// Regex models built fresh (cache miss or cache disabled).
+    pub model_cache_misses: u64,
+    /// Solver calls answered from the shared query cache.
+    pub query_cache_hits: u64,
+    /// Solver calls that ran the full search.
+    pub query_cache_misses: u64,
+    /// Search-tree nodes visited across all solver calls of the query.
+    pub solver_nodes: u64,
 }
 
 /// The result of solving one flipped path condition.
@@ -47,6 +58,11 @@ pub struct FlipResult {
 
 /// Builds and solves the query for flipping clause `flip_index` of the
 /// trace under the given support level.
+///
+/// Regex models are obtained through `caches.model`; solver queries go
+/// through whatever result cache is attached to `solver` (the engine
+/// attaches `caches.query`). Pass [`DseCaches::disabled`] to measure
+/// the uncached baseline.
 pub fn solve_flip(
     trace: &Trace,
     flip_index: usize,
@@ -54,6 +70,7 @@ pub fn solve_flip(
     solver: &Solver,
     refinement_limit: usize,
     build: &BuildConfig,
+    caches: &DseCaches,
 ) -> FlipResult {
     let started = std::time::Instant::now();
     let mut builder = QueryBuilder {
@@ -63,6 +80,10 @@ pub fn solve_flip(
         constraints: HashMap::new(),
         polarity: HashMap::new(),
         build: build.clone(),
+        support,
+        caches,
+        model_cache_hits: 0,
+        model_cache_misses: 0,
         infeasible: false,
     };
 
@@ -84,6 +105,8 @@ pub fn solve_flip(
             .constraints
             .values()
             .any(|c| c.captures.len() > 1 || c.regex.ast.has_backref()),
+        model_cache_hits: builder.model_cache_hits,
+        model_cache_misses: builder.model_cache_misses,
         ..QueryRecord::default()
     };
 
@@ -98,23 +121,35 @@ pub fn solve_flip(
     }
 
     let problem = Formula::and(conjuncts);
-    let constraints: Vec<CapturingConstraint> = builder.constraints.values().cloned().collect();
+    // Event order, not map order: the constraint sequence becomes the
+    // conjunct order of the CEGAR problem, and with it the solver's
+    // search order — map iteration order would make verdicts (and the
+    // reproduced tables) vary run to run.
+    let constraints: Vec<CapturingConstraint> = {
+        let mut events: Vec<usize> = builder.constraints.keys().copied().collect();
+        events.sort_unstable();
+        events
+            .into_iter()
+            .map(|e| builder.constraints[&e].clone())
+            .collect()
+    };
 
-    let (outcome, refinements, limit_hit) = if support.refines() {
+    let (outcome, refinements, limit_hit, solver_stats) = if support.refines() {
         let cegar = CegarSolver::new(solver.clone(), refinement_limit);
         let result = cegar.solve(&problem, &constraints);
         (
             result.outcome,
             result.stats.refinements,
             result.stats.limit_hit,
+            result.stats.solver,
         )
     } else {
         // Captures-without-refinement ablation: conjoin the models and
         // accept the first assignment (may be spurious — Table 7).
         let mut parts = vec![problem];
         parts.extend(constraints.iter().map(|c| c.formula.clone()));
-        let (outcome, _stats) = solver.solve(&Formula::and(parts));
-        (outcome, 0, false)
+        let (outcome, stats) = solver.solve(&Formula::and(parts));
+        (outcome, 0, false, stats)
     };
 
     let inputs = match outcome {
@@ -142,6 +177,9 @@ pub fn solve_flip(
             refinements,
             limit_hit,
             sat: inputs.is_some(),
+            query_cache_hits: solver_stats.cache_hits,
+            query_cache_misses: solver_stats.cache_misses,
+            solver_nodes: solver_stats.nodes,
             ..record_base
         },
         inputs,
@@ -155,6 +193,10 @@ struct QueryBuilder<'a> {
     constraints: HashMap<usize, CapturingConstraint>,
     polarity: HashMap<usize, bool>,
     build: BuildConfig,
+    support: SupportLevel,
+    caches: &'a DseCaches,
+    model_cache_hits: u64,
+    model_cache_misses: u64,
     infeasible: bool,
 }
 
@@ -182,8 +224,18 @@ impl QueryBuilder<'_> {
         }
         self.polarity.insert(event, positive);
         let info = &self.events[event];
-        let constraint =
-            expose_core::build_match_model(&info.regex, positive, &mut self.pool, &self.build);
+        let (constraint, cache_hit) = self.caches.model.get_or_build(
+            &info.regex,
+            positive,
+            self.support,
+            &mut self.pool,
+            &self.build,
+        );
+        if cache_hit {
+            self.model_cache_hits += 1;
+        } else {
+            self.model_cache_misses += 1;
+        }
         // Tie the model's input variable to the subject expression.
         let subject_terms = self.string_terms(&info.subject.clone());
         let tie = match subject_terms {
@@ -366,6 +418,7 @@ mod tests {
             &Solver::default(),
             20,
             &BuildConfig::default(),
+            &DseCaches::disabled(),
         )
     }
 
@@ -440,7 +493,58 @@ mod tests {
             &Solver::default(),
             20,
             &BuildConfig::default(),
+            &DseCaches::disabled(),
         );
         assert!(result.inputs.is_none());
+    }
+
+    #[test]
+    fn cached_and_uncached_flip_agree() {
+        // The same flip solved through warm caches and with caches
+        // disabled must produce the same verdict and inputs.
+        let src = r#"function f(x) { let ok = /^go+d$/.test(x); return ok; }"#;
+        let program = parse_program(src).expect("parse");
+        let trace = execute(
+            &program,
+            &Harness::strings("f", 1),
+            &["nope".to_string()],
+            &InterpConfig::default(),
+        );
+        let k = trace.path.len() - 1;
+        let uncached = solve_flip(
+            &trace,
+            k,
+            SupportLevel::Refinement,
+            &Solver::default(),
+            20,
+            &BuildConfig::default(),
+            &DseCaches::disabled(),
+        );
+        let caches = DseCaches::new(64, 64);
+        let solver = Solver::default().with_cache(caches.query.clone());
+        // Twice: the second run exercises the hit paths of both caches.
+        let cold = solve_flip(
+            &trace,
+            k,
+            SupportLevel::Refinement,
+            &solver,
+            20,
+            &BuildConfig::default(),
+            &caches,
+        );
+        let warm = solve_flip(
+            &trace,
+            k,
+            SupportLevel::Refinement,
+            &solver,
+            20,
+            &BuildConfig::default(),
+            &caches,
+        );
+        assert_eq!(uncached.inputs, cold.inputs);
+        assert_eq!(uncached.inputs, warm.inputs);
+        assert_eq!(cold.record.model_cache_hits, 0);
+        assert!(warm.record.model_cache_hits >= 1);
+        assert!(warm.record.query_cache_hits >= 1);
     }
 }

@@ -401,7 +401,7 @@ pub mod collection {
         VecStrategy { element, len }
     }
 
-    /// The [`vec`] strategy.
+    /// The [`vec()`] strategy.
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,

@@ -1,0 +1,414 @@
+//! Cross-query solver result caching.
+//!
+//! DSE traces re-encounter near-identical path conditions thousands of
+//! times: a child trace shares its path prefix with the parent, so the
+//! flip queries along that prefix are *exactly* the queries the parent
+//! already solved — up to variable numbering, which differs because
+//! every [`crate::solver::Solver::solve`] call works against a fresh
+//! [`crate::VarPool`]. [`QueryCache`] closes that gap by keying results on a
+//! *canonicalized* formula (variables renumbered in first-occurrence
+//! order) plus a [`SolverConfig`] fingerprint, and storing verdicts with
+//! models in canonical variable space so a hit can be rehydrated into
+//! any pool's numbering.
+//!
+//! Caching is sound here because the solver is deterministic: for a
+//! given formula and limits it always returns the same verdict and the
+//! same model, so a hit returns exactly what a fresh solve would. The
+//! one place that must *not* consult the cache is the CEGAR refinement
+//! loop after lemmas have been learned — see
+//! `expose_core::cegar::CegarSolver`, which solves refined problems
+//! through [`crate::solver::Solver::solve_uncached`].
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use crate::config::SolverConfig;
+use crate::formula::{Atom, Formula};
+use crate::model::Model;
+use crate::solver::Outcome;
+use crate::stats::SolveStats;
+use crate::vars::{BoolVar, StrVar, Term};
+
+/// A capacity-bounded map with least-recently-used eviction.
+///
+/// Recency is tracked with a monotonic tick; eviction scans for the
+/// minimum (capacities are small and evictions rare, so the linear scan
+/// beats the bookkeeping of an intrusive list). A capacity of `0`
+/// disables the map: inserts are dropped and lookups always miss.
+#[derive(Debug)]
+pub struct Lru<K, V> {
+    capacity: usize,
+    tick: u64,
+    entries: HashMap<K, (V, u64)>,
+}
+
+impl<K: Eq + Hash + Clone, V> Lru<K, V> {
+    /// Creates a map holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> Lru<K, V> {
+        Lru {
+            capacity,
+            tick: 0,
+            entries: HashMap::new(),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entry is resident.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up a key, refreshing its recency.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.entries.get_mut(key).map(|(value, last)| {
+            *last = tick;
+            &*value
+        })
+    }
+
+    /// Inserts an entry, evicting the least-recently-used one when at
+    /// capacity. No-op when the capacity is `0`.
+    pub fn insert(&mut self, key: K, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&key) {
+            if let Some(oldest) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, last))| *last)
+                .map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&oldest);
+            }
+        }
+        self.entries.insert(key, (value, self.tick));
+    }
+}
+
+/// A formula renumbered into canonical variable space, with the maps
+/// back to the original variables.
+struct Canonical {
+    formula: Formula,
+    /// Canonical string index → original variable.
+    strs: Vec<StrVar>,
+    /// Canonical boolean index → original variable.
+    bools: Vec<BoolVar>,
+}
+
+fn canonicalize(formula: &Formula) -> Canonical {
+    struct Renumber {
+        str_map: HashMap<StrVar, u32>,
+        bool_map: HashMap<BoolVar, u32>,
+        strs: Vec<StrVar>,
+        bools: Vec<BoolVar>,
+    }
+    impl Renumber {
+        fn str_var(&mut self, v: StrVar) -> StrVar {
+            if let Some(&id) = self.str_map.get(&v) {
+                return StrVar(id);
+            }
+            let id = self.strs.len() as u32;
+            self.str_map.insert(v, id);
+            self.strs.push(v);
+            StrVar(id)
+        }
+        fn bool_var(&mut self, v: BoolVar) -> BoolVar {
+            if let Some(&id) = self.bool_map.get(&v) {
+                return BoolVar(id);
+            }
+            let id = self.bools.len() as u32;
+            self.bool_map.insert(v, id);
+            self.bools.push(v);
+            BoolVar(id)
+        }
+        fn term(&mut self, t: &Term) -> Term {
+            match t {
+                Term::Var(v) => Term::Var(self.str_var(*v)),
+                Term::Lit(s) => Term::Lit(s.clone()),
+            }
+        }
+        fn formula(&mut self, f: &Formula) -> Formula {
+            match f {
+                Formula::Atom(a) => Formula::Atom(self.atom(a)),
+                Formula::And(items) => {
+                    Formula::And(items.iter().map(|f| self.formula(f)).collect())
+                }
+                Formula::Or(items) => Formula::Or(items.iter().map(|f| self.formula(f)).collect()),
+            }
+        }
+        fn atom(&mut self, a: &Atom) -> Atom {
+            match a {
+                Atom::InRe(v, re) => Atom::InRe(self.str_var(*v), re.clone()),
+                Atom::NotInRe(v, re) => Atom::NotInRe(self.str_var(*v), re.clone()),
+                Atom::EqLit(v, lit) => Atom::EqLit(self.str_var(*v), lit.clone()),
+                Atom::NeLit(v, lit) => Atom::NeLit(self.str_var(*v), lit.clone()),
+                Atom::EqVar(v, u) => Atom::EqVar(self.str_var(*v), self.str_var(*u)),
+                Atom::NeVar(v, u) => Atom::NeVar(self.str_var(*v), self.str_var(*u)),
+                Atom::EqConcat(v, parts) => Atom::EqConcat(
+                    self.str_var(*v),
+                    parts.iter().map(|t| self.term(t)).collect(),
+                ),
+                Atom::Bool(flag, value) => Atom::Bool(self.bool_var(*flag), *value),
+                Atom::True => Atom::True,
+                Atom::False => Atom::False,
+            }
+        }
+    }
+    let mut renumber = Renumber {
+        str_map: HashMap::new(),
+        bool_map: HashMap::new(),
+        strs: Vec::new(),
+        bools: Vec::new(),
+    };
+    let formula = renumber.formula(formula);
+    Canonical {
+        formula,
+        strs: renumber.strs,
+        bools: renumber.bools,
+    }
+}
+
+/// A verdict stored in canonical variable space.
+#[derive(Debug, Clone)]
+enum CachedVerdict {
+    /// Satisfiable; assignments keyed by canonical variable index.
+    Sat {
+        strs: Vec<(u32, String)>,
+        bools: Vec<(u32, bool)>,
+    },
+    Unsat,
+    Unknown,
+}
+
+/// A shared, thread-safe, capacity-bounded solver result cache.
+///
+/// Hand one instance (behind an `Arc`) to every [`crate::Solver`] whose
+/// queries should share verdicts — across clause flips, traces, and
+/// batch jobs. See the module docs for the soundness argument.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use strsolve::{cache::QueryCache, Formula, Solver, VarPool};
+///
+/// let cache = Arc::new(QueryCache::new(128));
+/// let solver = Solver::default().with_cache(cache.clone());
+/// let mut pool = VarPool::new();
+/// let v = pool.fresh_str("v");
+/// let formula = Formula::eq_lit(v, "hello");
+/// let (first, _) = solver.solve(&formula);
+/// let (second, _) = solver.solve(&formula);
+/// assert_eq!(first, second);
+/// assert_eq!(cache.hits(), 1);
+/// assert_eq!(cache.misses(), 1);
+/// ```
+#[derive(Debug)]
+pub struct QueryCache {
+    entries: Mutex<Lru<(Formula, u64), CachedVerdict>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl QueryCache {
+    /// Creates a cache holding at most `capacity` verdicts
+    /// (`0` disables caching).
+    pub fn new(capacity: usize) -> QueryCache {
+        QueryCache {
+            entries: Mutex::new(Lru::new(capacity)),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured capacity (`0` = disabled).
+    pub fn capacity(&self) -> usize {
+        self.entries.lock().capacity()
+    }
+
+    /// Total lookups answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Total lookups that fell through to the solver.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Hit rate in `[0, 1]` (`0` when no lookup happened yet).
+    pub fn hit_rate(&self) -> f64 {
+        let hits = self.hits() as f64;
+        let total = hits + self.misses() as f64;
+        if total == 0.0 {
+            0.0
+        } else {
+            hits / total
+        }
+    }
+
+    /// Resident entry count.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// True when the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.lock().is_empty()
+    }
+
+    /// Answers `formula` from the cache, or runs `solve` and stores the
+    /// verdict. The returned stats carry `cache_hits`/`cache_misses` so
+    /// callers can aggregate hit rates per query.
+    pub(crate) fn solve_through(
+        &self,
+        formula: &Formula,
+        config: &SolverConfig,
+        solve: impl FnOnce(&Formula) -> (Outcome, SolveStats),
+    ) -> (Outcome, SolveStats) {
+        let started = Instant::now();
+        let Canonical {
+            formula: canon_formula,
+            strs: str_vars,
+            bools: bool_vars,
+        } = canonicalize(formula);
+        let key = (canon_formula, config.fingerprint());
+        let cached = self.entries.lock().get(&key).cloned();
+        if let Some(verdict) = cached {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            let outcome = match verdict {
+                CachedVerdict::Sat { strs, bools } => {
+                    let mut model = Model::new();
+                    for (canon, value) in strs {
+                        model.set_str(str_vars[canon as usize], value);
+                    }
+                    for (canon, value) in bools {
+                        model.set_bool(bool_vars[canon as usize], value);
+                    }
+                    Outcome::Sat(model)
+                }
+                CachedVerdict::Unsat => Outcome::Unsat,
+                CachedVerdict::Unknown => Outcome::Unknown,
+            };
+            let stats = SolveStats {
+                duration: started.elapsed(),
+                cache_hits: 1,
+                ..SolveStats::default()
+            };
+            return (outcome, stats);
+        }
+
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let (outcome, mut stats) = solve(formula);
+        stats.cache_misses += 1;
+        let verdict = match &outcome {
+            Outcome::Sat(model) => {
+                // Store the model in canonical space. Every assigned
+                // variable appears in the formula (the solver only sees
+                // the formula), so the reverse maps are total.
+                let strs = str_vars
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, v)| model.get_str(*v).map(|s| (i as u32, s.to_string())))
+                    .collect();
+                // Only what the solver assigned — storing `get_bool`'s
+                // `false` default for untouched variables would make a
+                // rehydrated model differ from a fresh solve's.
+                let bools = bool_vars
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, v)| model.try_get_bool(*v).map(|b| (i as u32, b)))
+                    .collect();
+                CachedVerdict::Sat { strs, bools }
+            }
+            Outcome::Unsat => CachedVerdict::Unsat,
+            Outcome::Unknown => CachedVerdict::Unknown,
+        };
+        self.entries.lock().insert(key, verdict);
+        (outcome, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::Solver;
+    use crate::vars::VarPool;
+    use std::sync::Arc;
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut lru: Lru<u32, &str> = Lru::new(2);
+        lru.insert(1, "one");
+        lru.insert(2, "two");
+        assert_eq!(lru.get(&1), Some(&"one")); // refresh 1
+        lru.insert(3, "three"); // evicts 2
+        assert_eq!(lru.get(&2), None);
+        assert_eq!(lru.get(&1), Some(&"one"));
+        assert_eq!(lru.get(&3), Some(&"three"));
+        assert_eq!(lru.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables_storage() {
+        let mut lru: Lru<u32, &str> = Lru::new(0);
+        lru.insert(1, "one");
+        assert!(lru.is_empty());
+        assert_eq!(lru.get(&1), None);
+    }
+
+    #[test]
+    fn hit_across_distinct_pools() {
+        // The same structural query from two different pools (different
+        // raw indices) must share one cache entry, and the hit's model
+        // must be expressed in the asking pool's variables.
+        let cache = Arc::new(QueryCache::new(16));
+        let solver = Solver::default().with_cache(cache.clone());
+
+        let mut pool_a = VarPool::new();
+        let a = pool_a.fresh_str("a");
+        let (first, stats_a) = solver.solve(&Formula::eq_lit(a, "x"));
+        assert_eq!(stats_a.cache_misses, 1);
+
+        let mut pool_b = VarPool::new();
+        let _padding = pool_b.fresh_str("pad");
+        let b = pool_b.fresh_str("b");
+        let (second, stats_b) = solver.solve(&Formula::eq_lit(b, "x"));
+        assert_eq!(stats_b.cache_hits, 1);
+
+        assert_eq!(first.model().unwrap().get_str(a), Some("x"));
+        assert_eq!(second.model().unwrap().get_str(b), Some("x"));
+        assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn different_limits_do_not_share_verdicts() {
+        let cache = Arc::new(QueryCache::new(16));
+        let fast = Solver::new(SolverConfig::fast()).with_cache(cache.clone());
+        let thorough = Solver::new(SolverConfig::thorough()).with_cache(cache.clone());
+        let mut pool = VarPool::new();
+        let v = pool.fresh_str("v");
+        let f = Formula::eq_lit(v, "x");
+        fast.solve(&f);
+        thorough.solve(&f);
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.hits(), 0);
+    }
+}

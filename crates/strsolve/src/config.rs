@@ -17,6 +17,12 @@ pub struct SolverConfig {
     pub max_nodes: u64,
     /// Maximum boolean (disjunction) branches explored.
     pub max_bool_branches: u64,
+    /// Capacity of the per-solver compiled-DFA cache (`0` disables
+    /// it). Purely an amortization knob: determinizing the same regex
+    /// under the same alphabet always yields the same DFA, so this
+    /// never affects verdicts (and is therefore *not* part of
+    /// [`SolverConfig::fingerprint`]).
+    pub dfa_cache_capacity: usize,
 }
 
 impl Default for SolverConfig {
@@ -26,11 +32,38 @@ impl Default for SolverConfig {
             max_candidates_per_var: 64,
             max_nodes: 100_000,
             max_bool_branches: 4_096,
+            dfa_cache_capacity: 512,
         }
     }
 }
 
 impl SolverConfig {
+    /// A stable fingerprint of the limits, used as part of the result
+    /// cache key: a cached verdict (including `Unknown`, which encodes
+    /// budget exhaustion) is only valid under identical limits.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        // Exhaustive destructuring: adding a field fails compilation
+        // here, forcing a decision on whether it affects verdicts
+        // (hash it) or is a pure amortization knob (bind it to `_`).
+        let SolverConfig {
+            max_word_len,
+            max_candidates_per_var,
+            max_nodes,
+            max_bool_branches,
+            dfa_cache_capacity: _,
+        } = self;
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        (
+            max_word_len,
+            max_candidates_per_var,
+            max_nodes,
+            max_bool_branches,
+        )
+            .hash(&mut hasher);
+        hasher.finish()
+    }
+
     /// A small-budget configuration for latency-sensitive callers.
     pub fn fast() -> SolverConfig {
         SolverConfig {
@@ -38,6 +71,7 @@ impl SolverConfig {
             max_candidates_per_var: 128,
             max_nodes: 10_000,
             max_bool_branches: 512,
+            ..SolverConfig::default()
         }
     }
 
@@ -48,6 +82,7 @@ impl SolverConfig {
             max_candidates_per_var: 4_096,
             max_nodes: 1_000_000,
             max_bool_branches: 65_536,
+            ..SolverConfig::default()
         }
     }
 }
@@ -55,6 +90,18 @@ impl SolverConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fingerprint_distinguishes_limits() {
+        assert_eq!(
+            SolverConfig::default().fingerprint(),
+            SolverConfig::default().fingerprint()
+        );
+        assert_ne!(
+            SolverConfig::default().fingerprint(),
+            SolverConfig::fast().fingerprint()
+        );
+    }
 
     #[test]
     fn presets_are_ordered() {

@@ -16,7 +16,7 @@ use automata::CRegex;
 use crate::vars::{BoolVar, StrVar, Term};
 
 /// An atomic constraint.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Atom {
     /// `v ∈ L(re)`.
     InRe(StrVar, Arc<CRegex>),
@@ -68,7 +68,7 @@ impl fmt::Display for Atom {
 }
 
 /// A formula in negation normal form.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Formula {
     /// An atomic constraint.
     Atom(Atom),
@@ -186,6 +186,27 @@ impl Formula {
         }
     }
 
+    /// The formula with every variable shifted by the given offsets —
+    /// the counterpart of [`crate::VarPool::absorb`] for rebasing a
+    /// formula built against a private pool into another pool.
+    pub fn offset_vars(&self, str_offset: u32, bool_offset: u32) -> Formula {
+        match self {
+            Formula::Atom(a) => Formula::Atom(offset_atom(a, str_offset, bool_offset)),
+            Formula::And(items) => Formula::And(
+                items
+                    .iter()
+                    .map(|f| f.offset_vars(str_offset, bool_offset))
+                    .collect(),
+            ),
+            Formula::Or(items) => Formula::Or(
+                items
+                    .iter()
+                    .map(|f| f.offset_vars(str_offset, bool_offset))
+                    .collect(),
+            ),
+        }
+    }
+
     /// Counts `Or` nodes (proxy for boolean search breadth).
     pub fn or_count(&self) -> usize {
         match self {
@@ -193,6 +214,27 @@ impl Formula {
             Formula::And(items) => items.iter().map(Formula::or_count).sum(),
             Formula::Or(items) => 1 + items.iter().map(Formula::or_count).sum::<usize>(),
         }
+    }
+}
+
+fn offset_atom(atom: &Atom, s: u32, b: u32) -> Atom {
+    let term = |t: &Term| match t {
+        Term::Var(v) => Term::Var(v.offset_by(s)),
+        Term::Lit(lit) => Term::Lit(lit.clone()),
+    };
+    match atom {
+        Atom::InRe(v, re) => Atom::InRe(v.offset_by(s), re.clone()),
+        Atom::NotInRe(v, re) => Atom::NotInRe(v.offset_by(s), re.clone()),
+        Atom::EqLit(v, lit) => Atom::EqLit(v.offset_by(s), lit.clone()),
+        Atom::NeLit(v, lit) => Atom::NeLit(v.offset_by(s), lit.clone()),
+        Atom::EqVar(v, u) => Atom::EqVar(v.offset_by(s), u.offset_by(s)),
+        Atom::NeVar(v, u) => Atom::NeVar(v.offset_by(s), u.offset_by(s)),
+        Atom::EqConcat(v, parts) => {
+            Atom::EqConcat(v.offset_by(s), parts.iter().map(term).collect())
+        }
+        Atom::Bool(flag, value) => Atom::Bool(flag.offset_by(b), *value),
+        Atom::True => Atom::True,
+        Atom::False => Atom::False,
     }
 }
 
@@ -274,6 +316,29 @@ mod tests {
         ]);
         assert_eq!(f.atom_count(), 3);
         assert_eq!(f.or_count(), 1);
+    }
+
+    #[test]
+    fn offset_vars_shifts_every_variable_kind() {
+        let mut pool = VarPool::new();
+        let v = pool.fresh_str("v");
+        let u = pool.fresh_str("u");
+        let b = pool.fresh_bool("b");
+        let f = Formula::and(vec![
+            Formula::eq_concat(v, vec![Term::lit("a"), Term::Var(u)]),
+            Formula::bool_is(b, true),
+            Formula::ne_var(v, u),
+        ]);
+        let shifted = f.offset_vars(10, 3);
+        let expected = Formula::and(vec![
+            Formula::eq_concat(
+                v.offset_by(10),
+                vec![Term::lit("a"), Term::Var(u.offset_by(10))],
+            ),
+            Formula::bool_is(b.offset_by(3), true),
+            Formula::ne_var(v.offset_by(10), u.offset_by(10)),
+        ]);
+        assert_eq!(shifted, expected);
     }
 
     #[test]

@@ -31,6 +31,7 @@
 //! assert_eq!(model.get_str(w), Some("<a>"));
 //! ```
 
+pub mod cache;
 pub mod config;
 pub mod formula;
 pub mod model;
@@ -38,6 +39,7 @@ pub mod solver;
 pub mod stats;
 pub mod vars;
 
+pub use cache::{Lru, QueryCache};
 pub use config::SolverConfig;
 pub use formula::{Atom, Formula};
 pub use model::Model;

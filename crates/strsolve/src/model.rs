@@ -55,6 +55,13 @@ impl Model {
     pub fn iter_strings(&self) -> impl Iterator<Item = (StrVar, &str)> + '_ {
         self.strings.iter().map(|(&v, s)| (v, s.as_str()))
     }
+
+    /// The value of a boolean variable, `None` when unassigned
+    /// (distinct from [`Model::get_bool`]'s `false` default — used by
+    /// the result cache to store exactly what the solver assigned).
+    pub fn try_get_bool(&self, v: BoolVar) -> Option<bool> {
+        self.bools.get(&v).copied()
+    }
 }
 
 #[cfg(test)]

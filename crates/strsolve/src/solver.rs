@@ -79,15 +79,42 @@ impl Outcome {
 /// let model = outcome.model().expect("satisfiable");
 /// assert_eq!(model.get_str(w), Some("aab"));
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Solver {
     config: SolverConfig,
+    cache: Option<Arc<crate::cache::QueryCache>>,
+    dfas: Arc<DfaCache>,
+}
+
+impl Default for Solver {
+    fn default() -> Solver {
+        Solver::new(SolverConfig::default())
+    }
 }
 
 impl Solver {
     /// Creates a solver with the given limits.
     pub fn new(config: SolverConfig) -> Solver {
-        Solver { config }
+        let dfas = Arc::new(DfaCache::new(config.dfa_cache_capacity));
+        Solver {
+            config,
+            cache: None,
+            dfas,
+        }
+    }
+
+    /// Attaches a shared cross-query result cache: [`Solver::solve`]
+    /// answers structurally repeated queries from it. See
+    /// [`crate::cache`] for when this is sound (always, except inside
+    /// lemma-learning loops, which must use [`Solver::solve_uncached`]).
+    pub fn with_cache(mut self, cache: Arc<crate::cache::QueryCache>) -> Solver {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The attached result cache, if any.
+    pub fn cache(&self) -> Option<&Arc<crate::cache::QueryCache>> {
+        self.cache.as_ref()
     }
 
     /// The configured limits.
@@ -96,13 +123,28 @@ impl Solver {
     }
 
     /// Decides a formula, returning the verdict and query statistics.
+    /// Consults the attached result cache, when one is present.
     pub fn solve(&self, formula: &Formula) -> (Outcome, SolveStats) {
+        match &self.cache {
+            Some(cache) => cache.solve_through(formula, &self.config, |f| self.solve_uncached(f)),
+            None => self.solve_uncached(formula),
+        }
+    }
+
+    /// Decides a formula without touching the result cache — the
+    /// correctness escape hatch for refinement loops whose learned
+    /// lemmas make formulas context-dependent. (The compiled-DFA cache
+    /// stays active: a DFA is a pure function of regex and alphabet,
+    /// so reuse can never change a verdict.)
+    pub fn solve_uncached(&self, formula: &Formula) -> (Outcome, SolveStats) {
         let start = Instant::now();
         let mut search = Search {
             config: &self.config,
+            dfas: &self.dfas,
             stats: SolveStats::default(),
             nodes_left: self.config.max_nodes,
             branches_left: self.config.max_bool_branches,
+            word_dfa_memo: HashMap::new(),
         };
         let mut atoms = Vec::new();
         let outcome = search.boolean_dfs(&[formula], &mut atoms);
@@ -111,11 +153,74 @@ impl Solver {
     }
 }
 
+/// A cache of compiled (and optionally complemented) DFAs, keyed by
+/// structural `(regex, alphabet)` identity. Determinization is the
+/// solver's single most repeated expense: the same membership
+/// constraint is re-lowered for every boolean branch, every CEGAR
+/// iteration, and every query that mentions the regex. Sharing the
+/// compiled automaton is free of behavioral risk — the construction is
+/// deterministic, so a hit is byte-identical to a rebuild.
+#[derive(Debug)]
+pub(crate) struct DfaCache {
+    entries: parking_lot::Mutex<crate::cache::Lru<DfaKey, Arc<Dfa>>>,
+}
+
+/// What a cached DFA was compiled from. Alphabets compare by content,
+/// so structurally equal alphabets from different conjunctions share
+/// entries — and a stale pointer can never alias a different partition.
+/// (Exact-word DFAs are deliberately *not* cached: they are linear in
+/// the word and cheaper to rebuild than to look up through the lock.)
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct DfaKey {
+    re: Arc<CRegex>,
+    alphabet: Arc<Alphabet>,
+    complemented: bool,
+}
+
+impl DfaCache {
+    fn new(capacity: usize) -> DfaCache {
+        DfaCache {
+            entries: parking_lot::Mutex::new(crate::cache::Lru::new(capacity)),
+        }
+    }
+
+    /// The DFA of `re` (complemented when asked) under `alphabet`.
+    /// `stats.dfas_built` counts only actual constructions.
+    fn get_or_build(
+        &self,
+        re: &Arc<CRegex>,
+        alphabet: &Arc<Alphabet>,
+        complemented: bool,
+        stats: &mut SolveStats,
+    ) -> Arc<Dfa> {
+        let key = DfaKey {
+            re: Arc::clone(re),
+            alphabet: Arc::clone(alphabet),
+            complemented,
+        };
+        if let Some(dfa) = self.entries.lock().get(&key) {
+            return Arc::clone(dfa);
+        }
+        stats.dfas_built += 1;
+        let mut dfa = Dfa::from_cregex(re, alphabet);
+        if complemented {
+            dfa = dfa.complement();
+        }
+        let dfa = Arc::new(dfa);
+        self.entries.lock().insert(key, Arc::clone(&dfa));
+        dfa
+    }
+}
+
 struct Search<'a> {
     config: &'a SolverConfig,
+    dfas: &'a DfaCache,
     stats: SolveStats,
     nodes_left: u64,
     branches_left: u64,
+    /// Per-conjunction memo of pinned-word guide DFAs (cleared when a
+    /// new conjunction — and with it a new alphabet — starts).
+    word_dfa_memo: HashMap<String, Arc<Dfa>>,
 }
 
 impl Search<'_> {
@@ -220,6 +325,44 @@ impl Search<'_> {
                     }
                 }
                 _ => {}
+            }
+        }
+
+        // --- Congruence closure over word equations -----------------------
+        // Two variables defined by the *same* concatenation are equal:
+        // `x = t₁ ++ … ++ tₙ ∧ y = t₁ ++ … ++ tₙ ⟹ x = y`. Merging
+        // them makes their regular constraints intersect in one root
+        // DFA, so conflicts prune candidate enumeration instead of
+        // surfacing after every equation completes. (The Algorithm 2
+        // models produce exactly this shape: the wrapped word `⟨input⟩`
+        // is re-derived for every regex applied to the same subject.)
+        loop {
+            let mut rhs_owner: HashMap<Vec<Part>, StrVar> = HashMap::new();
+            let mut changed = false;
+            for atom in atoms {
+                if let Atom::EqConcat(v, parts) = atom {
+                    let key: Vec<Part> = parts
+                        .iter()
+                        .map(|t| match t {
+                            Term::Var(u) => Part::Var(uf.find(*u)),
+                            Term::Lit(s) => Part::Lit(s.clone()),
+                        })
+                        .collect();
+                    let root = uf.find(*v);
+                    match rhs_owner.get(&key) {
+                        Some(&owner) if uf.find(owner) != root => {
+                            uf.union(owner, root);
+                            changed = true;
+                        }
+                        Some(_) => {}
+                        None => {
+                            rhs_owner.insert(key, root);
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
             }
         }
 
@@ -329,7 +472,7 @@ impl Search<'_> {
 
         // --- Per-root DFAs -----------------------------------------------
         let universal = Dfa::universal(&alphabet);
-        let mut dfas: HashMap<StrVar, Dfa> = HashMap::new();
+        let mut dfas: HashMap<StrVar, Arc<Dfa>> = HashMap::new();
         let mut roots: Vec<StrVar> = cons.keys().copied().collect();
         for (lhs, parts) in &equations {
             roots.push(*lhs);
@@ -349,12 +492,14 @@ impl Search<'_> {
             let mut dfa = universal.clone();
             if let Some(info) = cons.get(&root) {
                 for re in &info.pos {
-                    self.stats.dfas_built += 1;
-                    dfa = dfa.intersect(&Dfa::from_cregex(re, &alphabet));
+                    let built = self
+                        .dfas
+                        .get_or_build(re, &alphabet, false, &mut self.stats);
+                    dfa = dfa.intersect(&built);
                 }
                 for re in &info.neg {
-                    self.stats.dfas_built += 1;
-                    dfa = dfa.intersect(&Dfa::from_cregex(re, &alphabet).complement());
+                    let built = self.dfas.get_or_build(re, &alphabet, true, &mut self.stats);
+                    dfa = dfa.intersect(&built);
                 }
                 if let Some(eq) = &info.eq {
                     self.stats.dfas_built += 1;
@@ -368,7 +513,7 @@ impl Search<'_> {
             if dfa.is_empty() {
                 return Outcome::Unsat;
             }
-            dfas.insert(root, dfa);
+            dfas.insert(root, Arc::new(dfa));
         }
 
         // --- Assignment search --------------------------------------------
@@ -468,6 +613,12 @@ impl Search<'_> {
             }
         }
 
+        // The pinned-lhs guide DFAs of the word-equation search are
+        // word-valued and alphabet-specific; a pinned value stays
+        // pinned for a whole search subtree, so memoize the built DFAs
+        // for the duration of this conjunction (the alphabet is fixed
+        // here, and the memo is thread-local to the search — no lock).
+        self.word_dfa_memo.clear();
         match self.assign(&mut ctx, &mut assignment) {
             StepResult::Sat => {
                 let mut model = Model::new();
@@ -504,12 +655,9 @@ impl Search<'_> {
         // Propagate equations to fixpoint; collect newly assigned lhs so
         // we can undo on backtrack.
         let mut trail: Vec<StrVar> = Vec::new();
-        match propagate(ctx, assignment, &mut trail) {
-            Ok(()) => {}
-            Err(()) => {
-                undo(assignment, &trail);
-                return StepResult::Exhausted;
-            }
+        if propagate(ctx, assignment, &mut trail).is_err() {
+            undo(assignment, &trail);
+            return StepResult::Exhausted;
         }
 
         // Pick the next unassigned free variable dynamically,
@@ -562,16 +710,23 @@ impl Search<'_> {
         // `var` are assigned. When the lhs value is already pinned, the
         // guide is the exact-word DFA of that value — the strongest
         // possible residual constraint.
-        let mut guides: Vec<(Dfa, u32)> = Vec::new();
+        let mut guides: Vec<(Arc<Dfa>, u32)> = Vec::new();
         'eqs: for (lhs, parts) in &ctx.equations {
-            let lhs_dfa: Dfa = match assignment.get(lhs) {
-                Some(value) => {
-                    self.stats.dfas_built += 1;
-                    // Class-granularity word DFA: the pinned value may
-                    // contain characters that are not singleton classes.
-                    Dfa::from_word_classes(value, &ctx.alphabet)
-                }
-                None => ctx.dfas[lhs].clone(),
+            let lhs_dfa: Arc<Dfa> = match assignment.get(lhs) {
+                // Class-granularity word DFA: the pinned value may
+                // contain characters that are not singleton classes.
+                // Memoized per conjunction — the same pinned value is
+                // requested at every node of the subtree below the pin.
+                Some(value) => match self.word_dfa_memo.get(value) {
+                    Some(dfa) => Arc::clone(dfa),
+                    None => {
+                        self.stats.dfas_built += 1;
+                        let dfa = Arc::new(Dfa::from_word_classes(value, &ctx.alphabet));
+                        self.word_dfa_memo.insert(value.clone(), Arc::clone(&dfa));
+                        dfa
+                    }
+                },
+                None => Arc::clone(&ctx.dfas[lhs]),
             };
             let mut state = lhs_dfa.start_state();
             for p in parts {
@@ -682,7 +837,7 @@ enum StepResult {
     Truncated,
 }
 
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 enum Part {
     Var(StrVar),
     Lit(String),
@@ -690,7 +845,7 @@ enum Part {
 
 struct StringCtx {
     alphabet: Arc<Alphabet>,
-    dfas: HashMap<StrVar, Dfa>,
+    dfas: HashMap<StrVar, Arc<Dfa>>,
     equations: Vec<(StrVar, Vec<Part>)>,
     order: Vec<StrVar>,
     bools: HashMap<BoolVar, bool>,
@@ -808,6 +963,18 @@ fn propagate(
                     trail.push(var);
                     changed = true;
                 }
+            }
+        }
+    }
+    // Variable disequalities fail as soon as both sides are assigned.
+    // Without this, a doomed pair pinned near the root of the search
+    // tree is only rediscovered by `final_check` at every leaf below
+    // it — an exponential blowup observed in the wild (a §4.4 negated
+    // capture binding burned 27k nodes on one flip query).
+    for &(a, b) in &ctx.ne_pairs {
+        if let (Some(va), Some(vb)) = (assignment.get(&a), assignment.get(&b)) {
+            if va == vb {
+                return Err(());
             }
         }
     }

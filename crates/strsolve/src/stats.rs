@@ -18,6 +18,10 @@ pub struct SolveStats {
     pub truncated: bool,
     /// Number of DFA products/complements built.
     pub dfas_built: u64,
+    /// Queries answered from the cross-query result cache.
+    pub cache_hits: u64,
+    /// Queries that missed the result cache (or ran uncached).
+    pub cache_misses: u64,
 }
 
 impl SolveStats {
@@ -30,6 +34,8 @@ impl SolveStats {
         self.candidates += other.candidates;
         self.truncated |= other.truncated;
         self.dfas_built += other.dfas_built;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
     }
 }
 
@@ -47,11 +53,15 @@ mod tests {
         let b = SolveStats {
             nodes: 7,
             truncated: true,
+            cache_hits: 2,
+            cache_misses: 1,
             ..SolveStats::default()
         };
         a.absorb(&b);
         assert_eq!(a.nodes, 17);
         assert!(a.truncated);
         assert_eq!(a.candidates, 5);
+        assert_eq!(a.cache_hits, 2);
+        assert_eq!(a.cache_misses, 1);
     }
 }

@@ -16,12 +16,24 @@ impl StrVar {
     pub fn index(self) -> u32 {
         self.0
     }
+
+    /// The variable shifted by `by` indices — the pool-rebasing
+    /// primitive used when a formula built against one pool is grafted
+    /// onto another (see [`VarPool::absorb`]).
+    pub fn offset_by(self, by: u32) -> StrVar {
+        StrVar(self.0 + by)
+    }
 }
 
 impl BoolVar {
     /// Raw index (stable within one [`VarPool`]).
     pub fn index(self) -> u32 {
         self.0
+    }
+
+    /// The variable shifted by `by` indices (see [`StrVar::offset_by`]).
+    pub fn offset_by(self, by: u32) -> BoolVar {
+        BoolVar(self.0 + by)
     }
 }
 
@@ -124,6 +136,21 @@ impl VarPool {
     pub fn bool_count(&self) -> usize {
         self.bool_names.len()
     }
+
+    /// Appends every variable of `other` to this pool, returning the
+    /// `(string, boolean)` index offsets at which they were grafted.
+    ///
+    /// A formula built against `other` refers to this pool's copies
+    /// after [`crate::Formula::offset_vars`] with the same offsets —
+    /// this is how cached models built in a private pool are rebased
+    /// into a query's pool.
+    pub fn absorb(&mut self, other: &VarPool) -> (u32, u32) {
+        let str_offset = self.str_names.len() as u32;
+        let bool_offset = self.bool_names.len() as u32;
+        self.str_names.extend(other.str_names.iter().cloned());
+        self.bool_names.extend(other.bool_names.iter().cloned());
+        (str_offset, bool_offset)
+    }
 }
 
 #[cfg(test)]
@@ -146,6 +173,20 @@ mod tests {
         let b = pool.fresh_bool("C1.defined");
         assert_eq!(pool.name(v), "input");
         assert_eq!(pool.bool_name(b), "C1.defined");
+    }
+
+    #[test]
+    fn absorb_rebases_names() {
+        let mut a = VarPool::new();
+        a.fresh_str("x");
+        let mut b = VarPool::new();
+        let v = b.fresh_str("y");
+        let flag = b.fresh_bool("y.defined");
+        let (s, bo) = a.absorb(&b);
+        assert_eq!((s, bo), (1, 0));
+        assert_eq!(a.name(v.offset_by(s)), "y");
+        assert_eq!(a.bool_name(flag.offset_by(bo)), "y.defined");
+        assert_eq!(a.str_count(), 2);
     }
 
     #[test]

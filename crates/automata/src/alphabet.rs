@@ -14,7 +14,7 @@ use crate::charset::CharSet;
 pub type ClassId = u16;
 
 /// A partition of the scalar-value space into disjoint classes.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Alphabet {
     /// Sorted interval boundaries: interval `i` is
     /// `[boundaries[i], boundaries[i+1])`.
@@ -23,6 +23,19 @@ pub struct Alphabet {
     interval_class: Vec<ClassId>,
     /// The character set of each class.
     classes: Vec<CharSet>,
+    /// Content hash, precomputed at construction: alphabets are hashed
+    /// on every solver DFA-cache lookup, and hashing the boundary and
+    /// class vectors each time dominated cache-hit cost.
+    fingerprint: u64,
+}
+
+impl std::hash::Hash for Alphabet {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // Consistent with `PartialEq`: the fingerprint is a pure
+        // function of the compared content, so equal alphabets hash
+        // equally (unequal ones may collide, which `Hash` permits).
+        state.write_u64(self.fingerprint);
+    }
 }
 
 impl Alphabet {
@@ -38,12 +51,14 @@ impl Alphabet {
     ///
     /// let alpha = Alphabet::from_sets(&[
     ///     CharSet::range('a', 'z'),
-    ///     CharSet::range('m', '9'.max('0')), // overlapping set
+    ///     CharSet::range('m', 'p'), // overlaps [a-z]: refines it
     /// ]);
-    /// assert!(alpha.class_count() >= 2);
-    /// let c1 = alpha.classify('b');
-    /// let c2 = alpha.classify('c');
-    /// assert_eq!(c1, c2); // b and c are never distinguished
+    /// // Characters inside one minterm share a class…
+    /// assert_eq!(alpha.classify('b'), alpha.classify('c')); // both in [a-l] only
+    /// assert_eq!(alpha.classify('m'), alpha.classify('p')); // both in [m-p] too
+    /// // …while the overlap splits [a-z] into distinguishable classes.
+    /// assert_ne!(alpha.classify('b'), alpha.classify('m'));
+    /// assert_ne!(alpha.classify('m'), alpha.classify('q'));
     /// ```
     pub fn from_sets(sets: &[CharSet]) -> Alphabet {
         // Collect boundaries: starts and one-past-ends of every range.
@@ -86,10 +101,19 @@ impl Alphabet {
             }
             interval_class.push(class);
         }
+        let fingerprint = {
+            use std::hash::{Hash, Hasher};
+            let mut hasher = std::collections::hash_map::DefaultHasher::new();
+            bounds.hash(&mut hasher);
+            interval_class.hash(&mut hasher);
+            classes.hash(&mut hasher);
+            hasher.finish()
+        };
         Alphabet {
             boundaries: bounds,
             interval_class,
             classes,
+            fingerprint,
         }
     }
 

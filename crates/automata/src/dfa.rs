@@ -19,42 +19,131 @@ use crate::alphabet::{Alphabet, ClassId};
 use crate::cregex::CRegex;
 use crate::nfa::Nfa;
 
+use crate::config::{AutomataConfig, BuildMetrics};
+
 /// A complete deterministic finite automaton.
 #[derive(Debug, Clone)]
 pub struct Dfa {
     /// Flattened transition table: `state * class_count + class`.
-    transitions: Vec<u32>,
-    accepting: Vec<bool>,
-    start: u32,
-    class_count: usize,
-    alphabet: Arc<Alphabet>,
+    pub(crate) transitions: Vec<u32>,
+    pub(crate) accepting: Vec<bool>,
+    pub(crate) start: u32,
+    pub(crate) class_count: usize,
+    pub(crate) alphabet: Arc<Alphabet>,
     /// BFS distance from each state to the nearest accepting state
     /// (`None` = dead).
-    distances: Vec<Option<u32>>,
+    pub(crate) distances: Vec<Option<u32>>,
+    /// Memoized [`Dfa::is_infinite`] — queried at every search node of
+    /// the solver's variable-selection heuristic, and a DFS per call
+    /// would dominate it.
+    pub(crate) infinite: std::sync::OnceLock<bool>,
+    /// Memoized [`Dfa::length_bounds`] result.
+    pub(crate) bounds: std::sync::OnceLock<Option<crate::minimize::LengthBounds>>,
 }
 
 impl Dfa {
-    /// Compiles a classical regex to a DFA over `alphabet`.
+    /// Assembles a DFA from raw parts and computes its distance
+    /// metadata (crate-internal: used by the minimizer's rebuild).
+    pub(crate) fn from_parts(
+        transitions: Vec<u32>,
+        accepting: Vec<bool>,
+        start: u32,
+        class_count: usize,
+        alphabet: Arc<Alphabet>,
+    ) -> Dfa {
+        let mut dfa = Dfa {
+            transitions,
+            accepting,
+            start,
+            class_count,
+            alphabet,
+            distances: Vec::new(),
+            infinite: std::sync::OnceLock::new(),
+            bounds: std::sync::OnceLock::new(),
+        };
+        dfa.compute_distances();
+        dfa
+    }
+
+    /// Compiles a classical regex to a DFA over `alphabet`, eagerly and
+    /// without minimization — the seed reproduction's pipeline, kept as
+    /// the differential oracle. The lazy, minimizing pipeline the
+    /// solver uses is [`Dfa::from_cregex_with`].
     ///
     /// The alphabet must contain every `CharSet` of the regex (build it
     /// with [`Alphabet::from_sets`] over the whole problem).
     pub fn from_cregex(re: &CRegex, alphabet: &Arc<Alphabet>) -> Dfa {
+        Dfa::from_cregex_with(
+            re,
+            alphabet,
+            &AutomataConfig::disabled(),
+            &mut BuildMetrics::default(),
+        )
+    }
+
+    /// Compiles a classical regex through the reachable-only pipeline:
+    /// every subset construction and boolean operation is followed by a
+    /// (thresholded) minimization pass, and intersections fold
+    /// smallest-operand-first so intermediate products stay small.
+    ///
+    /// `metrics` accumulates before/after state counts; the accepted
+    /// language is identical to [`Dfa::from_cregex`]'s for any
+    /// configuration.
+    pub fn from_cregex_with(
+        re: &CRegex,
+        alphabet: &Arc<Alphabet>,
+        config: &AutomataConfig,
+        metrics: &mut BuildMetrics,
+    ) -> Dfa {
         match re {
             CRegex::And(items) => {
-                let mut iter = items.iter();
-                let first = iter.next().expect("And is non-empty");
-                let mut acc = Dfa::from_cregex(first, alphabet);
-                for item in iter {
-                    acc = acc.intersect(&Dfa::from_cregex(item, alphabet));
+                let mut operands: Vec<Dfa> = items
+                    .iter()
+                    .map(|item| Dfa::from_cregex_with(item, alphabet, config, metrics))
+                    .collect();
+                // Smallest-first fold: the product worklist only visits
+                // reachable pairs, so keeping the accumulator small
+                // bounds every intermediate.
+                operands.sort_by_key(Dfa::state_count);
+                let mut iter = operands.into_iter();
+                let mut acc = iter.next().expect("And is non-empty");
+                for operand in iter {
+                    acc = acc
+                        .product(&operand, ProductMode::Intersect)
+                        .reduced(config, metrics);
                 }
                 acc
             }
-            CRegex::Not(inner) => Dfa::from_cregex(inner, alphabet).complement(),
+            CRegex::Not(inner) => Dfa::from_cregex_with(inner, alphabet, config, metrics)
+                .complement()
+                .reduced(config, metrics),
             _ => {
                 let nfa = Nfa::thompson(re, alphabet);
-                Dfa::from_nfa(&nfa)
+                Dfa::from_nfa(&nfa).reduced(config, metrics)
             }
         }
+    }
+
+    /// Applies the thresholded minimization pass, recording before and
+    /// after state counts in `metrics`. The language is unchanged.
+    pub fn reduced(self, config: &AutomataConfig, metrics: &mut BuildMetrics) -> Dfa {
+        metrics.states_built += self.state_count() as u64;
+        let out = if config.should_minimize(self.state_count()) {
+            self.minimized()
+        } else {
+            self
+        };
+        metrics.states_after_minimize += out.state_count() as u64;
+        out
+    }
+
+    /// A hashable identity of the automaton's structure under its
+    /// alphabet. After [`Dfa::minimized`] (which numbers states
+    /// canonically) this is a *language* identity: two DFAs over the
+    /// same alphabet have equal keys iff their minimal canonical forms
+    /// coincide.
+    pub fn canonical_key(&self) -> (u32, Vec<u32>, Vec<bool>) {
+        (self.start, self.transitions.clone(), self.accepting.clone())
     }
 
     /// Subset construction.
@@ -107,6 +196,8 @@ impl Dfa {
             class_count,
             alphabet: Arc::clone(&nfa.alphabet),
             distances: Vec::new(),
+            infinite: std::sync::OnceLock::new(),
+            bounds: std::sync::OnceLock::new(),
         };
         dfa.compute_distances();
         dfa
@@ -146,6 +237,8 @@ impl Dfa {
             class_count,
             alphabet: Arc::clone(alphabet),
             distances: Vec::new(),
+            infinite: std::sync::OnceLock::new(),
+            bounds: std::sync::OnceLock::new(),
         };
         dfa.compute_distances();
         dfa
@@ -217,6 +310,8 @@ impl Dfa {
             class_count: self.class_count,
             alphabet: Arc::clone(&self.alphabet),
             distances: Vec::new(),
+            infinite: std::sync::OnceLock::new(),
+            bounds: std::sync::OnceLock::new(),
         };
         out.compute_distances();
         out
@@ -228,7 +323,7 @@ impl Dfa {
     ///
     /// Panics if the two DFAs use different alphabets.
     pub fn intersect(&self, other: &Dfa) -> Dfa {
-        self.product(other, |a, b| a && b)
+        self.product(other, ProductMode::Intersect)
     }
 
     /// Union product.
@@ -237,27 +332,44 @@ impl Dfa {
     ///
     /// Panics if the two DFAs use different alphabets.
     pub fn union(&self, other: &Dfa) -> Dfa {
-        self.product(other, |a, b| a || b)
+        self.product(other, ProductMode::Union)
     }
 
-    fn product(&self, other: &Dfa, accept: impl Fn(bool, bool) -> bool) -> Dfa {
+    /// Worklist product construction: only pairs reachable from the
+    /// start pair are materialized, and pairs that are provably dead
+    /// from the operands' distance metadata (either side dead for an
+    /// intersection, both sides for a union) collapse into one shared
+    /// rejecting sink instead of being expanded.
+    fn product(&self, other: &Dfa, mode: ProductMode) -> Dfa {
         assert_eq!(
             self.class_count, other.class_count,
             "product requires a shared alphabet"
         );
         let class_count = self.class_count;
+        let dead_pair = |a: u32, b: u32| -> bool {
+            let a_dead = self.distance_to_accept(a).is_none();
+            let b_dead = other.distance_to_accept(b).is_none();
+            match mode {
+                ProductMode::Intersect => a_dead || b_dead,
+                ProductMode::Union => a_dead && b_dead,
+            }
+        };
+        let accept = |a: u32, b: u32| -> bool {
+            match mode {
+                ProductMode::Intersect => self.is_accepting(a) && other.is_accepting(b),
+                ProductMode::Union => self.is_accepting(a) || other.is_accepting(b),
+            }
+        };
         let mut ids: HashMap<(u32, u32), u32> = HashMap::new();
         let mut transitions: Vec<u32> = Vec::new();
         let mut accepting: Vec<bool> = Vec::new();
         let mut worklist = VecDeque::new();
+        let mut sink: Option<u32> = None;
 
         let start_pair = (self.start, other.start);
         ids.insert(start_pair, 0);
         transitions.resize(class_count, u32::MAX);
-        accepting.push(accept(
-            self.is_accepting(self.start),
-            other.is_accepting(other.start),
-        ));
+        accepting.push(accept(self.start, other.start));
         worklist.push_back(start_pair);
 
         while let Some((a, b)) = worklist.pop_front() {
@@ -267,34 +379,38 @@ impl Dfa {
                     self.step(a, class as ClassId),
                     other.step(b, class as ClassId),
                 );
-                let next_id = match ids.get(&next) {
-                    Some(&id) => id,
-                    None => {
-                        let new_id = accepting.len() as u32;
-                        ids.insert(next, new_id);
-                        transitions.extend(std::iter::repeat_n(u32::MAX, class_count));
-                        accepting.push(accept(
-                            self.is_accepting(next.0),
-                            other.is_accepting(next.1),
-                        ));
-                        worklist.push_back(next);
-                        new_id
+                let next_id = if dead_pair(next.0, next.1) {
+                    *sink.get_or_insert_with(|| {
+                        let sink_id = accepting.len() as u32;
+                        // Self-looping rejecting sink.
+                        transitions.extend(std::iter::repeat_n(sink_id, class_count));
+                        accepting.push(false);
+                        sink_id
+                    })
+                } else {
+                    match ids.get(&next) {
+                        Some(&id) => id,
+                        None => {
+                            let new_id = accepting.len() as u32;
+                            ids.insert(next, new_id);
+                            transitions.extend(std::iter::repeat_n(u32::MAX, class_count));
+                            accepting.push(accept(next.0, next.1));
+                            worklist.push_back(next);
+                            new_id
+                        }
                     }
                 };
                 transitions[id as usize * class_count + class] = next_id;
             }
         }
 
-        let mut dfa = Dfa {
+        Dfa::from_parts(
             transitions,
             accepting,
-            start: 0,
+            0,
             class_count,
-            alphabet: Arc::clone(&self.alphabet),
-            distances: Vec::new(),
-        };
-        dfa.compute_distances();
-        dfa
+            Arc::clone(&self.alphabet),
+        )
     }
 
     fn compute_distances(&mut self) {
@@ -370,8 +486,13 @@ impl Dfa {
         }
     }
 
-    /// True when the accepted language is infinite.
+    /// True when the accepted language is infinite. Memoized: the
+    /// first call runs the cycle detection, later calls are a load.
     pub fn is_infinite(&self) -> bool {
+        *self.infinite.get_or_init(|| self.compute_is_infinite())
+    }
+
+    fn compute_is_infinite(&self) -> bool {
         // A live cycle reachable from start that can reach acceptance.
         // DFS detecting a cycle among live states.
         let n = self.state_count();
@@ -405,6 +526,14 @@ impl Dfa {
         }
         false
     }
+}
+
+/// How a [`Dfa::product`] combines its operands' acceptance, which also
+/// determines when a pair is provably dead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ProductMode {
+    Intersect,
+    Union,
 }
 
 /// Iterator over accepted words in length order; see

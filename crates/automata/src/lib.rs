@@ -12,7 +12,11 @@
 //!   problem, keeping DFAs small;
 //! * [`Nfa`]/[`Dfa`] — Thompson construction, subset construction,
 //!   product, complement, emptiness, shortest-word and bounded word
-//!   enumeration.
+//!   enumeration;
+//! * [`minimize`] — Hopcroft minimization with canonical state
+//!   numbering plus accepted-word [`LengthBounds`], driven by
+//!   [`AutomataConfig`] thresholds and reported through
+//!   [`BuildMetrics`].
 //!
 //! # Examples
 //!
@@ -33,12 +37,16 @@
 
 pub mod alphabet;
 pub mod charset;
+pub mod config;
 pub mod cregex;
 pub mod dfa;
+pub mod minimize;
 pub mod nfa;
 
 pub use alphabet::{Alphabet, ClassId};
 pub use charset::CharSet;
+pub use config::{AutomataConfig, BuildMetrics};
 pub use cregex::{compile_classical, CRegex, CompileOptions, NotClassical};
 pub use dfa::{Dfa, WordIter};
+pub use minimize::LengthBounds;
 pub use nfa::{Nfa, NfaState, StateId};

@@ -8,6 +8,15 @@
 //! constraint against the concrete ES6 matcher, refine (pin captures for
 //! matched words of positive constraints; ban words that disagree with
 //! the constraint polarity) and repeat up to a refinement limit.
+//!
+//! Refinement iterations and probes solve *uncached* at the result
+//! level (learned lemmas make their formulas context-dependent), but
+//! they still share the solver's compiled-DFA cache: [`CegarSolver`]
+//! clones the [`Solver`], and the clone holds the same `Arc`'d cache of
+//! minimized, canonically numbered automata — so the membership
+//! constraints a refinement re-poses never pay determinization or
+//! Hopcroft again, and language-equal regexes across iterations intern
+//! to one automaton.
 
 use std::time::Instant;
 

@@ -149,6 +149,22 @@ impl Report {
         self.queries.iter().map(|q| q.solver_nodes).sum()
     }
 
+    /// Total DFA states the solver built before minimization.
+    pub fn dfa_states_built(&self) -> u64 {
+        self.queries.iter().map(|q| q.dfa_states_built).sum()
+    }
+
+    /// Total DFA states remaining after the thresholded Hopcroft pass.
+    pub fn states_after_minimize(&self) -> u64 {
+        self.queries.iter().map(|q| q.states_after_minimize).sum()
+    }
+
+    /// Total conjunctions refuted by the length-abstraction pass
+    /// before any word search.
+    pub fn length_prunes(&self) -> u64 {
+        self.queries.iter().map(|q| q.length_prunes).sum()
+    }
+
     /// Total wall-clock spent in solver queries.
     pub fn solver_time(&self) -> std::time::Duration {
         self.queries.iter().map(|q| q.duration).sum()

@@ -45,6 +45,12 @@ pub struct QueryRecord {
     pub query_cache_misses: u64,
     /// Search-tree nodes visited across all solver calls of the query.
     pub solver_nodes: u64,
+    /// DFA states built by the solver before minimization.
+    pub dfa_states_built: u64,
+    /// DFA states remaining after the thresholded Hopcroft pass.
+    pub states_after_minimize: u64,
+    /// Conjunctions refuted by length abstraction before word search.
+    pub length_prunes: u64,
 }
 
 /// The result of solving one flipped path condition.
@@ -180,6 +186,9 @@ pub fn solve_flip(
             query_cache_hits: solver_stats.cache_hits,
             query_cache_misses: solver_stats.cache_misses,
             solver_nodes: solver_stats.nodes,
+            dfa_states_built: solver_stats.dfa_states_built,
+            states_after_minimize: solver_stats.states_after_minimize,
+            length_prunes: solver_stats.length_prunes,
             ..record_base
         },
         inputs,

@@ -140,11 +140,16 @@ impl Solver {
         let start = Instant::now();
         let mut search = Search {
             config: &self.config,
+            automata_cfg: automata::AutomataConfig {
+                minimize_threshold: self.config.minimize_threshold,
+            },
             dfas: &self.dfas,
             stats: SolveStats::default(),
             nodes_left: self.config.max_nodes,
             branches_left: self.config.max_bool_branches,
             word_dfa_memo: HashMap::new(),
+            query_dfa_memo: HashMap::new(),
+            sets_memo: HashMap::new(),
         };
         let mut atoms = Vec::new();
         let outcome = search.boolean_dfs(&[formula], &mut atoms);
@@ -160,16 +165,45 @@ impl Solver {
 /// iteration, and every query that mentions the regex. Sharing the
 /// compiled automaton is free of behavioral risk — the construction is
 /// deterministic, so a hit is byte-identical to a rebuild.
+///
+/// When minimization is enabled, stored DFAs are *minimal and
+/// canonically numbered*, and a second index keyed by the canonical
+/// automaton structure interns them: structurally different but
+/// language-equal regexes (under the same alphabet) resolve to one
+/// shared entry instead of two duplicate automata.
 #[derive(Debug)]
 pub(crate) struct DfaCache {
-    entries: parking_lot::Mutex<crate::cache::Lru<DfaKey, Arc<Dfa>>>,
+    entries: Shard<DfaKey, Arc<Dfa>>,
+    /// Canonical (minimal, BFS-numbered) automaton → interned entry.
+    canonical: Shard<CanonicalKey, Arc<Dfa>>,
+    /// Interned minterm alphabets, keyed by the normalized problem
+    /// (sorted deduped sets + literal characters). Building the
+    /// partition is pure per-conjunction overhead, and interning also
+    /// makes repeated conjunctions share one `Arc`.
+    alphabets: Shard<Vec<automata::CharSet>, Arc<Alphabet>>,
+    /// Exact-word DFAs for equality/disequality literals, keyed by
+    /// word + alphabet pointer (the alphabet `Arc` is retained in the
+    /// value, so a resident key's address cannot be recycled).
+    words: Shard<(String, usize, bool), WordEntry>,
+    /// Intersection folds, keyed by the sorted pointer set of their
+    /// factors (each factor `Arc` retained in the value — same ABA
+    /// argument). A conjunction repeated across boolean branches,
+    /// CEGAR iterations, or queries reuses the folded product instead
+    /// of re-multiplying the factors.
+    products: Shard<Vec<usize>, ProductEntry>,
 }
+
+/// One locked LRU index of the [`DfaCache`].
+type Shard<K, V> = parking_lot::Mutex<crate::cache::Lru<K, V>>;
+/// A cached exact-word DFA plus the alphabet `Arc` that keeps its
+/// pointer key valid.
+type WordEntry = (Arc<Dfa>, Arc<Alphabet>);
+/// A cached fold product plus its factor keep-alives.
+type ProductEntry = (Arc<Dfa>, Vec<Arc<Dfa>>);
 
 /// What a cached DFA was compiled from. Alphabets compare by content,
 /// so structurally equal alphabets from different conjunctions share
 /// entries — and a stale pointer can never alias a different partition.
-/// (Exact-word DFAs are deliberately *not* cached: they are linear in
-/// the word and cheaper to rebuild than to look up through the lock.)
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct DfaKey {
     re: Arc<CRegex>,
@@ -177,11 +211,102 @@ struct DfaKey {
     complemented: bool,
 }
 
+/// Language identity of a minimized, canonically numbered DFA: the
+/// alphabet (content compare) plus the canonical transition structure.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CanonicalKey {
+    alphabet: Arc<Alphabet>,
+    structure: (u32, Vec<u32>, Vec<bool>),
+}
+
 impl DfaCache {
     fn new(capacity: usize) -> DfaCache {
         DfaCache {
             entries: parking_lot::Mutex::new(crate::cache::Lru::new(capacity)),
+            canonical: parking_lot::Mutex::new(crate::cache::Lru::new(capacity)),
+            alphabets: parking_lot::Mutex::new(crate::cache::Lru::new(capacity)),
+            words: parking_lot::Mutex::new(crate::cache::Lru::new(capacity)),
+            products: parking_lot::Mutex::new(crate::cache::Lru::new(capacity)),
         }
+    }
+
+    /// The exact-word DFA (optionally complemented) of a literal under
+    /// an interned alphabet.
+    fn word_dfa(
+        &self,
+        word: &str,
+        alphabet: &Arc<Alphabet>,
+        complemented: bool,
+        stats: &mut SolveStats,
+    ) -> Arc<Dfa> {
+        let key = (
+            word.to_string(),
+            Arc::as_ptr(alphabet) as usize,
+            complemented,
+        );
+        if let Some((dfa, _)) = self.words.lock().get(&key) {
+            return Arc::clone(dfa);
+        }
+        stats.dfas_built += 1;
+        let mut dfa = Dfa::from_word(word, alphabet);
+        if complemented {
+            dfa = dfa.complement();
+        }
+        let dfa = Arc::new(dfa);
+        self.words
+            .lock()
+            .insert(key, (Arc::clone(&dfa), Arc::clone(alphabet)));
+        dfa
+    }
+
+    /// The intersection of `factors` (at least two, pre-sorted
+    /// smallest-first by the caller), folded pairwise with thresholded
+    /// minimization and cached by factor identity.
+    fn product(
+        &self,
+        factors: Vec<Arc<Dfa>>,
+        config: &automata::AutomataConfig,
+        stats: &mut SolveStats,
+    ) -> Arc<Dfa> {
+        let mut key: Vec<usize> = factors.iter().map(|f| Arc::as_ptr(f) as usize).collect();
+        key.sort_unstable();
+        key.dedup(); // intersection is idempotent
+        if let Some((dfa, _)) = self.products.lock().get(&key) {
+            return Arc::clone(dfa);
+        }
+        let mut iter = factors.iter();
+        let mut acc: Dfa = (**iter.next().expect("at least two factors")).clone();
+        for factor in iter {
+            let mut metrics = automata::BuildMetrics::default();
+            acc = acc.intersect(factor).reduced(config, &mut metrics);
+            stats.dfa_states_built += metrics.states_built;
+            stats.states_after_minimize += metrics.states_after_minimize;
+        }
+        let product = Arc::new(acc);
+        self.products
+            .lock()
+            .insert(key, (Arc::clone(&product), factors));
+        product
+    }
+
+    /// The interned minterm alphabet of a conjunction's character sets
+    /// and literal characters. The partition is order- and
+    /// duplicate-independent, so the key is normalized (sorted,
+    /// deduped) before lookup; a miss builds via
+    /// [`Alphabet::from_sets`] on the normalized sets, which yields
+    /// the same classes as the raw collection would.
+    fn alphabet_for(&self, mut sets: Vec<automata::CharSet>, literal_chars: &str) -> Arc<Alphabet> {
+        for c in literal_chars.chars() {
+            sets.push(automata::CharSet::single(c));
+        }
+        sets.sort_unstable();
+        sets.dedup();
+        if let Some(alphabet) = self.alphabets.lock().get(&sets) {
+            return Arc::clone(alphabet);
+        }
+        let alphabet = Arc::new(Alphabet::from_sets(&sets));
+        self.alphabets.lock().insert(sets, Arc::clone(&alphabet));
+        alphabet
     }
 
     /// The DFA of `re` (complemented when asked) under `alphabet`.
@@ -191,6 +316,7 @@ impl DfaCache {
         re: &Arc<CRegex>,
         alphabet: &Arc<Alphabet>,
         complemented: bool,
+        config: &automata::AutomataConfig,
         stats: &mut SolveStats,
     ) -> Arc<Dfa> {
         let key = DfaKey {
@@ -202,11 +328,45 @@ impl DfaCache {
             return Arc::clone(dfa);
         }
         stats.dfas_built += 1;
-        let mut dfa = Dfa::from_cregex(re, alphabet);
+        let mut metrics = automata::BuildMetrics::default();
+        let mut dfa = Dfa::from_cregex_with(re, alphabet, config, &mut metrics);
         if complemented {
-            dfa = dfa.complement();
+            dfa = dfa.complement().reduced(config, &mut metrics);
         }
-        let dfa = Arc::new(dfa);
+        let dfa = if config.minimize_threshold > 0 {
+            // Cache entries must be canonical for the language-level
+            // interning below to fire. A result at or above the
+            // threshold is already minimal and canonically numbered
+            // (the last `reduced()` produced it); only the small
+            // automata the threshold skipped need a pass here. The
+            // metric reports *retained* states, so a re-minimized
+            // top-level automaton replaces its thresholded count.
+            let minimal = if dfa.state_count() < config.minimize_threshold {
+                let minimal = Arc::new(dfa.minimized());
+                metrics.states_after_minimize = metrics.states_after_minimize
+                    - dfa.state_count() as u64
+                    + minimal.state_count() as u64;
+                minimal
+            } else {
+                Arc::new(dfa)
+            };
+            let canon_key = CanonicalKey {
+                alphabet: Arc::clone(alphabet),
+                structure: minimal.canonical_key(),
+            };
+            let mut canonical = self.canonical.lock();
+            match canonical.get(&canon_key) {
+                Some(shared) => Arc::clone(shared),
+                None => {
+                    canonical.insert(canon_key, Arc::clone(&minimal));
+                    minimal
+                }
+            }
+        } else {
+            Arc::new(dfa)
+        };
+        stats.dfa_states_built += metrics.states_built;
+        stats.states_after_minimize += metrics.states_after_minimize;
         self.entries.lock().insert(key, Arc::clone(&dfa));
         dfa
     }
@@ -214,6 +374,7 @@ impl DfaCache {
 
 struct Search<'a> {
     config: &'a SolverConfig,
+    automata_cfg: automata::AutomataConfig,
     dfas: &'a DfaCache,
     stats: SolveStats,
     nodes_left: u64,
@@ -221,9 +382,76 @@ struct Search<'a> {
     /// Per-conjunction memo of pinned-word guide DFAs (cleared when a
     /// new conjunction — and with it a new alphabet — starts).
     word_dfa_memo: HashMap<String, Arc<Dfa>>,
+    /// Per-query memo in front of the shared [`DfaCache`], keyed by
+    /// *pointer* identity of the regex and (interned) alphabet: the
+    /// same `Arc`s recur across the conjunctions of one query, and a
+    /// pointer hash skips the deep structural hash a [`DfaKey`] lookup
+    /// pays. The value keeps both `Arc`s alive, so a resident key's
+    /// addresses can never be recycled by another allocation.
+    query_dfa_memo: QueryDfaMemo,
+    /// Per-query memo of each regex's collected `CharSet`s (alphabet
+    /// construction input), keyed by `Arc` pointer with the `Arc` kept
+    /// alive in the value.
+    sets_memo: HashMap<usize, (Arc<CRegex>, Vec<automata::CharSet>)>,
 }
 
+type QueryDfaMemo = HashMap<(usize, usize, bool), (Arc<Dfa>, Arc<CRegex>, Arc<Alphabet>)>;
+
 impl Search<'_> {
+    /// The constraint DFA of `re` under `alphabet`, through the
+    /// per-query pointer memo and then the shared structural cache.
+    fn constraint_dfa(
+        &mut self,
+        re: &Arc<CRegex>,
+        alphabet: &Arc<Alphabet>,
+        complemented: bool,
+    ) -> Arc<Dfa> {
+        let key = (
+            Arc::as_ptr(re) as usize,
+            Arc::as_ptr(alphabet) as usize,
+            complemented,
+        );
+        if let Some((dfa, _, _)) = self.query_dfa_memo.get(&key) {
+            return Arc::clone(dfa);
+        }
+        let dfa = self.dfas.get_or_build(
+            re,
+            alphabet,
+            complemented,
+            &self.automata_cfg,
+            &mut self.stats,
+        );
+        self.query_dfa_memo.insert(
+            key,
+            (Arc::clone(&dfa), Arc::clone(re), Arc::clone(alphabet)),
+        );
+        dfa
+    }
+
+    /// The exact-word DFA of an equality/disequality literal, through
+    /// the shared cache (the same pinned literals recur in every
+    /// conjunction, every CEGAR iteration, and across queries). In
+    /// eager mode alphabets are built per conjunction, so the
+    /// pointer-keyed cache could never hit — build directly, as the
+    /// seed did.
+    fn exact_word_dfa(
+        &mut self,
+        word: &str,
+        alphabet: &Arc<Alphabet>,
+        complemented: bool,
+    ) -> Arc<Dfa> {
+        if self.config.minimize_threshold == 0 {
+            self.stats.dfas_built += 1;
+            let mut dfa = Dfa::from_word(word, alphabet);
+            if complemented {
+                dfa = dfa.complement();
+            }
+            return Arc::new(dfa);
+        }
+        self.dfas
+            .word_dfa(word, alphabet, complemented, &mut self.stats)
+    }
+
     /// Explores disjunctions; `pending` are formulas still to flatten,
     /// `atoms` the conjunction accumulated so far.
     fn boolean_dfs(&mut self, pending: &[&Formula], atoms: &mut Vec<Atom>) -> Outcome {
@@ -336,28 +564,35 @@ impl Search<'_> {
         // surfacing after every equation completes. (The Algorithm 2
         // models produce exactly this shape: the wrapped word `⟨input⟩`
         // is re-derived for every regex applied to the same subject.)
-        loop {
+        let eq_atoms: Vec<(&StrVar, &Vec<Term>)> = atoms
+            .iter()
+            .filter_map(|atom| match atom {
+                Atom::EqConcat(v, parts) => Some((v, parts)),
+                _ => None,
+            })
+            .collect();
+        // With fewer than two equations there is nothing to merge, and
+        // most conjunctions have none — skip the fixpoint entirely.
+        while eq_atoms.len() >= 2 {
             let mut rhs_owner: HashMap<Vec<Part>, StrVar> = HashMap::new();
             let mut changed = false;
-            for atom in atoms {
-                if let Atom::EqConcat(v, parts) = atom {
-                    let key: Vec<Part> = parts
-                        .iter()
-                        .map(|t| match t {
-                            Term::Var(u) => Part::Var(uf.find(*u)),
-                            Term::Lit(s) => Part::Lit(s.clone()),
-                        })
-                        .collect();
-                    let root = uf.find(*v);
-                    match rhs_owner.get(&key) {
-                        Some(&owner) if uf.find(owner) != root => {
-                            uf.union(owner, root);
-                            changed = true;
-                        }
-                        Some(_) => {}
-                        None => {
-                            rhs_owner.insert(key, root);
-                        }
+            for &(v, parts) in &eq_atoms {
+                let key: Vec<Part> = parts
+                    .iter()
+                    .map(|t| match t {
+                        Term::Var(u) => Part::Var(uf.find(*u)),
+                        Term::Lit(s) => Part::Lit(s.clone()),
+                    })
+                    .collect();
+                let root = uf.find(*v);
+                match rhs_owner.get(&key) {
+                    Some(&owner) if uf.find(owner) != root => {
+                        uf.union(owner, root);
+                        changed = true;
+                    }
+                    Some(_) => {}
+                    None => {
+                        rhs_owner.insert(key, root);
                     }
                 }
             }
@@ -452,7 +687,19 @@ impl Search<'_> {
         let mut literal_chars = String::new();
         for info in cons.values() {
             for re in info.pos.iter().chain(info.neg.iter()) {
-                re.collect_sets(&mut sets);
+                // Memoized per query: walking the regex clones every
+                // `CharSet`, and the same `Arc`s recur in every
+                // conjunction of a query.
+                let key = Arc::as_ptr(re) as usize;
+                match self.sets_memo.get(&key) {
+                    Some((_, cached)) => sets.extend(cached.iter().cloned()),
+                    None => {
+                        let mut fresh = Vec::new();
+                        re.collect_sets(&mut fresh);
+                        sets.extend(fresh.iter().cloned());
+                        self.sets_memo.insert(key, (Arc::clone(re), fresh));
+                    }
+                }
             }
             if let Some(eq) = &info.eq {
                 literal_chars.push_str(eq);
@@ -468,10 +715,20 @@ impl Search<'_> {
                 }
             }
         }
-        let alphabet: Arc<Alphabet> = Alphabet::for_problem(&sets, &[&literal_chars]);
+        // The lazy pipeline normalizes (sorts + dedups) the sets and
+        // interns the partition through the shared cache; eager mode
+        // (`minimize_threshold == 0`) keeps the seed's construction
+        // verbatim.
+        let alphabet: Arc<Alphabet> = if self.config.minimize_threshold > 0 {
+            self.dfas.alphabet_for(sets, &literal_chars)
+        } else {
+            Alphabet::for_problem(&sets, &[&literal_chars])
+        };
 
         // --- Per-root DFAs -----------------------------------------------
-        let universal = Dfa::universal(&alphabet);
+        // The universal DFA is only needed for unconstrained roots;
+        // build it lazily (most roots carry at least one constraint).
+        let mut universal: Option<Arc<Dfa>> = None;
         let mut dfas: HashMap<StrVar, Arc<Dfa>> = HashMap::new();
         let mut roots: Vec<StrVar> = cons.keys().copied().collect();
         for (lhs, parts) in &equations {
@@ -488,33 +745,106 @@ impl Search<'_> {
         }
         roots.sort_unstable();
         roots.dedup();
+        // `minimize_threshold == 0` selects the seed's eager pipeline
+        // (used as the bench baseline); otherwise products that can be
+        // decided without materialization are skipped entirely.
+        let lazy = self.config.minimize_threshold > 0;
         for &root in &roots {
-            let mut dfa = universal.clone();
-            if let Some(info) = cons.get(&root) {
-                for re in &info.pos {
-                    let built = self
-                        .dfas
-                        .get_or_build(re, &alphabet, false, &mut self.stats);
-                    dfa = dfa.intersect(&built);
+            let dfa: Arc<Dfa> = match cons.get(&root) {
+                // Pinned root, lazy pipeline: the language is `{eq}`
+                // or `∅`, so *run the word* through each constraint
+                // instead of building any product — and never build
+                // the complement DFAs of negative constraints at all.
+                // (`ne ≠ eq` was already checked above.) The verdict
+                // is identical to the eager fold's: the fold's
+                // language is exactly `{eq}` when every membership
+                // holds and empty otherwise.
+                Some(info) if lazy && info.eq.is_some() => {
+                    let eq = info.eq.as_deref().expect("checked is_some");
+                    for re in &info.pos {
+                        if !self.constraint_dfa(re, &alphabet, false).contains(eq) {
+                            return Outcome::Unsat;
+                        }
+                    }
+                    for re in &info.neg {
+                        if self.constraint_dfa(re, &alphabet, false).contains(eq) {
+                            return Outcome::Unsat;
+                        }
+                    }
+                    self.exact_word_dfa(eq, &alphabet, false)
                 }
-                for re in &info.neg {
-                    let built = self.dfas.get_or_build(re, &alphabet, true, &mut self.stats);
-                    dfa = dfa.intersect(&built);
+                // Otherwise collect every constraint automaton and
+                // fold the intersection smallest-first: the product
+                // worklist only materializes reachable pairs, so a
+                // small accumulator bounds every intermediate, and the
+                // thresholded minimization after each product keeps it
+                // small.
+                info => {
+                    let mut factors: Vec<Arc<Dfa>> = Vec::new();
+                    if let Some(info) = info {
+                        for re in &info.pos {
+                            factors.push(self.constraint_dfa(re, &alphabet, false));
+                        }
+                        for re in &info.neg {
+                            factors.push(self.constraint_dfa(re, &alphabet, true));
+                        }
+                        if let Some(eq) = &info.eq {
+                            factors.push(self.exact_word_dfa(eq, &alphabet, false));
+                        }
+                        for ne in &info.ne {
+                            factors.push(self.exact_word_dfa(ne, &alphabet, true));
+                        }
+                    }
+                    factors.sort_by_key(|d| d.state_count());
+                    match factors.len() {
+                        0 => match &universal {
+                            Some(u) => Arc::clone(u),
+                            None => {
+                                let u = Arc::new(Dfa::universal(&alphabet));
+                                universal = Some(Arc::clone(&u));
+                                u
+                            }
+                        },
+                        1 => factors.into_iter().next().expect("one factor"),
+                        _ => {
+                            // Per-conjunction fold products are built
+                            // far more often than cache-resident DFAs,
+                            // so only run Hopcroft on them when they
+                            // get genuinely large — small intermediates
+                            // cost more to minimize than they save.
+                            let fold_cfg = automata::AutomataConfig {
+                                minimize_threshold: match self.automata_cfg.minimize_threshold {
+                                    0 => 0,
+                                    t => t.max(64),
+                                },
+                            };
+                            self.dfas.product(factors, &fold_cfg, &mut self.stats)
+                        }
+                    }
                 }
-                if let Some(eq) = &info.eq {
-                    self.stats.dfas_built += 1;
-                    dfa = dfa.intersect(&Dfa::from_word(eq, &alphabet));
-                }
-                for ne in &info.ne {
-                    self.stats.dfas_built += 1;
-                    dfa = dfa.intersect(&Dfa::from_word(ne, &alphabet).complement());
-                }
-            }
+            };
             if dfa.is_empty() {
                 return Outcome::Unsat;
             }
-            dfas.insert(root, Arc::new(dfa));
+            dfas.insert(root, dfa);
         }
+
+        // --- Length abstraction -------------------------------------------
+        // Propagate `[lo, hi]` accepted-length intervals through the
+        // concat equations as integer arithmetic. An empty interval
+        // refutes the conjunction before any word search; the surviving
+        // intervals bound per-variable candidate lengths below.
+        let intervals = if self.config.length_abstraction {
+            match length_intervals(&dfas, &equations) {
+                Ok(intervals) => intervals,
+                Err(()) => {
+                    self.stats.length_prunes += 1;
+                    return Outcome::Unsat;
+                }
+            }
+        } else {
+            HashMap::new()
+        };
 
         // --- Assignment search --------------------------------------------
         let mut assignment: HashMap<StrVar, String> = HashMap::new();
@@ -594,6 +924,7 @@ impl Search<'_> {
             roots,
             uf,
             ne_pairs,
+            intervals,
         };
 
         // Membership-only variables (not in any equation, not pinned)
@@ -749,6 +1080,12 @@ impl Search<'_> {
         // the variable DFA and every guide. This finds words that
         // *complete* the surrounding equations early, instead of
         // flooding the budget with short irrelevant words.
+        //
+        // Heap entries are indices into a parent-pointer arena — the
+        // class-word and guide-state vectors live once per *node*
+        // (shared-prefix via parent links, guide states in one flat
+        // buffer) instead of being cloned on every heap push; the word
+        // is only reconstructed when a candidate is accepted.
         use std::cmp::Reverse;
         use std::collections::BinaryHeap;
 
@@ -761,6 +1098,7 @@ impl Search<'_> {
             .max(4_096);
         let mut expansions = 0usize;
         let class_count = ctx.alphabet.class_count();
+        let guide_count = guides.len();
         let g0: Vec<u32> = guides.iter().map(|(_, s)| *s).collect();
         if guides
             .iter()
@@ -768,63 +1106,111 @@ impl Search<'_> {
         {
             return (out, false);
         }
-        let priority = |len: usize, vs: u32, gs: &[u32]| -> u64 {
-            let mut p = len as u64;
+        // The variable's length window from the abstraction pass.
+        // Cutting at the interval's upper bound is *exact* — no longer
+        // word can be part of any solution — so only a cut at the
+        // configured limit marks the enumeration as truncated.
+        let bounds = ctx
+            .intervals
+            .get(&var)
+            .copied()
+            .unwrap_or_else(LenInterval::full);
+        let hard_cap = self.config.max_word_len as u64;
+        let cap = bounds.hi.map_or(hard_cap, |h| h.min(hard_cap));
+        let cap_is_exact = bounds.hi.is_some_and(|h| h <= hard_cap);
+        let priority = |len: u64, vs: u32, gs: &[u32]| -> u64 {
+            let mut p = len;
             p += u64::from(var_dfa.distance_to_accept(vs).unwrap_or(0));
             for (i, (gd, _)) in guides.iter().enumerate() {
                 p += u64::from(gd.distance_to_accept(gs[i]).unwrap_or(0));
             }
             p
         };
+
+        /// One prefix in the arena; `parent == u32::MAX` marks the root.
+        struct Node {
+            parent: u32,
+            class: u16,
+            len: u32,
+            vs: u32,
+        }
+        let reconstruct = |nodes: &[Node], mut idx: u32| -> Vec<u16> {
+            let mut word = Vec::with_capacity(nodes[idx as usize].len as usize);
+            while nodes[idx as usize].parent != u32::MAX {
+                word.push(nodes[idx as usize].class);
+                idx = nodes[idx as usize].parent;
+            }
+            word.reverse();
+            word
+        };
+        let mut nodes: Vec<Node> = vec![Node {
+            parent: u32::MAX,
+            class: 0,
+            len: 0,
+            vs: var_dfa.start_state(),
+        }];
+        // Node i's guide states live at `i * guide_count ..`.
+        let mut guide_states: Vec<u32> = g0.clone();
+
         let mut counter = 0u64; // FIFO tiebreak → length order among ties
-                                // (priority, fifo counter, var state, guide states, word classes).
-        type SearchNode = (u64, u64, u32, Vec<u32>, Vec<u16>);
-        let mut heap: BinaryHeap<Reverse<SearchNode>> = BinaryHeap::new();
-        let p0 = priority(0, var_dfa.start_state(), &g0);
+        let mut heap: BinaryHeap<Reverse<(u64, u64, u32)>> = BinaryHeap::new();
         heap.push(Reverse((
-            p0,
+            priority(0, var_dfa.start_state(), &g0),
             counter,
-            var_dfa.start_state(),
-            g0,
-            Vec::new(),
+            0,
         )));
-        while let Some(Reverse((_, _, vs, gs, word))) = heap.pop() {
+        while let Some(Reverse((_, _, idx))) = heap.pop() {
             if out.len() >= self.config.max_candidates_per_var || expansions >= max_expansions {
                 truncated = true;
                 break;
             }
-            if var_dfa.is_accepting(vs) {
+            let (vs, len) = {
+                let node = &nodes[idx as usize];
+                (node.vs, u64::from(node.len))
+            };
+            if var_dfa.is_accepting(vs) && len >= bounds.lo {
                 self.stats.candidates += 1;
-                out.push(ctx.alphabet.realize(&word));
+                out.push(ctx.alphabet.realize(&reconstruct(&nodes, idx)));
             }
-            if word.len() >= self.config.max_word_len {
-                truncated = true;
+            if len >= cap {
+                if !cap_is_exact {
+                    truncated = true;
+                }
                 continue;
             }
+            let gs_base = idx as usize * guide_count;
             for class in 0..class_count {
                 expansions += 1;
                 let nvs = var_dfa.step(vs, class as u16);
                 if var_dfa.distance_to_accept(nvs).is_none() {
                     continue;
                 }
-                let mut ngs = Vec::with_capacity(gs.len());
+                // Step the guides into the tail of the flat buffer; on
+                // a dead guide the partial segment is rolled back.
+                let segment = guide_states.len();
                 let mut live = true;
                 for (i, (gd, _)) in guides.iter().enumerate() {
-                    let n = gd.step(gs[i], class as u16);
-                    if gd.distance_to_accept(n).is_none() {
+                    let next = gd.step(guide_states[gs_base + i], class as u16);
+                    if gd.distance_to_accept(next).is_none() {
                         live = false;
                         break;
                     }
-                    ngs.push(n);
+                    guide_states.push(next);
                 }
                 if !live {
+                    guide_states.truncate(segment);
                     continue;
                 }
-                let mut nw = word.clone();
-                nw.push(class as u16);
+                let new_idx = nodes.len() as u32;
+                nodes.push(Node {
+                    parent: idx,
+                    class: class as u16,
+                    len: (len + 1) as u32,
+                    vs: nvs,
+                });
                 counter += 1;
-                let p = priority(nw.len(), nvs, &ngs);
-                heap.push(Reverse((p, counter, nvs, ngs, nw)));
+                let p = priority(len + 1, nvs, &guide_states[segment..]);
+                heap.push(Reverse((p, counter, new_idx)));
             }
         }
         (out, truncated)
@@ -852,6 +1238,140 @@ struct StringCtx {
     roots: Vec<StrVar>,
     uf: UnionFind,
     ne_pairs: Vec<(StrVar, StrVar)>,
+    /// Accepted-length windows per root from the length-abstraction
+    /// pass (empty when the pass is disabled).
+    intervals: HashMap<StrVar, LenInterval>,
+}
+
+/// An inclusive interval of word lengths; `hi = None` means unbounded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct LenInterval {
+    lo: u64,
+    hi: Option<u64>,
+}
+
+impl LenInterval {
+    /// The interval constraining nothing.
+    fn full() -> LenInterval {
+        LenInterval { lo: 0, hi: None }
+    }
+
+    /// The singleton interval `[n, n]`.
+    fn exact(n: u64) -> LenInterval {
+        LenInterval { lo: n, hi: Some(n) }
+    }
+
+    /// Intersection; `None` when empty.
+    fn meet(self, other: LenInterval) -> Option<LenInterval> {
+        let lo = self.lo.max(other.lo);
+        let hi = match (self.hi, other.hi) {
+            (None, h) | (h, None) => h,
+            (Some(a), Some(b)) => Some(a.min(b)),
+        };
+        match hi {
+            Some(h) if h < lo => None,
+            _ => Some(LenInterval { lo, hi }),
+        }
+    }
+
+    /// Minkowski sum: the lengths of a concatenation.
+    fn add(self, other: LenInterval) -> LenInterval {
+        LenInterval {
+            lo: self.lo.saturating_add(other.lo),
+            hi: match (self.hi, other.hi) {
+                (Some(a), Some(b)) => Some(a.saturating_add(b)),
+                _ => None,
+            },
+        }
+    }
+
+    /// The lengths `x` with `x + y ∈ self` possible for some
+    /// `y ∈ other`; `None` when no such `x` exists.
+    fn minus(self, other: LenInterval) -> Option<LenInterval> {
+        let lo = match other.hi {
+            Some(h) => self.lo.saturating_sub(h),
+            None => 0,
+        };
+        let hi = match self.hi {
+            None => None,
+            Some(h) => Some(h.checked_sub(other.lo)?),
+        };
+        match hi {
+            Some(h) if h < lo => None,
+            _ => Some(LenInterval { lo, hi }),
+        }
+    }
+}
+
+/// Computes per-root length intervals and propagates them through the
+/// concat equations to a fixpoint (bounded rounds). `Err` means some
+/// interval became empty — the conjunction has no solution.
+fn length_intervals(
+    dfas: &HashMap<StrVar, Arc<Dfa>>,
+    equations: &[(StrVar, Vec<Part>)],
+) -> Result<HashMap<StrVar, LenInterval>, ()> {
+    let mut intervals: HashMap<StrVar, LenInterval> = HashMap::new();
+    for (&var, dfa) in dfas {
+        // Empty languages were refuted before this pass runs.
+        let bounds = dfa.length_bounds().ok_or(())?;
+        intervals.insert(
+            var,
+            LenInterval {
+                lo: bounds.min as u64,
+                hi: bounds.max.map(|m| m as u64),
+            },
+        );
+    }
+    let part_interval = |p: &Part, intervals: &HashMap<StrVar, LenInterval>| -> LenInterval {
+        match p {
+            Part::Var(v) => intervals.get(v).copied().unwrap_or_else(LenInterval::full),
+            Part::Lit(s) => LenInterval::exact(s.chars().count() as u64),
+        }
+    };
+    // Interval refinement is monotone, so a fixpoint exists; the round
+    // cap only bounds time on pathological chains.
+    let max_rounds = 4 * equations.len() + 4;
+    for _ in 0..max_rounds {
+        let mut changed = false;
+        for (lhs, parts) in equations {
+            // Forward: len(lhs) ∈ Σ len(part).
+            let mut sum = LenInterval::exact(0);
+            for p in parts {
+                sum = sum.add(part_interval(p, &intervals));
+            }
+            let current = intervals
+                .get(lhs)
+                .copied()
+                .unwrap_or_else(LenInterval::full);
+            let refined = current.meet(sum).ok_or(())?;
+            if refined != current {
+                intervals.insert(*lhs, refined);
+                changed = true;
+            }
+            // Backward: each variable occurrence fits in what the lhs
+            // leaves after the other parts.
+            for (i, p) in parts.iter().enumerate() {
+                let Part::Var(v) = p else { continue };
+                let mut others = LenInterval::exact(0);
+                for (j, q) in parts.iter().enumerate() {
+                    if j != i {
+                        others = others.add(part_interval(q, &intervals));
+                    }
+                }
+                let derived = refined.minus(others).ok_or(())?;
+                let current = intervals.get(v).copied().unwrap_or_else(LenInterval::full);
+                let met = current.meet(derived).ok_or(())?;
+                if met != current {
+                    intervals.insert(*v, met);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    Ok(intervals)
 }
 
 /// Propagates fully-determined equations (computing lhs values) and
@@ -1460,6 +1980,31 @@ mod tests {
             Formula::eq_lit(w, "ab"),
         ]);
         assert_eq!(solve(&f), Outcome::Unsat);
+    }
+
+    #[test]
+    fn length_abstraction_refutes_doomed_conjunction() {
+        // w ∈ a{5}, v ∈ a{3}, w = v ++ v: |w| would have to be 6 ≠ 5.
+        // The interval pass must refute this before any word search.
+        let mut pool = VarPool::new();
+        let w = pool.fresh_str("w");
+        let v = pool.fresh_str("v");
+        let f = Formula::and(vec![
+            Formula::eq_concat(w, vec![Term::Var(v), Term::Var(v)]),
+            Formula::in_re(v, CRegex::repeat(re_char('a'), 3, Some(3))),
+            Formula::in_re(w, CRegex::repeat(re_char('a'), 5, Some(5))),
+        ]);
+        let (outcome, stats) = Solver::default().solve(&f);
+        assert_eq!(outcome, Outcome::Unsat);
+        assert!(stats.length_prunes >= 1, "pass did not fire: {stats:?}");
+        // Disabled, the verdict is the same but found by search.
+        let eager = Solver::new(SolverConfig {
+            length_abstraction: false,
+            ..SolverConfig::default()
+        });
+        let (outcome, stats) = eager.solve(&f);
+        assert_eq!(outcome, Outcome::Unsat);
+        assert_eq!(stats.length_prunes, 0);
     }
 
     #[test]

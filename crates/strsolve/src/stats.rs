@@ -18,6 +18,15 @@ pub struct SolveStats {
     pub truncated: bool,
     /// Number of DFA products/complements built.
     pub dfas_built: u64,
+    /// DFA states produced by subset constructions and boolean
+    /// operations, before minimization.
+    pub dfa_states_built: u64,
+    /// DFA states remaining after the thresholded Hopcroft pass
+    /// (equals `dfa_states_built` when minimization is disabled).
+    pub states_after_minimize: u64,
+    /// Conjunctions refuted by the length-abstraction pass before any
+    /// word search started.
+    pub length_prunes: u64,
     /// Queries answered from the cross-query result cache.
     pub cache_hits: u64,
     /// Queries that missed the result cache (or ran uncached).
@@ -34,6 +43,9 @@ impl SolveStats {
         self.candidates += other.candidates;
         self.truncated |= other.truncated;
         self.dfas_built += other.dfas_built;
+        self.dfa_states_built += other.dfa_states_built;
+        self.states_after_minimize += other.states_after_minimize;
+        self.length_prunes += other.length_prunes;
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
     }

@@ -22,10 +22,21 @@
 //! baseline (nodes are deterministic, so that gate is
 //! machine-independent).
 //!
+//! With `--throughput`, the binary additionally pushes the same
+//! workload corpus through the NDJSON job service (scheduler fan-out,
+//! shared session caches) and records `throughput_jobs_per_sec`; the
+//! `--check` gate then also fails on a >2× throughput drop against the
+//! baseline artifact. `--summary-md <path>` writes the job-summary
+//! markdown from the in-memory numbers (CI `cat`s it into
+//! `$GITHUB_STEP_SUMMARY` instead of scraping the JSON). `--budget
+//! full` switches from the PR-CI quick budget to the nightly table
+//! budget.
+//!
 //! ```text
 //! cargo run --release -p bench --bin perf -- \
 //!     [--out BENCH_dse.json] [--check crates/bench/baseline/BENCH_dse.json] \
-//!     [--flip-workers 4] [--programs 10]
+//!     [--flip-workers 4] [--programs 10] [--budget quick|full] \
+//!     [--throughput] [--summary-md PERF_SUMMARY.md]
 //! ```
 
 use std::time::Instant;
@@ -193,11 +204,38 @@ fn extract_number(json: &str, key: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
+/// Pushes the workload corpus through the NDJSON job service (the
+/// scheduler behind `expose-serve`) and returns `(jobs, workers,
+/// wall_ms, jobs_per_sec)`.
+fn measure_throughput(programs: usize, budget: Budget, workers: usize) -> (u64, usize, f64, f64) {
+    let corpus_budget = if budget.executions >= Budget::full().executions {
+        expose_service::CorpusBudget::Full
+    } else {
+        expose_service::CorpusBudget::Quick
+    };
+    let mut input = expose_service::corpus_submit_lines(programs, corpus_budget).join("\n");
+    input.push('\n');
+    let config = expose_service::ServiceConfig {
+        workers,
+        ..expose_service::ServiceConfig::default()
+    };
+    let mut output: Vec<u8> = Vec::new();
+    let started = Instant::now();
+    let summary = expose_service::serve(input.as_bytes(), &mut output, &config)
+        .expect("throughput session failed");
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    let jobs_per_sec = summary.jobs as f64 / (wall_ms / 1e3).max(1e-9);
+    (summary.jobs, workers, wall_ms, jobs_per_sec)
+}
+
 fn main() {
     let mut out = String::from("BENCH_dse.json");
     let mut check: Option<String> = None;
     let mut flip_workers = 4usize;
     let mut programs = 10usize;
+    let mut budget_name = String::from("quick");
+    let mut throughput = false;
+    let mut summary_md: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| {
@@ -211,6 +249,15 @@ fn main() {
                 flip_workers = value("--flip-workers").parse().expect("worker count")
             }
             "--programs" => programs = value("--programs").parse().expect("program count"),
+            "--budget" => {
+                budget_name = value("--budget");
+                assert!(
+                    matches!(budget_name.as_str(), "quick" | "full"),
+                    "unknown budget {budget_name:?} (expected quick|full)"
+                );
+            }
+            "--throughput" => throughput = true,
+            "--summary-md" => summary_md = Some(value("--summary-md")),
             other => panic!("unknown argument {other:?}"),
         }
     }
@@ -218,10 +265,15 @@ fn main() {
         flip_workers >= 4,
         "the tracked configuration uses flip_workers >= 4"
     );
+    let budget = if budget_name == "full" {
+        Budget::full()
+    } else {
+        Budget::quick()
+    };
 
     let set = workload_set(programs);
     eprintln!(
-        "perf: {} workloads, quick budget, flip_workers={flip_workers}",
+        "perf: {} workloads, {budget_name} budget, flip_workers={flip_workers}",
         set.len()
     );
 
@@ -230,7 +282,7 @@ fn main() {
             flip_workers: 1,
             model_cache_capacity: 0,
             query_cache_capacity: 0,
-            ..engine_config(SupportLevel::Refinement, Budget::quick())
+            ..engine_config(SupportLevel::Refinement, budget)
         };
         // The baseline is the engine exactly as the serial reproduction
         // ran it: caches off, eager unminimized automata, no length
@@ -275,7 +327,7 @@ fn main() {
 
     let opt_config = || EngineConfig {
         flip_workers,
-        ..engine_config(SupportLevel::Refinement, Budget::quick())
+        ..engine_config(SupportLevel::Refinement, budget)
     };
     let (optimized, optimized_trails) = run_best("optimized", &opt_config, &|| {
         DseCaches::from_config(&opt_config())
@@ -294,11 +346,41 @@ fn main() {
     }
     let speedup = baseline.wall_ms / optimized.wall_ms.max(1e-9);
 
+    // Throughput: the corpus through the NDJSON job service, best of
+    // the same REPS repetitions.
+    let throughput_numbers = throughput.then(|| {
+        let mut best: Option<(u64, usize, f64, f64)> = None;
+        for _ in 0..REPS {
+            let measured = measure_throughput(programs, budget, flip_workers);
+            if best.is_none_or(|b| measured.3 > b.3) {
+                best = Some(measured);
+            }
+        }
+        let best = best.expect("at least one repetition");
+        eprintln!(
+            "perf: throughput {:.1} jobs/sec ({} jobs, {} workers, {:.0} ms)",
+            best.3, best.0, best.1, best.2
+        );
+        best
+    });
+    let throughput_json = match &throughput_numbers {
+        Some((jobs, workers, wall_ms, jobs_per_sec)) => format!(
+            concat!(
+                "  \"throughput_jobs\": {},\n",
+                "  \"throughput_workers\": {},\n",
+                "  \"throughput_wall_ms\": {:.1},\n",
+                "  \"throughput_jobs_per_sec\": {:.1},\n",
+            ),
+            jobs, workers, wall_ms, jobs_per_sec
+        ),
+        None => String::new(),
+    };
+
     let json = format!(
         concat!(
             "{{\n",
             "  \"schema\": \"expose-bench-dse/v1\",\n",
-            "  \"budget\": \"quick\",\n",
+            "  \"budget\": \"{}\",\n",
             "  \"workloads\": {},\n",
             "  \"flip_workers\": {},\n",
             "  \"baseline_wall_ms\": {:.1},\n",
@@ -306,10 +388,12 @@ fn main() {
             "  \"speedup\": {:.3},\n",
             "  \"verdict_diffs\": {},\n",
             "  \"optimized_solver_nodes\": {},\n",
+            "{}",
             "  \"baseline\": {},\n",
             "  \"optimized\": {}\n",
             "}}\n"
         ),
+        budget_name,
         set.len(),
         flip_workers,
         baseline.wall_ms,
@@ -317,11 +401,62 @@ fn main() {
         speedup,
         verdict_diffs,
         optimized.solver_nodes,
+        throughput_json,
         baseline.json(set.len()),
         optimized.json(set.len()),
     );
     std::fs::write(&out, &json).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
     eprintln!("perf: speedup {speedup:.2}x, verdict_diffs {verdict_diffs}, wrote {out}");
+
+    // The job-summary markdown, rendered from the numbers themselves —
+    // CI used to scrape the JSON with grep, which silently dropped
+    // keys whenever the formatting shifted.
+    if let Some(path) = &summary_md {
+        use std::fmt::Write as _;
+        let mut md = String::new();
+        let _ = writeln!(md, "### Perf ({budget_name} budget, BENCH_dse.json)");
+        let _ = writeln!(
+            md,
+            "- **speedup**: {speedup:.2}x (baseline {:.1} ms \u{2192} optimized {:.1} ms)",
+            baseline.wall_ms, optimized.wall_ms
+        );
+        let _ = writeln!(md, "- **verdict_diffs**: {verdict_diffs}");
+        let _ = writeln!(
+            md,
+            "- **solver nodes** (baseline \u{2192} optimized): {} \u{2192} {}",
+            baseline.solver_nodes, optimized.solver_nodes
+        );
+        let _ = writeln!(
+            md,
+            "- **automata counters** (baseline \u{2192} optimized): states built {} \u{2192} {}, \
+             after minimize {} \u{2192} {}, length prunes {} \u{2192} {}",
+            baseline.dfa_states_built,
+            optimized.dfa_states_built,
+            baseline.states_after_minimize,
+            optimized.states_after_minimize,
+            baseline.length_prunes,
+            optimized.length_prunes,
+        );
+        let _ = writeln!(
+            md,
+            "- **cache hit rates** (optimized): model {:.1}%, query {:.1}%",
+            100.0 * Aggregate::hit_rate(optimized.model_cache_hits, optimized.model_cache_misses),
+            100.0 * Aggregate::hit_rate(optimized.query_cache_hits, optimized.query_cache_misses),
+        );
+        if let Some((jobs, workers, wall_ms, jobs_per_sec)) = &throughput_numbers {
+            let _ = writeln!(
+                md,
+                "- **service throughput**: {jobs_per_sec:.1} jobs/sec \
+                 ({jobs} jobs, {workers} workers, {wall_ms:.0} ms)"
+            );
+        }
+        let _ = writeln!(md);
+        let _ = writeln!(md, "<details><summary>Full artifact</summary>\n");
+        let _ = writeln!(md, "```json\n{}```\n", json);
+        let _ = writeln!(md, "</details>");
+        std::fs::write(path, md).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        eprintln!("perf: wrote summary markdown to {path}");
+    }
 
     if verdict_diffs > 0 {
         eprintln!("perf: FAIL — parallel/cached run changed {verdict_diffs} verdict trail(s)");
@@ -369,6 +504,27 @@ fn main() {
         if optimized.solver_nodes as f64 > node_limit {
             eprintln!("perf: FAIL — optimized solver_nodes regressed more than 2x the baseline");
             std::process::exit(5);
+        }
+        // Service-throughput gate: only when this run measured it and
+        // the reference artifact has a number to compare against (PR
+        // CI runs without --throughput and older baselines lack the
+        // key — both skip the gate rather than failing spuriously).
+        if let Some((_, _, _, jobs_per_sec)) = &throughput_numbers {
+            if let Some(reference_tps) = extract_number(&reference, "throughput_jobs_per_sec") {
+                let floor = reference_tps / 2.0;
+                eprintln!(
+                    "perf: check {jobs_per_sec:.1} jobs/sec against baseline {reference_tps:.1} \
+                     (floor {floor:.1})"
+                );
+                if *jobs_per_sec < floor {
+                    eprintln!(
+                        "perf: FAIL — service throughput regressed more than 2x the baseline"
+                    );
+                    std::process::exit(6);
+                }
+            } else {
+                eprintln!("perf: baseline has no throughput_jobs_per_sec; gate skipped");
+            }
         }
     }
 }

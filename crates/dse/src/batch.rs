@@ -4,17 +4,16 @@
 //! cores, aggregating coverage as each terminates (§6.2: "the analysis
 //! is highly scalable"). The unit of parallelism here is one *program*
 //! (the per-program engine stays deterministic, so the reproduced tables
-//! are stable): [`run_batch`] fans a set of jobs out over worker threads
-//! with crossbeam's scoped threads and collects the reports in input
-//! order.
-
-use crossbeam::thread;
-use parking_lot::Mutex;
+//! are stable). [`run_batch`] is the one-shot front door: it delegates
+//! to the work-stealing [`crate::sched::Scheduler`] — jobs migrate
+//! between shards instead of being statically partitioned — and
+//! collects the re-sequenced reports in input order.
 
 use crate::ast::Program;
-use crate::caching::DseCaches;
-use crate::engine::{resolve_workers, run_dse_with_caches, EngineConfig, Report};
+use crate::caching::CacheSet;
+use crate::engine::{EngineConfig, Report};
 use crate::interp::Harness;
+use crate::sched::{Scheduler, SchedulerConfig};
 
 /// One DSE job: a parsed program plus its harness and configuration.
 #[derive(Debug, Clone)]
@@ -34,13 +33,14 @@ pub struct Job {
 /// `max(1, available_parallelism)` — the default for CLI-style callers
 /// that pass an unvalidated knob through.
 ///
-/// All jobs share one model/query cache set (sized to the largest
-/// capacities requested by any job), so a regex or query solved for
-/// one package is free for every other.
+/// All jobs share one session cache set — regex models, solver
+/// verdicts, and the DFA intern tables, each sized to the largest
+/// capacity requested by any job — so a regex or query solved for one
+/// package is free for every other.
 ///
 /// # Panics
 ///
-/// Panics if a worker thread panics (propagating the inner panic).
+/// Panics if a job panics (propagating the job's panic message).
 ///
 /// # Examples
 ///
@@ -63,9 +63,7 @@ pub struct Job {
 /// assert!(reports.iter().all(|r| r.coverage_fraction() > 0.9));
 /// ```
 pub fn run_batch(jobs: Vec<Job>, workers: usize) -> Vec<Report> {
-    let workers = resolve_workers(workers);
-    let n = jobs.len();
-    let caches = DseCaches::new(
+    let caches = CacheSet::session(
         jobs.iter()
             .map(|j| j.config.model_cache_capacity)
             .max()
@@ -74,28 +72,44 @@ pub fn run_batch(jobs: Vec<Job>, workers: usize) -> Vec<Report> {
             .map(|j| j.config.query_cache_capacity)
             .max()
             .unwrap_or(0),
+        jobs.iter()
+            .map(|j| j.config.solver.dfa_cache_capacity)
+            .max()
+            .unwrap_or(0),
     );
-    let queue: Mutex<std::collections::VecDeque<(usize, Job)>> =
-        Mutex::new(jobs.into_iter().enumerate().collect());
-    let results: Mutex<Vec<Option<Report>>> = Mutex::new((0..n).map(|_| None).collect());
+    run_batch_with_caches(jobs, workers, caches)
+}
 
-    thread::scope(|scope| {
-        for _ in 0..workers.min(n.max(1)) {
-            scope.spawn(|_| loop {
-                let next = queue.lock().pop_front();
-                let Some((index, job)) = next else { break };
-                let report = run_dse_with_caches(&job.program, &job.harness, &job.config, &caches);
-                results.lock()[index] = Some(report);
-            });
+/// [`run_batch`] with a caller-provided session cache set, so several
+/// batches (or a batch and a service session) share models, verdicts
+/// and DFA tables.
+///
+/// # Panics
+///
+/// Panics if a job panics (propagating the job's panic message).
+pub fn run_batch_with_caches(jobs: Vec<Job>, workers: usize, caches: CacheSet) -> Vec<Report> {
+    let n = jobs.len();
+    let scheduler = Scheduler::start(
+        SchedulerConfig {
+            workers,
+            max_inflight: 0,
+        },
+        caches,
+    );
+    for job in jobs {
+        scheduler.submit(job);
+    }
+    scheduler.close();
+    let mut reports = Vec::with_capacity(n);
+    while let Some(completion) = scheduler.next_ordered() {
+        match completion.outcome {
+            Ok(report) => reports.push(report),
+            Err(message) => panic!("batch job {} failed: {message}", completion.name),
         }
-    })
-    .expect("worker thread panicked");
-
-    results
-        .into_inner()
-        .into_iter()
-        .map(|r| r.expect("all jobs completed"))
-        .collect()
+    }
+    scheduler.join();
+    assert_eq!(reports.len(), n, "all jobs completed");
+    reports
 }
 
 #[cfg(test)]

@@ -1,18 +1,22 @@
 //! The engine's shared cache set.
 //!
 //! One [`DseCaches`] instance is shared by every flip query of a DSE
-//! run — and, via [`crate::batch::run_batch`], across all jobs of a
-//! batch: the model cache amortizes regex→SMT model construction and
-//! the query cache amortizes whole solver queries (child traces share
-//! their path prefix with the parent, so the prefix flip queries repeat
-//! verbatim). Both caches are verdict-preserving: a hit returns exactly
-//! what a fresh build/solve would (see `tests/cache_differential.rs`),
-//! so sharing never perturbs the reproduced tables.
+//! run — and, via [`crate::sched::Scheduler`] and
+//! [`crate::batch::run_batch`], across all jobs of a session: the model
+//! cache amortizes regex→SMT model construction, the query cache
+//! amortizes whole solver queries (child traces share their path prefix
+//! with the parent, so the prefix flip queries repeat verbatim), and a
+//! [`DseCaches::session`] set additionally shares the solver's DFA
+//! intern tables so a regex determinized for one job is free for every
+//! other. All three layers are verdict-preserving: a hit returns
+//! exactly what a fresh build/solve would (see
+//! `tests/cache_differential.rs`), so sharing never perturbs the
+//! reproduced tables.
 
 use std::sync::Arc;
 
 use expose_core::cache::ModelCache;
-use strsolve::QueryCache;
+use strsolve::{DfaTables, QueryCache};
 
 use crate::engine::EngineConfig;
 
@@ -23,21 +27,55 @@ pub struct DseCaches {
     pub model: Arc<ModelCache>,
     /// Canonicalized formula → solver verdict.
     pub query: Arc<QueryCache>,
+    /// Session-scoped DFA intern tables. `None` (the single-run
+    /// default) leaves each solver its private tables; a scheduler
+    /// session shares one instance across every shard so a regex
+    /// determinized for one job is free for all others.
+    pub dfa: Option<DfaTables>,
 }
+
+/// A session-scoped cache set: the name under which scheduler shards
+/// and the job service share one [`DseCaches`] (models, verdicts, and
+/// DFA intern tables) across every job of a session. Construct with
+/// [`DseCaches::session`].
+pub type CacheSet = DseCaches;
 
 impl DseCaches {
     /// Creates a cache set with the given capacities (`0` disables the
-    /// respective cache).
+    /// respective cache). The DFA tables stay solver-private.
     pub fn new(model_capacity: usize, query_capacity: usize) -> DseCaches {
         DseCaches {
             model: Arc::new(ModelCache::new(model_capacity)),
             query: Arc::new(QueryCache::new(query_capacity)),
+            dfa: None,
+        }
+    }
+
+    /// Creates a session cache set: models, verdicts, *and* DFA intern
+    /// tables shared by every run handed this set. `dfa_capacity` is
+    /// the per-index capacity of the shared tables (`0` keeps lookups
+    /// always-missing, matching a disabled solver-private cache).
+    pub fn session(model_capacity: usize, query_capacity: usize, dfa_capacity: usize) -> DseCaches {
+        DseCaches {
+            model: Arc::new(ModelCache::new(model_capacity)),
+            query: Arc::new(QueryCache::new(query_capacity)),
+            dfa: Some(DfaTables::new(dfa_capacity)),
         }
     }
 
     /// A cache set sized from an engine configuration.
     pub fn from_config(config: &EngineConfig) -> DseCaches {
         DseCaches::new(config.model_cache_capacity, config.query_cache_capacity)
+    }
+
+    /// A session cache set sized from an engine configuration (the DFA
+    /// tables take the solver's `dfa_cache_capacity`).
+    pub fn session_from_config(config: &EngineConfig) -> DseCaches {
+        DseCaches::session(
+            config.model_cache_capacity,
+            config.query_cache_capacity,
+            config.solver.dfa_cache_capacity,
+        )
     }
 
     /// A fully disabled cache set (every lookup misses and stores
@@ -57,6 +95,16 @@ mod tests {
         let clone = caches.clone();
         assert!(Arc::ptr_eq(&caches.model, &clone.model));
         assert!(Arc::ptr_eq(&caches.query, &clone.query));
+    }
+
+    #[test]
+    fn session_set_carries_shared_dfa_tables() {
+        let caches = DseCaches::session(8, 8, 16);
+        let tables = caches.dfa.as_ref().expect("session tables");
+        assert_eq!(tables.capacity(), 16);
+        assert!(tables.is_empty());
+        // Plain sets keep solver-private tables.
+        assert!(DseCaches::new(8, 8).dfa.is_none());
     }
 
     #[test]

@@ -165,6 +165,12 @@ impl Report {
         self.queries.iter().map(|q| q.length_prunes).sum()
     }
 
+    /// Total solver DFA-cache lookups served from resident entries
+    /// (session-table reuse under a [`crate::caching::CacheSet`]).
+    pub fn dfa_cache_hits(&self) -> u64 {
+        self.queries.iter().map(|q| q.dfa_cache_hits).sum()
+    }
+
     /// Total wall-clock spent in solver queries.
     pub fn solver_time(&self) -> std::time::Duration {
         self.queries.iter().map(|q| q.duration).sum()
@@ -224,11 +230,14 @@ pub fn run_dse_with_caches(
     };
     // A zero-capacity query cache is fully disabled: skip attaching it
     // so the uncached baseline pays no canonicalization overhead.
-    let solver = if caches.query.capacity() > 0 {
+    let mut solver = if caches.query.capacity() > 0 {
         Solver::new(config.solver.clone()).with_cache(caches.query.clone())
     } else {
         Solver::new(config.solver.clone())
     };
+    if let Some(tables) = &caches.dfa {
+        solver = solver.with_dfa_tables(tables);
+    }
     let flip_workers = resolve_workers(config.flip_workers);
     let interp_config = InterpConfig {
         support: config.support,

@@ -10,7 +10,9 @@
 //! * query construction and solving ([`solve`]) through the
 //!   capturing-language models and CEGAR loop of [`expose_core`];
 //! * a generational-search driver with CUPA-style scheduling
-//!   ([`engine`], §6.2), parameterized by the Table 7 support levels.
+//!   ([`engine`], §6.2), parameterized by the Table 7 support levels;
+//! * a work-stealing sharded scheduler for job streams ([`sched`]),
+//!   with the one-shot batch front door ([`batch`]) on top.
 //!
 //! # Examples
 //!
@@ -35,14 +37,16 @@ pub mod engine;
 pub mod interp;
 pub mod lexer;
 pub mod parser;
+pub mod sched;
 pub mod solve;
 pub mod sym;
 pub mod value;
 
-pub use batch::{run_batch, Job};
-pub use caching::DseCaches;
+pub use batch::{run_batch, run_batch_with_caches, Job};
+pub use caching::{CacheSet, DseCaches};
 pub use engine::{run_dse, run_dse_with_caches, EngineConfig, Report};
 pub use interp::{execute, ArgSpec, Harness, InterpConfig};
+pub use sched::{Completion, JobId, Scheduler, SchedulerConfig, ShardStats};
 pub use solve::{solve_flip, FlipResult, QueryRecord};
 pub use sym::{Clause, RegexEvent, SymExpr, Trace};
 pub use value::{Concolic, Value};

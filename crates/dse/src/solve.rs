@@ -51,6 +51,9 @@ pub struct QueryRecord {
     pub states_after_minimize: u64,
     /// Conjunctions refuted by length abstraction before word search.
     pub length_prunes: u64,
+    /// Solver DFA-cache lookups served from resident entries (shared
+    /// session tables or the solver-private cache).
+    pub dfa_cache_hits: u64,
 }
 
 /// The result of solving one flipped path condition.
@@ -189,6 +192,7 @@ pub fn solve_flip(
             dfa_states_built: solver_stats.dfa_states_built,
             states_after_minimize: solver_stats.states_after_minimize,
             length_prunes: solver_stats.length_prunes,
+            dfa_cache_hits: solver_stats.dfa_cache_hits,
             ..record_base
         },
         inputs,

@@ -1,0 +1,209 @@
+//! `expose-serve` — the NDJSON DSE job service.
+//!
+//! ```text
+//! # Stream jobs through the work-stealing scheduler (stdin/stdout):
+//! expose-serve [--workers N] [--max-inflight N]
+//!
+//! # Same protocol over a Unix socket (connections share warm caches):
+//! expose-serve --socket /tmp/expose.sock [--workers N]
+//!
+//! # Serial reference: run the submits through `run_batch(jobs, 1)`
+//! # and print the same result lines (the service-smoke CI job diffs
+//! # this against the streamed output — they must be byte-identical):
+//! expose-serve --batch
+//!
+//! # Print the benchmark corpus as submit lines (pipe back in):
+//! expose-serve --emit-corpus 10 [--budget quick|full]
+//! ```
+
+use std::io::{BufRead, BufReader, Write};
+
+use expose_dse::sched::Completion;
+use expose_dse::{run_batch, Job};
+use expose_service::session::{job_from_submit, serve, serve_with_caches, ServiceConfig};
+use expose_service::{corpus_submit_lines, proto, CorpusBudget, Request};
+
+struct Options {
+    workers: usize,
+    max_inflight: usize,
+    socket: Option<String>,
+    batch: bool,
+    emit_corpus: Option<usize>,
+    budget: CorpusBudget,
+}
+
+fn parse_args() -> Options {
+    let mut options = Options {
+        workers: 0,
+        max_inflight: 256,
+        socket: None,
+        batch: false,
+        emit_corpus: None,
+        budget: CorpusBudget::Quick,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--workers" => options.workers = value("--workers").parse().expect("worker count"),
+            "--max-inflight" => {
+                options.max_inflight = value("--max-inflight").parse().expect("bound")
+            }
+            "--socket" => options.socket = Some(value("--socket")),
+            "--batch" => options.batch = true,
+            "--emit-corpus" => {
+                options.emit_corpus = Some(value("--emit-corpus").parse().expect("program count"))
+            }
+            "--budget" => {
+                options.budget = match value("--budget").as_str() {
+                    "quick" => CorpusBudget::Quick,
+                    "full" => CorpusBudget::Full,
+                    other => panic!("unknown budget {other:?} (expected quick|full)"),
+                }
+            }
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+    options
+}
+
+fn service_config(options: &Options) -> ServiceConfig {
+    ServiceConfig {
+        workers: options.workers,
+        max_inflight: options.max_inflight,
+        ..ServiceConfig::default()
+    }
+}
+
+/// The serial reference: collect submits, run them through
+/// `run_batch(jobs, 1)`, and print result lines identical to a
+/// streamed session's.
+fn run_batch_mode(input: impl BufRead, config: &ServiceConfig) -> std::io::Result<()> {
+    let mut pending: Vec<(String, Result<Job, String>)> = Vec::new();
+    for line in input.lines() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match proto::parse_request(line) {
+            Ok(Request::Submit(submit)) => {
+                let name = submit
+                    .name
+                    .clone()
+                    .unwrap_or_else(|| format!("job{}", pending.len()));
+                let job = job_from_submit(&submit, &name, &config.engine);
+                pending.push((name, job));
+            }
+            Ok(Request::Shutdown) => break,
+            Ok(Request::Status | Request::Stats) => {
+                // Progress queries are meaningless for an offline
+                // batch; the streamed session answers them instead.
+            }
+            Err(message) => {
+                println!("{}", proto::error_line(&message));
+            }
+        }
+    }
+
+    let jobs: Vec<Job> = pending
+        .iter()
+        .filter_map(|(_, job)| job.as_ref().ok().cloned())
+        .collect();
+    let mut reports = run_batch(jobs, 1).into_iter();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let total = pending.len() as u64;
+    for (id, (name, job)) in pending.into_iter().enumerate() {
+        let outcome = match job {
+            Ok(_) => Ok(reports.next().expect("one report per job")),
+            Err(error) => Err(error),
+        };
+        let completion = Completion {
+            id: id as u64,
+            name,
+            outcome,
+        };
+        writeln!(out, "{}", proto::result_line(&completion))?;
+    }
+    writeln!(out, "{}", proto::done_line(total))?;
+    Ok(())
+}
+
+#[cfg(unix)]
+fn run_socket(path: &str, config: &ServiceConfig) -> std::io::Result<()> {
+    use std::os::unix::net::UnixListener;
+
+    // A stale socket file from a previous run would make bind fail.
+    let _ = std::fs::remove_file(path);
+    let listener = UnixListener::bind(path)?;
+    eprintln!("expose-serve: listening on {path}");
+    // All connections share one warm cache set — the point of running
+    // as a service.
+    let caches = config.cache_set();
+    std::thread::scope(|scope| {
+        for stream in listener.incoming() {
+            let stream = match stream {
+                Ok(stream) => stream,
+                Err(e) => {
+                    eprintln!("expose-serve: accept failed: {e}");
+                    continue;
+                }
+            };
+            let caches = caches.clone();
+            scope.spawn(move || {
+                let reader = match stream.try_clone() {
+                    Ok(clone) => BufReader::new(clone),
+                    Err(e) => {
+                        eprintln!("expose-serve: socket clone failed: {e}");
+                        return;
+                    }
+                };
+                if let Err(e) = serve_with_caches(reader, stream, config, caches) {
+                    eprintln!("expose-serve: session failed: {e}");
+                }
+            });
+        }
+    });
+    Ok(())
+}
+
+#[cfg(not(unix))]
+fn run_socket(_path: &str, _config: &ServiceConfig) -> std::io::Result<()> {
+    Err(std::io::Error::new(
+        std::io::ErrorKind::Unsupported,
+        "--socket requires a Unix platform",
+    ))
+}
+
+fn main() -> std::io::Result<()> {
+    let options = parse_args();
+
+    if let Some(generated) = options.emit_corpus {
+        let stdout = std::io::stdout();
+        let mut out = stdout.lock();
+        for line in corpus_submit_lines(generated, options.budget) {
+            writeln!(out, "{line}")?;
+        }
+        return Ok(());
+    }
+
+    let config = service_config(&options);
+    if options.batch {
+        return run_batch_mode(std::io::stdin().lock(), &config);
+    }
+    if let Some(path) = &options.socket {
+        return run_socket(path, &config);
+    }
+
+    let stdin = std::io::stdin();
+    let summary = serve(stdin.lock(), std::io::stdout(), &config)?;
+    eprintln!(
+        "expose-serve: session done, {} job(s), {} malformed request(s)",
+        summary.jobs, summary.request_errors
+    );
+    Ok(())
+}

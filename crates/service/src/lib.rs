@@ -1,0 +1,94 @@
+//! The ExpoSE job service: a long-running NDJSON front-end over the
+//! work-stealing DSE scheduler.
+//!
+//! The paper's evaluation shape — thousands of independent DSE jobs —
+//! is exactly what a service should amortize: [`session::serve`] runs
+//! one session (submit jobs, query status/stats, stream re-sequenced
+//! results), all sessions of a process can share one warm
+//! [`expose_dse::CacheSet`], and the `expose-serve` binary exposes the
+//! whole thing over stdin/stdout or a Unix socket.
+//!
+//! See [`proto`] for the wire protocol and its determinism contract:
+//! the `result` stream of a session is byte-identical for any worker
+//! count.
+
+pub mod json;
+pub mod proto;
+pub mod session;
+
+pub use proto::{parse_request, result_line, verdict_digest, Request, SubmitRequest};
+pub use session::{serve, serve_with_caches, ServiceConfig, ServiceSummary};
+
+use crate::json::escaped;
+
+/// Execution budget for [`corpus_submit_lines`] (mirrors the bench
+/// harness presets: quick for PR CI, full for the nightly run).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorpusBudget {
+    /// 40 executions, 50k interpreter steps — the PR-CI budget.
+    Quick,
+    /// 48 executions, 100k interpreter steps — the table/nightly
+    /// budget.
+    Full,
+}
+
+impl CorpusBudget {
+    /// `(max_executions, max_steps)` of the preset.
+    pub fn limits(self) -> (usize, u64) {
+        match self {
+            CorpusBudget::Quick => (40, 50_000),
+            CorpusBudget::Full => (48, 100_000),
+        }
+    }
+}
+
+/// The standard benchmark corpus (the eleven Table 6 library workloads
+/// plus `generated` Table 7 programs) as NDJSON `submit` lines — the
+/// input of the `service-smoke` CI job and the throughput bench.
+pub fn corpus_submit_lines(generated: usize, budget: CorpusBudget) -> Vec<String> {
+    let (max_executions, max_steps) = budget.limits();
+    let submit = |name: &str, source: &str, entry: &str, arity: usize| {
+        format!(
+            "{{\"type\":\"submit\",\"name\":{},\"entry\":{},\"arity\":{arity},\
+             \"max_executions\":{max_executions},\"max_steps\":{max_steps},\
+             \"program\":{}}}",
+            escaped(name),
+            escaped(entry),
+            escaped(source),
+        )
+    };
+    let mut lines = Vec::new();
+    for w in corpus::library_workloads() {
+        lines.push(submit(w.name, w.source, w.entry, w.arity));
+    }
+    for p in corpus::generate_dse_programs(generated, 0xbe7c) {
+        lines.push(submit(&p.name, &p.source, &p.entry, p.arity));
+    }
+    lines
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_lines_parse_as_submits() {
+        let lines = corpus_submit_lines(3, CorpusBudget::Quick);
+        assert_eq!(lines.len(), 11 + 3);
+        for line in &lines {
+            let Request::Submit(submit) = parse_request(line).expect("parses") else {
+                panic!("submit line");
+            };
+            assert_eq!(submit.max_executions, Some(40));
+            assert_eq!(submit.max_steps, Some(50_000));
+            // Programs must survive the JSON round trip intact.
+            expose_dse::parser::parse_program(&submit.program).expect("program parses");
+        }
+    }
+
+    #[test]
+    fn budgets_differ() {
+        assert_eq!(CorpusBudget::Quick.limits(), (40, 50_000));
+        assert_eq!(CorpusBudget::Full.limits(), (48, 100_000));
+    }
+}

@@ -1,0 +1,410 @@
+//! The NDJSON request/response protocol.
+//!
+//! One JSON object per line in both directions. Requests:
+//!
+//! ```json
+//! {"type":"submit","name":"lib1","program":"function f(x){...}","entry":"f",
+//!  "arity":1,"harness":"strings","support":"refinement","max_executions":40,
+//!  "max_steps":50000,"seed":24301,"ack":false}
+//! {"type":"status"}
+//! {"type":"stats"}
+//! {"type":"shutdown"}
+//! ```
+//!
+//! Every field of `submit` except `program` is optional. Responses are
+//! `result` lines (one per job, re-sequenced by job id — see below),
+//! plus `status`/`stats` answers, `error` lines for malformed
+//! requests, and a final `done` line.
+//!
+//! **Determinism contract:** `result` lines carry only fields that are
+//! invariant under scheduling — coverage, executions, generated tests,
+//! bugs, query verdict counts and the verdict-trail digest. Wall-clock
+//! and cache hit/miss splits deliberately live in `stats` instead: the
+//! `result` stream of a session is byte-identical for any worker count
+//! (`crates/service/tests/service_differential.rs` and the
+//! `service-smoke` CI job enforce this).
+
+use expose_core::SupportLevel;
+use expose_dse::sched::{Completion, Progress, ShardStats};
+use expose_dse::Report;
+
+use crate::json::{self, Value};
+
+/// How the entry function's arguments are built (mirrors
+/// `expose_dse::Harness` constructors).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HarnessKind {
+    /// `n` symbolic string arguments.
+    Strings,
+    /// One array of `n` symbolic strings.
+    StringArray,
+}
+
+/// A parsed `submit` request.
+#[derive(Debug, Clone)]
+pub struct SubmitRequest {
+    /// Job label; defaults to `job<id>` at submission.
+    pub name: Option<String>,
+    /// Mini-JS program source.
+    pub program: String,
+    /// Entry function name (default `f`).
+    pub entry: String,
+    /// Entry arity (default 1).
+    pub arity: usize,
+    /// Argument construction (default [`HarnessKind::Strings`]).
+    pub harness: HarnessKind,
+    /// Engine override: regex support level (absent = the session's
+    /// configured default).
+    pub support: Option<SupportLevel>,
+    /// Engine override: maximum concrete executions.
+    pub max_executions: Option<usize>,
+    /// Engine override: interpreter step budget.
+    pub max_steps: Option<u64>,
+    /// Engine override: clause flips per trace.
+    pub max_flips: Option<usize>,
+    /// Engine override: bucket-sampling seed.
+    pub seed: Option<u64>,
+    /// Engine override: per-trace flip-solving workers.
+    pub flip_workers: Option<usize>,
+    /// Emit an immediate `accepted` line (off by default: acks are
+    /// written when the request is read, so they interleave with the
+    /// result stream nondeterministically).
+    pub ack: bool,
+}
+
+/// A parsed request line.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Submit one DSE job.
+    Submit(Box<SubmitRequest>),
+    /// Report session progress counters.
+    Status,
+    /// Report cache and shard statistics.
+    Stats,
+    /// Close the session: drain queued jobs, then finish the stream.
+    Shutdown,
+}
+
+fn parse_support(s: &str) -> Result<SupportLevel, String> {
+    match s {
+        "concrete" => Ok(SupportLevel::Concrete),
+        "modeling" => Ok(SupportLevel::Modeling),
+        "captures" => Ok(SupportLevel::Captures),
+        "refinement" => Ok(SupportLevel::Refinement),
+        other => Err(format!(
+            "unknown support level {other:?} (expected concrete|modeling|captures|refinement)"
+        )),
+    }
+}
+
+fn parse_harness(s: &str) -> Result<HarnessKind, String> {
+    match s {
+        "strings" => Ok(HarnessKind::Strings),
+        "string-array" | "string_array" => Ok(HarnessKind::StringArray),
+        other => Err(format!(
+            "unknown harness {other:?} (expected strings|string-array)"
+        )),
+    }
+}
+
+fn opt_str(value: &Value, key: &str) -> Result<Option<String>, String> {
+    match value.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(Value::Str(s)) => Ok(Some(s.clone())),
+        Some(_) => Err(format!("{key} must be a string")),
+    }
+}
+
+fn opt_u64(value: &Value, key: &str) -> Result<Option<u64>, String> {
+    match value.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(v) => v
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| format!("{key} must be a non-negative integer")),
+    }
+}
+
+/// Parses one request line.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let value = json::parse(line).map_err(|e| format!("malformed JSON: {e}"))?;
+    let kind = value
+        .get("type")
+        .and_then(Value::as_str)
+        .ok_or_else(|| "missing \"type\"".to_string())?;
+    match kind {
+        "submit" => {
+            let program = opt_str(&value, "program")?
+                .ok_or_else(|| "submit requires \"program\"".to_string())?;
+            let support = match opt_str(&value, "support")? {
+                Some(s) => Some(parse_support(&s)?),
+                None => None,
+            };
+            let harness = match opt_str(&value, "harness")? {
+                Some(s) => parse_harness(&s)?,
+                None => HarnessKind::Strings,
+            };
+            Ok(Request::Submit(Box::new(SubmitRequest {
+                name: opt_str(&value, "name")?,
+                program,
+                entry: opt_str(&value, "entry")?.unwrap_or_else(|| "f".to_string()),
+                arity: opt_u64(&value, "arity")?.unwrap_or(1) as usize,
+                harness,
+                support,
+                max_executions: opt_u64(&value, "max_executions")?.map(|n| n as usize),
+                max_steps: opt_u64(&value, "max_steps")?,
+                max_flips: opt_u64(&value, "max_flips")?.map(|n| n as usize),
+                seed: opt_u64(&value, "seed")?,
+                flip_workers: opt_u64(&value, "flip_workers")?.map(|n| n as usize),
+                ack: value.get("ack").and_then(Value::as_bool).unwrap_or(false),
+            })))
+        }
+        "status" => Ok(Request::Status),
+        "stats" => Ok(Request::Stats),
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(format!("unknown request type {other:?}")),
+    }
+}
+
+/// FNV-1a 64 digest of a report's verdict trail: one `(sat,
+/// refinements, limit_hit)` record per query, in clause order. The
+/// trail is deterministic per job (caches are verdict-preserving), so
+/// the digest lets two runs be compared without shipping every record.
+pub fn verdict_digest(report: &Report) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |byte: u8| {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for q in &report.queries {
+        eat(u8::from(q.sat));
+        for b in (q.refinements as u64).to_le_bytes() {
+            eat(b);
+        }
+        eat(u8::from(q.limit_hit));
+    }
+    hash
+}
+
+/// Renders one `result` line (without trailing newline). Deterministic
+/// fields only — see the module docs.
+pub fn result_line(completion: &Completion) -> String {
+    let mut out = String::with_capacity(160);
+    out.push_str("{\"type\":\"result\",\"job\":");
+    out.push_str(&completion.id.to_string());
+    out.push_str(",\"name\":");
+    json::write_escaped(&mut out, &completion.name);
+    match &completion.outcome {
+        Err(message) => {
+            out.push_str(",\"error\":");
+            json::write_escaped(&mut out, message);
+        }
+        Ok(report) => {
+            use std::fmt::Write as _;
+            let sat = report.queries.iter().filter(|q| q.sat).count();
+            let refinements: usize = report.queries.iter().map(|q| q.refinements).sum();
+            let limit_hits = report.queries.iter().filter(|q| q.limit_hit).count();
+            let _ = write!(
+                out,
+                ",\"stmts\":{},\"covered\":{},\"coverage\":{:.4},\"executions\":{},\
+                 \"tests\":{},\"queries\":{},\"sat_queries\":{sat},\"refinements\":{refinements},\
+                 \"limit_hits\":{limit_hits},\"verdicts\":\"{:016x}\"",
+                report.stmt_count,
+                report.coverage.len(),
+                report.coverage_fraction(),
+                report.executions,
+                report.tests_generated,
+                report.queries.len(),
+                verdict_digest(report),
+            );
+            out.push_str(",\"bugs\":[");
+            for (i, (stmt, inputs)) in report.bugs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "[{stmt},[");
+                for (j, input) in inputs.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    json::write_escaped(&mut out, input);
+                }
+                out.push_str("]]");
+            }
+            out.push(']');
+        }
+    }
+    out.push('}');
+    out
+}
+
+/// Renders an `error` line for a malformed request.
+pub fn error_line(message: &str) -> String {
+    format!(
+        "{{\"type\":\"error\",\"message\":{}}}",
+        json::escaped(message)
+    )
+}
+
+/// Renders a `status` line from a progress snapshot.
+pub fn status_line(progress: &Progress, workers: usize) -> String {
+    format!(
+        "{{\"type\":\"status\",\"workers\":{workers},\"submitted\":{},\"drained\":{},\
+         \"inflight\":{},\"resequencing\":{}}}",
+        progress.submitted, progress.drained, progress.inflight, progress.resequencing
+    )
+}
+
+/// Cache counters for a `stats` line.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CacheCounters {
+    /// Regex-model cache hits / misses.
+    pub model: (u64, u64),
+    /// Solver query-cache hits / misses.
+    pub query: (u64, u64),
+    /// DFA-table hits / misses.
+    pub dfa: (u64, u64),
+}
+
+/// Renders a `stats` line (scheduling-dependent observability data —
+/// never part of the deterministic result stream).
+pub fn stats_line(caches: &CacheCounters, shards: &[ShardStats]) -> String {
+    let mut out = String::with_capacity(160);
+    let _ = {
+        use std::fmt::Write as _;
+        write!(
+            out,
+            "{{\"type\":\"stats\",\"model_cache\":[{},{}],\"query_cache\":[{},{}],\
+             \"dfa_tables\":[{},{}],\"shards\":[",
+            caches.model.0,
+            caches.model.1,
+            caches.query.0,
+            caches.query.1,
+            caches.dfa.0,
+            caches.dfa.1,
+        )
+    };
+    for (i, shard) in shards.iter().enumerate() {
+        use std::fmt::Write as _;
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"jobs\":{},\"local\":{},\"injector\":{},\"steals\":{}}}",
+            shard.jobs_run, shard.local_pops, shard.injector_claims, shard.steals
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Renders the immediate ack for `"ack": true` submissions.
+pub fn accepted_line(id: u64, name: &str) -> String {
+    format!(
+        "{{\"type\":\"accepted\",\"job\":{id},\"name\":{}}}",
+        json::escaped(name)
+    )
+}
+
+/// Renders the final line of a session's stream.
+pub fn done_line(jobs: u64) -> String {
+    format!("{{\"type\":\"done\",\"jobs\":{jobs}}}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_submit() {
+        let Request::Submit(submit) =
+            parse_request(r#"{"type":"submit","program":"function f(x){return x;}"}"#)
+                .expect("parses")
+        else {
+            panic!("submit");
+        };
+        assert_eq!(submit.entry, "f");
+        assert_eq!(submit.arity, 1);
+        assert_eq!(submit.support, None, "absent = session default");
+        assert_eq!(submit.harness, HarnessKind::Strings);
+        assert!(!submit.ack);
+    }
+
+    #[test]
+    fn parses_full_submit() {
+        let line = r#"{"type":"submit","name":"j","program":"function g(a,b){}","entry":"g",
+            "arity":2,"harness":"string-array","support":"captures","max_executions":8,
+            "max_steps":1000,"max_flips":4,"seed":7,"flip_workers":2,"ack":true}"#
+            .replace('\n', " ");
+        let Request::Submit(submit) = parse_request(&line).expect("parses") else {
+            panic!("submit");
+        };
+        assert_eq!(submit.name.as_deref(), Some("j"));
+        assert_eq!(submit.entry, "g");
+        assert_eq!(submit.arity, 2);
+        assert_eq!(submit.harness, HarnessKind::StringArray);
+        assert_eq!(submit.support, Some(SupportLevel::Captures));
+        assert_eq!(submit.max_executions, Some(8));
+        assert_eq!(submit.max_steps, Some(1000));
+        assert_eq!(submit.max_flips, Some(4));
+        assert_eq!(submit.seed, Some(7));
+        assert_eq!(submit.flip_workers, Some(2));
+        assert!(submit.ack);
+    }
+
+    #[test]
+    fn rejects_bad_requests() {
+        assert!(parse_request("not json").is_err());
+        assert!(parse_request(r#"{"type":"submit"}"#).is_err(), "no program");
+        assert!(parse_request(r#"{"type":"warp"}"#).is_err());
+        assert!(parse_request(r#"{"type":"submit","program":"x","support":"quantum"}"#).is_err());
+        assert!(parse_request(r#"{"program":"x"}"#).is_err(), "no type");
+    }
+
+    #[test]
+    fn result_line_shapes() {
+        let error = Completion {
+            id: 3,
+            name: "bad \"job\"".into(),
+            outcome: Err("parse: oops".into()),
+        };
+        let line = result_line(&error);
+        assert_eq!(
+            line,
+            r#"{"type":"result","job":3,"name":"bad \"job\"","error":"parse: oops"}"#
+        );
+        // Every rendered line must itself parse as JSON.
+        crate::json::parse(&line).expect("valid JSON");
+
+        let ok = Completion {
+            id: 0,
+            name: "w".into(),
+            outcome: Ok(Report {
+                stmt_count: 4,
+                executions: 2,
+                tests_generated: 1,
+                bugs: vec![(2, vec!["<t>".into()])],
+                ..Report::default()
+            }),
+        };
+        let line = result_line(&ok);
+        crate::json::parse(&line).expect("valid JSON");
+        assert!(line.contains("\"bugs\":[[2,[\"<t>\"]]]"), "{line}");
+        assert!(line.contains("\"verdicts\":\"cbf29ce484222325\""), "{line}");
+    }
+
+    #[test]
+    fn digest_tracks_verdicts() {
+        let mut report = Report::default();
+        let base = verdict_digest(&report);
+        report.queries.push(expose_dse::QueryRecord {
+            sat: true,
+            ..Default::default()
+        });
+        let one = verdict_digest(&report);
+        assert_ne!(base, one);
+        report.queries[0].refinements = 3;
+        assert_ne!(one, verdict_digest(&report));
+    }
+}

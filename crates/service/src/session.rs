@@ -1,0 +1,376 @@
+//! One service session: a reader loop feeding the scheduler and an
+//! emitter thread streaming re-sequenced results.
+//!
+//! The reader (the calling thread) parses NDJSON requests and submits
+//! jobs; [`expose_dse::sched::Scheduler::submit`] blocks when
+//! `max_inflight` jobs are pending, so backpressure propagates to the
+//! input — the session stops *reading* instead of buffering without
+//! bound. The emitter thread drains completions in job-id order and
+//! writes one `result` line per job as it lands; because the scheduler
+//! re-sequences, the result stream is byte-identical for any worker
+//! count.
+
+use std::io::{BufRead, Write};
+use std::sync::Mutex;
+
+use expose_dse::sched::{Scheduler, SchedulerConfig};
+use expose_dse::{parser::parse_program, CacheSet, EngineConfig, Harness, Job};
+
+use crate::proto::{self, CacheCounters, HarnessKind, Request, SubmitRequest};
+
+/// Session configuration.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker shards (`0` = auto).
+    pub workers: usize,
+    /// In-flight bound for backpressure (`0` = unbounded).
+    pub max_inflight: usize,
+    /// Regex-model cache capacity of a fresh session cache set.
+    pub model_cache_capacity: usize,
+    /// Solver query-cache capacity of a fresh session cache set.
+    pub query_cache_capacity: usize,
+    /// DFA intern-table capacity of a fresh session cache set.
+    pub dfa_table_capacity: usize,
+    /// Per-job engine defaults; `submit` fields override per job.
+    pub engine: EngineConfig,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        let engine = EngineConfig::default();
+        ServiceConfig {
+            workers: 0,
+            max_inflight: 256,
+            model_cache_capacity: engine.model_cache_capacity,
+            query_cache_capacity: engine.query_cache_capacity,
+            dfa_table_capacity: engine.solver.dfa_cache_capacity,
+            engine,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// A fresh session cache set sized from this configuration.
+    pub fn cache_set(&self) -> CacheSet {
+        CacheSet::session(
+            self.model_cache_capacity,
+            self.query_cache_capacity,
+            self.dfa_table_capacity,
+        )
+    }
+}
+
+/// What a finished session did.
+#[derive(Debug, Clone, Default)]
+pub struct ServiceSummary {
+    /// Jobs completed (including rejected submissions).
+    pub jobs: u64,
+    /// Requests that failed to parse.
+    pub request_errors: u64,
+}
+
+/// Builds the engine configuration of one submission.
+fn engine_for(submit: &SubmitRequest, defaults: &EngineConfig) -> EngineConfig {
+    let mut config = defaults.clone();
+    if let Some(support) = submit.support {
+        config.support = support;
+    }
+    if let Some(n) = submit.max_executions {
+        config.max_executions = n;
+    }
+    if let Some(n) = submit.max_steps {
+        config.max_steps = n;
+    }
+    if let Some(n) = submit.max_flips {
+        config.max_flips_per_trace = n;
+    }
+    if let Some(n) = submit.seed {
+        config.seed = n;
+    }
+    if let Some(n) = submit.flip_workers {
+        config.flip_workers = n;
+    }
+    config
+}
+
+/// Converts a submission into a runnable job (the program must parse).
+pub fn job_from_submit(
+    submit: &SubmitRequest,
+    name: &str,
+    defaults: &EngineConfig,
+) -> Result<Job, String> {
+    let program = parse_program(&submit.program).map_err(|e| format!("parse: {e}"))?;
+    let harness = match submit.harness {
+        HarnessKind::Strings => Harness::strings(&submit.entry, submit.arity),
+        HarnessKind::StringArray => Harness::string_array(&submit.entry, submit.arity),
+    };
+    Ok(Job {
+        name: name.to_string(),
+        program,
+        harness,
+        config: engine_for(submit, defaults),
+    })
+}
+
+/// Serves one NDJSON session over `input`/`output` with a fresh
+/// session cache set. Returns when the input ends or a `shutdown`
+/// request arrives, after the result stream has fully drained.
+pub fn serve<R: BufRead, W: Write + Send>(
+    input: R,
+    output: W,
+    config: &ServiceConfig,
+) -> std::io::Result<ServiceSummary> {
+    serve_with_caches(input, output, config, config.cache_set())
+}
+
+/// [`serve`] with a caller-provided cache set, so several sessions
+/// (e.g. successive socket connections) keep their caches warm.
+pub fn serve_with_caches<R: BufRead, W: Write + Send>(
+    input: R,
+    output: W,
+    config: &ServiceConfig,
+    caches: CacheSet,
+) -> std::io::Result<ServiceSummary> {
+    let dfa_tables = caches.dfa.clone();
+    let scheduler = Scheduler::start(
+        SchedulerConfig {
+            workers: config.workers,
+            max_inflight: config.max_inflight,
+        },
+        caches,
+    );
+    let output = Mutex::new(output);
+    // One line per call, atomically, so emitter and reader output
+    // never interleave mid-line.
+    let write_line = |line: &str| -> std::io::Result<()> {
+        let mut out = output.lock().expect("output poisoned");
+        writeln!(out, "{line}")?;
+        out.flush()
+    };
+
+    let mut summary = ServiceSummary::default();
+    let mut io_error: Option<std::io::Error> = None;
+
+    let reader_result = std::thread::scope(|scope| -> std::io::Result<()> {
+        let emitter = scope.spawn(|| {
+            let mut jobs: u64 = 0;
+            let mut first_error: Option<std::io::Error> = None;
+            while let Some(completion) = scheduler.next_ordered() {
+                jobs += 1;
+                if first_error.is_some() {
+                    // The sink is gone; keep draining so submitters
+                    // blocked on backpressure are not wedged.
+                    continue;
+                }
+                if let Err(e) = write_line(&proto::result_line(&completion)) {
+                    first_error = Some(e);
+                }
+            }
+            (jobs, first_error)
+        });
+
+        // The reader loop runs inside a closure so an I/O error (a
+        // dropped socket, a broken pipe on a status/ack write) cannot
+        // `?` past the `close()` below — the emitter only exits once
+        // the session is closed, and the scope joins it either way.
+        let reader = (|| -> std::io::Result<()> {
+            for line in input.lines() {
+                let line = line?;
+                let line = line.trim();
+                if line.is_empty() {
+                    continue;
+                }
+                match proto::parse_request(line) {
+                    Err(message) => {
+                        summary.request_errors += 1;
+                        write_line(&proto::error_line(&message))?;
+                    }
+                    Ok(Request::Submit(submit)) => {
+                        // The reader is the only submitter, so the next
+                        // id is stable between this read and the
+                        // submit call.
+                        let next_id = scheduler.progress().submitted;
+                        let name = submit
+                            .name
+                            .clone()
+                            .unwrap_or_else(|| format!("job{next_id}"));
+                        let id = match job_from_submit(&submit, &name, &config.engine) {
+                            Ok(job) => scheduler.submit(job),
+                            Err(error) => scheduler.submit_rejected(&name, error),
+                        };
+                        if submit.ack {
+                            write_line(&proto::accepted_line(id, &name))?;
+                        }
+                    }
+                    Ok(Request::Status) => {
+                        write_line(&proto::status_line(
+                            &scheduler.progress(),
+                            scheduler.workers(),
+                        ))?;
+                    }
+                    Ok(Request::Stats) => {
+                        let caches = scheduler.caches();
+                        let counters = CacheCounters {
+                            model: (caches.model.stats().hits, caches.model.stats().misses),
+                            query: (caches.query.hits(), caches.query.misses()),
+                            dfa: dfa_tables
+                                .as_ref()
+                                .map(|t| (t.hits(), t.misses()))
+                                .unwrap_or_default(),
+                        };
+                        write_line(&proto::stats_line(&counters, &scheduler.shard_stats()))?;
+                    }
+                    Ok(Request::Shutdown) => break,
+                }
+            }
+            Ok(())
+        })();
+
+        scheduler.close();
+        let (jobs, emit_error) = emitter.join().expect("emitter panicked");
+        summary.jobs = jobs;
+        io_error = emit_error;
+        reader
+    });
+
+    reader_result?;
+    if let Some(error) = io_error {
+        return Err(error);
+    }
+    write_line(&proto::done_line(summary.jobs))?;
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_lines(lines: &str, config: &ServiceConfig) -> (Vec<String>, ServiceSummary) {
+        let mut out: Vec<u8> = Vec::new();
+        let summary = serve(lines.as_bytes(), &mut out, config).expect("serve");
+        let text = String::from_utf8(out).expect("utf8");
+        (text.lines().map(str::to_string).collect(), summary)
+    }
+
+    fn quick_config(workers: usize) -> ServiceConfig {
+        ServiceConfig {
+            workers,
+            engine: EngineConfig {
+                max_executions: 6,
+                ..EngineConfig::default()
+            },
+            ..ServiceConfig::default()
+        }
+    }
+
+    #[test]
+    fn submits_stream_results_in_order() {
+        let input = concat!(
+            r#"{"type":"submit","name":"a","program":"function f(x) { if (x === \"k\") { return 1; } return 0; }"}"#,
+            "\n",
+            r#"{"type":"submit","name":"b","program":"function f(x) { return 0; }"}"#,
+            "\n",
+            r#"{"type":"shutdown"}"#,
+            "\n",
+        );
+        let (lines, summary) = run_lines(input, &quick_config(2));
+        assert_eq!(summary.jobs, 2);
+        assert_eq!(lines.len(), 3, "{lines:?}");
+        assert!(lines[0].starts_with(r#"{"type":"result","job":0,"name":"a""#));
+        assert!(lines[1].starts_with(r#"{"type":"result","job":1,"name":"b""#));
+        assert_eq!(lines[2], r#"{"type":"done","jobs":2}"#);
+    }
+
+    #[test]
+    fn parse_failures_hold_their_slot() {
+        let input = concat!(
+            r#"{"type":"submit","name":"bad","program":"function f(x) { if ("}"#,
+            "\n",
+            r#"{"type":"submit","name":"good","program":"function f(x) { return 0; }"}"#,
+            "\n",
+        );
+        let (lines, summary) = run_lines(input, &quick_config(2));
+        assert_eq!(summary.jobs, 2);
+        assert!(
+            lines[0].contains(r#""job":0,"name":"bad","error":"parse:"#),
+            "{}",
+            lines[0]
+        );
+        assert!(lines[1].contains(r#""job":1,"name":"good""#));
+    }
+
+    #[test]
+    fn malformed_requests_get_error_lines() {
+        let input = "this is not json\n{\"type\":\"status\"}\n";
+        let (lines, summary) = run_lines(input, &quick_config(1));
+        assert_eq!(summary.request_errors, 1);
+        assert!(lines[0].starts_with(r#"{"type":"error""#));
+        assert!(lines[1].starts_with(r#"{"type":"status""#), "{}", lines[1]);
+        assert_eq!(lines[2], r#"{"type":"done","jobs":0}"#);
+    }
+
+    #[test]
+    fn reader_io_error_ends_the_session_instead_of_hanging() {
+        // A sink that dies immediately: the first write (the error
+        // line for the malformed request) fails. serve() must close
+        // the scheduler and return the error — before the fix the
+        // reader error skipped `close()` and the scope deadlocked
+        // joining the emitter.
+        struct DeadSink;
+        impl std::io::Write for DeadSink {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::from(std::io::ErrorKind::BrokenPipe))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let input = "not json\n{\"type\":\"submit\",\"program\":\"function f(x) { return 0; }\"}\n";
+        let result = serve(input.as_bytes(), DeadSink, &quick_config(2));
+        let error = result.expect_err("dead sink must surface as an error");
+        assert_eq!(error.kind(), std::io::ErrorKind::BrokenPipe);
+    }
+
+    #[test]
+    fn session_support_default_applies_when_submit_omits_it() {
+        use expose_core::SupportLevel;
+        let defaults = EngineConfig {
+            support: SupportLevel::Concrete,
+            ..EngineConfig::default()
+        };
+        let line = r#"{"type":"submit","program":"function f(x) { return 0; }"}"#;
+        let crate::proto::Request::Submit(submit) =
+            crate::proto::parse_request(line).expect("parses")
+        else {
+            panic!("submit");
+        };
+        let job = job_from_submit(&submit, "j", &defaults).expect("parses");
+        assert_eq!(job.config.support, SupportLevel::Concrete);
+
+        let line =
+            r#"{"type":"submit","program":"function f(x) { return 0; }","support":"modeling"}"#;
+        let crate::proto::Request::Submit(submit) =
+            crate::proto::parse_request(line).expect("parses")
+        else {
+            panic!("submit");
+        };
+        let job = job_from_submit(&submit, "j", &defaults).expect("parses");
+        assert_eq!(job.config.support, SupportLevel::Modeling);
+    }
+
+    #[test]
+    fn stats_and_ack_lines_render() {
+        let input = concat!(
+            r#"{"type":"submit","name":"a","ack":true,"program":"function f(x) { return 0; }"}"#,
+            "\n",
+            r#"{"type":"stats"}"#,
+            "\n",
+        );
+        let (lines, _) = run_lines(input, &quick_config(1));
+        assert_eq!(lines[0], r#"{"type":"accepted","job":0,"name":"a"}"#);
+        assert!(
+            lines.iter().any(|l| l.starts_with(r#"{"type":"stats""#)),
+            "{lines:?}"
+        );
+    }
+}

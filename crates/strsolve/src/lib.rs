@@ -43,6 +43,6 @@ pub use cache::{Lru, QueryCache};
 pub use config::SolverConfig;
 pub use formula::{Atom, Formula};
 pub use model::Model;
-pub use solver::{Outcome, Solver};
+pub use solver::{DfaTables, Outcome, Solver};
 pub use stats::SolveStats;
 pub use vars::{BoolVar, StrVar, Term, VarPool};

@@ -117,6 +117,17 @@ impl Solver {
         self.cache.as_ref()
     }
 
+    /// Replaces the solver-private DFA cache with session-scoped
+    /// [`DfaTables`]: compiled automata, interned alphabets and folded
+    /// products are then shared with every other solver holding the
+    /// same tables. The solver uses the shard matching its own
+    /// `minimize_threshold`, so a hit is byte-identical to a fresh
+    /// build (see [`DfaTables`]).
+    pub fn with_dfa_tables(mut self, tables: &DfaTables) -> Solver {
+        self.dfas = tables.for_threshold(self.config.minimize_threshold);
+        self
+    }
+
     /// The configured limits.
     pub fn config(&self) -> &SolverConfig {
         &self.config
@@ -158,6 +169,107 @@ impl Solver {
     }
 }
 
+/// Session-shareable DFA intern tables.
+///
+/// Every [`Solver`] owns a DFA cache (compiled DFAs, canonical
+/// interning, alphabets, exact-word DFAs, intersection folds); by
+/// default that cache is private to the solver. `DfaTables` lifts it to
+/// session scope: hand one instance to every solver of a scheduler
+/// session (via [`Solver::with_dfa_tables`]) and a regex determinized
+/// for one job is free for every other job.
+///
+/// Stored automata depend on the automata pipeline configuration — with
+/// minimization enabled entries are minimal and canonically numbered,
+/// in eager mode (`minimize_threshold == 0`) they are the raw subset
+/// construction — so the tables are internally sharded by
+/// `minimize_threshold`: solvers with different pipelines never
+/// exchange automata, and a hit is always byte-identical to what the
+/// asking solver would have built itself. Sharing is therefore
+/// verdict- and candidate-order-preserving, not just
+/// language-preserving.
+///
+/// # Examples
+///
+/// ```
+/// use strsolve::{DfaTables, Formula, Solver, VarPool};
+/// use automata::{CharSet, CRegex};
+///
+/// let tables = DfaTables::new(256);
+/// let a = Solver::default().with_dfa_tables(&tables);
+/// let b = Solver::default().with_dfa_tables(&tables);
+/// let mut pool = VarPool::new();
+/// let v = pool.fresh_str("v");
+/// let re = CRegex::plus(CRegex::set(CharSet::single('a')));
+/// a.solve(&Formula::in_re(v, re.clone()));
+/// let before = tables.hits();
+/// b.solve(&Formula::in_re(v, re));
+/// assert!(tables.hits() > before, "second solver reused the tables");
+/// ```
+#[derive(Debug, Clone)]
+pub struct DfaTables {
+    capacity: usize,
+    shards: Arc<parking_lot::Mutex<HashMap<usize, Arc<DfaCache>>>>,
+}
+
+impl DfaTables {
+    /// Creates tables whose per-pipeline shards each hold at most
+    /// `capacity` entries per index (`0` disables storage, turning
+    /// every lookup into a miss).
+    pub fn new(capacity: usize) -> DfaTables {
+        DfaTables {
+            capacity,
+            shards: Arc::new(parking_lot::Mutex::new(HashMap::new())),
+        }
+    }
+
+    /// The per-shard capacity the tables were created with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The cache shard for a `minimize_threshold` pipeline, created on
+    /// first use.
+    pub(crate) fn for_threshold(&self, threshold: usize) -> Arc<DfaCache> {
+        Arc::clone(
+            self.shards
+                .lock()
+                .entry(threshold)
+                .or_insert_with(|| Arc::new(DfaCache::new(self.capacity))),
+        )
+    }
+
+    /// Total lookups served from the tables, across all shards.
+    pub fn hits(&self) -> u64 {
+        self.shards.lock().values().map(|c| c.hit_count()).sum()
+    }
+
+    /// Total lookups that built a fresh automaton, across all shards.
+    pub fn misses(&self) -> u64 {
+        self.shards.lock().values().map(|c| c.miss_count()).sum()
+    }
+
+    /// Hit rate in `[0, 1]` (`0` before any lookup).
+    pub fn hit_rate(&self) -> f64 {
+        let hits = self.hits() as f64;
+        let total = hits + self.misses() as f64;
+        if total == 0.0 {
+            0.0
+        } else {
+            hits / total
+        }
+    }
+
+    /// Resident compiled-DFA entries, across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.lock().values().map(|c| c.entry_count()).sum()
+    }
+
+    /// True when no compiled DFA is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 /// A cache of compiled (and optionally complemented) DFAs, keyed by
 /// structural `(regex, alphabet)` identity. Determinization is the
 /// solver's single most repeated expense: the same membership
@@ -173,6 +285,10 @@ impl Solver {
 /// shared entry instead of two duplicate automata.
 #[derive(Debug)]
 pub(crate) struct DfaCache {
+    /// Lookups served from a shard (entries/words/products).
+    hits: std::sync::atomic::AtomicU64,
+    /// Lookups that fell through to a fresh construction.
+    misses: std::sync::atomic::AtomicU64,
     entries: Shard<DfaKey, Arc<Dfa>>,
     /// Canonical (minimal, BFS-numbered) automaton → interned entry.
     canonical: Shard<CanonicalKey, Arc<Dfa>>,
@@ -222,12 +338,41 @@ struct CanonicalKey {
 impl DfaCache {
     fn new(capacity: usize) -> DfaCache {
         DfaCache {
+            hits: std::sync::atomic::AtomicU64::new(0),
+            misses: std::sync::atomic::AtomicU64::new(0),
             entries: parking_lot::Mutex::new(crate::cache::Lru::new(capacity)),
             canonical: parking_lot::Mutex::new(crate::cache::Lru::new(capacity)),
             alphabets: parking_lot::Mutex::new(crate::cache::Lru::new(capacity)),
             words: parking_lot::Mutex::new(crate::cache::Lru::new(capacity)),
             products: parking_lot::Mutex::new(crate::cache::Lru::new(capacity)),
         }
+    }
+
+    /// Records a shard lookup on both the cache-level counters and the
+    /// per-query stats.
+    fn note(&self, stats: &mut SolveStats, hit: bool) {
+        use std::sync::atomic::Ordering;
+        if hit {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            stats.dfa_cache_hits += 1;
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Total lookups served from the tables.
+    pub(crate) fn hit_count(&self) -> u64 {
+        self.hits.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Total lookups that built fresh.
+    pub(crate) fn miss_count(&self) -> u64 {
+        self.misses.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Resident compiled-DFA entries (the `entries` shard).
+    pub(crate) fn entry_count(&self) -> usize {
+        self.entries.lock().len()
     }
 
     /// The exact-word DFA (optionally complemented) of a literal under
@@ -245,8 +390,10 @@ impl DfaCache {
             complemented,
         );
         if let Some((dfa, _)) = self.words.lock().get(&key) {
+            self.note(stats, true);
             return Arc::clone(dfa);
         }
+        self.note(stats, false);
         stats.dfas_built += 1;
         let mut dfa = Dfa::from_word(word, alphabet);
         if complemented {
@@ -272,8 +419,10 @@ impl DfaCache {
         key.sort_unstable();
         key.dedup(); // intersection is idempotent
         if let Some((dfa, _)) = self.products.lock().get(&key) {
+            self.note(stats, true);
             return Arc::clone(dfa);
         }
+        self.note(stats, false);
         let mut iter = factors.iter();
         let mut acc: Dfa = (**iter.next().expect("at least two factors")).clone();
         for factor in iter {
@@ -325,8 +474,10 @@ impl DfaCache {
             complemented,
         };
         if let Some(dfa) = self.entries.lock().get(&key) {
+            self.note(stats, true);
             return Arc::clone(dfa);
         }
+        self.note(stats, false);
         stats.dfas_built += 1;
         let mut metrics = automata::BuildMetrics::default();
         let mut dfa = Dfa::from_cregex_with(re, alphabet, config, &mut metrics);

@@ -27,6 +27,10 @@ pub struct SolveStats {
     /// Conjunctions refuted by the length-abstraction pass before any
     /// word search started.
     pub length_prunes: u64,
+    /// DFA-cache lookups (compiled regexes, exact words, folded
+    /// products) served from resident entries — shared-table reuse
+    /// when the solver holds session [`crate::DfaTables`].
+    pub dfa_cache_hits: u64,
     /// Queries answered from the cross-query result cache.
     pub cache_hits: u64,
     /// Queries that missed the result cache (or ran uncached).
@@ -46,6 +50,7 @@ impl SolveStats {
         self.dfa_states_built += other.dfa_states_built;
         self.states_after_minimize += other.states_after_minimize;
         self.length_prunes += other.length_prunes;
+        self.dfa_cache_hits += other.dfa_cache_hits;
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
     }

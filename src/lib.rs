@@ -11,7 +11,10 @@
 //! * [`strsolve`] — the string constraint solver (Z3 substitute);
 //! * [`core`] — capturing-language models, §4.4 negation, the CEGAR
 //!   matching-precedence refinement, the Algorithm 2 API models;
-//! * [`dse`] — the concolic engine for a JavaScript-like language;
+//! * [`dse`] — the concolic engine for a JavaScript-like language,
+//!   plus the work-stealing job scheduler;
+//! * [`service`] — the NDJSON job service over that scheduler
+//!   (`expose-serve`);
 //! * [`survey`]/[`corpus`] — the §7.1 usage survey and its synthetic
 //!   corpus.
 //!
@@ -44,6 +47,7 @@ pub use corpus;
 pub use es6_matcher as matcher;
 pub use expose_core as core;
 pub use expose_dse as dse;
+pub use expose_service as service;
 pub use regex_syntax_es6 as syntax;
 pub use strsolve;
 pub use survey;

@@ -330,25 +330,145 @@ impl Default for CompileOptions {
 /// Compiles a capture-free, backreference-free, assertion-free ES6 AST
 /// into a classical regex.
 ///
+/// Equivalent to [`compile_classical_into`] with an ε continuation:
+/// the result is the language of words the pattern matches *entirely,
+/// with nothing following* — so a trailing `(?=a)` correctly yields the
+/// empty language (no input remains for the lookahead to inspect), and
+/// a trailing `(?!a)` is a no-op.
+///
 /// Capture groups are accepted and compiled transparently (their
-/// grouping is classical); lookaheads compile to intersections
-/// (`(?=A)B → L(A.*) ∩ L(B)` — note this is only used for *trailing
-/// context within the same model variable*, see Table 2). Anchors, word
-/// boundaries and backreferences are rejected — the model layer
-/// eliminates those first.
+/// grouping is classical). Anchors, word boundaries and backreferences
+/// are rejected — the model layer eliminates those first.
 ///
 /// # Errors
 ///
 /// Returns [`NotClassical`] when the AST contains backreferences, word
-/// boundaries or anchors.
+/// boundaries, anchors, or a lookahead under an unbounded (or large)
+/// quantifier — lookahead scoping across iterations is not expressible
+/// by syntactic composition.
 pub fn compile_classical(ast: &Ast, opts: &CompileOptions) -> Result<CRegex, NotClassical> {
+    compile_classical_into(ast, opts, CRegex::Epsilon)
+}
+
+/// Largest bounded-repetition count unrolled when the body contains a
+/// lookahead (each iteration must see its true continuation).
+const LOOKAHEAD_UNROLL_LIMIT: u32 = 12;
+
+/// Compiles `ast ⋅ k` — the pattern followed by the continuation
+/// language `k` — with lookaheads scoping over the *actual*
+/// continuation rather than the end of the fragment.
+///
+/// This is the sound form of classical lookahead compilation: in
+/// `a(?=b)` the assertion inspects whatever follows the fragment, so
+/// its compilation needs `k`. (The former fragment-local treatment cut
+/// the assertion's scope at the end of the compiled subtree, which both
+/// over- and under-approximated; the differential fuzzer found both
+/// directions within 200 seeds.)
+///
+/// `(?=A)` becomes `L(A ⋅ Σ*) ∩ k` and `(?!A)` becomes `¬L(A ⋅ Σ*) ∩ k`
+/// — `A` itself threaded into `Σ*`, since a lookahead's own trailing
+/// lookaheads scope into the unconstrained future. A lookahead under a
+/// *bounded* quantifier is unrolled (each copy sees the following
+/// copies); under an unbounded one compilation is refused rather than
+/// miscompiled.
+///
+/// # Errors
+///
+/// [`NotClassical`] as for [`compile_classical`].
+pub fn compile_classical_into(
+    ast: &Ast,
+    opts: &CompileOptions,
+    k: CRegex,
+) -> Result<CRegex, NotClassical> {
+    // Lookahead-free subtrees are context-independent: compile them
+    // fragment-locally (linear) and append the continuation once.
+    // Threading `k` through them instead would clone it per Alt branch
+    // — exponential in sequential alternations for patterns that never
+    // needed the continuation at all.
+    if !ast.has_lookahead() {
+        let plain = compile_plain(ast, opts)?;
+        return Ok(CRegex::concat(vec![plain, k]));
+    }
+    Ok(match ast {
+        Ast::Group { ast, .. } | Ast::NonCapturing(ast) => compile_classical_into(ast, opts, k)?,
+        Ast::Lookahead { negative, ast } => {
+            // The assertion constrains the remaining word: a prefix in
+            // L(A), anything after. Nested trailing lookaheads inside A
+            // scope into that unconstrained future.
+            let assertion = compile_classical_into(ast, opts, CRegex::anything())?;
+            let assertion = if *negative {
+                CRegex::not(assertion)
+            } else {
+                assertion
+            };
+            CRegex::and(vec![assertion, k])
+        }
+        Ast::Repeat { ast, min, max, .. } => {
+            // The body contains a lookahead (the lookahead-free case
+            // took the fragment-local fast path above), so iterations
+            // must see their true continuations — unroll bounded
+            // counts, refuse unbounded ones.
+            let Some(n) = *max else {
+                return Err(NotClassical {
+                    construct: "lookahead under unbounded repetition",
+                });
+            };
+            if n > LOOKAHEAD_UNROLL_LIMIT {
+                return Err(NotClassical {
+                    construct: "lookahead under large bounded repetition",
+                });
+            }
+            // Unroll: body^j ⋅ k for j in min..=n, each iteration
+            // threaded into the following ones.
+            let mut tail = k.clone();
+            let mut branches = Vec::with_capacity((n - *min) as usize + 1);
+            if *min == 0 {
+                branches.push(tail.clone());
+            }
+            for j in 1..=n {
+                tail = compile_classical_into(ast, opts, tail)?;
+                if j >= *min {
+                    branches.push(tail.clone());
+                }
+            }
+            CRegex::alt(branches)
+        }
+        Ast::Alt(items) => CRegex::alt(
+            items
+                .iter()
+                .map(|i| compile_classical_into(i, opts, k.clone()))
+                .collect::<Result<_, _>>()?,
+        ),
+        Ast::Concat(items) => {
+            // Right fold: every item sees the language of what follows.
+            let mut acc = k;
+            for item in items.iter().rev() {
+                acc = compile_classical_into(item, opts, acc)?;
+            }
+            acc
+        }
+        // Leaves cannot contain lookaheads; the fast path handled them.
+        _ => unreachable!("leaf nodes contain no lookahead"),
+    })
+}
+
+/// Fragment-local compilation of a *lookahead-free* classical AST —
+/// the linear workhorse behind [`compile_classical_into`]'s fast path.
+fn compile_plain(ast: &Ast, opts: &CompileOptions) -> Result<CRegex, NotClassical> {
     Ok(match ast {
         Ast::Empty => CRegex::Epsilon,
         Ast::Literal(c) => {
             if opts.ignore_case {
+                // Variants join the set only when Canonicalize-equal
+                // under the same non-unicode rule the matcher applies —
+                // `ſ` must not drag ASCII `S` in (a non-ASCII character
+                // whose uppercase is ASCII canonicalizes to itself).
+                use regex_syntax_es6::class::{canonicalize_simple, simple_case_variants};
                 let mut set = CharSet::single(*c);
-                for v in regex_syntax_es6::class::simple_case_variants(*c) {
-                    set = set.union(&CharSet::single(v));
+                for v in simple_case_variants(*c) {
+                    if canonicalize_simple(v) == canonicalize_simple(*c) {
+                        set = set.union(&CharSet::single(v));
+                    }
                 }
                 CRegex::set(set)
             } else {
@@ -380,54 +500,21 @@ pub fn compile_classical(ast: &Ast, opts: &CompileOptions) -> Result<CRegex, Not
                 construct: "anchor or word boundary",
             })
         }
-        Ast::Group { ast, .. } | Ast::NonCapturing(ast) => compile_classical(ast, opts)?,
-        Ast::Lookahead { negative, ast } => {
-            // Standalone compilation of a lookahead asserts the rest of
-            // the word: (?=A) → A.* and (?!A) → ¬(A.*). The model layer
-            // combines this with the continuation via And.
-            let inner = compile_classical(ast, opts)?;
-            let assertion = CRegex::concat(vec![inner, CRegex::anything()]);
-            if *negative {
-                CRegex::not(assertion)
-            } else {
-                assertion
-            }
-        }
-        Ast::Repeat { ast, min, max, .. } => {
-            let inner = compile_classical(ast, opts)?;
-            CRegex::repeat(inner, *min, *max)
-        }
+        Ast::Group { ast, .. } | Ast::NonCapturing(ast) => compile_plain(ast, opts)?,
+        Ast::Lookahead { .. } => unreachable!("caller guarantees a lookahead-free subtree"),
+        Ast::Repeat { ast, min, max, .. } => CRegex::repeat(compile_plain(ast, opts)?, *min, *max),
         Ast::Alt(items) => CRegex::alt(
             items
                 .iter()
-                .map(|i| compile_classical(i, opts))
+                .map(|i| compile_plain(i, opts))
                 .collect::<Result<_, _>>()?,
         ),
-        Ast::Concat(items) => {
-            // A lookahead inside a concatenation constrains the suffix:
-            // compile as And(lookahead-language, rest).
-            let mut parts: Vec<CRegex> = Vec::new();
-            let mut i = 0;
-            while i < items.len() {
-                match &items[i] {
-                    Ast::Lookahead { negative, ast } => {
-                        let inner = compile_classical(ast, opts)?;
-                        let assertion = CRegex::concat(vec![inner, CRegex::anything()]);
-                        let assertion = if *negative {
-                            CRegex::not(assertion)
-                        } else {
-                            assertion
-                        };
-                        let rest = compile_classical(&Ast::concat(items[i + 1..].to_vec()), opts)?;
-                        parts.push(CRegex::and(vec![assertion, rest]));
-                        return Ok(CRegex::concat(parts));
-                    }
-                    other => parts.push(compile_classical(other, opts)?),
-                }
-                i += 1;
-            }
-            CRegex::concat(parts)
-        }
+        Ast::Concat(items) => CRegex::concat(
+            items
+                .iter()
+                .map(|i| compile_plain(i, opts))
+                .collect::<Result<_, _>>()?,
+        ),
         Ast::Backref(_) => {
             return Err(NotClassical {
                 construct: "backreference",

@@ -95,33 +95,8 @@ impl Dfa {
         config: &AutomataConfig,
         metrics: &mut BuildMetrics,
     ) -> Dfa {
-        match re {
-            CRegex::And(items) => {
-                let mut operands: Vec<Dfa> = items
-                    .iter()
-                    .map(|item| Dfa::from_cregex_with(item, alphabet, config, metrics))
-                    .collect();
-                // Smallest-first fold: the product worklist only visits
-                // reachable pairs, so keeping the accumulator small
-                // bounds every intermediate.
-                operands.sort_by_key(Dfa::state_count);
-                let mut iter = operands.into_iter();
-                let mut acc = iter.next().expect("And is non-empty");
-                for operand in iter {
-                    acc = acc
-                        .product(&operand, ProductMode::Intersect)
-                        .reduced(config, metrics);
-                }
-                acc
-            }
-            CRegex::Not(inner) => Dfa::from_cregex_with(inner, alphabet, config, metrics)
-                .complement()
-                .reduced(config, metrics),
-            _ => {
-                let nfa = Nfa::thompson(re, alphabet);
-                Dfa::from_nfa(&nfa).reduced(config, metrics)
-            }
-        }
+        Dfa::try_from_cregex_with(re, alphabet, config, metrics, usize::MAX)
+            .expect("unbounded construction cannot overflow")
     }
 
     /// Applies the thresholded minimization pass, recording before and
@@ -148,6 +123,18 @@ impl Dfa {
 
     /// Subset construction.
     pub fn from_nfa(nfa: &Nfa) -> Dfa {
+        Dfa::from_nfa_bounded(nfa, usize::MAX).expect("unbounded construction cannot overflow")
+    }
+
+    /// [`Dfa::from_nfa`] with a cap on the number of subset states:
+    /// `None` when the construction would exceed `max_states`.
+    ///
+    /// Subset construction is exponential in the worst case (an
+    /// unanchored `Σ*·body·Σ*` language can visit millions of subset
+    /// states before minimizing to a dozen); bounded construction lets
+    /// batch consumers — the differential fuzzer foremost — skip
+    /// pathological instances instead of stalling on them.
+    pub fn from_nfa_bounded(nfa: &Nfa, max_states: usize) -> Option<Dfa> {
         let class_count = nfa.alphabet.class_count();
         let mut start_set = vec![nfa.start];
         nfa.epsilon_closure(&mut start_set);
@@ -177,6 +164,9 @@ impl Dfa {
                 let next_id = match ids.get(&next) {
                     Some(&id) => id,
                     None => {
+                        if accepting.len() >= max_states {
+                            return None;
+                        }
                         let new_id = accepting.len() as u32;
                         ids.insert(next.clone(), new_id);
                         transitions.extend(std::iter::repeat_n(u32::MAX, class_count));
@@ -200,7 +190,60 @@ impl Dfa {
             bounds: std::sync::OnceLock::new(),
         };
         dfa.compute_distances();
-        dfa
+        Some(dfa)
+    }
+
+    /// [`Dfa::from_cregex_with`] under a state budget: every subset
+    /// construction and boolean-operation result is capped at
+    /// `max_states`; `None` means the instance was abandoned (never a
+    /// wrong answer). The successful result is identical to the
+    /// unbounded pipeline's.
+    pub fn try_from_cregex_with(
+        re: &CRegex,
+        alphabet: &Arc<Alphabet>,
+        config: &AutomataConfig,
+        metrics: &mut BuildMetrics,
+        max_states: usize,
+    ) -> Option<Dfa> {
+        let capped = |dfa: Dfa| {
+            if dfa.state_count() > max_states {
+                None
+            } else {
+                Some(dfa)
+            }
+        };
+        match re {
+            CRegex::And(items) => {
+                let mut operands: Vec<Dfa> = items
+                    .iter()
+                    .map(|item| {
+                        Dfa::try_from_cregex_with(item, alphabet, config, metrics, max_states)
+                    })
+                    .collect::<Option<_>>()?;
+                // Smallest-first fold: the product worklist only visits
+                // reachable pairs, so keeping the accumulator small
+                // bounds every intermediate.
+                operands.sort_by_key(Dfa::state_count);
+                let mut iter = operands.into_iter();
+                let mut acc = iter.next().expect("And is non-empty");
+                for operand in iter {
+                    acc = capped(
+                        acc.product(&operand, ProductMode::Intersect)
+                            .reduced(config, metrics),
+                    )?;
+                }
+                Some(acc)
+            }
+            CRegex::Not(inner) => capped(
+                Dfa::try_from_cregex_with(inner, alphabet, config, metrics, max_states)?
+                    .complement()
+                    .reduced(config, metrics),
+            ),
+            _ => {
+                let nfa = Nfa::thompson(re, alphabet);
+                Some(Dfa::from_nfa_bounded(&nfa, max_states)?.reduced(config, metrics))
+            }
+        }
     }
 
     /// A DFA accepting exactly one word.

@@ -46,7 +46,7 @@ pub mod nfa;
 pub use alphabet::{Alphabet, ClassId};
 pub use charset::CharSet;
 pub use config::{AutomataConfig, BuildMetrics};
-pub use cregex::{compile_classical, CRegex, CompileOptions, NotClassical};
+pub use cregex::{compile_classical, compile_classical_into, CRegex, CompileOptions, NotClassical};
 pub use dfa::{Dfa, WordIter};
 pub use minimize::LengthBounds;
 pub use nfa::{Nfa, NfaState, StateId};

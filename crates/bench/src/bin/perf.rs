@@ -22,6 +22,12 @@
 //! baseline (nodes are deterministic, so that gate is
 //! machine-independent).
 //!
+//! Every run also pushes a small fixed seed range through the
+//! differential fuzzer (`expose-fuzz`) and records `fuzz_cases`,
+//! `fuzz_disagreements` and `fuzz_unknown_rate` in the artifact and the
+//! summary — one artifact summarizes the perf *and* soundness
+//! trajectory. Any fuzz disagreement fails the run.
+//!
 //! With `--throughput`, the binary additionally pushes the same
 //! workload corpus through the NDJSON job service (scheduler fan-out,
 //! shared session caches) and records `throughput_jobs_per_sec`; the
@@ -319,6 +325,34 @@ fn main() {
         best.expect("at least one repetition")
     };
 
+    // Fuzz smoke: a small fixed seed range through the differential
+    // fuzzer, so the one perf artifact also tracks the soundness
+    // trajectory (cases run, Unknown rate, disagreements). The range is
+    // deliberately tiny — the dedicated fuzz-smoke CI job covers the
+    // wide one.
+    let fuzz_seeds = 0u64..250;
+    let (fuzz_stats, fuzz_failures) = expose_fuzz::run_range(
+        fuzz_seeds.clone(),
+        &expose_fuzz::GenConfig::default(),
+        &expose_fuzz::FuzzBudget::quick(),
+    );
+    eprintln!(
+        "perf: fuzz smoke seeds {}..{}: {} cases, {} disagreements, unknown rate {:.1}%",
+        fuzz_seeds.start,
+        fuzz_seeds.end,
+        fuzz_stats.cases,
+        fuzz_stats.disagreements,
+        100.0 * fuzz_stats.unknown_rate()
+    );
+    for failure in &fuzz_failures {
+        eprintln!(
+            "perf: fuzz DISAGREEMENT [{}] {}: {}",
+            failure.disagreement.layer.name(),
+            failure.case.to_line(),
+            failure.disagreement.detail
+        );
+    }
+
     let (baseline, baseline_trails) = run_best("baseline", &base_config, &DseCaches::disabled);
     eprintln!(
         "perf: baseline (serial, uncached) {:.0} ms",
@@ -388,6 +422,9 @@ fn main() {
             "  \"speedup\": {:.3},\n",
             "  \"verdict_diffs\": {},\n",
             "  \"optimized_solver_nodes\": {},\n",
+            "  \"fuzz_cases\": {},\n",
+            "  \"fuzz_disagreements\": {},\n",
+            "  \"fuzz_unknown_rate\": {:.4},\n",
             "{}",
             "  \"baseline\": {},\n",
             "  \"optimized\": {}\n",
@@ -401,6 +438,9 @@ fn main() {
         speedup,
         verdict_diffs,
         optimized.solver_nodes,
+        fuzz_stats.cases,
+        fuzz_stats.disagreements,
+        fuzz_stats.unknown_rate(),
         throughput_json,
         baseline.json(set.len()),
         optimized.json(set.len()),
@@ -450,6 +490,18 @@ fn main() {
                  ({jobs} jobs, {workers} workers, {wall_ms:.0} ms)"
             );
         }
+        let _ = writeln!(
+            md,
+            "- **fuzz smoke**: {} cases, {} disagreement{}, Unknown rate {:.1}%",
+            fuzz_stats.cases,
+            fuzz_stats.disagreements,
+            if fuzz_stats.disagreements == 1 {
+                ""
+            } else {
+                "s"
+            },
+            100.0 * fuzz_stats.unknown_rate(),
+        );
         let _ = writeln!(md);
         let _ = writeln!(md, "<details><summary>Full artifact</summary>\n");
         let _ = writeln!(md, "```json\n{}```\n", json);
@@ -461,6 +513,13 @@ fn main() {
     if verdict_diffs > 0 {
         eprintln!("perf: FAIL — parallel/cached run changed {verdict_diffs} verdict trail(s)");
         std::process::exit(2);
+    }
+    if fuzz_stats.disagreements > 0 {
+        eprintln!(
+            "perf: FAIL — fuzz smoke found {} cross-layer disagreement(s)",
+            fuzz_stats.disagreements
+        );
+        std::process::exit(7);
     }
     if speedup < 1.5 {
         // Advisory on arbitrary machines; the CI gate is the checked-in

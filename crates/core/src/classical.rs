@@ -84,7 +84,6 @@ pub fn try_wrapped_word_language(ast: &Ast, flags: Flags) -> Option<CRegex> {
     let (anchored_start, body, anchored_end) = split_top_anchors(ast)?;
     let body = Ast::concat(body);
     let opts = user_compile_options(flags);
-    let inner = compile_classical(&strip_captures(&body), &opts).ok()?;
     // Marker uniqueness: an anchored start means the wrapper consumed
     // exactly `⟨`; unanchored, it consumed `⟨` plus arbitrary text.
     let start_marker = CRegex::set(CharSet::single(INPUT_START));
@@ -99,7 +98,13 @@ pub fn try_wrapped_word_language(ast: &Ast, flags: Flags) -> Option<CRegex> {
     } else {
         CRegex::concat(vec![no_meta_star(), end_marker])
     };
-    Some(CRegex::concat(vec![left, inner, right]))
+    // The body is compiled *into* the rest-of-word language so that
+    // lookaheads in (or at the end of) the body inspect the real
+    // continuation — the suffix and the `⟩` marker, which correctly
+    // plays "end of input" because no user atom can consume it.
+    let inner_and_right =
+        automata::compile_classical_into(&strip_captures(&body), &opts, right).ok()?;
+    Some(CRegex::concat(vec![left, inner_and_right]))
 }
 
 /// A total overapproximation of the wrapped word language, used to guide
@@ -126,6 +131,18 @@ pub fn overapprox_word_regex(ast: &Ast, flags: Flags) -> CRegex {
         CRegex::concat(vec![no_meta_star(), end_marker])
     };
     CRegex::concat(vec![left, inner, right])
+}
+
+/// Overapproximates an arbitrary AST fragment as a classical regex
+/// over the *user* alphabet (no input markers): assertions and
+/// lookarounds weaken to `ε`, backreferences to an optional copy of the
+/// referenced group's language (resolved against `root`). The result is
+/// a necessary condition on the fragment's matched word — safe to
+/// conjoin positively, or to use as the word language of an escape
+/// disjunct that restores overapproximation to an otherwise truncated
+/// expansion (quantified mutable backreferences, Table 3).
+pub fn overapprox_fragment(ast: &Ast, root: &Ast, flags: Flags) -> CRegex {
+    overapprox_body(ast, root, &user_compile_options(flags), 0)
 }
 
 /// Overapproximates an arbitrary AST as a classical regex: assertions
@@ -187,8 +204,15 @@ fn find_group(ast: &Ast, k: u32) -> Option<Ast> {
 
 /// `t̂₁*` of the Table 2 quantification rule: the classical star of the
 /// capture-stripped body, when it is classical.
+///
+/// Lookaheads are refused along with backreferences and assertions: a
+/// lookahead inside one iteration scopes over the *following*
+/// iterations (and beyond), which the syntactic star cannot express —
+/// compiling it fragment-locally produced constraints that were too
+/// strong, i.e. unsound `Unsat`s. Callers treat `None` as `⊤` and mark
+/// the model inexact.
 pub fn try_hat_star(body: &Ast, flags: Flags) -> Option<CRegex> {
-    if body.has_backref() || body.has_assertion() {
+    if body.has_backref() || body.has_assertion() || body.has_lookahead() {
         return None;
     }
     let opts = user_compile_options(flags);

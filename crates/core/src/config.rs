@@ -1,5 +1,7 @@
 //! Regex support levels for the evaluation (§7.3, Table 7).
 
+use regex_syntax_es6::Regex;
+
 /// How much regex support the DSE engine applies — the four
 /// configurations compared in Table 7 of the paper.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -41,6 +43,22 @@ impl SupportLevel {
         self == SupportLevel::Refinement
     }
 
+    /// The minimum support level at which `regex` is modeled fully,
+    /// rather than concretized: [`SupportLevel::Modeling`] when the
+    /// pattern has neither capture groups nor backreferences (its word
+    /// language decides everything), [`SupportLevel::Captures`]
+    /// otherwise. This is a property of the *regex*; whether the CEGAR
+    /// refinement additionally runs ([`SupportLevel::Refinement`]) is a
+    /// property of the engine configuration. The differential fuzzer
+    /// buckets its Unknown rate by this classification.
+    pub fn required_for(regex: &Regex) -> SupportLevel {
+        if regex.ast.has_captures() || regex.ast.has_backref() {
+            SupportLevel::Captures
+        } else {
+            SupportLevel::Modeling
+        }
+    }
+
     /// The Table 7 row label.
     pub fn label(self) -> &'static str {
         match self {
@@ -65,6 +83,25 @@ mod tests {
         assert!(SupportLevel::Captures.models_captures());
         assert!(!SupportLevel::Captures.refines());
         assert!(SupportLevel::Refinement.refines());
+    }
+
+    #[test]
+    fn required_level_classifies_by_captures() {
+        let classical = Regex::parse_literal("/^[a-z]+(?=x)$/").expect("literal");
+        assert_eq!(
+            SupportLevel::required_for(&classical),
+            SupportLevel::Modeling
+        );
+        let captures = Regex::parse_literal("/(a+)b/").expect("literal");
+        assert_eq!(
+            SupportLevel::required_for(&captures),
+            SupportLevel::Captures
+        );
+        let backrefs = Regex::parse_literal(r"/(a)\1/").expect("literal");
+        assert_eq!(
+            SupportLevel::required_for(&backrefs),
+            SupportLevel::Captures
+        );
     }
 
     #[test]

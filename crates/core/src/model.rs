@@ -177,6 +177,9 @@ pub struct ModelBuilder<'p> {
     /// Groups whose subtree has been fully modeled at least once
     /// (Definition 2's post-order "closed" test).
     closed: std::collections::HashSet<u32>,
+    /// The whole pattern, for resolving backreference group bodies in
+    /// overapproximation escape disjuncts.
+    root: Ast,
     exact: bool,
 }
 
@@ -199,6 +202,7 @@ impl<'p> ModelBuilder<'p> {
             captures,
             shadow: Vec::new(),
             closed: std::collections::HashSet::new(),
+            root: ast.clone(),
             exact: true,
         }
     }
@@ -264,8 +268,13 @@ impl<'p> ModelBuilder<'p> {
     }
 
     /// True when the subtree needs no capture or context reasoning.
+    /// Lookaheads are *not* classical here: they assert on the suffix
+    /// context beyond the subtree's own word variable, so they must go
+    /// through [`ModelBuilder::model_concat`]'s context threading — a
+    /// fragment-local compilation would cut their scope at the end of
+    /// the variable and yield wrong verdicts in both directions.
     fn is_classical(&self, ast: &Ast) -> bool {
-        !ast.has_captures() && !ast.has_backref() && !ast.has_assertion()
+        !ast.has_captures() && !ast.has_backref() && !ast.has_assertion() && !ast.has_lookahead()
     }
 
     fn classical_membership(&mut self, ast: &Ast, w: StrVar) -> Formula {
@@ -487,14 +496,24 @@ impl<'p> ModelBuilder<'p> {
         _prefix: Option<Vec<Term>>,
         suffix: Option<Vec<Term>>,
     ) -> Formula {
-        let suffix_terms = suffix.unwrap_or_default();
+        // Unknown suffix context (inside a quantifier or another
+        // lookahead's head): the remaining text is not represented by
+        // any term, so the assertion cannot be stated. Treating it as
+        // empty — the old behaviour — made the model too *strong*
+        // (`(?=b)` with unknown context became `⊥`), risking unsound
+        // Unsat; `⊤` plus the inexactness mark is the sound weakening.
+        let Some(suffix_terms) = suffix else {
+            self.exact = false;
+            return Formula::top();
+        };
         let (la, la_def) = self.concat_var("la", suffix_terms);
         if !negative {
             // Table 2: (la, caps) ∈ Lc(t₁.*): t₁ matches a prefix of the
-            // remaining text; its captures persist.
+            // remaining text; its captures persist. The head's own
+            // trailing lookaheads scope into the rest variable.
             let u = self.pool.fresh_str("la.head");
             let v = self.pool.fresh_str("la.rest");
-            let inner_model = self.model(inner, u, None, None);
+            let inner_model = self.model(inner, u, None, Some(vec![Term::Var(v)]));
             Formula::and(vec![
                 la_def,
                 Formula::eq_concat(la, vec![Term::Var(u), Term::Var(v)]),
@@ -505,25 +524,29 @@ impl<'p> ModelBuilder<'p> {
             // Negative lookahead: la ∉ L(t₁.*); inner captures reset.
             let undefs = self.undef_all(inner);
             let opts = user_compile_options(self.flags);
-            let assertion =
-                match compile_classical(&regex_syntax_es6::rewrite::strip_captures(inner), &opts) {
-                    Ok(re) => {
-                        let lang =
-                            CRegex::concat(vec![re, CRegex::star(CRegex::set(CharSet::any()))]);
-                        Formula::not_in_re(la, lang)
-                    }
-                    Err(_) => {
-                        // Backreference inside a negative lookahead: negate
-                        // the structural model (§4.4).
-                        let u = self.pool.fresh_str("nla.head");
-                        let v = self.pool.fresh_str("nla.rest");
-                        let inner_model = self.model(inner, u, None, None);
-                        crate::negate::nnf_negate(&Formula::and(vec![
-                            Formula::eq_concat(la, vec![Term::Var(u), Term::Var(v)]),
-                            inner_model,
-                        ]))
-                    }
-                };
+            let assertion = match automata::compile_classical_into(
+                &regex_syntax_es6::rewrite::strip_captures(inner),
+                &opts,
+                CRegex::star(CRegex::set(CharSet::any())),
+            ) {
+                Ok(lang) => Formula::not_in_re(la, lang),
+                Err(_) => {
+                    // Backreference inside a negative lookahead: negate
+                    // the structural model (§4.4). The split variables
+                    // stay existential under the negation, so this only
+                    // requires *one* failing layout — a (sound)
+                    // overapproximation of "no prefix matches", and an
+                    // extra weakening beyond the base model.
+                    self.exact = false;
+                    let u = self.pool.fresh_str("nla.head");
+                    let v = self.pool.fresh_str("nla.rest");
+                    let inner_model = self.model(inner, u, None, None);
+                    crate::negate::nnf_negate(&Formula::and(vec![
+                        Formula::eq_concat(la, vec![Term::Var(u), Term::Var(v)]),
+                        inner_model,
+                    ]))
+                }
+            };
             Formula::and(vec![la_def, undefs, assertion])
         }
     }
@@ -591,8 +614,15 @@ impl<'p> ModelBuilder<'p> {
             // t{m,n} → tⁿ | … | tᵐ (§4.1).
             (m, Some(n)) => {
                 if n.saturating_sub(m) > self.cfg.max_repeat_expansion || n > 16 {
-                    // Classical fallback for large repetitions.
+                    // Classical fallback for large repetitions. Only
+                    // sound for lookahead-free bodies: a per-iteration
+                    // lookahead compiled fragment-locally can make the
+                    // membership too strong (unsound Unsat), so those
+                    // weaken to ⊤ instead.
                     self.exact = false;
+                    if body.has_lookahead() {
+                        return Formula::top();
+                    }
                     let opts = user_compile_options(self.flags);
                     return match compile_classical(
                         &regex_syntax_es6::rewrite::strip_captures(body),
@@ -751,6 +781,20 @@ impl<'p> ModelBuilder<'p> {
                     f,
                 ]));
             }
+        }
+        // Escape disjunct: both the same-value restriction and the
+        // iteration-count truncation *under*-approximate (the §4.3
+        // example `^((a|b)\2)+$` matches "aabb" with different words
+        // per iteration), and an under-approximating branch in a
+        // positive model makes Unsat unsound — the differential
+        // fuzzer's corpus pins that exact case. Admit every word the
+        // true language could possibly produce (iterated
+        // overapproximation of the body, captures unconstrained); the
+        // CEGAR oracle rejects or repairs spurious witnesses.
+        let truncated = max.is_none_or(|n| n > hi);
+        if !self.cfg.sound_mutable_backrefs || truncated {
+            let over = crate::classical::overapprox_fragment(body, &self.root, self.flags);
+            branches.push(Formula::in_re(w, CRegex::repeat(over, min, None)));
         }
         Formula::or(branches)
     }

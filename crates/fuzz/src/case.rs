@@ -1,0 +1,314 @@
+//! Fuzz cases: a regex, a query over its capture model, and the seed
+//! that drives everything else — plus the line format the regression
+//! corpus and shrunk reproducers are stored in.
+
+use std::fmt;
+
+use regex_syntax_es6::{ParseError, Regex};
+
+/// The query a case poses over the capturing-language model of its
+/// regex (the "random formula" side of the fuzzer).
+///
+/// Capture queries are restricted to *positive* membership: under a
+/// negative constraint a failed `exec` defines no captures, so the
+/// model leaves the capture variables unconstrained and a query over
+/// them would be comparing junk (the CEGAR oracle ignores them too).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Query {
+    /// Decide the membership constraint alone.
+    Top {
+        /// `∈` (true) or `∉`.
+        positive: bool,
+    },
+    /// `input = word`.
+    PinInput {
+        /// `∈` (true) or `∉`.
+        positive: bool,
+        /// The pinned word.
+        word: String,
+    },
+    /// `input ≠ word`.
+    NeInput {
+        /// `∈` (true) or `∉`.
+        positive: bool,
+        /// The banned word.
+        word: String,
+    },
+    /// `defined(Cᵢ) = value`, under positive membership.
+    CaptureDefined {
+        /// Capture index (0 = whole match).
+        index: usize,
+        /// Required definedness.
+        value: bool,
+    },
+    /// `defined(Cᵢ) ∧ Cᵢ = word`, under positive membership.
+    CaptureEq {
+        /// Capture index (0 = whole match).
+        index: usize,
+        /// Required capture value.
+        word: String,
+    },
+}
+
+impl Query {
+    /// The polarity of the membership constraint the query rides on.
+    pub fn positive(&self) -> bool {
+        match self {
+            Query::Top { positive } | Query::PinInput { positive, .. } => *positive,
+            Query::NeInput { positive, .. } => *positive,
+            Query::CaptureDefined { .. } | Query::CaptureEq { .. } => true,
+        }
+    }
+
+    /// A short stable tag for histograms and serialization.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Query::Top { .. } => "top",
+            Query::PinInput { .. } => "pin",
+            Query::NeInput { .. } => "ne",
+            Query::CaptureDefined { .. } => "capdef",
+            Query::CaptureEq { .. } => "capeq",
+        }
+    }
+}
+
+/// One reproducible fuzz case.
+///
+/// `pattern`/`flags` are regex source text (so the case survives AST
+/// changes), `query` the formula posed over the model, and `seed` the
+/// RNG seed for everything sampled while checking (word samples etc.).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Case {
+    /// Pattern body source (no slashes).
+    pub pattern: String,
+    /// Flag string (`"giy"`, possibly empty).
+    pub flags: String,
+    /// The query posed over the capture model.
+    pub query: Query,
+    /// Seed for check-time sampling.
+    pub seed: u64,
+}
+
+impl Case {
+    /// Parses the case's regex.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error when pattern or flags are invalid.
+    pub fn regex(&self) -> Result<Regex, ParseError> {
+        Regex::new(&self.pattern, self.flags.parse()?)
+    }
+
+    /// Serializes to the corpus line format:
+    /// `v1 <TAB> pattern <TAB> flags <TAB> query <TAB> seed`, with
+    /// tab/newline/backslash escaped in string fields.
+    pub fn to_line(&self) -> String {
+        let query = match &self.query {
+            Query::Top { positive } => format!("top:{}", polarity(*positive)),
+            Query::PinInput { positive, word } => {
+                format!("pin:{}:{}", polarity(*positive), escape(word))
+            }
+            Query::NeInput { positive, word } => {
+                format!("ne:{}:{}", polarity(*positive), escape(word))
+            }
+            Query::CaptureDefined { index, value } => {
+                format!("capdef:{index}:{}", u8::from(*value))
+            }
+            Query::CaptureEq { index, word } => format!("capeq:{index}:{}", escape(word)),
+        };
+        format!(
+            "v1\t{}\t{}\t{}\t{}",
+            escape(&self.pattern),
+            self.flags,
+            query,
+            self.seed
+        )
+    }
+
+    /// Parses a corpus line (the inverse of [`Case::to_line`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the malformation.
+    pub fn from_line(line: &str) -> Result<Case, String> {
+        let fields: Vec<&str> = line.split('\t').collect();
+        let [version, pattern, flags, query, seed] = fields.as_slice() else {
+            return Err(format!(
+                "expected 5 tab-separated fields, got {}",
+                fields.len()
+            ));
+        };
+        if *version != "v1" {
+            return Err(format!("unknown corpus line version {version:?}"));
+        }
+        let seed: u64 = seed
+            .parse()
+            .map_err(|e| format!("bad seed {seed:?}: {e}"))?;
+        let query = parse_query(query)?;
+        Ok(Case {
+            pattern: unescape(pattern)?,
+            flags: (*flags).to_string(),
+            query,
+            seed,
+        })
+    }
+}
+
+impl fmt::Display for Case {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "/{}/{} {} seed={}",
+            self.pattern,
+            self.flags,
+            self.query.kind(),
+            self.seed
+        )
+    }
+}
+
+fn polarity(positive: bool) -> char {
+    if positive {
+        '+'
+    } else {
+        '-'
+    }
+}
+
+fn parse_polarity(s: &str) -> Result<bool, String> {
+    match s {
+        "+" => Ok(true),
+        "-" => Ok(false),
+        other => Err(format!("bad polarity {other:?}")),
+    }
+}
+
+fn parse_query(s: &str) -> Result<Query, String> {
+    let (kind, rest) = s.split_once(':').unwrap_or((s, ""));
+    match kind {
+        "top" => Ok(Query::Top {
+            positive: parse_polarity(rest)?,
+        }),
+        "pin" | "ne" => {
+            let (pol, word) = rest
+                .split_once(':')
+                .ok_or_else(|| format!("bad {kind} query {rest:?}"))?;
+            let positive = parse_polarity(pol)?;
+            let word = unescape(word)?;
+            Ok(if kind == "pin" {
+                Query::PinInput { positive, word }
+            } else {
+                Query::NeInput { positive, word }
+            })
+        }
+        "capdef" => {
+            let (index, value) = rest
+                .split_once(':')
+                .ok_or_else(|| format!("bad capdef query {rest:?}"))?;
+            Ok(Query::CaptureDefined {
+                index: index.parse().map_err(|e| format!("bad index: {e}"))?,
+                value: value == "1",
+            })
+        }
+        "capeq" => {
+            let (index, word) = rest
+                .split_once(':')
+                .ok_or_else(|| format!("bad capeq query {rest:?}"))?;
+            Ok(Query::CaptureEq {
+                index: index.parse().map_err(|e| format!("bad index: {e}"))?,
+                word: unescape(word)?,
+            })
+        }
+        other => Err(format!("unknown query kind {other:?}")),
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape(s: &str) -> Result<String, String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            other => return Err(format!("bad escape \\{other:?}")),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_round_trip() {
+        let cases = [
+            Case {
+                pattern: r"^a*(a)?$".to_string(),
+                flags: "i".to_string(),
+                query: Query::PinInput {
+                    positive: true,
+                    word: "a\ta\\é".to_string(),
+                },
+                seed: 42,
+            },
+            Case {
+                pattern: r"(a)\1".to_string(),
+                flags: String::new(),
+                query: Query::CaptureEq {
+                    index: 1,
+                    word: "a".to_string(),
+                },
+                seed: 0,
+            },
+            Case {
+                pattern: "x".to_string(),
+                flags: "gy".to_string(),
+                query: Query::Top { positive: false },
+                seed: u64::MAX,
+            },
+            Case {
+                pattern: "[é-λ]+".to_string(),
+                flags: "u".to_string(),
+                query: Query::CaptureDefined {
+                    index: 0,
+                    value: true,
+                },
+                seed: 7,
+            },
+        ];
+        for case in cases {
+            let line = case.to_line();
+            assert!(!line.contains('\n'));
+            assert_eq!(Case::from_line(&line).expect("round-trip"), case, "{line}");
+        }
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        assert!(Case::from_line("").is_err());
+        assert!(Case::from_line("v0\ta\t\ttop:+\t1").is_err());
+        assert!(Case::from_line("v1\ta\t\tnope:+\t1").is_err());
+        assert!(Case::from_line("v1\ta\t\ttop:+\tnotanumber").is_err());
+    }
+}

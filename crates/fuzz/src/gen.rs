@@ -1,0 +1,161 @@
+//! Case generation: a seed becomes a regex (via
+//! [`regex_syntax_es6::arbitrary`]) plus a query over its capture
+//! model. Fully deterministic — the seed *is* the case identity.
+
+use es6_matcher::RegExp;
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::{RngExt, SeedableRng};
+use regex_syntax_es6::arbitrary::{arbitrary_ast, arbitrary_flags, GenConfig};
+use regex_syntax_es6::Regex;
+
+use crate::case::{Case, Query};
+use crate::check::FuzzBudget;
+
+/// Builds the case for one seed.
+///
+/// The query word for `pin`/`capeq` queries is biased toward *actually
+/// matching* words (found by running the oracle over short candidate
+/// words), so both satisfiable and unsatisfiable queries are common —
+/// a fuzzer that only poses doomed queries never exercises the Sat
+/// validation path.
+pub fn generate_case(seed: u64, cfg: &GenConfig, budget: &FuzzBudget) -> Case {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ast = arbitrary_ast(&mut rng, cfg);
+    let flags = arbitrary_flags(&mut rng);
+    let pattern = ast.to_source();
+    let query = match Regex::new(&pattern, flags) {
+        Ok(regex) => generate_query(&mut rng, &regex, cfg, budget),
+        // Unparseable output is itself the finding; run_case reports
+        // it, and the trivial query keeps the case well-formed.
+        Err(_) => Query::Top { positive: true },
+    };
+    Case {
+        pattern,
+        flags: flags.to_string(),
+        query,
+        seed,
+    }
+}
+
+/// A short random word over the generator alphabet.
+fn random_word(rng: &mut StdRng, cfg: &GenConfig, max_len: usize) -> String {
+    let len = rng.random_range(0usize..=max_len);
+    (0..len)
+        .map(|_| *cfg.alphabet.choose(rng).expect("non-empty alphabet"))
+        .collect()
+}
+
+/// Tries to find a word the regex concretely matches, by testing short
+/// random words plus the empty word. Budgeted; `None` when nothing
+/// matched (common for conjunctive patterns).
+fn find_matching_word(
+    rng: &mut StdRng,
+    regex: &Regex,
+    cfg: &GenConfig,
+    budget: &FuzzBudget,
+) -> Option<(String, Vec<Option<String>>)> {
+    let mut probe = {
+        let mut r = regex.clone();
+        r.flags.global = false;
+        r.flags.sticky = false;
+        RegExp::from_regex(r)
+    };
+    let mut candidates = vec![String::new()];
+    for _ in 0..24 {
+        candidates.push(random_word(rng, cfg, 6));
+    }
+    for word in candidates {
+        if let Ok(Some(result)) = probe.exec_within(&word, Some(budget.step_limit)) {
+            return Some((word, result.captures));
+        }
+    }
+    None
+}
+
+fn generate_query(rng: &mut StdRng, regex: &Regex, cfg: &GenConfig, budget: &FuzzBudget) -> Query {
+    let positive = rng.random_bool(0.6);
+    let captures = regex.capture_count as usize;
+    let roll = rng.random_range(0usize..100);
+    match roll {
+        // Plain membership either way.
+        0..=29 => Query::Top { positive },
+        // Pin the input: half the time to a word that matches, half to
+        // a random one.
+        30..=49 => {
+            let word = if rng.random_bool(0.5) {
+                find_matching_word(rng, regex, cfg, budget)
+                    .map(|(w, _)| w)
+                    .unwrap_or_else(|| random_word(rng, cfg, 5))
+            } else {
+                random_word(rng, cfg, 5)
+            };
+            Query::PinInput { positive, word }
+        }
+        50..=59 => Query::NeInput {
+            positive,
+            word: random_word(rng, cfg, 4),
+        },
+        // Capture queries (positive membership only; fall back to Top
+        // for capture-free patterns).
+        60..=79 if captures > 0 => Query::CaptureDefined {
+            index: rng.random_range(0usize..=captures),
+            value: rng.random_bool(0.7),
+        },
+        80..=99 if captures > 0 => {
+            let index = rng.random_range(0usize..=captures);
+            // Bias toward a value the engine actually produces.
+            let word = match find_matching_word(rng, regex, cfg, budget) {
+                Some((_, caps)) if rng.random_bool(0.7) => caps
+                    .get(index)
+                    .cloned()
+                    .flatten()
+                    .unwrap_or_else(|| random_word(rng, cfg, 3)),
+                _ => random_word(rng, cfg, 3),
+            };
+            Query::CaptureEq { index, word }
+        }
+        _ => Query::Top { positive },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regex_syntax_es6::Flags;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = GenConfig::default();
+        let budget = FuzzBudget::quick();
+        for seed in [0u64, 7, 1234] {
+            let a = generate_case(seed, &cfg, &budget);
+            let b = generate_case(seed, &cfg, &budget);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn query_kinds_all_appear() {
+        let cfg = GenConfig::default();
+        let budget = FuzzBudget::quick();
+        let mut kinds = std::collections::BTreeSet::new();
+        for seed in 0..400u64 {
+            kinds.insert(generate_case(seed, &cfg, &budget).query.kind());
+        }
+        for kind in ["top", "pin", "ne", "capdef", "capeq"] {
+            assert!(kinds.contains(kind), "query kind {kind} never generated");
+        }
+    }
+
+    #[test]
+    fn flags_round_trip_through_case() {
+        let cfg = GenConfig::default();
+        let budget = FuzzBudget::quick();
+        for seed in 0..100u64 {
+            let case = generate_case(seed, &cfg, &budget);
+            let parsed: Flags = case.flags.parse().expect("flags round-trip");
+            assert_eq!(parsed.to_string(), case.flags);
+        }
+    }
+}

@@ -1,0 +1,433 @@
+//! Delta-debugging shrinker: reduces a failing case to a minimal
+//! reproducer, deterministically.
+//!
+//! The shrink loop repeatedly tries single-step reductions — AST
+//! simplifications, flag drops, query simplifications, seed zeroing —
+//! and greedily commits the *first* (in a fixed enumeration order)
+//! reduction that still fails in the **same layer**. Same input ⇒ same
+//! reduction trace ⇒ byte-identical minimal reproducer; the corpus
+//! replay and determinism tests rely on this.
+
+use regex_syntax_es6::ast::Ast;
+
+use crate::case::{Case, Query};
+use crate::check::{run_case, Disagreement, FuzzBudget, Layer};
+
+/// The result of shrinking a failing case.
+#[derive(Debug, Clone)]
+pub struct Shrunk {
+    /// The minimal failing case.
+    pub case: Case,
+    /// Its disagreement (same layer as the original failure).
+    pub disagreement: Disagreement,
+    /// Property evaluations spent.
+    pub steps: usize,
+}
+
+/// Shrinks `case` (which must fail in `layer`) to a local minimum:
+/// no single-step reduction still fails in that layer.
+pub fn shrink(case: &Case, layer: Layer, budget: &FuzzBudget) -> Shrunk {
+    shrink_with(case, layer, budget.shrink_steps, |candidate| {
+        run_case(candidate, budget)
+            .disagreement
+            .filter(|d| d.layer == layer)
+    })
+}
+
+/// The delta-debugging engine behind [`shrink`], generic over the
+/// failure property — `fails` returns the disagreement when the
+/// candidate still exhibits the failure being minimized.
+///
+/// Greedy first-success restarts over the fixed candidate
+/// enumeration order make the reduction trace — and therefore the
+/// minimal reproducer — a pure function of the input: same failing
+/// case + property ⇒ byte-identical output (the determinism contract
+/// `crates/fuzz/tests` pins down).
+pub fn shrink_with(
+    case: &Case,
+    layer: Layer,
+    max_steps: usize,
+    mut fails: impl FnMut(&Case) -> Option<Disagreement>,
+) -> Shrunk {
+    let mut current = case.clone();
+    let mut disagreement = Disagreement {
+        layer,
+        detail: String::new(),
+    };
+    let mut steps = 0usize;
+    'outer: loop {
+        for candidate in candidates(&current) {
+            if steps >= max_steps {
+                break 'outer;
+            }
+            steps += 1;
+            if let Some(d) = fails(&candidate) {
+                current = candidate;
+                disagreement = d;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    // Re-derive the detail when no reduction ever succeeded (the
+    // original failure is already minimal).
+    if disagreement.detail.is_empty() {
+        if let Some(d) = fails(&current) {
+            disagreement = d;
+        }
+    }
+    Shrunk {
+        case: current,
+        disagreement,
+        steps,
+    }
+}
+
+/// Renders a minimal case as a ready-to-paste Rust regression test
+/// (the shape used by `crates/fuzz/tests/corpus_replay.rs`).
+pub fn render_repro_test(shrunk: &Shrunk) -> String {
+    let line = shrunk.case.to_line();
+    let hash = fnv1a(line.as_bytes());
+    format!(
+        "#[test]\n\
+         fn fuzz_repro_{hash:016x}() {{\n\
+         \x20   // layer: {}; {}\n\
+         \x20   // case: {}\n\
+         \x20   let case = expose_fuzz::Case::from_line({line:?}).expect(\"corpus line\");\n\
+         \x20   let outcome = expose_fuzz::run_case(&case, &expose_fuzz::FuzzBudget::quick());\n\
+         \x20   assert!(\n\
+         \x20       outcome.disagreement.is_none(),\n\
+         \x20       \"cross-layer disagreement: {{:?}}\",\n\
+         \x20       outcome.disagreement\n\
+         \x20   );\n\
+         }}\n",
+        shrunk.disagreement.layer.name(),
+        shrunk.disagreement.detail.replace('\n', " "),
+        shrunk.case,
+    )
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x1_0000_01b3);
+    }
+    hash
+}
+
+/// All single-step reductions of a case, in a fixed order: pattern
+/// first (largest wins there), then flags, then query, then seed.
+fn candidates(case: &Case) -> Vec<Case> {
+    let mut out = Vec::new();
+    if let Ok(ast) = regex_syntax_es6::parse(&case.pattern) {
+        for reduced in ast_reductions(&ast) {
+            let pattern = reduced.to_source();
+            if pattern != case.pattern {
+                out.push(Case {
+                    pattern,
+                    ..case.clone()
+                });
+            }
+        }
+    }
+    for (i, _) in case.flags.char_indices() {
+        let mut flags: String = String::with_capacity(case.flags.len());
+        for (j, c) in case.flags.char_indices() {
+            if j != i {
+                flags.push(c);
+            }
+        }
+        out.push(Case {
+            flags,
+            ..case.clone()
+        });
+    }
+    for query in query_reductions(&case.query) {
+        out.push(Case {
+            query,
+            ..case.clone()
+        });
+    }
+    if case.seed != 0 {
+        out.push(Case {
+            seed: 0,
+            ..case.clone()
+        });
+    }
+    out
+}
+
+fn query_reductions(query: &Query) -> Vec<Query> {
+    let mut out = Vec::new();
+    let positive = query.positive();
+    match query {
+        Query::Top { .. } => {}
+        Query::PinInput { word, .. } => {
+            for shorter in word_reductions(word) {
+                out.push(Query::PinInput {
+                    positive,
+                    word: shorter,
+                });
+            }
+            out.push(Query::Top { positive });
+        }
+        Query::NeInput { word, .. } => {
+            for shorter in word_reductions(word) {
+                out.push(Query::NeInput {
+                    positive,
+                    word: shorter,
+                });
+            }
+            out.push(Query::Top { positive });
+        }
+        Query::CaptureDefined { index, value } => {
+            if *index > 0 {
+                out.push(Query::CaptureDefined {
+                    index: index - 1,
+                    value: *value,
+                });
+            }
+            out.push(Query::Top { positive });
+        }
+        Query::CaptureEq { index, word } => {
+            for shorter in word_reductions(word) {
+                out.push(Query::CaptureEq {
+                    index: *index,
+                    word: shorter,
+                });
+            }
+            if *index > 0 {
+                out.push(Query::CaptureEq {
+                    index: index - 1,
+                    word: word.clone(),
+                });
+            }
+            out.push(Query::CaptureDefined {
+                index: *index,
+                value: true,
+            });
+            out.push(Query::Top { positive });
+        }
+    }
+    out
+}
+
+/// The word with one character removed, at every position.
+fn word_reductions(word: &str) -> Vec<String> {
+    let chars: Vec<char> = word.chars().collect();
+    (0..chars.len())
+        .map(|skip| {
+            chars
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != skip)
+                .map(|(_, c)| *c)
+                .collect()
+        })
+        .collect()
+}
+
+/// Every AST reachable by one reduction step: local simplifications of
+/// the root, plus one-step reductions of each child in place.
+fn ast_reductions(ast: &Ast) -> Vec<Ast> {
+    let mut out = Vec::new();
+    local_reductions(ast, &mut out);
+    match ast {
+        Ast::Group { index, ast: inner } => {
+            for reduced in ast_reductions(inner) {
+                out.push(Ast::Group {
+                    index: *index,
+                    ast: Box::new(reduced),
+                });
+            }
+        }
+        Ast::NonCapturing(inner) => {
+            for reduced in ast_reductions(inner) {
+                out.push(Ast::NonCapturing(Box::new(reduced)));
+            }
+        }
+        Ast::Lookahead {
+            negative,
+            ast: inner,
+        } => {
+            for reduced in ast_reductions(inner) {
+                out.push(Ast::Lookahead {
+                    negative: *negative,
+                    ast: Box::new(reduced),
+                });
+            }
+        }
+        Ast::Repeat {
+            ast: inner,
+            min,
+            max,
+            lazy,
+        } => {
+            for reduced in ast_reductions(inner) {
+                out.push(Ast::Repeat {
+                    ast: Box::new(reduced),
+                    min: *min,
+                    max: *max,
+                    lazy: *lazy,
+                });
+            }
+        }
+        Ast::Alt(items) | Ast::Concat(items) => {
+            let rebuild = |new_items: Vec<Ast>| match ast {
+                Ast::Alt(_) => Ast::alt(new_items),
+                _ => Ast::concat(new_items),
+            };
+            for (i, item) in items.iter().enumerate() {
+                for reduced in ast_reductions(item) {
+                    let mut new_items = items.clone();
+                    new_items[i] = reduced;
+                    out.push(rebuild(new_items));
+                }
+            }
+        }
+        _ => {}
+    }
+    out
+}
+
+/// Reductions applying at `ast` itself (not inside it), biggest first.
+fn local_reductions(ast: &Ast, out: &mut Vec<Ast>) {
+    match ast {
+        Ast::Empty => {}
+        Ast::Literal(c) => {
+            if *c != 'a' {
+                out.push(Ast::Literal('a'));
+            }
+        }
+        Ast::Dot => out.push(Ast::Literal('a')),
+        Ast::Class(set) => {
+            use regex_syntax_es6::class::ClassItem;
+            // Collapse to a representative literal of each item, so a
+            // failing `[b-é]` can continue shrinking as `b`.
+            for item in &set.items {
+                match item {
+                    ClassItem::Single(c) => out.push(Ast::Literal(*c)),
+                    ClassItem::Range(lo, hi) => {
+                        out.push(Ast::Literal(*lo));
+                        out.push(Ast::Literal(*hi));
+                    }
+                    ClassItem::Perl(_) => {}
+                }
+            }
+            out.push(Ast::Literal('a'));
+        }
+        Ast::Assertion(_) => out.push(Ast::Empty),
+        Ast::Group { ast: inner, .. } => {
+            out.push((**inner).clone());
+            out.push(Ast::Empty);
+        }
+        Ast::NonCapturing(inner) => out.push((**inner).clone()),
+        Ast::Lookahead { ast: inner, .. } => {
+            out.push(Ast::Empty);
+            out.push((**inner).clone());
+        }
+        Ast::Repeat {
+            ast: inner,
+            min,
+            max,
+            lazy,
+        } => {
+            out.push((**inner).clone());
+            if *lazy {
+                out.push(Ast::Repeat {
+                    ast: inner.clone(),
+                    min: *min,
+                    max: *max,
+                    lazy: false,
+                });
+            }
+            if max.is_none() {
+                out.push(Ast::Repeat {
+                    ast: inner.clone(),
+                    min: *min,
+                    max: Some((*min).max(1)),
+                    lazy: *lazy,
+                });
+            }
+            if *min > 0 {
+                out.push(Ast::Repeat {
+                    ast: inner.clone(),
+                    min: min - 1,
+                    max: *max,
+                    lazy: *lazy,
+                });
+            }
+        }
+        Ast::Alt(items) => {
+            for item in items {
+                out.push(item.clone());
+            }
+            for skip in 0..items.len() {
+                let remaining: Vec<Ast> = items
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != skip)
+                    .map(|(_, a)| a.clone())
+                    .collect();
+                out.push(Ast::alt(remaining));
+            }
+        }
+        Ast::Concat(items) => {
+            for skip in 0..items.len() {
+                let remaining: Vec<Ast> = items
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != skip)
+                    .map(|(_, a)| a.clone())
+                    .collect();
+                out.push(Ast::concat(remaining));
+            }
+            for item in items {
+                out.push(item.clone());
+            }
+        }
+        Ast::Backref(_) => {
+            out.push(Ast::Empty);
+            out.push(Ast::Literal('a'));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reductions_strictly_simplify() {
+        let ast = regex_syntax_es6::parse(r"^(a+|[b-c]){2,}(?=x)\1$").expect("parse");
+        fn size(ast: &Ast) -> usize {
+            match ast {
+                Ast::Group { ast, .. }
+                | Ast::NonCapturing(ast)
+                | Ast::Lookahead { ast, .. }
+                | Ast::Repeat { ast, .. } => 1 + size(ast),
+                Ast::Alt(items) | Ast::Concat(items) => 1 + items.iter().map(size).sum::<usize>(),
+                _ => 1,
+            }
+        }
+        let origin = size(&ast);
+        let reductions = ast_reductions(&ast);
+        assert!(!reductions.is_empty());
+        for candidate in &reductions {
+            // Each candidate must render and re-parse (validity of the
+            // shrink space), modulo Annex B re-interpretation of now
+            // dangling backrefs.
+            let source = candidate.to_source();
+            regex_syntax_es6::parse(&source)
+                .unwrap_or_else(|e| panic!("reduction {source:?} must parse: {e}"));
+            assert!(size(candidate) <= origin + 1, "{source:?} grew");
+        }
+    }
+
+    #[test]
+    fn word_reductions_cover_every_position() {
+        assert_eq!(word_reductions("abc"), vec!["bc", "ac", "ab"]);
+        assert!(word_reductions("").is_empty());
+    }
+}

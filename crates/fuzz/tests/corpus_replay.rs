@@ -1,0 +1,88 @@
+//! Replays the checked-in regression corpus (`crates/fuzz/corpus/`):
+//! every line is a shrunk reproducer of a once-real cross-layer
+//! disagreement (or a paper example pinned as a fixed case), and must
+//! now pass every differential check. A failure here means a fixed bug
+//! regressed — the corpus line names the original finding.
+
+use std::path::PathBuf;
+
+use expose_fuzz::{run_case, Case, FuzzBudget};
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("corpus")
+}
+
+fn corpus_cases() -> Vec<(String, String, Case)> {
+    let mut out = Vec::new();
+    let mut files: Vec<PathBuf> = std::fs::read_dir(corpus_dir())
+        .expect("corpus directory exists")
+        .map(|e| e.expect("readable entry").path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "case"))
+        .collect();
+    files.sort();
+    assert!(!files.is_empty(), "corpus must not be empty");
+    for file in files {
+        let name = file
+            .file_name()
+            .expect("file name")
+            .to_string_lossy()
+            .into_owned();
+        let content =
+            std::fs::read_to_string(&file).unwrap_or_else(|e| panic!("cannot read {name}: {e}"));
+        for line in content.lines() {
+            let line = line.trim_end();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let case = Case::from_line(line)
+                .unwrap_or_else(|e| panic!("{name}: malformed corpus line {line:?}: {e}"));
+            out.push((name.clone(), line.to_string(), case));
+        }
+    }
+    out
+}
+
+#[test]
+fn every_corpus_case_passes_all_layers() {
+    let budget = FuzzBudget::quick();
+    let cases = corpus_cases();
+    assert!(
+        cases.len() >= 10,
+        "corpus unexpectedly small: {}",
+        cases.len()
+    );
+    for (file, line, case) in &cases {
+        let outcome = run_case(case, &budget);
+        assert!(
+            outcome.disagreement.is_none(),
+            "{file}: corpus case regressed: {line}\n  {:?}",
+            outcome.disagreement
+        );
+    }
+}
+
+#[test]
+fn corpus_lines_round_trip() {
+    for (file, line, case) in corpus_cases() {
+        assert_eq!(
+            case.to_line(),
+            line,
+            "{file}: corpus line is not in canonical form"
+        );
+    }
+}
+
+#[test]
+fn corpus_replay_is_deterministic() {
+    // Replaying a case twice observes identical verdicts — the
+    // foundation the shrinker's byte-identical-reproducer contract
+    // rests on.
+    let budget = FuzzBudget::quick();
+    for (file, _, case) in corpus_cases().into_iter().take(6) {
+        let a = run_case(&case, &budget);
+        let b = run_case(&case, &budget);
+        assert_eq!(a.solver_verdict, b.solver_verdict, "{file}");
+        assert_eq!(a.cegar_verdict, b.cegar_verdict, "{file}");
+        assert_eq!(a.dfa_words_checked, b.dfa_words_checked, "{file}");
+    }
+}

@@ -1,0 +1,84 @@
+//! The shrinker's determinism contract: the same failing input always
+//! reduces to the byte-identical minimal reproducer, and the reduction
+//! actually minimizes.
+
+use expose_fuzz::{render_repro_test, run_case, shrink_with, Case, FuzzBudget, Layer, Query};
+
+/// A synthetic failure property: the case "fails" while its pattern
+/// still contains a `b` literal. Stands in for a real cross-layer
+/// disagreement so the shrinking machinery can be exercised on demand
+/// (the real layers currently — by design — have nothing that fails).
+fn fails_on_b(case: &Case) -> Option<expose_fuzz::Disagreement> {
+    case.pattern
+        .contains('b')
+        .then(|| expose_fuzz::Disagreement {
+            layer: Layer::MatcherVsDfa,
+            detail: format!("synthetic: pattern {:?} contains b", case.pattern),
+        })
+}
+
+fn big_case() -> Case {
+    Case {
+        pattern: r"^a+(?:b|c{2,3})([b-é]\d)*\1?$".to_string(),
+        flags: "im".to_string(),
+        query: Query::PinInput {
+            positive: true,
+            word: "abb1".to_string(),
+        },
+        seed: 77,
+    }
+}
+
+#[test]
+fn same_input_shrinks_to_byte_identical_reproducer() {
+    let a = shrink_with(&big_case(), Layer::MatcherVsDfa, 2000, fails_on_b);
+    let b = shrink_with(&big_case(), Layer::MatcherVsDfa, 2000, fails_on_b);
+    assert_eq!(a.case, b.case);
+    assert_eq!(a.steps, b.steps);
+    assert_eq!(a.disagreement.detail, b.disagreement.detail);
+    let ra = render_repro_test(&a);
+    let rb = render_repro_test(&b);
+    assert_eq!(ra, rb, "rendered reproducers must be byte-identical");
+}
+
+#[test]
+fn shrinking_reaches_a_local_minimum() {
+    let shrunk = shrink_with(&big_case(), Layer::MatcherVsDfa, 2000, fails_on_b);
+    // Still failing, and minimal for the property: the pattern is the
+    // lone offending literal and every decoration is gone.
+    assert!(shrunk.case.pattern.contains('b'));
+    assert_eq!(shrunk.case.pattern, "b", "expected the single literal");
+    assert_eq!(shrunk.case.flags, "");
+    assert_eq!(shrunk.case.query, Query::Top { positive: true });
+    assert_eq!(shrunk.case.seed, 0);
+}
+
+#[test]
+fn rendered_reproducer_is_executable_shape() {
+    let shrunk = shrink_with(&big_case(), Layer::MatcherVsDfa, 2000, fails_on_b);
+    let test = render_repro_test(&shrunk);
+    assert!(test.contains("#[test]"));
+    assert!(test.contains("expose_fuzz::Case::from_line"));
+    assert!(test.contains("expose_fuzz::run_case"));
+    // The embedded corpus line must parse back to the shrunk case.
+    let line = shrunk.case.to_line();
+    assert!(test.contains(&format!("{line:?}")));
+    assert_eq!(Case::from_line(&line).expect("line parses"), shrunk.case);
+}
+
+#[test]
+fn real_shrink_on_a_passing_case_is_a_no_op_failure_guard() {
+    // `shrink` (the run_case-backed wrapper) on a case that does not
+    // fail must terminate quickly and keep the case intact apart from
+    // detail re-derivation.
+    let budget = FuzzBudget::quick();
+    let case = Case {
+        pattern: "goo+d".to_string(),
+        flags: String::new(),
+        query: Query::Top { positive: true },
+        seed: 0,
+    };
+    assert!(run_case(&case, &budget).disagreement.is_none());
+    let shrunk = expose_fuzz::shrink(&case, Layer::MatcherVsDfa, &budget);
+    assert_eq!(shrunk.case, case, "no reduction may be committed");
+}

@@ -117,21 +117,54 @@ impl RegExp {
     /// Stateful under `g`/`y`: matching starts at `lastIndex`, which is
     /// advanced past the match on success and reset to 0 on failure.
     pub fn exec(&mut self, input: &str) -> Option<MatchResult> {
+        self.exec_within(input, None)
+            .expect("unbounded exec cannot exhaust a step budget")
+    }
+
+    /// [`RegExp::exec`] with an optional backtracking-step budget.
+    ///
+    /// The budget is shared across all start positions of the unanchored
+    /// search, so the total work is bounded even when every position
+    /// backtracks. On exhaustion `lastIndex` is left unchanged and
+    /// [`StepLimitExceeded`](crate::exec::StepLimitExceeded) is returned
+    /// — a starved attempt proves nothing, so it must not be read as a
+    /// failed match. This is the evaluation hook the differential fuzzer
+    /// drives the oracle through.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::exec::StepLimitExceeded`] when the budget ran out.
+    pub fn exec_within(
+        &mut self,
+        input: &str,
+        step_limit: Option<u64>,
+    ) -> Result<Option<MatchResult>, crate::exec::StepLimitExceeded> {
         let chars: Vec<char> = input.chars().collect();
         let stateful = self.regex.flags.is_stateful();
         let start = if stateful { self.last_index } else { 0 };
         if start > chars.len() {
             self.last_index = 0;
-            return None;
+            return Ok(None);
         }
         let engine = Engine::new(&self.regex.ast, self.regex.flags);
         let sticky = self.regex.flags.sticky;
-        let found = if sticky {
-            engine.match_at(&chars, start)
-        } else {
-            (start..=chars.len()).find_map(|at| engine.match_at(&chars, at))
+        let found = match step_limit {
+            None => {
+                if sticky {
+                    engine.match_at(&chars, start)
+                } else {
+                    (start..=chars.len()).find_map(|at| engine.match_at(&chars, at))
+                }
+            }
+            Some(limit) => {
+                if sticky {
+                    engine.match_at_within(&chars, start, limit)?
+                } else {
+                    engine.search_within(&chars, start, limit)?
+                }
+            }
         };
-        match found {
+        Ok(match found {
             Some(m) => {
                 if stateful {
                     self.last_index = m.end;
@@ -153,7 +186,7 @@ impl RegExp {
                 }
                 None
             }
-        }
+        })
     }
 
     /// `RegExp.prototype.test(input)`: precisely

@@ -17,9 +17,29 @@
 //! * positive lookaheads retain capture assignments, negative lookaheads
 //!   discard them.
 
+use std::cell::Cell;
+
 use regex_syntax_es6::ast::{AssertionKind, Ast};
 use regex_syntax_es6::class::is_line_terminator;
 use regex_syntax_es6::Flags;
+
+/// The step budget of a bounded match attempt ran out before the
+/// attempt could be decided (see [`Engine::match_at_within`]).
+///
+/// Backtracking over adversarial patterns (`(a+)+b` and friends) is
+/// exponential; consumers that feed the matcher *generated* patterns —
+/// the differential fuzzer foremost — must bound it and treat this as
+/// "oracle unavailable", never as a non-match.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepLimitExceeded;
+
+impl std::fmt::Display for StepLimitExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("matcher step limit exceeded")
+    }
+}
+
+impl std::error::Error for StepLimitExceeded {}
 
 /// A capture slot: byte-free `(start, end)` character offsets, or
 /// `None` for undefined (the paper's `⊥`, distinct from an empty match).
@@ -53,6 +73,10 @@ pub struct Engine<'a> {
     ast: &'a Ast,
     flags: Flags,
     group_count: u32,
+    /// Remaining steps for a bounded attempt; `None` = unbounded.
+    fuel: Cell<Option<u64>>,
+    /// Set when a bounded attempt ran out of fuel.
+    exhausted: Cell<bool>,
 }
 
 impl<'a> Engine<'a> {
@@ -62,6 +86,8 @@ impl<'a> Engine<'a> {
             ast,
             flags,
             group_count: ast.capture_count(),
+            fuel: Cell::new(None),
+            exhausted: Cell::new(false),
         }
     }
 
@@ -91,6 +117,75 @@ impl<'a> Engine<'a> {
         }
     }
 
+    /// [`Engine::match_at`] with a backtracking-step budget.
+    ///
+    /// Every AST-node visit costs one step. When the budget runs out the
+    /// attempt is abandoned and `Err(StepLimitExceeded)` is returned —
+    /// crucially *not* `Ok(None)`, because a starved attempt proves
+    /// nothing about the word. A budget of a few hundred thousand steps
+    /// decides every non-adversarial pattern.
+    ///
+    /// # Errors
+    ///
+    /// [`StepLimitExceeded`] when `step_limit` visits were spent without
+    /// reaching a verdict.
+    pub fn match_at_within(
+        &self,
+        input: &[char],
+        start: usize,
+        step_limit: u64,
+    ) -> Result<Option<Match>, StepLimitExceeded> {
+        self.fuel.set(Some(step_limit));
+        self.exhausted.set(false);
+        let result = self.match_at(input, start);
+        let spent = self.exhausted.get();
+        self.fuel.set(None);
+        self.exhausted.set(false);
+        // Once the budget runs out every sub-match fails, which can
+        // *invert* a negative lookahead on the way back up — so even a
+        // returned match is untrustworthy after exhaustion.
+        if spent {
+            Err(StepLimitExceeded)
+        } else {
+            Ok(result)
+        }
+    }
+
+    /// The unanchored search loop (first match at or after `start`)
+    /// under a *single* step budget shared across all start positions —
+    /// total work stays bounded even when every position backtracks.
+    ///
+    /// # Errors
+    ///
+    /// [`StepLimitExceeded`] when the budget ran out before a verdict.
+    pub fn search_within(
+        &self,
+        input: &[char],
+        start: usize,
+        step_limit: u64,
+    ) -> Result<Option<Match>, StepLimitExceeded> {
+        self.fuel.set(Some(step_limit));
+        self.exhausted.set(false);
+        let mut found = None;
+        for at in start..=input.len() {
+            if let Some(m) = self.match_at(input, at) {
+                found = Some(m);
+                break;
+            }
+            if self.exhausted.get() {
+                break;
+            }
+        }
+        let spent = self.exhausted.get();
+        self.fuel.set(None);
+        self.exhausted.set(false);
+        if spent {
+            Err(StepLimitExceeded)
+        } else {
+            Ok(found)
+        }
+    }
+
     /// Core matcher: match `node` at `pos`, then run the continuation.
     ///
     /// The continuation may mutate `caps` further; on failure the matcher
@@ -104,6 +199,15 @@ impl<'a> Engine<'a> {
         caps: &mut Captures,
         k: &mut dyn FnMut(usize, &mut Captures) -> bool,
     ) -> bool {
+        if let Some(fuel) = self.fuel.get() {
+            if fuel == 0 {
+                // Out of budget: fail everything so the whole attempt
+                // unwinds quickly; match_at_within reports the reason.
+                self.exhausted.set(true);
+                return false;
+            }
+            self.fuel.set(Some(fuel - 1));
+        }
         match node {
             Ast::Empty => k(pos, caps),
             Ast::Literal(c) => {
@@ -415,39 +519,49 @@ impl<'a> Engine<'a> {
     }
 
     fn class_contains(&self, set: &regex_syntax_es6::class::ClassSet, c: char) -> bool {
-        if set.contains(c) {
-            return true;
+        if !self.flags.ignore_case {
+            return set.contains(c);
         }
-        if self.flags.ignore_case {
-            // Compare canonicalized forms in both directions, as the
-            // spec's Canonicalize does for class atoms.
-            let canon = canonicalize(c, self.flags.unicode);
-            if canon != c && set.contains(canon) {
-                return true;
-            }
-            for variant in regex_syntax_es6::class::simple_case_variants(c) {
-                if set.contains(variant) {
-                    return true;
-                }
-            }
+        // ES262 §21.2.2.8.1 CharacterSetMatcher: `c` is in the class iff
+        // some member `a` of the *raw* item set has Canonicalize(a) ==
+        // Canonicalize(c); the class-level negation applies only
+        // afterwards. (Testing case variants against the negated set —
+        // the old shortcut — inverted the semantics: `[^b]` under `i`
+        // accepted `b` because `B ∈ [^b]`.)
+        //
+        // Fast path first: `c` trivially satisfies the canonical
+        // equation with itself, and this is the backtracking engine's
+        // hot loop — the variant vectors only allocate on a miss.
+        if set.raw_contains(c) {
+            return !set.negated;
         }
-        false
+        let canon = canonicalize(c, self.flags.unicode);
+        let inside = std::iter::once(canon)
+            .chain(regex_syntax_es6::class::simple_case_variants(c))
+            .chain(regex_syntax_es6::class::simple_case_variants(canon))
+            .any(|a| a != c && canonicalize(a, self.flags.unicode) == canon && set.raw_contains(a));
+        inside != set.negated
     }
 }
 
 /// ES262 §21.2.2.8.2 Canonicalize: simple uppercase mapping, keeping the
 /// original character when the mapping is multi-character or when a
 /// non-ASCII character would map to an ASCII one (non-unicode mode).
+///
+/// The non-unicode rule delegates to
+/// [`regex_syntax_es6::class::canonicalize_simple`] — the same function
+/// class rewriting (`ClassSet::case_insensitive`) uses — so the engine
+/// and the automata pipeline can never drift apart on the
+/// spec-critical equivalence again.
 pub fn canonicalize(c: char, unicode: bool) -> char {
+    if !unicode {
+        return regex_syntax_es6::class::canonicalize_simple(c);
+    }
     let mut upper = c.to_uppercase();
     if upper.clone().count() != 1 {
         return c;
     }
-    let u = upper.next().expect("one char");
-    if !unicode && (c as u32) >= 128 && (u as u32) < 128 {
-        return c;
-    }
-    u
+    upper.next().expect("one char")
 }
 
 #[cfg(test)]
@@ -659,6 +773,57 @@ mod tests {
     fn nested_quantifier_backtracking() {
         assert!(engine_match("^(a+)+b$", "", "aaab").is_some());
         assert!(engine_match("^(a|aa)*b$", "", "aaaaab").is_some());
+    }
+
+    #[test]
+    fn step_budget_decides_easy_patterns() {
+        let ast = parse("goo+d").expect("parse");
+        let engine = Engine::new(&ast, Flags::empty());
+        let chars: Vec<char> = "it is goood".chars().collect();
+        let m = engine
+            .search_within(&chars, 0, 10_000)
+            .expect("ample budget")
+            .expect("match");
+        assert_eq!((m.start, m.end), (6, 11));
+        assert_eq!(
+            engine.search_within(&chars, 0, 10_000).expect("verdict"),
+            engine.match_at(&chars, 6)
+        );
+    }
+
+    #[test]
+    fn step_budget_aborts_catastrophic_backtracking() {
+        // (a+)+b on a^n is the classic exponential blowup.
+        let ast = parse("^(a+)+b$").expect("parse");
+        let engine = Engine::new(&ast, Flags::empty());
+        let chars: Vec<char> = "a".repeat(40).chars().collect();
+        assert_eq!(
+            engine.match_at_within(&chars, 0, 50_000),
+            Err(StepLimitExceeded)
+        );
+        // The engine is reusable after exhaustion: unbounded calls see
+        // no leftover fuel.
+        let ok: Vec<char> = "aab".chars().collect();
+        assert!(engine.match_at(&ok, 0).is_some());
+    }
+
+    #[test]
+    fn budgeted_verdicts_agree_with_unbounded_ones() {
+        for (pattern, input) in [
+            ("a|((b)*c)*d", "bbbbcbcd"),
+            (r"^((a|b)\2)+$", "aabb"),
+            ("(?=(ab))a", "ab"),
+            ("a{2,3}?", "aaaa"),
+        ] {
+            let ast = parse(pattern).expect("parse");
+            let engine = Engine::new(&ast, Flags::empty());
+            let chars: Vec<char> = input.chars().collect();
+            let bounded = engine
+                .search_within(&chars, 0, 1_000_000)
+                .expect("ample budget");
+            let unbounded = (0..=chars.len()).find_map(|at| engine.match_at(&chars, at));
+            assert_eq!(bounded, unbounded, "pattern {pattern:?}");
+        }
     }
 
     #[test]

@@ -24,4 +24,4 @@ pub mod api;
 pub mod exec;
 
 pub use api::{string_match, string_replace, string_search, string_split, MatchResult, RegExp};
-pub use exec::{canonicalize, Captures, Engine, Match};
+pub use exec::{canonicalize, Captures, Engine, Match, StepLimitExceeded};

@@ -1,0 +1,382 @@
+//! Seed-driven random generation of ES6 regexes — the AST side of the
+//! differential fuzzer (`expose::fuzz`).
+//!
+//! [`arbitrary_regex`] draws a random, *valid* ES6 regex spanning the
+//! whole Table 1/Table 5 feature space: literals (including non-ASCII),
+//! character classes with ranges and predefined escapes, greedy and lazy
+//! quantifiers, bounded repetition, capture and non-capturing groups,
+//! lookaheads, backreferences (including the quantified-backreference
+//! idiom of §4.3), anchors, word boundaries and every flag. Generation
+//! is deterministic in the RNG, so a seed fully identifies a case.
+//!
+//! The generated AST is rendered with [`Ast::to_source`] and re-parsed,
+//! which (a) assigns capture-group indices exactly as the parser would
+//! and (b) turns every generated regex into a free round-trip test of
+//! the printer/parser pair.
+
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::RngExt;
+
+use crate::ast::{AssertionKind, Ast};
+use crate::class::{ClassItem, ClassSet, PerlClass, PerlKind};
+use crate::flags::Flags;
+use crate::parser::{ParseError, Regex};
+
+/// Tuning knobs for [`arbitrary_ast`] / [`arbitrary_regex`].
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    /// Maximum nesting depth of the generated AST.
+    pub max_depth: usize,
+    /// Upper bound for bounded-repetition counts (`{m}`, `{m,n}`).
+    pub max_repeat: u32,
+    /// Characters literals and class endpoints are drawn from. Must be
+    /// non-empty; non-ASCII members exercise multi-byte handling.
+    pub alphabet: Vec<char>,
+    /// Generate backreferences (and the quantified-backref idiom).
+    pub backrefs: bool,
+    /// Generate lookahead assertions.
+    pub lookaheads: bool,
+    /// Generate `\b`/`\B` word-boundary assertions.
+    pub boundaries: bool,
+}
+
+impl Default for GenConfig {
+    fn default() -> GenConfig {
+        GenConfig {
+            max_depth: 3,
+            max_repeat: 3,
+            // Small word-ish alphabet plus two multi-byte characters so
+            // the parser's offset arithmetic is exercised on every run.
+            alphabet: vec!['a', 'b', 'c', '0', '1', '_', 'é', 'λ'],
+            backrefs: true,
+            lookaheads: true,
+            boundaries: true,
+        }
+    }
+}
+
+/// Placeholder index for a backreference whose target group is assigned
+/// in a later pass (the generator does not know the final group count
+/// while descending).
+const BACKREF_PLACEHOLDER: u32 = u32::MAX;
+
+/// Draws a random flag set. Each flag is sampled independently with a
+/// modest probability so every Table 5 flag bucket shows up across a
+/// few hundred seeds.
+pub fn arbitrary_flags(rng: &mut StdRng) -> Flags {
+    Flags {
+        global: rng.random_bool(0.20),
+        ignore_case: rng.random_bool(0.15),
+        multiline: rng.random_bool(0.15),
+        dot_all: rng.random_bool(0.10),
+        unicode: rng.random_bool(0.10),
+        sticky: rng.random_bool(0.15),
+    }
+}
+
+/// Draws a random pattern AST. The result is structurally valid: every
+/// backreference points at an existing capture group (or has been
+/// replaced by a literal when the pattern ended up group-free).
+pub fn arbitrary_ast(rng: &mut StdRng, cfg: &GenConfig) -> Ast {
+    assert!(!cfg.alphabet.is_empty(), "alphabet must be non-empty");
+    // Top-level: optional anchors around a small concatenation.
+    let mut items = Vec::new();
+    if rng.random_bool(0.25) {
+        items.push(Ast::Assertion(AssertionKind::StartAnchor));
+    }
+    let parts = 1 + rng.random_range(0usize..3);
+    for _ in 0..parts {
+        items.push(node(rng, cfg, cfg.max_depth));
+    }
+    if rng.random_bool(0.25) {
+        items.push(Ast::Assertion(AssertionKind::EndAnchor));
+    }
+    let mut ast = Ast::concat(items);
+    resolve_backrefs(&mut ast, rng, cfg);
+    ast
+}
+
+/// Draws a random regex: AST plus flags, rendered to source and
+/// re-parsed so capture indices are assigned by the parser itself.
+///
+/// # Errors
+///
+/// Returns the parse error if the rendered source does not re-parse —
+/// which would itself be a printer/parser disagreement worth reporting.
+pub fn arbitrary_regex(rng: &mut StdRng, cfg: &GenConfig) -> Result<Regex, ParseError> {
+    let ast = arbitrary_ast(rng, cfg);
+    let flags = arbitrary_flags(rng);
+    Regex::new(&ast.to_source(), flags)
+}
+
+fn literal(rng: &mut StdRng, cfg: &GenConfig) -> Ast {
+    Ast::Literal(*cfg.alphabet.choose(rng).expect("non-empty alphabet"))
+}
+
+fn class(rng: &mut StdRng, cfg: &GenConfig) -> Ast {
+    let n = 1 + rng.random_range(0usize..3);
+    let mut items = Vec::with_capacity(n);
+    for _ in 0..n {
+        items.push(match rng.random_range(0usize..10) {
+            // Ranges with ordered endpoints (drawn from the alphabet).
+            0..=3 => {
+                let a = *cfg.alphabet.choose(rng).expect("non-empty");
+                let b = *cfg.alphabet.choose(rng).expect("non-empty");
+                let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                if lo == hi {
+                    ClassItem::Single(lo)
+                } else {
+                    ClassItem::Range(lo, hi)
+                }
+            }
+            4..=6 => ClassItem::Single(*cfg.alphabet.choose(rng).expect("non-empty")),
+            _ => ClassItem::Perl(PerlClass {
+                kind: *[PerlKind::Digit, PerlKind::Word, PerlKind::Space]
+                    .choose(rng)
+                    .expect("non-empty"),
+                negated: rng.random_bool(0.3),
+            }),
+        });
+    }
+    Ast::Class(ClassSet::new(rng.random_bool(0.2), items))
+}
+
+fn repeat_of(rng: &mut StdRng, cfg: &GenConfig, body: Ast) -> Ast {
+    // Assertions and lookaheads are not quantifiable terms in ES6
+    // (`(?=a)*` is a syntax error); group them first.
+    let body = match body {
+        b @ (Ast::Assertion(_) | Ast::Lookahead { .. } | Ast::Empty) => {
+            Ast::NonCapturing(Box::new(b))
+        }
+        b => b,
+    };
+    let lazy = rng.random_bool(0.35);
+    let (min, max) = match rng.random_range(0usize..6) {
+        0 => (0, None),                                    // *
+        1 => (1, None),                                    // +
+        2 => (0, Some(1)),                                 // ?
+        3 => (rng.random_range(1..=cfg.max_repeat), None), // {m,}
+        4 => {
+            let m = rng.random_range(0..=cfg.max_repeat);
+            (m, Some(m)) // {m}
+        }
+        _ => {
+            let m = rng.random_range(0..=cfg.max_repeat);
+            let n = rng.random_range(m..=cfg.max_repeat.max(m + 1));
+            (m, Some(n)) // {m,n}
+        }
+    };
+    Ast::Repeat {
+        ast: Box::new(body),
+        min,
+        max,
+        lazy,
+    }
+}
+
+/// The §4.3 quantified-backreference idiom `((x|y)\2)+`: a backref
+/// *under* an iterating quantifier. Guarantees the rarest Table 5
+/// bucket gets coverage without waiting on four independent draws.
+fn quantified_backref_idiom(rng: &mut StdRng, cfg: &GenConfig) -> Ast {
+    let x = literal(rng, cfg);
+    let y = literal(rng, cfg);
+    Ast::Repeat {
+        ast: Box::new(Ast::Group {
+            index: 0, // reassigned by the re-parse
+            ast: Box::new(Ast::concat(vec![
+                Ast::Group {
+                    index: 0,
+                    ast: Box::new(Ast::alt(vec![x, y])),
+                },
+                Ast::Backref(BACKREF_PLACEHOLDER),
+            ])),
+        }),
+        min: 1,
+        max: None,
+        lazy: rng.random_bool(0.25),
+    }
+}
+
+fn node(rng: &mut StdRng, cfg: &GenConfig, depth: usize) -> Ast {
+    if depth == 0 {
+        // Leaves only.
+        return match rng.random_range(0usize..10) {
+            0..=5 => literal(rng, cfg),
+            6..=7 => class(rng, cfg),
+            8 => Ast::Dot,
+            _ if cfg.backrefs => Ast::Backref(BACKREF_PLACEHOLDER),
+            _ => literal(rng, cfg),
+        };
+    }
+    match rng.random_range(0usize..100) {
+        0..=21 => literal(rng, cfg),
+        22..=33 => class(rng, cfg),
+        34..=37 => Ast::Dot,
+        38..=51 => {
+            let n = 2 + rng.random_range(0usize..2);
+            Ast::concat((0..n).map(|_| node(rng, cfg, depth - 1)).collect())
+        }
+        52..=61 => {
+            let n = 2 + rng.random_range(0usize..2);
+            Ast::alt((0..n).map(|_| node(rng, cfg, depth - 1)).collect())
+        }
+        62..=77 => {
+            let body = node(rng, cfg, depth - 1);
+            repeat_of(rng, cfg, body)
+        }
+        78..=85 => Ast::Group {
+            index: 0, // reassigned by the re-parse
+            ast: Box::new(node(rng, cfg, depth - 1)),
+        },
+        86..=89 => Ast::NonCapturing(Box::new(node(rng, cfg, depth - 1))),
+        90..=93 if cfg.lookaheads => Ast::Lookahead {
+            negative: rng.random_bool(0.4),
+            ast: Box::new(node(rng, cfg, depth - 1)),
+        },
+        94..=96 if cfg.backrefs => Ast::Backref(BACKREF_PLACEHOLDER),
+        97..=98 if cfg.boundaries => Ast::Assertion(if rng.random_bool(0.7) {
+            AssertionKind::WordBoundary
+        } else {
+            AssertionKind::NotWordBoundary
+        }),
+        99 if cfg.backrefs => quantified_backref_idiom(rng, cfg),
+        _ => literal(rng, cfg),
+    }
+}
+
+/// Second pass: every [`BACKREF_PLACEHOLDER`] becomes a reference to a
+/// random existing group, or a plain literal when the pattern has no
+/// groups (a `\k` beyond the group count would parse as a legacy octal
+/// escape and silently change meaning — Annex B).
+fn resolve_backrefs(ast: &mut Ast, rng: &mut StdRng, cfg: &GenConfig) {
+    let groups = ast.capture_count();
+    rewrite_placeholders(ast, rng, cfg, groups);
+}
+
+fn rewrite_placeholders(ast: &mut Ast, rng: &mut StdRng, cfg: &GenConfig, groups: u32) {
+    match ast {
+        Ast::Backref(k) if *k == BACKREF_PLACEHOLDER => {
+            *ast = if groups == 0 {
+                literal(rng, cfg)
+            } else {
+                Ast::Backref(rng.random_range(1..=groups))
+            };
+        }
+        Ast::Group { ast, .. } | Ast::NonCapturing(ast) | Ast::Lookahead { ast, .. } => {
+            rewrite_placeholders(ast, rng, cfg, groups)
+        }
+        Ast::Repeat { ast, .. } => rewrite_placeholders(ast, rng, cfg, groups),
+        Ast::Alt(items) | Ast::Concat(items) => {
+            for item in items {
+                rewrite_placeholders(item, rng, cfg, groups);
+            }
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::FeatureSet;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generated_regexes_parse_and_round_trip() {
+        let cfg = GenConfig::default();
+        for seed in 0..500u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let regex = arbitrary_regex(&mut rng, &cfg)
+                .unwrap_or_else(|e| panic!("seed {seed}: generated pattern must parse: {e}"));
+            // The printer/parser round-trip must be stable.
+            let reparsed = crate::parse(&regex.ast.to_source())
+                .unwrap_or_else(|e| panic!("seed {seed}: round-trip must parse: {e}"));
+            assert_eq!(
+                regex.ast, reparsed,
+                "seed {seed}: round-trip changed the AST"
+            );
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = GenConfig::default();
+        for seed in [0u64, 1, 42, 0xdead] {
+            let mut a = StdRng::seed_from_u64(seed);
+            let mut b = StdRng::seed_from_u64(seed);
+            let ra = arbitrary_regex(&mut a, &cfg).expect("parse");
+            let rb = arbitrary_regex(&mut b, &cfg).expect("parse");
+            assert_eq!(ra.source, rb.source);
+            assert_eq!(ra.flags, rb.flags);
+        }
+    }
+
+    #[test]
+    fn no_placeholder_survives() {
+        let cfg = GenConfig::default();
+        fn scan(ast: &Ast) {
+            match ast {
+                Ast::Backref(k) => assert_ne!(*k, BACKREF_PLACEHOLDER),
+                Ast::Group { ast, .. } | Ast::NonCapturing(ast) | Ast::Lookahead { ast, .. } => {
+                    scan(ast)
+                }
+                Ast::Repeat { ast, .. } => scan(ast),
+                Ast::Alt(items) | Ast::Concat(items) => items.iter().for_each(scan),
+                _ => {}
+            }
+        }
+        for seed in 0..300u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            scan(&arbitrary_ast(&mut rng, &cfg));
+        }
+    }
+
+    #[test]
+    fn backrefs_stay_in_range() {
+        let cfg = GenConfig::default();
+        fn max_backref(ast: &Ast) -> u32 {
+            match ast {
+                Ast::Backref(k) => *k,
+                Ast::Group { ast, .. } | Ast::NonCapturing(ast) | Ast::Lookahead { ast, .. } => {
+                    max_backref(ast)
+                }
+                Ast::Repeat { ast, .. } => max_backref(ast),
+                Ast::Alt(items) | Ast::Concat(items) => {
+                    items.iter().map(max_backref).max().unwrap_or(0)
+                }
+                _ => 0,
+            }
+        }
+        for seed in 0..300u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let ast = arbitrary_ast(&mut rng, &cfg);
+            assert!(max_backref(&ast) <= ast.capture_count(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn feature_space_is_covered() {
+        // Every Table 5 bucket must appear somewhere in a modest seed
+        // range — the histogram CI gate depends on this.
+        let cfg = GenConfig::default();
+        let mut seen = [false; 19];
+        for seed in 0..2000u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let Ok(regex) = arbitrary_regex(&mut rng, &cfg) else {
+                continue;
+            };
+            for (i, (_, present)) in FeatureSet::of(&regex).rows().iter().enumerate() {
+                seen[i] |= present;
+            }
+        }
+        let missing: Vec<&str> = FeatureSet::default()
+            .rows()
+            .iter()
+            .zip(seen)
+            .filter(|(_, s)| !s)
+            .map(|((name, _), _)| *name)
+            .collect();
+        assert!(missing.is_empty(), "uncovered feature buckets: {missing:?}");
+    }
+}

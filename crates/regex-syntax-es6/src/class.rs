@@ -100,8 +100,18 @@ impl ClassSet {
 
     /// Tests membership of a character.
     pub fn contains(&self, c: char) -> bool {
-        let inside = self.items.iter().any(|item| item_contains(item, c));
-        inside != self.negated
+        self.raw_contains(c) != self.negated
+    }
+
+    /// Tests membership in the *item set*, ignoring class-level
+    /// negation — the `A` of the spec's `CharacterSetMatcher(A, invert)`
+    /// (§21.2.2.8.1). Ignore-case matching needs this: canonical
+    /// comparison happens against the raw atoms, and the inversion is
+    /// applied *afterwards* (testing case variants against the negated
+    /// set instead inverts the semantics — `[^b]` under `i` must reject
+    /// `b`, not accept it because `B ∈ [^b]`).
+    pub fn raw_contains(&self, c: char) -> bool {
+        self.items.iter().any(|item| item_contains(item, c))
     }
 
     /// Resolves the class to sorted, disjoint, inclusive scalar ranges.
@@ -165,17 +175,42 @@ impl ClassSet {
                 ClassItem::Single(c) => {
                     items.push(ClassItem::Single(*c));
                     for folded in simple_case_variants(*c) {
-                        if folded != *c {
+                        if folded != *c && canonicalize_simple(folded) == canonicalize_simple(*c) {
                             items.push(ClassItem::Single(folded));
                         }
                     }
                 }
                 ClassItem::Range(lo, hi) => {
                     items.push(ClassItem::Range(*lo, *hi));
-                    // Expand ASCII letter ranges to both cases; non-ASCII
-                    // ranges are kept as-is plus per-endpoint folds, which
-                    // is exact for the ASCII fragment the evaluation uses.
-                    if let Some((flo, fhi)) = fold_ascii_range(*lo, *hi) {
+                    let span = (*hi as u32).saturating_sub(*lo as u32);
+                    if span <= CASE_FOLD_SCAN_LIMIT {
+                        // Exact canonical closure: every member's case
+                        // variants join the set, filtered by the spec's
+                        // Canonicalize equivalence (so `ı ∈ [é-λ]` does
+                        // not drag ASCII `I` in — a non-ASCII character
+                        // whose uppercase is ASCII canonicalizes to
+                        // itself). Ranges spanning case boundaries
+                        // (`[_-λ]` holds `a` but not `A`) need the
+                        // per-member walk — endpoint folding alone
+                        // silently dropped those variants, which the
+                        // differential fuzzer caught against the
+                        // spec-faithful matcher.
+                        for m in (*lo as u32)..=(*hi as u32) {
+                            let Some(member) = char::from_u32(m) else {
+                                continue;
+                            };
+                            for folded in simple_case_variants(member) {
+                                if (folded < *lo || folded > *hi)
+                                    && canonicalize_simple(folded) == canonicalize_simple(member)
+                                {
+                                    items.push(ClassItem::Single(folded));
+                                }
+                            }
+                        }
+                    } else if let Some((flo, fhi)) = fold_ascii_range(*lo, *hi) {
+                        // Huge ranges: per-member scanning is too slow;
+                        // ASCII-case folding covers the common shape and
+                        // the residual approximation is documented.
                         items.push(ClassItem::Range(flo, fhi));
                     }
                 }
@@ -349,6 +384,27 @@ pub fn simple_case_variants(c: char) -> Vec<char> {
         out.push(lower.next().expect("one char"));
     }
     out
+}
+
+/// Largest range span (in scalar values) expanded member-by-member for
+/// exact ignore-case closure; wider ranges fall back to ASCII folding.
+const CASE_FOLD_SCAN_LIMIT: u32 = 4096;
+
+/// ES262 §21.2.2.8.2 Canonicalize for non-unicode patterns: the simple
+/// uppercase image, except that multi-character mappings and non-ASCII
+/// characters whose uppercase is ASCII canonicalize to themselves.
+/// (The matcher exposes the same function with a unicode-mode switch;
+/// class rewriting currently always uses the non-unicode rule.)
+pub fn canonicalize_simple(c: char) -> char {
+    let mut upper = c.to_uppercase();
+    if upper.clone().count() != 1 {
+        return c;
+    }
+    let u = upper.next().expect("one char");
+    if (c as u32) >= 128 && (u as u32) < 128 {
+        return c;
+    }
+    u
 }
 
 fn fold_ascii_range(lo: char, hi: char) -> Option<(char, char)> {

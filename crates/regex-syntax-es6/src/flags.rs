@@ -55,7 +55,7 @@ impl FromStr for Flags {
 
     fn from_str(s: &str) -> Result<Flags, Self::Err> {
         let mut flags = Flags::default();
-        for c in s.chars() {
+        for (at, c) in s.chars().enumerate() {
             let field = match c {
                 'g' => &mut flags.global,
                 'i' => &mut flags.ignore_case,
@@ -65,14 +65,14 @@ impl FromStr for Flags {
                 'y' => &mut flags.sticky,
                 other => {
                     return Err(crate::ParseError::new(
-                        0,
+                        at,
                         format!("unknown regex flag `{other}`"),
                     ))
                 }
             };
             if *field {
                 return Err(crate::ParseError::new(
-                    0,
+                    at,
                     format!("duplicate regex flag `{c}`"),
                 ));
             }

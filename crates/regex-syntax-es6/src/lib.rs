@@ -8,6 +8,8 @@
 //!
 //! * a complete ES6 regex parser ([`parse`], [`Regex::parse_literal`])
 //!   with the Annex B web-compatibility tolerances of real engines;
+//! * seed-driven random regex generation for the differential fuzzer
+//!   ([`arbitrary`]);
 //! * character classes and their resolution to scalar ranges
 //!   ([`class::ClassSet`]);
 //! * flags ([`Flags`]);
@@ -27,6 +29,7 @@
 //! ```
 
 pub mod analysis;
+pub mod arbitrary;
 pub mod ast;
 pub mod class;
 pub mod features;

@@ -28,9 +28,22 @@ impl ParseError {
         }
     }
 
-    /// Byte offset in the pattern at which the error was detected.
+    /// Character offset at which the error was detected.
+    ///
+    /// Offsets are counted in characters, not bytes, so they are stable
+    /// for multi-byte (non-ASCII) patterns: an error after `"é"` is at
+    /// offset 1, not 2. For [`Regex::parse_literal`] the offset is
+    /// relative to the whole literal (the leading `/` is offset 0);
+    /// for [`parse`]/[`Regex::new`] it is relative to the pattern body.
     pub fn position(&self) -> usize {
         self.position
+    }
+
+    /// The error with its position shifted by `by` characters — used to
+    /// rebase a pattern-relative offset into literal-relative space.
+    pub(crate) fn offset_by(mut self, by: usize) -> ParseError {
+        self.position += by;
+        self
     }
 
     /// Human-readable description of the problem.
@@ -105,10 +118,14 @@ impl Regex {
             .strip_prefix('/')
             .ok_or_else(|| ParseError::new(0, "regex literal must start with `/`"))?;
         // Find the closing unescaped `/` that is not inside a class.
+        // `split` is a byte offset (for slicing); `split_chars` counts
+        // the same prefix in characters so error offsets stay
+        // char-correct on multi-byte patterns.
         let mut in_class = false;
         let mut escaped = false;
         let mut split = None;
-        for (i, c) in rest.char_indices() {
+        let mut split_chars = 0usize;
+        for (chars, (i, c)) in rest.char_indices().enumerate() {
             if escaped {
                 escaped = false;
                 continue;
@@ -119,16 +136,22 @@ impl Regex {
                 ']' => in_class = false,
                 '/' if !in_class => {
                     split = Some(i);
+                    split_chars = chars;
                     break;
                 }
                 _ => {}
             }
         }
-        let split =
-            split.ok_or_else(|| ParseError::new(literal.len(), "unterminated regex literal"))?;
+        let split = split.ok_or_else(|| {
+            ParseError::new(literal.chars().count(), "unterminated regex literal")
+        })?;
         let pattern = &rest[..split];
-        let flags: Flags = rest[split + 1..].parse()?;
-        Regex::new(pattern, flags)
+        // Pattern errors shift by 1 (the opening `/`), flag errors by
+        // the opening `/` plus the pattern plus the closing `/`.
+        let flags: Flags = rest[split + 1..]
+            .parse()
+            .map_err(|e: ParseError| e.offset_by(split_chars + 2))?;
+        Regex::new(pattern, flags).map_err(|e| e.offset_by(1))
     }
 }
 
@@ -890,5 +913,49 @@ mod tests {
     fn escaped_slash_in_literal() {
         let re = Regex::parse_literal(r"/a\/b/").expect("literal should parse");
         assert_eq!(re.source, r"a\/b");
+    }
+
+    #[test]
+    fn error_offsets_are_char_correct_on_multibyte_patterns() {
+        // `é` is 2 bytes but 1 character; the dangling `+` after it must
+        // be reported at character offset 1, not byte offset 2.
+        let err = parse("é+*").expect_err("dangling quantifier");
+        assert_eq!(err.position(), 2, "char offset of the second quantifier");
+        let err = parse("éé(").expect_err("unbalanced paren");
+        assert_eq!(err.position(), 3);
+        // Class with an out-of-order multi-byte range: `[é-a]` — the
+        // error is detected at the closing position of the range.
+        let err = parse("[λ-a]x").expect_err("reversed range");
+        assert!(
+            err.position() <= 4,
+            "offset {} must stay within the 6-char pattern prefix",
+            err.position()
+        );
+    }
+
+    #[test]
+    fn literal_error_offsets_cover_the_whole_literal() {
+        // Pattern errors shift by the opening `/`.
+        let err = Regex::parse_literal("/é(/").expect_err("unbalanced paren");
+        assert_eq!(err.position(), 3, "1 (slash) + 2 chars into the body");
+        // Flag errors land on the offending flag character, counted in
+        // characters across a multi-byte body: `/λé/gz` — `z` is the
+        // 6th character (offset 5).
+        let err = Regex::parse_literal("/λé/gz").expect_err("unknown flag");
+        assert_eq!(err.position(), 5);
+        assert!(err.message().contains("unknown regex flag"));
+        let err = Regex::parse_literal("/a/gg").expect_err("duplicate flag");
+        assert_eq!(err.position(), 4);
+        // Unterminated literal: one past the end, in characters.
+        let err = Regex::parse_literal("/éé").expect_err("unterminated");
+        assert_eq!(err.position(), 3);
+    }
+
+    #[test]
+    fn standalone_flag_errors_report_the_flag_index() {
+        let err = "gim!".parse::<Flags>().expect_err("unknown flag");
+        assert_eq!(err.position(), 3);
+        let err = "ss".parse::<Flags>().expect_err("duplicate flag");
+        assert_eq!(err.position(), 1);
     }
 }

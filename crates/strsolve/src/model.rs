@@ -1,8 +1,12 @@
-//! Satisfying assignments.
+//! Satisfying assignments, and the independent model evaluator.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
-use crate::vars::{BoolVar, StrVar};
+use automata::{Alphabet, CRegex, CharSet, Dfa};
+
+use crate::formula::{Atom, Formula};
+use crate::vars::{BoolVar, StrVar, Term};
 
 /// A satisfying assignment returned by the solver.
 ///
@@ -62,6 +66,74 @@ impl Model {
     pub fn try_get_bool(&self, v: BoolVar) -> Option<bool> {
         self.bools.get(&v).copied()
     }
+
+    /// Evaluates `formula` directly against this model, independently
+    /// of the solver's propagation machinery: word equations by string
+    /// concatenation, regular membership by a freshly built DFA.
+    ///
+    /// Every `Sat` the solver returns must pass this check — it is the
+    /// model-soundness oracle the property tests and the differential
+    /// fuzzer verify against. String atoms over *unassigned* variables
+    /// evaluate pessimistically to `false`, so a model that forgot an
+    /// assignment fails rather than vacuously passes.
+    pub fn satisfies(&self, formula: &Formula) -> bool {
+        match formula {
+            Formula::And(items) => items.iter().all(|f| self.satisfies(f)),
+            Formula::Or(items) => items.iter().any(|f| self.satisfies(f)),
+            Formula::Atom(atom) => self.satisfies_atom(atom),
+        }
+    }
+
+    fn satisfies_atom(&self, atom: &Atom) -> bool {
+        let term_value = |t: &Term| match t {
+            Term::Var(v) => self.get_str(*v).map(str::to_string),
+            Term::Lit(s) => Some(s.clone()),
+        };
+        match atom {
+            Atom::True => true,
+            Atom::False => false,
+            Atom::Bool(b, value) => self.get_bool(*b) == *value,
+            Atom::EqLit(v, lit) => self.get_str(*v) == Some(lit.as_str()),
+            Atom::NeLit(v, lit) => self.get_str(*v).is_some_and(|value| value != lit.as_str()),
+            Atom::EqVar(v, u) => self.get_str(*v).is_some() && self.get_str(*v) == self.get_str(*u),
+            Atom::NeVar(v, u) => match (self.get_str(*v), self.get_str(*u)) {
+                (Some(a), Some(b)) => a != b,
+                _ => false,
+            },
+            Atom::InRe(v, re) => self.get_str(*v).is_some_and(|value| re_contains(re, value)),
+            Atom::NotInRe(v, re) => self
+                .get_str(*v)
+                .is_some_and(|value| !re_contains(re, value)),
+            Atom::EqConcat(v, parts) => {
+                let Some(lhs) = self.get_str(*v) else {
+                    return false;
+                };
+                let mut rhs = String::new();
+                for part in parts {
+                    match term_value(part) {
+                        Some(value) => rhs.push_str(&value),
+                        None => return false,
+                    }
+                }
+                lhs == rhs
+            }
+        }
+    }
+}
+
+/// Direct DFA-based membership check over an alphabet refined with the
+/// word's own characters — independent of any solver-held automata.
+/// Public so the property tests and the differential fuzzer share the
+/// exact evaluator [`Model::satisfies`] uses, rather than re-deriving
+/// their own copies of the alphabet-refinement recipe.
+pub fn re_contains(re: &CRegex, word: &str) -> bool {
+    let mut sets = Vec::new();
+    re.collect_sets(&mut sets);
+    for c in word.chars() {
+        sets.push(CharSet::single(c));
+    }
+    let alphabet = Arc::new(Alphabet::from_sets(&sets));
+    Dfa::from_cregex(re, &alphabet).contains(word)
 }
 
 #[cfg(test)]

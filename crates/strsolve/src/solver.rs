@@ -52,6 +52,18 @@ impl Outcome {
             _ => None,
         }
     }
+
+    /// A short stable name for the verdict (`"sat"`, `"unsat"`,
+    /// `"unknown"`) — the introspection hook used by verdict histograms
+    /// and cross-layer comparisons, where two `Sat`s with different
+    /// witnesses must still count as the same verdict.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Outcome::Sat(_) => "sat",
+            Outcome::Unsat => "unsat",
+            Outcome::Unknown => "unknown",
+        }
+    }
 }
 
 /// A string-constraint solver with fixed resource limits.

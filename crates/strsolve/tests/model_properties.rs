@@ -1,77 +1,22 @@
 //! Seeded random-formula property tests: every `Sat` model the solver
-//! produces must satisfy the formula it was produced from, under an
-//! independent, direct evaluator. Covers the three constraint families
-//! the capturing-language models emit — word equations (concat),
-//! regular membership, and negation (`∉`, `≠`).
+//! produces must satisfy the formula it was produced from, under the
+//! independent, direct evaluator ([`Model::satisfies`] — DFA membership
+//! plus string concatenation, no solver machinery). Covers the three
+//! constraint families the capturing-language models emit — word
+//! equations (concat), regular membership, and negation (`∉`, `≠`).
 
-use std::sync::Arc;
-
-use automata::{Alphabet, CRegex, CharSet, Dfa};
+use automata::{CRegex, CharSet};
 use rand::rngs::StdRng;
 use rand::seq::IndexedRandom;
 use rand::{RngExt, SeedableRng};
-use strsolve::{Atom, Formula, Model, Outcome, Solver, StrVar, Term, VarPool};
+use strsolve::model::re_contains;
+use strsolve::{Formula, Model, Outcome, Solver, StrVar, Term, VarPool};
 
-/// Direct DFA-based membership check, independent of the solver's own
-/// propagation machinery.
-fn re_contains(re: &CRegex, word: &str) -> bool {
-    let mut sets = Vec::new();
-    re.collect_sets(&mut sets);
-    for c in word.chars() {
-        sets.push(CharSet::single(c));
-    }
-    let alphabet = Arc::new(Alphabet::from_sets(&sets));
-    Dfa::from_cregex(re, &alphabet).contains(word)
-}
-
-fn term_value(term: &Term, model: &Model) -> Option<String> {
-    match term {
-        Term::Var(v) => model.get_str(*v).map(str::to_string),
-        Term::Lit(s) => Some(s.clone()),
-    }
-}
-
-/// Evaluates a formula directly against a model. Unassigned string
-/// variables evaluate pessimistically to `false` so the property also
-/// catches models that forget assignments.
+/// The independent evaluator: now a library hook ([`Model::satisfies`])
+/// so the differential fuzzer shares one implementation with these
+/// property tests.
 fn eval(formula: &Formula, model: &Model) -> bool {
-    match formula {
-        Formula::And(items) => items.iter().all(|f| eval(f, model)),
-        Formula::Or(items) => items.iter().any(|f| eval(f, model)),
-        Formula::Atom(atom) => match atom {
-            Atom::True => true,
-            Atom::False => false,
-            Atom::Bool(b, value) => model.get_bool(*b) == *value,
-            Atom::EqLit(v, lit) => model.get_str(*v) == Some(lit.as_str()),
-            Atom::NeLit(v, lit) => model.get_str(*v).is_some_and(|value| value != lit.as_str()),
-            Atom::EqVar(v, u) => {
-                model.get_str(*v).is_some() && model.get_str(*v) == model.get_str(*u)
-            }
-            Atom::NeVar(v, u) => match (model.get_str(*v), model.get_str(*u)) {
-                (Some(a), Some(b)) => a != b,
-                _ => false,
-            },
-            Atom::InRe(v, re) => model
-                .get_str(*v)
-                .is_some_and(|value| re_contains(re, value)),
-            Atom::NotInRe(v, re) => model
-                .get_str(*v)
-                .is_some_and(|value| !re_contains(re, value)),
-            Atom::EqConcat(v, parts) => {
-                let Some(lhs) = model.get_str(*v) else {
-                    return false;
-                };
-                let mut rhs = String::new();
-                for part in parts {
-                    match term_value(part, model) {
-                        Some(value) => rhs.push_str(&value),
-                        None => return false,
-                    }
-                }
-                lhs == rhs
-            }
-        },
-    }
+    model.satisfies(formula)
 }
 
 /// A small random classical regex over {a, b, c}.

@@ -15,6 +15,9 @@
 //!   plus the work-stealing job scheduler;
 //! * [`service`] — the NDJSON job service over that scheduler
 //!   (`expose-serve`);
+//! * [`fuzz`] — the deterministic differential fuzzer (`fuzz` binary)
+//!   cross-checking matcher, automata, solver and CEGAR against each
+//!   other, with a delta-debugging reproducer shrinker;
 //! * [`survey`]/[`corpus`] — the §7.1 usage survey and its synthetic
 //!   corpus.
 //!
@@ -47,6 +50,7 @@ pub use corpus;
 pub use es6_matcher as matcher;
 pub use expose_core as core;
 pub use expose_dse as dse;
+pub use expose_fuzz as fuzz;
 pub use expose_service as service;
 pub use regex_syntax_es6 as syntax;
 pub use strsolve;

@@ -1,0 +1,60 @@
+//! Facade-level differential fuzz sweep: a modest fixed seed range
+//! through `expose::fuzz` must produce zero cross-layer disagreements
+//! and cover every Table 5 feature bucket — the same contract the
+//! `fuzz-smoke` CI job enforces at 2000 seeds, kept small enough for
+//! `cargo test`.
+
+use expose::core::SupportLevel;
+use expose::fuzz::{generate_case, run_range, FuzzBudget, GenConfig};
+use expose::syntax::features::FeatureSet;
+
+#[test]
+fn differential_sweep_is_clean_and_deterministic() {
+    // Small in debug mode — the 2000-seed release sweep is the
+    // fuzz-smoke CI job's.
+    let cfg = GenConfig::default();
+    let budget = FuzzBudget::quick();
+    let (stats, failures) = run_range(0..120, &cfg, &budget);
+    assert_eq!(stats.cases, 120);
+    assert!(
+        failures.is_empty(),
+        "cross-layer disagreements: {:?}",
+        failures
+            .iter()
+            .map(|f| (f.case.to_line(), f.disagreement.layer.name()))
+            .collect::<Vec<_>>()
+    );
+    // Determinism: the identical range reproduces the identical stats.
+    let (stats2, _) = run_range(0..120, &cfg, &budget);
+    assert_eq!(stats, stats2, "same seeds must give same stats");
+}
+
+#[test]
+fn feature_space_coverage_over_the_smoke_range() {
+    // Coverage is a property of *generation* alone — no need to pay
+    // for the four-layer differential check per seed here (the release
+    // fuzz-smoke job gates the same property end to end).
+    let cfg = GenConfig::default();
+    let budget = FuzzBudget::quick();
+    let mut seen = [false; 19];
+    let mut supports = [false; 2];
+    for seed in 0..2000u64 {
+        let Ok(regex) = generate_case(seed, &cfg, &budget).regex() else {
+            continue;
+        };
+        for (i, (_, present)) in FeatureSet::of(&regex).rows().iter().enumerate() {
+            seen[i] |= present;
+        }
+        supports[usize::from(SupportLevel::required_for(&regex) >= SupportLevel::Captures)] = true;
+    }
+    let missing: Vec<&str> = FeatureSet::default()
+        .rows()
+        .iter()
+        .zip(seen)
+        .filter(|(_, s)| !s)
+        .map(|((name, _), _)| *name)
+        .collect();
+    assert!(missing.is_empty(), "uncovered Table 5 buckets: {missing:?}");
+    // The support-level metric sees both buckets.
+    assert!(supports.iter().all(|&s| s));
+}

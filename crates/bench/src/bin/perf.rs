@@ -4,10 +4,13 @@
 //! Two configurations run the same workload set (the Table 6 library
 //! programs plus a slice of the generated Table 7 population):
 //!
-//! * **baseline** — `flip_workers = 1`, both caches disabled: the
-//!   engine exactly as the paper's serial reproduction ran it;
-//! * **optimized** — `flip_workers ≥ 4`, model + query caches shared
-//!   across all workloads.
+//! * **baseline** — `flip_workers = 1`, both caches disabled,
+//!   incremental solving off: the engine exactly as the paper's serial
+//!   reproduction ran it;
+//! * **optimized** — `flip_workers ≥ 4`, model + query + verdict caches
+//!   shared across all workloads, assumption-stack flip sessions on
+//!   (the per-config blocks record `prefix_reuse_hits` and
+//!   `verdict_replays`).
 //!
 //! Both must produce byte-identical query verdicts (`verdict_diffs`
 //! must be 0 — the caches, the fan-out, the minimized automata and the
@@ -98,6 +101,8 @@ struct Aggregate {
     dfa_states_built: u64,
     states_after_minimize: u64,
     length_prunes: u64,
+    prefix_reuse_hits: u64,
+    verdict_replays: u64,
 }
 
 impl Aggregate {
@@ -114,6 +119,8 @@ impl Aggregate {
         self.dfa_states_built += report.dfa_states_built();
         self.states_after_minimize += report.states_after_minimize();
         self.length_prunes += report.length_prunes();
+        self.prefix_reuse_hits += report.prefix_reuse_hits();
+        self.verdict_replays += report.verdict_replays();
     }
 
     fn hit_rate(hits: u64, misses: u64) -> f64 {
@@ -138,7 +145,9 @@ impl Aggregate {
                 "    \"query_cache_hit_rate\": {:.4},\n",
                 "    \"dfa_states_built\": {},\n",
                 "    \"states_after_minimize\": {},\n",
-                "    \"length_prunes\": {}\n",
+                "    \"length_prunes\": {},\n",
+                "    \"prefix_reuse_hits\": {},\n",
+                "    \"verdict_replays\": {}\n",
                 "  }}"
             ),
             self.wall_ms,
@@ -156,6 +165,8 @@ impl Aggregate {
             self.dfa_states_built,
             self.states_after_minimize,
             self.length_prunes,
+            self.prefix_reuse_hits,
+            self.verdict_replays,
         )
     }
 }
@@ -292,10 +303,11 @@ fn main() {
         };
         // The baseline is the engine exactly as the serial reproduction
         // ran it: caches off, eager unminimized automata, no length
-        // abstraction.
+        // abstraction, every flip solved from scratch.
         config.solver.dfa_cache_capacity = 0;
         config.solver.minimize_threshold = 0;
         config.solver.length_abstraction = false;
+        config.solver.incremental = false;
         config
     };
     // Each configuration runs `REPS` times with fresh caches and the
@@ -482,6 +494,12 @@ fn main() {
             "- **cache hit rates** (optimized): model {:.1}%, query {:.1}%",
             100.0 * Aggregate::hit_rate(optimized.model_cache_hits, optimized.model_cache_misses),
             100.0 * Aggregate::hit_rate(optimized.query_cache_hits, optimized.query_cache_misses),
+        );
+        let _ = writeln!(
+            md,
+            "- **incremental solving** (optimized): {} prefix frames reused, \
+             {} CEGAR runs replayed",
+            optimized.prefix_reuse_hits, optimized.verdict_replays,
         );
         if let Some((jobs, workers, wall_ms, jobs_per_sec)) = &throughput_numbers {
             let _ = writeln!(

@@ -46,7 +46,7 @@ struct ModelKey {
     build: u64,
 }
 
-fn pack_flags(flags: Flags) -> u8 {
+pub(crate) fn pack_flags(flags: Flags) -> u8 {
     u8::from(flags.global)
         | u8::from(flags.ignore_case) << 1
         | u8::from(flags.multiline) << 2
@@ -118,11 +118,34 @@ impl ModelCache {
     /// Creates a cache holding at most `capacity` built models
     /// (`0` disables caching; lookups then always build fresh).
     pub fn new(capacity: usize) -> ModelCache {
+        ModelCache::with_byte_budget(capacity, 0)
+    }
+
+    /// Creates a cache additionally bounded by an approximate byte
+    /// budget over resident models (`0` = unlimited) — the backstop for
+    /// long-lived service sessions whose entry count alone would let
+    /// large models accumulate.
+    pub fn with_byte_budget(capacity: usize, byte_budget: usize) -> ModelCache {
         ModelCache {
-            entries: Mutex::new(Lru::new(capacity)),
+            entries: Mutex::new(Lru::with_byte_budget(capacity, byte_budget)),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
+    }
+
+    /// The configured byte budget (`0` = unlimited).
+    pub fn byte_budget(&self) -> usize {
+        self.entries.lock().byte_budget()
+    }
+
+    /// Approximate bytes held by resident models.
+    pub fn bytes(&self) -> usize {
+        self.entries.lock().bytes()
+    }
+
+    /// Models evicted so far (capacity- or budget-driven).
+    pub fn evictions(&self) -> u64 {
+        self.entries.lock().evictions()
     }
 
     /// Returns the Algorithm 2 model for `regex` with the given
@@ -155,12 +178,18 @@ impl ModelCache {
         let constraint = build_match_model(regex, positive, &mut private, cfg);
         let (s, b) = pool.absorb(&private);
         let rebased = constraint.offset_vars(s, b);
-        self.entries.lock().insert(
+        // Approximate resident size: the model formula dominates; pool
+        // variable names and the pattern source are counted coarsely.
+        let weight = constraint.formula.approx_bytes()
+            + key.source.len()
+            + (private.str_count() + private.bool_count()) * 24;
+        self.entries.lock().insert_weighted(
             key,
             Arc::new(Entry {
                 pool: private,
                 constraint,
             }),
+            weight,
         );
         (rebased, false)
     }
@@ -258,6 +287,28 @@ mod tests {
         assert_eq!(cache.stats().misses, 4);
         assert_eq!(cache.stats().hits, 0);
         assert_eq!(cache.len(), 4);
+    }
+
+    #[test]
+    fn byte_budget_bounds_resident_models() {
+        let unbounded = ModelCache::new(64);
+        let cfg = BuildConfig::default();
+        let mut pool = VarPool::new();
+        let patterns: Vec<String> = (0..6).map(|i| format!("/^[a-z]+[0-9]+x{i}$/")).collect();
+        for p in &patterns {
+            unbounded.get_or_build(&regex(p), true, SupportLevel::Refinement, &mut pool, &cfg);
+        }
+        assert_eq!(unbounded.evictions(), 0);
+        // A budget that fits only part of the set must evict, and the
+        // resident total must stay within it.
+        let budget = unbounded.bytes() / 2;
+        let bounded = ModelCache::with_byte_budget(64, budget);
+        for p in &patterns {
+            bounded.get_or_build(&regex(p), true, SupportLevel::Refinement, &mut pool, &cfg);
+        }
+        assert!(bounded.bytes() <= budget);
+        assert!(bounded.evictions() > 0);
+        assert!(bounded.len() < patterns.len());
     }
 
     #[test]

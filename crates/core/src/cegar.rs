@@ -18,10 +18,12 @@
 //! Hopcroft again, and language-equal regexes across iterations intern
 //! to one automaton.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use es6_matcher::RegExp;
-use strsolve::{Formula, Model, Outcome, SolveStats, Solver};
+use parking_lot::Mutex;
+use strsolve::{Canonicalizer, Formula, Lru, Model, Outcome, SolveSession, SolveStats, Solver};
 
 use crate::api::CapturingConstraint;
 
@@ -38,6 +40,9 @@ pub struct CegarStats {
     pub duration: std::time::Duration,
     /// Whether any constraint in the problem modeled a capture group.
     pub had_captures: bool,
+    /// True when the whole run (verdict, refinement count, model) was
+    /// replayed from a [`CegarCache`] instead of re-running the loop.
+    pub replayed: bool,
 }
 
 /// The result of a CEGAR-checked query.
@@ -111,17 +116,106 @@ impl CegarSolver {
     /// are the modeled capturing-language constraints.
     pub fn solve(&self, problem: &Formula, constraints: &[CapturingConstraint]) -> CegarResult {
         let start = Instant::now();
-        let mut stats = CegarStats {
-            had_captures: constraints
-                .iter()
-                .any(|c| c.captures.len() > 1 || c.regex.ast.has_backref()),
-            ..CegarStats::default()
-        };
-
         // P := problem ∧ all constraint models.
         let mut parts = vec![problem.clone()];
         parts.extend(constraints.iter().map(|c| c.formula.clone()));
-        let mut p = Formula::and(parts);
+        let p = Formula::and(parts);
+        self.run(&self.solver, p, constraints, start, |f| {
+            self.solver.solve(f)
+        })
+    }
+
+    /// The incremental counterpart of [`CegarSolver::solve`]: the
+    /// shared trace prefix lives in `session` (frames `0..depth`) and
+    /// only `problem_items` — the flipped clause tie — plus the
+    /// constraint models form the per-flip assumption.
+    ///
+    /// Iteration 0 solves through the session's pre-keyed assembly
+    /// (reusing the canonical prefix and the shared
+    /// [`strsolve::QueryCache`]); refinement iterations and probes run
+    /// uncached against the assembled original formula, exactly like
+    /// the from-scratch loop. When a [`CegarCache`] is supplied, a
+    /// finished run (verdict, model, refinement count) keyed by the
+    /// *complete* canonical problem plus constraint signatures is
+    /// replayed wholesale for structurally identical re-posings — the
+    /// dominant cross-trace case, since a child trace re-poses its
+    /// parent's prefix flips verbatim. Replay is exact: the solver and
+    /// oracle are deterministic, so a fresh loop on an identical
+    /// canonical problem reproduces the identical result.
+    pub fn solve_incremental(
+        &self,
+        session: &SolveSession,
+        depth: usize,
+        problem_items: &[Formula],
+        constraints: &[CapturingConstraint],
+        verdicts: Option<&CegarCache>,
+    ) -> CegarResult {
+        let start = Instant::now();
+        let mut assumption: Vec<Formula> = problem_items.to_vec();
+        assumption.extend(constraints.iter().map(|c| c.formula.clone()));
+        let query = session.assemble(depth, &assumption);
+
+        let keyed = verdicts.map(|cache| {
+            let (sigs, ext) = constraint_signatures(&query.canonical, constraints);
+            let key = CegarKey {
+                formula: query.canonical.formula.clone(),
+                constraints: sigs,
+                fingerprint: session.solver().config().fingerprint(),
+                refinement_limit: self.refinement_limit,
+            };
+            (cache, key, ext)
+        });
+
+        if let Some((cache, key, ext)) = &keyed {
+            if let Some(run) = cache.lookup(key) {
+                let outcome = run.rehydrate(ext);
+                let elapsed = start.elapsed();
+                return CegarResult {
+                    outcome,
+                    stats: CegarStats {
+                        refinements: run.refinements,
+                        limit_hit: run.limit_hit,
+                        had_captures: had_captures(constraints),
+                        solver: SolveStats {
+                            duration: elapsed,
+                            prefix_reuse_hits: query.reused_frames(),
+                            ..SolveStats::default()
+                        },
+                        duration: elapsed,
+                        replayed: true,
+                    },
+                };
+            }
+        }
+
+        let result = self.run(
+            session.solver(),
+            query.original.clone(),
+            constraints,
+            start,
+            |_| session.solve_assembled(&query),
+        );
+        if let Some((cache, key, ext)) = keyed {
+            cache.store(key, &result, &ext);
+        }
+        result
+    }
+
+    /// The Algorithm 1 loop. Iteration 0 goes through `solve0` (which
+    /// may consult the result cache); every refined iteration and probe
+    /// solves uncached through `solver`.
+    fn run(
+        &self,
+        solver: &Solver,
+        mut p: Formula,
+        constraints: &[CapturingConstraint],
+        start: Instant,
+        solve0: impl FnOnce(&Formula) -> (Outcome, SolveStats),
+    ) -> CegarResult {
+        let mut stats = CegarStats {
+            had_captures: had_captures(constraints),
+            ..CegarStats::default()
+        };
 
         // The cross-query result cache is only consulted for the
         // initial, unrefined problem. Once lemmas have been learned the
@@ -129,14 +223,12 @@ impl CegarSolver {
         // would at best pollute the cache and at worst (under a key
         // collision) leak a verdict across incomparable lemma sets —
         // every refined iteration and probe solves uncached.
-        let mut unrefined = true;
+        let mut solve0 = Some(solve0);
         loop {
-            let (outcome, solve_stats) = if unrefined {
-                self.solver.solve(&p)
-            } else {
-                self.solver.solve_uncached(&p)
+            let (outcome, solve_stats) = match solve0.take() {
+                Some(initial) => initial(&p),
+                None => solver.solve_uncached(&p),
             };
-            unrefined = false;
             stats.solver.absorb(&solve_stats);
             let model = match outcome {
                 Outcome::Sat(m) => m,
@@ -210,7 +302,7 @@ impl CegarSolver {
                         .collect(),
                 );
                 let probe = Formula::and(vec![p.clone(), pinned]);
-                let (outcome, solve_stats) = self.solver.solve_uncached(&probe);
+                let (outcome, solve_stats) = solver.solve_uncached(&probe);
                 stats.solver.absorb(&solve_stats);
                 match outcome {
                     Outcome::Sat(m)
@@ -327,6 +419,240 @@ enum Validation {
     },
 }
 
+/// Whether any constraint models a capture group or backreference.
+fn had_captures(constraints: &[CapturingConstraint]) -> bool {
+    constraints
+        .iter()
+        .any(|c| c.captures.len() > 1 || c.regex.ast.has_backref())
+}
+
+/// Everything the CEGAR loop's behaviour depends on for one constraint,
+/// in canonical variable space: the oracle identity (pattern source +
+/// flags, which determine the concrete matcher exactly), the polarity
+/// and exactness (which gate the unsound-Unsat downgrade), and the
+/// canonical ids of the variables that refinements reference.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct ConstraintSig {
+    source: String,
+    flags: u8,
+    positive: bool,
+    exact: bool,
+    input: u32,
+    wrapped: u32,
+    /// `(value, defined)` canonical ids per capture group.
+    captures: Vec<(u32, u32)>,
+}
+
+/// The cache key of one whole CEGAR run.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CegarKey {
+    /// The canonical iteration-0 formula (problem ∧ constraint models).
+    formula: Formula,
+    /// Constraint signatures, in event order.
+    constraints: Vec<ConstraintSig>,
+    /// [`strsolve::SolverConfig::fingerprint`] of the solving limits.
+    fingerprint: u64,
+    refinement_limit: usize,
+}
+
+/// A finished run in canonical variable space.
+#[derive(Debug, Clone)]
+struct CachedRun {
+    outcome: CachedOutcome,
+    refinements: usize,
+    limit_hit: bool,
+}
+
+#[derive(Debug, Clone)]
+enum CachedOutcome {
+    Sat {
+        strs: Vec<(u32, String)>,
+        bools: Vec<(u32, bool)>,
+    },
+    Unsat,
+    Unknown,
+}
+
+impl CachedRun {
+    fn rehydrate(&self, ext: &Canonicalizer) -> Outcome {
+        match &self.outcome {
+            CachedOutcome::Sat { strs, bools } => {
+                let mut model = Model::new();
+                for (canon, value) in strs {
+                    model.set_str(ext.str_vars()[*canon as usize], value.clone());
+                }
+                for (canon, value) in bools {
+                    model.set_bool(ext.bool_vars()[*canon as usize], *value);
+                }
+                Outcome::Sat(model)
+            }
+            CachedOutcome::Unsat => Outcome::Unsat,
+            CachedOutcome::Unknown => Outcome::Unknown,
+        }
+    }
+}
+
+/// Builds the constraint signatures for a canonical query, extending
+/// the query's renumbering with any constraint variables that do not
+/// occur in the formula (possible for approximate models) so a replayed
+/// model can cover every variable a refined solve might assign. The
+/// extension is a pure function of (query, constraints), so store and
+/// lookup sides always agree.
+fn constraint_signatures(
+    canonical: &strsolve::CanonicalQuery,
+    constraints: &[CapturingConstraint],
+) -> (Vec<ConstraintSig>, Canonicalizer) {
+    let mut ext = canonical.canonicalizer();
+    let sigs = constraints
+        .iter()
+        .map(|c| ConstraintSig {
+            source: c.regex.source.clone(),
+            flags: crate::cache::pack_flags(c.regex.flags),
+            positive: c.positive,
+            exact: c.exact,
+            input: ext.map_str(c.input).index(),
+            wrapped: ext.map_str(c.wrapped).index(),
+            captures: c
+                .captures
+                .iter()
+                .map(|cap| {
+                    (
+                        ext.map_str(cap.value).index(),
+                        ext.map_bool(cap.defined).index(),
+                    )
+                })
+                .collect(),
+        })
+        .collect();
+    (sigs, ext)
+}
+
+/// A shared, thread-safe cache of *whole validated CEGAR runs*.
+///
+/// Where [`strsolve::QueryCache`] replays single solver verdicts, this
+/// replays the entire Algorithm 1 loop — final validated outcome,
+/// refinement count and limit flag — keyed by the complete canonical
+/// iteration-0 problem, the constraint signatures, the solver
+/// fingerprint and the refinement limit. Since the solver and the
+/// concrete ES6 oracle are both deterministic, a fresh run of an
+/// identical canonical problem necessarily retraces the identical
+/// refinement chain to the identical result, so replay is exact — this
+/// is how banned words and capture-pinning lemmas learned for one flip
+/// are soundly carried to its verbatim re-posings (retraction-free: a
+/// different assumption produces a different key by construction).
+///
+/// This is the cross-trace node sink in DSE: a child trace re-poses
+/// every prefix flip of its parent verbatim, and each re-posing skips
+/// the whole refinement chain instead of just iteration 0.
+#[derive(Debug)]
+pub struct CegarCache {
+    entries: Mutex<Lru<CegarKey, CachedRun>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl CegarCache {
+    /// Creates a cache holding at most `capacity` runs (`0` disables).
+    pub fn new(capacity: usize) -> CegarCache {
+        CegarCache::with_byte_budget(capacity, 0)
+    }
+
+    /// Creates a cache additionally bounded by an approximate byte
+    /// budget (`0` = unlimited).
+    pub fn with_byte_budget(capacity: usize, byte_budget: usize) -> CegarCache {
+        CegarCache {
+            entries: Mutex::new(Lru::with_byte_budget(capacity, byte_budget)),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured entry capacity (`0` = the cache is disabled).
+    pub fn capacity(&self) -> usize {
+        self.entries.lock().capacity()
+    }
+
+    /// Runs replayed from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that fell through to a full CEGAR loop.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Resident run count.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// True when no run is resident.
+    pub fn is_empty(&self) -> bool {
+        self.entries.lock().is_empty()
+    }
+
+    /// Approximate bytes held by resident runs.
+    pub fn bytes(&self) -> usize {
+        self.entries.lock().bytes()
+    }
+
+    /// Runs evicted so far.
+    pub fn evictions(&self) -> u64 {
+        self.entries.lock().evictions()
+    }
+
+    fn lookup(&self, key: &CegarKey) -> Option<CachedRun> {
+        let found = self.entries.lock().get(key).cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    fn store(&self, key: CegarKey, result: &CegarResult, ext: &Canonicalizer) {
+        let outcome = match &result.outcome {
+            Outcome::Sat(model) => CachedOutcome::Sat {
+                // Only solver-assigned variables, so a rehydrated model
+                // is indistinguishable from the fresh run's.
+                strs: ext
+                    .str_vars()
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, v)| model.get_str(*v).map(|s| (i as u32, s.to_string())))
+                    .collect(),
+                bools: ext
+                    .bool_vars()
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, v)| model.try_get_bool(*v).map(|b| (i as u32, b)))
+                    .collect(),
+            },
+            Outcome::Unsat => CachedOutcome::Unsat,
+            Outcome::Unknown => CachedOutcome::Unknown,
+        };
+        let weight = key.formula.approx_bytes()
+            + key
+                .constraints
+                .iter()
+                .map(|c| 64 + c.source.len() + c.captures.len() * 8)
+                .sum::<usize>()
+            + match &outcome {
+                CachedOutcome::Sat { strs, bools } => {
+                    strs.iter().map(|(_, s)| 24 + s.len()).sum::<usize>() + bools.len() * 8
+                }
+                _ => 16,
+            };
+        let run = CachedRun {
+            outcome,
+            refinements: result.stats.refinements,
+            limit_hit: result.stats.limit_hit,
+        };
+        self.entries.lock().insert_weighted(key, run, weight);
+    }
+}
+
 /// The oracle regex: the original pattern with the stateful flags
 /// cleared (`lastIndex` slicing is applied before modeling, Algorithm 2
 /// lines 2–4).
@@ -427,5 +753,124 @@ mod tests {
         // first, but the loop must terminate within the limit.
         assert!(!result.stats.limit_hit);
         assert!(result.stats.refinements <= 20);
+    }
+
+    /// Builds a two-frame session plus one flip assumption and the
+    /// matching scratch problem for one of the refinement-heavy
+    /// examples.
+    fn incremental_fixture(
+        literal: &str,
+        input_lit: Option<&str>,
+    ) -> (SolveSession, Vec<Formula>, Formula, CapturingConstraint) {
+        let regex = Regex::parse_literal(literal).expect("literal");
+        let mut pool = VarPool::new();
+        let guard = pool.fresh_str("guard");
+        let c = build_match_model(&regex, true, &mut pool, &BuildConfig::default());
+        let frames = vec![
+            vec![Formula::ne_lit(guard, "off")],
+            match input_lit {
+                Some(word) => vec![Formula::eq_lit(c.input, word)],
+                None => vec![],
+            },
+        ];
+        let assumption = vec![Formula::ne_lit(c.input, "zzz")];
+        let mut scratch_items: Vec<Formula> = frames.iter().flatten().cloned().collect();
+        scratch_items.extend(assumption.iter().cloned());
+        let problem = Formula::and(scratch_items);
+        let mut session = SolveSession::new(Solver::default());
+        for frame in &frames {
+            session.push(frame.clone());
+        }
+        (session, assumption, problem, c)
+    }
+
+    #[test]
+    fn incremental_matches_scratch() {
+        for (literal, input) in [
+            ("/^a*(a)?$/", Some("aa")),
+            ("/^(a*)(a*)$/", Some("aaa")),
+            ("/^[0-9]+$/", Some("xyz")),
+            ("/(a|ab)/", Some("ab")),
+            (r"/^(ab|c)\1$/", None),
+        ] {
+            let (session, assumption, problem, c) = incremental_fixture(literal, input);
+            let cegar = CegarSolver::default();
+            let scratch = cegar.solve(&problem, std::slice::from_ref(&c));
+            let incremental = cegar.solve_incremental(
+                &session,
+                session.depth(),
+                &assumption,
+                std::slice::from_ref(&c),
+                None,
+            );
+            assert_eq!(incremental.outcome, scratch.outcome, "{literal}");
+            assert_eq!(
+                incremental.stats.refinements, scratch.stats.refinements,
+                "{literal}"
+            );
+            assert_eq!(incremental.stats.limit_hit, scratch.stats.limit_hit);
+            assert!(!incremental.stats.replayed);
+        }
+    }
+
+    #[test]
+    fn verdict_cache_replays_whole_runs() {
+        let (session, assumption, problem, c) = incremental_fixture("/^a*(a)?$/", Some("aa"));
+        let cegar = CegarSolver::default();
+        let cache = CegarCache::new(16);
+        let first = cegar.solve_incremental(
+            &session,
+            session.depth(),
+            &assumption,
+            std::slice::from_ref(&c),
+            Some(&cache),
+        );
+        assert!(!first.stats.replayed);
+        assert_eq!(cache.misses(), 1);
+        assert!(first.stats.refinements > 0, "fixture must refine");
+
+        let second = cegar.solve_incremental(
+            &session,
+            session.depth(),
+            &assumption,
+            std::slice::from_ref(&c),
+            Some(&cache),
+        );
+        assert!(second.stats.replayed);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(second.outcome, first.outcome);
+        assert_eq!(second.stats.refinements, first.stats.refinements);
+        assert_eq!(second.stats.limit_hit, first.stats.limit_hit);
+        assert_eq!(second.stats.solver.nodes, 0, "replay must not search");
+        // And the replayed run still matches a from-scratch loop.
+        let scratch = cegar.solve(&problem, std::slice::from_ref(&c));
+        assert_eq!(second.outcome, scratch.outcome);
+    }
+
+    #[test]
+    fn verdict_cache_separates_different_assumptions() {
+        let (session, assumption, _, c) = incremental_fixture("/^a*(a)?$/", Some("aa"));
+        let cegar = CegarSolver::default();
+        let cache = CegarCache::new(16);
+        cegar.solve_incremental(
+            &session,
+            session.depth(),
+            &assumption,
+            std::slice::from_ref(&c),
+            Some(&cache),
+        );
+        // A different assumption must key a different entry.
+        let other = vec![Formula::ne_lit(c.input, "qqq")];
+        let result = cegar.solve_incremental(
+            &session,
+            session.depth(),
+            &other,
+            std::slice::from_ref(&c),
+            Some(&cache),
+        );
+        assert!(!result.stats.replayed);
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.len(), 2);
     }
 }

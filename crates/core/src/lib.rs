@@ -50,6 +50,6 @@ pub mod negate;
 
 pub use api::{build_match_model, CapturingConstraint};
 pub use cache::{CacheStats, ModelCache};
-pub use cegar::{CegarResult, CegarSolver, CegarStats};
+pub use cegar::{CegarCache, CegarResult, CegarSolver, CegarStats};
 pub use config::SupportLevel;
 pub use model::{BuildConfig, CaptureVar, ModelBuilder, RegexModel};

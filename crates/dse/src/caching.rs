@@ -16,6 +16,7 @@
 use std::sync::Arc;
 
 use expose_core::cache::ModelCache;
+use expose_core::cegar::CegarCache;
 use strsolve::{DfaTables, QueryCache};
 
 use crate::engine::EngineConfig;
@@ -27,6 +28,11 @@ pub struct DseCaches {
     pub model: Arc<ModelCache>,
     /// Canonicalized formula → solver verdict.
     pub query: Arc<QueryCache>,
+    /// Canonical CEGAR problem → whole validated refinement run,
+    /// consulted by the incremental flip sessions (child traces re-pose
+    /// their parent's prefix flips verbatim, so entire refinement
+    /// chains replay across traces).
+    pub verdicts: Arc<CegarCache>,
     /// Session-scoped DFA intern tables. `None` (the single-run
     /// default) leaves each solver its private tables; a scheduler
     /// session shares one instance across every shard so a regex
@@ -47,6 +53,7 @@ impl DseCaches {
         DseCaches {
             model: Arc::new(ModelCache::new(model_capacity)),
             query: Arc::new(QueryCache::new(query_capacity)),
+            verdicts: Arc::new(CegarCache::new(query_capacity)),
             dfa: None,
         }
     }
@@ -59,6 +66,35 @@ impl DseCaches {
         DseCaches {
             model: Arc::new(ModelCache::new(model_capacity)),
             query: Arc::new(QueryCache::new(query_capacity)),
+            verdicts: Arc::new(CegarCache::new(query_capacity)),
+            dfa: Some(DfaTables::new(dfa_capacity)),
+        }
+    }
+
+    /// A session cache set whose model and solver-verdict layers are
+    /// additionally bounded by approximate byte budgets (`0` =
+    /// unlimited) — used by long-lived `expose-serve` sessions so
+    /// resident cached state cannot grow without bound.
+    pub fn session_with_byte_budgets(
+        model_capacity: usize,
+        query_capacity: usize,
+        dfa_capacity: usize,
+        model_byte_budget: usize,
+        query_byte_budget: usize,
+    ) -> DseCaches {
+        DseCaches {
+            model: Arc::new(ModelCache::with_byte_budget(
+                model_capacity,
+                model_byte_budget,
+            )),
+            query: Arc::new(QueryCache::with_byte_budget(
+                query_capacity,
+                query_byte_budget,
+            )),
+            verdicts: Arc::new(CegarCache::with_byte_budget(
+                query_capacity,
+                query_byte_budget,
+            )),
             dfa: Some(DfaTables::new(dfa_capacity)),
         }
     }
@@ -95,6 +131,7 @@ mod tests {
         let clone = caches.clone();
         assert!(Arc::ptr_eq(&caches.model, &clone.model));
         assert!(Arc::ptr_eq(&caches.query, &clone.query));
+        assert!(Arc::ptr_eq(&caches.verdicts, &clone.verdicts));
     }
 
     #[test]

@@ -29,7 +29,7 @@ use strsolve::{Solver, SolverConfig};
 use crate::ast::{Program, StmtId};
 use crate::caching::DseCaches;
 use crate::interp::{execute, Harness, InterpConfig};
-use crate::solve::{solve_flip, FlipResult, QueryRecord};
+use crate::solve::{solve_flip, FlipResult, QueryRecord, TraceFlipSession};
 
 /// Engine configuration.
 #[derive(Debug, Clone)]
@@ -176,6 +176,18 @@ impl Report {
         self.queries.iter().map(|q| q.duration).sum()
     }
 
+    /// Total canonical prefix frames reused by incremental flip
+    /// sessions instead of being re-canonicalized.
+    pub fn prefix_reuse_hits(&self) -> u64 {
+        self.queries.iter().map(|q| q.prefix_reuse_hits).sum()
+    }
+
+    /// Total whole CEGAR refinement runs replayed from the shared
+    /// verdict cache.
+    pub fn verdict_replays(&self) -> u64 {
+        self.queries.iter().map(|q| q.verdict_replays).sum()
+    }
+
     /// Absorbs one flip query's record into the report.
     fn record_query(&mut self, record: QueryRecord) {
         self.model_cache_hits += record.model_cache_hits;
@@ -319,11 +331,10 @@ pub fn run_dse_with_caches(
 }
 
 /// Solves the first `flips` clause flips of a trace, returning results
-/// indexed by clause — concurrently over `workers` scoped threads when
-/// more than one is requested, serially otherwise. Work is handed out
-/// through an atomic cursor; results land in their clause slot, so the
-/// returned order (and everything derived from it) is
-/// worker-count-independent.
+/// indexed by clause. Under [`strsolve::SolverConfig::incremental`]
+/// (the default) the flips share one [`TraceFlipSession`]; otherwise
+/// each flip rebuilds its query from scratch. Either way the flips fan
+/// out over `workers` threads via [`fan_out_flips`].
 fn solve_trace_flips(
     trace: &crate::sym::Trace,
     flips: usize,
@@ -332,7 +343,23 @@ fn solve_trace_flips(
     caches: &DseCaches,
     workers: usize,
 ) -> Vec<FlipResult> {
-    let one_flip = |k: usize| {
+    if config.solver.incremental {
+        // Assumption-stack mode: canonicalize the shared prefix once
+        // (serially), then solve each flip against it as a retractable
+        // assumption. Verdicts are identical to the from-scratch path
+        // (see `tests/incremental_differential.rs`).
+        let session = TraceFlipSession::build(
+            trace,
+            flips,
+            config.support,
+            solver,
+            config.refinement_limit,
+            &config.build,
+            caches,
+        );
+        return fan_out_flips(flips, workers, |k| session.solve(k));
+    }
+    fan_out_flips(flips, workers, |k| {
         solve_flip(
             trace,
             k,
@@ -342,9 +369,21 @@ fn solve_trace_flips(
             &config.build,
             caches,
         )
-    };
+    })
+}
+
+/// Runs `one_flip` for every clause index, returning results in clause
+/// order — concurrently over `workers` scoped threads when more than
+/// one is requested, serially otherwise. Work is handed out through an
+/// atomic cursor; results land in their clause slot, so the returned
+/// order (and everything derived from it) is worker-count-independent.
+fn fan_out_flips(
+    flips: usize,
+    workers: usize,
+    one_flip: impl Fn(usize) -> FlipResult + Sync,
+) -> Vec<FlipResult> {
     if workers <= 1 || flips <= 1 {
-        return (0..flips).map(one_flip).collect();
+        return (0..flips).map(&one_flip).collect();
     }
 
     let cursor = AtomicUsize::new(0);
@@ -560,11 +599,18 @@ mod tests {
             },
         );
         assert_eq!(comparable(&cached), comparable(&uncached));
-        // The cached run must actually have exercised the caches.
+        // The cached run must actually have exercised the caches. A
+        // repeated problem is answered by the verdict cache (whole
+        // CEGAR-run replay) before the query cache ever sees it, so the
+        // two hit counters are taken together.
         assert!(cached.model_cache_hits > 0, "{cached:?}");
-        assert!(cached.query_cache_hits > 0);
+        assert!(
+            cached.query_cache_hits + cached.verdict_replays() > 0,
+            "{cached:?}"
+        );
         assert_eq!(uncached.model_cache_hits, 0);
         assert_eq!(uncached.query_cache_hits, 0);
+        assert_eq!(uncached.verdict_replays(), 0);
     }
 
     #[test]

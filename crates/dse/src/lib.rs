@@ -47,6 +47,6 @@ pub use caching::{CacheSet, DseCaches};
 pub use engine::{run_dse, run_dse_with_caches, EngineConfig, Report};
 pub use interp::{execute, ArgSpec, Harness, InterpConfig};
 pub use sched::{Completion, JobId, Scheduler, SchedulerConfig, ShardStats};
-pub use solve::{solve_flip, FlipResult, QueryRecord};
+pub use solve::{solve_flip, FlipResult, QueryRecord, TraceFlipSession};
 pub use sym::{Clause, RegexEvent, SymExpr, Trace};
 pub use value::{Concolic, Value};

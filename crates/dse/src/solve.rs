@@ -9,13 +9,14 @@
 //! level — the Table 7 ablation).
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use expose_core::api::CapturingConstraint;
 use expose_core::cegar::CegarSolver;
 use expose_core::model::BuildConfig;
 use expose_core::negate::nnf_negate;
 use expose_core::SupportLevel;
-use strsolve::{Formula, Outcome, Solver, StrVar, Term, VarPool};
+use strsolve::{Formula, Outcome, SolveSession, Solver, StrVar, Term, VarPool};
 
 use crate::caching::DseCaches;
 use crate::sym::{RegexEvent, SymExpr, Trace};
@@ -54,6 +55,13 @@ pub struct QueryRecord {
     /// Solver DFA-cache lookups served from resident entries (shared
     /// session tables or the solver-private cache).
     pub dfa_cache_hits: u64,
+    /// Canonical prefix frames reused from an incremental
+    /// [`TraceFlipSession`] instead of being re-canonicalized (`0` for
+    /// from-scratch solves).
+    pub prefix_reuse_hits: u64,
+    /// Whole CEGAR refinement runs replayed from the shared verdict
+    /// cache ([`expose_core::cegar::CegarCache`]).
+    pub verdict_replays: u64,
 }
 
 /// The result of solving one flipped path condition.
@@ -130,18 +138,7 @@ pub fn solve_flip(
     }
 
     let problem = Formula::and(conjuncts);
-    // Event order, not map order: the constraint sequence becomes the
-    // conjunct order of the CEGAR problem, and with it the solver's
-    // search order — map iteration order would make verdicts (and the
-    // reproduced tables) vary run to run.
-    let constraints: Vec<CapturingConstraint> = {
-        let mut events: Vec<usize> = builder.constraints.keys().copied().collect();
-        events.sort_unstable();
-        events
-            .into_iter()
-            .map(|e| builder.constraints[&e].clone())
-            .collect()
-    };
+    let constraints = builder.sorted_constraints();
 
     let (outcome, refinements, limit_hit, solver_stats) = if support.refines() {
         let cegar = CegarSolver::new(solver.clone(), refinement_limit);
@@ -161,24 +158,7 @@ pub fn solve_flip(
         (outcome, 0, false, stats)
     };
 
-    let inputs = match outcome {
-        Outcome::Sat(model) => {
-            let n_inputs = trace.inputs_used.max(
-                builder
-                    .input_vars
-                    .keys()
-                    .copied()
-                    .max()
-                    .map_or(0, |k| k + 1),
-            );
-            let mut inputs = vec![String::new(); n_inputs];
-            for (&k, &var) in &builder.input_vars {
-                inputs[k] = model.get_str(var).unwrap_or_default().to_string();
-            }
-            Some(inputs)
-        }
-        _ => None,
-    };
+    let inputs = extract_inputs(&outcome, &builder.input_vars, trace.inputs_used);
 
     FlipResult {
         record: QueryRecord {
@@ -193,17 +173,231 @@ pub fn solve_flip(
             states_after_minimize: solver_stats.states_after_minimize,
             length_prunes: solver_stats.length_prunes,
             dfa_cache_hits: solver_stats.dfa_cache_hits,
+            prefix_reuse_hits: solver_stats.prefix_reuse_hits,
             ..record_base
         },
         inputs,
     }
 }
 
+/// Reads the new concrete inputs out of a `Sat` model (`None`
+/// otherwise), padded to the number of inputs the trace consumed.
+fn extract_inputs(
+    outcome: &Outcome,
+    input_vars: &HashMap<usize, StrVar>,
+    inputs_used: usize,
+) -> Option<Vec<String>> {
+    match outcome {
+        Outcome::Sat(model) => {
+            let n_inputs = inputs_used.max(input_vars.keys().copied().max().map_or(0, |k| k + 1));
+            let mut inputs = vec![String::new(); n_inputs];
+            for (&k, &var) in input_vars {
+                inputs[k] = model.get_str(var).unwrap_or_default().to_string();
+            }
+            Some(inputs)
+        }
+        _ => None,
+    }
+}
+
+/// One flip's pre-built query pieces inside a [`TraceFlipSession`]: the
+/// flipped tie (the assumption), the constraint models it needs, and
+/// the record skeleton — everything except the actual solve.
+#[derive(Debug)]
+struct FlipPlan {
+    /// The flipped clause tie `¬tieₖ` (plus nothing else: the shared
+    /// prefix lives in the session frames).
+    assumption: Vec<Formula>,
+    /// The capturing constraints of the query, in event order.
+    constraints: Vec<CapturingConstraint>,
+    /// Input variables allocated by the time this flip was planned.
+    input_vars: HashMap<usize, StrVar>,
+    /// True when the flip demanded contradictory polarities of one
+    /// regex event (trivially unsatisfiable; never solved).
+    infeasible: bool,
+    /// Record fields known at build time (modeled_regex, captures,
+    /// model-cache traffic).
+    record_base: QueryRecord,
+}
+
+/// The incremental counterpart of [`solve_flip`]: one assumption-stack
+/// [`SolveSession`] per trace.
+///
+/// [`TraceFlipSession::build`] walks the trace's clauses **once**. Ahead
+/// of each taken clause `k` it *forks* the shared query builder to
+/// translate the flipped tie `¬tieₖ` — the fork's state equals a
+/// from-scratch flip-`k` builder's after the prefix, so variable
+/// allocation (and with it every formula byte) matches [`solve_flip`]
+/// exactly. It then pushes the taken tie `tieₖ` as session frame `k`,
+/// canonicalizing it once for the whole flip family.
+///
+/// [`TraceFlipSession::solve`] takes `&self`, so the flips of one trace
+/// can fan out over worker threads against the shared prefix. Each
+/// flip solves as "frames `0..k` + assumption": iteration 0 routes
+/// through the pre-keyed query cache (same keys as scratch solves), and
+/// whole CEGAR refinement chains replay from the run's
+/// [`expose_core::cegar::CegarCache`] when a structurally identical
+/// flip was already solved — the dominant cross-trace case, since child
+/// traces re-pose their parent's prefix flips verbatim.
+#[derive(Debug)]
+pub struct TraceFlipSession<'a> {
+    session: SolveSession,
+    plans: Vec<FlipPlan>,
+    support: SupportLevel,
+    refinement_limit: usize,
+    caches: &'a DseCaches,
+    inputs_used: usize,
+}
+
+impl<'a> TraceFlipSession<'a> {
+    /// Builds the shared prefix and the per-flip plans for the first
+    /// `flips` clauses of `trace`.
+    pub fn build(
+        trace: &Trace,
+        flips: usize,
+        support: SupportLevel,
+        solver: &Solver,
+        refinement_limit: usize,
+        build: &BuildConfig,
+        caches: &'a DseCaches,
+    ) -> TraceFlipSession<'a> {
+        let mut session = SolveSession::new(solver.clone());
+        let mut builder = QueryBuilder {
+            pool: VarPool::new(),
+            events: &trace.events,
+            input_vars: HashMap::new(),
+            constraints: HashMap::new(),
+            polarity: HashMap::new(),
+            build: build.clone(),
+            support,
+            caches,
+            model_cache_hits: 0,
+            model_cache_misses: 0,
+            infeasible: false,
+        };
+        let mut plans = Vec::with_capacity(flips);
+        for clause in trace.path.iter().take(flips) {
+            // Fork the shared builder: its state is exactly a scratch
+            // flip-k builder's after prefix clauses 0..k, so the flipped
+            // tie allocates the same variables a scratch build would.
+            let mut fork = builder.clone();
+            let hits_before = fork.model_cache_hits;
+            let misses_before = fork.model_cache_misses;
+            let flipped = fork.bool_formula(&clause.cond, !clause.taken);
+            let mut plan = FlipPlan {
+                assumption: vec![flipped],
+                constraints: fork.sorted_constraints(),
+                input_vars: fork.input_vars.clone(),
+                infeasible: fork.infeasible,
+                record_base: QueryRecord {
+                    modeled_regex: !fork.constraints.is_empty(),
+                    had_captures: fork
+                        .constraints
+                        .values()
+                        .any(|c| c.captures.len() > 1 || c.regex.ast.has_backref()),
+                    model_cache_hits: fork.model_cache_hits - hits_before,
+                    model_cache_misses: fork.model_cache_misses - misses_before,
+                    ..QueryRecord::default()
+                },
+            };
+            // Advance the shared prefix with the taken tie; its model
+            // lookups are charged to this flip's record so the report's
+            // totals still count every lookup of the trace.
+            let shared_hits = builder.model_cache_hits;
+            let shared_misses = builder.model_cache_misses;
+            let taken = builder.bool_formula(&clause.cond, clause.taken);
+            session.push(vec![taken]);
+            plan.record_base.model_cache_hits += builder.model_cache_hits - shared_hits;
+            plan.record_base.model_cache_misses += builder.model_cache_misses - shared_misses;
+            plans.push(plan);
+        }
+        TraceFlipSession {
+            session,
+            plans,
+            support,
+            refinement_limit,
+            caches,
+            inputs_used: trace.inputs_used,
+        }
+    }
+
+    /// Number of planned flips.
+    pub fn flips(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// Solves flip `k` against the shared prefix (frames `0..k` plus
+    /// the flip's assumption). Verdicts, models and refinement counts
+    /// are identical to [`solve_flip`] on the same trace and index.
+    pub fn solve(&self, k: usize) -> FlipResult {
+        let started = std::time::Instant::now();
+        let plan = &self.plans[k];
+        if plan.infeasible {
+            return FlipResult {
+                inputs: None,
+                record: QueryRecord {
+                    duration: started.elapsed(),
+                    ..plan.record_base.clone()
+                },
+            };
+        }
+
+        let (outcome, refinements, limit_hit, solver_stats, replayed) = if self.support.refines() {
+            let cegar = CegarSolver::new(self.session.solver().clone(), self.refinement_limit);
+            let verdicts =
+                (self.caches.verdicts.capacity() > 0).then_some(self.caches.verdicts.as_ref());
+            let result = cegar.solve_incremental(
+                &self.session,
+                k,
+                &plan.assumption,
+                &plan.constraints,
+                verdicts,
+            );
+            (
+                result.outcome,
+                result.stats.refinements,
+                result.stats.limit_hit,
+                result.stats.solver,
+                result.stats.replayed,
+            )
+        } else {
+            let mut assumption = plan.assumption.clone();
+            assumption.extend(plan.constraints.iter().map(|c| c.formula.clone()));
+            let (outcome, stats) = self.session.solve_at(k, &assumption);
+            (outcome, 0, false, stats, false)
+        };
+
+        let inputs = extract_inputs(&outcome, &plan.input_vars, self.inputs_used);
+        FlipResult {
+            record: QueryRecord {
+                duration: started.elapsed(),
+                refinements,
+                limit_hit,
+                sat: inputs.is_some(),
+                query_cache_hits: solver_stats.cache_hits,
+                query_cache_misses: solver_stats.cache_misses,
+                solver_nodes: solver_stats.nodes,
+                dfa_states_built: solver_stats.dfa_states_built,
+                states_after_minimize: solver_stats.states_after_minimize,
+                length_prunes: solver_stats.length_prunes,
+                dfa_cache_hits: solver_stats.dfa_cache_hits,
+                prefix_reuse_hits: solver_stats.prefix_reuse_hits,
+                verdict_replays: u64::from(replayed),
+                ..plan.record_base.clone()
+            },
+            inputs,
+        }
+    }
+}
+
+/// Clone is cheap by design (constraints sit behind `Arc`): a
+/// [`TraceFlipSession`] forks the shared prefix builder once per flip.
+#[derive(Clone)]
 struct QueryBuilder<'a> {
     pool: VarPool,
     events: &'a [RegexEvent],
     input_vars: HashMap<usize, StrVar>,
-    constraints: HashMap<usize, CapturingConstraint>,
+    constraints: HashMap<usize, Arc<CapturingConstraint>>,
     polarity: HashMap<usize, bool>,
     build: BuildConfig,
     support: SupportLevel,
@@ -214,6 +408,18 @@ struct QueryBuilder<'a> {
 }
 
 impl QueryBuilder<'_> {
+    /// The built constraints in event order — the conjunct (and with it
+    /// the solver search) order of the CEGAR problem; map iteration
+    /// order would make verdicts vary run to run.
+    fn sorted_constraints(&self) -> Vec<CapturingConstraint> {
+        let mut events: Vec<usize> = self.constraints.keys().copied().collect();
+        events.sort_unstable();
+        events
+            .into_iter()
+            .map(|e| self.constraints[&e].as_ref().clone())
+            .collect()
+    }
+
     fn input_var(&mut self, k: usize) -> StrVar {
         if let Some(&v) = self.input_vars.get(&k) {
             return v;
@@ -261,7 +467,7 @@ impl QueryBuilder<'_> {
             None => Formula::top(),
         };
         let formula = tie;
-        self.constraints.insert(event, constraint);
+        self.constraints.insert(event, Arc::new(constraint));
         Some(formula)
     }
 

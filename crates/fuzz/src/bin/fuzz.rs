@@ -2,15 +2,18 @@
 //!
 //! ```text
 //! cargo run --release -p expose-fuzz --bin fuzz -- \
-//!     [--seed-range A..B] [--budget quick|full] [--shrink] [--stats] \
-//!     [--summary-md PATH] [--repro-out PATH] [--max-failures N]
+//!     [--seed-range A..B] [--budget quick|full] [--incremental] \
+//!     [--shrink] [--stats] [--summary-md PATH] [--repro-out PATH] \
+//!     [--max-failures N]
 //! ```
 //!
 //! Generates and cross-checks one case per seed. Exit code 0 when every
 //! layer agreed on every case, 1 on any cross-layer disagreement (after
 //! printing — and with `--shrink`, minimizing — each failure; with
 //! `--repro-out`, the shrunk reproducers are also written as
-//! ready-to-paste Rust tests plus corpus lines). `--stats` prints the
+//! ready-to-paste Rust tests plus corpus lines). `--incremental`
+//! additionally cross-checks the assumption-stack solver paths against
+//! the from-scratch solves on every case. `--stats` prints the
 //! per-feature histogram and Unknown rates; `--summary-md` writes the
 //! same numbers as job-summary markdown.
 
@@ -34,6 +37,7 @@ fn main() {
     let mut seeds = 0u64..2000;
     let mut budget_name = String::from("quick");
     let mut do_shrink = false;
+    let mut incremental = false;
     let mut print_stats = false;
     let mut summary_md: Option<String> = None;
     let mut repro_out: Option<String> = None;
@@ -54,6 +58,7 @@ fn main() {
                 );
             }
             "--shrink" => do_shrink = true,
+            "--incremental" => incremental = true,
             "--stats" => print_stats = true,
             "--summary-md" => summary_md = Some(value("--summary-md")),
             "--repro-out" => repro_out = Some(value("--repro-out")),
@@ -63,16 +68,23 @@ fn main() {
             other => panic!("unknown argument {other:?}"),
         }
     }
-    let budget = if budget_name == "full" {
+    let mut budget = if budget_name == "full" {
         FuzzBudget::full()
     } else {
         FuzzBudget::quick()
     };
+    budget.incremental_check = incremental;
     let cfg = GenConfig::default();
 
     eprintln!(
-        "fuzz: seeds {}..{}, {budget_name} budget",
-        seeds.start, seeds.end
+        "fuzz: seeds {}..{}, {budget_name} budget{}",
+        seeds.start,
+        seeds.end,
+        if incremental {
+            ", incremental cross-check"
+        } else {
+            ""
+        }
     );
     let mut stats = FuzzStats::default();
     let mut failures = Vec::new();

@@ -19,6 +19,7 @@ use std::sync::Arc;
 use automata::{Alphabet, Dfa};
 use es6_matcher::{MatchResult, RegExp};
 use expose_core::api::{build_match_model, CapturingConstraint};
+use expose_core::cegar::{CegarCache, CegarResult};
 use expose_core::classical::try_wrapped_word_language;
 use expose_core::meta::{wrap_input, INPUT_END, INPUT_START};
 use expose_core::model::BuildConfig;
@@ -29,7 +30,7 @@ use rand::{RngExt, SeedableRng};
 use regex_syntax_es6::ast::Ast;
 use regex_syntax_es6::features::FeatureSet;
 use regex_syntax_es6::Regex;
-use strsolve::{Formula, Outcome, Solver, SolverConfig, VarPool};
+use strsolve::{Formula, Outcome, SolveSession, Solver, SolverConfig, VarPool};
 
 use crate::case::{Case, Query};
 
@@ -58,6 +59,11 @@ pub struct FuzzBudget {
     /// Subset-construction state cap for the matcher-vs-DFA layer;
     /// instances exceeding it skip that layer.
     pub max_dfa_states: usize,
+    /// When set (`fuzz --incremental`), every case additionally
+    /// cross-checks the assumption-stack session and the incremental
+    /// CEGAR entry point against the from-scratch solves, including the
+    /// verdict-cache replay path.
+    pub incremental_check: bool,
 }
 
 impl FuzzBudget {
@@ -73,6 +79,7 @@ impl FuzzBudget {
             shrink_steps: 300,
             max_guide_size: 160,
             max_dfa_states: 20_000,
+            incremental_check: false,
         }
     }
 
@@ -88,6 +95,7 @@ impl FuzzBudget {
             shrink_steps: 600,
             max_guide_size: 400,
             max_dfa_states: 100_000,
+            incremental_check: false,
         }
     }
 }
@@ -110,6 +118,9 @@ pub enum Layer {
     CegarModel,
     /// A CEGAR `Unsat` refuted by a concrete witness word.
     CegarUnsat,
+    /// An incremental (assumption-stack / verdict-replay) solve
+    /// diverged from its from-scratch counterpart (`--incremental`).
+    Incremental,
 }
 
 impl Layer {
@@ -122,6 +133,7 @@ impl Layer {
             Layer::SolverVsOracle => "solver-vs-oracle",
             Layer::CegarModel => "cegar-model",
             Layer::CegarUnsat => "cegar-unsat",
+            Layer::Incremental => "incremental",
         }
     }
 }
@@ -152,6 +164,8 @@ pub struct CaseOutcome {
     pub oracle_skips: u64,
     /// Words compared in the matcher-vs-DFA layer.
     pub dfa_words_checked: u64,
+    /// Incremental-vs-scratch comparisons performed (`--incremental`).
+    pub incremental_checks: u64,
     /// The first disagreement found, if any.
     pub disagreement: Option<Disagreement>,
 }
@@ -165,6 +179,7 @@ impl CaseOutcome {
             cegar_verdict: "skipped",
             oracle_skips: 0,
             dfa_words_checked: 0,
+            incremental_checks: 0,
             disagreement: None,
         }
     }
@@ -447,7 +462,112 @@ pub fn run_case(case: &Case, budget: &FuzzBudget) -> CaseOutcome {
     ) {
         outcome.disagreement = Some(disagreement);
     }
+
+    // Layer 4 (`--incremental` only): the assumption-stack paths must
+    // reproduce the two scratch solves above byte-for-byte.
+    if budget.incremental_check && outcome.disagreement.is_none() {
+        let incremental = check_incremental(
+            &solver,
+            &constraint,
+            &query,
+            &solver_outcome,
+            &cegar,
+            &result,
+            &mut outcome,
+        );
+        outcome.disagreement = incremental;
+    }
     outcome
+}
+
+/// The `--incremental` cross-check: re-solves this case's problem
+/// through the assumption-stack session (the split `run_dse` uses for
+/// a flip: shared prefix frame + per-flip assumption) and through
+/// [`CegarSolver::solve_incremental`], and demands byte-identical
+/// outcomes — including models and refinement trails — against the
+/// from-scratch solves already computed. The CEGAR leg runs twice
+/// through a fresh [`CegarCache`] so the second call exercises the
+/// whole-run verdict-replay path.
+fn check_incremental(
+    solver: &Solver,
+    constraint: &CapturingConstraint,
+    query: &Formula,
+    solver_outcome: &Outcome,
+    cegar: &CegarSolver,
+    scratch: &CegarResult,
+    outcome: &mut CaseOutcome,
+) -> Option<Disagreement> {
+    // Plain solver: prefix frame = the constraint model, assumption =
+    // the query conjunct (scratch solved `model ∧ query`).
+    let mut session = SolveSession::new(solver.clone());
+    session.push(vec![constraint.formula.clone()]);
+    let (got, stats) = session.solve_at(1, std::slice::from_ref(query));
+    outcome.incremental_checks += 1;
+    if &got != solver_outcome {
+        return Some(Disagreement {
+            layer: Layer::Incremental,
+            detail: format!(
+                "session solve said {} but scratch said {}",
+                got.label(),
+                solver_outcome.label()
+            ),
+        });
+    }
+    if stats.prefix_reuse_hits != 1 {
+        return Some(Disagreement {
+            layer: Layer::Incremental,
+            detail: format!(
+                "session solve reused {} prefix frames, expected 1",
+                stats.prefix_reuse_hits
+            ),
+        });
+    }
+
+    // CEGAR: the query is the shared frame, the constraint model the
+    // assumption (scratch conjoined them in that order). Two passes
+    // over one fresh verdict cache: the first stores the finished run,
+    // the second must replay it wholesale.
+    let mut session = SolveSession::new(solver.clone());
+    session.push(vec![query.clone()]);
+    let verdicts = CegarCache::new(8);
+    for (pass, expect_replay) in [("store", false), ("replay", true)] {
+        let got = cegar.solve_incremental(
+            &session,
+            1,
+            &[],
+            std::slice::from_ref(constraint),
+            Some(&verdicts),
+        );
+        outcome.incremental_checks += 1;
+        if got.outcome != scratch.outcome
+            || got.stats.refinements != scratch.stats.refinements
+            || got.stats.limit_hit != scratch.stats.limit_hit
+        {
+            return Some(Disagreement {
+                layer: Layer::Incremental,
+                detail: format!(
+                    "incremental CEGAR ({pass} pass) said {} after {} refinement(s) \
+                     (limit_hit {}) but scratch said {} after {} (limit_hit {})",
+                    got.outcome.label(),
+                    got.stats.refinements,
+                    got.stats.limit_hit,
+                    scratch.outcome.label(),
+                    scratch.stats.refinements,
+                    scratch.stats.limit_hit
+                ),
+            });
+        }
+        if got.stats.replayed != expect_replay {
+            return Some(Disagreement {
+                layer: Layer::Incremental,
+                detail: format!(
+                    "incremental CEGAR {pass} pass: replayed={}, expected {expect_replay}",
+                    got.stats.replayed
+                ),
+            });
+        }
+    }
+    None
 }
 
 /// Structural node count of a classical regex (the determinization-cost

@@ -32,6 +32,8 @@ pub struct FuzzStats {
     pub oracle_skips: u64,
     /// Words compared in the matcher-vs-DFA layer.
     pub dfa_words_checked: u64,
+    /// Incremental-vs-scratch comparisons performed (`--incremental`).
+    pub incremental_checks: u64,
     /// Cross-layer disagreements.
     pub disagreements: u64,
 }
@@ -79,6 +81,7 @@ impl FuzzStats {
         }
         self.oracle_skips += outcome.oracle_skips;
         self.dfa_words_checked += outcome.dfa_words_checked;
+        self.incremental_checks += outcome.incremental_checks;
         if outcome.disagreement.is_some() {
             self.disagreements += 1;
         }
@@ -135,6 +138,9 @@ impl FuzzStats {
             "oracle skips: {}, dfa words checked: {}",
             self.oracle_skips, self.dfa_words_checked
         );
+        if self.incremental_checks > 0 {
+            let _ = writeln!(out, "incremental checks: {}", self.incremental_checks);
+        }
         let _ = writeln!(out, "feature histogram:");
         for ((name, _), count) in FeatureSet::default().rows().iter().zip(self.feature_counts) {
             let _ = writeln!(out, "  {name:<20} {count}");
@@ -176,6 +182,9 @@ impl FuzzStats {
             "- **oracle skips**: {}, **dfa words checked**: {}",
             self.oracle_skips, self.dfa_words_checked
         );
+        if self.incremental_checks > 0 {
+            let _ = writeln!(md, "- **incremental checks**: {}", self.incremental_checks);
+        }
         let _ = writeln!(md);
         let _ = writeln!(md, "| Table 5 feature | generated |");
         let _ = writeln!(md, "|---|---|");
@@ -199,6 +208,7 @@ mod tests {
             cegar_verdict: cegar,
             oracle_skips: 1,
             dfa_words_checked: 2,
+            incremental_checks: 0,
             disagreement: None,
         }
     }

@@ -1,0 +1,36 @@
+//! The `--incremental` fuzz mode: every generated case additionally
+//! cross-checks the assumption-stack session and the incremental CEGAR
+//! entry point (including verdict-cache replay) against the
+//! from-scratch solves. Over a seed window this must stay disagreement
+//! free, and the extra comparisons must actually run — the mode is a
+//! no-op otherwise.
+
+use expose_fuzz::{run_range, FuzzBudget, GenConfig};
+
+#[test]
+fn incremental_mode_agrees_over_seed_window() {
+    let mut budget = FuzzBudget::quick();
+    budget.incremental_check = true;
+    let (stats, failures) = run_range(0..150, &GenConfig::default(), &budget);
+    assert!(
+        failures.is_empty(),
+        "incremental cross-check disagreed: {failures:?}"
+    );
+    assert_eq!(stats.cases, 150);
+    assert_eq!(stats.disagreements, 0);
+    // Each case that reaches the solver layers contributes one session
+    // comparison plus two CEGAR passes; a healthy window must exercise
+    // plenty of them.
+    assert!(
+        stats.incremental_checks >= 150,
+        "only {} incremental comparisons ran",
+        stats.incremental_checks
+    );
+}
+
+#[test]
+fn incremental_mode_is_off_by_default() {
+    let budget = FuzzBudget::quick();
+    let (stats, _) = run_range(0..20, &GenConfig::default(), &budget);
+    assert_eq!(stats.incremental_checks, 0);
+}

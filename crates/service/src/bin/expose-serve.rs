@@ -30,6 +30,7 @@ struct Options {
     batch: bool,
     emit_corpus: Option<usize>,
     budget: CorpusBudget,
+    cache_bytes: Option<usize>,
 }
 
 fn parse_args() -> Options {
@@ -40,6 +41,7 @@ fn parse_args() -> Options {
         batch: false,
         emit_corpus: None,
         budget: CorpusBudget::Quick,
+        cache_bytes: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -64,6 +66,9 @@ fn parse_args() -> Options {
                     other => panic!("unknown budget {other:?} (expected quick|full)"),
                 }
             }
+            "--cache-bytes" => {
+                options.cache_bytes = Some(value("--cache-bytes").parse().expect("byte budget"))
+            }
             other => panic!("unknown argument {other:?}"),
         }
     }
@@ -71,11 +76,18 @@ fn parse_args() -> Options {
 }
 
 fn service_config(options: &Options) -> ServiceConfig {
-    ServiceConfig {
+    let mut config = ServiceConfig {
         workers: options.workers,
         max_inflight: options.max_inflight,
         ..ServiceConfig::default()
+    };
+    // `--cache-bytes N` caps each session cache at ~N resident bytes
+    // (0 = unlimited); the default ceiling lives in ServiceConfig.
+    if let Some(bytes) = options.cache_bytes {
+        config.model_cache_byte_budget = bytes;
+        config.query_cache_byte_budget = bytes;
     }
+    config
 }
 
 /// The serial reference: collect submits, run them through

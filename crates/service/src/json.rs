@@ -90,6 +90,7 @@ impl std::error::Error for ParseError {}
 /// Parses one JSON document, requiring it to span the whole input.
 pub fn parse(input: &str) -> Result<Value, ParseError> {
     let mut parser = Parser {
+        text: input,
         bytes: input.as_bytes(),
         pos: 0,
     };
@@ -103,6 +104,7 @@ pub fn parse(input: &str) -> Result<Value, ParseError> {
 }
 
 struct Parser<'a> {
+    text: &'a str,
     bytes: &'a [u8],
     pos: usize,
 }
@@ -266,11 +268,18 @@ impl Parser<'_> {
                 }
                 Some(c) if c < 0x20 => return Err(self.error("raw control character")),
                 Some(_) => {
-                    // Copy one UTF-8 scalar (input is a &str, so the
-                    // encoding is valid by construction).
-                    let rest = &self.bytes[self.pos..];
-                    let s = unsafe { std::str::from_utf8_unchecked(rest) };
-                    let c = s.chars().next().expect("nonempty");
+                    // Copy one UTF-8 scalar. The cursor only ever lands
+                    // on scalar boundaries, but a malformed position
+                    // must surface as a parse error, never a panic —
+                    // this is the service's network-facing reader.
+                    let rest = self
+                        .text
+                        .get(self.pos..)
+                        .ok_or_else(|| self.error("malformed utf-8 position in string"))?;
+                    let c = rest
+                        .chars()
+                        .next()
+                        .ok_or_else(|| self.error("unterminated string"))?;
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -313,7 +322,12 @@ impl Parser<'_> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        // Only ASCII digits/signs were consumed, but slice through the
+        // original &str so a bad cursor yields an error, not a panic.
+        let text = self
+            .text
+            .get(start..self.pos)
+            .ok_or_else(|| self.error("malformed bytes in number"))?;
         text.parse::<f64>()
             .map(Value::Num)
             .map_err(|_| self.error("invalid number"))
@@ -406,5 +420,47 @@ mod tests {
         assert_eq!(parse("7").unwrap().as_u64(), Some(7));
         assert_eq!(parse("-1").unwrap().as_u64(), None);
         assert_eq!(parse("1.5").unwrap().as_u64(), None);
+    }
+
+    #[test]
+    fn malformed_bytes_error_instead_of_panicking() {
+        // Non-ASCII where a number is expected: the sign is consumed,
+        // no digits follow, and the slice must fail `f64` parsing —
+        // never an internal expect.
+        assert!(parse("-é").is_err());
+        assert!(parse("-\u{FF11}2").is_err(), "fullwidth digit");
+        // Truncated escapes at every cut point.
+        for input in [
+            "\"\\",
+            "\"\\u",
+            "\"\\u1",
+            "\"\\u12",
+            "\"\\u123",
+            "\"\\ud83d",
+            "\"\\ud83d\\",
+            "\"\\ud83d\\u",
+            "\"\\ud83d\\ude0",
+        ] {
+            assert!(parse(input).is_err(), "{input:?} must error");
+        }
+        // Non-ASCII bytes inside a truncated escape.
+        assert!(parse("\"\\uéé00\"").is_err());
+    }
+
+    #[test]
+    fn truncated_documents_never_panic() {
+        // Every char-boundary prefix of a representative protocol line
+        // must either parse or error — a malformed frame from a client
+        // must not take the service down.
+        let doc = r#"{"cmd":"solve","q":"a\u0041\ud83d\ude00é🎉","n":-1.5e2,"ok":true}"#;
+        for cut in 0..=doc.len() {
+            if let Some(prefix) = doc.get(..cut) {
+                let _ = parse(prefix);
+            }
+        }
+        assert_eq!(
+            parse(doc).unwrap().get("n").and_then(Value::as_f64),
+            Some(-150.0)
+        );
     }
 }

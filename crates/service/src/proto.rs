@@ -262,8 +262,16 @@ pub struct CacheCounters {
     pub model: (u64, u64),
     /// Solver query-cache hits / misses.
     pub query: (u64, u64),
+    /// CEGAR verdict-cache replays / misses.
+    pub verdicts: (u64, u64),
     /// DFA-table hits / misses.
     pub dfa: (u64, u64),
+    /// Approximate resident bytes of the model / query / verdict
+    /// caches (the byte-budget accounting of long-lived sessions).
+    pub bytes: (u64, u64, u64),
+    /// Entries evicted so far from the model / query / verdict caches
+    /// (capacity- or budget-driven).
+    pub evictions: (u64, u64, u64),
 }
 
 /// Renders a `stats` line (scheduling-dependent observability data —
@@ -275,13 +283,22 @@ pub fn stats_line(caches: &CacheCounters, shards: &[ShardStats]) -> String {
         write!(
             out,
             "{{\"type\":\"stats\",\"model_cache\":[{},{}],\"query_cache\":[{},{}],\
-             \"dfa_tables\":[{},{}],\"shards\":[",
+             \"verdict_cache\":[{},{}],\"dfa_tables\":[{},{}],\
+             \"cache_bytes\":[{},{},{}],\"cache_evictions\":[{},{},{}],\"shards\":[",
             caches.model.0,
             caches.model.1,
             caches.query.0,
             caches.query.1,
+            caches.verdicts.0,
+            caches.verdicts.1,
             caches.dfa.0,
             caches.dfa.1,
+            caches.bytes.0,
+            caches.bytes.1,
+            caches.bytes.2,
+            caches.evictions.0,
+            caches.evictions.1,
+            caches.evictions.2,
         )
     };
     for (i, shard) in shards.iter().enumerate() {

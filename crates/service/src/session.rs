@@ -31,6 +31,14 @@ pub struct ServiceConfig {
     pub query_cache_capacity: usize,
     /// DFA intern-table capacity of a fresh session cache set.
     pub dfa_table_capacity: usize,
+    /// Approximate byte budget for resident regex models (`0` =
+    /// unlimited). Entry counts alone do not bound memory — a few
+    /// hundred quantifier-expanded models can dwarf thousands of small
+    /// ones — so long-lived sessions get a byte ceiling too.
+    pub model_cache_byte_budget: usize,
+    /// Approximate byte budget for cached solver/CEGAR verdicts (`0` =
+    /// unlimited).
+    pub query_cache_byte_budget: usize,
     /// Per-job engine defaults; `submit` fields override per job.
     pub engine: EngineConfig,
 }
@@ -44,6 +52,10 @@ impl Default for ServiceConfig {
             model_cache_capacity: engine.model_cache_capacity,
             query_cache_capacity: engine.query_cache_capacity,
             dfa_table_capacity: engine.solver.dfa_cache_capacity,
+            // 64 MiB each: far above any workload in the bench suite,
+            // but a hard ceiling for sessions that run for days.
+            model_cache_byte_budget: 64 << 20,
+            query_cache_byte_budget: 64 << 20,
             engine,
         }
     }
@@ -52,10 +64,12 @@ impl Default for ServiceConfig {
 impl ServiceConfig {
     /// A fresh session cache set sized from this configuration.
     pub fn cache_set(&self) -> CacheSet {
-        CacheSet::session(
+        CacheSet::session_with_byte_budgets(
             self.model_cache_capacity,
             self.query_cache_capacity,
             self.dfa_table_capacity,
+            self.model_cache_byte_budget,
+            self.query_cache_byte_budget,
         )
     }
 }
@@ -213,10 +227,21 @@ pub fn serve_with_caches<R: BufRead, W: Write + Send>(
                         let counters = CacheCounters {
                             model: (caches.model.stats().hits, caches.model.stats().misses),
                             query: (caches.query.hits(), caches.query.misses()),
+                            verdicts: (caches.verdicts.hits(), caches.verdicts.misses()),
                             dfa: dfa_tables
                                 .as_ref()
                                 .map(|t| (t.hits(), t.misses()))
                                 .unwrap_or_default(),
+                            bytes: (
+                                caches.model.bytes() as u64,
+                                caches.query.bytes() as u64,
+                                caches.verdicts.bytes() as u64,
+                            ),
+                            evictions: (
+                                caches.model.evictions(),
+                                caches.query.evictions(),
+                                caches.verdicts.evictions(),
+                            ),
                         };
                         write_line(&proto::stats_line(&counters, &scheduler.shard_stats()))?;
                     }
@@ -356,6 +381,22 @@ mod tests {
         };
         let job = job_from_submit(&submit, "j", &defaults).expect("parses");
         assert_eq!(job.config.support, SupportLevel::Modeling);
+    }
+
+    #[test]
+    fn cache_set_carries_byte_budgets() {
+        let config = ServiceConfig {
+            model_cache_byte_budget: 1024,
+            query_cache_byte_budget: 2048,
+            ..ServiceConfig::default()
+        };
+        let caches = config.cache_set();
+        assert_eq!(caches.model.byte_budget(), 1024);
+        assert_eq!(caches.query.byte_budget(), 2048);
+        // The defaults are bounded, not unlimited.
+        let defaults = ServiceConfig::default().cache_set();
+        assert!(defaults.model.byte_budget() > 0);
+        assert!(defaults.query.byte_budget() > 0);
     }
 
     #[test]

@@ -186,6 +186,33 @@ impl Formula {
         }
     }
 
+    /// Approximate resident size in bytes, for cache byte budgets.
+    ///
+    /// Counts per-node overhead plus owned literal text; `Arc`'d
+    /// regexes count only as a pointer since the automata behind them
+    /// are shared (and budgeted by their own caches).
+    pub fn approx_bytes(&self) -> usize {
+        fn term_bytes(t: &Term) -> usize {
+            match t {
+                Term::Var(_) => std::mem::size_of::<Term>(),
+                Term::Lit(s) => std::mem::size_of::<Term>() + s.len(),
+            }
+        }
+        let node = std::mem::size_of::<Formula>();
+        match self {
+            Formula::Atom(a) => {
+                node + match a {
+                    Atom::EqLit(_, s) | Atom::NeLit(_, s) => s.len(),
+                    Atom::EqConcat(_, parts) => parts.iter().map(term_bytes).sum(),
+                    _ => 0,
+                }
+            }
+            Formula::And(items) | Formula::Or(items) => {
+                node + items.iter().map(Formula::approx_bytes).sum::<usize>()
+            }
+        }
+    }
+
     /// The formula with every variable shifted by the given offsets —
     /// the counterpart of [`crate::VarPool::absorb`] for rebasing a
     /// formula built against a private pool into another pool.

@@ -35,14 +35,16 @@ pub mod cache;
 pub mod config;
 pub mod formula;
 pub mod model;
+pub mod session;
 pub mod solver;
 pub mod stats;
 pub mod vars;
 
-pub use cache::{Lru, QueryCache};
+pub use cache::{canonical_query, CanonicalQuery, Canonicalizer, Lru, QueryCache};
 pub use config::SolverConfig;
 pub use formula::{Atom, Formula};
 pub use model::Model;
+pub use session::{SessionQuery, SolveSession};
 pub use solver::{DfaTables, Outcome, Solver};
 pub use stats::SolveStats;
 pub use vars::{BoolVar, StrVar, Term, VarPool};

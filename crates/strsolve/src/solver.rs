@@ -1147,46 +1147,58 @@ impl Search<'_> {
         self.stats.nodes += 1;
 
         // Propagate equations to fixpoint; collect newly assigned lhs so
-        // we can undo on backtrack.
+        // we can undo on backtrack. Variables whose enumeration yields
+        // exactly one candidate are forced, not decision points: they
+        // are assigned in place (like unit slices) and the loop selects
+        // again, so a search node is only ever spent on a real branch.
         let mut trail: Vec<StrVar> = Vec::new();
-        if propagate(ctx, assignment, &mut trail).is_err() {
-            undo(assignment, &trail);
-            return StepResult::Exhausted;
-        }
+        let mut units: Vec<StrVar> = Vec::new();
+        loop {
+            if propagate(ctx, assignment, &mut trail).is_err() {
+                retract(assignment, &trail, &units);
+                return StepResult::Exhausted;
+            }
 
-        // Pick the next unassigned free variable dynamically,
-        // preferring the strongest available guide (fail-first): a
-        // variable whose equation lhs is already a concrete word
-        // enumerates a handful of slices, while an unguided
-        // near-universal variable floods the budget.
-        let Some(var) = select_var(ctx, assignment) else {
-            // Everything assigned: final verification.
-            let ok = final_check(ctx, assignment);
-            if ok {
-                return StepResult::Sat;
+            // Pick the next unassigned free variable dynamically,
+            // preferring the strongest available guide (fail-first): a
+            // variable whose equation lhs is already a concrete word
+            // enumerates a handful of slices, while an unguided
+            // near-universal variable floods the budget.
+            let Some(var) = select_var(ctx, assignment) else {
+                // Everything assigned: final verification.
+                if final_check(ctx, assignment) {
+                    return StepResult::Sat;
+                }
+                retract(assignment, &trail, &units);
+                return StepResult::Exhausted;
+            };
+            let (mut candidates, truncated) = self.generate_candidates(ctx, assignment, var);
+            if truncated {
+                self.stats.truncated = true;
             }
-            undo(assignment, &trail);
-            return StepResult::Exhausted;
-        };
-        let (candidates, truncated) = self.generate_candidates(ctx, assignment, var);
-        if truncated {
-            self.stats.truncated = true;
-        }
-        let mut any_truncated = truncated;
-        for cand in candidates {
-            assignment.insert(var, cand);
-            match self.assign(ctx, assignment) {
-                StepResult::Sat => return StepResult::Sat,
-                StepResult::Truncated => any_truncated = true,
-                StepResult::Exhausted => {}
+            if candidates.len() == 1 && !truncated {
+                // A complete enumeration with a single word: committing
+                // it is the only way forward, so no branch is opened.
+                assignment.insert(var, candidates.pop().expect("len checked"));
+                units.push(var);
+                continue;
             }
-            assignment.remove(&var);
-        }
-        undo(assignment, &trail);
-        if any_truncated {
-            StepResult::Truncated
-        } else {
-            StepResult::Exhausted
+            let mut any_truncated = truncated;
+            for cand in candidates {
+                assignment.insert(var, cand);
+                match self.assign(ctx, assignment) {
+                    StepResult::Sat => return StepResult::Sat,
+                    StepResult::Truncated => any_truncated = true,
+                    StepResult::Exhausted => {}
+                }
+                assignment.remove(&var);
+            }
+            retract(assignment, &trail, &units);
+            return if any_truncated {
+                StepResult::Truncated
+            } else {
+                StepResult::Exhausted
+            };
         }
     }
 
@@ -1199,12 +1211,31 @@ impl Search<'_> {
         var: StrVar,
     ) -> (Vec<String>, bool) {
         let var_dfa = &ctx.dfas[&var];
-        // Guides: (lhs dfa, state after running the assigned prefix), for
-        // every equation where all parts before the first occurrence of
-        // `var` are assigned. When the lhs value is already pinned, the
-        // guide is the exact-word DFA of that value — the strongest
-        // possible residual constraint.
-        let mut guides: Vec<(Arc<Dfa>, u32)> = Vec::new();
+        /// A literal run of the forced tail, or a repeated occurrence
+        /// of the searched variable (which takes the candidate's own
+        /// value once one is proposed).
+        enum TailPiece {
+            Str(String),
+            Own,
+        }
+        /// One residual guide: the lhs DFA after running the assigned
+        /// prefix, plus — when every part after the first occurrence of
+        /// the searched variable is concrete or the variable itself —
+        /// the forced tail. A candidate that cannot run that tail to
+        /// acceptance would complete the equation and be rejected by
+        /// the very next `propagate`, so it is filtered here instead of
+        /// burning a search node (the surviving candidates and their
+        /// order are unchanged, so the found model is identical).
+        struct Guide {
+            dfa: Arc<Dfa>,
+            state: u32,
+            tail: Option<Vec<TailPiece>>,
+        }
+        // Guides are collected for every equation where all parts
+        // before the first occurrence of `var` are assigned. When the
+        // lhs value is already pinned, the guide is the exact-word DFA
+        // of that value — the strongest possible residual constraint.
+        let mut guides: Vec<Guide> = Vec::new();
         'eqs: for (lhs, parts) in &ctx.equations {
             let lhs_dfa: Arc<Dfa> = match assignment.get(lhs) {
                 // Class-granularity word DFA: the pinned value may
@@ -1223,11 +1254,12 @@ impl Search<'_> {
                 None => Arc::clone(&ctx.dfas[lhs]),
             };
             let mut state = lhs_dfa.start_state();
-            for p in parts {
+            let mut first_at = None;
+            for (i, p) in parts.iter().enumerate() {
                 match p {
                     Part::Var(v) if *v == var => {
-                        guides.push((lhs_dfa, state));
-                        continue 'eqs;
+                        first_at = Some(i);
+                        break;
                     }
                     Part::Var(v) => match assignment.get(v) {
                         Some(w) => state = lhs_dfa.run(state, w),
@@ -1236,7 +1268,47 @@ impl Search<'_> {
                     Part::Lit(s) => state = lhs_dfa.run(state, s),
                 }
             }
+            let Some(first_at) = first_at else { continue };
+            // The forced tail: known iff every part after the first
+            // occurrence is a literal, an assigned variable, or `var`
+            // itself (a repeated occurrence echoes the candidate).
+            let mut tail = Some(Vec::new());
+            for p in &parts[first_at + 1..] {
+                let piece = match p {
+                    Part::Var(v) if *v == var => Some(TailPiece::Own),
+                    Part::Var(v) => assignment.get(v).map(|w| TailPiece::Str(w.clone())),
+                    Part::Lit(s) => Some(TailPiece::Str(s.clone())),
+                };
+                match (piece, &mut tail) {
+                    (Some(piece), Some(pieces)) => pieces.push(piece),
+                    _ => {
+                        tail = None;
+                        break;
+                    }
+                }
+            }
+            guides.push(Guide {
+                dfa: lhs_dfa,
+                state,
+                tail,
+            });
         }
+        // Disequalities that become decidable the moment `var` is
+        // assigned: candidates equal to the other side's pinned value
+        // are rejected by the next `propagate` unconditionally.
+        let banned: Vec<&str> = ctx
+            .ne_pairs
+            .iter()
+            .filter_map(|&(a, b)| {
+                if a == var {
+                    assignment.get(&b).map(String::as_str)
+                } else if b == var {
+                    assignment.get(&a).map(String::as_str)
+                } else {
+                    None
+                }
+            })
+            .collect();
 
         // Best-first (A*-style) search over (var state, guide states):
         // priority = word length + residual distances to acceptance in
@@ -1262,10 +1334,10 @@ impl Search<'_> {
         let mut expansions = 0usize;
         let class_count = ctx.alphabet.class_count();
         let guide_count = guides.len();
-        let g0: Vec<u32> = guides.iter().map(|(_, s)| *s).collect();
+        let g0: Vec<u32> = guides.iter().map(|g| g.state).collect();
         if guides
             .iter()
-            .any(|(d, s)| d.distance_to_accept(*s).is_none())
+            .any(|g| g.dfa.distance_to_accept(g.state).is_none())
         {
             return (out, false);
         }
@@ -1284,8 +1356,8 @@ impl Search<'_> {
         let priority = |len: u64, vs: u32, gs: &[u32]| -> u64 {
             let mut p = len;
             p += u64::from(var_dfa.distance_to_accept(vs).unwrap_or(0));
-            for (i, (gd, _)) in guides.iter().enumerate() {
-                p += u64::from(gd.distance_to_accept(gs[i]).unwrap_or(0));
+            for (i, g) in guides.iter().enumerate() {
+                p += u64::from(g.dfa.distance_to_accept(gs[i]).unwrap_or(0));
             }
             p
         };
@@ -1332,8 +1404,28 @@ impl Search<'_> {
                 (node.vs, u64::from(node.len))
             };
             if var_dfa.is_accepting(vs) && len >= bounds.lo {
-                self.stats.candidates += 1;
-                out.push(ctx.alphabet.realize(&reconstruct(&nodes, idx)));
+                // A candidate only reaches the output if no equation it
+                // completes (guides with a fully concrete tail) rejects
+                // it and no decidable disequality pins it to a banned
+                // word — `propagate` would refute such a child at the
+                // cost of a search node. Survivors keep their order, so
+                // the first model found is unchanged.
+                let gs = &guide_states[idx as usize * guide_count..][..guide_count];
+                let word = ctx.alphabet.realize(&reconstruct(&nodes, idx));
+                let viable = guides.iter().enumerate().all(|(i, g)| match &g.tail {
+                    Some(pieces) => {
+                        let end = pieces.iter().fold(gs[i], |st, p| match p {
+                            TailPiece::Str(s) => g.dfa.run(st, s),
+                            TailPiece::Own => g.dfa.run(st, &word),
+                        });
+                        g.dfa.is_accepting(end)
+                    }
+                    None => true,
+                });
+                if viable && !banned.iter().any(|b| *b == word) {
+                    self.stats.candidates += 1;
+                    out.push(word);
+                }
             }
             if len >= cap {
                 if !cap_is_exact {
@@ -1352,9 +1444,9 @@ impl Search<'_> {
                 // a dead guide the partial segment is rolled back.
                 let segment = guide_states.len();
                 let mut live = true;
-                for (i, (gd, _)) in guides.iter().enumerate() {
-                    let next = gd.step(guide_states[gs_base + i], class as u16);
-                    if gd.distance_to_accept(next).is_none() {
+                for (i, g) in guides.iter().enumerate() {
+                    let next = g.dfa.step(guide_states[gs_base + i], class as u16);
+                    if g.dfa.distance_to_accept(next).is_none() {
                         live = false;
                         break;
                     }
@@ -1721,6 +1813,13 @@ fn undo(assignment: &mut HashMap<StrVar, String>, trail: &[StrVar]) {
     for v in trail {
         assignment.remove(v);
     }
+}
+
+/// Backtracks one search node: drops both the propagation trail and the
+/// unit (single-candidate) assignments committed at that node.
+fn retract(assignment: &mut HashMap<StrVar, String>, trail: &[StrVar], units: &[StrVar]) {
+    undo(assignment, trail);
+    undo(assignment, units);
 }
 
 fn final_check(ctx: &StringCtx, assignment: &HashMap<StrVar, String>) -> bool {

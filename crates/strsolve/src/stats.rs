@@ -35,6 +35,10 @@ pub struct SolveStats {
     pub cache_hits: u64,
     /// Queries that missed the result cache (or ran uncached).
     pub cache_misses: u64,
+    /// Assumption-stack frames whose canonical form was reused from a
+    /// [`crate::session::SolveSession`] when assembling this query —
+    /// prefix work the query did *not* repeat.
+    pub prefix_reuse_hits: u64,
 }
 
 impl SolveStats {
@@ -53,6 +57,7 @@ impl SolveStats {
         self.dfa_cache_hits += other.dfa_cache_hits;
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
+        self.prefix_reuse_hits += other.prefix_reuse_hits;
     }
 }
 

@@ -1,0 +1,108 @@
+//! Incremental ≡ from-scratch at the engine level: running DSE with
+//! the assumption-stack flip sessions (the default) and with
+//! `SolverConfig::incremental` off must produce identical verdict
+//! trails, generated inputs, coverage and bugs — over every library
+//! workload and a seeded generated corpus. The incremental run must
+//! also actually exercise the new machinery (prefix reuse, verdict
+//! replays), so the equality is not vacuous.
+
+use expose::dse::{parser::parse_program, run_dse, EngineConfig, Harness, Report};
+
+/// The deterministic projection both runs must agree on: everything
+/// except wall-clock and cache hit/miss splits.
+#[derive(Debug, PartialEq)]
+struct Projection {
+    coverage: Vec<u32>,
+    executions: usize,
+    tests_generated: usize,
+    bugs: Vec<(u32, Vec<String>)>,
+    verdicts: Vec<(bool, bool, bool, usize, bool)>,
+}
+
+fn project(report: &Report) -> Projection {
+    let mut coverage: Vec<u32> = report.coverage.iter().copied().collect();
+    coverage.sort_unstable();
+    Projection {
+        coverage,
+        executions: report.executions,
+        tests_generated: report.tests_generated,
+        bugs: report.bugs.clone(),
+        verdicts: report
+            .queries
+            .iter()
+            .map(|q| {
+                (
+                    q.modeled_regex,
+                    q.had_captures,
+                    q.sat,
+                    q.refinements,
+                    q.limit_hit,
+                )
+            })
+            .collect(),
+    }
+}
+
+fn run_both(source: &str, entry: &str, arity: usize, max_executions: usize) -> (Report, Report) {
+    let program = parse_program(source).expect("workload parses");
+    let harness = Harness::strings(entry, arity);
+    let base = EngineConfig {
+        max_executions,
+        max_steps: 50_000,
+        ..EngineConfig::default()
+    };
+    let mut incremental_config = base.clone();
+    incremental_config.solver.incremental = true;
+    let mut scratch_config = base;
+    scratch_config.solver.incremental = false;
+    let incremental = run_dse(&program, &harness, &incremental_config);
+    let scratch = run_dse(&program, &harness, &scratch_config);
+    (incremental, scratch)
+}
+
+#[test]
+fn library_workloads_agree_between_incremental_and_scratch() {
+    let mut prefix_reuse = 0u64;
+    let mut queries = 0usize;
+    for w in expose::corpus::library_workloads() {
+        let (incremental, scratch) = run_both(w.source, w.entry, w.arity, 8);
+        assert_eq!(
+            project(&incremental),
+            project(&scratch),
+            "{}: incremental diverged from scratch",
+            w.name
+        );
+        assert_eq!(
+            scratch.prefix_reuse_hits(),
+            0,
+            "{}: scratch run must not touch the session path",
+            w.name
+        );
+        prefix_reuse += incremental.prefix_reuse_hits();
+        queries += incremental.queries.len();
+    }
+    assert!(queries > 100, "only {queries} flip queries solved");
+    assert!(
+        prefix_reuse > 0,
+        "the incremental runs never reused a prefix frame"
+    );
+}
+
+#[test]
+fn generated_corpus_agrees_between_incremental_and_scratch() {
+    let mut verdict_replays = 0u64;
+    for p in expose::corpus::generate_dse_programs(12, 0x1c4e5eed) {
+        let (incremental, scratch) = run_both(&p.source, &p.entry, p.arity, 6);
+        assert_eq!(
+            project(&incremental),
+            project(&scratch),
+            "{}: incremental diverged from scratch",
+            p.name
+        );
+        verdict_replays += incremental.verdict_replays();
+    }
+    assert!(
+        verdict_replays > 0,
+        "the generated corpus never replayed a CEGAR run"
+    );
+}

@@ -238,7 +238,9 @@ fn measure_throughput(programs: usize, budget: Budget, workers: usize) -> (u64, 
     };
     let mut output: Vec<u8> = Vec::new();
     let started = Instant::now();
-    let summary = expose_service::serve(input.as_bytes(), &mut output, &config)
+    let summary = expose_service::ServeOptions::new()
+        .config(config)
+        .serve(input.as_bytes(), &mut output)
         .expect("throughput session failed");
     let wall_ms = started.elapsed().as_secs_f64() * 1e3;
     let jobs_per_sec = summary.jobs as f64 / (wall_ms / 1e3).max(1e-9);

@@ -4,9 +4,9 @@
 //! cores, aggregating coverage as each terminates (§6.2: "the analysis
 //! is highly scalable"). The unit of parallelism here is one *program*
 //! (the per-program engine stays deterministic, so the reproduced tables
-//! are stable). [`run_batch`] is the one-shot front door: it delegates
-//! to the work-stealing [`crate::sched::Scheduler`] — jobs migrate
-//! between shards instead of being statically partitioned — and
+//! are stable). [`BatchOptions::run`] is the one-shot front door: it
+//! delegates to the work-stealing [`crate::sched::Scheduler`] — jobs
+//! migrate between shards instead of being statically partitioned — and
 //! collects the re-sequenced reports in input order.
 
 use crate::ast::Program;
@@ -28,24 +28,13 @@ pub struct Job {
     pub config: EngineConfig,
 }
 
-/// Runs a batch of jobs on `workers` threads, returning reports in the
-/// order of the input jobs. `workers == 0` means "auto" and clamps to
-/// `max(1, available_parallelism)` — the default for CLI-style callers
-/// that pass an unvalidated knob through.
-///
-/// All jobs share one session cache set — regex models, solver
-/// verdicts, and the DFA intern tables, each sized to the largest
-/// capacity requested by any job — so a regex or query solved for one
-/// package is free for every other.
-///
-/// # Panics
-///
-/// Panics if a job panics (propagating the job's panic message).
+/// Options for one batch run — the single entry point that replaced the
+/// `run_batch`/`run_batch_with_caches` pair.
 ///
 /// # Examples
 ///
 /// ```
-/// use expose_dse::{batch::{run_batch, Job}, EngineConfig, Harness};
+/// use expose_dse::{BatchOptions, EngineConfig, Harness, Job};
 /// use expose_dse::parser::parse_program;
 ///
 /// let jobs: Vec<Job> = (0..4)
@@ -58,58 +47,112 @@ pub struct Job {
 ///         config: EngineConfig { max_executions: 4, ..EngineConfig::default() },
 ///     })
 ///     .collect();
-/// let reports = run_batch(jobs, 2);
+/// let reports = BatchOptions::new().workers(2).run(jobs);
 /// assert_eq!(reports.len(), 4);
 /// assert!(reports.iter().all(|r| r.coverage_fraction() > 0.9));
 /// ```
-pub fn run_batch(jobs: Vec<Job>, workers: usize) -> Vec<Report> {
-    let caches = CacheSet::session(
-        jobs.iter()
-            .map(|j| j.config.model_cache_capacity)
-            .max()
-            .unwrap_or(0),
-        jobs.iter()
-            .map(|j| j.config.query_cache_capacity)
-            .max()
-            .unwrap_or(0),
-        jobs.iter()
-            .map(|j| j.config.solver.dfa_cache_capacity)
-            .max()
-            .unwrap_or(0),
-    );
-    run_batch_with_caches(jobs, workers, caches)
+#[derive(Debug, Clone, Default)]
+pub struct BatchOptions {
+    /// Worker threads; `0` means "auto" and clamps to
+    /// `max(1, available_parallelism)`.
+    pub workers: usize,
+    /// Session cache set shared by the jobs. `None` builds one sized to
+    /// the largest capacity any job requests.
+    pub caches: Option<CacheSet>,
 }
 
-/// [`run_batch`] with a caller-provided session cache set, so several
-/// batches (or a batch and a service session) share models, verdicts
-/// and DFA tables.
-///
-/// # Panics
-///
-/// Panics if a job panics (propagating the job's panic message).
-pub fn run_batch_with_caches(jobs: Vec<Job>, workers: usize, caches: CacheSet) -> Vec<Report> {
-    let n = jobs.len();
-    let scheduler = Scheduler::start(
-        SchedulerConfig {
-            workers,
-            max_inflight: 0,
-        },
-        caches,
-    );
-    for job in jobs {
-        scheduler.submit(job);
+impl BatchOptions {
+    /// Default options: auto worker count, a fresh cache set sized from
+    /// the jobs.
+    pub fn new() -> BatchOptions {
+        BatchOptions::default()
     }
-    scheduler.close();
-    let mut reports = Vec::with_capacity(n);
-    while let Some(completion) = scheduler.next_ordered() {
-        match completion.outcome {
-            Ok(report) => reports.push(report),
-            Err(message) => panic!("batch job {} failed: {message}", completion.name),
+
+    /// Sets the worker thread count (`0` = auto).
+    pub fn workers(mut self, workers: usize) -> BatchOptions {
+        self.workers = workers;
+        self
+    }
+
+    /// Shares a caller-provided session cache set, so several batches
+    /// (or a batch and a service session) share models, verdicts and
+    /// DFA tables.
+    pub fn caches(mut self, caches: CacheSet) -> BatchOptions {
+        self.caches = Some(caches);
+        self
+    }
+
+    /// Runs the jobs, returning reports in input order.
+    ///
+    /// All jobs share one session cache set — regex models, solver
+    /// verdicts, and the DFA intern tables — so a regex or query solved
+    /// for one package is free for every other.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a job panics (propagating the job's panic message).
+    pub fn run(&self, jobs: Vec<Job>) -> Vec<Report> {
+        let caches = self.caches.clone().unwrap_or_else(|| {
+            CacheSet::session(
+                jobs.iter()
+                    .map(|j| j.config.model_cache_capacity)
+                    .max()
+                    .unwrap_or(0),
+                jobs.iter()
+                    .map(|j| j.config.query_cache_capacity)
+                    .max()
+                    .unwrap_or(0),
+                jobs.iter()
+                    .map(|j| j.config.solver.dfa_cache_capacity)
+                    .max()
+                    .unwrap_or(0),
+            )
+        });
+        let n = jobs.len();
+        let scheduler = Scheduler::start(
+            SchedulerConfig {
+                workers: self.workers,
+                max_inflight: 0,
+            },
+            caches,
+        );
+        for job in jobs {
+            scheduler.submit(job);
         }
+        scheduler.close();
+        let mut reports = Vec::with_capacity(n);
+        while let Some(completion) = scheduler.next_ordered() {
+            match completion.outcome {
+                Ok(report) => reports.push(report),
+                Err(message) => panic!("batch job {} failed: {message}", completion.name),
+            }
+        }
+        scheduler.join();
+        assert_eq!(reports.len(), n, "all jobs completed");
+        reports
     }
-    scheduler.join();
-    assert_eq!(reports.len(), n, "all jobs completed");
-    reports
+}
+
+/// Runs a batch of jobs on `workers` threads, returning reports in the
+/// order of the input jobs.
+#[deprecated(
+    since = "0.7.0",
+    note = "use `BatchOptions::new().workers(n).run(jobs)`"
+)]
+pub fn run_batch(jobs: Vec<Job>, workers: usize) -> Vec<Report> {
+    BatchOptions::new().workers(workers).run(jobs)
+}
+
+/// [`BatchOptions::run`] with a caller-provided session cache set.
+#[deprecated(
+    since = "0.7.0",
+    note = "use `BatchOptions::new().workers(n).caches(c).run(jobs)`"
+)]
+pub fn run_batch_with_caches(jobs: Vec<Job>, workers: usize, caches: CacheSet) -> Vec<Report> {
+    BatchOptions::new()
+        .workers(workers)
+        .caches(caches)
+        .run(jobs)
 }
 
 #[cfg(test)]
@@ -147,7 +190,7 @@ mod tests {
             .iter()
             .map(|j| run_dse(&j.program, &j.harness, &j.config))
             .collect();
-        let parallel = run_batch(jobs, 3);
+        let parallel = BatchOptions::new().workers(3).run(jobs);
         assert_eq!(parallel.len(), 3);
         for (s, p) in sequential.iter().zip(&parallel) {
             // Engines are deterministic, so parallel == sequential.
@@ -158,28 +201,41 @@ mod tests {
 
     #[test]
     fn single_worker_works() {
-        let reports = run_batch(vec![job("only", r#"function f(x) { return x; }"#)], 1);
+        let reports = BatchOptions::new()
+            .workers(1)
+            .run(vec![job("only", r#"function f(x) { return x; }"#)]);
         assert_eq!(reports.len(), 1);
     }
 
     #[test]
     fn empty_batch() {
-        let reports = run_batch(Vec::new(), 4);
+        let reports = BatchOptions::new().workers(4).run(Vec::new());
         assert!(reports.is_empty());
     }
 
     #[test]
     fn zero_workers_clamps_to_auto() {
         // Previously a panic; now "auto" (max(1, available_parallelism)).
-        let reports = run_batch(
-            vec![job(
-                "auto",
-                r#"function f(x) { if (x === "q") { return 1; } return 0; }"#,
-            )],
-            0,
-        );
+        let reports = BatchOptions::new().workers(0).run(vec![job(
+            "auto",
+            r#"function f(x) { if (x === "q") { return 1; } return 0; }"#,
+        )]);
         assert_eq!(reports.len(), 1);
         assert!(reports[0].coverage_fraction() > 0.9);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_still_run() {
+        let reports = run_batch(vec![job("wrapped", r#"function f(x) { return 0; }"#)], 1);
+        assert_eq!(reports.len(), 1);
+        let caches = CacheSet::session(8, 8, 0);
+        let reports = run_batch_with_caches(
+            vec![job("wrapped", r#"function f(x) { return 0; }"#)],
+            1,
+            caches,
+        );
+        assert_eq!(reports.len(), 1);
     }
 
     #[test]
@@ -196,7 +252,7 @@ mod tests {
                 r#"function f(x) { if (/^k+$/.test(x)) { return 1; } return 0; }"#,
             ),
         ];
-        let reports = run_batch(jobs, 1);
+        let reports = BatchOptions::new().workers(1).run(jobs);
         assert_eq!(reports[0].coverage, reports[1].coverage);
         let second = &reports[1];
         assert!(

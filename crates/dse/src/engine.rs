@@ -229,12 +229,28 @@ pub fn run_dse(program: &Program, harness: &Harness, config: &EngineConfig) -> R
 }
 
 /// [`run_dse`] with caller-provided caches, so several runs (e.g. the
-/// jobs of a [`crate::batch::run_batch`]) share models and verdicts.
+/// jobs of a batch) share models and verdicts.
 pub fn run_dse_with_caches(
     program: &Program,
     harness: &Harness,
     config: &EngineConfig,
     caches: &DseCaches,
+) -> Report {
+    run_dse_observed(program, harness, config, caches, &mut |_, _| {})
+}
+
+/// [`run_dse_with_caches`] with a trace observer: `observer(trace,
+/// flips)` fires for every executed trace, right before its first
+/// `flips` clauses are solved. The streaming service's script recorder
+/// uses this to re-express a run as wire `push`/`solve` sequences; the
+/// observer cannot influence the run, so the returned report is
+/// byte-identical to an unobserved one.
+pub fn run_dse_observed(
+    program: &Program,
+    harness: &Harness,
+    config: &EngineConfig,
+    caches: &DseCaches,
+    observer: &mut dyn FnMut(&crate::sym::Trace, usize),
 ) -> Report {
     let mut report = Report {
         stmt_count: program.stmt_count,
@@ -307,6 +323,7 @@ pub fn run_dse_with_caches(
         let queued: usize = buckets.values().map(Vec::len).sum();
         let room = (config.max_executions * 4).saturating_sub(report.executions + queued);
         let flips = trace.path.len().min(config.max_flips_per_trace).min(room);
+        observer(&trace, flips);
         let results = solve_trace_flips(&trace, flips, config, &solver, caches, flip_workers);
 
         // Deterministic post-processing in clause order.

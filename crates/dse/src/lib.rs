@@ -42,9 +42,11 @@ pub mod solve;
 pub mod sym;
 pub mod value;
 
-pub use batch::{run_batch, run_batch_with_caches, Job};
+#[allow(deprecated)]
+pub use batch::{run_batch, run_batch_with_caches};
+pub use batch::{BatchOptions, Job};
 pub use caching::{CacheSet, DseCaches};
-pub use engine::{run_dse, run_dse_with_caches, EngineConfig, Report};
+pub use engine::{run_dse, run_dse_observed, run_dse_with_caches, EngineConfig, Report};
 pub use interp::{execute, ArgSpec, Harness, InterpConfig};
 pub use sched::{Completion, JobId, Scheduler, SchedulerConfig, ShardStats};
 pub use solve::{solve_flip, FlipResult, QueryRecord, TraceFlipSession};

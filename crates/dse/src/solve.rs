@@ -90,19 +90,7 @@ pub fn solve_flip(
     caches: &DseCaches,
 ) -> FlipResult {
     let started = std::time::Instant::now();
-    let mut builder = QueryBuilder {
-        pool: VarPool::new(),
-        events: &trace.events,
-        input_vars: HashMap::new(),
-        constraints: HashMap::new(),
-        polarity: HashMap::new(),
-        build: build.clone(),
-        support,
-        caches,
-        model_cache_hits: 0,
-        model_cache_misses: 0,
-        infeasible: false,
-    };
+    let mut builder = QueryBuilder::new(support, build.clone(), caches);
 
     let mut conjuncts = Vec::new();
     for (i, clause) in trace.path.iter().enumerate() {
@@ -114,7 +102,7 @@ pub fn solve_flip(
         } else {
             clause.taken
         };
-        conjuncts.push(builder.bool_formula(&clause.cond, expected));
+        conjuncts.push(builder.bool_formula(&trace.events, &clause.cond, expected));
     }
     let record_base = QueryRecord {
         modeled_regex: !builder.constraints.is_empty(),
@@ -243,6 +231,15 @@ struct FlipPlan {
 pub struct TraceFlipSession<'a> {
     session: SolveSession,
     plans: Vec<FlipPlan>,
+    /// The shared prefix builder, advanced one taken tie per pushed
+    /// clause. Kept so clauses can keep arriving after construction
+    /// (the streaming wire sessions push one clause per request).
+    builder: QueryBuilder<'a>,
+    /// Builder states from *before* each pushed clause — recorded only
+    /// when retraction is enabled, so the engine's forward-only path
+    /// pays nothing for them.
+    snapshots: Vec<QueryBuilder<'a>>,
+    retractable: bool,
     support: SupportLevel,
     refinement_limit: usize,
     caches: &'a DseCaches,
@@ -250,6 +247,44 @@ pub struct TraceFlipSession<'a> {
 }
 
 impl<'a> TraceFlipSession<'a> {
+    /// Creates an empty session: no clauses pushed, no flips planned.
+    /// Feed it with [`TraceFlipSession::push_clause`].
+    pub fn new(
+        support: SupportLevel,
+        solver: &Solver,
+        refinement_limit: usize,
+        build: &BuildConfig,
+        caches: &'a DseCaches,
+    ) -> TraceFlipSession<'a> {
+        TraceFlipSession {
+            session: SolveSession::new(solver.clone()),
+            plans: Vec::new(),
+            builder: QueryBuilder::new(support, build.clone(), caches),
+            snapshots: Vec::new(),
+            retractable: false,
+            support,
+            refinement_limit,
+            caches,
+            inputs_used: 0,
+        }
+    }
+
+    /// Enables [`TraceFlipSession::pop_clause`] by snapshotting the
+    /// prefix builder before every push. The engine's trace walk never
+    /// retracts and skips this; wire sessions need it for `pop`.
+    pub fn retractable(mut self) -> TraceFlipSession<'a> {
+        self.retractable = true;
+        self
+    }
+
+    /// Declares how many concrete inputs the trace consumed, so SAT
+    /// models pad their input vectors exactly like
+    /// [`solve_flip`] on a trace with the same `inputs_used`.
+    pub fn with_inputs_used(mut self, inputs_used: usize) -> TraceFlipSession<'a> {
+        self.inputs_used = inputs_used;
+        self
+    }
+
     /// Builds the shared prefix and the per-flip plans for the first
     /// `flips` clauses of `trace`.
     pub fn build(
@@ -261,69 +296,91 @@ impl<'a> TraceFlipSession<'a> {
         build: &BuildConfig,
         caches: &'a DseCaches,
     ) -> TraceFlipSession<'a> {
-        let mut session = SolveSession::new(solver.clone());
-        let mut builder = QueryBuilder {
-            pool: VarPool::new(),
-            events: &trace.events,
-            input_vars: HashMap::new(),
-            constraints: HashMap::new(),
-            polarity: HashMap::new(),
-            build: build.clone(),
-            support,
-            caches,
-            model_cache_hits: 0,
-            model_cache_misses: 0,
-            infeasible: false,
-        };
-        let mut plans = Vec::with_capacity(flips);
+        let mut this = TraceFlipSession::new(support, solver, refinement_limit, build, caches)
+            .with_inputs_used(trace.inputs_used);
         for clause in trace.path.iter().take(flips) {
-            // Fork the shared builder: its state is exactly a scratch
-            // flip-k builder's after prefix clauses 0..k, so the flipped
-            // tie allocates the same variables a scratch build would.
-            let mut fork = builder.clone();
-            let hits_before = fork.model_cache_hits;
-            let misses_before = fork.model_cache_misses;
-            let flipped = fork.bool_formula(&clause.cond, !clause.taken);
-            let mut plan = FlipPlan {
-                assumption: vec![flipped],
-                constraints: fork.sorted_constraints(),
-                input_vars: fork.input_vars.clone(),
-                infeasible: fork.infeasible,
-                record_base: QueryRecord {
-                    modeled_regex: !fork.constraints.is_empty(),
-                    had_captures: fork
-                        .constraints
-                        .values()
-                        .any(|c| c.captures.len() > 1 || c.regex.ast.has_backref()),
-                    model_cache_hits: fork.model_cache_hits - hits_before,
-                    model_cache_misses: fork.model_cache_misses - misses_before,
-                    ..QueryRecord::default()
-                },
-            };
-            // Advance the shared prefix with the taken tie; its model
-            // lookups are charged to this flip's record so the report's
-            // totals still count every lookup of the trace.
-            let shared_hits = builder.model_cache_hits;
-            let shared_misses = builder.model_cache_misses;
-            let taken = builder.bool_formula(&clause.cond, clause.taken);
-            session.push(vec![taken]);
-            plan.record_base.model_cache_hits += builder.model_cache_hits - shared_hits;
-            plan.record_base.model_cache_misses += builder.model_cache_misses - shared_misses;
-            plans.push(plan);
+            this.push_clause(&trace.events, &clause.cond, clause.taken);
         }
-        TraceFlipSession {
-            session,
-            plans,
-            support,
-            refinement_limit,
-            caches,
-            inputs_used: trace.inputs_used,
+        this
+    }
+
+    /// Pushes one taken clause: plans flip `depth()` (the flipped tie
+    /// `¬tie` and the models it needs) and advances the shared prefix
+    /// with the taken tie as a new session frame.
+    ///
+    /// `events` is the trace's regex-event table — append-only across
+    /// pushes, and long enough for every event index `cond` references
+    /// (the indices of earlier pushes must keep resolving to the same
+    /// entries, or the builder's per-event model cache would lie).
+    pub fn push_clause(&mut self, events: &[RegexEvent], cond: &SymExpr, taken: bool) {
+        if self.retractable {
+            self.snapshots.push(self.builder.clone());
         }
+        // Fork the shared builder: its state is exactly a scratch
+        // flip-k builder's after prefix clauses 0..k, so the flipped
+        // tie allocates the same variables a scratch build would.
+        let mut fork = self.builder.clone();
+        let hits_before = fork.model_cache_hits;
+        let misses_before = fork.model_cache_misses;
+        let flipped = fork.bool_formula(events, cond, !taken);
+        let mut plan = FlipPlan {
+            assumption: vec![flipped],
+            constraints: fork.sorted_constraints(),
+            input_vars: fork.input_vars.clone(),
+            infeasible: fork.infeasible,
+            record_base: QueryRecord {
+                modeled_regex: !fork.constraints.is_empty(),
+                had_captures: fork
+                    .constraints
+                    .values()
+                    .any(|c| c.captures.len() > 1 || c.regex.ast.has_backref()),
+                model_cache_hits: fork.model_cache_hits - hits_before,
+                model_cache_misses: fork.model_cache_misses - misses_before,
+                ..QueryRecord::default()
+            },
+        };
+        // Advance the shared prefix with the taken tie; its model
+        // lookups are charged to this flip's record so the report's
+        // totals still count every lookup of the trace.
+        let shared_hits = self.builder.model_cache_hits;
+        let shared_misses = self.builder.model_cache_misses;
+        let taken_tie = self.builder.bool_formula(events, cond, taken);
+        self.session.push(vec![taken_tie]);
+        plan.record_base.model_cache_hits += self.builder.model_cache_hits - shared_hits;
+        plan.record_base.model_cache_misses += self.builder.model_cache_misses - shared_misses;
+        self.plans.push(plan);
+    }
+
+    /// Retracts the most recent clause: drops its flip plan, pops its
+    /// session frame and rewinds the prefix builder to its pre-push
+    /// snapshot. Returns `false` (and changes nothing) when no clause
+    /// is pushed or the session was not built
+    /// [`TraceFlipSession::retractable`].
+    pub fn pop_clause(&mut self) -> bool {
+        if !self.retractable || self.plans.is_empty() {
+            return false;
+        }
+        self.plans.pop();
+        self.session.pop();
+        self.builder = self.snapshots.pop().expect("snapshot per pushed clause");
+        true
     }
 
     /// Number of planned flips.
     pub fn flips(&self) -> usize {
         self.plans.len()
+    }
+
+    /// Current clause depth — the same number as
+    /// [`TraceFlipSession::flips`], under the name wire sessions use.
+    pub fn depth(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// Cumulative counters of the underlying [`SolveSession`]: queries
+    /// assembled and prefix frames reused over the session lifetime.
+    pub fn session_stats(&self) -> strsolve::SessionStats {
+        self.session.session_stats()
     }
 
     /// Solves flip `k` against the shared prefix (frames `0..k` plus
@@ -392,10 +449,9 @@ impl<'a> TraceFlipSession<'a> {
 
 /// Clone is cheap by design (constraints sit behind `Arc`): a
 /// [`TraceFlipSession`] forks the shared prefix builder once per flip.
-#[derive(Clone)]
+#[derive(Clone, Debug)]
 struct QueryBuilder<'a> {
     pool: VarPool,
-    events: &'a [RegexEvent],
     input_vars: HashMap<usize, StrVar>,
     constraints: HashMap<usize, Arc<CapturingConstraint>>,
     polarity: HashMap<usize, bool>,
@@ -407,7 +463,24 @@ struct QueryBuilder<'a> {
     infeasible: bool,
 }
 
-impl QueryBuilder<'_> {
+impl<'a> QueryBuilder<'a> {
+    /// An empty builder. The regex-event table is *not* part of the
+    /// builder's state — each translation call takes it as a parameter,
+    /// so streamed sessions can grow the table between clauses.
+    fn new(support: SupportLevel, build: BuildConfig, caches: &'a DseCaches) -> QueryBuilder<'a> {
+        QueryBuilder {
+            pool: VarPool::new(),
+            input_vars: HashMap::new(),
+            constraints: HashMap::new(),
+            polarity: HashMap::new(),
+            build,
+            support,
+            caches,
+            model_cache_hits: 0,
+            model_cache_misses: 0,
+            infeasible: false,
+        }
+    }
     /// The built constraints in event order — the conjunct (and with it
     /// the solver search) order of the CEGAR problem; map iteration
     /// order would make verdicts vary run to run.
@@ -431,7 +504,12 @@ impl QueryBuilder<'_> {
 
     /// The Algorithm 2 constraint for a regex event, built on demand
     /// with the polarity the query requires.
-    fn event_constraint(&mut self, event: usize, positive: bool) -> Option<Formula> {
+    fn event_constraint(
+        &mut self,
+        events: &[RegexEvent],
+        event: usize,
+        positive: bool,
+    ) -> Option<Formula> {
         if let Some(&p) = self.polarity.get(&event) {
             if p != positive {
                 // The same event is required to both match and not match:
@@ -442,7 +520,7 @@ impl QueryBuilder<'_> {
             return Some(Formula::top());
         }
         self.polarity.insert(event, positive);
-        let info = &self.events[event];
+        let info = &events[event];
         let (constraint, cache_hit) = self.caches.model.get_or_build(
             &info.regex,
             positive,
@@ -456,7 +534,7 @@ impl QueryBuilder<'_> {
             self.model_cache_misses += 1;
         }
         // Tie the model's input variable to the subject expression.
-        let subject_terms = self.string_terms(&info.subject.clone());
+        let subject_terms = self.string_terms(events, &info.subject.clone());
         let tie = match subject_terms {
             Some((terms, guards)) => Formula::and(
                 guards
@@ -473,7 +551,11 @@ impl QueryBuilder<'_> {
 
     /// Translates a string-sorted expression into concatenation terms
     /// plus definedness guards for any captures involved.
-    fn string_terms(&mut self, e: &SymExpr) -> Option<(Vec<Term>, Vec<Formula>)> {
+    fn string_terms(
+        &mut self,
+        events: &[RegexEvent],
+        e: &SymExpr,
+    ) -> Option<(Vec<Term>, Vec<Formula>)> {
         match e {
             SymExpr::Input(k) => Some((vec![Term::Var(self.input_var(*k))], vec![])),
             SymExpr::StrLit(s) => Some((vec![Term::Lit(s.clone())], vec![])),
@@ -481,7 +563,7 @@ impl QueryBuilder<'_> {
                 let mut terms = Vec::new();
                 let mut guards = Vec::new();
                 for item in items {
-                    let (t, g) = self.string_terms(item)?;
+                    let (t, g) = self.string_terms(events, item)?;
                     terms.extend(t);
                     guards.extend(g);
                 }
@@ -490,7 +572,7 @@ impl QueryBuilder<'_> {
             SymExpr::Capture { event, index } => {
                 // Referencing a capture requires the event to have
                 // matched positively.
-                let event_formula = self.event_constraint(*event, true)?;
+                let event_formula = self.event_constraint(events, *event, true)?;
                 let constraint = self.constraints.get(event)?;
                 let cap = *constraint.captures.get(*index)?;
                 Some((
@@ -504,7 +586,7 @@ impl QueryBuilder<'_> {
 
     /// Translates a boolean-sorted expression, asserted to equal
     /// `expected`.
-    fn bool_formula(&mut self, e: &SymExpr, expected: bool) -> Formula {
+    fn bool_formula(&mut self, events: &[RegexEvent], e: &SymExpr, expected: bool) -> Formula {
         match e {
             SymExpr::BoolLit(b) => {
                 if *b == expected {
@@ -513,32 +595,38 @@ impl QueryBuilder<'_> {
                     Formula::bottom()
                 }
             }
-            SymExpr::Not(inner) => self.bool_formula(inner, !expected),
+            SymExpr::Not(inner) => self.bool_formula(events, inner, !expected),
             SymExpr::And(a, b) => {
                 if expected {
-                    Formula::and(vec![self.bool_formula(a, true), self.bool_formula(b, true)])
+                    Formula::and(vec![
+                        self.bool_formula(events, a, true),
+                        self.bool_formula(events, b, true),
+                    ])
                 } else {
                     Formula::or(vec![
-                        self.bool_formula(a, false),
-                        self.bool_formula(b, false),
+                        self.bool_formula(events, a, false),
+                        self.bool_formula(events, b, false),
                     ])
                 }
             }
             SymExpr::Or(a, b) => {
                 if expected {
-                    Formula::or(vec![self.bool_formula(a, true), self.bool_formula(b, true)])
+                    Formula::or(vec![
+                        self.bool_formula(events, a, true),
+                        self.bool_formula(events, b, true),
+                    ])
                 } else {
                     Formula::and(vec![
-                        self.bool_formula(a, false),
-                        self.bool_formula(b, false),
+                        self.bool_formula(events, a, false),
+                        self.bool_formula(events, b, false),
                     ])
                 }
             }
             SymExpr::StrEq(a, b) => {
-                let Some((ta, ga)) = self.string_terms(a) else {
+                let Some((ta, ga)) = self.string_terms(events, a) else {
                     return Formula::top();
                 };
-                let Some((tb, gb)) = self.string_terms(b) else {
+                let Some((tb, gb)) = self.string_terms(events, b) else {
                     return Formula::top();
                 };
                 let v = self.pool.fresh_str("eq");
@@ -569,12 +657,14 @@ impl QueryBuilder<'_> {
                     Formula::or(branches)
                 }
             }
-            SymExpr::TestResult { event } => match self.event_constraint(*event, expected) {
-                Some(f) => f,
-                None => Formula::bottom(),
-            },
+            SymExpr::TestResult { event } => {
+                match self.event_constraint(events, *event, expected) {
+                    Some(f) => f,
+                    None => Formula::bottom(),
+                }
+            }
             SymExpr::CaptureDefined { event, index } => {
-                let Some(f) = self.event_constraint(*event, true) else {
+                let Some(f) = self.event_constraint(events, *event, true) else {
                     return Formula::bottom();
                 };
                 let Some(constraint) = self.constraints.get(event) else {
@@ -588,7 +678,7 @@ impl QueryBuilder<'_> {
             // String-sorted expressions in boolean position: truthiness
             // = non-emptiness.
             s if s.is_string() => {
-                let Some((terms, guards)) = self.string_terms(s) else {
+                let Some((terms, guards)) = self.string_terms(events, s) else {
                     return Formula::top();
                 };
                 let v = self.pool.fresh_str("truthy");

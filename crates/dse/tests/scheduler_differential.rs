@@ -13,7 +13,7 @@ use std::collections::HashMap;
 
 use expose_dse::parser::parse_program;
 use expose_dse::sched::{Scheduler, SchedulerConfig};
-use expose_dse::{run_batch, run_dse, CacheSet, EngineConfig, Harness, Job, Report};
+use expose_dse::{run_dse, BatchOptions, CacheSet, EngineConfig, Harness, Job, Report};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -76,7 +76,7 @@ fn identical_reports_for_worker_counts_1_2_8() {
     let jobs = corpus_jobs(8, 0x5eed1);
     let reference = serial_reference(&jobs);
     for workers in [1, 2, 8] {
-        let reports = run_batch(jobs.clone(), workers);
+        let reports = BatchOptions::new().workers(workers).run(jobs.clone());
         let projected: Vec<Deterministic> = reports.iter().map(project).collect();
         assert_eq!(
             projected, reference,
@@ -147,8 +147,9 @@ fn shared_and_fresh_caches_agree() {
     // One shared session cache set for the whole batch, exercised
     // twice so the second pass runs against fully warm caches.
     let caches = CacheSet::session(512, 2048, 512);
-    let cold = expose_dse::run_batch_with_caches(jobs.clone(), 4, caches.clone());
-    let warm = expose_dse::run_batch_with_caches(jobs.clone(), 4, caches.clone());
+    let batch = BatchOptions::new().workers(4).caches(caches.clone());
+    let cold = batch.run(jobs.clone());
+    let warm = batch.run(jobs.clone());
     let cold: Vec<Deterministic> = cold.iter().map(project).collect();
     let warm: Vec<Deterministic> = warm.iter().map(project).collect();
     assert_eq!(cold, reference, "shared caches changed results (cold)");

@@ -7,21 +7,33 @@
 //! # Same protocol over a Unix socket (connections share warm caches):
 //! expose-serve --socket /tmp/expose.sock [--workers N]
 //!
-//! # Serial reference: run the submits through `run_batch(jobs, 1)`
+//! # Serial reference: run the submits through a one-worker batch
 //! # and print the same result lines (the service-smoke CI job diffs
 //! # this against the streamed output — they must be byte-identical):
 //! expose-serve --batch
 //!
 //! # Print the benchmark corpus as submit lines (pipe back in):
 //! expose-serve --emit-corpus 10 [--budget quick|full]
+//!
+//! # Print the corpus as protocol-v2 streaming scripts (pipe back in):
+//! expose-serve --emit-stream 10 [--budget quick|full]
+//!
+//! # Replay recorded streaming scripts against a served session and
+//! # check the solved responses against the whole-program reference
+//! # (one deterministic line per workload; exits nonzero on any
+//! # mismatch — the streaming leg of service-smoke runs this at
+//! # --workers 1/2/8 and byte-diffs the outputs):
+//! expose-serve --replay-stream 10 [--workers N]
 //! ```
 
 use std::io::{BufRead, BufReader, Write};
 
 use expose_dse::sched::Completion;
-use expose_dse::{run_batch, Job};
-use expose_service::session::{job_from_submit, serve, serve_with_caches, ServiceConfig};
-use expose_service::{corpus_submit_lines, proto, CorpusBudget, Request};
+use expose_dse::BatchOptions;
+use expose_service::json::{self, Value};
+use expose_service::session::{job_from_submit, ServeOptions, ServiceConfig};
+use expose_service::stream::{fold_responses, record_stream};
+use expose_service::{corpus_submit_lines, proto, CorpusBudget, ProtoVersion, Request};
 
 struct Options {
     workers: usize,
@@ -29,6 +41,8 @@ struct Options {
     socket: Option<String>,
     batch: bool,
     emit_corpus: Option<usize>,
+    emit_stream: Option<usize>,
+    replay_stream: Option<usize>,
     budget: CorpusBudget,
     cache_bytes: Option<usize>,
 }
@@ -40,6 +54,8 @@ fn parse_args() -> Options {
         socket: None,
         batch: false,
         emit_corpus: None,
+        emit_stream: None,
+        replay_stream: None,
         budget: CorpusBudget::Quick,
         cache_bytes: None,
     };
@@ -58,6 +74,13 @@ fn parse_args() -> Options {
             "--batch" => options.batch = true,
             "--emit-corpus" => {
                 options.emit_corpus = Some(value("--emit-corpus").parse().expect("program count"))
+            }
+            "--emit-stream" => {
+                options.emit_stream = Some(value("--emit-stream").parse().expect("program count"))
+            }
+            "--replay-stream" => {
+                options.replay_stream =
+                    Some(value("--replay-stream").parse().expect("program count"))
             }
             "--budget" => {
                 options.budget = match value("--budget").as_str() {
@@ -90,11 +113,33 @@ fn service_config(options: &Options) -> ServiceConfig {
     config
 }
 
-/// The serial reference: collect submits, run them through
-/// `run_batch(jobs, 1)`, and print result lines identical to a
-/// streamed session's.
+/// The benchmark corpus as parsed jobs (engine settings = the service
+/// defaults plus each submit line's overrides).
+fn corpus_jobs(
+    generated: usize,
+    budget: CorpusBudget,
+    config: &ServiceConfig,
+) -> Vec<expose_dse::Job> {
+    corpus_submit_lines(generated, budget)
+        .iter()
+        .enumerate()
+        .map(|(i, line)| {
+            let (request, _) = proto::parse_request(line).expect("corpus line parses");
+            let Request::Submit(submit) = request else {
+                panic!("corpus line is a submit");
+            };
+            let name = submit.name.clone().unwrap_or_else(|| format!("job{i}"));
+            job_from_submit(&submit, &name, &config.engine).expect("corpus job parses")
+        })
+        .collect()
+}
+
+/// The serial reference: collect submits, run them through a
+/// one-worker batch, and print result lines identical to a streamed
+/// session's.
 fn run_batch_mode(input: impl BufRead, config: &ServiceConfig) -> std::io::Result<()> {
-    let mut pending: Vec<(String, Result<Job, String>)> = Vec::new();
+    let mut pending: Vec<(String, ProtoVersion, Result<expose_dse::Job, String>)> = Vec::new();
+    let mut stream_version = ProtoVersion::V1;
     for line in input.lines() {
         let line = line?;
         let line = line.trim();
@@ -102,34 +147,56 @@ fn run_batch_mode(input: impl BufRead, config: &ServiceConfig) -> std::io::Resul
             continue;
         }
         match proto::parse_request(line) {
-            Ok(Request::Submit(submit)) => {
-                let name = submit
-                    .name
-                    .clone()
-                    .unwrap_or_else(|| format!("job{}", pending.len()));
-                let job = job_from_submit(&submit, &name, &config.engine);
-                pending.push((name, job));
+            Ok((request, version)) => {
+                if version == ProtoVersion::V2 {
+                    stream_version = ProtoVersion::V2;
+                }
+                match request {
+                    Request::Submit(submit) => {
+                        let name = submit
+                            .name
+                            .clone()
+                            .unwrap_or_else(|| format!("job{}", pending.len()));
+                        let job = job_from_submit(&submit, &name, &config.engine);
+                        pending.push((name, version, job));
+                    }
+                    Request::Shutdown => break,
+                    Request::Status | Request::Stats => {
+                        // Progress queries are meaningless for an
+                        // offline batch; the streamed session answers
+                        // them instead.
+                    }
+                    Request::OpenSession(_)
+                    | Request::Push(_)
+                    | Request::Pop
+                    | Request::Solve { .. }
+                    | Request::CloseSession => {
+                        println!(
+                            "{}",
+                            proto::error_line(&proto::RequestError::new(
+                                proto::ErrorCode::NoSession,
+                                "streaming sessions need a served session, not --batch",
+                                version,
+                            ))
+                        );
+                    }
+                }
             }
-            Ok(Request::Shutdown) => break,
-            Ok(Request::Status | Request::Stats) => {
-                // Progress queries are meaningless for an offline
-                // batch; the streamed session answers them instead.
-            }
-            Err(message) => {
-                println!("{}", proto::error_line(&message));
+            Err(error) => {
+                println!("{}", proto::error_line(&error));
             }
         }
     }
 
-    let jobs: Vec<Job> = pending
+    let jobs: Vec<expose_dse::Job> = pending
         .iter()
-        .filter_map(|(_, job)| job.as_ref().ok().cloned())
+        .filter_map(|(_, _, job)| job.as_ref().ok().cloned())
         .collect();
-    let mut reports = run_batch(jobs, 1).into_iter();
+    let mut reports = BatchOptions::new().workers(1).run(jobs).into_iter();
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
     let total = pending.len() as u64;
-    for (id, (name, job)) in pending.into_iter().enumerate() {
+    for (id, (name, version, job)) in pending.into_iter().enumerate() {
         let outcome = match job {
             Ok(_) => Ok(reports.next().expect("one report per job")),
             Err(error) => Err(error),
@@ -139,9 +206,126 @@ fn run_batch_mode(input: impl BufRead, config: &ServiceConfig) -> std::io::Resul
             name,
             outcome,
         };
-        writeln!(out, "{}", proto::result_line(&completion))?;
+        writeln!(out, "{}", proto::result_line(&completion, version))?;
     }
-    writeln!(out, "{}", proto::done_line(total))?;
+    writeln!(out, "{}", proto::done_line(total, stream_version))?;
+    Ok(())
+}
+
+/// Prints the corpus as protocol-v2 streaming scripts: per workload,
+/// one session per executed trace, pushes and solves interleaved.
+fn run_emit_stream(generated: usize, options: &Options) -> std::io::Result<()> {
+    let config = service_config(options);
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for job in corpus_jobs(generated, options.budget, &config) {
+        for line in record_stream(&job).script {
+            writeln!(out, "{line}")?;
+        }
+    }
+    Ok(())
+}
+
+/// Replays the corpus as streaming scripts against served sessions and
+/// checks the solved responses against the whole-program reference.
+///
+/// Per workload, the served input is the workload's `submit` (routed
+/// through the scheduler at the configured worker count) followed by
+/// the recorded session scripts (solved on the reader thread against
+/// the same warm caches). Three equalities must hold:
+///
+/// 1. the folded `solved` digest equals the recorded reference run's,
+/// 2. the `result` line's `verdicts` digest equals the same value,
+/// 3. across the corpus, multi-flip workloads report `prefix_reuse`
+///    \> 0 in aggregate (a single workload can legitimately report 0 —
+///    e.g. when every deep flip is statically infeasible and never
+///    reaches the assumption stack).
+///
+/// One deterministic line per workload goes to stdout, so CI can run
+/// this at several worker counts and byte-diff the outputs.
+fn run_replay_stream(generated: usize, options: &Options) -> std::io::Result<()> {
+    let config = service_config(options);
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let mut failures = 0usize;
+    let mut any_multi_flip = false;
+    let mut total_prefix_reuse = 0u64;
+    for job in corpus_jobs(generated, options.budget, &config) {
+        let recording = record_stream(&job);
+        let reference = proto::verdict_digest(&recording.report);
+
+        let mut input = String::new();
+        input.push_str(
+            corpus_submit_lines(generated, options.budget)
+                .iter()
+                .find(|l| l.contains(&format!("\"name\":{}", json::escaped(&job.name))))
+                .expect("workload has a submit line"),
+        );
+        input.push('\n');
+        for line in &recording.script {
+            input.push_str(line);
+            input.push('\n');
+        }
+
+        let mut served: Vec<u8> = Vec::new();
+        let summary = ServeOptions::new()
+            .config(config.clone())
+            .serve(input.as_bytes(), &mut served)?;
+        let served = String::from_utf8(served).expect("utf8 output");
+        let folded = fold_responses(served.lines()).unwrap_or_else(|e| panic!("{e}"));
+        let submitted = served
+            .lines()
+            .find_map(|line| {
+                let value = json::parse(line).ok()?;
+                if value.get("type").and_then(Value::as_str) != Some("result") {
+                    return None;
+                }
+                value
+                    .get("verdicts")
+                    .and_then(Value::as_str)
+                    .map(str::to_string)
+            })
+            .unwrap_or_default();
+
+        any_multi_flip |= recording.max_session_flips >= 2;
+        total_prefix_reuse += folded.prefix_reuse_hits;
+
+        let digest_ok = folded.digest == reference;
+        let submit_ok = submitted == format!("{reference:016x}");
+        let clean = summary.request_errors == 0 && folded.errors == 0;
+        let ok = digest_ok && submit_ok && clean;
+        if !ok {
+            failures += 1;
+            eprintln!(
+                "expose-serve: {} mismatch: streamed={:016x} reference={reference:016x} \
+                 submit={submitted:?} prefix_reuse={} errors={}/{}",
+                job.name,
+                folded.digest,
+                folded.prefix_reuse_hits,
+                summary.request_errors,
+                folded.errors,
+            );
+        }
+        writeln!(
+            out,
+            "{} sessions={} solves={} verdicts={reference:016x} prefix_reuse={} {}",
+            job.name,
+            recording.report.executions,
+            folded.solves,
+            folded.prefix_reuse_hits,
+            if ok { "ok" } else { "MISMATCH" },
+        )?;
+    }
+    if failures > 0 {
+        return Err(std::io::Error::other(format!(
+            "{failures} workload(s) diverged between streamed and whole-program solving"
+        )));
+    }
+    if any_multi_flip && total_prefix_reuse == 0 {
+        return Err(std::io::Error::other(
+            "multi-flip workloads streamed without any prefix reuse",
+        ));
+    }
     Ok(())
 }
 
@@ -165,7 +349,9 @@ fn run_socket(path: &str, config: &ServiceConfig) -> std::io::Result<()> {
                     continue;
                 }
             };
-            let caches = caches.clone();
+            let serve = ServeOptions::new()
+                .config(config.clone())
+                .caches(caches.clone());
             scope.spawn(move || {
                 let reader = match stream.try_clone() {
                     Ok(clone) => BufReader::new(clone),
@@ -174,7 +360,7 @@ fn run_socket(path: &str, config: &ServiceConfig) -> std::io::Result<()> {
                         return;
                     }
                 };
-                if let Err(e) = serve_with_caches(reader, stream, config, caches) {
+                if let Err(e) = serve.serve(reader, stream) {
                     eprintln!("expose-serve: session failed: {e}");
                 }
             });
@@ -202,6 +388,12 @@ fn main() -> std::io::Result<()> {
         }
         return Ok(());
     }
+    if let Some(generated) = options.emit_stream {
+        return run_emit_stream(generated, &options);
+    }
+    if let Some(generated) = options.replay_stream {
+        return run_replay_stream(generated, &options);
+    }
 
     let config = service_config(&options);
     if options.batch {
@@ -212,9 +404,11 @@ fn main() -> std::io::Result<()> {
     }
 
     let stdin = std::io::stdin();
-    let summary = serve(stdin.lock(), std::io::stdout(), &config)?;
+    let summary = ServeOptions::new()
+        .config(config)
+        .serve(stdin.lock(), std::io::stdout())?;
     eprintln!(
-        "expose-serve: session done, {} job(s), {} malformed request(s)",
+        "expose-serve: session done, {} job(s), {} request error(s)",
         summary.jobs, summary.request_errors
     );
     Ok(())

@@ -2,11 +2,17 @@
 //! work-stealing DSE scheduler.
 //!
 //! The paper's evaluation shape — thousands of independent DSE jobs —
-//! is exactly what a service should amortize: [`session::serve`] runs
-//! one session (submit jobs, query status/stats, stream re-sequenced
-//! results), all sessions of a process can share one warm
+//! is exactly what a service should amortize: [`ServeOptions::serve`]
+//! runs one session (submit jobs, query status/stats, stream
+//! re-sequenced results), all sessions of a process can share one warm
 //! [`expose_dse::CacheSet`], and the `expose-serve` binary exposes the
 //! whole thing over stdin/stdout or a Unix socket.
+//!
+//! Protocol v2 adds *streaming solve sessions* on top: a client
+//! replays a trace clause by clause (`open_session`/`push`) and poses
+//! flip queries (`solve`) against the server-side assumption stack as
+//! it grows, with verdicts byte-identical to the in-process
+//! incremental sessions of `expose_dse::TraceFlipSession`.
 //!
 //! See [`proto`] for the wire protocol and its determinism contract:
 //! the `result` stream of a session is byte-identical for any worker
@@ -15,9 +21,16 @@
 pub mod json;
 pub mod proto;
 pub mod session;
+pub mod stream;
+pub mod wire;
 
-pub use proto::{parse_request, result_line, verdict_digest, Request, SubmitRequest};
-pub use session::{serve, serve_with_caches, ServiceConfig, ServiceSummary};
+pub use proto::{
+    parse_request, result_line, verdict_digest, ErrorCode, ProtoVersion, Request, RequestError,
+    SubmitRequest, VerdictDigest,
+};
+#[allow(deprecated)]
+pub use session::{serve, serve_with_caches};
+pub use session::{ServeOptions, ServiceConfig, ServiceSummary};
 
 use crate::json::escaped;
 
@@ -76,7 +89,8 @@ mod tests {
         let lines = corpus_submit_lines(3, CorpusBudget::Quick);
         assert_eq!(lines.len(), 11 + 3);
         for line in &lines {
-            let Request::Submit(submit) = parse_request(line).expect("parses") else {
+            let (request, _) = parse_request(line).expect("parses");
+            let Request::Submit(submit) = request else {
                 panic!("submit line");
             };
             assert_eq!(submit.max_executions, Some(40));

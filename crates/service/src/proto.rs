@@ -1,6 +1,9 @@
-//! The NDJSON request/response protocol.
+//! The NDJSON request/response protocol, versions 1 and 2.
 //!
-//! One JSON object per line in both directions. Requests:
+//! One JSON object per line in both directions. A request may carry a
+//! `"v"` version field: absent (or `1`) selects the original v1
+//! protocol, `2` selects the session-oriented v2. Whole-program
+//! requests work under either version:
 //!
 //! ```json
 //! {"type":"submit","name":"lib1","program":"function f(x){...}","entry":"f",
@@ -11,24 +14,121 @@
 //! {"type":"shutdown"}
 //! ```
 //!
-//! Every field of `submit` except `program` is optional. Responses are
-//! `result` lines (one per job, re-sequenced by job id — see below),
-//! plus `status`/`stats` answers, `error` lines for malformed
-//! requests, and a final `done` line.
+//! v2 adds the streaming *session* verbs (`open_session`, `push`,
+//! `pop`, `solve`, `close_session`), which pose flip queries against a
+//! server-side assumption stack as the trace grows — see the README's
+//! "Wire protocol v2" section for the full reference. Every response
+//! line starts with the version it answers in (`"v":1` or `"v":2`),
+//! and every failure path carries a stable [`ErrorCode`]: v1 errors
+//! keep their legacy `message` key (plus the new `code`), v2 errors use
+//! `{"v":2,"type":"error","code":…,"msg":…}`.
 //!
 //! **Determinism contract:** `result` lines carry only fields that are
 //! invariant under scheduling — coverage, executions, generated tests,
-//! bugs, query verdict counts and the verdict-trail digest. Wall-clock
-//! and cache hit/miss splits deliberately live in `stats` instead: the
-//! `result` stream of a session is byte-identical for any worker count
-//! (`crates/service/tests/service_differential.rs` and the
+//! bugs, query verdict counts and the verdict-trail digest — and
+//! `solved` lines only verdict-trail fields plus the model inputs.
+//! Wall-clock and cache hit/miss splits deliberately live in `stats`
+//! instead: the `result` stream of a session is byte-identical for any
+//! worker count (`crates/service/tests/service_differential.rs`,
+//! `crates/service/tests/streaming_differential.rs` and the
 //! `service-smoke` CI job enforce this).
 
 use expose_core::SupportLevel;
 use expose_dse::sched::{Completion, Progress, ShardStats};
+use expose_dse::sym::{RegexEvent, SymExpr};
 use expose_dse::Report;
 
 use crate::json::{self, Value};
+use crate::wire;
+
+/// The wire protocol version a request was posed in (and its response
+/// lines answer in).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProtoVersion {
+    /// The original whole-program protocol; selected by an absent `"v"`
+    /// field (or an explicit `"v":1`).
+    #[default]
+    V1,
+    /// The versioned session protocol (`"v":2`).
+    V2,
+}
+
+impl ProtoVersion {
+    /// The number rendered into the `"v"` field of response lines.
+    pub fn number(self) -> u8 {
+        match self {
+            ProtoVersion::V1 => 1,
+            ProtoVersion::V2 => 2,
+        }
+    }
+}
+
+/// Stable machine-readable error codes — the `code` field of every
+/// `error` line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The line is not valid JSON.
+    MalformedJson,
+    /// The line is JSON but a field is missing or has the wrong shape.
+    BadRequest,
+    /// Unknown `type` verb.
+    UnknownVerb,
+    /// Unsupported `"v"` value, or a session verb posed without
+    /// `"v":2`.
+    UnsupportedVersion,
+    /// A `push` carried an unparsable regex event, or referenced an
+    /// event index beyond the session's event table.
+    BadEvent,
+    /// A session verb arrived with no session open on the connection.
+    NoSession,
+    /// `open_session` while the connection already has one open.
+    SessionOpen,
+    /// `pop` at depth 0, or `solve` at a depth with no pushed clause.
+    BadDepth,
+    /// A `push` would exceed the configured `max_session_depth`.
+    DepthLimit,
+}
+
+impl ErrorCode {
+    /// The wire spelling of the code.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::MalformedJson => "malformed_json",
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::UnknownVerb => "unknown_verb",
+            ErrorCode::UnsupportedVersion => "unsupported_version",
+            ErrorCode::BadEvent => "bad_event",
+            ErrorCode::NoSession => "no_session",
+            ErrorCode::SessionOpen => "session_open",
+            ErrorCode::BadDepth => "bad_depth",
+            ErrorCode::DepthLimit => "depth_limit",
+        }
+    }
+}
+
+/// A structured request failure: a stable code, a human-readable
+/// message, and the protocol version the error line should answer in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestError {
+    /// Machine-readable failure class.
+    pub code: ErrorCode,
+    /// Human-readable detail.
+    pub message: String,
+    /// Version of the failing request (best guess for unparsable
+    /// lines: V1, matching unversioned clients).
+    pub version: ProtoVersion,
+}
+
+impl RequestError {
+    /// Builds an error with the given code/message/version.
+    pub fn new(code: ErrorCode, message: impl Into<String>, version: ProtoVersion) -> RequestError {
+        RequestError {
+            code,
+            message: message.into(),
+            version,
+        }
+    }
+}
 
 /// How the entry function's arguments are built (mirrors
 /// `expose_dse::Harness` constructors).
@@ -72,6 +172,32 @@ pub struct SubmitRequest {
     pub ack: bool,
 }
 
+/// A parsed `open_session` request (v2).
+#[derive(Debug, Clone)]
+pub struct OpenSessionRequest {
+    /// Session label; defaults to `session<id>`.
+    pub name: Option<String>,
+    /// Regex support level override (absent = the service default).
+    pub support: Option<SupportLevel>,
+    /// How many concrete inputs the recorded trace consumed — controls
+    /// the padding of SAT input vectors, exactly like a whole-program
+    /// trace's `inputs_used`.
+    pub inputs_used: usize,
+}
+
+/// A parsed `push` request (v2): one taken path-condition clause plus
+/// the regex events it (or later clauses) will reference.
+#[derive(Debug, Clone)]
+pub struct PushRequest {
+    /// New regex events, appended to the session's event table in
+    /// order. Event indices in expressions refer to that table.
+    pub events: Vec<RegexEvent>,
+    /// The clause's branch condition.
+    pub cond: SymExpr,
+    /// The direction concretely taken.
+    pub taken: bool,
+}
+
 /// A parsed request line.
 #[derive(Debug, Clone)]
 pub enum Request {
@@ -83,6 +209,21 @@ pub enum Request {
     Stats,
     /// Close the session: drain queued jobs, then finish the stream.
     Shutdown,
+    /// Open a streaming solve session on this connection (v2).
+    OpenSession(Box<OpenSessionRequest>),
+    /// Push one taken clause onto the open session's stack (v2).
+    Push(Box<PushRequest>),
+    /// Retract the most recently pushed clause (v2).
+    Pop,
+    /// Solve the flip of clause `depth` against the prefix `0..depth`
+    /// (v2).
+    Solve {
+        /// Clause index to flip (0-based; must be below the session
+        /// depth).
+        depth: usize,
+    },
+    /// Close the open streaming session (v2).
+    CloseSession,
 }
 
 fn parse_support(s: &str) -> Result<SupportLevel, String> {
@@ -125,72 +266,208 @@ fn opt_u64(value: &Value, key: &str) -> Result<Option<u64>, String> {
     }
 }
 
-/// Parses one request line.
-pub fn parse_request(line: &str) -> Result<Request, String> {
-    let value = json::parse(line).map_err(|e| format!("malformed JSON: {e}"))?;
+/// Parses one request line, returning the request and the protocol
+/// version it was posed in. Failures carry a stable [`ErrorCode`] plus
+/// the best-guess version for rendering the error line.
+pub fn parse_request(line: &str) -> Result<(Request, ProtoVersion), RequestError> {
+    let value = json::parse(line).map_err(|e| {
+        RequestError::new(
+            ErrorCode::MalformedJson,
+            format!("malformed JSON: {e}"),
+            ProtoVersion::V1,
+        )
+    })?;
+    let version = match value.get("v") {
+        None => ProtoVersion::V1,
+        Some(v) => match v.as_u64() {
+            Some(1) => ProtoVersion::V1,
+            Some(2) => ProtoVersion::V2,
+            _ => {
+                return Err(RequestError::new(
+                    ErrorCode::UnsupportedVersion,
+                    "unsupported protocol version (expected \"v\":1 or \"v\":2)",
+                    ProtoVersion::V2,
+                ))
+            }
+        },
+    };
+    let bad = |message: String| RequestError::new(ErrorCode::BadRequest, message, version);
     let kind = value
         .get("type")
         .and_then(Value::as_str)
-        .ok_or_else(|| "missing \"type\"".to_string())?;
-    match kind {
+        .ok_or_else(|| RequestError::new(ErrorCode::BadRequest, "missing \"type\"", version))?;
+    let request = match kind {
         "submit" => {
-            let program = opt_str(&value, "program")?
-                .ok_or_else(|| "submit requires \"program\"".to_string())?;
-            let support = match opt_str(&value, "support")? {
-                Some(s) => Some(parse_support(&s)?),
+            let program = opt_str(&value, "program")
+                .map_err(&bad)?
+                .ok_or_else(|| bad("submit requires \"program\"".to_string()))?;
+            let support = match opt_str(&value, "support").map_err(&bad)? {
+                Some(s) => Some(parse_support(&s).map_err(&bad)?),
                 None => None,
             };
-            let harness = match opt_str(&value, "harness")? {
-                Some(s) => parse_harness(&s)?,
+            let harness = match opt_str(&value, "harness").map_err(&bad)? {
+                Some(s) => parse_harness(&s).map_err(&bad)?,
                 None => HarnessKind::Strings,
             };
-            Ok(Request::Submit(Box::new(SubmitRequest {
-                name: opt_str(&value, "name")?,
+            Request::Submit(Box::new(SubmitRequest {
+                name: opt_str(&value, "name").map_err(&bad)?,
                 program,
-                entry: opt_str(&value, "entry")?.unwrap_or_else(|| "f".to_string()),
-                arity: opt_u64(&value, "arity")?.unwrap_or(1) as usize,
+                entry: opt_str(&value, "entry")
+                    .map_err(&bad)?
+                    .unwrap_or_else(|| "f".to_string()),
+                arity: opt_u64(&value, "arity").map_err(&bad)?.unwrap_or(1) as usize,
                 harness,
                 support,
-                max_executions: opt_u64(&value, "max_executions")?.map(|n| n as usize),
-                max_steps: opt_u64(&value, "max_steps")?,
-                max_flips: opt_u64(&value, "max_flips")?.map(|n| n as usize),
-                seed: opt_u64(&value, "seed")?,
-                flip_workers: opt_u64(&value, "flip_workers")?.map(|n| n as usize),
+                max_executions: opt_u64(&value, "max_executions")
+                    .map_err(&bad)?
+                    .map(|n| n as usize),
+                max_steps: opt_u64(&value, "max_steps").map_err(&bad)?,
+                max_flips: opt_u64(&value, "max_flips")
+                    .map_err(&bad)?
+                    .map(|n| n as usize),
+                seed: opt_u64(&value, "seed").map_err(&bad)?,
+                flip_workers: opt_u64(&value, "flip_workers")
+                    .map_err(&bad)?
+                    .map(|n| n as usize),
                 ack: value.get("ack").and_then(Value::as_bool).unwrap_or(false),
-            })))
+            }))
         }
-        "status" => Ok(Request::Status),
-        "stats" => Ok(Request::Stats),
-        "shutdown" => Ok(Request::Shutdown),
-        other => Err(format!("unknown request type {other:?}")),
+        "status" => Request::Status,
+        "stats" => Request::Stats,
+        "shutdown" => Request::Shutdown,
+        "open_session" | "push" | "pop" | "solve" | "close_session"
+            if version != ProtoVersion::V2 =>
+        {
+            return Err(RequestError::new(
+                ErrorCode::UnsupportedVersion,
+                format!("{kind:?} is a protocol-v2 verb; send it with \"v\":2"),
+                version,
+            ))
+        }
+        "open_session" => {
+            let support = match opt_str(&value, "support").map_err(&bad)? {
+                Some(s) => Some(parse_support(&s).map_err(&bad)?),
+                None => None,
+            };
+            Request::OpenSession(Box::new(OpenSessionRequest {
+                name: opt_str(&value, "name").map_err(&bad)?,
+                support,
+                inputs_used: opt_u64(&value, "inputs_used").map_err(&bad)?.unwrap_or(0) as usize,
+            }))
+        }
+        "push" => {
+            let events = match value.get("events") {
+                None | Some(Value::Null) => Vec::new(),
+                Some(Value::Arr(items)) => {
+                    let mut events = Vec::with_capacity(items.len());
+                    for item in items {
+                        events.push(
+                            wire::parse_event(item)
+                                .map_err(|e| RequestError::new(ErrorCode::BadEvent, e, version))?,
+                        );
+                    }
+                    events
+                }
+                Some(_) => return Err(bad("\"events\" must be an array".to_string())),
+            };
+            let cond = value
+                .get("cond")
+                .ok_or_else(|| bad("push requires a \"cond\" expression".to_string()))
+                .and_then(|v| wire::parse_sym_expr(v).map_err(&bad))?;
+            let taken = value
+                .get("taken")
+                .and_then(Value::as_bool)
+                .ok_or_else(|| bad("push requires a boolean \"taken\"".to_string()))?;
+            Request::Push(Box::new(PushRequest {
+                events,
+                cond,
+                taken,
+            }))
+        }
+        "pop" => Request::Pop,
+        "solve" => {
+            let depth = opt_u64(&value, "depth")
+                .map_err(&bad)?
+                .ok_or_else(|| bad("solve requires a \"depth\"".to_string()))?;
+            Request::Solve {
+                depth: depth as usize,
+            }
+        }
+        "close_session" => Request::CloseSession,
+        other => {
+            return Err(RequestError::new(
+                ErrorCode::UnknownVerb,
+                format!("unknown request type {other:?}"),
+                version,
+            ))
+        }
+    };
+    Ok((request, version))
+}
+
+/// Incremental FNV-1a 64 digest over a verdict trail: one `(sat,
+/// refinements, limit_hit)` record per query, in clause order. The
+/// streamed `--replay-stream` checker folds `solved` responses into one
+/// of these and compares against [`verdict_digest`] of the
+/// whole-program report — byte-identity of the two trails is the
+/// streaming determinism contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VerdictDigest(u64);
+
+impl Default for VerdictDigest {
+    fn default() -> VerdictDigest {
+        VerdictDigest::new()
     }
 }
 
-/// FNV-1a 64 digest of a report's verdict trail: one `(sat,
-/// refinements, limit_hit)` record per query, in clause order. The
-/// trail is deterministic per job (caches are verdict-preserving), so
-/// the digest lets two runs be compared without shipping every record.
-pub fn verdict_digest(report: &Report) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    let mut eat = |byte: u8| {
-        hash ^= u64::from(byte);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    };
-    for q in &report.queries {
-        eat(u8::from(q.sat));
-        for b in (q.refinements as u64).to_le_bytes() {
+impl VerdictDigest {
+    /// The FNV-1a 64 offset basis.
+    pub fn new() -> VerdictDigest {
+        VerdictDigest(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Folds one query verdict into the digest.
+    pub fn update(&mut self, sat: bool, refinements: u64, limit_hit: bool) {
+        let mut eat = |byte: u8| {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        eat(u8::from(sat));
+        for b in refinements.to_le_bytes() {
             eat(b);
         }
-        eat(u8::from(q.limit_hit));
+        eat(u8::from(limit_hit));
     }
-    hash
+
+    /// The digest value so far.
+    pub fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+/// FNV-1a 64 digest of a report's verdict trail (see
+/// [`VerdictDigest`]). The trail is deterministic per job (caches are
+/// verdict-preserving), so the digest lets two runs be compared without
+/// shipping every record.
+pub fn verdict_digest(report: &Report) -> u64 {
+    let mut digest = VerdictDigest::new();
+    for q in &report.queries {
+        digest.update(q.sat, q.refinements as u64, q.limit_hit);
+    }
+    digest.finish()
+}
+
+fn open_versioned(out: &mut String, version: ProtoVersion) {
+    use std::fmt::Write as _;
+    let _ = write!(out, "{{\"v\":{}", version.number());
 }
 
 /// Renders one `result` line (without trailing newline). Deterministic
 /// fields only — see the module docs.
-pub fn result_line(completion: &Completion) -> String {
+pub fn result_line(completion: &Completion, version: ProtoVersion) -> String {
     let mut out = String::with_capacity(160);
-    out.push_str("{\"type\":\"result\",\"job\":");
+    open_versioned(&mut out, version);
+    out.push_str(",\"type\":\"result\",\"job\":");
     out.push_str(&completion.id.to_string());
     out.push_str(",\"name\":");
     json::write_escaped(&mut out, &completion.name);
@@ -238,20 +515,33 @@ pub fn result_line(completion: &Completion) -> String {
     out
 }
 
-/// Renders an `error` line for a malformed request.
-pub fn error_line(message: &str) -> String {
-    format!(
-        "{{\"type\":\"error\",\"message\":{}}}",
-        json::escaped(message)
-    )
+/// Renders a structured `error` line. Both versions carry the stable
+/// `code`; v1 keeps its legacy `message` key, v2 uses `msg`.
+pub fn error_line(error: &RequestError) -> String {
+    match error.version {
+        ProtoVersion::V1 => format!(
+            "{{\"v\":1,\"type\":\"error\",\"code\":\"{}\",\"message\":{}}}",
+            error.code.as_str(),
+            json::escaped(&error.message)
+        ),
+        ProtoVersion::V2 => format!(
+            "{{\"v\":2,\"type\":\"error\",\"code\":\"{}\",\"msg\":{}}}",
+            error.code.as_str(),
+            json::escaped(&error.message)
+        ),
+    }
 }
 
 /// Renders a `status` line from a progress snapshot.
-pub fn status_line(progress: &Progress, workers: usize) -> String {
+pub fn status_line(progress: &Progress, workers: usize, version: ProtoVersion) -> String {
     format!(
-        "{{\"type\":\"status\",\"workers\":{workers},\"submitted\":{},\"drained\":{},\
+        "{{\"v\":{},\"type\":\"status\",\"workers\":{workers},\"submitted\":{},\"drained\":{},\
          \"inflight\":{},\"resequencing\":{}}}",
-        progress.submitted, progress.drained, progress.inflight, progress.resequencing
+        version.number(),
+        progress.submitted,
+        progress.drained,
+        progress.inflight,
+        progress.resequencing
     )
 }
 
@@ -272,17 +562,36 @@ pub struct CacheCounters {
     /// Entries evicted so far from the model / query / verdict caches
     /// (capacity- or budget-driven).
     pub evictions: (u64, u64, u64),
+    /// Counters of the connection's active streaming session, if one is
+    /// open when the `stats` request arrives.
+    pub session: Option<SessionCounters>,
+}
+
+/// Per-session counters rendered into `stats` lines while a streaming
+/// session is open.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SessionCounters {
+    /// Session id on this connection.
+    pub id: u64,
+    /// Current frame depth (pushed clauses minus pops).
+    pub depth: u64,
+    /// Flip queries assembled so far (session lifetime).
+    pub solves: u64,
+    /// Prefix frames reused across those queries instead of being
+    /// re-canonicalized.
+    pub prefix_reuse_hits: u64,
 }
 
 /// Renders a `stats` line (scheduling-dependent observability data —
 /// never part of the deterministic result stream).
-pub fn stats_line(caches: &CacheCounters, shards: &[ShardStats]) -> String {
+pub fn stats_line(caches: &CacheCounters, shards: &[ShardStats], version: ProtoVersion) -> String {
     let mut out = String::with_capacity(160);
+    open_versioned(&mut out, version);
     let _ = {
         use std::fmt::Write as _;
         write!(
             out,
-            "{{\"type\":\"stats\",\"model_cache\":[{},{}],\"query_cache\":[{},{}],\
+            ",\"type\":\"stats\",\"model_cache\":[{},{}],\"query_cache\":[{},{}],\
              \"verdict_cache\":[{},{}],\"dfa_tables\":[{},{}],\
              \"cache_bytes\":[{},{},{}],\"cache_evictions\":[{},{},{}],\"shards\":[",
             caches.model.0,
@@ -312,21 +621,95 @@ pub fn stats_line(caches: &CacheCounters, shards: &[ShardStats]) -> String {
             shard.jobs_run, shard.local_pops, shard.injector_claims, shard.steals
         );
     }
-    out.push_str("]}");
+    out.push(']');
+    if let Some(session) = &caches.session {
+        use std::fmt::Write as _;
+        let _ = write!(
+            out,
+            ",\"session\":{{\"id\":{},\"depth\":{},\"solves\":{},\"prefix_reuse_hits\":{}}}",
+            session.id, session.depth, session.solves, session.prefix_reuse_hits
+        );
+    }
+    out.push('}');
     out
 }
 
 /// Renders the immediate ack for `"ack": true` submissions.
-pub fn accepted_line(id: u64, name: &str) -> String {
+pub fn accepted_line(id: u64, name: &str, version: ProtoVersion) -> String {
     format!(
-        "{{\"type\":\"accepted\",\"job\":{id},\"name\":{}}}",
+        "{{\"v\":{},\"type\":\"accepted\",\"job\":{id},\"name\":{}}}",
+        version.number(),
         json::escaped(name)
     )
 }
 
-/// Renders the final line of a session's stream.
-pub fn done_line(jobs: u64) -> String {
-    format!("{{\"type\":\"done\",\"jobs\":{jobs}}}")
+/// Renders the final line of a session's stream. `version` is the
+/// highest version any request of the stream used.
+pub fn done_line(jobs: u64, version: ProtoVersion) -> String {
+    format!(
+        "{{\"v\":{},\"type\":\"done\",\"jobs\":{jobs}}}",
+        version.number()
+    )
+}
+
+/// Renders the v2 `session_opened` response.
+pub fn session_opened_line(id: u64, name: &str) -> String {
+    format!(
+        "{{\"v\":2,\"type\":\"session_opened\",\"session\":{id},\"name\":{}}}",
+        json::escaped(name)
+    )
+}
+
+/// Renders the v2 `pushed` response (`depth` = stack depth after the
+/// push).
+pub fn pushed_line(id: u64, depth: usize) -> String {
+    format!("{{\"v\":2,\"type\":\"pushed\",\"session\":{id},\"depth\":{depth}}}")
+}
+
+/// Renders the v2 `popped` response (`depth` = stack depth after the
+/// pop).
+pub fn popped_line(id: u64, depth: usize) -> String {
+    format!("{{\"v\":2,\"type\":\"popped\",\"session\":{id},\"depth\":{depth}}}")
+}
+
+/// Renders the v2 `solved` response. Deterministic fields only: the
+/// verdict trail (`sat`/`refinements`/`limit_hit`), the prefix frames
+/// the solve reused, and the SAT model's inputs (`null` when unsat).
+pub fn solved_line(id: u64, depth: usize, result: &expose_dse::FlipResult) -> String {
+    let mut out = String::with_capacity(128);
+    use std::fmt::Write as _;
+    let record = &result.record;
+    let _ = write!(
+        out,
+        "{{\"v\":2,\"type\":\"solved\",\"session\":{id},\"depth\":{depth},\
+         \"sat\":{},\"refinements\":{},\"limit_hit\":{},\"prefix_reuse\":{}",
+        record.sat, record.refinements, record.limit_hit, record.prefix_reuse_hits
+    );
+    match &result.inputs {
+        None => out.push_str(",\"inputs\":null"),
+        Some(inputs) => {
+            out.push_str(",\"inputs\":[");
+            for (i, input) in inputs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                json::write_escaped(&mut out, input);
+            }
+            out.push(']');
+        }
+    }
+    out.push('}');
+    out
+}
+
+/// Renders the v2 `session_closed` response with the session's
+/// lifetime counters.
+pub fn session_closed_line(id: u64, depth: usize, stats: strsolve::SessionStats) -> String {
+    format!(
+        "{{\"v\":2,\"type\":\"session_closed\",\"session\":{id},\"depth\":{depth},\
+         \"solves\":{},\"prefix_reuse_hits\":{}}}",
+        stats.solves, stats.prefix_reuse_hits
+    )
 }
 
 #[cfg(test)]
@@ -335,10 +718,11 @@ mod tests {
 
     #[test]
     fn parses_minimal_submit() {
-        let Request::Submit(submit) =
+        let (request, version) =
             parse_request(r#"{"type":"submit","program":"function f(x){return x;}"}"#)
-                .expect("parses")
-        else {
+                .expect("parses");
+        assert_eq!(version, ProtoVersion::V1, "unversioned = v1");
+        let Request::Submit(submit) = request else {
             panic!("submit");
         };
         assert_eq!(submit.entry, "f");
@@ -350,11 +734,13 @@ mod tests {
 
     #[test]
     fn parses_full_submit() {
-        let line = r#"{"type":"submit","name":"j","program":"function g(a,b){}","entry":"g",
+        let line = r#"{"v":2,"type":"submit","name":"j","program":"function g(a,b){}","entry":"g",
             "arity":2,"harness":"string-array","support":"captures","max_executions":8,
             "max_steps":1000,"max_flips":4,"seed":7,"flip_workers":2,"ack":true}"#
             .replace('\n', " ");
-        let Request::Submit(submit) = parse_request(&line).expect("parses") else {
+        let (request, version) = parse_request(&line).expect("parses");
+        assert_eq!(version, ProtoVersion::V2);
+        let Request::Submit(submit) = request else {
             panic!("submit");
         };
         assert_eq!(submit.name.as_deref(), Some("j"));
@@ -371,12 +757,73 @@ mod tests {
     }
 
     #[test]
-    fn rejects_bad_requests() {
-        assert!(parse_request("not json").is_err());
-        assert!(parse_request(r#"{"type":"submit"}"#).is_err(), "no program");
-        assert!(parse_request(r#"{"type":"warp"}"#).is_err());
-        assert!(parse_request(r#"{"type":"submit","program":"x","support":"quantum"}"#).is_err());
-        assert!(parse_request(r#"{"program":"x"}"#).is_err(), "no type");
+    fn rejects_bad_requests_with_stable_codes() {
+        let code = |line: &str| parse_request(line).expect_err("rejects").code;
+        assert_eq!(code("not json"), ErrorCode::MalformedJson);
+        assert_eq!(code(r#"{"type":"submit"}"#), ErrorCode::BadRequest);
+        assert_eq!(code(r#"{"type":"warp"}"#), ErrorCode::UnknownVerb);
+        assert_eq!(
+            code(r#"{"type":"submit","program":"x","support":"quantum"}"#),
+            ErrorCode::BadRequest
+        );
+        assert_eq!(code(r#"{"program":"x"}"#), ErrorCode::BadRequest);
+        assert_eq!(
+            code(r#"{"v":3,"type":"status"}"#),
+            ErrorCode::UnsupportedVersion
+        );
+        assert_eq!(
+            code(r#"{"v":"two","type":"status"}"#),
+            ErrorCode::UnsupportedVersion
+        );
+    }
+
+    #[test]
+    fn session_verbs_require_v2() {
+        for verb in ["open_session", "push", "pop", "solve", "close_session"] {
+            let err = parse_request(&format!("{{\"type\":\"{verb}\"}}"))
+                .expect_err("v1 session verb rejected");
+            assert_eq!(err.code, ErrorCode::UnsupportedVersion, "{verb}");
+            assert_eq!(err.version, ProtoVersion::V1);
+        }
+        let (request, _) = parse_request(r#"{"v":2,"type":"pop"}"#).expect("v2 pop parses");
+        assert!(matches!(request, Request::Pop));
+    }
+
+    #[test]
+    fn parses_session_verbs() {
+        let (request, _) = parse_request(
+            r#"{"v":2,"type":"open_session","name":"t0","inputs_used":2,"support":"refinement"}"#,
+        )
+        .expect("parses");
+        let Request::OpenSession(open) = request else {
+            panic!("open_session");
+        };
+        assert_eq!(open.name.as_deref(), Some("t0"));
+        assert_eq!(open.inputs_used, 2);
+        assert_eq!(open.support, Some(SupportLevel::Refinement));
+
+        let (request, _) = parse_request(
+            r#"{"v":2,"type":"push","events":[{"regex":"^a+$","flags":"","subject":["in",0]}],"cond":["test",0],"taken":true}"#,
+        )
+        .expect("parses");
+        let Request::Push(push) = request else {
+            panic!("push");
+        };
+        assert_eq!(push.events.len(), 1);
+        assert_eq!(push.events[0].regex.source, "^a+$");
+        assert_eq!(push.cond, SymExpr::TestResult { event: 0 });
+        assert!(push.taken);
+
+        let (request, _) = parse_request(r#"{"v":2,"type":"solve","depth":3}"#).expect("parses");
+        assert!(matches!(request, Request::Solve { depth: 3 }));
+
+        let err = parse_request(r#"{"v":2,"type":"solve"}"#).expect_err("depth required");
+        assert_eq!(err.code, ErrorCode::BadRequest);
+        let err = parse_request(
+            r#"{"v":2,"type":"push","events":[{"regex":"+","flags":"","subject":["in",0]}],"cond":["test",0],"taken":true}"#,
+        )
+        .expect_err("bad regex");
+        assert_eq!(err.code, ErrorCode::BadEvent);
     }
 
     #[test]
@@ -386,10 +833,10 @@ mod tests {
             name: "bad \"job\"".into(),
             outcome: Err("parse: oops".into()),
         };
-        let line = result_line(&error);
+        let line = result_line(&error, ProtoVersion::V1);
         assert_eq!(
             line,
-            r#"{"type":"result","job":3,"name":"bad \"job\"","error":"parse: oops"}"#
+            r#"{"v":1,"type":"result","job":3,"name":"bad \"job\"","error":"parse: oops"}"#
         );
         // Every rendered line must itself parse as JSON.
         crate::json::parse(&line).expect("valid JSON");
@@ -405,10 +852,82 @@ mod tests {
                 ..Report::default()
             }),
         };
-        let line = result_line(&ok);
+        let line = result_line(&ok, ProtoVersion::V2);
         crate::json::parse(&line).expect("valid JSON");
+        assert!(line.starts_with(r#"{"v":2,"type":"result""#), "{line}");
         assert!(line.contains("\"bugs\":[[2,[\"<t>\"]]]"), "{line}");
         assert!(line.contains("\"verdicts\":\"cbf29ce484222325\""), "{line}");
+    }
+
+    #[test]
+    fn error_lines_by_version() {
+        let v1 = error_line(&RequestError::new(
+            ErrorCode::MalformedJson,
+            "bad",
+            ProtoVersion::V1,
+        ));
+        assert_eq!(
+            v1,
+            r#"{"v":1,"type":"error","code":"malformed_json","message":"bad"}"#
+        );
+        let v2 = error_line(&RequestError::new(
+            ErrorCode::BadDepth,
+            "pop at depth 0",
+            ProtoVersion::V2,
+        ));
+        assert_eq!(
+            v2,
+            r#"{"v":2,"type":"error","code":"bad_depth","msg":"pop at depth 0"}"#
+        );
+        crate::json::parse(&v1).expect("valid JSON");
+        crate::json::parse(&v2).expect("valid JSON");
+    }
+
+    #[test]
+    fn session_lines_render() {
+        assert_eq!(
+            session_opened_line(4, "t1"),
+            r#"{"v":2,"type":"session_opened","session":4,"name":"t1"}"#
+        );
+        assert_eq!(
+            pushed_line(4, 2),
+            r#"{"v":2,"type":"pushed","session":4,"depth":2}"#
+        );
+        assert_eq!(
+            popped_line(4, 1),
+            r#"{"v":2,"type":"popped","session":4,"depth":1}"#
+        );
+        let sat = expose_dse::FlipResult {
+            inputs: Some(vec!["a\"b".into(), String::new()]),
+            record: expose_dse::QueryRecord {
+                sat: true,
+                refinements: 2,
+                prefix_reuse_hits: 3,
+                ..Default::default()
+            },
+        };
+        assert_eq!(
+            solved_line(4, 3, &sat),
+            r#"{"v":2,"type":"solved","session":4,"depth":3,"sat":true,"refinements":2,"limit_hit":false,"prefix_reuse":3,"inputs":["a\"b",""]}"#
+        );
+        let unsat = expose_dse::FlipResult {
+            inputs: None,
+            record: expose_dse::QueryRecord::default(),
+        };
+        assert!(solved_line(0, 0, &unsat).contains("\"inputs\":null"));
+        let closed = session_closed_line(
+            4,
+            1,
+            strsolve::SessionStats {
+                solves: 5,
+                prefix_reuse_hits: 9,
+            },
+        );
+        assert_eq!(
+            closed,
+            r#"{"v":2,"type":"session_closed","session":4,"depth":1,"solves":5,"prefix_reuse_hits":9}"#
+        );
+        crate::json::parse(&closed).expect("valid JSON");
     }
 
     #[test]

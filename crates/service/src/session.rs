@@ -9,14 +9,29 @@
 //! writes one `result` line per job as it lands; because the scheduler
 //! re-sequences, the result stream is byte-identical for any worker
 //! count.
+//!
+//! Protocol-v2 streaming sessions (`open_session`/`push`/`pop`/
+//! `solve`/`close_session`) are handled on the reader thread: each
+//! connection holds at most one live [`TraceFlipSession`] whose
+//! assumption stack grows clause by clause, sharing the connection's
+//! warm [`CacheSet`] (model/query/DFA/CEGAR layers) with batch jobs, so
+//! a flip solved for a submitted program warms the streamed session and
+//! vice versa. `solved` responses are synchronous and ordered with the
+//! requests, which keeps them deterministic for any worker count.
 
 use std::io::{BufRead, Write};
 use std::sync::Mutex;
 
 use expose_dse::sched::{Scheduler, SchedulerConfig};
-use expose_dse::{parser::parse_program, CacheSet, EngineConfig, Harness, Job};
+use expose_dse::sym::RegexEvent;
+use expose_dse::{parser::parse_program, CacheSet, EngineConfig, Harness, Job, TraceFlipSession};
+use strsolve::Solver;
 
-use crate::proto::{self, CacheCounters, HarnessKind, Request, SubmitRequest};
+use crate::proto::{
+    self, CacheCounters, ErrorCode, HarnessKind, ProtoVersion, PushRequest, Request, RequestError,
+    SessionCounters, SubmitRequest,
+};
+use crate::wire;
 
 /// Session configuration.
 #[derive(Debug, Clone)]
@@ -39,6 +54,12 @@ pub struct ServiceConfig {
     /// Approximate byte budget for cached solver/CEGAR verdicts (`0` =
     /// unlimited).
     pub query_cache_byte_budget: usize,
+    /// Maximum assumption-stack depth of a protocol-v2 streaming
+    /// session; a `push` beyond it is rejected with `depth_limit`.
+    /// Every retained frame (and its retraction snapshot) stays
+    /// resident, so unbounded depth would let one connection grow
+    /// server memory without limit.
+    pub max_session_depth: usize,
     /// Per-job engine defaults; `submit` fields override per job.
     pub engine: EngineConfig,
 }
@@ -56,6 +77,9 @@ impl Default for ServiceConfig {
             // but a hard ceiling for sessions that run for days.
             model_cache_byte_budget: 64 << 20,
             query_cache_byte_budget: 64 << 20,
+            // A trace this deep is far beyond any engine workload; the
+            // bound exists to cap per-connection memory, not to be hit.
+            max_session_depth: 4096,
             engine,
         }
     }
@@ -79,7 +103,8 @@ impl ServiceConfig {
 pub struct ServiceSummary {
     /// Jobs completed (including rejected submissions).
     pub jobs: u64,
-    /// Requests that failed to parse.
+    /// Requests answered with an `error` line (parse failures and
+    /// session-verb misuse).
     pub request_errors: u64,
 }
 
@@ -126,144 +151,432 @@ pub fn job_from_submit(
     })
 }
 
-/// Serves one NDJSON session over `input`/`output` with a fresh
-/// session cache set. Returns when the input ends or a `shutdown`
-/// request arrives, after the result stream has fully drained.
+/// One connection's open streaming session: the wire-facing event
+/// table plus the incremental flip session it feeds. The event table is
+/// append-only — `pop` retracts the clause but keeps the events it
+/// introduced, so client-side event indices never shift.
+struct StreamState<'a> {
+    id: u64,
+    events: Vec<RegexEvent>,
+    flips: TraceFlipSession<'a>,
+}
+
+/// Options for serving one NDJSON session — the front door that
+/// subsumes the deprecated [`serve`]/[`serve_with_caches`] pair.
+///
+/// ```no_run
+/// # use expose_service::{ServeOptions, ServiceConfig};
+/// let stdin = std::io::stdin();
+/// let summary = ServeOptions::new()
+///     .config(ServiceConfig::default())
+///     .serve(stdin.lock(), std::io::stdout())?;
+/// # Ok::<(), std::io::Error>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ServeOptions {
+    config: ServiceConfig,
+    caches: Option<CacheSet>,
+}
+
+impl ServeOptions {
+    /// Default options: [`ServiceConfig::default`], fresh caches.
+    pub fn new() -> ServeOptions {
+        ServeOptions::default()
+    }
+
+    /// Sets the session configuration.
+    pub fn config(mut self, config: ServiceConfig) -> ServeOptions {
+        self.config = config;
+        self
+    }
+
+    /// Uses a caller-provided cache set instead of a fresh one, so
+    /// several sessions (e.g. successive socket connections) keep
+    /// their caches warm.
+    pub fn caches(mut self, caches: CacheSet) -> ServeOptions {
+        self.caches = Some(caches);
+        self
+    }
+
+    /// Serves one NDJSON session over `input`/`output`. Returns when
+    /// the input ends or a `shutdown` request arrives, after the
+    /// result stream has fully drained.
+    pub fn serve<R: BufRead, W: Write + Send>(
+        &self,
+        input: R,
+        output: W,
+    ) -> std::io::Result<ServiceSummary> {
+        let config = &self.config;
+        let caches = self.caches.clone().unwrap_or_else(|| config.cache_set());
+        let dfa_tables = caches.dfa.clone();
+        // Streaming sessions solve on the reader thread with the same
+        // cache set the scheduler's shards use (a clone shares every
+        // layer), so batch jobs and streamed sessions warm each other.
+        let stream_caches = caches.clone();
+        let stream_solver = {
+            let mut solver = if stream_caches.query.capacity() > 0 {
+                Solver::new(config.engine.solver.clone()).with_cache(stream_caches.query.clone())
+            } else {
+                Solver::new(config.engine.solver.clone())
+            };
+            if let Some(tables) = &stream_caches.dfa {
+                solver = solver.with_dfa_tables(tables);
+            }
+            solver
+        };
+        let scheduler = Scheduler::start(
+            SchedulerConfig {
+                workers: config.workers,
+                max_inflight: config.max_inflight,
+            },
+            caches,
+        );
+        let output = Mutex::new(output);
+        // One line per call, atomically, so emitter and reader output
+        // never interleave mid-line.
+        let write_line = |line: &str| -> std::io::Result<()> {
+            let mut out = output.lock().expect("output poisoned");
+            writeln!(out, "{line}")?;
+            out.flush()
+        };
+
+        let mut summary = ServiceSummary::default();
+        let mut io_error: Option<std::io::Error> = None;
+        // The final `done` line answers in the highest version any
+        // request used; a pure-v1 session sees a byte-identical stream
+        // to the pre-v2 protocol modulo the `"v":1` prefix.
+        let mut stream_version = ProtoVersion::V1;
+        // Version each job was submitted in, indexed by job id (the
+        // reader is the sole submitter, so ids are dense and the entry
+        // is pushed before the submit call that allocates the id).
+        let job_versions: Mutex<Vec<ProtoVersion>> = Mutex::new(Vec::new());
+
+        let reader_result = std::thread::scope(|scope| -> std::io::Result<()> {
+            let emitter = scope.spawn(|| {
+                let mut jobs: u64 = 0;
+                let mut first_error: Option<std::io::Error> = None;
+                while let Some(completion) = scheduler.next_ordered() {
+                    jobs += 1;
+                    if first_error.is_some() {
+                        // The sink is gone; keep draining so submitters
+                        // blocked on backpressure are not wedged.
+                        continue;
+                    }
+                    let version = job_versions
+                        .lock()
+                        .expect("versions poisoned")
+                        .get(completion.id as usize)
+                        .copied()
+                        .unwrap_or_default();
+                    if let Err(e) = write_line(&proto::result_line(&completion, version)) {
+                        first_error = Some(e);
+                    }
+                }
+                (jobs, first_error)
+            });
+
+            // Session-verb failures are structured v2 errors (the verbs
+            // only parse under `"v":2`).
+            let reject = |errors: &mut u64, code: ErrorCode, message: String| {
+                *errors += 1;
+                write_line(&proto::error_line(&RequestError::new(
+                    code,
+                    message,
+                    ProtoVersion::V2,
+                )))
+            };
+
+            // The reader loop runs inside a closure so an I/O error (a
+            // dropped socket, a broken pipe on a status/ack write) cannot
+            // `?` past the `close()` below — the emitter only exits once
+            // the session is closed, and the scope joins it either way.
+            let reader = (|| -> std::io::Result<()> {
+                let mut active: Option<StreamState> = None;
+                let mut next_session_id: u64 = 0;
+                for line in input.lines() {
+                    let line = line?;
+                    let line = line.trim();
+                    if line.is_empty() {
+                        continue;
+                    }
+                    let (request, version) = match proto::parse_request(line) {
+                        Err(error) => {
+                            summary.request_errors += 1;
+                            write_line(&proto::error_line(&error))?;
+                            continue;
+                        }
+                        Ok(parsed) => parsed,
+                    };
+                    if version == ProtoVersion::V2 {
+                        stream_version = ProtoVersion::V2;
+                    }
+                    match request {
+                        Request::Submit(submit) => {
+                            // The reader is the only submitter, so the next
+                            // id is stable between this read and the
+                            // submit call.
+                            let next_id = scheduler.progress().submitted;
+                            let name = submit
+                                .name
+                                .clone()
+                                .unwrap_or_else(|| format!("job{next_id}"));
+                            job_versions
+                                .lock()
+                                .expect("versions poisoned")
+                                .push(version);
+                            let id = match job_from_submit(&submit, &name, &config.engine) {
+                                Ok(job) => scheduler.submit(job),
+                                Err(error) => scheduler.submit_rejected(&name, error),
+                            };
+                            if submit.ack {
+                                write_line(&proto::accepted_line(id, &name, version))?;
+                            }
+                        }
+                        Request::Status => {
+                            write_line(&proto::status_line(
+                                &scheduler.progress(),
+                                scheduler.workers(),
+                                version,
+                            ))?;
+                        }
+                        Request::Stats => {
+                            let caches = scheduler.caches();
+                            let counters = CacheCounters {
+                                model: (caches.model.stats().hits, caches.model.stats().misses),
+                                query: (caches.query.hits(), caches.query.misses()),
+                                verdicts: (caches.verdicts.hits(), caches.verdicts.misses()),
+                                dfa: dfa_tables
+                                    .as_ref()
+                                    .map(|t| (t.hits(), t.misses()))
+                                    .unwrap_or_default(),
+                                bytes: (
+                                    caches.model.bytes() as u64,
+                                    caches.query.bytes() as u64,
+                                    caches.verdicts.bytes() as u64,
+                                ),
+                                evictions: (
+                                    caches.model.evictions(),
+                                    caches.query.evictions(),
+                                    caches.verdicts.evictions(),
+                                ),
+                                session: active.as_ref().map(|stream| {
+                                    let stats = stream.flips.session_stats();
+                                    SessionCounters {
+                                        id: stream.id,
+                                        depth: stream.flips.depth() as u64,
+                                        solves: stats.solves,
+                                        prefix_reuse_hits: stats.prefix_reuse_hits,
+                                    }
+                                }),
+                            };
+                            write_line(&proto::stats_line(
+                                &counters,
+                                &scheduler.shard_stats(),
+                                version,
+                            ))?;
+                        }
+                        Request::Shutdown => break,
+                        Request::OpenSession(open) => {
+                            if active.is_some() {
+                                reject(
+                                    &mut summary.request_errors,
+                                    ErrorCode::SessionOpen,
+                                    "a streaming session is already open on this connection \
+                                     (close_session first)"
+                                        .to_string(),
+                                )?;
+                                continue;
+                            }
+                            let id = next_session_id;
+                            next_session_id += 1;
+                            let name = open.name.clone().unwrap_or_else(|| format!("session{id}"));
+                            let support = open.support.unwrap_or(config.engine.support);
+                            let flips = TraceFlipSession::new(
+                                support,
+                                &stream_solver,
+                                config.engine.refinement_limit,
+                                &config.engine.build,
+                                &stream_caches,
+                            )
+                            .retractable()
+                            .with_inputs_used(open.inputs_used);
+                            active = Some(StreamState {
+                                id,
+                                events: Vec::new(),
+                                flips,
+                            });
+                            write_line(&proto::session_opened_line(id, &name))?;
+                        }
+                        Request::Push(push) => {
+                            let Some(stream) = active.as_mut() else {
+                                reject(
+                                    &mut summary.request_errors,
+                                    ErrorCode::NoSession,
+                                    "push requires an open session (send open_session first)"
+                                        .to_string(),
+                                )?;
+                                continue;
+                            };
+                            if stream.flips.depth() >= config.max_session_depth {
+                                reject(
+                                    &mut summary.request_errors,
+                                    ErrorCode::DepthLimit,
+                                    format!(
+                                        "session depth limit {} reached",
+                                        config.max_session_depth
+                                    ),
+                                )?;
+                                continue;
+                            }
+                            // Validate every event reference before
+                            // touching session state, so a rejected push
+                            // leaves the stack and table untouched.
+                            let PushRequest {
+                                events,
+                                cond,
+                                taken,
+                            } = *push;
+                            let base = stream.events.len();
+                            let total = base + events.len();
+                            let mut invalid = None;
+                            for (i, event) in events.iter().enumerate() {
+                                match wire::max_referenced_event(&event.subject) {
+                                    // An event subject may reference only
+                                    // strictly earlier events.
+                                    Some(max) if max >= base + i => {
+                                        invalid = Some(format!(
+                                            "event {} references event {max}, which is not \
+                                             defined before it",
+                                            base + i
+                                        ));
+                                        break;
+                                    }
+                                    _ => {}
+                                }
+                            }
+                            if invalid.is_none() {
+                                if let Some(max) = wire::max_referenced_event(&cond) {
+                                    if max >= total {
+                                        invalid = Some(format!(
+                                            "cond references event {max}, but the session \
+                                             defines {total}"
+                                        ));
+                                    }
+                                }
+                            }
+                            if let Some(message) = invalid {
+                                reject(&mut summary.request_errors, ErrorCode::BadEvent, message)?;
+                                continue;
+                            }
+                            stream.events.extend(events);
+                            stream.flips.push_clause(&stream.events, &cond, taken);
+                            write_line(&proto::pushed_line(stream.id, stream.flips.depth()))?;
+                        }
+                        Request::Pop => {
+                            let Some(stream) = active.as_mut() else {
+                                reject(
+                                    &mut summary.request_errors,
+                                    ErrorCode::NoSession,
+                                    "pop requires an open session".to_string(),
+                                )?;
+                                continue;
+                            };
+                            if !stream.flips.pop_clause() {
+                                reject(
+                                    &mut summary.request_errors,
+                                    ErrorCode::BadDepth,
+                                    "pop at depth 0".to_string(),
+                                )?;
+                                continue;
+                            }
+                            write_line(&proto::popped_line(stream.id, stream.flips.depth()))?;
+                        }
+                        Request::Solve { depth } => {
+                            let Some(stream) = active.as_ref() else {
+                                reject(
+                                    &mut summary.request_errors,
+                                    ErrorCode::NoSession,
+                                    "solve requires an open session".to_string(),
+                                )?;
+                                continue;
+                            };
+                            if depth >= stream.flips.depth() {
+                                reject(
+                                    &mut summary.request_errors,
+                                    ErrorCode::BadDepth,
+                                    format!(
+                                        "solve depth {depth} out of range (session depth {})",
+                                        stream.flips.depth()
+                                    ),
+                                )?;
+                                continue;
+                            }
+                            let result = stream.flips.solve(depth);
+                            write_line(&proto::solved_line(stream.id, depth, &result))?;
+                        }
+                        Request::CloseSession => {
+                            let Some(stream) = active.take() else {
+                                reject(
+                                    &mut summary.request_errors,
+                                    ErrorCode::NoSession,
+                                    "close_session requires an open session".to_string(),
+                                )?;
+                                continue;
+                            };
+                            write_line(&proto::session_closed_line(
+                                stream.id,
+                                stream.flips.depth(),
+                                stream.flips.session_stats(),
+                            ))?;
+                        }
+                    }
+                }
+                Ok(())
+            })();
+
+            scheduler.close();
+            let (jobs, emit_error) = emitter.join().expect("emitter panicked");
+            summary.jobs = jobs;
+            io_error = emit_error;
+            reader
+        });
+
+        reader_result?;
+        if let Some(error) = io_error {
+            return Err(error);
+        }
+        write_line(&proto::done_line(summary.jobs, stream_version))?;
+        Ok(summary)
+    }
+}
+
+/// Serves one NDJSON session with a fresh session cache set.
+#[deprecated(since = "0.7.0", note = "use ServeOptions::new().config(…).serve(…)")]
 pub fn serve<R: BufRead, W: Write + Send>(
     input: R,
     output: W,
     config: &ServiceConfig,
 ) -> std::io::Result<ServiceSummary> {
-    serve_with_caches(input, output, config, config.cache_set())
+    ServeOptions::new()
+        .config(config.clone())
+        .serve(input, output)
 }
 
-/// [`serve`] with a caller-provided cache set, so several sessions
-/// (e.g. successive socket connections) keep their caches warm.
+/// Serves one NDJSON session with a caller-provided cache set.
+#[deprecated(
+    since = "0.7.0",
+    note = "use ServeOptions::new().config(…).caches(…).serve(…)"
+)]
 pub fn serve_with_caches<R: BufRead, W: Write + Send>(
     input: R,
     output: W,
     config: &ServiceConfig,
     caches: CacheSet,
 ) -> std::io::Result<ServiceSummary> {
-    let dfa_tables = caches.dfa.clone();
-    let scheduler = Scheduler::start(
-        SchedulerConfig {
-            workers: config.workers,
-            max_inflight: config.max_inflight,
-        },
-        caches,
-    );
-    let output = Mutex::new(output);
-    // One line per call, atomically, so emitter and reader output
-    // never interleave mid-line.
-    let write_line = |line: &str| -> std::io::Result<()> {
-        let mut out = output.lock().expect("output poisoned");
-        writeln!(out, "{line}")?;
-        out.flush()
-    };
-
-    let mut summary = ServiceSummary::default();
-    let mut io_error: Option<std::io::Error> = None;
-
-    let reader_result = std::thread::scope(|scope| -> std::io::Result<()> {
-        let emitter = scope.spawn(|| {
-            let mut jobs: u64 = 0;
-            let mut first_error: Option<std::io::Error> = None;
-            while let Some(completion) = scheduler.next_ordered() {
-                jobs += 1;
-                if first_error.is_some() {
-                    // The sink is gone; keep draining so submitters
-                    // blocked on backpressure are not wedged.
-                    continue;
-                }
-                if let Err(e) = write_line(&proto::result_line(&completion)) {
-                    first_error = Some(e);
-                }
-            }
-            (jobs, first_error)
-        });
-
-        // The reader loop runs inside a closure so an I/O error (a
-        // dropped socket, a broken pipe on a status/ack write) cannot
-        // `?` past the `close()` below — the emitter only exits once
-        // the session is closed, and the scope joins it either way.
-        let reader = (|| -> std::io::Result<()> {
-            for line in input.lines() {
-                let line = line?;
-                let line = line.trim();
-                if line.is_empty() {
-                    continue;
-                }
-                match proto::parse_request(line) {
-                    Err(message) => {
-                        summary.request_errors += 1;
-                        write_line(&proto::error_line(&message))?;
-                    }
-                    Ok(Request::Submit(submit)) => {
-                        // The reader is the only submitter, so the next
-                        // id is stable between this read and the
-                        // submit call.
-                        let next_id = scheduler.progress().submitted;
-                        let name = submit
-                            .name
-                            .clone()
-                            .unwrap_or_else(|| format!("job{next_id}"));
-                        let id = match job_from_submit(&submit, &name, &config.engine) {
-                            Ok(job) => scheduler.submit(job),
-                            Err(error) => scheduler.submit_rejected(&name, error),
-                        };
-                        if submit.ack {
-                            write_line(&proto::accepted_line(id, &name))?;
-                        }
-                    }
-                    Ok(Request::Status) => {
-                        write_line(&proto::status_line(
-                            &scheduler.progress(),
-                            scheduler.workers(),
-                        ))?;
-                    }
-                    Ok(Request::Stats) => {
-                        let caches = scheduler.caches();
-                        let counters = CacheCounters {
-                            model: (caches.model.stats().hits, caches.model.stats().misses),
-                            query: (caches.query.hits(), caches.query.misses()),
-                            verdicts: (caches.verdicts.hits(), caches.verdicts.misses()),
-                            dfa: dfa_tables
-                                .as_ref()
-                                .map(|t| (t.hits(), t.misses()))
-                                .unwrap_or_default(),
-                            bytes: (
-                                caches.model.bytes() as u64,
-                                caches.query.bytes() as u64,
-                                caches.verdicts.bytes() as u64,
-                            ),
-                            evictions: (
-                                caches.model.evictions(),
-                                caches.query.evictions(),
-                                caches.verdicts.evictions(),
-                            ),
-                        };
-                        write_line(&proto::stats_line(&counters, &scheduler.shard_stats()))?;
-                    }
-                    Ok(Request::Shutdown) => break,
-                }
-            }
-            Ok(())
-        })();
-
-        scheduler.close();
-        let (jobs, emit_error) = emitter.join().expect("emitter panicked");
-        summary.jobs = jobs;
-        io_error = emit_error;
-        reader
-    });
-
-    reader_result?;
-    if let Some(error) = io_error {
-        return Err(error);
-    }
-    write_line(&proto::done_line(summary.jobs))?;
-    Ok(summary)
+    ServeOptions::new()
+        .config(config.clone())
+        .caches(caches)
+        .serve(input, output)
 }
 
 #[cfg(test)]
@@ -272,7 +585,10 @@ mod tests {
 
     fn run_lines(lines: &str, config: &ServiceConfig) -> (Vec<String>, ServiceSummary) {
         let mut out: Vec<u8> = Vec::new();
-        let summary = serve(lines.as_bytes(), &mut out, config).expect("serve");
+        let summary = ServeOptions::new()
+            .config(config.clone())
+            .serve(lines.as_bytes(), &mut out)
+            .expect("serve");
         let text = String::from_utf8(out).expect("utf8");
         (text.lines().map(str::to_string).collect(), summary)
     }
@@ -301,9 +617,9 @@ mod tests {
         let (lines, summary) = run_lines(input, &quick_config(2));
         assert_eq!(summary.jobs, 2);
         assert_eq!(lines.len(), 3, "{lines:?}");
-        assert!(lines[0].starts_with(r#"{"type":"result","job":0,"name":"a""#));
-        assert!(lines[1].starts_with(r#"{"type":"result","job":1,"name":"b""#));
-        assert_eq!(lines[2], r#"{"type":"done","jobs":2}"#);
+        assert!(lines[0].starts_with(r#"{"v":1,"type":"result","job":0,"name":"a""#));
+        assert!(lines[1].starts_with(r#"{"v":1,"type":"result","job":1,"name":"b""#));
+        assert_eq!(lines[2], r#"{"v":1,"type":"done","jobs":2}"#);
     }
 
     #[test]
@@ -329,9 +645,17 @@ mod tests {
         let input = "this is not json\n{\"type\":\"status\"}\n";
         let (lines, summary) = run_lines(input, &quick_config(1));
         assert_eq!(summary.request_errors, 1);
-        assert!(lines[0].starts_with(r#"{"type":"error""#));
-        assert!(lines[1].starts_with(r#"{"type":"status""#), "{}", lines[1]);
-        assert_eq!(lines[2], r#"{"type":"done","jobs":0}"#);
+        assert!(
+            lines[0].starts_with(r#"{"v":1,"type":"error","code":"malformed_json""#),
+            "{}",
+            lines[0]
+        );
+        assert!(
+            lines[1].starts_with(r#"{"v":1,"type":"status""#),
+            "{}",
+            lines[1]
+        );
+        assert_eq!(lines[2], r#"{"v":1,"type":"done","jobs":0}"#);
     }
 
     #[test]
@@ -351,7 +675,9 @@ mod tests {
             }
         }
         let input = "not json\n{\"type\":\"submit\",\"program\":\"function f(x) { return 0; }\"}\n";
-        let result = serve(input.as_bytes(), DeadSink, &quick_config(2));
+        let result = ServeOptions::new()
+            .config(quick_config(2))
+            .serve(input.as_bytes(), DeadSink);
         let error = result.expect_err("dead sink must surface as an error");
         assert_eq!(error.kind(), std::io::ErrorKind::BrokenPipe);
     }
@@ -364,9 +690,8 @@ mod tests {
             ..EngineConfig::default()
         };
         let line = r#"{"type":"submit","program":"function f(x) { return 0; }"}"#;
-        let crate::proto::Request::Submit(submit) =
-            crate::proto::parse_request(line).expect("parses")
-        else {
+        let (request, _) = crate::proto::parse_request(line).expect("parses");
+        let crate::proto::Request::Submit(submit) = request else {
             panic!("submit");
         };
         let job = job_from_submit(&submit, "j", &defaults).expect("parses");
@@ -374,9 +699,8 @@ mod tests {
 
         let line =
             r#"{"type":"submit","program":"function f(x) { return 0; }","support":"modeling"}"#;
-        let crate::proto::Request::Submit(submit) =
-            crate::proto::parse_request(line).expect("parses")
-        else {
+        let (request, _) = crate::proto::parse_request(line).expect("parses");
+        let crate::proto::Request::Submit(submit) = request else {
             panic!("submit");
         };
         let job = job_from_submit(&submit, "j", &defaults).expect("parses");
@@ -408,10 +732,129 @@ mod tests {
             "\n",
         );
         let (lines, _) = run_lines(input, &quick_config(1));
-        assert_eq!(lines[0], r#"{"type":"accepted","job":0,"name":"a"}"#);
+        assert_eq!(lines[0], r#"{"v":1,"type":"accepted","job":0,"name":"a"}"#);
         assert!(
-            lines.iter().any(|l| l.starts_with(r#"{"type":"stats""#)),
+            lines
+                .iter()
+                .any(|l| l.starts_with(r#"{"v":1,"type":"stats""#)),
             "{lines:?}"
         );
+    }
+
+    #[test]
+    fn response_versions_follow_the_request() {
+        let input = concat!(
+            r#"{"type":"submit","name":"a","program":"function f(x) { return 0; }"}"#,
+            "\n",
+            r#"{"v":2,"type":"submit","name":"b","program":"function f(x) { return 0; }"}"#,
+            "\n",
+        );
+        let (lines, summary) = run_lines(input, &quick_config(1));
+        assert_eq!(summary.jobs, 2);
+        assert!(
+            lines[0].starts_with(r#"{"v":1,"type":"result","job":0"#),
+            "{}",
+            lines[0]
+        );
+        assert!(
+            lines[1].starts_with(r#"{"v":2,"type":"result","job":1"#),
+            "{}",
+            lines[1]
+        );
+        // The done line answers in the highest version the stream used.
+        assert_eq!(lines[2], r#"{"v":2,"type":"done","jobs":2}"#);
+    }
+
+    #[test]
+    fn session_misuse_yields_structured_errors() {
+        let input = concat!(
+            r#"{"v":2,"type":"pop"}"#,
+            "\n",
+            r#"{"v":2,"type":"open_session","name":"s"}"#,
+            "\n",
+            r#"{"v":2,"type":"open_session","name":"t"}"#,
+            "\n",
+            r#"{"v":2,"type":"pop"}"#,
+            "\n",
+            r#"{"v":2,"type":"solve","depth":0}"#,
+            "\n",
+            r#"{"v":2,"type":"push","cond":["test",3],"taken":true}"#,
+            "\n",
+            r#"{"v":2,"type":"close_session"}"#,
+            "\n",
+            r#"{"v":2,"type":"close_session"}"#,
+            "\n",
+        );
+        let (lines, summary) = run_lines(input, &quick_config(1));
+        assert_eq!(summary.jobs, 0);
+        assert_eq!(summary.request_errors, 6);
+        assert!(lines[0].contains(r#""code":"no_session""#), "{}", lines[0]);
+        assert_eq!(
+            lines[1],
+            r#"{"v":2,"type":"session_opened","session":0,"name":"s"}"#
+        );
+        assert!(
+            lines[2].contains(r#""code":"session_open""#),
+            "{}",
+            lines[2]
+        );
+        assert!(lines[3].contains(r#""code":"bad_depth""#), "{}", lines[3]);
+        assert!(lines[4].contains(r#""code":"bad_depth""#), "{}", lines[4]);
+        assert!(lines[5].contains(r#""code":"bad_event""#), "{}", lines[5]);
+        assert!(
+            lines[6].starts_with(r#"{"v":2,"type":"session_closed","session":0,"depth":0"#),
+            "{}",
+            lines[6]
+        );
+        assert!(lines[7].contains(r#""code":"no_session""#), "{}", lines[7]);
+    }
+
+    #[test]
+    fn streamed_session_solves_and_reports_stats() {
+        // Push `/^a+$/.test(in0)` taken=true, flip it at depth 0: the
+        // flipped query asks for a subject *not* matching ^a+$, which
+        // is satisfiable.
+        let input = concat!(
+            r#"{"v":2,"type":"open_session","name":"t","inputs_used":1}"#,
+            "\n",
+            r#"{"v":2,"type":"push","events":[{"regex":"^a+$","flags":"","subject":["in",0]}],"cond":["test",0],"taken":true}"#,
+            "\n",
+            r#"{"v":2,"type":"solve","depth":0}"#,
+            "\n",
+            r#"{"v":2,"type":"stats"}"#,
+            "\n",
+            r#"{"v":2,"type":"close_session"}"#,
+            "\n",
+        );
+        let (lines, summary) = run_lines(input, &quick_config(1));
+        assert_eq!(summary.request_errors, 0, "{lines:?}");
+        assert_eq!(lines[1], r#"{"v":2,"type":"pushed","session":0,"depth":1}"#);
+        assert!(
+            lines[2].starts_with(r#"{"v":2,"type":"solved","session":0,"depth":0,"sat":true"#),
+            "{}",
+            lines[2]
+        );
+        let stats = &lines[3];
+        assert!(
+            stats.contains(r#""session":{"id":0,"depth":1,"solves":"#),
+            "{stats}"
+        );
+        assert!(
+            lines[4].starts_with(r#"{"v":2,"type":"session_closed","session":0,"depth":1"#),
+            "{}",
+            lines[4]
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_serve_wrappers_still_run() {
+        let input = r#"{"type":"shutdown"}"#;
+        let config = quick_config(1);
+        let mut out: Vec<u8> = Vec::new();
+        serve(input.as_bytes(), &mut out, &config).expect("serve");
+        let mut out: Vec<u8> = Vec::new();
+        serve_with_caches(input.as_bytes(), &mut out, &config, config.cache_set())
+            .expect("serve_with_caches");
     }
 }

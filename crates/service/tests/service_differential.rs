@@ -1,12 +1,12 @@
 //! Service byte-identity: the NDJSON `result` stream of a session must
 //! be byte-identical for any worker count, and equal to the serial
-//! `run_batch` reference rendered through the same formatter — the
+//! one-worker batch reference rendered through the same formatter — the
 //! in-process version of the `service-smoke` CI job.
 
 use expose_dse::sched::Completion;
-use expose_dse::{run_batch, Job};
-use expose_service::session::{job_from_submit, serve};
-use expose_service::{proto, Request, ServiceConfig};
+use expose_dse::{BatchOptions, Job};
+use expose_service::session::job_from_submit;
+use expose_service::{proto, ProtoVersion, Request, ServeOptions, ServiceConfig};
 
 /// Small-budget submit lines over a seeded generated corpus (the
 /// suite runs in debug CI; the quick bench budget is too slow here).
@@ -32,7 +32,10 @@ fn serve_session(input: &str, workers: usize) -> String {
         workers,
         ..ServiceConfig::default()
     };
-    serve(input.as_bytes(), &mut output, &config).expect("serve");
+    ServeOptions::new()
+        .config(config)
+        .serve(input.as_bytes(), &mut output)
+        .expect("serve");
     String::from_utf8(output).expect("utf8")
 }
 
@@ -53,35 +56,41 @@ fn stream_is_byte_identical_across_worker_counts() {
 }
 
 #[test]
-fn stream_matches_the_serial_run_batch_reference() {
+fn stream_matches_the_serial_batch_reference() {
     let lines = submit_lines(4, 0x5eed22);
     let mut input = lines.join("\n");
     input.push('\n');
 
-    // The reference: parse the same submits, run them through
-    // run_batch(jobs, 1), render with the same formatter — exactly
+    // The reference: parse the same submits, run them through a
+    // one-worker batch, render with the same formatter — exactly
     // what `expose-serve --batch` does.
     let config = ServiceConfig::default();
     let mut named: Vec<(String, Job)> = Vec::new();
     for line in &lines {
-        let Request::Submit(submit) = proto::parse_request(line).expect("parses") else {
+        let (request, _) = proto::parse_request(line).expect("parses");
+        let Request::Submit(submit) = request else {
             panic!("submit line");
         };
         let name = submit.name.clone().expect("corpus lines are named");
         let job = job_from_submit(&submit, &name, &config.engine).expect("parses");
         named.push((name, job));
     }
-    let reports = run_batch(named.iter().map(|(_, j)| j.clone()).collect(), 1);
+    let reports = BatchOptions::new()
+        .workers(1)
+        .run(named.iter().map(|(_, j)| j.clone()).collect());
     let mut reference = String::new();
     for (id, ((name, _), report)) in named.into_iter().zip(reports).enumerate() {
-        reference.push_str(&proto::result_line(&Completion {
-            id: id as u64,
-            name,
-            outcome: Ok(report),
-        }));
+        reference.push_str(&proto::result_line(
+            &Completion {
+                id: id as u64,
+                name,
+                outcome: Ok(report),
+            },
+            ProtoVersion::V1,
+        ));
         reference.push('\n');
     }
-    reference.push_str(&proto::done_line(lines.len() as u64));
+    reference.push_str(&proto::done_line(lines.len() as u64, ProtoVersion::V1));
     reference.push('\n');
 
     let streamed = serve_session(&input, 8);
@@ -105,7 +114,8 @@ fn control_requests_do_not_perturb_the_result_stream() {
     let filter_results = |s: &str| -> Vec<String> {
         s.lines()
             .filter(|l| {
-                l.starts_with("{\"type\":\"result\"") || l.starts_with("{\"type\":\"done\"")
+                l.starts_with("{\"v\":1,\"type\":\"result\"")
+                    || l.starts_with("{\"v\":1,\"type\":\"done\"")
             })
             .map(str::to_string)
             .collect()
@@ -117,7 +127,7 @@ fn control_requests_do_not_perturb_the_result_stream() {
 }
 
 #[test]
-fn every_output_line_is_valid_json() {
+fn every_output_line_is_valid_json_and_versioned() {
     let mut input = submit_lines(3, 0x5eed24).join("\n");
     input.push_str("\nnot json\n{\"type\":\"status\"}\n{\"type\":\"stats\"}\n");
     let output = serve_session(&input, 2);
@@ -125,5 +135,9 @@ fn every_output_line_is_valid_json() {
     for line in output.lines() {
         expose_service::json::parse(line)
             .unwrap_or_else(|e| panic!("invalid output line {line:?}: {e}"));
+        assert!(
+            line.starts_with("{\"v\":"),
+            "response line must lead with its protocol version: {line}"
+        );
     }
 }

@@ -45,10 +45,33 @@
 //! CEGAR lemmas learned during its refinement loop) lives only in the
 //! assembled query and dies with it.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
 use crate::cache::{canonical_query, CanonicalQuery, Canonicalizer};
 use crate::formula::{Atom, Formula};
 use crate::solver::{Outcome, Solver};
 use crate::stats::SolveStats;
+
+/// Cumulative counters for one session's lifetime, snapshot via
+/// [`SolveSession::session_stats`]. Unlike [`SolveStats`] (per solve),
+/// these accumulate across every query assembled against the session —
+/// the numbers a service `stats` probe reports for an active wire
+/// session.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Queries assembled against this session (one per posed flip,
+    /// counting CEGAR verdict replays but not refinement iterations).
+    pub solves: u64,
+    /// Total prefix frames reused across those assemblies.
+    pub prefix_reuse_hits: u64,
+}
+
+#[derive(Debug, Default)]
+struct SessionCounters {
+    solves: AtomicU64,
+    prefix_reuse_hits: AtomicU64,
+}
 
 /// Watermarks recorded after one pushed frame.
 #[derive(Debug, Clone, Copy)]
@@ -132,6 +155,9 @@ pub struct SolveSession {
     /// Renumbering state after all pushed frames.
     canon: Canonicalizer,
     frames: Vec<Frame>,
+    /// Lifetime counters, shared by clones of this session (a clone is
+    /// the same logical session viewed from another worker thread).
+    counters: Arc<SessionCounters>,
 }
 
 impl SolveSession {
@@ -144,6 +170,17 @@ impl SolveSession {
             canon_conjuncts: Vec::new(),
             canon: Canonicalizer::new(),
             frames: Vec::new(),
+            counters: Arc::new(SessionCounters::default()),
+        }
+    }
+
+    /// Snapshot of the session's cumulative counters: queries assembled
+    /// and prefix frames reused, across the session's whole lifetime
+    /// (pops do not rewind them).
+    pub fn session_stats(&self) -> SessionStats {
+        SessionStats {
+            solves: self.counters.solves.load(Ordering::Relaxed),
+            prefix_reuse_hits: self.counters.prefix_reuse_hits.load(Ordering::Relaxed),
         }
     }
 
@@ -222,6 +259,10 @@ impl SolveSession {
     /// Panics when `depth` exceeds [`SolveSession::depth`].
     pub fn assemble(&self, depth: usize, assumption: &[Formula]) -> SessionQuery {
         assert!(depth <= self.frames.len(), "assemble beyond session depth");
+        self.counters.solves.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .prefix_reuse_hits
+            .fetch_add(depth as u64, Ordering::Relaxed);
         let frame = if depth == 0 {
             ROOT
         } else {
@@ -442,6 +483,31 @@ mod tests {
             "x",
         )]);
         assert_eq!(session.depth(), 2);
+    }
+
+    #[test]
+    fn session_stats_accumulate_across_solves_and_clones() {
+        let (frames, assumptions) = corpus();
+        let mut session = SolveSession::new(Solver::default());
+        for frame in &frames {
+            session.push(frame.clone());
+        }
+        assert_eq!(session.session_stats(), SessionStats::default());
+
+        session.solve_at(3, &assumptions[0]);
+        session.solve_at(1, &assumptions[1]);
+        let stats = session.session_stats();
+        assert_eq!(stats.solves, 2);
+        assert_eq!(stats.prefix_reuse_hits, 4);
+
+        // A clone is the same logical session: its solves land in the
+        // shared counters, and pops do not rewind them.
+        let clone = session.clone();
+        clone.solve_at(2, &assumptions[2]);
+        session.pop();
+        let stats = session.session_stats();
+        assert_eq!(stats.solves, 3);
+        assert_eq!(stats.prefix_reuse_hits, 6);
     }
 
     #[test]

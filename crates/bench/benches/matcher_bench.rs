@@ -36,5 +36,51 @@ fn bench_matcher(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_matcher);
+/// Head-to-head engine comparison on the shared ReDoS corpus: the same
+/// pattern and input through the Pike VM (decides) and through the
+/// budgeted backtracker (burns its budget and reports the blowup).
+fn bench_engines(c: &mut Criterion) {
+    use bench::redos::{compile_case, redos_corpus};
+    use es6_matcher::{Engine, PikeVm};
+
+    let mut group = c.benchmark_group("engines");
+    group.sample_size(20);
+
+    for case in redos_corpus()
+        .into_iter()
+        .filter(|case| matches!(case.name, "nested_plus" | "xml_tag"))
+    {
+        let (regex, prog) = compile_case(&case);
+        let chars: Vec<char> = case.input.chars().collect();
+        group.bench_function(format!("pikevm_{}", case.name), |b| {
+            let vm = PikeVm::new(&prog);
+            b.iter(|| black_box(vm.search(&chars, 0)));
+        });
+        group.bench_function(format!("backtrack_budget_{}", case.name), |b| {
+            let engine = Engine::new(&regex.ast, regex.flags);
+            b.iter(|| black_box(engine.search_within(&chars, 0, 50_000).is_err()));
+        });
+    }
+
+    // Average-case sanity: on a benign pattern the two engines should
+    // be the same order of magnitude (the VM must not cost its ReDoS
+    // immunity back on every ordinary match).
+    let benign =
+        regex_syntax_es6::Regex::new(r"(\w+)@(\w+)\.com", regex_syntax_es6::Flags::default())
+            .expect("benign pattern");
+    let prog = es6_matcher::compile(&benign.ast, benign.flags).expect("fast path");
+    let chars: Vec<char> = "reach me at someone@example.com thanks".chars().collect();
+    group.bench_function("pikevm_benign_email", |b| {
+        let vm = PikeVm::new(&prog);
+        b.iter(|| black_box(vm.search(&chars, 0)));
+    });
+    group.bench_function("backtrack_benign_email", |b| {
+        let engine = Engine::new(&benign.ast, benign.flags);
+        b.iter(|| black_box(engine.search_within(&chars, 0, u64::MAX)));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_matcher, bench_engines);
 criterion_main!(benches);

@@ -103,6 +103,8 @@ struct Aggregate {
     length_prunes: u64,
     prefix_reuse_hits: u64,
     verdict_replays: u64,
+    matcher_fast_path: u64,
+    matcher_fallback: u64,
 }
 
 impl Aggregate {
@@ -121,6 +123,8 @@ impl Aggregate {
         self.length_prunes += report.length_prunes();
         self.prefix_reuse_hits += report.prefix_reuse_hits();
         self.verdict_replays += report.verdict_replays();
+        self.matcher_fast_path += report.matcher_fast_path;
+        self.matcher_fallback += report.matcher_fallback;
     }
 
     fn hit_rate(hits: u64, misses: u64) -> f64 {
@@ -367,6 +371,32 @@ fn main() {
         );
     }
 
+    // ReDoS suite: the shared pathological corpus through both match
+    // engines. The Pike VM must decide every pattern within its linear
+    // step bound (run_case panics otherwise); the budgeted backtracker
+    // is expected to flag each as a blowup. Folded into the artifact so
+    // one file also tracks the fast path's ReDoS-robustness trajectory.
+    let redos_corpus = bench::redos::redos_corpus();
+    let redos_bt_budget = 250_000u64;
+    let mut redos_bt_flagged = 0u64;
+    let mut redos_vm_ms = 0.0f64;
+    let mut redos_bt_ms = 0.0f64;
+    for case in &redos_corpus {
+        let outcome = bench::redos::run_case(case, redos_bt_budget);
+        redos_bt_flagged += outcome.bt_flagged as u64;
+        redos_vm_ms += outcome.vm_ms;
+        redos_bt_ms += outcome.bt_ms;
+    }
+    let redos_speedup = redos_bt_ms / redos_vm_ms.max(1e-9);
+    eprintln!(
+        "perf: redos {} patterns, {} flagged by backtracker, vm {:.2} ms vs bt {:.1} ms ({:.0}x)",
+        redos_corpus.len(),
+        redos_bt_flagged,
+        redos_vm_ms,
+        redos_bt_ms,
+        redos_speedup
+    );
+
     let (baseline, baseline_trails) = run_best("baseline", &base_config, &DseCaches::disabled);
     eprintln!(
         "perf: baseline (serial, uncached) {:.0} ms",
@@ -439,6 +469,14 @@ fn main() {
             "  \"fuzz_cases\": {},\n",
             "  \"fuzz_disagreements\": {},\n",
             "  \"fuzz_unknown_rate\": {:.4},\n",
+            "  \"redos_patterns\": {},\n",
+            "  \"redos_vm_decided\": {},\n",
+            "  \"redos_bt_flagged\": {},\n",
+            "  \"redos_vm_wall_ms\": {:.3},\n",
+            "  \"redos_bt_wall_ms\": {:.1},\n",
+            "  \"redos_speedup\": {:.1},\n",
+            "  \"matcher_fast_path\": {},\n",
+            "  \"matcher_fallback\": {},\n",
             "{}",
             "  \"baseline\": {},\n",
             "  \"optimized\": {}\n",
@@ -455,6 +493,14 @@ fn main() {
         fuzz_stats.cases,
         fuzz_stats.disagreements,
         fuzz_stats.unknown_rate(),
+        redos_corpus.len(),
+        redos_corpus.len(),
+        redos_bt_flagged,
+        redos_vm_ms,
+        redos_bt_ms,
+        redos_speedup,
+        optimized.matcher_fast_path,
+        optimized.matcher_fallback,
         throughput_json,
         baseline.json(set.len()),
         optimized.json(set.len()),
@@ -522,6 +568,20 @@ fn main() {
             },
             100.0 * fuzz_stats.unknown_rate(),
         );
+        let _ = writeln!(
+            md,
+            "- **matcher engines** (optimized run): {} fast-path / {} fallback executions",
+            optimized.matcher_fast_path, optimized.matcher_fallback,
+        );
+        let _ = writeln!(
+            md,
+            "- **ReDoS suite**: {}/{} decided by the Pike VM within its linear bound, \
+             {}/{} flagged by the budgeted backtracker, {redos_speedup:.0}x wall-clock",
+            redos_corpus.len(),
+            redos_corpus.len(),
+            redos_bt_flagged,
+            redos_corpus.len(),
+        );
         let _ = writeln!(md);
         let _ = writeln!(md, "<details><summary>Full artifact</summary>\n");
         let _ = writeln!(md, "```json\n{}```\n", json);
@@ -540,6 +600,14 @@ fn main() {
             fuzz_stats.disagreements
         );
         std::process::exit(7);
+    }
+    if redos_bt_flagged < redos_corpus.len() as u64 {
+        eprintln!(
+            "perf: FAIL — only {redos_bt_flagged}/{} ReDoS patterns tripped the \
+             backtracker budget; the corpus stopped being pathological",
+            redos_corpus.len()
+        );
+        std::process::exit(8);
     }
     if speedup < 1.5 {
         // Advisory on arbitrary machines; the CI gate is the checked-in

@@ -4,6 +4,8 @@
 //! section; this library holds the run helpers they share with the
 //! criterion micro-benchmarks.
 
+pub mod redos;
+
 use corpus::{DseProgram, LibraryWorkload};
 use expose_core::SupportLevel;
 use expose_dse::parser::parse_program;

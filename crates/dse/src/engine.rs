@@ -115,6 +115,12 @@ pub struct Report {
     pub query_cache_hits: u64,
     /// Solver calls that ran the full search.
     pub query_cache_misses: u64,
+    /// Concrete regex executions routed to the Pike-VM fast path
+    /// (patterns `es6_matcher::select` found expressible as an NFA).
+    pub matcher_fast_path: u64,
+    /// Concrete regex executions that ran on the backtracking engine
+    /// (backreferences and the other fallback shapes).
+    pub matcher_fallback: u64,
 }
 
 impl Report {
@@ -305,6 +311,8 @@ pub fn run_dse_observed(
         let trace = execute(program, harness, &case.inputs, &interp_config);
         report.executions += 1;
         report.coverage.extend(trace.coverage.iter().copied());
+        report.matcher_fast_path += trace.matcher_fast_path;
+        report.matcher_fallback += trace.matcher_fallback;
         for &failure in &trace.assertion_failures {
             if !report.bugs.iter().any(|(id, _)| *id == failure) {
                 report.bugs.push((failure, case.inputs.clone()));

@@ -205,6 +205,15 @@ impl Interp {
         Concolic::symbolic(Value::Str(concrete), SymExpr::Input(k))
     }
 
+    /// Records which match engine a concrete regex execution used (the
+    /// routing is decided per pattern by `es6_matcher::select`).
+    fn note_engine(&mut self, re: &es6_matcher::RegExp) {
+        match re.engine_kind() {
+            es6_matcher::EngineKind::PikeVm => self.trace.matcher_fast_path += 1,
+            es6_matcher::EngineKind::Backtrack => self.trace.matcher_fallback += 1,
+        }
+    }
+
     fn tick(&mut self) -> bool {
         if self.steps_left == 0 || self.aborted {
             self.aborted = true;
@@ -600,6 +609,7 @@ impl Interp {
                     // Global match: concrete only.
                     let s = recv.as_str().unwrap_or_default();
                     let mut re = es6_matcher::RegExp::from_regex((*regex).clone());
+                    self.note_engine(&re);
                     return match es6_matcher::string_match(s, &mut re) {
                         Some(all) => Concolic::concrete(Value::Array(
                             all.into_iter()
@@ -614,6 +624,7 @@ impl Interp {
             (Value::Str(s), "search") => {
                 if let Some(Value::RegExp(regex)) = args.first().map(|a| a.value.clone()) {
                     let re = es6_matcher::RegExp::from_regex((*regex).clone());
+                    self.note_engine(&re);
                     return Concolic::concrete(Value::Num(
                         es6_matcher::string_search(s, &re) as f64
                     ));
@@ -625,6 +636,7 @@ impl Interp {
                     let pieces: Vec<String> = match &first.value {
                         Value::RegExp(regex) => {
                             let re = es6_matcher::RegExp::from_regex((**regex).clone());
+                            self.note_engine(&re);
                             es6_matcher::string_split(s, &re, None)
                         }
                         Value::Str(sep) => s.split(sep.as_str()).map(String::from).collect(),
@@ -647,6 +659,7 @@ impl Interp {
                 let result = match &pat.value {
                     Value::RegExp(regex) => {
                         let mut re = es6_matcher::RegExp::from_regex((**regex).clone());
+                        self.note_engine(&re);
                         es6_matcher::string_replace(s, &mut re, &rep_str)
                     }
                     Value::Str(needle) => s.replacen(needle.as_str(), &rep_str, 1),
@@ -734,6 +747,7 @@ impl Interp {
     fn regex_exec(&mut self, regex: Rc<Regex>, subject: Concolic, as_test: bool) -> Concolic {
         let concrete_subject = subject.value.to_display();
         let mut oracle = es6_matcher::RegExp::from_regex(oracle_regex(&regex));
+        self.note_engine(&oracle);
         let result = oracle.exec(&concrete_subject);
         let matched = result.is_some();
 

@@ -137,6 +137,10 @@ pub struct Trace {
     pub steps: u64,
     /// Number of symbolic inputs consumed.
     pub inputs_used: usize,
+    /// Concrete regex executions routed to the Pike-VM fast path.
+    pub matcher_fast_path: u64,
+    /// Concrete regex executions that ran on the backtracking engine.
+    pub matcher_fallback: u64,
 }
 
 #[cfg(test)]

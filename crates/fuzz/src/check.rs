@@ -106,6 +106,10 @@ pub enum Layer {
     /// The pattern failed to parse, or printing and re-parsing changed
     /// the AST.
     Parser,
+    /// Pike-VM fast path vs. the backtracking oracle: match presence,
+    /// leftmost extent, or capture slots diverged (or the VM blew its
+    /// linear step bound).
+    EngineVsEngine,
     /// Concrete matcher vs. word-language DFA membership.
     MatcherVsDfa,
     /// A `Sat` model does not satisfy its own formula (model
@@ -128,6 +132,7 @@ impl Layer {
     pub fn name(self) -> &'static str {
         match self {
             Layer::Parser => "parser",
+            Layer::EngineVsEngine => "engine-vs-engine",
             Layer::MatcherVsDfa => "matcher-vs-dfa",
             Layer::SolverModel => "solver-model",
             Layer::SolverVsOracle => "solver-vs-oracle",
@@ -164,6 +169,15 @@ pub struct CaseOutcome {
     pub oracle_skips: u64,
     /// Words compared in the matcher-vs-DFA layer.
     pub dfa_words_checked: u64,
+    /// Matcher-vs-DFA layers abandoned on the subset-construction state
+    /// cap (the engine-vs-engine layer still covers those cases).
+    pub dfa_skips: u64,
+    /// Engine routing for the case's pattern: `Some(true)` = Pike-VM
+    /// fast path, `Some(false)` = backtracking fallback, `None` =
+    /// unparsed.
+    pub engine_fast: Option<bool>,
+    /// Words compared in the engine-vs-engine layer.
+    pub engine_words_checked: u64,
     /// Incremental-vs-scratch comparisons performed (`--incremental`).
     pub incremental_checks: u64,
     /// The first disagreement found, if any.
@@ -179,6 +193,9 @@ impl CaseOutcome {
             cegar_verdict: "skipped",
             oracle_skips: 0,
             dfa_words_checked: 0,
+            dfa_skips: 0,
+            engine_fast: None,
+            engine_words_checked: 0,
             incremental_checks: 0,
             disagreement: None,
         }
@@ -388,7 +405,23 @@ pub fn run_case(case: &Case, budget: &FuzzBudget) -> CaseOutcome {
     let mut rng = StdRng::seed_from_u64(case.seed ^ 0xf022_5eed_c0de_55aa);
     let alphabet = case_alphabet(&regex.ast, &case.query, budget.enum_alphabet);
 
-    // Layer 1: concrete matcher vs. word-language DFA on the classical
+    // Layer 1a: the two concrete match engines against each other.
+    // Unlike the DFA layer this has no classical-fragment or state-cap
+    // restriction — in particular the pathological `Σ*·body·Σ*` shapes
+    // the DFA layer abandons are decided here by the Pike VM.
+    if let Some(disagreement) = check_engine_vs_engine(
+        &regex,
+        &case.query,
+        &alphabet,
+        budget,
+        &mut rng,
+        &mut outcome,
+    ) {
+        outcome.disagreement = Some(disagreement);
+        return outcome;
+    }
+
+    // Layer 1b: concrete matcher vs. word-language DFA on the classical
     // fragment.
     if let Some(disagreement) =
         check_matcher_vs_dfa(&regex, &alphabet, budget, &mut rng, &mut outcome)
@@ -618,6 +651,93 @@ fn sample_accepted_word(dfa: &Dfa, rng: &mut StdRng, max_len: usize) -> Option<S
     }
 }
 
+/// The engine-vs-engine differential layer: for patterns the
+/// [`es6_matcher::select`] analysis routes to the Pike VM, runs the
+/// unanchored search through both engines on sampled words and demands
+/// byte-identical results — match presence, leftmost extent, and every
+/// capture slot.
+///
+/// The backtracker runs under the usual step budget (exhaustion is a
+/// skip); the VM runs under a bound comfortably above its `O(n·m)`
+/// worst case, so a VM exhaustion is itself a finding (a superlinear
+/// fast path), not a skip.
+fn check_engine_vs_engine(
+    regex: &Regex,
+    query: &Query,
+    alphabet: &[char],
+    budget: &FuzzBudget,
+    rng: &mut StdRng,
+    outcome: &mut CaseOutcome,
+) -> Option<Disagreement> {
+    let oracle = oracle_regex(regex);
+    let prog = match es6_matcher::compile(&oracle.ast, oracle.flags) {
+        Ok(prog) => prog,
+        Err(_) => {
+            outcome.engine_fast = Some(false);
+            return None;
+        }
+    };
+    outcome.engine_fast = Some(true);
+    let vm = es6_matcher::PikeVm::new(&prog);
+    let bt = es6_matcher::Engine::new(&oracle.ast, oracle.flags);
+
+    let mut words: Vec<String> = Vec::new();
+    if let Query::PinInput { word, .. }
+    | Query::NeInput { word, .. }
+    | Query::CaptureEq { word, .. } = query
+    {
+        words.push(word.clone());
+    }
+    for _ in 0..budget.sample_words * 2 {
+        let len = rng.random_range(0usize..=budget.enum_len + 2);
+        words.push(
+            (0..len)
+                .map(|_| *alphabet.choose(rng).expect("non-empty alphabet"))
+                .collect(),
+        );
+    }
+    words.sort();
+    words.dedup();
+
+    for word in &words {
+        let chars: Vec<char> = word.chars().collect();
+        // Linear bound witness: instruction visits per position are at
+        // most the program length, each charged once, plus the memoized
+        // lookahead sub-runs (same bound per segment). The factor-8
+        // slack keeps the bound robust without admitting blowups.
+        let vm_bound = (chars.len() as u64 + 2)
+            * (prog.code.len() as u64 + 1)
+            * (prog.looks.len() as u64 + 1)
+            * 8;
+        let expected = match bt.search_within(&chars, 0, budget.step_limit) {
+            Ok(m) => m,
+            Err(_) => {
+                outcome.oracle_skips += 1;
+                continue;
+            }
+        };
+        let got = match vm.search_within(&chars, 0, vm_bound) {
+            Ok(m) => m,
+            Err(_) => {
+                return Some(Disagreement {
+                    layer: Layer::EngineVsEngine,
+                    detail: format!(
+                        "Pike VM exceeded its linear step bound ({vm_bound}) on {word:?}"
+                    ),
+                });
+            }
+        };
+        outcome.engine_words_checked += 1;
+        if got != expected {
+            return Some(Disagreement {
+                layer: Layer::EngineVsEngine,
+                detail: format!("word {word:?}: backtracker {expected:?} vs Pike VM {got:?}"),
+            });
+        }
+    }
+    None
+}
+
 fn check_matcher_vs_dfa(
     regex: &Regex,
     alphabet: &[char],
@@ -636,13 +756,22 @@ fn check_matcher_vs_dfa(
     // `Σ*·body·Σ*` languages can visit millions of intermediate states
     // before collapsing — abandon those instances (skip the layer)
     // instead of stalling the run on a single seed.
-    let dfa = Dfa::try_from_cregex_with(
+    let dfa = match Dfa::try_from_cregex_with(
         &lang,
         &dfa_alphabet,
         &automata::AutomataConfig::default(),
         &mut automata::BuildMetrics::default(),
         budget.max_dfa_states,
-    )?;
+    ) {
+        Some(dfa) => dfa,
+        None => {
+            // Counted in `--stats`; the engine-vs-engine layer already
+            // cross-checked this case's pattern where the VM can decide
+            // it, so the state cap no longer leaves the case unchecked.
+            outcome.dfa_skips += 1;
+            return None;
+        }
+    };
 
     // Positive samples: the shortest accepted wrapped word plus
     // distance-guided random walks. (Exhaustive `Dfa::words` is

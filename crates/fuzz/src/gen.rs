@@ -7,6 +7,7 @@ use rand::rngs::StdRng;
 use rand::seq::IndexedRandom;
 use rand::{RngExt, SeedableRng};
 use regex_syntax_es6::arbitrary::{arbitrary_ast, arbitrary_flags, GenConfig};
+use regex_syntax_es6::ast::Ast;
 use regex_syntax_es6::Regex;
 
 use crate::case::{Case, Query};
@@ -21,7 +22,15 @@ use crate::check::FuzzBudget;
 /// validation path.
 pub fn generate_case(seed: u64, cfg: &GenConfig, budget: &FuzzBudget) -> Case {
     let mut rng = StdRng::seed_from_u64(seed);
-    let ast = arbitrary_ast(&mut rng, cfg);
+    // A small bucket of classically pathological shapes — exponential
+    // for the backtracker, linear for the Pike VM — so the
+    // engine-vs-engine layer routinely exercises the step-bound
+    // witness, not just average-case agreement.
+    let ast = if rng.random_bool(0.08) {
+        pathological_ast(&mut rng, cfg)
+    } else {
+        arbitrary_ast(&mut rng, cfg)
+    };
     let flags = arbitrary_flags(&mut rng);
     let pattern = ast.to_source();
     let query = match Regex::new(&pattern, flags) {
@@ -36,6 +45,75 @@ pub fn generate_case(seed: u64, cfg: &GenConfig, budget: &FuzzBudget) -> Case {
         query,
         seed,
     }
+}
+
+/// One of the classic catastrophic-backtracking templates over the
+/// generator alphabet: `(x+)+y`, `(x|xx)*y`, `(x*)*y`, `(x|x)*y`.
+/// All are backreference-free, so [`es6_matcher::select`] routes them
+/// to the Pike VM.
+fn pathological_ast(rng: &mut StdRng, cfg: &GenConfig) -> Ast {
+    let x = *cfg.alphabet.choose(rng).expect("non-empty alphabet");
+    let y = *cfg
+        .alphabet
+        .iter()
+        .find(|&&c| c != x)
+        .unwrap_or(&cfg.alphabet[0]);
+    let body = match rng.random_range(0usize..4) {
+        // (x+)+
+        0 => Ast::Repeat {
+            ast: Box::new(Ast::Group {
+                index: 1,
+                ast: Box::new(Ast::Repeat {
+                    ast: Box::new(Ast::Literal(x)),
+                    min: 1,
+                    max: None,
+                    lazy: false,
+                }),
+            }),
+            min: 1,
+            max: None,
+            lazy: false,
+        },
+        // (x|xx)*
+        1 => Ast::Repeat {
+            ast: Box::new(Ast::Group {
+                index: 1,
+                ast: Box::new(Ast::alt(vec![
+                    Ast::Literal(x),
+                    Ast::concat(vec![Ast::Literal(x), Ast::Literal(x)]),
+                ])),
+            }),
+            min: 0,
+            max: None,
+            lazy: false,
+        },
+        // (x*)*
+        2 => Ast::Repeat {
+            ast: Box::new(Ast::Group {
+                index: 1,
+                ast: Box::new(Ast::Repeat {
+                    ast: Box::new(Ast::Literal(x)),
+                    min: 0,
+                    max: None,
+                    lazy: false,
+                }),
+            }),
+            min: 0,
+            max: None,
+            lazy: false,
+        },
+        // (x|x)*
+        _ => Ast::Repeat {
+            ast: Box::new(Ast::Group {
+                index: 1,
+                ast: Box::new(Ast::alt(vec![Ast::Literal(x), Ast::Literal(x)])),
+            }),
+            min: 0,
+            max: None,
+            lazy: false,
+        },
+    };
+    Ast::concat(vec![body, Ast::Literal(y)])
 }
 
 /// A short random word over the generator alphabet.
@@ -146,6 +224,34 @@ mod tests {
         for kind in ["top", "pin", "ne", "capdef", "capeq"] {
             assert!(kinds.contains(kind), "query kind {kind} never generated");
         }
+    }
+
+    #[test]
+    fn pathological_bucket_appears() {
+        let cfg = GenConfig::default();
+        let budget = FuzzBudget::quick();
+        let shapes = ["+)+", "|xx", "*)*", "|x)*"];
+        let mut hits = 0usize;
+        for seed in 0..400u64 {
+            let case = generate_case(seed, &cfg, &budget);
+            let normalized: String = case
+                .pattern
+                .chars()
+                .map(|c| {
+                    if c == '(' || c == ')' || c == '|' || c == '*' || c == '+' {
+                        c
+                    } else {
+                        'x'
+                    }
+                })
+                .collect();
+            if shapes.iter().any(|s| normalized.contains(s)) {
+                hits += 1;
+            }
+        }
+        // ~8% of 400 seeds; the structural check can also fire on
+        // ordinary generated patterns, so only a floor is asserted.
+        assert!(hits >= 15, "pathological bucket underrepresented: {hits}");
     }
 
     #[test]

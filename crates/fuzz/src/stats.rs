@@ -32,6 +32,18 @@ pub struct FuzzStats {
     pub oracle_skips: u64,
     /// Words compared in the matcher-vs-DFA layer.
     pub dfa_words_checked: u64,
+    /// Matcher-vs-DFA layers abandoned on the subset-construction state
+    /// cap (those cases remain covered by the engine-vs-engine layer).
+    pub dfa_skips: u64,
+    /// Cases routed to the Pike-VM fast path.
+    pub engine_fast_cases: u64,
+    /// Cases routed to the backtracking fallback.
+    pub engine_fallback_cases: u64,
+    /// Words compared in the engine-vs-engine layer.
+    pub engine_words_checked: u64,
+    /// Per-feature counts among fast-path cases, in [`FeatureSet::rows`]
+    /// order — shows which Table 5 buckets the Pike VM actually covers.
+    pub fast_path_feature_counts: [u64; 19],
     /// Incremental-vs-scratch comparisons performed (`--incremental`).
     pub incremental_checks: u64,
     /// Cross-layer disagreements.
@@ -63,8 +75,16 @@ impl FuzzStats {
             for (i, (_, present)) in features.rows().iter().enumerate() {
                 if *present {
                     self.feature_counts[i] += 1;
+                    if outcome.engine_fast == Some(true) {
+                        self.fast_path_feature_counts[i] += 1;
+                    }
                 }
             }
+        }
+        match outcome.engine_fast {
+            Some(true) => self.engine_fast_cases += 1,
+            Some(false) => self.engine_fallback_cases += 1,
+            None => {}
         }
         if let Some(slot) = verdict_slot(outcome.solver_verdict) {
             self.solver_verdicts[slot] += 1;
@@ -81,6 +101,8 @@ impl FuzzStats {
         }
         self.oracle_skips += outcome.oracle_skips;
         self.dfa_words_checked += outcome.dfa_words_checked;
+        self.dfa_skips += outcome.dfa_skips;
+        self.engine_words_checked += outcome.engine_words_checked;
         self.incremental_checks += outcome.incremental_checks;
         if outcome.disagreement.is_some() {
             self.disagreements += 1;
@@ -135,15 +157,25 @@ impl FuzzStats {
         );
         let _ = writeln!(
             out,
-            "oracle skips: {}, dfa words checked: {}",
-            self.oracle_skips, self.dfa_words_checked
+            "oracle skips: {}, dfa words checked: {} ({} state-cap skips)",
+            self.oracle_skips, self.dfa_words_checked, self.dfa_skips
+        );
+        let _ = writeln!(
+            out,
+            "engine routing: {} fast path / {} fallback, {} words cross-checked",
+            self.engine_fast_cases, self.engine_fallback_cases, self.engine_words_checked
         );
         if self.incremental_checks > 0 {
             let _ = writeln!(out, "incremental checks: {}", self.incremental_checks);
         }
-        let _ = writeln!(out, "feature histogram:");
-        for ((name, _), count) in FeatureSet::default().rows().iter().zip(self.feature_counts) {
-            let _ = writeln!(out, "  {name:<20} {count}");
+        let _ = writeln!(out, "feature histogram (generated / on fast path):");
+        for (((name, _), count), fast) in FeatureSet::default()
+            .rows()
+            .iter()
+            .zip(self.feature_counts)
+            .zip(self.fast_path_feature_counts)
+        {
+            let _ = writeln!(out, "  {name:<20} {count} / {fast}");
         }
         let _ = writeln!(out, "disagreements: {}", self.disagreements);
         out
@@ -179,17 +211,27 @@ impl FuzzStats {
         );
         let _ = writeln!(
             md,
-            "- **oracle skips**: {}, **dfa words checked**: {}",
-            self.oracle_skips, self.dfa_words_checked
+            "- **oracle skips**: {}, **dfa words checked**: {} ({} state-cap skips)",
+            self.oracle_skips, self.dfa_words_checked, self.dfa_skips
+        );
+        let _ = writeln!(
+            md,
+            "- **engine routing**: {} fast path / {} fallback, {} words cross-checked",
+            self.engine_fast_cases, self.engine_fallback_cases, self.engine_words_checked
         );
         if self.incremental_checks > 0 {
             let _ = writeln!(md, "- **incremental checks**: {}", self.incremental_checks);
         }
         let _ = writeln!(md);
-        let _ = writeln!(md, "| Table 5 feature | generated |");
-        let _ = writeln!(md, "|---|---|");
-        for ((name, _), count) in FeatureSet::default().rows().iter().zip(self.feature_counts) {
-            let _ = writeln!(md, "| {name} | {count} |");
+        let _ = writeln!(md, "| Table 5 feature | generated | on fast path |");
+        let _ = writeln!(md, "|---|---|---|");
+        for (((name, _), count), fast) in FeatureSet::default()
+            .rows()
+            .iter()
+            .zip(self.feature_counts)
+            .zip(self.fast_path_feature_counts)
+        {
+            let _ = writeln!(md, "| {name} | {count} | {fast} |");
         }
         md
     }
@@ -208,6 +250,9 @@ mod tests {
             cegar_verdict: cegar,
             oracle_skips: 1,
             dfa_words_checked: 2,
+            dfa_skips: 0,
+            engine_fast: Some(true),
+            engine_words_checked: 3,
             incremental_checks: 0,
             disagreement: None,
         }

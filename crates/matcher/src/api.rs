@@ -6,11 +6,23 @@
 //! stateful under the `g` and `y` flags, as the paper's §2.1 example
 //! shows.
 
+use std::sync::{Arc, OnceLock};
+
 use regex_syntax_es6::{Flags, ParseError, Regex};
 
-use crate::exec::Engine;
+use crate::exec::{Engine, Match};
+use crate::pikevm::PikeVm;
+use crate::prog::{self, Prog};
+use crate::select::EngineKind;
 
 /// A concrete ES6 `RegExp` object.
+///
+/// Matching is routed through the static engine selection of
+/// [`crate::select()`]: patterns the Thompson compiler can express
+/// faithfully run on the linear-time Pike VM, the rest (backreferences
+/// foremost) on the spec-operational backtracker. The compiled program
+/// is cached lazily on first use, so cloning a `RegExp` is cheap and
+/// routing is decided once per pattern.
 ///
 /// # Examples
 ///
@@ -30,6 +42,9 @@ use crate::exec::Engine;
 pub struct RegExp {
     regex: Regex,
     last_index: usize,
+    /// Lazily compiled fast-path program; `Some(None)` caches a
+    /// fallback decision so compilation is attempted at most once.
+    compiled: OnceLock<Option<Arc<Prog>>>,
 }
 
 /// The result of a successful `exec`: the JavaScript match array.
@@ -68,6 +83,7 @@ impl RegExp {
         Ok(RegExp {
             regex: Regex::new(pattern, flags)?,
             last_index: 0,
+            compiled: OnceLock::new(),
         })
     }
 
@@ -80,6 +96,7 @@ impl RegExp {
         Ok(RegExp {
             regex: Regex::parse_literal(literal)?,
             last_index: 0,
+            compiled: OnceLock::new(),
         })
     }
 
@@ -88,6 +105,7 @@ impl RegExp {
         RegExp {
             regex,
             last_index: 0,
+            compiled: OnceLock::new(),
         }
     }
 
@@ -112,6 +130,27 @@ impl RegExp {
         self.last_index = value;
     }
 
+    /// The compiled fast-path program, compiling (once) on first use;
+    /// `None` when the pattern is routed to the backtracker.
+    fn prog(&self) -> Option<&Arc<Prog>> {
+        self.compiled
+            .get_or_init(|| {
+                prog::compile(&self.regex.ast, self.regex.flags)
+                    .ok()
+                    .map(Arc::new)
+            })
+            .as_ref()
+    }
+
+    /// Which engine this pattern is routed to (see [`crate::select()`]).
+    pub fn engine_kind(&self) -> EngineKind {
+        if self.prog().is_some() {
+            EngineKind::PikeVm
+        } else {
+            EngineKind::Backtrack
+        }
+    }
+
     /// `RegExp.prototype.exec(input)` (§21.2.5.2).
     ///
     /// Stateful under `g`/`y`: matching starts at `lastIndex`, which is
@@ -121,7 +160,7 @@ impl RegExp {
             .expect("unbounded exec cannot exhaust a step budget")
     }
 
-    /// [`RegExp::exec`] with an optional backtracking-step budget.
+    /// [`RegExp::exec`] with an optional step budget.
     ///
     /// The budget is shared across all start positions of the unanchored
     /// search, so the total work is bounded even when every position
@@ -130,6 +169,10 @@ impl RegExp {
     /// — a starved attempt proves nothing, so it must not be read as a
     /// failed match. This is the evaluation hook the differential fuzzer
     /// drives the oracle through.
+    ///
+    /// Patterns on the Pike-VM fast path are decided in `O(n·m)` steps,
+    /// so with ordinary budgets the error can only arise where
+    /// backtracking is actually used (backreference patterns).
     ///
     /// # Errors
     ///
@@ -146,21 +189,41 @@ impl RegExp {
             self.last_index = 0;
             return Ok(None);
         }
-        let engine = Engine::new(&self.regex.ast, self.regex.flags);
         let sticky = self.regex.flags.sticky;
-        let found = match step_limit {
-            None => {
-                if sticky {
-                    engine.match_at(&chars, start)
-                } else {
-                    (start..=chars.len()).find_map(|at| engine.match_at(&chars, at))
+        let found = if let Some(prog) = self.prog().cloned() {
+            let vm = PikeVm::new(&prog);
+            match step_limit {
+                None => {
+                    if sticky {
+                        vm.match_at(&chars, start)
+                    } else {
+                        vm.search(&chars, start)
+                    }
+                }
+                Some(limit) => {
+                    if sticky {
+                        vm.match_at_within(&chars, start, limit)?
+                    } else {
+                        vm.search_within(&chars, start, limit)?
+                    }
                 }
             }
-            Some(limit) => {
-                if sticky {
-                    engine.match_at_within(&chars, start, limit)?
-                } else {
-                    engine.search_within(&chars, start, limit)?
+        } else {
+            let engine = Engine::new(&self.regex.ast, self.regex.flags);
+            match step_limit {
+                None => {
+                    if sticky {
+                        engine.match_at(&chars, start)
+                    } else {
+                        (start..=chars.len()).find_map(|at| engine.match_at(&chars, at))
+                    }
+                }
+                Some(limit) => {
+                    if sticky {
+                        engine.match_at_within(&chars, start, limit)?
+                    } else {
+                        engine.search_within(&chars, start, limit)?
+                    }
                 }
             }
         };
@@ -193,6 +256,40 @@ impl RegExp {
     /// `exec(input) !== undefined` (§6.1 of the paper).
     pub fn test(&mut self, input: &str) -> bool {
         self.exec(input).is_some()
+    }
+}
+
+/// Engine-routed anchored matching for the `String.prototype` helpers,
+/// so `replace`/`split` get the fast path too. Built once per call —
+/// previously `string_replace` constructed a fresh backtracking engine
+/// on every loop iteration.
+enum AnchoredMatcher<'r> {
+    Vm(Arc<Prog>),
+    Bt(Engine<'r>),
+}
+
+impl AnchoredMatcher<'_> {
+    fn for_regexp(regexp: &RegExp) -> AnchoredMatcher<'_> {
+        match regexp.prog() {
+            Some(prog) => AnchoredMatcher::Vm(prog.clone()),
+            None => AnchoredMatcher::Bt(Engine::new(&regexp.regex().ast, regexp.flags())),
+        }
+    }
+
+    fn match_at(&self, chars: &[char], at: usize) -> Option<Match> {
+        match self {
+            AnchoredMatcher::Vm(prog) => PikeVm::new(prog).match_at(chars, at),
+            AnchoredMatcher::Bt(engine) => engine.match_at(chars, at),
+        }
+    }
+
+    fn search(&self, chars: &[char], from: usize) -> Option<Match> {
+        match self {
+            AnchoredMatcher::Vm(prog) => PikeVm::new(prog).search(chars, from),
+            AnchoredMatcher::Bt(engine) => {
+                (from..=chars.len()).find_map(|at| engine.match_at(chars, at))
+            }
+        }
     }
 }
 
@@ -264,16 +361,14 @@ pub fn string_replace(input: &str, regexp: &mut RegExp, replacement: &str) -> St
     let mut out = String::new();
     let mut cursor = 0usize;
     regexp.set_last_index(0);
+    let matcher = AnchoredMatcher::for_regexp(regexp);
     loop {
         // Search from `cursor` manually so non-global regexes also
         // continue correctly on the first iteration.
-        let m = {
-            let engine = Engine::new(&regexp.regex().ast, regexp.flags());
-            if regexp.flags().sticky {
-                engine.match_at(&chars, cursor)
-            } else {
-                (cursor..=chars.len()).find_map(|at| engine.match_at(&chars, at))
-            }
+        let m = if regexp.flags().sticky {
+            matcher.match_at(&chars, cursor)
+        } else {
+            matcher.search(&chars, cursor)
         };
         let Some(m) = m else { break };
         out.extend(&chars[cursor..m.start]);
@@ -373,10 +468,10 @@ pub fn string_split(input: &str, regexp: &RegExp, limit: Option<usize>) -> Vec<S
     if limit == 0 {
         return out;
     }
-    let engine = Engine::new(&regexp.regex().ast, regexp.flags());
+    let matcher = AnchoredMatcher::for_regexp(regexp);
     if chars.is_empty() {
         // Spec: if the regex matches empty input, the result is [].
-        if engine.match_at(&chars, 0).is_some() {
+        if matcher.match_at(&chars, 0).is_some() {
             return out;
         }
         out.push(String::new());
@@ -385,7 +480,7 @@ pub fn string_split(input: &str, regexp: &RegExp, limit: Option<usize>) -> Vec<S
     let mut piece_start = 0usize; // spec variable p
     let mut q = 0usize;
     while q < chars.len() {
-        match engine.match_at(&chars, q) {
+        match matcher.match_at(&chars, q) {
             Some(m) if m.end != piece_start => {
                 out.push(chars[piece_start..q].iter().collect());
                 if out.len() == limit {

@@ -26,16 +26,23 @@ use regex_syntax_es6::Flags;
 /// The step budget of a bounded match attempt ran out before the
 /// attempt could be decided (see [`Engine::match_at_within`]).
 ///
-/// Backtracking over adversarial patterns (`(a+)+b` and friends) is
-/// exponential; consumers that feed the matcher *generated* patterns —
-/// the differential fuzzer foremost — must bound it and treat this as
-/// "oracle unavailable", never as a non-match.
+/// With two engines this error means different things depending on the
+/// route. Backtracking over adversarial patterns (`(a+)+b` and friends)
+/// is exponential, so on the fallback engine a reasonable budget turns
+/// this error into a *ReDoS detector*: hitting it on a few dozen input
+/// characters is strong evidence of catastrophic backtracking. The Pike
+/// VM fast path ([`crate::pikevm::PikeVm`]) is `O(n·m)` and only
+/// reports this when the budget is below that linear bound, so fast-path
+/// consumers with ordinary budgets never see it. Consumers that feed the
+/// matcher *generated* patterns — the differential fuzzer foremost —
+/// must bound it and treat this as "oracle unavailable", never as a
+/// non-match.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StepLimitExceeded;
 
 impl std::fmt::Display for StepLimitExceeded {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str("matcher step limit exceeded")
+        f.write_str("matcher step budget exceeded (catastrophic backtracking, or a budget below the Pike VM's linear bound)")
     }
 }
 
@@ -124,6 +131,13 @@ impl<'a> Engine<'a> {
     /// crucially *not* `Ok(None)`, because a starved attempt proves
     /// nothing about the word. A budget of a few hundred thousand steps
     /// decides every non-adversarial pattern.
+    ///
+    /// In the two-engine world this budget doubles as a ReDoS detector:
+    /// patterns the [`crate::select()`] analysis routes to the Pike VM are
+    /// decided in `O(n·m)` steps, so a pattern that exhausts a generous
+    /// budget *here* is exhibiting catastrophic backtracking (it either
+    /// needed backreferences, or was deliberately run on this engine for
+    /// detection/differential purposes).
     ///
     /// # Errors
     ///
@@ -485,63 +499,89 @@ impl<'a> Engine<'a> {
     }
 
     fn assertion_holds(&self, kind: AssertionKind, input: &[char], pos: usize) -> bool {
-        match kind {
-            AssertionKind::StartAnchor => {
-                pos == 0 || (self.flags.multiline && is_line_terminator(input[pos - 1]))
-            }
-            AssertionKind::EndAnchor => {
-                pos == input.len() || (self.flags.multiline && is_line_terminator(input[pos]))
-            }
-            AssertionKind::WordBoundary => {
-                self.is_word_at(input, pos.wrapping_sub(1)) != self.is_word_at(input, pos)
-            }
-            AssertionKind::NotWordBoundary => {
-                self.is_word_at(input, pos.wrapping_sub(1)) == self.is_word_at(input, pos)
-            }
-        }
-    }
-
-    fn is_word_at(&self, input: &[char], pos: usize) -> bool {
-        input
-            .get(pos)
-            .is_some_and(|&c| c.is_ascii_alphanumeric() || c == '_')
+        assertion_holds(kind, input, pos, self.flags)
     }
 
     fn char_eq(&self, a: char, b: char) -> bool {
-        if a == b {
-            return true;
-        }
-        if self.flags.ignore_case {
-            canonicalize(a, self.flags.unicode) == canonicalize(b, self.flags.unicode)
-        } else {
-            false
-        }
+        char_eq(a, b, self.flags)
     }
 
     fn class_contains(&self, set: &regex_syntax_es6::class::ClassSet, c: char) -> bool {
-        if !self.flags.ignore_case {
-            return set.contains(c);
-        }
-        // ES262 §21.2.2.8.1 CharacterSetMatcher: `c` is in the class iff
-        // some member `a` of the *raw* item set has Canonicalize(a) ==
-        // Canonicalize(c); the class-level negation applies only
-        // afterwards. (Testing case variants against the negated set —
-        // the old shortcut — inverted the semantics: `[^b]` under `i`
-        // accepted `b` because `B ∈ [^b]`.)
-        //
-        // Fast path first: `c` trivially satisfies the canonical
-        // equation with itself, and this is the backtracking engine's
-        // hot loop — the variant vectors only allocate on a miss.
-        if set.raw_contains(c) {
-            return !set.negated;
-        }
-        let canon = canonicalize(c, self.flags.unicode);
-        let inside = std::iter::once(canon)
-            .chain(regex_syntax_es6::class::simple_case_variants(c))
-            .chain(regex_syntax_es6::class::simple_case_variants(canon))
-            .any(|a| a != c && canonicalize(a, self.flags.unicode) == canon && set.raw_contains(a));
-        inside != set.negated
+        class_contains(set, c, self.flags)
     }
+}
+
+/// ES262 §21.2.2.6 assertion semantics, shared verbatim by both engines
+/// so the Pike VM can never drift from the backtracker on `^`/`$`/`\b`.
+pub(crate) fn assertion_holds(
+    kind: AssertionKind,
+    input: &[char],
+    pos: usize,
+    flags: Flags,
+) -> bool {
+    match kind {
+        AssertionKind::StartAnchor => {
+            pos == 0 || (flags.multiline && is_line_terminator(input[pos - 1]))
+        }
+        AssertionKind::EndAnchor => {
+            pos == input.len() || (flags.multiline && is_line_terminator(input[pos]))
+        }
+        AssertionKind::WordBoundary => {
+            is_word_at(input, pos.wrapping_sub(1)) != is_word_at(input, pos)
+        }
+        AssertionKind::NotWordBoundary => {
+            is_word_at(input, pos.wrapping_sub(1)) == is_word_at(input, pos)
+        }
+    }
+}
+
+pub(crate) fn is_word_at(input: &[char], pos: usize) -> bool {
+    input
+        .get(pos)
+        .is_some_and(|&c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Literal comparison under the flag set (ES262 §21.2.2.8.2), shared by
+/// both engines.
+pub(crate) fn char_eq(a: char, b: char, flags: Flags) -> bool {
+    if a == b {
+        return true;
+    }
+    if flags.ignore_case {
+        canonicalize(a, flags.unicode) == canonicalize(b, flags.unicode)
+    } else {
+        false
+    }
+}
+
+/// Class membership under the flag set, shared by both engines.
+pub(crate) fn class_contains(
+    set: &regex_syntax_es6::class::ClassSet,
+    c: char,
+    flags: Flags,
+) -> bool {
+    if !flags.ignore_case {
+        return set.contains(c);
+    }
+    // ES262 §21.2.2.8.1 CharacterSetMatcher: `c` is in the class iff
+    // some member `a` of the *raw* item set has Canonicalize(a) ==
+    // Canonicalize(c); the class-level negation applies only
+    // afterwards. (Testing case variants against the negated set —
+    // the old shortcut — inverted the semantics: `[^b]` under `i`
+    // accepted `b` because `B ∈ [^b]`.)
+    //
+    // Fast path first: `c` trivially satisfies the canonical
+    // equation with itself, and this is the backtracking engine's
+    // hot loop — the variant vectors only allocate on a miss.
+    if set.raw_contains(c) {
+        return !set.negated;
+    }
+    let canon = canonicalize(c, flags.unicode);
+    let inside = std::iter::once(canon)
+        .chain(regex_syntax_es6::class::simple_case_variants(c))
+        .chain(regex_syntax_es6::class::simple_case_variants(canon))
+        .any(|a| a != c && canonicalize(a, flags.unicode) == canon && set.raw_contains(a));
+    inside != set.negated
 }
 
 /// ES262 §21.2.2.8.2 Canonicalize: simple uppercase mapping, keeping the

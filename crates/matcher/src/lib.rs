@@ -1,12 +1,27 @@
-//! An ES6-compliant backtracking regular expression matcher.
+//! An ES6-compliant regular expression matcher with two engines.
 //!
 //! This crate is the *concrete matcher* of the PLDI'19 reproduction: the
 //! specification-faithful oracle that the CEGAR refinement loop
 //! (Algorithm 1 of the paper) uses to validate candidate capture-group
-//! assignments. It interprets the [`regex_syntax_es6::Ast`] directly with
-//! the continuation-passing semantics of ES262 §21.2.2, so matching
-//! precedence (greedy/lazy), capture-reset-per-iteration, backreferences
-//! and lookaheads all behave exactly as in a JavaScript engine.
+//! assignments.
+//!
+//! Two engines share the exact same observable semantics:
+//!
+//! - [`exec::Engine`] — the backtracking reference. It interprets the
+//!   [`regex_syntax_es6::Ast`] directly with the continuation-passing
+//!   semantics of ES262 §21.2.2, so matching precedence (greedy/lazy),
+//!   capture-reset-per-iteration, backreferences and lookaheads all
+//!   behave exactly as in a JavaScript engine. Worst-case exponential;
+//!   its step budget doubles as a ReDoS detector.
+//! - [`pikevm::PikeVm`] — the `O(n·m)` fast path: the AST is compiled
+//!   to a Thompson NFA program ([`prog`]) with capture-slot saves,
+//!   per-iteration capture resets, char-class compression and literal
+//!   prefilters, then simulated breadth-first with priority-ordered
+//!   thread lists.
+//!
+//! The static analysis in [`select()`] routes each pattern: anything the
+//! compiler cannot express faithfully (backreferences foremost) stays on
+//! the backtracker; [`RegExp`] applies the routing transparently.
 //!
 //! # Examples
 //!
@@ -22,6 +37,12 @@
 
 pub mod api;
 pub mod exec;
+pub mod pikevm;
+pub mod prog;
+pub mod select;
 
 pub use api::{string_match, string_replace, string_search, string_split, MatchResult, RegExp};
 pub use exec::{canonicalize, Captures, Engine, Match, StepLimitExceeded};
+pub use pikevm::PikeVm;
+pub use prog::{compile, Prefilter, Prog};
+pub use select::{select, EngineKind, Selection};

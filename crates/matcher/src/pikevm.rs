@@ -1,0 +1,454 @@
+//! The Pike-VM fast path: breadth-first Thompson-NFA simulation with
+//! capture tracking, in `O(n·m)` steps.
+//!
+//! All live threads advance through the input in lockstep, one position
+//! at a time. Within a position the thread list is *priority ordered* —
+//! list order is exactly the backtracking engine's exploration order —
+//! and a per-position sparse-set dedups program counters, so at most one
+//! thread (the highest-priority one) owns each `(pc, position)` pair.
+//! Because the fast path never runs patterns with backreferences, a
+//! thread's future behavior is independent of its capture state, which
+//! makes the dedup lossless: the discarded thread's continuations either
+//! exist at higher priority already or fail identically.
+//!
+//! When a thread reaches [`Inst::Match`], the match is recorded and all
+//! *lower*-priority threads are cut; surviving higher-priority threads
+//! keep running and override the record if they match later — yielding
+//! exactly the backtracker's greedy/lazy/leftmost answer, captures
+//! included. Unanchored search seeds one new lowest-priority thread per
+//! position (skipping ahead via the compiled [`Prefilter`]) until a
+//! match is recorded.
+//!
+//! Lookaheads run as memoized sub-VMs over their own code segments: a
+//! result depends only on `(lookahead, position)` since every group
+//! inside a lookahead is undefined on entry (per-iteration resets clear
+//! them, and without backreferences nothing else can set them first).
+//! Positive lookaheads merge the sub-match's capture slots into the
+//! thread (ES6 retains them); negative lookaheads discard them.
+
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use crate::exec::{assertion_holds, CaptureSlot, Captures, Match, StepLimitExceeded};
+use crate::prog::{in_ranges, Inst, Prefilter, Prog, OPEN_SENTINEL};
+
+/// One VM thread: a program counter plus the capture state and match
+/// start it carries. Capture vectors are shared copy-on-write.
+#[derive(Clone)]
+struct Thread {
+    pc: u32,
+    start: usize,
+    caps: Rc<Vec<CaptureSlot>>,
+}
+
+/// A recorded match: `(start, end, captures)`.
+type RunHit = (usize, usize, Rc<Vec<CaptureSlot>>);
+
+/// Per-execution scratch shared across the main run and lookahead
+/// sub-runs: the step budget, the lookahead memo table, and (for
+/// ignore-case programs) the per-character set-membership memo.
+struct RunState {
+    fuel: u64,
+    steps: u64,
+    /// `(lookahead index, position)` → sub-match captures (or no match).
+    memo: HashMap<(u32, usize), Option<Rc<Vec<CaptureSlot>>>>,
+    /// Ignore-case path: char → bitmask over the program's match sets,
+    /// filled lazily through the same predicates the backtracker uses.
+    set_memo: HashMap<char, Vec<u64>>,
+}
+
+impl RunState {
+    fn charge(&mut self) -> Result<(), StepLimitExceeded> {
+        self.steps += 1;
+        if self.fuel == 0 {
+            return Err(StepLimitExceeded);
+        }
+        self.fuel -= 1;
+        Ok(())
+    }
+}
+
+/// The Pike VM over one compiled [`Prog`].
+#[derive(Debug)]
+pub struct PikeVm<'p> {
+    prog: &'p Prog,
+    last_steps: Cell<u64>,
+}
+
+impl<'p> PikeVm<'p> {
+    /// Creates a VM over a compiled program.
+    pub fn new(prog: &'p Prog) -> PikeVm<'p> {
+        PikeVm {
+            prog,
+            last_steps: Cell::new(0),
+        }
+    }
+
+    /// Instruction visits spent by the most recent call — the fast
+    /// path's analogue of the backtracker's step count, used by the
+    /// ReDoS bench to witness the `O(n·m)` bound.
+    pub fn last_steps(&self) -> u64 {
+        self.last_steps.get()
+    }
+
+    /// Anchored match at `start` (the spec's `[[Match]]`), unbudgeted.
+    pub fn match_at(&self, input: &[char], start: usize) -> Option<Match> {
+        self.match_at_within(input, start, u64::MAX)
+            .expect("unbounded run cannot exhaust")
+    }
+
+    /// Anchored match at `start` under a step budget.
+    ///
+    /// # Errors
+    ///
+    /// [`StepLimitExceeded`] when the budget ran out — with the VM's
+    /// linear bound this only happens when `step_limit` is below
+    /// `O(n·m)`, unlike the backtracker where it signals blowup.
+    pub fn match_at_within(
+        &self,
+        input: &[char],
+        start: usize,
+        step_limit: u64,
+    ) -> Result<Option<Match>, StepLimitExceeded> {
+        self.exec(input, start, true, step_limit)
+    }
+
+    /// Unanchored leftmost search from `start`, unbudgeted.
+    pub fn search(&self, input: &[char], start: usize) -> Option<Match> {
+        self.search_within(input, start, u64::MAX)
+            .expect("unbounded run cannot exhaust")
+    }
+
+    /// Unanchored leftmost search from `start` under a step budget.
+    ///
+    /// # Errors
+    ///
+    /// [`StepLimitExceeded`] when the budget ran out before a verdict.
+    pub fn search_within(
+        &self,
+        input: &[char],
+        start: usize,
+        step_limit: u64,
+    ) -> Result<Option<Match>, StepLimitExceeded> {
+        self.exec(input, start, false, step_limit)
+    }
+
+    fn exec(
+        &self,
+        input: &[char],
+        start: usize,
+        anchored: bool,
+        step_limit: u64,
+    ) -> Result<Option<Match>, StepLimitExceeded> {
+        if start > input.len() {
+            return Ok(None);
+        }
+        let mut rs = RunState {
+            fuel: step_limit,
+            steps: 0,
+            memo: HashMap::new(),
+            set_memo: HashMap::new(),
+        };
+        let result = self.run(&mut rs, input, start, anchored, self.prog.start);
+        self.last_steps.set(rs.steps);
+        let (m_start, m_end, caps) = match result? {
+            Some(hit) => hit,
+            None => return Ok(None),
+        };
+        let slots = (*caps).clone();
+        debug_assert!(
+            slots
+                .iter()
+                .all(|s| s.is_none_or(|(_, e)| e != OPEN_SENTINEL)),
+            "group open without close survived to a match"
+        );
+        Ok(Some(Match {
+            start: m_start,
+            end: m_end,
+            captures: Captures(slots),
+        }))
+    }
+
+    /// Core simulation: runs the segment at `entry` over `input`
+    /// starting at `at`. Returns the highest-priority match `(start,
+    /// end, captures)`, honoring leftmost seeding when unanchored.
+    ///
+    /// Lists and the visited sparse-set are local so lookahead sub-runs
+    /// (which re-enter `run` through `look_result`) cannot clobber the
+    /// caller's closure state.
+    fn run(
+        &self,
+        rs: &mut RunState,
+        input: &[char],
+        at: usize,
+        anchored: bool,
+        entry: u32,
+    ) -> Result<Option<RunHit>, StepLimitExceeded> {
+        let len = input.len();
+        let mut visited = vec![0u32; self.prog.code.len()];
+        let mut gen: u32 = 1;
+        let mut clist: Vec<Thread> = Vec::new();
+        let mut nlist: Vec<Thread> = Vec::new();
+        let mut record: Option<RunHit> = None;
+        let fresh: Rc<Vec<CaptureSlot>> = Rc::new(vec![None; self.prog.group_count as usize + 1]);
+        let mut pos = at;
+
+        if anchored {
+            self.add_thread(
+                rs,
+                &mut clist,
+                &mut visited,
+                gen,
+                entry,
+                at,
+                at,
+                fresh.clone(),
+                input,
+            )?;
+        }
+        loop {
+            if !anchored && record.is_none() && pos <= len {
+                if clist.is_empty() {
+                    // Nothing alive: free to skip to the next candidate
+                    // start position via the prefilter.
+                    match self.prefilter_skip(input, pos) {
+                        Some(p) if p <= len => {
+                            if p != pos {
+                                pos = p;
+                                gen += 1; // stale marks were for the old position
+                            }
+                        }
+                        _ => break,
+                    }
+                }
+                // Seed the new start as the lowest-priority thread.
+                self.add_thread(
+                    rs,
+                    &mut clist,
+                    &mut visited,
+                    gen,
+                    entry,
+                    pos,
+                    pos,
+                    fresh.clone(),
+                    input,
+                )?;
+            }
+            if clist.is_empty() {
+                if !anchored && record.is_none() && pos < len {
+                    // The seed died instantly (e.g. a failed assertion);
+                    // try the next position.
+                    pos += 1;
+                    gen += 1;
+                    continue;
+                }
+                break;
+            }
+            // Consume step at `pos`: build the next list under a fresh
+            // generation. Lists only ever hold Char and Match threads.
+            gen += 1;
+            let cell = if pos < len {
+                self.prog.class_cell(input[pos])
+            } else {
+                None
+            };
+            let mut cut = false;
+            for t in &clist {
+                rs.charge()?;
+                match self.prog.code[t.pc as usize] {
+                    Inst::Char { set } => {
+                        let hit = pos < len
+                            && match cell {
+                                Some(cell) => self.prog.set_matches_cell(set, cell),
+                                None => self.set_match_dyn(rs, set, input[pos]),
+                            };
+                        if hit {
+                            self.add_thread(
+                                rs,
+                                &mut nlist,
+                                &mut visited,
+                                gen,
+                                t.pc + 1,
+                                pos + 1,
+                                t.start,
+                                t.caps.clone(),
+                                input,
+                            )?;
+                        }
+                    }
+                    Inst::Match => {
+                        // Record and cut every lower-priority thread;
+                        // survivors already in nlist outrank this match
+                        // and override the record if they match later.
+                        record = Some((t.start, pos, t.caps.clone()));
+                        cut = true;
+                    }
+                    _ => unreachable!("lists hold only Char/Match threads"),
+                }
+                if cut {
+                    break;
+                }
+            }
+            clist.clear();
+            std::mem::swap(&mut clist, &mut nlist);
+            pos += 1;
+        }
+        Ok(record)
+    }
+
+    /// ε-closure: follows zero-width instructions from `pc` in priority
+    /// (DFS pre-)order, appending reached `Char`/`Match` threads to
+    /// `list`. The sparse-set ensures each PC is claimed once per
+    /// position, by its highest-priority visitor.
+    #[allow(clippy::too_many_arguments)]
+    fn add_thread(
+        &self,
+        rs: &mut RunState,
+        list: &mut Vec<Thread>,
+        visited: &mut [u32],
+        gen: u32,
+        pc: u32,
+        pos: usize,
+        start: usize,
+        caps: Rc<Vec<CaptureSlot>>,
+        input: &[char],
+    ) -> Result<(), StepLimitExceeded> {
+        let mut stack = vec![(pc, caps)];
+        while let Some((pc, caps)) = stack.pop() {
+            if visited[pc as usize] == gen {
+                continue;
+            }
+            visited[pc as usize] = gen;
+            rs.charge()?;
+            match &self.prog.code[pc as usize] {
+                Inst::Jmp(target) => stack.push((*target, caps)),
+                Inst::Split { pref, alt } => {
+                    // `pref` and its whole subtree must be explored
+                    // before `alt`: push `alt` first (LIFO).
+                    stack.push((*alt, caps.clone()));
+                    stack.push((*pref, caps));
+                }
+                Inst::Open { group } => {
+                    let mut caps = caps;
+                    Rc::make_mut(&mut caps)[*group as usize] = Some((pos, OPEN_SENTINEL));
+                    stack.push((pc + 1, caps));
+                }
+                Inst::Close { group } => {
+                    let mut caps = caps;
+                    let slots = Rc::make_mut(&mut caps);
+                    let open = slots[*group as usize].map_or(pos, |(s, _)| s);
+                    slots[*group as usize] = Some((open, pos));
+                    stack.push((pc + 1, caps));
+                }
+                Inst::Reset { lo, hi } => {
+                    let mut caps = caps;
+                    let slots = Rc::make_mut(&mut caps);
+                    for g in *lo..=*hi {
+                        slots[g as usize] = None;
+                    }
+                    stack.push((pc + 1, caps));
+                }
+                Inst::Assert(kind) => {
+                    if assertion_holds(*kind, input, pos, self.prog.flags) {
+                        stack.push((pc + 1, caps));
+                    }
+                }
+                Inst::Look { look } => {
+                    let look = *look;
+                    let sub = self.look_result(rs, look, pos, input)?;
+                    let entry = &self.prog.looks[look as usize];
+                    if entry.negative {
+                        if sub.is_none() {
+                            stack.push((pc + 1, caps));
+                        }
+                    } else if let Some(sub) = sub {
+                        // ES6 retains captures made inside a positive
+                        // lookahead: merge its group slots.
+                        if entry.group_lo == entry.group_hi {
+                            stack.push((pc + 1, caps));
+                        } else {
+                            let mut caps = caps;
+                            let slots = Rc::make_mut(&mut caps);
+                            for g in entry.group_lo..entry.group_hi {
+                                slots[g as usize] = sub[g as usize];
+                            }
+                            stack.push((pc + 1, caps));
+                        }
+                    }
+                }
+                // A nullable loop body's ε exit: the iteration matched
+                // empty and fails (ES262 RepeatMatcher's empty check).
+                Inst::Fail => {}
+                Inst::Char { .. } | Inst::Match => list.push(Thread { pc, start, caps }),
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs (or recalls) lookahead `idx` at `pos`. The result is a pure
+    /// function of `(idx, pos)`: groups inside a lookahead are always
+    /// undefined on entry, so the sub-VM starts from fresh captures.
+    fn look_result(
+        &self,
+        rs: &mut RunState,
+        idx: u32,
+        pos: usize,
+        input: &[char],
+    ) -> Result<Option<Rc<Vec<CaptureSlot>>>, StepLimitExceeded> {
+        if let Some(cached) = rs.memo.get(&(idx, pos)) {
+            return Ok(cached.clone());
+        }
+        let entry = self.prog.looks[idx as usize].entry;
+        let result = self.run(rs, input, pos, true, entry)?;
+        let caps = result.map(|(_, _, caps)| caps);
+        rs.memo.insert((idx, pos), caps.clone());
+        Ok(caps)
+    }
+
+    /// Set membership for ignore-case programs: a lazily filled per-run
+    /// memo over the exact predicates shared with the backtracker.
+    fn set_match_dyn(&self, rs: &mut RunState, set: u32, c: char) -> bool {
+        let words = self.prog.sets.len().div_ceil(64);
+        let prog = self.prog;
+        let mask = rs.set_memo.entry(c).or_insert_with(|| {
+            let mut v = vec![0u64; words];
+            for i in 0..prog.sets.len() {
+                if prog.set_matches_uncached(i as u32, c) {
+                    v[i / 64] |= 1 << (i % 64);
+                }
+            }
+            v
+        });
+        mask[set as usize / 64] >> (set % 64) & 1 == 1
+    }
+
+    /// Earliest candidate start position `>= pos`, or `None` when the
+    /// prefilter proves no further match can start.
+    fn prefilter_skip(&self, input: &[char], pos: usize) -> Option<usize> {
+        match &self.prog.prefilter {
+            Prefilter::None => Some(pos),
+            Prefilter::StartAnchor => {
+                if pos == 0 {
+                    Some(0)
+                } else {
+                    None
+                }
+            }
+            Prefilter::Literal(prefix) => {
+                let first = prefix[0];
+                let mut at = pos;
+                while at + prefix.len() <= input.len() {
+                    if input[at] == first && input[at..at + prefix.len()] == prefix[..] {
+                        return Some(at);
+                    }
+                    at += 1;
+                }
+                None
+            }
+            Prefilter::FirstSet(ranges) => {
+                (pos..input.len()).find(|&at| in_ranges(ranges, input[at]))
+            }
+        }
+    }
+}

@@ -1,0 +1,838 @@
+//! Thompson-NFA compilation of the ES6 regex AST.
+//!
+//! [`compile`] lowers an [`Ast`] into a flat instruction [`Prog`] that the
+//! Pike VM ([`crate::pikevm`]) simulates breadth-first in `O(n·m)`. The
+//! compiler preserves the spec corners the backtracking oracle
+//! implements operationally:
+//!
+//! - **Capture reset per quantifier iteration** (ES262 §21.2.2.5.1
+//!   RepeatMatcher step 4): every loop body and every unrolled copy of a
+//!   bounded repeat starts with an explicit [`Inst::Reset`] over the
+//!   capture groups inside the atom.
+//! - **Empty-iteration termination**: a loop over a *nullable* body is
+//!   compiled in consumption-tracking mode (`Compiler::compile_tracked`):
+//!   the body gets two exits, paths that consumed a character jump back
+//!   to the loop head while paths that matched ε hit [`Inst::Fail`] —
+//!   the spec's "an iteration beyond `min` that matches empty fails"
+//!   rule, enforced structurally. As a consequence every cycle in the
+//!   compiled code graph passes through a consuming instruction, so the
+//!   ε-closure explored at any single position is *acyclic* and the
+//!   VM's per-position dedup is a pure optimization: on a DAG, DFS with
+//!   a global visited set yields the same first-reach order of
+//!   consuming/accepting instructions as the backtracker's exploration.
+//!   Bounded repeats `{m,n}` with `n > m` over a nullable body are the
+//!   one shape still routed to the backtracker (each unrolled copy
+//!   would need its own tracked continuation chain; the shape is rare).
+//! - **Lookahead capture retention**: each lookahead compiles to its own
+//!   code segment run as a memoized sub-VM; a positive lookahead merges
+//!   the sub-match's capture slots into the thread, a negative one
+//!   discards them.
+//!
+//! Two accelerations are baked into the program. *Char-class
+//! compression* partitions the scalar-value space into equivalence
+//! classes at compile time (for case-sensitive patterns, where the match
+//! sets are exact ranges), so the VM tests a dense bitset instead of
+//! scanning class ASTs; ignore-case patterns use a per-run memo keyed by
+//! character that evaluates the same predicates as the backtracker. A
+//! *literal prefilter* records a required prefix or first-character set
+//! so unanchored search can skip to candidate start positions.
+
+use regex_syntax_es6::ast::{AssertionKind, Ast};
+use regex_syntax_es6::class::ClassSet;
+use regex_syntax_es6::Flags;
+
+use crate::exec::{char_eq, class_contains};
+
+/// Why a pattern cannot take the Pike-VM fast path (see [`crate::select()`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fallback {
+    /// Human-readable routing reason, stable for counters and logs.
+    pub reason: &'static str,
+}
+
+/// Hard cap on compiled program size: bounded repeats unroll, and a
+/// pattern like `(ab){1000,2000}` should fall back rather than produce a
+/// program whose *linear* cost is worse than backtracking the original.
+const MAX_PROG_LEN: usize = 40_000;
+
+/// Sentinel for "group opened, not yet closed" in a thread's capture
+/// vector. Structurally unreachable in a finished match: every path from
+/// an [`Inst::Open`] to a segment's [`Inst::Match`] passes the matching
+/// [`Inst::Close`].
+pub const OPEN_SENTINEL: usize = usize::MAX;
+
+/// One Pike-VM instruction. `u32` targets index [`Prog::code`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Inst {
+    /// Consume one character contained in `Prog::sets[set]`.
+    Char { set: u32 },
+    /// Accept: the current segment matched, ending at the current position.
+    Match,
+    /// Fork: prefer `pref`, then `alt` (priority order = backtracker order).
+    Split { pref: u32, alt: u32 },
+    /// Unconditional jump.
+    Jmp(u32),
+    /// Record the open position of capture group `group`.
+    Open { group: u32 },
+    /// Record the close position of capture group `group`.
+    Close { group: u32 },
+    /// Clear capture groups `lo..=hi` (RepeatMatcher's per-iteration reset).
+    Reset { lo: u32, hi: u32 },
+    /// Dead end: the thread dies. Emitted on the ε-exit of a nullable
+    /// loop body — the spec's "an iteration beyond `min` that matches
+    /// empty fails" rule, enforced structurally.
+    Fail,
+    /// Zero-width spec assertion (`^`, `$`, `\b`, `\B`).
+    Assert(AssertionKind),
+    /// Run lookahead `Prog::looks[look]` as a memoized sub-VM.
+    Look { look: u32 },
+}
+
+/// A consuming instruction's character set, in source terms. The VM only
+/// consults these through [`Prog::set_matches_uncached`] (or the
+/// compressed table), so the predicates stay byte-identical to the
+/// backtracker's.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MatchSet {
+    /// A literal character (under `i`, canonical equivalence).
+    Literal(char),
+    /// A bracket class (negation and case folding applied at test time).
+    Class(ClassSet),
+    /// `.` — everything except line terminators unless `s` is set.
+    Dot,
+}
+
+/// One lookahead sub-program: a code segment ending in [`Inst::Match`].
+#[derive(Debug, Clone)]
+pub struct LookEntry {
+    /// `(?!…)` when true, `(?=…)` when false.
+    pub negative: bool,
+    /// Entry PC of the segment.
+    pub entry: u32,
+    /// Capture groups inside the lookahead (`lo..hi`, half-open; empty
+    /// when `lo == hi`). Group indices of a subtree are contiguous, so a
+    /// range suffices; a positive lookahead merges exactly these slots.
+    pub group_lo: u32,
+    /// One past the last group index inside the lookahead.
+    pub group_hi: u32,
+}
+
+/// Compile-time char-class compression: the scalar-value space is cut at
+/// every range boundary of every match set, producing equivalence
+/// classes within which every set agrees. Membership is then one binary
+/// search (char → class) plus one bit test per set.
+///
+/// Only built for case-sensitive patterns, where each set's match set is
+/// an exact union of ranges. Under `i`, canonical equivalence makes the
+/// cells non-uniform (e.g. `ſ` matches `/[S]/iu` but shares no compile
+/// time range with `S`), so the VM uses a per-run character memo over
+/// the shared predicates instead.
+#[derive(Debug, Clone)]
+pub struct ClassTable {
+    /// Sorted cell boundaries; cell `i` covers `cuts[i]..cuts[i+1]`
+    /// (the last cell extends to the end of the scalar space).
+    cuts: Vec<u32>,
+    /// Dense bitsets, `words_per_set` words per match set, bit = cell id.
+    bits: Vec<u64>,
+    words_per_set: usize,
+}
+
+impl ClassTable {
+    fn cell_of(&self, c: char) -> usize {
+        // partition_point returns the count of cuts <= c, which is >= 1
+        // because cuts[0] == 0.
+        self.cuts.partition_point(|&cut| cut <= c as u32) - 1
+    }
+
+    fn contains(&self, set: u32, cell: usize) -> bool {
+        let word = self.bits[set as usize * self.words_per_set + cell / 64];
+        word >> (cell % 64) & 1 == 1
+    }
+}
+
+/// How unanchored search skips to candidate start positions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Prefilter {
+    /// No skipping: every position is a candidate.
+    None,
+    /// Leading `^` without `m`: the only candidate position is 0.
+    StartAnchor,
+    /// The match must begin with this literal sequence (length >= 2);
+    /// search scans for it memchr-style.
+    Literal(Vec<char>),
+    /// The first consumed character must fall in these sorted ranges.
+    FirstSet(Vec<(u32, u32)>),
+}
+
+/// A compiled Thompson-NFA program.
+#[derive(Debug, Clone)]
+pub struct Prog {
+    /// Flat code: the main segment first, then one segment per lookahead.
+    pub code: Vec<Inst>,
+    /// Entry PC of the main segment (always 0 today, kept explicit).
+    pub start: u32,
+    /// Number of capture groups (excluding the whole match).
+    pub group_count: u32,
+    /// The pattern's flag set (drives predicates and assertions).
+    pub flags: Flags,
+    /// Character sets referenced by [`Inst::Char`].
+    pub sets: Vec<MatchSet>,
+    /// Compressed class table (case-sensitive patterns only).
+    pub classes: Option<ClassTable>,
+    /// Lookahead segments referenced by [`Inst::Look`].
+    pub looks: Vec<LookEntry>,
+    /// Start-position skip strategy for unanchored search.
+    pub prefilter: Prefilter,
+}
+
+impl Prog {
+    /// Evaluates set membership through the exact predicates the
+    /// backtracking engine uses (the VM's ignore-case/memo-miss path).
+    pub fn set_matches_uncached(&self, set: u32, c: char) -> bool {
+        match &self.sets[set as usize] {
+            MatchSet::Literal(lit) => char_eq(c, *lit, self.flags),
+            MatchSet::Class(class) => class_contains(class, c, self.flags),
+            MatchSet::Dot => self.flags.dot_all || !regex_syntax_es6::class::is_line_terminator(c),
+        }
+    }
+
+    /// Bitset row lookup helper for the VM: the cell of `c`, when the
+    /// compressed table exists.
+    pub fn class_cell(&self, c: char) -> Option<usize> {
+        self.classes.as_ref().map(|t| t.cell_of(c))
+    }
+
+    /// Membership via the compressed table (`cell` from [`Self::class_cell`]).
+    pub fn set_matches_cell(&self, set: u32, cell: usize) -> bool {
+        self.classes
+            .as_ref()
+            .expect("set_matches_cell requires a class table")
+            .contains(set, cell)
+    }
+}
+
+/// Compiles `ast` under `flags`, or reports why the pattern must take
+/// the backtracking fallback.
+///
+/// # Errors
+///
+/// [`Fallback`] when the pattern uses backreferences, a bounded repeat
+/// `{m,n}` (`n > m`) over a nullable body, or compiles past the program
+/// size cap.
+pub fn compile(ast: &Ast, flags: Flags) -> Result<Prog, Fallback> {
+    let mut c = Compiler {
+        code: Vec::new(),
+        sets: Vec::new(),
+        looks: Vec::new(),
+        pending_looks: Vec::new(),
+    };
+    c.compile_node(ast)?;
+    c.emit(Inst::Match)?;
+    // Lookahead segments are appended after the segment that references
+    // them; nested lookaheads queue more work.
+    let mut next = 0;
+    while next < c.pending_looks.len() {
+        let (idx, sub) = c.pending_looks[next].clone();
+        next += 1;
+        c.looks[idx as usize].entry = c.code.len() as u32;
+        c.compile_node(&sub)?;
+        c.emit(Inst::Match)?;
+    }
+    let classes = if flags.ignore_case {
+        None
+    } else {
+        Some(build_class_table(&c.sets, flags))
+    };
+    Ok(Prog {
+        start: 0,
+        group_count: ast.capture_count(),
+        flags,
+        prefilter: build_prefilter(ast, flags),
+        code: c.code,
+        sets: c.sets,
+        classes,
+        looks: c.looks,
+    })
+}
+
+struct Compiler {
+    code: Vec<Inst>,
+    sets: Vec<MatchSet>,
+    looks: Vec<LookEntry>,
+    pending_looks: Vec<(u32, Ast)>,
+}
+
+impl Compiler {
+    fn emit(&mut self, inst: Inst) -> Result<u32, Fallback> {
+        if self.code.len() >= MAX_PROG_LEN {
+            return Err(Fallback {
+                reason: "program size cap",
+            });
+        }
+        self.code.push(inst);
+        Ok(self.code.len() as u32 - 1)
+    }
+
+    fn here(&self) -> u32 {
+        self.code.len() as u32
+    }
+
+    fn add_set(&mut self, set: MatchSet) -> u32 {
+        if let Some(at) = self.sets.iter().position(|s| *s == set) {
+            return at as u32;
+        }
+        self.sets.push(set);
+        self.sets.len() as u32 - 1
+    }
+
+    fn compile_node(&mut self, ast: &Ast) -> Result<(), Fallback> {
+        match ast {
+            Ast::Empty => Ok(()),
+            Ast::Literal(c) => {
+                let set = self.add_set(MatchSet::Literal(*c));
+                self.emit(Inst::Char { set })?;
+                Ok(())
+            }
+            Ast::Dot => {
+                let set = self.add_set(MatchSet::Dot);
+                self.emit(Inst::Char { set })?;
+                Ok(())
+            }
+            Ast::Class(class) => {
+                let set = self.add_set(MatchSet::Class(class.clone()));
+                self.emit(Inst::Char { set })?;
+                Ok(())
+            }
+            Ast::Assertion(kind) => {
+                self.emit(Inst::Assert(*kind))?;
+                Ok(())
+            }
+            Ast::Group { index, ast } => {
+                self.emit(Inst::Open { group: *index })?;
+                self.compile_node(ast)?;
+                self.emit(Inst::Close { group: *index })?;
+                Ok(())
+            }
+            Ast::NonCapturing(ast) => self.compile_node(ast),
+            Ast::Lookahead { negative, ast } => {
+                let idx = self.looks.len() as u32;
+                let groups = ast.capture_indices();
+                let (lo, hi) = match (groups.first(), groups.last()) {
+                    (Some(&lo), Some(&hi)) => (lo, hi + 1),
+                    _ => (0, 0),
+                };
+                self.looks.push(LookEntry {
+                    negative: *negative,
+                    entry: 0, // patched once the segment is emitted
+                    group_lo: lo,
+                    group_hi: hi,
+                });
+                self.pending_looks.push((idx, (**ast).clone()));
+                self.emit(Inst::Look { look: idx })?;
+                Ok(())
+            }
+            Ast::Backref(_) => Err(Fallback {
+                reason: "backreference",
+            }),
+            Ast::Alt(items) => {
+                if items.is_empty() {
+                    return Ok(());
+                }
+                // S1: Split(B1, S2); S2: Split(B2, B3); …; the last
+                // branch falls through. Every non-final branch jumps to
+                // the common exit. Split preference order = source order
+                // = the backtracker's exploration order.
+                let mut jumps = Vec::new();
+                for (i, item) in items.iter().enumerate() {
+                    if i + 1 < items.len() {
+                        let sp = self.emit(Inst::Split { pref: 0, alt: 0 })?;
+                        self.compile_node(item)?;
+                        jumps.push(self.emit(Inst::Jmp(0))?);
+                        let next = self.here();
+                        self.code[sp as usize] = Inst::Split {
+                            pref: sp + 1,
+                            alt: next,
+                        };
+                    } else {
+                        self.compile_node(item)?;
+                    }
+                }
+                let exit = self.here();
+                for j in jumps {
+                    self.code[j as usize] = Inst::Jmp(exit);
+                }
+                Ok(())
+            }
+            Ast::Concat(items) => {
+                for item in items {
+                    self.compile_node(item)?;
+                }
+                Ok(())
+            }
+            Ast::Repeat {
+                ast: body,
+                min,
+                max,
+                lazy,
+            } => self.compile_repeat(body, *min, *max, *lazy),
+        }
+    }
+
+    /// Emits the per-iteration capture reset for a repeat body, if the
+    /// body contains capture groups (RepeatMatcher step 4).
+    fn emit_reset(&mut self, body: &Ast) -> Result<(), Fallback> {
+        let groups = body.capture_indices();
+        if let (Some(&lo), Some(&hi)) = (groups.first(), groups.last()) {
+            self.emit(Inst::Reset { lo, hi })?;
+        }
+        Ok(())
+    }
+
+    fn compile_repeat(
+        &mut self,
+        body: &Ast,
+        min: u32,
+        max: Option<u32>,
+        lazy: bool,
+    ) -> Result<(), Fallback> {
+        if max == Some(0) {
+            // `x{0}`: matches ε, groups inside are never touched.
+            return Ok(());
+        }
+        // Mandatory copies: iterations up to `min` may match empty (the
+        // spec's empty check only fails iterations *beyond* min).
+        for _ in 0..min {
+            self.emit_reset(body)?;
+            self.compile_node(body)?;
+        }
+        match max {
+            None if !body.is_nullable() => {
+                // L: Split(body, X); body; Jmp(L); X:
+                // The body always consumes, so the loop-back edge is
+                // never part of a single position's ε-closure.
+                let split = self.emit(Inst::Split { pref: 0, alt: 0 })?;
+                self.emit_reset(body)?;
+                self.compile_node(body)?;
+                self.emit(Inst::Jmp(split))?;
+                let exit = self.here();
+                self.patch_loop_split(split, lazy, exit);
+                Ok(())
+            }
+            None => {
+                // Nullable body: compile it tracked so an ε-iteration
+                // dies at Fail and only consuming iterations loop back.
+                // L: Split(iter, X); iter: Reset; tracked(body)
+                //    { consumed -> Jmp(L); ε -> Fail }; X:
+                let split = self.emit(Inst::Split { pref: 0, alt: 0 })?;
+                self.emit_reset(body)?;
+                let consumed = self.compile_tracked(body)?;
+                self.emit(Inst::Fail)?;
+                let exit = self.here();
+                for j in consumed {
+                    self.code[j as usize] = Inst::Jmp(split);
+                }
+                self.patch_loop_split(split, lazy, exit);
+                Ok(())
+            }
+            Some(max) => {
+                let extra = max - min;
+                if extra == 0 {
+                    return Ok(());
+                }
+                if body.is_nullable() {
+                    // Each unrolled copy would need its own tracked
+                    // continuation chain (quadratic); rare shape, the
+                    // backtracker handles it.
+                    return Err(Fallback {
+                        reason: "bounded repeat of nullable body",
+                    });
+                }
+                // Chain of optional copies, each exiting to the common X.
+                let mut splits = Vec::new();
+                for _ in 0..extra {
+                    splits.push(self.emit(Inst::Split { pref: 0, alt: 0 })?);
+                    self.emit_reset(body)?;
+                    self.compile_node(body)?;
+                }
+                let exit = self.here();
+                for sp in splits {
+                    self.patch_loop_split(sp, lazy, exit);
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Patches a loop/optional `Split` at `sp`: the body starts at
+    /// `sp + 1`; greedy prefers the body, lazy prefers `exit`.
+    fn patch_loop_split(&mut self, sp: u32, lazy: bool, exit: u32) {
+        let body_start = sp + 1;
+        self.code[sp as usize] = if lazy {
+            Inst::Split {
+                pref: exit,
+                alt: body_start,
+            }
+        } else {
+            Inst::Split {
+                pref: body_start,
+                alt: exit,
+            }
+        };
+    }
+
+    /// Compiles `ast` in consumption-tracking mode: the emitted code has
+    /// two exits. Paths that consumed at least one character jump to the
+    /// returned `Jmp` placeholders (the caller patches them); paths that
+    /// matched ε fall through. Loop compilation uses this to enforce the
+    /// spec's empty-iteration rule structurally, which keeps every cycle
+    /// in the code graph behind a consuming instruction (so per-position
+    /// ε-closures stay acyclic and thread dedup is order-preserving).
+    ///
+    /// Every returned placeholder is dominated by a [`Inst::Char`]
+    /// traversed since the enclosing closure started, so patching one to
+    /// a loop head never creates an ε-cycle.
+    fn compile_tracked(&mut self, ast: &Ast) -> Result<Vec<u32>, Fallback> {
+        if !ast.is_nullable() {
+            // A non-nullable node always consumes: every path is a
+            // "consumed" path and no tracking is needed inside.
+            self.compile_node(ast)?;
+            return Ok(vec![self.emit(Inst::Jmp(0))?]);
+        }
+        match ast {
+            Ast::Empty => Ok(Vec::new()),
+            Ast::Assertion(kind) => {
+                self.emit(Inst::Assert(*kind))?;
+                Ok(Vec::new())
+            }
+            // Lookaheads are zero-width in ES6: the match continues at
+            // the same position, so the path stays on the ε exit.
+            Ast::Lookahead { .. } => {
+                self.compile_node(ast)?;
+                Ok(Vec::new())
+            }
+            Ast::Backref(_) => Err(Fallback {
+                reason: "backreference",
+            }),
+            Ast::NonCapturing(inner) => self.compile_tracked(inner),
+            Ast::Group { index, ast: inner } => {
+                // Both exits must pass Close; the consumed exit gets its
+                // own Close stub so the two paths stay separate.
+                self.emit(Inst::Open { group: *index })?;
+                let consumed = self.compile_tracked(inner)?;
+                self.emit(Inst::Close { group: *index })?;
+                let eps = self.emit(Inst::Jmp(0))?;
+                let stub = self.here();
+                self.emit(Inst::Close { group: *index })?;
+                let out = self.emit(Inst::Jmp(0))?;
+                for j in consumed {
+                    self.code[j as usize] = Inst::Jmp(stub);
+                }
+                let after = self.here();
+                self.code[eps as usize] = Inst::Jmp(after);
+                Ok(vec![out])
+            }
+            Ast::Alt(items) => {
+                if items.is_empty() {
+                    return Ok(Vec::new());
+                }
+                // Same split chain as the normal mode; each branch is
+                // tracked and the ε exits of all branches converge.
+                let mut consumed = Vec::new();
+                let mut eps_jumps = Vec::new();
+                for (i, item) in items.iter().enumerate() {
+                    if i + 1 < items.len() {
+                        let sp = self.emit(Inst::Split { pref: 0, alt: 0 })?;
+                        consumed.extend(self.compile_tracked(item)?);
+                        eps_jumps.push(self.emit(Inst::Jmp(0))?);
+                        let next = self.here();
+                        self.code[sp as usize] = Inst::Split {
+                            pref: sp + 1,
+                            alt: next,
+                        };
+                    } else {
+                        consumed.extend(self.compile_tracked(item)?);
+                    }
+                }
+                let exit = self.here();
+                for j in eps_jumps {
+                    self.code[j as usize] = Inst::Jmp(exit);
+                }
+                Ok(consumed)
+            }
+            Ast::Concat(items) => {
+                // All members are nullable (a non-nullable member would
+                // make the concat non-nullable, handled above). A path
+                // leaves the tracked spine at the first member that
+                // consumes; its stub finishes the remaining members in
+                // normal mode.
+                let mut member_jumps = Vec::new();
+                for item in items {
+                    member_jumps.push(self.compile_tracked(item)?);
+                }
+                let eps = self.emit(Inst::Jmp(0))?;
+                let mut consumed = Vec::new();
+                for (i, jumps) in member_jumps.into_iter().enumerate() {
+                    if jumps.is_empty() {
+                        continue;
+                    }
+                    let stub = self.here();
+                    for item in &items[i + 1..] {
+                        self.compile_node(item)?;
+                    }
+                    consumed.push(self.emit(Inst::Jmp(0))?);
+                    for j in jumps {
+                        self.code[j as usize] = Inst::Jmp(stub);
+                    }
+                }
+                let after = self.here();
+                self.code[eps as usize] = Inst::Jmp(after);
+                Ok(consumed)
+            }
+            Ast::Repeat {
+                ast: body,
+                min,
+                max,
+                lazy,
+            } => self.compile_tracked_repeat(body, *min, *max, *lazy),
+            // Literal / Dot / Class are non-nullable, handled above.
+            _ => {
+                self.compile_node(ast)?;
+                Ok(vec![self.emit(Inst::Jmp(0))?])
+            }
+        }
+    }
+
+    /// Tracked compilation of a *nullable* repeat (`min == 0`, or the
+    /// body is nullable — non-nullable repeats take the shortcut in
+    /// [`Self::compile_tracked`]).
+    fn compile_tracked_repeat(
+        &mut self,
+        body: &Ast,
+        min: u32,
+        max: Option<u32>,
+        lazy: bool,
+    ) -> Result<Vec<u32>, Fallback> {
+        if max == Some(0) {
+            return Ok(Vec::new());
+        }
+        if !body.is_nullable() {
+            // min == 0 here: the repeat is ε (tracked fallthrough) or a
+            // `{1,max}` repeat, which always consumes.
+            let sp = self.emit(Inst::Split { pref: 0, alt: 0 })?;
+            self.compile_repeat(body, 1, max, lazy)?;
+            let out = self.emit(Inst::Jmp(0))?;
+            let exit = self.here();
+            self.patch_loop_split(sp, lazy, exit);
+            return Ok(vec![out]);
+        }
+        if max.is_some_and(|m| m > min) {
+            return Err(Fallback {
+                reason: "bounded repeat of nullable body",
+            });
+        }
+        // Mandatory copies may match ε (the empty-iteration rule only
+        // applies beyond `min`); a copy that consumes finishes the
+        // remaining copies — and the loop, when unbounded — in normal
+        // mode via its stub.
+        let mut copy_jumps = Vec::new();
+        for _ in 0..min {
+            self.emit_reset(body)?;
+            copy_jumps.push(self.compile_tracked(body)?);
+        }
+        if max.is_none() {
+            // The still-empty loop: a consuming iteration continues as a
+            // plain (normal-mode) star; an ε iteration fails.
+            let sp = self.emit(Inst::Split { pref: 0, alt: 0 })?;
+            self.emit_reset(body)?;
+            let t = self.compile_tracked(body)?;
+            self.emit(Inst::Fail)?;
+            let stub = self.here();
+            self.compile_repeat(body, 0, None, lazy)?;
+            copy_jumps.push(vec![self.emit(Inst::Jmp(0))?]);
+            for j in t {
+                self.code[j as usize] = Inst::Jmp(stub);
+            }
+            let exit = self.here();
+            self.patch_loop_split(sp, lazy, exit);
+        }
+        let eps = self.emit(Inst::Jmp(0))?;
+        let mut consumed = Vec::new();
+        let copies = copy_jumps.len();
+        for (i, jumps) in copy_jumps.into_iter().enumerate() {
+            if jumps.is_empty() {
+                continue;
+            }
+            if max.is_none() && i + 1 == copies {
+                // The loop stub above already finished the repeat.
+                consumed.extend(jumps);
+                continue;
+            }
+            let stub = self.here();
+            let done = i as u32 + 1;
+            self.compile_repeat(body, min - done, max.map(|m| m - done), lazy)?;
+            consumed.push(self.emit(Inst::Jmp(0))?);
+            for j in jumps {
+                self.code[j as usize] = Inst::Jmp(stub);
+            }
+        }
+        let after = self.here();
+        self.code[eps as usize] = Inst::Jmp(after);
+        Ok(consumed)
+    }
+}
+
+/// Exact match ranges for a set — only meaningful without `i`, where
+/// membership is pure range containment.
+fn exact_ranges(set: &MatchSet, flags: Flags) -> Vec<(u32, u32)> {
+    match set {
+        MatchSet::Literal(c) => vec![(*c as u32, *c as u32)],
+        MatchSet::Class(class) => class.ranges(),
+        MatchSet::Dot => {
+            if flags.dot_all {
+                vec![(0, regex_syntax_es6::class::MAX_CHAR)]
+            } else {
+                // Complement of the LineTerminator set (§11.3).
+                vec![
+                    (0, 0x09),
+                    (0x0B, 0x0C),
+                    (0x0E, 0x2027),
+                    (0x202A, regex_syntax_es6::class::MAX_CHAR),
+                ]
+            }
+        }
+    }
+}
+
+fn build_class_table(sets: &[MatchSet], flags: Flags) -> ClassTable {
+    let mut cuts = vec![0u32];
+    let all_ranges: Vec<Vec<(u32, u32)>> = sets.iter().map(|s| exact_ranges(s, flags)).collect();
+    for ranges in &all_ranges {
+        for &(lo, hi) in ranges {
+            cuts.push(lo);
+            if hi < regex_syntax_es6::class::MAX_CHAR {
+                cuts.push(hi + 1);
+            }
+        }
+    }
+    cuts.sort_unstable();
+    cuts.dedup();
+    let cells = cuts.len();
+    let words_per_set = cells.div_ceil(64);
+    let mut bits = vec![0u64; sets.len() * words_per_set];
+    for (set, ranges) in all_ranges.iter().enumerate() {
+        for &(lo, hi) in ranges {
+            // Boundaries include lo and hi+1, so the covered cells are
+            // exactly cell(lo)..=cell(hi).
+            let first = cuts.partition_point(|&cut| cut <= lo) - 1;
+            let last = cuts.partition_point(|&cut| cut <= hi) - 1;
+            for cell in first..=last {
+                bits[set * words_per_set + cell / 64] |= 1 << (cell % 64);
+            }
+        }
+    }
+    ClassTable {
+        cuts,
+        bits,
+        words_per_set,
+    }
+}
+
+/// Derives the unanchored-search prefilter from the AST.
+///
+/// Soundness argument: a prefilter may only *skip* positions where no
+/// match can start. A non-nullable pattern matching at `p` consumes its
+/// first character at `p`, so `input[p]` must lie in the first-character
+/// set; when the pattern opens with mandatory literals, `input[p..]`
+/// must start with them. Ignore-case patterns skip prefiltering (the
+/// canonical-equivalence closure is not a compile-time range set).
+fn build_prefilter(ast: &Ast, flags: Flags) -> Prefilter {
+    if flags.ignore_case || ast.is_nullable() {
+        return Prefilter::None;
+    }
+    if !flags.multiline && leads_with_start_anchor(ast) {
+        return Prefilter::StartAnchor;
+    }
+    let mut prefix = Vec::new();
+    collect_literal_prefix(ast, &mut prefix);
+    if prefix.len() >= 2 {
+        return Prefilter::Literal(prefix);
+    }
+    match first_ranges(ast) {
+        Some(ranges) if !ranges.is_empty() => Prefilter::FirstSet(normalize(ranges)),
+        _ => Prefilter::None,
+    }
+}
+
+fn leads_with_start_anchor(ast: &Ast) -> bool {
+    match ast {
+        Ast::Assertion(AssertionKind::StartAnchor) => true,
+        Ast::Group { ast, .. } | Ast::NonCapturing(ast) => leads_with_start_anchor(ast),
+        Ast::Concat(items) => items.first().is_some_and(leads_with_start_anchor),
+        _ => false,
+    }
+}
+
+/// Collects the longest mandatory literal prefix; returns whether the
+/// node was consumed entirely as literals (so a concat may continue).
+fn collect_literal_prefix(ast: &Ast, out: &mut Vec<char>) -> bool {
+    match ast {
+        Ast::Literal(c) => {
+            out.push(*c);
+            true
+        }
+        Ast::Empty | Ast::Assertion(_) => true,
+        Ast::Group { ast, .. } | Ast::NonCapturing(ast) => collect_literal_prefix(ast, out),
+        Ast::Concat(items) => items.iter().all(|item| collect_literal_prefix(item, out)),
+        _ => false,
+    }
+}
+
+/// The set of possible first consumed characters, or `None` when the
+/// analysis cannot bound it. Zero-width nodes contribute an empty set.
+fn first_ranges(ast: &Ast) -> Option<Vec<(u32, u32)>> {
+    match ast {
+        Ast::Empty | Ast::Assertion(_) | Ast::Lookahead { .. } => Some(Vec::new()),
+        Ast::Literal(c) => Some(vec![(*c as u32, *c as u32)]),
+        Ast::Dot => Some(exact_ranges(&MatchSet::Dot, Flags::empty())),
+        Ast::Class(class) => Some(class.ranges()),
+        Ast::Backref(_) => None,
+        Ast::Group { ast, .. } | Ast::NonCapturing(ast) => first_ranges(ast),
+        Ast::Repeat { ast, .. } => first_ranges(ast),
+        Ast::Alt(items) => {
+            let mut acc = Vec::new();
+            for item in items {
+                acc.extend(first_ranges(item)?);
+            }
+            Some(acc)
+        }
+        Ast::Concat(items) => {
+            let mut acc = Vec::new();
+            for item in items {
+                acc.extend(first_ranges(item)?);
+                if !item.is_nullable() {
+                    return Some(acc);
+                }
+            }
+            Some(acc)
+        }
+    }
+}
+
+fn normalize(mut ranges: Vec<(u32, u32)>) -> Vec<(u32, u32)> {
+    ranges.sort_unstable();
+    let mut out: Vec<(u32, u32)> = Vec::with_capacity(ranges.len());
+    for (lo, hi) in ranges {
+        match out.last_mut() {
+            Some(last) if lo <= last.1.saturating_add(1) => last.1 = last.1.max(hi),
+            _ => out.push((lo, hi)),
+        }
+    }
+    out
+}
+
+/// True when `c` lies in the sorted, disjoint `ranges`.
+pub fn in_ranges(ranges: &[(u32, u32)], c: char) -> bool {
+    let c = c as u32;
+    let at = ranges.partition_point(|&(lo, _)| lo <= c);
+    at > 0 && ranges[at - 1].1 >= c
+}

@@ -1,0 +1,62 @@
+//! Static engine selection: which of the two match engines runs a
+//! pattern.
+//!
+//! The analysis is conservative and purely syntactic-plus-compile-time:
+//! a pattern takes the Pike-VM fast path exactly when
+//! [`crate::prog::compile`] can express it faithfully. Today that
+//! excludes:
+//!
+//! - **backreferences** — a thread's future would depend on its capture
+//!   state, breaking the VM's per-position dedup (and the regular
+//!   structure altogether);
+//! - **bounded repeats `{m,n}` (`n > m`) over nullable bodies** — the
+//!   spec's "iterations beyond `min` must not match empty" rule is
+//!   compiled structurally for *looping* constructs (the ε-exit of the
+//!   body is a dead end), but each unrolled optional copy would need
+//!   its own tracked continuation chain, which the compiler does not
+//!   build for this rare shape;
+//! - patterns whose unrolled program exceeds the size cap.
+//!
+//! Everything else — lookaheads, word boundaries, all flag combinations,
+//! classes, nested unbounded quantifiers — runs on the fast path.
+
+use regex_syntax_es6::ast::Ast;
+use regex_syntax_es6::Flags;
+
+use crate::prog;
+
+/// Which engine a pattern is routed to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// Linear-time Thompson simulation ([`crate::pikevm::PikeVm`]).
+    PikeVm,
+    /// The spec-operational backtracker ([`crate::exec::Engine`]).
+    Backtrack,
+}
+
+/// A routing decision with its reason (stable strings, fit for counters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Selection {
+    /// The chosen engine.
+    pub kind: EngineKind,
+    /// `"fast path"` for the VM, otherwise the fallback cause.
+    pub reason: &'static str,
+}
+
+/// Decides the engine for `ast` under `flags`.
+///
+/// This compiles the pattern (and discards the program); callers that
+/// will also *run* the fast path should go through
+/// [`crate::RegExp`], which caches the compiled program.
+pub fn select(ast: &Ast, flags: Flags) -> Selection {
+    match prog::compile(ast, flags) {
+        Ok(_) => Selection {
+            kind: EngineKind::PikeVm,
+            reason: "fast path",
+        },
+        Err(fallback) => Selection {
+            kind: EngineKind::Backtrack,
+            reason: fallback.reason,
+        },
+    }
+}

@@ -1,0 +1,265 @@
+//! Engine-vs-engine differential suite: the Pike VM and the
+//! backtracking oracle must agree on *everything observable* — match
+//! presence, leftmost extent, and every capture slot — for every
+//! pattern the [`es6_matcher::select`] analysis routes to the fast
+//! path.
+//!
+//! Two layers:
+//!
+//! 1. **Exhaustive**: seed-generated small patterns (the fuzzer's AST
+//!    generator, restricted to a two-letter alphabet) crossed with
+//!    *all* words of length <= 6 over `{a, b}`, compared at every
+//!    start position and through the unanchored search loop.
+//! 2. **Targeted**: regressions for the spec corners the Thompson
+//!    compilation has to model explicitly — per-iteration capture
+//!    reset, lazy/greedy precedence, alternation order, and lookahead
+//!    capture retention.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use es6_matcher::{select, Engine, EngineKind, PikeVm, RegExp};
+use regex_syntax_es6::arbitrary::{arbitrary_regex, GenConfig};
+use regex_syntax_es6::parser::Regex;
+use regex_syntax_es6::Flags;
+
+/// Generous backtracker budget: at these sizes only a deliberately
+/// pathological pattern could exhaust it, and such cases are skipped
+/// (a starved attempt proves nothing about the word).
+const BT_BUDGET: u64 = 2_000_000;
+
+/// All words over `{a, b}` with length <= `max_len`, shortest first.
+fn all_words(max_len: usize) -> Vec<Vec<char>> {
+    let mut words = vec![Vec::new()];
+    let mut frontier = vec![Vec::new()];
+    for _ in 0..max_len {
+        let mut next = Vec::new();
+        for w in &frontier {
+            for c in ['a', 'b'] {
+                let mut w2 = w.clone();
+                w2.push(c);
+                words.push(w2.clone());
+                next.push(w2);
+            }
+        }
+        frontier = next;
+    }
+    words
+}
+
+/// Compares both engines on one (pattern, word) pair: anchored
+/// `match_at` from every start position, then the unanchored search.
+/// Returns the number of comparisons performed (0 if the backtracker
+/// starved anywhere).
+fn compare_case(regex: &Regex, word: &[char], label: &str) -> usize {
+    let prog = es6_matcher::compile(&regex.ast, regex.flags)
+        .unwrap_or_else(|f| panic!("{label}: expected fast path, got fallback ({})", f.reason));
+    let vm = PikeVm::new(&prog);
+    let bt = Engine::new(&regex.ast, regex.flags);
+    let mut compared = 0;
+
+    for start in 0..=word.len() {
+        let expected = match bt.match_at_within(word, start, BT_BUDGET) {
+            Ok(m) => m,
+            Err(_) => return 0,
+        };
+        let got = vm.match_at(word, start);
+        assert_eq!(
+            got,
+            expected,
+            "{label}: match_at disagreement on {:?} at {start}",
+            word.iter().collect::<String>()
+        );
+        compared += 1;
+    }
+
+    let expected = match bt.search_within(word, 0, BT_BUDGET) {
+        Ok(m) => m,
+        Err(_) => return compared,
+    };
+    let got = vm.search(word, 0);
+    assert_eq!(
+        got,
+        expected,
+        "{label}: search disagreement on {:?}",
+        word.iter().collect::<String>()
+    );
+    compared + 1
+}
+
+/// Layer 1: generated patterns x all words <= 6 over {a, b}.
+///
+/// Backreferences are disabled in the generator (they can never take
+/// the fast path); everything else — lookaheads, boundaries, lazy and
+/// bounded quantifiers, classes, every flag — is in scope, and any
+/// pattern the router sends to the backtracker (e.g. a bounded repeat
+/// of a nullable body) is skipped with a count so a routing regression
+/// that starves this suite would show up as a coverage collapse.
+#[test]
+fn exhaustive_small_patterns_all_words() {
+    let cfg = GenConfig {
+        max_depth: 3,
+        max_repeat: 2,
+        alphabet: vec!['a', 'b'],
+        backrefs: false,
+        lookaheads: true,
+        boundaries: true,
+    };
+    let words = all_words(6);
+    let mut fast = 0usize;
+    let mut fallback = 0usize;
+    let mut comparisons = 0usize;
+
+    for seed in 0..400u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let regex = match arbitrary_regex(&mut rng, &cfg) {
+            Ok(r) => r,
+            Err(e) => panic!("seed {seed}: generator produced unparsable regex: {e}"),
+        };
+        if select(&regex.ast, regex.flags).kind != EngineKind::PikeVm {
+            fallback += 1;
+            continue;
+        }
+        fast += 1;
+        let label = format!("seed {seed} /{}/", regex.ast.to_source());
+        for word in &words {
+            comparisons += compare_case(&regex, word, &label);
+        }
+    }
+
+    // The suite is meaningless if routing quietly sends everything to
+    // the backtracker: demand a healthy fast-path majority and a real
+    // comparison volume.
+    assert!(
+        fast > fallback * 3,
+        "fast-path coverage collapsed: {fast} fast vs {fallback} fallback"
+    );
+    assert!(
+        comparisons > 100_000,
+        "too few comparisons ran: {comparisons}"
+    );
+}
+
+/// Parses `pattern`, asserts it routes to the fast path, and compares
+/// both engines over all words <= `max_len` over {a, b}.
+fn assert_agree(pattern: &str, flags: Flags, max_len: usize) {
+    let regex = Regex::new(pattern, flags).expect("targeted pattern must parse");
+    assert_eq!(
+        select(&regex.ast, regex.flags).kind,
+        EngineKind::PikeVm,
+        "/{pattern}/ must route to the Pike VM"
+    );
+    let label = format!("/{pattern}/");
+    for word in all_words(max_len) {
+        compare_case(&regex, &word, &label);
+    }
+}
+
+/// Capture-reset per iteration (RepeatMatcher step 4): a loop body's
+/// groups are cleared at the top of every iteration, so `(a?)*` on
+/// `"aa"` ends with group 1 = the *last* iteration's (empty) match
+/// exactly as the backtracker computes it.
+#[test]
+fn capture_reset_in_loops() {
+    for pattern in ["(a?)*", "(a*)*", "(?:(a)|(b))+", "((a)|b)*", "(a?b?)*"] {
+        assert_agree(pattern, Flags::default(), 6);
+    }
+}
+
+/// Greedy/lazy precedence: operand order of the loop split must
+/// reproduce the backtracker's exploration order bit-for-bit.
+#[test]
+fn lazy_and_greedy_precedence() {
+    for pattern in [
+        "a*?",
+        "a+?",
+        "a??",
+        "a*?b",
+        "a+?b",
+        "(a|b)*?b",
+        "(a*?)(a*)",
+        "(a+)(a*?)",
+    ] {
+        assert_agree(pattern, Flags::default(), 6);
+    }
+}
+
+/// Alternation is ordered choice: `a|ab` matches `"ab"` as just `"a"`.
+#[test]
+fn alternation_precedence() {
+    for pattern in ["a|ab", "ab|a", "(a|ab)(b?)", "a|b|ab"] {
+        assert_agree(pattern, Flags::default(), 6);
+    }
+}
+
+/// Lookahead capture retention: groups set inside `(?=…)` survive into
+/// the overall match; groups inside `(?!…)` never do.
+#[test]
+fn lookahead_capture_retention() {
+    for pattern in [
+        "(?=(ab))a",
+        "(?=(a))(a)b?",
+        "(?!(b))a(b)?",
+        "(?=(a|b)b)(ab|a)",
+        "a(?=b(a)?)b?",
+    ] {
+        assert_agree(pattern, Flags::default(), 5);
+    }
+}
+
+/// Anchors, boundaries, and flags interacting with the prefilter and
+/// class table.
+#[test]
+fn anchors_boundaries_and_flags() {
+    assert_agree("^ab", Flags::default(), 5);
+    assert_agree("ab$", Flags::default(), 5);
+    assert_agree(r"\bab", Flags::default(), 5);
+    assert_agree(r"a\B", Flags::default(), 5);
+    let icase = Flags {
+        ignore_case: true,
+        ..Flags::default()
+    };
+    assert_agree("AB?", icase, 5);
+    assert_agree("[A-B]+", icase, 5);
+    let multi = Flags {
+        multiline: true,
+        ..Flags::default()
+    };
+    assert_agree("^a", multi, 4);
+}
+
+/// Bounded repeats with non-nullable bodies stay on the fast path and
+/// agree; nullable-body bounded repeats must route to the backtracker.
+#[test]
+fn bounded_repeat_routing() {
+    for pattern in ["a{2,3}", "a{2,3}?", "(ab){1,2}", "a{0,2}b"] {
+        assert_agree(pattern, Flags::default(), 6);
+    }
+    for pattern in ["(a?){1,2}", "(a*){2,3}"] {
+        let regex = Regex::new(pattern, Flags::default()).unwrap();
+        assert_eq!(
+            select(&regex.ast, regex.flags).kind,
+            EngineKind::Backtrack,
+            "/{pattern}/ (bounded repeat of nullable body) must fall back"
+        );
+    }
+}
+
+/// The public `RegExp` entry points route transparently: a fast-path
+/// and a backreference pattern produce correct results side by side.
+#[test]
+fn regexp_routing_is_transparent() {
+    let mut fast = RegExp::new("(a+)(b*)", "").unwrap();
+    assert_eq!(fast.engine_kind(), EngineKind::PikeVm);
+    let m = fast.exec("xxaabb").expect("match");
+    assert_eq!(m.index, 2);
+    assert_eq!(m.matched(), "aabb");
+    assert_eq!(m.group(1), Some("aa"));
+    assert_eq!(m.group(2), Some("bb"));
+
+    let mut back = RegExp::new(r"(a+)\1", "").unwrap();
+    assert_eq!(back.engine_kind(), EngineKind::Backtrack);
+    let m = back.exec("aaaa").expect("match");
+    assert_eq!(m.index, 0);
+    assert_eq!(m.matched(), "aaaa");
+}

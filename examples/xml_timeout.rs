@@ -1,4 +1,5 @@
-//! Listing 1 of the paper: DSE finds the regex bug.
+//! Listing 1 of the paper: DSE finds the regex bug — and the two match
+//! engines handle the XML patterns it is built around.
 //!
 //! The program parses `<tag>number</tag>` arguments; because the number
 //! part uses a Kleene star, `<timeout></timeout>` sets `timeout` to the
@@ -6,9 +7,17 @@
 //! execution with the capturing-language models finds that input
 //! automatically (§3.2).
 //!
+//! The second half runs the same family of patterns through both match
+//! engines directly: the Listing 1 regex carries a backreference and
+//! stays on the backtracker, while a catastrophic open-tag variant
+//! blows past a generous backtracking budget yet is decided by the
+//! Pike-VM fast path in a few hundred linear steps.
+//!
 //! Run with: `cargo run --example xml_timeout`
 
 use expose::dse::{parser::parse_program, run_dse, EngineConfig, Harness};
+use expose::matcher::{compile, select, Engine, EngineKind, PikeVm};
+use expose::syntax::{Flags, Regex};
 
 const LISTING_1: &str = r#"
 function processArgs(args) {
@@ -54,5 +63,56 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         None => println!("no bug found — increase the execution budget"),
     }
     assert!(!report.bugs.is_empty(), "the Listing 1 bug must be found");
+
+    println!();
+    println!("engine routing for the XML patterns:");
+
+    // Listing 1's tag matcher: the \1 backreference is inexpressible in
+    // a Thompson program, so the selection analysis keeps it on the
+    // spec-operational backtracker.
+    let listing1 = Regex::new(r"^<(\w+)>([0-9]*)<\/\1>$", Flags::default())?;
+    let selection = select(&listing1.ast, listing1.flags);
+    println!(
+        "  /^<(\\w+)>([0-9]*)<\\/\\1>$/  ->  {:?} ({})",
+        selection.kind, selection.reason
+    );
+    assert_eq!(selection.kind, EngineKind::Backtrack);
+
+    // The catastrophic variant: an open tag that never closes, with an
+    // ambiguous inner quantifier. Exponential for a backtracker,
+    // trivially linear for the Pike VM.
+    let pathological = Regex::new(r"<(\w+\s*)*>", Flags::default())?;
+    let selection = select(&pathological.ast, pathological.flags);
+    println!(
+        "  /<(\\w+\\s*)*>/              ->  {:?} ({})",
+        selection.kind, selection.reason
+    );
+    let input: Vec<char> = "<timeout aaaaaaaaaaaaaaaaaaaaaa".chars().collect();
+
+    let budget = 1_000_000u64;
+    let backtracker = Engine::new(&pathological.ast, pathological.flags);
+    let started = std::time::Instant::now();
+    let bt_verdict = backtracker.search_within(&input, 0, budget);
+    let bt_elapsed = started.elapsed();
+    match bt_verdict {
+        Err(limit) => println!(
+            "  backtracker: {limit} after {budget} steps ({:.1} ms) — the ReDoS signal",
+            bt_elapsed.as_secs_f64() * 1e3
+        ),
+        Ok(m) => println!("  backtracker: unexpectedly finished with {m:?}"),
+    }
+
+    let prog = compile(&pathological.ast, pathological.flags).expect("fast path");
+    let vm = PikeVm::new(&prog);
+    let started = std::time::Instant::now();
+    let vm_verdict = vm.search(&input, 0);
+    let vm_elapsed = started.elapsed();
+    println!(
+        "  pike vm:     decided (match: {}) in {} steps ({:.0} µs)",
+        vm_verdict.is_some(),
+        vm.last_steps(),
+        vm_elapsed.as_secs_f64() * 1e6
+    );
+    assert!(vm_verdict.is_none(), "the unterminated tag must not match");
     Ok(())
 }

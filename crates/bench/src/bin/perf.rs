@@ -35,17 +35,28 @@
 //! workload corpus through the NDJSON job service (scheduler fan-out,
 //! shared session caches) and records `throughput_jobs_per_sec`; the
 //! `--check` gate then also fails on a >2× throughput drop against the
-//! baseline artifact. `--summary-md <path>` writes the job-summary
-//! markdown from the in-memory numbers (CI `cat`s it into
-//! `$GITHUB_STEP_SUMMARY` instead of scraping the JSON). `--budget
-//! full` switches from the PR-CI quick budget to the nightly table
-//! budget.
+//! baseline artifact.
+//!
+//! With `--explore`, the binary runs the pure-concolic exploration
+//! orchestrator over the same corpus (shared session caches, 8
+//! iterations per workload) and records `explore_unique_paths`,
+//! `unique_paths_per_sec` and the per-iteration `coverage_over_time`
+//! checkpoints. The loop must witness strictly more unique paths than
+//! the sum of single-trace flip runs (`explore_single_paths`, the
+//! same workloads stopped after one iteration) — exit 9 otherwise —
+//! and the `--check` gate fails on a >2× `unique_paths_per_sec` drop
+//! when the baseline artifact carries the key.
+//!
+//! `--summary-md <path>` writes the job-summary markdown from the
+//! in-memory numbers (CI `cat`s it into `$GITHUB_STEP_SUMMARY` instead
+//! of scraping the JSON). `--budget full` switches from the PR-CI
+//! quick budget to the nightly table budget.
 //!
 //! ```text
 //! cargo run --release -p bench --bin perf -- \
 //!     [--out BENCH_dse.json] [--check crates/bench/baseline/BENCH_dse.json] \
 //!     [--flip-workers 4] [--programs 10] [--budget quick|full] \
-//!     [--throughput] [--summary-md PERF_SUMMARY.md]
+//!     [--throughput] [--explore] [--summary-md PERF_SUMMARY.md]
 //! ```
 
 use std::time::Instant;
@@ -55,7 +66,10 @@ use corpus::{generate_dse_programs, library_workloads};
 use expose_core::cache::CacheStats;
 use expose_core::SupportLevel;
 use expose_dse::parser::parse_program;
-use expose_dse::{run_dse_with_caches, DseCaches, EngineConfig, Harness, Report};
+use expose_dse::{
+    explore_with_caches, run_dse_with_caches, DseCaches, EngineConfig, ExploreConfig, Harness,
+    Report,
+};
 
 /// One named, parsed workload.
 struct Workload {
@@ -251,6 +265,109 @@ fn measure_throughput(programs: usize, budget: Budget, workers: usize) -> (u64, 
     (summary.jobs, workers, wall_ms, jobs_per_sec)
 }
 
+/// The numbers of one `--explore` measurement over the corpus.
+struct ExploreNumbers {
+    /// Per-workload iteration budget.
+    iterations: usize,
+    /// Total distinct executed paths across the corpus (looped runs).
+    unique_paths: u64,
+    /// The same total with every loop stopped after one iteration —
+    /// what plain single-trace flip jobs witness.
+    single_paths: u64,
+    /// Wall-clock of the looped sweep (min over repetitions).
+    wall_ms: f64,
+    /// `unique_paths` per second of looped wall-clock.
+    paths_per_sec: f64,
+    /// FNV fold of every workload's trajectory digest, in corpus
+    /// order — the run-to-run/worker-count determinism witness.
+    trajectory: u64,
+    /// Cumulative `(covered_stmts, unique_paths)` across the corpus at
+    /// each iteration index (workloads that stopped early contribute
+    /// their final value).
+    coverage_over_time: Vec<(u64, u64)>,
+}
+
+/// Runs the exploration orchestrator over the corpus: `REPS`
+/// repetitions with fresh shared session caches, min-wall kept, equal
+/// trajectories required, plus the one-iteration reference sweep.
+fn measure_explore(
+    set: &[Workload],
+    budget: Budget,
+    flip_workers: usize,
+    reps: usize,
+) -> ExploreNumbers {
+    let iterations = 8usize;
+    let engine = EngineConfig {
+        flip_workers,
+        ..engine_config(SupportLevel::Refinement, budget)
+    };
+    let sweep = |max_iterations: usize| {
+        let caches = DseCaches::session_from_config(&engine);
+        let config = ExploreConfig {
+            engine: engine.clone(),
+            max_iterations,
+            ..ExploreConfig::default()
+        };
+        let started = Instant::now();
+        let reports: Vec<expose_dse::ExploreReport> = set
+            .iter()
+            .map(|w| explore_with_caches(&w.program, &w.harness, &config, &caches))
+            .collect();
+        (reports, started.elapsed().as_secs_f64() * 1e3)
+    };
+
+    let mut best: Option<(Vec<expose_dse::ExploreReport>, f64)> = None;
+    let mut reference_trajectory: Option<u64> = None;
+    for rep in 0..reps {
+        let (reports, wall_ms) = sweep(iterations);
+        let mut fold = expose_dse::store::Fnv::new();
+        for report in &reports {
+            fold.eat_u64(report.trajectory_digest());
+        }
+        let trajectory = fold.finish();
+        match reference_trajectory {
+            None => reference_trajectory = Some(trajectory),
+            Some(reference) => assert_eq!(
+                reference, trajectory,
+                "explore rep {rep}: corpus trajectory changed between repetitions"
+            ),
+        }
+        if best.as_ref().is_none_or(|(_, b)| wall_ms < *b) {
+            best = Some((reports, wall_ms));
+        }
+    }
+    let (reports, wall_ms) = best.expect("at least one repetition");
+    let unique_paths: u64 = reports.iter().map(|r| r.unique_paths as u64).sum();
+
+    let mut coverage_over_time = Vec::with_capacity(iterations);
+    for k in 0..iterations {
+        let mut stmts = 0u64;
+        let mut paths = 0u64;
+        for report in &reports {
+            // A workload whose frontier dried up before iteration k
+            // holds its final checkpoint.
+            if let Some(p) = report.progress.get(k).or(report.progress.last()) {
+                stmts += p.covered_stmts as u64;
+                paths += p.unique_paths as u64;
+            }
+        }
+        coverage_over_time.push((stmts, paths));
+    }
+
+    let (single_reports, _) = sweep(1);
+    let single_paths: u64 = single_reports.iter().map(|r| r.unique_paths as u64).sum();
+
+    ExploreNumbers {
+        iterations,
+        unique_paths,
+        single_paths,
+        wall_ms,
+        paths_per_sec: unique_paths as f64 / (wall_ms / 1e3).max(1e-9),
+        trajectory: reference_trajectory.expect("at least one repetition"),
+        coverage_over_time,
+    }
+}
+
 fn main() {
     let mut out = String::from("BENCH_dse.json");
     let mut check: Option<String> = None;
@@ -258,6 +375,7 @@ fn main() {
     let mut programs = 10usize;
     let mut budget_name = String::from("quick");
     let mut throughput = false;
+    let mut explore = false;
     let mut summary_md: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -280,6 +398,7 @@ fn main() {
                 );
             }
             "--throughput" => throughput = true,
+            "--explore" => explore = true,
             "--summary-md" => summary_md = Some(value("--summary-md")),
             other => panic!("unknown argument {other:?}"),
         }
@@ -441,6 +560,57 @@ fn main() {
         );
         best
     });
+    // Exploration: the orchestrator over the corpus, strictly-more
+    // unique paths than single-trace flip runs (the whole point of
+    // closing the solve→seed loop).
+    let explore_numbers = explore.then(|| {
+        let measured = measure_explore(&set, budget, flip_workers, REPS);
+        eprintln!(
+            "perf: explore {} unique paths over {} iterations ({:.0} ms, {:.1} paths/sec) \
+             vs {} single-trace paths",
+            measured.unique_paths,
+            measured.iterations,
+            measured.wall_ms,
+            measured.paths_per_sec,
+            measured.single_paths,
+        );
+        measured
+    });
+    let explore_json = match &explore_numbers {
+        Some(e) => {
+            use std::fmt::Write as _;
+            let mut json = format!(
+                concat!(
+                    "  \"explore_iterations\": {},\n",
+                    "  \"explore_unique_paths\": {},\n",
+                    "  \"explore_single_paths\": {},\n",
+                    "  \"explore_wall_ms\": {:.1},\n",
+                    "  \"unique_paths_per_sec\": {:.1},\n",
+                    "  \"explore_trajectory\": \"{:016x}\",\n",
+                ),
+                e.iterations,
+                e.unique_paths,
+                e.single_paths,
+                e.wall_ms,
+                e.paths_per_sec,
+                e.trajectory,
+            );
+            json.push_str("  \"coverage_over_time\": [");
+            for (k, (stmts, paths)) in e.coverage_over_time.iter().enumerate() {
+                if k > 0 {
+                    json.push_str(", ");
+                }
+                let _ = write!(
+                    json,
+                    "{{\"iteration\": {}, \"covered_stmts\": {stmts}, \"unique_paths\": {paths}}}",
+                    k + 1
+                );
+            }
+            json.push_str("],\n");
+            json
+        }
+        None => String::new(),
+    };
     let throughput_json = match &throughput_numbers {
         Some((jobs, workers, wall_ms, jobs_per_sec)) => format!(
             concat!(
@@ -478,6 +648,7 @@ fn main() {
             "  \"matcher_fast_path\": {},\n",
             "  \"matcher_fallback\": {},\n",
             "{}",
+            "{}",
             "  \"baseline\": {},\n",
             "  \"optimized\": {}\n",
             "}}\n"
@@ -501,6 +672,7 @@ fn main() {
         redos_speedup,
         optimized.matcher_fast_path,
         optimized.matcher_fallback,
+        explore_json,
         throughput_json,
         baseline.json(set.len()),
         optimized.json(set.len()),
@@ -554,6 +726,14 @@ fn main() {
                 md,
                 "- **service throughput**: {jobs_per_sec:.1} jobs/sec \
                  ({jobs} jobs, {workers} workers, {wall_ms:.0} ms)"
+            );
+        }
+        if let Some(e) = &explore_numbers {
+            let _ = writeln!(
+                md,
+                "- **exploration**: {} unique paths in {} iterations/workload \
+                 ({:.1} paths/sec) vs {} single-trace paths",
+                e.unique_paths, e.iterations, e.paths_per_sec, e.single_paths,
             );
         }
         let _ = writeln!(
@@ -614,6 +794,19 @@ fn main() {
         // baseline comparison below.
         eprintln!("perf: WARN — speedup {speedup:.2}x below the 1.5x target");
     }
+    if let Some(e) = &explore_numbers {
+        // The loop exists to witness paths one trace's flips cannot; if
+        // it stops strictly exceeding the single-trace sweep, the
+        // frontier scheduling or the corpus feedback broke.
+        if e.unique_paths <= e.single_paths {
+            eprintln!(
+                "perf: FAIL — exploration witnessed {} unique paths, not strictly more \
+                 than the {} of single-trace flip runs",
+                e.unique_paths, e.single_paths
+            );
+            std::process::exit(9);
+        }
+    }
     if let Some(path) = check {
         let reference = std::fs::read_to_string(&path)
             .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
@@ -671,6 +864,26 @@ fn main() {
                 }
             } else {
                 eprintln!("perf: baseline has no throughput_jobs_per_sec; gate skipped");
+            }
+        }
+        // Exploration-rate gate, mirroring the throughput one: only
+        // when this run measured it and the baseline carries the key.
+        if let Some(e) = &explore_numbers {
+            if let Some(reference_pps) = extract_number(&reference, "unique_paths_per_sec") {
+                let floor = reference_pps / 2.0;
+                eprintln!(
+                    "perf: check {:.1} paths/sec against baseline {reference_pps:.1} \
+                     (floor {floor:.1})",
+                    e.paths_per_sec
+                );
+                if e.paths_per_sec < floor {
+                    eprintln!(
+                        "perf: FAIL — exploration path rate regressed more than 2x the baseline"
+                    );
+                    std::process::exit(9);
+                }
+            } else {
+                eprintln!("perf: baseline has no unique_paths_per_sec; gate skipped");
             }
         }
     }

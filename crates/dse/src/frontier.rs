@@ -1,0 +1,160 @@
+//! Coverage-frontier scheduling for the exploration orchestrator: a
+//! global branch-coverage map plus the seed selector that drives the
+//! loop toward unflipped branches.
+//!
+//! The map tracks which `(branch id, direction)` pairs any executed
+//! trace has witnessed. A pending seed's *frontier score* is the number
+//! of directions in its (predicted) trail the map has not seen yet;
+//! the scheduler always picks the highest-scoring seed, breaking ties
+//! toward the oldest id, so seeds whose remaining flips are all covered
+//! are demoted behind any seed still promising new coverage. Selection
+//! reads only the store and the map — both worker-count-invariant —
+//! so the schedule is byte-identical for any flip worker count.
+
+use std::collections::HashSet;
+
+use crate::ast::StmtId;
+use crate::store::CorpusStore;
+
+/// Set of covered `(branch id, direction)` pairs — the global branch
+/// coverage the frontier scheduler steers by.
+///
+/// Branch ids are *sparse*: regex membership clauses number down from
+/// `u32::MAX` (one id per match event), so a dense bitmap indexed by
+/// branch id would allocate gigabytes. A hash set costs a few dozen
+/// bytes per covered direction instead and nothing for the gaps.
+#[derive(Debug, Clone, Default)]
+pub struct CoverageMap {
+    directions: HashSet<u64>,
+}
+
+impl CoverageMap {
+    /// An empty map.
+    pub fn new() -> CoverageMap {
+        CoverageMap::default()
+    }
+
+    fn key(branch: StmtId, taken: bool) -> u64 {
+        u64::from(branch) * 2 + u64::from(taken)
+    }
+
+    /// Whether the direction has been covered.
+    pub fn covers(&self, branch: StmtId, taken: bool) -> bool {
+        self.directions.contains(&CoverageMap::key(branch, taken))
+    }
+
+    /// Marks a direction covered; returns `true` when it was new.
+    pub fn insert(&mut self, branch: StmtId, taken: bool) -> bool {
+        self.directions.insert(CoverageMap::key(branch, taken))
+    }
+
+    /// Number of covered `(branch, direction)` pairs.
+    pub fn covered_directions(&self) -> usize {
+        self.directions.len()
+    }
+}
+
+/// The pending-seed queue: corpus entries not yet executed, picked by
+/// frontier score (see the module docs).
+#[derive(Debug, Clone, Default)]
+pub struct FrontierScheduler {
+    pending: Vec<u64>,
+}
+
+impl FrontierScheduler {
+    /// An empty scheduler.
+    pub fn new() -> FrontierScheduler {
+        FrontierScheduler::default()
+    }
+
+    /// Queues a corpus entry for execution.
+    pub fn push(&mut self, id: u64) {
+        self.pending.push(id);
+    }
+
+    /// Number of seeds awaiting execution.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether no seed awaits execution (the frontier is exhausted).
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Frontier score of one entry: trail directions not yet covered.
+    fn score(store: &CorpusStore, coverage: &CoverageMap, id: u64) -> usize {
+        store
+            .get(id)
+            .trail
+            .iter()
+            .filter(|&&(branch, taken)| !coverage.covers(branch, taken))
+            .count()
+    }
+
+    /// Removes and returns the best pending seed: maximum frontier
+    /// score, ties broken toward the lowest id (insertion order).
+    /// Returns `None` when the frontier is exhausted.
+    pub fn pick(&mut self, store: &CorpusStore, coverage: &CoverageMap) -> Option<u64> {
+        let (slot, _) = self
+            .pending
+            .iter()
+            .enumerate()
+            .map(|(slot, &id)| (slot, (FrontierScheduler::score(store, coverage, id), id)))
+            // max_by_key keeps the *last* max; order so the winner is
+            // the highest score with the lowest id.
+            .max_by_key(|&(_, (score, id))| (score, std::cmp::Reverse(id)))?;
+        Some(self.pending.remove(slot))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coverage_map_counts_directions_once() {
+        let mut map = CoverageMap::new();
+        assert!(!map.covers(7, true));
+        assert!(map.insert(7, true));
+        assert!(!map.insert(7, true), "second insert is not new");
+        assert!(map.insert(7, false));
+        // Regex membership clauses number down from u32::MAX; the map
+        // must stay cheap for ids anywhere in the range.
+        assert!(map.insert(u32::MAX, true), "sparse ids cost nothing");
+        assert_eq!(map.covered_directions(), 3);
+        assert!(map.covers(u32::MAX, true));
+        assert!(!map.covers(u32::MAX, false));
+    }
+
+    #[test]
+    fn frontier_prefers_uncovered_trails_then_oldest() {
+        let mut store = CorpusStore::new();
+        let mut coverage = CoverageMap::new();
+        let mut frontier = FrontierScheduler::new();
+        // Entry 0: fully covered trail. Entry 1: one new direction.
+        // Entry 2: same score as 1 but younger.
+        coverage.insert(1, true);
+        let a = store
+            .insert(vec!["a".into()], vec![(1, true)], None)
+            .unwrap();
+        let b = store
+            .insert(vec!["b".into()], vec![(1, true), (2, false)], None)
+            .unwrap();
+        let c = store
+            .insert(vec!["c".into()], vec![(1, true), (3, true)], None)
+            .unwrap();
+        frontier.push(a);
+        frontier.push(b);
+        frontier.push(c);
+        assert_eq!(frontier.pick(&store, &coverage), Some(b), "ties → oldest");
+        coverage.insert(2, false);
+        assert_eq!(frontier.pick(&store, &coverage), Some(c));
+        assert_eq!(
+            frontier.pick(&store, &coverage),
+            Some(a),
+            "demoted seeds still run last"
+        );
+        assert_eq!(frontier.pick(&store, &coverage), None);
+    }
+}

@@ -12,7 +12,10 @@
 //! * a generational-search driver with CUPA-style scheduling
 //!   ([`engine`], §6.2), parameterized by the Table 7 support levels;
 //! * a work-stealing sharded scheduler for job streams ([`sched`]),
-//!   with the one-shot batch front door ([`batch`]) on top.
+//!   with the one-shot batch front door ([`batch`]) on top;
+//! * a pure-concolic exploration orchestrator ([`mod@explore`]) that
+//!   closes the solve→seed loop over a deterministic corpus
+//!   ([`store`]) driven by a coverage frontier ([`frontier`]).
 //!
 //! # Examples
 //!
@@ -30,15 +33,20 @@
 //! # Ok::<(), expose_dse::parser::ParseError>(())
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod ast;
 pub mod batch;
 pub mod caching;
 pub mod engine;
+pub mod explore;
+pub mod frontier;
 pub mod interp;
 pub mod lexer;
 pub mod parser;
 pub mod sched;
 pub mod solve;
+pub mod store;
 pub mod sym;
 pub mod value;
 
@@ -47,8 +55,14 @@ pub use batch::{run_batch, run_batch_with_caches};
 pub use batch::{BatchOptions, Job};
 pub use caching::{CacheSet, DseCaches};
 pub use engine::{run_dse, run_dse_observed, run_dse_with_caches, EngineConfig, Report};
+pub use explore::{
+    explore, explore_observed, explore_with_caches, ExploreBug, ExploreConfig, ExploreReport,
+    IterationProgress, StopReason,
+};
+pub use frontier::{CoverageMap, FrontierScheduler};
 pub use interp::{execute, ArgSpec, Harness, InterpConfig};
 pub use sched::{Completion, JobId, Scheduler, SchedulerConfig, ShardStats};
 pub use solve::{solve_flip, FlipResult, QueryRecord, TraceFlipSession};
+pub use store::{content_hash, trail_digest, CorpusEntry, CorpusStore};
 pub use sym::{Clause, RegexEvent, SymExpr, Trace};
 pub use value::{Concolic, Value};

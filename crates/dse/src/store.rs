@@ -1,0 +1,317 @@
+//! Deterministic corpus store for the exploration orchestrator.
+//!
+//! Every input the orchestrator schedules is kept here, keyed by an
+//! FNV-1a content hash and annotated with the branch trail that
+//! produced it: the seed entry starts with an empty trail, a diverging
+//! input carries the *predicted* trail of its solver model (the parent
+//! trace's prefix plus the flipped clause), and execution replaces the
+//! prediction with the trail actually observed. Entry ids are assigned
+//! in insertion order and insertion order is fixed by the clause order
+//! of flip results, so two runs with the same seed — at any flip worker
+//! count — build byte-identical stores ([`CorpusStore::digest`] is the
+//! equality the exploration differentials compare).
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::path::Path;
+
+use crate::ast::StmtId;
+
+/// FNV-1a 64 offset basis (the same constants the service's verdict
+/// digest uses, so every digest in the system folds the same way).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64 prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental FNV-1a 64 hasher shared by the corpus digests.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv(u64);
+
+impl Default for Fnv {
+    fn default() -> Fnv {
+        Fnv::new()
+    }
+}
+
+impl Fnv {
+    /// A hasher at the FNV-1a offset basis.
+    pub fn new() -> Fnv {
+        Fnv(FNV_OFFSET)
+    }
+
+    /// Folds one byte into the hash.
+    pub fn eat(&mut self, byte: u8) {
+        self.0 = (self.0 ^ u64::from(byte)).wrapping_mul(FNV_PRIME);
+    }
+
+    /// Folds a little-endian `u64` into the hash.
+    pub fn eat_u64(&mut self, value: u64) {
+        for byte in value.to_le_bytes() {
+            self.eat(byte);
+        }
+    }
+
+    /// The hash value so far.
+    pub fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+/// Content hash of an input vector: each component is folded
+/// length-prefixed, so `["ab", ""]` and `["a", "b"]` hash differently.
+pub fn content_hash(inputs: &[String]) -> u64 {
+    let mut hash = Fnv::new();
+    for input in inputs {
+        hash.eat_u64(input.len() as u64);
+        for &byte in input.as_bytes() {
+            hash.eat(byte);
+        }
+    }
+    hash.finish()
+}
+
+/// Digest of a branch trail: one `(branch id, direction)` record per
+/// clause, in trace order. Crashes and executed paths are deduplicated
+/// by this value.
+pub fn trail_digest(trail: &[(StmtId, bool)]) -> u64 {
+    let mut hash = Fnv::new();
+    for &(branch, taken) in trail {
+        hash.eat_u64(u64::from(branch));
+        hash.eat(u8::from(taken));
+    }
+    hash.finish()
+}
+
+/// One corpus entry: an input vector plus the provenance the scheduler
+/// and the differential tests read.
+#[derive(Debug, Clone)]
+pub struct CorpusEntry {
+    /// Insertion-ordered id (doubles as the index into the store).
+    pub id: u64,
+    /// FNV-1a content hash of `inputs` (the dedup key).
+    pub hash: u64,
+    /// The concrete input vector.
+    pub inputs: Vec<String>,
+    /// The branch trail that produced this input: predicted from the
+    /// parent trace while pending, replaced by the observed trail once
+    /// the entry has been executed.
+    pub trail: Vec<(StmtId, bool)>,
+    /// The corpus id of the trace this input diverged from (`None` for
+    /// the initial seed).
+    pub parent: Option<u64>,
+    /// Whether the orchestrator has executed this entry yet.
+    pub executed: bool,
+}
+
+impl CorpusEntry {
+    /// Digest of the entry's current trail.
+    pub fn trail_digest(&self) -> u64 {
+        trail_digest(&self.trail)
+    }
+}
+
+/// Content-hash-keyed corpus of exploration inputs. Insertion order is
+/// deterministic (see the module docs), duplicates are rejected at
+/// insert, and the whole store folds into one [`CorpusStore::digest`]
+/// for cross-run comparison.
+#[derive(Debug, Clone, Default)]
+pub struct CorpusStore {
+    entries: Vec<CorpusEntry>,
+    by_hash: HashMap<u64, u64>,
+    dropped: u64,
+}
+
+impl CorpusStore {
+    /// An empty store.
+    pub fn new() -> CorpusStore {
+        CorpusStore::default()
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the store holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All entries in insertion (id) order.
+    pub fn entries(&self) -> &[CorpusEntry] {
+        &self.entries
+    }
+
+    /// The entry with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was never returned by [`CorpusStore::insert`].
+    pub fn get(&self, id: u64) -> &CorpusEntry {
+        &self.entries[id as usize]
+    }
+
+    /// Whether an input vector with this content hash is stored.
+    pub fn contains_hash(&self, hash: u64) -> bool {
+        self.by_hash.contains_key(&hash)
+    }
+
+    /// Inserts an input vector with the trail that produced it.
+    /// Returns the new entry's id, or `None` if the content hash is
+    /// already stored (the global diverging-input dedup).
+    pub fn insert(
+        &mut self,
+        inputs: Vec<String>,
+        trail: Vec<(StmtId, bool)>,
+        parent: Option<u64>,
+    ) -> Option<u64> {
+        let hash = content_hash(&inputs);
+        if self.by_hash.contains_key(&hash) {
+            return None;
+        }
+        let id = self.entries.len() as u64;
+        self.by_hash.insert(hash, id);
+        self.entries.push(CorpusEntry {
+            id,
+            hash,
+            inputs,
+            trail,
+            parent,
+            executed: false,
+        });
+        Some(id)
+    }
+
+    /// Marks an entry executed and replaces its predicted trail with
+    /// the observed one.
+    pub fn mark_executed(&mut self, id: u64, trail: Vec<(StmtId, bool)>) {
+        let entry = &mut self.entries[id as usize];
+        entry.executed = true;
+        entry.trail = trail;
+    }
+
+    /// Records an input dropped because the corpus-size budget was
+    /// reached (counted so truncation is never silent).
+    pub fn note_dropped(&mut self) {
+        self.dropped += 1;
+    }
+
+    /// Inputs dropped at the corpus-size budget.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// FNV-1a digest of the whole store: every entry's content hash,
+    /// trail digest, parent, and executed flag, in id order. Two
+    /// exploration runs built the same corpus if and only if their
+    /// digests agree.
+    pub fn digest(&self) -> u64 {
+        let mut hash = Fnv::new();
+        for entry in &self.entries {
+            hash.eat_u64(entry.hash);
+            hash.eat_u64(entry.trail_digest());
+            hash.eat_u64(entry.parent.map_or(u64::MAX, |p| p));
+            hash.eat(u8::from(entry.executed));
+        }
+        hash.finish()
+    }
+
+    /// Writes the corpus to `dir` in the on-disk layout the
+    /// exploration recipe documents: one escaped input file per entry
+    /// under `<dir>/corpus/`, plus a `MANIFEST.txt` naming each file
+    /// with its provenance. Returns the number of entries written.
+    ///
+    /// Input files hold one input component per line with `\`, newline
+    /// and carriage return escaped (`\\`, `\n`, `\r`), so any input
+    /// round-trips through the file format.
+    pub fn write_to_dir(&self, dir: &Path) -> std::io::Result<usize> {
+        let corpus_dir = dir.join("corpus");
+        std::fs::create_dir_all(&corpus_dir)?;
+        let mut manifest = std::fs::File::create(dir.join("MANIFEST.txt"))?;
+        for entry in &self.entries {
+            let file_name = format!("{:05}-{:016x}.input", entry.id, entry.hash);
+            let mut file = std::fs::File::create(corpus_dir.join(&file_name))?;
+            for input in &entry.inputs {
+                let escaped = input
+                    .replace('\\', "\\\\")
+                    .replace('\n', "\\n")
+                    .replace('\r', "\\r");
+                writeln!(file, "{escaped}")?;
+            }
+            let parent = entry
+                .parent
+                .map_or_else(|| "-".to_string(), |p| p.to_string());
+            writeln!(
+                manifest,
+                "{:05} hash={:016x} parent={parent} trail={:016x} executed={} file=corpus/{file_name}",
+                entry.id,
+                entry.hash,
+                entry.trail_digest(),
+                entry.executed,
+            )?;
+        }
+        Ok(self.entries.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inputs(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn content_hash_is_length_prefixed() {
+        assert_ne!(
+            content_hash(&inputs(&["ab", ""])),
+            content_hash(&inputs(&["a", "b"]))
+        );
+        assert_ne!(content_hash(&inputs(&["a"])), content_hash(&inputs(&[""])));
+        assert_eq!(content_hash(&inputs(&["a"])), content_hash(&inputs(&["a"])));
+    }
+
+    #[test]
+    fn insert_dedups_by_content() {
+        let mut store = CorpusStore::new();
+        let first = store.insert(inputs(&["a"]), vec![], None);
+        assert_eq!(first, Some(0));
+        assert_eq!(store.insert(inputs(&["a"]), vec![(1, true)], Some(0)), None);
+        assert_eq!(store.insert(inputs(&["b"]), vec![], Some(0)), Some(1));
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn digest_tracks_content_and_provenance() {
+        let mut a = CorpusStore::new();
+        a.insert(inputs(&["x"]), vec![(3, true)], None);
+        let mut b = CorpusStore::new();
+        b.insert(inputs(&["x"]), vec![(3, true)], None);
+        assert_eq!(a.digest(), b.digest());
+        b.mark_executed(0, vec![(3, false)]);
+        assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn writes_disk_layout() {
+        let mut store = CorpusStore::new();
+        store.insert(inputs(&["plain", "with\nnewline\\"]), vec![(2, true)], None);
+        store.insert(inputs(&["child"]), vec![(2, false)], Some(0));
+        let dir = std::env::temp_dir().join(format!("expose-corpus-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let written = store.write_to_dir(&dir).expect("write corpus");
+        assert_eq!(written, 2);
+        let manifest = std::fs::read_to_string(dir.join("MANIFEST.txt")).expect("manifest");
+        assert_eq!(manifest.lines().count(), 2);
+        assert!(manifest.contains("parent=0"), "{manifest}");
+        let entry = std::fs::read_to_string(dir.join("corpus").join(format!(
+            "{:05}-{:016x}.input",
+            0,
+            store.get(0).hash
+        )))
+        .expect("entry file");
+        assert_eq!(entry, "plain\nwith\\nnewline\\\\\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

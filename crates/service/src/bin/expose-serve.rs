@@ -18,6 +18,11 @@
 //! # Print the corpus as protocol-v2 streaming scripts (pipe back in):
 //! expose-serve --emit-stream 10 [--budget quick|full]
 //!
+//! # Print the corpus as protocol-v2 exploration requests (pipe back
+//! # in; the explore-smoke CI job byte-diffs the served output across
+//! # --flip-workers 1/2/8):
+//! expose-serve --emit-explore 10 --iterations 5 [--budget quick|full]
+//!
 //! # Replay recorded streaming scripts against a served session and
 //! # check the solved responses against the whole-program reference
 //! # (one deterministic line per workload; exits nonzero on any
@@ -33,15 +38,20 @@ use expose_dse::BatchOptions;
 use expose_service::json::{self, Value};
 use expose_service::session::{job_from_submit, ServeOptions, ServiceConfig};
 use expose_service::stream::{fold_responses, record_stream};
-use expose_service::{corpus_submit_lines, proto, CorpusBudget, ProtoVersion, Request};
+use expose_service::{
+    corpus_explore_lines, corpus_submit_lines, proto, CorpusBudget, ProtoVersion, Request,
+};
 
 struct Options {
     workers: usize,
+    flip_workers: Option<usize>,
     max_inflight: usize,
     socket: Option<String>,
     batch: bool,
     emit_corpus: Option<usize>,
     emit_stream: Option<usize>,
+    emit_explore: Option<usize>,
+    iterations: usize,
     replay_stream: Option<usize>,
     budget: CorpusBudget,
     cache_bytes: Option<usize>,
@@ -50,11 +60,14 @@ struct Options {
 fn parse_args() -> Options {
     let mut options = Options {
         workers: 0,
+        flip_workers: None,
         max_inflight: 256,
         socket: None,
         batch: false,
         emit_corpus: None,
         emit_stream: None,
+        emit_explore: None,
+        iterations: 5,
         replay_stream: None,
         budget: CorpusBudget::Quick,
         cache_bytes: None,
@@ -67,6 +80,9 @@ fn parse_args() -> Options {
         };
         match arg.as_str() {
             "--workers" => options.workers = value("--workers").parse().expect("worker count"),
+            "--flip-workers" => {
+                options.flip_workers = Some(value("--flip-workers").parse().expect("worker count"))
+            }
             "--max-inflight" => {
                 options.max_inflight = value("--max-inflight").parse().expect("bound")
             }
@@ -77,6 +93,12 @@ fn parse_args() -> Options {
             }
             "--emit-stream" => {
                 options.emit_stream = Some(value("--emit-stream").parse().expect("program count"))
+            }
+            "--emit-explore" => {
+                options.emit_explore = Some(value("--emit-explore").parse().expect("program count"))
+            }
+            "--iterations" => {
+                options.iterations = value("--iterations").parse().expect("iteration count")
             }
             "--replay-stream" => {
                 options.replay_stream =
@@ -109,6 +131,12 @@ fn service_config(options: &Options) -> ServiceConfig {
     if let Some(bytes) = options.cache_bytes {
         config.model_cache_byte_budget = bytes;
         config.query_cache_byte_budget = bytes;
+    }
+    // `--flip-workers N` sets the default per-trace flip-solving worker
+    // count (requests may still override per line). Exploration output
+    // must be byte-identical for any value — explore-smoke diffs it.
+    if let Some(n) = options.flip_workers {
+        config.engine.flip_workers = n;
     }
     config
 }
@@ -170,7 +198,8 @@ fn run_batch_mode(input: impl BufRead, config: &ServiceConfig) -> std::io::Resul
                     | Request::Push(_)
                     | Request::Pop
                     | Request::Solve { .. }
-                    | Request::CloseSession => {
+                    | Request::CloseSession
+                    | Request::Explore(_) => {
                         println!(
                             "{}",
                             proto::error_line(&proto::RequestError::new(
@@ -390,6 +419,14 @@ fn main() -> std::io::Result<()> {
     }
     if let Some(generated) = options.emit_stream {
         return run_emit_stream(generated, &options);
+    }
+    if let Some(generated) = options.emit_explore {
+        let stdout = std::io::stdout();
+        let mut out = stdout.lock();
+        for line in corpus_explore_lines(generated, options.budget, options.iterations) {
+            writeln!(out, "{line}")?;
+        }
+        return Ok(());
     }
     if let Some(generated) = options.replay_stream {
         return run_replay_stream(generated, &options);

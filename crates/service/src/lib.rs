@@ -18,6 +18,8 @@
 //! the `result` stream of a session is byte-identical for any worker
 //! count.
 
+#![warn(missing_docs)]
+
 pub mod json;
 pub mod proto;
 pub mod session;
@@ -25,8 +27,8 @@ pub mod stream;
 pub mod wire;
 
 pub use proto::{
-    parse_request, result_line, verdict_digest, ErrorCode, ProtoVersion, Request, RequestError,
-    SubmitRequest, VerdictDigest,
+    parse_request, result_line, verdict_digest, ErrorCode, ExploreRequest, ProtoVersion, Request,
+    RequestError, SubmitRequest, VerdictDigest,
 };
 #[allow(deprecated)]
 pub use session::{serve, serve_with_caches};
@@ -76,6 +78,36 @@ pub fn corpus_submit_lines(generated: usize, budget: CorpusBudget) -> Vec<String
     }
     for p in corpus::generate_dse_programs(generated, 0xbe7c) {
         lines.push(submit(&p.name, &p.source, &p.entry, p.arity));
+    }
+    lines
+}
+
+/// The same corpus as protocol-v2 `explore` lines, each running an
+/// `iterations`-bounded pure-concolic loop — the input of the
+/// `explore-smoke` CI job, whose response stream must be byte-identical
+/// at any flip worker count.
+pub fn corpus_explore_lines(
+    generated: usize,
+    budget: CorpusBudget,
+    iterations: usize,
+) -> Vec<String> {
+    let (_, max_steps) = budget.limits();
+    let explore = |name: &str, source: &str, entry: &str, arity: usize| {
+        format!(
+            "{{\"v\":2,\"type\":\"explore\",\"name\":{},\"entry\":{},\"arity\":{arity},\
+             \"iterations\":{iterations},\"max_steps\":{max_steps},\
+             \"program\":{}}}",
+            escaped(name),
+            escaped(entry),
+            escaped(source),
+        )
+    };
+    let mut lines = Vec::new();
+    for w in corpus::library_workloads() {
+        lines.push(explore(w.name, w.source, w.entry, w.arity));
+    }
+    for p in corpus::generate_dse_programs(generated, 0xbe7c) {
+        lines.push(explore(&p.name, &p.source, &p.entry, p.arity));
     }
     lines
 }

@@ -172,6 +172,36 @@ pub struct SubmitRequest {
     pub ack: bool,
 }
 
+/// A parsed `explore` request (v2): one pure-concolic exploration run
+/// (see [`expose_dse::explore()`]), streamed as per-iteration
+/// `explore_progress` lines plus a final `explore_result` line.
+#[derive(Debug, Clone)]
+pub struct ExploreRequest {
+    /// Run label; defaults to `explore<id>`.
+    pub name: Option<String>,
+    /// Mini-JS program source.
+    pub program: String,
+    /// Entry function name (default `f`).
+    pub entry: String,
+    /// Entry arity (default 1).
+    pub arity: usize,
+    /// Argument construction (default [`HarnessKind::Strings`]).
+    pub harness: HarnessKind,
+    /// Engine override: regex support level.
+    pub support: Option<SupportLevel>,
+    /// Engine override: interpreter step budget.
+    pub max_steps: Option<u64>,
+    /// Engine override: clause flips per trace.
+    pub max_flips: Option<usize>,
+    /// Engine override: per-trace flip-solving workers.
+    pub flip_workers: Option<usize>,
+    /// Exploration iteration budget (absent = the orchestrator
+    /// default).
+    pub iterations: Option<usize>,
+    /// Corpus-size budget (absent = the orchestrator default).
+    pub max_corpus: Option<usize>,
+}
+
 /// A parsed `open_session` request (v2).
 #[derive(Debug, Clone)]
 pub struct OpenSessionRequest {
@@ -224,6 +254,9 @@ pub enum Request {
     },
     /// Close the open streaming session (v2).
     CloseSession,
+    /// Run one pure-concolic exploration loop, streaming per-iteration
+    /// progress (v2).
+    Explore(Box<ExploreRequest>),
 }
 
 fn parse_support(s: &str) -> Result<SupportLevel, String> {
@@ -335,7 +368,7 @@ pub fn parse_request(line: &str) -> Result<(Request, ProtoVersion), RequestError
         "status" => Request::Status,
         "stats" => Request::Stats,
         "shutdown" => Request::Shutdown,
-        "open_session" | "push" | "pop" | "solve" | "close_session"
+        "open_session" | "push" | "pop" | "solve" | "close_session" | "explore"
             if version != ProtoVersion::V2 =>
         {
             return Err(RequestError::new(
@@ -394,6 +427,42 @@ pub fn parse_request(line: &str) -> Result<(Request, ProtoVersion), RequestError
             }
         }
         "close_session" => Request::CloseSession,
+        "explore" => {
+            let program = opt_str(&value, "program")
+                .map_err(&bad)?
+                .ok_or_else(|| bad("explore requires \"program\"".to_string()))?;
+            let support = match opt_str(&value, "support").map_err(&bad)? {
+                Some(s) => Some(parse_support(&s).map_err(&bad)?),
+                None => None,
+            };
+            let harness = match opt_str(&value, "harness").map_err(&bad)? {
+                Some(s) => parse_harness(&s).map_err(&bad)?,
+                None => HarnessKind::Strings,
+            };
+            Request::Explore(Box::new(ExploreRequest {
+                name: opt_str(&value, "name").map_err(&bad)?,
+                program,
+                entry: opt_str(&value, "entry")
+                    .map_err(&bad)?
+                    .unwrap_or_else(|| "f".to_string()),
+                arity: opt_u64(&value, "arity").map_err(&bad)?.unwrap_or(1) as usize,
+                harness,
+                support,
+                max_steps: opt_u64(&value, "max_steps").map_err(&bad)?,
+                max_flips: opt_u64(&value, "max_flips")
+                    .map_err(&bad)?
+                    .map(|n| n as usize),
+                flip_workers: opt_u64(&value, "flip_workers")
+                    .map_err(&bad)?
+                    .map(|n| n as usize),
+                iterations: opt_u64(&value, "iterations")
+                    .map_err(&bad)?
+                    .map(|n| n as usize),
+                max_corpus: opt_u64(&value, "max_corpus")
+                    .map_err(&bad)?
+                    .map(|n| n as usize),
+            }))
+        }
         other => {
             return Err(RequestError::new(
                 ErrorCode::UnknownVerb,
@@ -712,6 +781,93 @@ pub fn session_closed_line(id: u64, depth: usize, stats: strsolve::SessionStats)
     )
 }
 
+/// Renders one v2 `explore_progress` line: the deterministic
+/// per-iteration snapshot of an exploration run. Like `result` lines,
+/// every field is scheduling- and worker-count-invariant, so the
+/// progress stream of a run is byte-identical at any flip worker count
+/// (the `explore-smoke` CI leg diffs it at 1/2/8).
+pub fn explore_progress_line(id: u64, progress: &expose_dse::IterationProgress) -> String {
+    format!(
+        "{{\"v\":2,\"type\":\"explore_progress\",\"explore\":{id},\"iteration\":{},\
+         \"seed\":{},\"seed_hash\":\"{:016x}\",\"new_inputs\":{},\"corpus\":{},\
+         \"frontier\":{},\"unique_paths\":{},\"covered_stmts\":{},\
+         \"covered_directions\":{},\"bugs\":{},\"queries\":{},\"sat_queries\":{}}}",
+        progress.iteration,
+        progress.seed,
+        progress.seed_hash,
+        progress.new_inputs,
+        progress.corpus_size,
+        progress.frontier,
+        progress.unique_paths,
+        progress.covered_stmts,
+        progress.covered_directions,
+        progress.bugs,
+        progress.queries,
+        progress.sat_queries,
+    )
+}
+
+/// Renders the final v2 `explore_result` line of an exploration run:
+/// totals, the stop reason, the corpus digest, and the whole-run
+/// trajectory digest. Deterministic fields only, like `result` lines.
+pub fn explore_result_line(id: u64, name: &str, report: &expose_dse::ExploreReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(256);
+    let _ = write!(
+        out,
+        "{{\"v\":2,\"type\":\"explore_result\",\"explore\":{id},\"name\":{}",
+        json::escaped(name)
+    );
+    let _ = write!(
+        out,
+        ",\"iterations\":{},\"stopped\":\"{}\",\"stmts\":{},\"covered\":{},\
+         \"coverage\":{:.4},\"covered_directions\":{},\"unique_paths\":{},\
+         \"corpus\":{},\"corpus_dropped\":{},\"queries\":{},\"sat_queries\":{}",
+        report.iterations,
+        report.stopped.as_str(),
+        report.stmt_count,
+        report.coverage.len(),
+        report.coverage_fraction(),
+        report.covered_directions,
+        report.unique_paths,
+        report.corpus.len(),
+        report.corpus.dropped(),
+        report.queries.len(),
+        report.sat_queries(),
+    );
+    out.push_str(",\"bugs\":[");
+    for (i, bug) in report.bugs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "[{},[", bug.stmt);
+        for (j, input) in bug.inputs.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            json::write_escaped(&mut out, input);
+        }
+        out.push_str("]]");
+    }
+    let _ = write!(
+        out,
+        "],\"corpus_digest\":\"{:016x}\",\"trajectory\":\"{:016x}\"}}",
+        report.corpus.digest(),
+        report.trajectory_digest(),
+    );
+    out
+}
+
+/// Renders the v2 `explore_result` error shape for a run that could
+/// not start (e.g. the program failed to parse).
+pub fn explore_error_line(id: u64, name: &str, error: &str) -> String {
+    format!(
+        "{{\"v\":2,\"type\":\"explore_result\",\"explore\":{id},\"name\":{},\"error\":{}}}",
+        json::escaped(name),
+        json::escaped(error),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -775,6 +931,97 @@ mod tests {
             code(r#"{"v":"two","type":"status"}"#),
             ErrorCode::UnsupportedVersion
         );
+    }
+
+    #[test]
+    fn parses_explore_requests() {
+        let err = parse_request(r#"{"type":"explore","program":"function f(x){}"}"#)
+            .expect_err("explore is v2-only");
+        assert_eq!(err.code, ErrorCode::UnsupportedVersion);
+
+        let (request, version) = parse_request(
+            r#"{"v":2,"type":"explore","name":"e","program":"function g(a){}","entry":"g",
+                "iterations":5,"max_corpus":64,"flip_workers":2}"#
+                .replace('\n', " ")
+                .as_str(),
+        )
+        .expect("parses");
+        assert_eq!(version, ProtoVersion::V2);
+        let Request::Explore(explore) = request else {
+            panic!("explore");
+        };
+        assert_eq!(explore.name.as_deref(), Some("e"));
+        assert_eq!(explore.entry, "g");
+        assert_eq!(explore.iterations, Some(5));
+        assert_eq!(explore.max_corpus, Some(64));
+        assert_eq!(explore.flip_workers, Some(2));
+        assert_eq!(explore.support, None);
+
+        let err = parse_request(r#"{"v":2,"type":"explore"}"#).expect_err("program required");
+        assert_eq!(err.code, ErrorCode::BadRequest);
+    }
+
+    #[test]
+    fn explore_lines_render() {
+        let progress = expose_dse::IterationProgress {
+            iteration: 2,
+            seed: 1,
+            seed_hash: 0xabcd,
+            new_inputs: 3,
+            corpus_size: 4,
+            frontier: 3,
+            unique_paths: 2,
+            covered_stmts: 9,
+            covered_directions: 4,
+            bugs: 1,
+            queries: 5,
+            sat_queries: 3,
+        };
+        let line = explore_progress_line(0, &progress);
+        crate::json::parse(&line).expect("valid JSON");
+        assert_eq!(
+            line,
+            "{\"v\":2,\"type\":\"explore_progress\",\"explore\":0,\"iteration\":2,\
+             \"seed\":1,\"seed_hash\":\"000000000000abcd\",\"new_inputs\":3,\"corpus\":4,\
+             \"frontier\":3,\"unique_paths\":2,\"covered_stmts\":9,\
+             \"covered_directions\":4,\"bugs\":1,\"queries\":5,\"sat_queries\":3}"
+        );
+
+        let error = explore_error_line(7, "bad", "parse: oops");
+        crate::json::parse(&error).expect("valid JSON");
+        assert_eq!(
+            error,
+            r#"{"v":2,"type":"explore_result","explore":7,"name":"bad","error":"parse: oops"}"#
+        );
+
+        let mut corpus = expose_dse::CorpusStore::new();
+        corpus.insert(vec!["x".into()], vec![(1, true)], None);
+        let report = expose_dse::ExploreReport {
+            iterations: 1,
+            stmt_count: 6,
+            coverage: [1u32, 2, 3].into_iter().collect(),
+            covered_directions: 2,
+            unique_paths: 1,
+            corpus,
+            bugs: vec![expose_dse::ExploreBug {
+                stmt: 4,
+                inputs: vec!["\"q\"".into()],
+                trail_digest: 9,
+            }],
+            progress: vec![progress],
+            stopped: expose_dse::StopReason::Iterations,
+            queries: Vec::new(),
+        };
+        let line = explore_result_line(3, "run", &report);
+        crate::json::parse(&line).expect("valid JSON");
+        assert!(
+            line.starts_with(r#"{"v":2,"type":"explore_result","explore":3,"name":"run""#),
+            "{line}"
+        );
+        assert!(line.contains(r#""stopped":"iterations""#), "{line}");
+        assert!(line.contains(r#""bugs":[[4,["\"q\""]]]"#), "{line}");
+        assert!(line.contains(r#""corpus_digest":""#), "{line}");
+        assert!(line.contains(r#""trajectory":""#), "{line}");
     }
 
     #[test]

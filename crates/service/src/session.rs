@@ -24,12 +24,15 @@ use std::sync::Mutex;
 
 use expose_dse::sched::{Scheduler, SchedulerConfig};
 use expose_dse::sym::RegexEvent;
-use expose_dse::{parser::parse_program, CacheSet, EngineConfig, Harness, Job, TraceFlipSession};
+use expose_dse::{
+    explore_observed, parser::parse_program, CacheSet, EngineConfig, ExploreConfig, Harness, Job,
+    TraceFlipSession,
+};
 use strsolve::Solver;
 
 use crate::proto::{
-    self, CacheCounters, ErrorCode, HarnessKind, ProtoVersion, PushRequest, Request, RequestError,
-    SessionCounters, SubmitRequest,
+    self, CacheCounters, ErrorCode, ExploreRequest, HarnessKind, ProtoVersion, PushRequest,
+    Request, RequestError, SessionCounters, SubmitRequest,
 };
 use crate::wire;
 
@@ -149,6 +152,35 @@ pub fn job_from_submit(
         harness,
         config: engine_for(submit, defaults),
     })
+}
+
+/// Builds the exploration configuration of one `explore` request from
+/// the service's engine defaults plus the request's overrides.
+pub fn explore_config_for(request: &ExploreRequest, defaults: &EngineConfig) -> ExploreConfig {
+    let mut engine = defaults.clone();
+    if let Some(support) = request.support {
+        engine.support = support;
+    }
+    if let Some(n) = request.max_steps {
+        engine.max_steps = n;
+    }
+    if let Some(n) = request.max_flips {
+        engine.max_flips_per_trace = n;
+    }
+    if let Some(n) = request.flip_workers {
+        engine.flip_workers = n;
+    }
+    let mut config = ExploreConfig {
+        engine,
+        ..ExploreConfig::default()
+    };
+    if let Some(n) = request.iterations {
+        config.max_iterations = n;
+    }
+    if let Some(n) = request.max_corpus {
+        config.max_corpus = n;
+    }
+    config
 }
 
 /// One connection's open streaming session: the wire-facing event
@@ -293,6 +325,7 @@ impl ServeOptions {
             let reader = (|| -> std::io::Result<()> {
                 let mut active: Option<StreamState> = None;
                 let mut next_session_id: u64 = 0;
+                let mut next_explore_id: u64 = 0;
                 for line in input.lines() {
                     let line = line?;
                     let line = line.trim();
@@ -528,6 +561,60 @@ impl ServeOptions {
                                 stream.flips.depth(),
                                 stream.flips.session_stats(),
                             ))?;
+                        }
+                        Request::Explore(explore) => {
+                            // Exploration runs synchronously on the
+                            // reader thread (like streamed solves) with
+                            // the connection's shared cache set, so its
+                            // progress lines stay ordered with the
+                            // requests and the stream is deterministic
+                            // at any worker count.
+                            let id = next_explore_id;
+                            next_explore_id += 1;
+                            let name = explore
+                                .name
+                                .clone()
+                                .unwrap_or_else(|| format!("explore{id}"));
+                            let program = match parse_program(&explore.program) {
+                                Ok(program) => program,
+                                Err(e) => {
+                                    write_line(&proto::explore_error_line(
+                                        id,
+                                        &name,
+                                        &format!("parse: {e}"),
+                                    ))?;
+                                    continue;
+                                }
+                            };
+                            let harness = match explore.harness {
+                                HarnessKind::Strings => {
+                                    Harness::strings(&explore.entry, explore.arity)
+                                }
+                                HarnessKind::StringArray => {
+                                    Harness::string_array(&explore.entry, explore.arity)
+                                }
+                            };
+                            let explore_config = explore_config_for(&explore, &config.engine);
+                            let mut stream_error: Option<std::io::Error> = None;
+                            let report = explore_observed(
+                                &program,
+                                &harness,
+                                &explore_config,
+                                &stream_caches,
+                                &mut |progress| {
+                                    if stream_error.is_none() {
+                                        if let Err(e) =
+                                            write_line(&proto::explore_progress_line(id, progress))
+                                        {
+                                            stream_error = Some(e);
+                                        }
+                                    }
+                                },
+                            );
+                            if let Some(e) = stream_error {
+                                return Err(e);
+                            }
+                            write_line(&proto::explore_result_line(id, &name, &report))?;
                         }
                     }
                 }
@@ -844,6 +931,69 @@ mod tests {
             "{}",
             lines[4]
         );
+    }
+
+    #[test]
+    fn explore_streams_progress_and_result() {
+        let input = concat!(
+            r#"{"v":2,"type":"explore","name":"e0","iterations":4,"program":"function f(x) { if (/^[a-z]+$/.test(x)) { if (x === \"deep\") { return 2; } return 1; } return 0; }"}"#,
+            "\n",
+            r#"{"v":2,"type":"explore","name":"bad","program":"function f(x) { if ("}"#,
+            "\n",
+        );
+        let (lines, summary) = run_lines(input, &quick_config(1));
+        assert_eq!(summary.request_errors, 0, "{lines:?}");
+        let progress: Vec<&String> = lines
+            .iter()
+            .filter(|l| l.contains(r#""type":"explore_progress""#))
+            .collect();
+        // One line per iteration; the loop may exhaust its frontier
+        // before the 4-iteration budget.
+        assert!(
+            (2..=4).contains(&progress.len()),
+            "{} progress lines: {lines:?}",
+            progress.len()
+        );
+        assert!(
+            progress[0]
+                .starts_with(r#"{"v":2,"type":"explore_progress","explore":0,"iteration":1"#),
+            "{}",
+            progress[0]
+        );
+        let result = lines
+            .iter()
+            .find(|l| l.contains(r#""type":"explore_result","explore":0"#))
+            .expect("result line");
+        assert!(result.contains(r#""name":"e0""#), "{result}");
+        assert!(result.contains(r#""stopped":""#), "{result}");
+        assert!(result.contains(r#""corpus_digest":""#), "{result}");
+        // The parse failure still yields a terminal explore_result.
+        let failed = lines
+            .iter()
+            .find(|l| l.contains(r#""type":"explore_result","explore":1"#))
+            .expect("error line");
+        assert!(failed.contains(r#""error":"parse:"#), "{failed}");
+    }
+
+    #[test]
+    fn explore_stream_is_flip_worker_invariant() {
+        let input = concat!(
+            r#"{"v":2,"type":"explore","name":"e","iterations":6,"program":"function f(x) { let m = /^<([a-z]+)>$/.exec(x); if (m) { if (m[1] === \"timeout\") { return 1; } return 2; } return 0; }"}"#,
+            "\n",
+        );
+        let run_at = |flip_workers: usize| {
+            let config = ServiceConfig {
+                engine: EngineConfig {
+                    flip_workers,
+                    ..EngineConfig::default()
+                },
+                ..quick_config(1)
+            };
+            run_lines(input, &config).0
+        };
+        let serial = run_at(1);
+        assert_eq!(serial, run_at(2));
+        assert_eq!(serial, run_at(8));
     }
 
     #[test]

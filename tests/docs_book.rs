@@ -1,0 +1,200 @@
+//! The docs book as a test subject: `docs/src/SUMMARY.md` must list
+//! only chapters that exist, every chapter file must be reachable from
+//! the summary, and no relative markdown link anywhere in the book (or
+//! in `README.md`) may dangle — including `#anchor` fragments, which
+//! must name a real heading in the target chapter. This is the "book
+//! build" of the docs CI job: the container has no mdbook, but a
+//! dangling link is a structural fact about the files, not the
+//! renderer.
+
+use std::collections::BTreeSet;
+use std::path::{Component, Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn book_src() -> PathBuf {
+    repo_root().join("docs").join("src")
+}
+
+fn read(path: &Path) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path:?}: {e}"))
+}
+
+/// Markdown files of the book, relative to `docs/src`, sorted.
+fn book_chapters() -> Vec<PathBuf> {
+    fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)
+            .unwrap_or_else(|e| panic!("cannot list {dir:?}: {e}"))
+            .map(|entry| entry.expect("readable entry").path())
+            .collect();
+        entries.sort();
+        for path in entries {
+            if path.is_dir() {
+                walk(&path, out);
+            } else if path.extension().is_some_and(|ext| ext == "md") {
+                out.push(path);
+            }
+        }
+    }
+    let mut files = Vec::new();
+    walk(&book_src(), &mut files);
+    files
+}
+
+/// Inline links `[text](target)` outside fenced code blocks.
+fn markdown_links(source: &str) -> Vec<String> {
+    let mut links = Vec::new();
+    let mut in_fence = false;
+    for line in source.lines() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        let bytes = line.as_bytes();
+        let mut i = 0;
+        while i + 1 < bytes.len() {
+            if bytes[i] == b']' && bytes[i + 1] == b'(' {
+                if let Some(close) = line[i + 2..].find(')') {
+                    links.push(line[i + 2..i + 2 + close].to_string());
+                    i += 2 + close;
+                    continue;
+                }
+            }
+            i += 1;
+        }
+    }
+    links
+}
+
+/// GitHub/mdBook-style anchor slugs of the file's headings.
+fn heading_slugs(source: &str) -> BTreeSet<String> {
+    let mut slugs = BTreeSet::new();
+    let mut in_fence = false;
+    for line in source.lines() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence || !line.starts_with('#') {
+            continue;
+        }
+        let title = line.trim_start_matches('#').trim();
+        let mut slug = String::new();
+        for c in title.chars() {
+            match c {
+                ' ' => slug.push('-'),
+                c if c.is_ascii_alphanumeric() || c == '-' || c == '_' => {
+                    slug.push(c.to_ascii_lowercase())
+                }
+                _ => {}
+            }
+        }
+        slugs.insert(slug);
+    }
+    slugs
+}
+
+/// Resolves `link` (a relative path, fragment already split off)
+/// against the directory of `from`, without touching the filesystem
+/// for the `..` handling so escapes above the repo root are caught.
+fn resolve(from: &Path, link: &str) -> PathBuf {
+    let mut parts: Vec<Component> = from
+        .parent()
+        .expect("files have parents")
+        .components()
+        .collect();
+    for component in Path::new(link).components() {
+        match component {
+            Component::ParentDir => {
+                assert!(
+                    parts.pop().is_some(),
+                    "{from:?}: link {link:?} escapes the repository"
+                );
+            }
+            Component::CurDir => {}
+            other => parts.push(other),
+        }
+    }
+    parts.iter().collect()
+}
+
+/// Checks every relative link of `file`; external and bare-anchor
+/// links are skipped. Returns the broken ones.
+fn broken_links(file: &Path) -> Vec<String> {
+    let source = read(file);
+    let mut broken = Vec::new();
+    for link in markdown_links(&source) {
+        if link.starts_with("http://")
+            || link.starts_with("https://")
+            || link.starts_with("mailto:")
+            || link.starts_with('#')
+        {
+            continue;
+        }
+        let (path_part, fragment) = match link.split_once('#') {
+            Some((p, f)) => (p, Some(f.to_string())),
+            None => (link.as_str(), None),
+        };
+        let target = resolve(file, path_part);
+        if !target.exists() {
+            broken.push(format!("{} -> {link} (missing file)", file.display()));
+            continue;
+        }
+        if let Some(fragment) = fragment {
+            if target.extension().is_some_and(|ext| ext == "md")
+                && !heading_slugs(&read(&target)).contains(&fragment)
+            {
+                broken.push(format!("{} -> {link} (missing anchor)", file.display()));
+            }
+        }
+    }
+    broken
+}
+
+#[test]
+fn summary_lists_existing_chapters_and_no_orphans() {
+    let summary_path = book_src().join("SUMMARY.md");
+    let summary = read(&summary_path);
+    let mut listed = BTreeSet::new();
+    for link in markdown_links(&summary) {
+        let target = resolve(&summary_path, &link);
+        assert!(
+            target.exists(),
+            "SUMMARY.md lists a missing chapter: {link}"
+        );
+        listed.insert(target);
+    }
+    assert!(!listed.is_empty(), "SUMMARY.md lists no chapters");
+    for chapter in book_chapters() {
+        if chapter == summary_path {
+            continue;
+        }
+        assert!(
+            listed.contains(&chapter),
+            "chapter not reachable from SUMMARY.md: {}",
+            chapter.display()
+        );
+    }
+}
+
+#[test]
+fn no_dangling_links_in_book_or_readme() {
+    let mut files = book_chapters();
+    files.push(repo_root().join("README.md"));
+    let broken: Vec<String> = files.iter().flat_map(|f| broken_links(f)).collect();
+    assert!(broken.is_empty(), "dangling links:\n{}", broken.join("\n"));
+}
+
+#[test]
+fn readme_stays_a_landing_page() {
+    let lines = read(&repo_root().join("README.md")).lines().count();
+    assert!(
+        lines <= 120,
+        "README.md is {lines} lines; keep it a landing page (<= 120) and grow the book instead"
+    );
+}

@@ -33,9 +33,14 @@
 //!
 //! With `--throughput`, the binary additionally pushes the same
 //! workload corpus through the NDJSON job service (scheduler fan-out,
-//! shared session caches) and records `throughput_jobs_per_sec`; the
-//! `--check` gate then also fails on a >2× throughput drop against the
-//! baseline artifact.
+//! shared session caches) and records `throughput_jobs_per_sec`; it
+//! then serves the corpus over a real loopback TCP listener and soaks
+//! it with 8 concurrent closed-loop clients, recording the exact
+//! end-to-end `latency_p50_ms`/`latency_p99_ms` and `soak_jobs` (any
+//! dropped response is exit 10). The `--check` gate then also fails on
+//! a >2× throughput drop or a >2× p50/p99 latency regression against
+//! the baseline artifact (each latency gate is skipped while the
+//! baseline lacks its key).
 //!
 //! With `--explore`, the binary runs the pure-concolic exploration
 //! orchestrator over the same corpus (shared session caches, 8
@@ -263,6 +268,68 @@ fn measure_throughput(programs: usize, budget: Budget, workers: usize) -> (u64, 
     let wall_ms = started.elapsed().as_secs_f64() * 1e3;
     let jobs_per_sec = summary.jobs as f64 / (wall_ms / 1e3).max(1e-9);
     (summary.jobs, workers, wall_ms, jobs_per_sec)
+}
+
+/// The numbers of one concurrent-client latency soak.
+struct LatencyNumbers {
+    /// Concurrent closed-loop clients.
+    clients: usize,
+    /// Jobs submitted across all clients (one corpus pass each).
+    jobs: u64,
+    /// Jobs that got no response at all — must be zero.
+    dropped: u64,
+    /// Median end-to-end job latency, milliseconds (exact quantile).
+    p50_ms: f64,
+    /// 99th-percentile end-to-end job latency, milliseconds (exact).
+    p99_ms: f64,
+}
+
+/// Serves the corpus over a real loopback TCP listener (through the
+/// same admission front-end as `expose-serve --listen tcp:`) and soaks
+/// it with concurrent closed-loop clients, returning exact end-to-end
+/// latency quantiles — the client-observed counterpart of the
+/// scheduler's bucketed histogram.
+fn measure_latency(
+    programs: usize,
+    budget: Budget,
+    workers: usize,
+    clients: usize,
+) -> LatencyNumbers {
+    let corpus_budget = if budget.executions >= Budget::full().executions {
+        expose_service::CorpusBudget::Full
+    } else {
+        expose_service::CorpusBudget::Quick
+    };
+    let listen = expose_service::Listen::parse("tcp:127.0.0.1:0").expect("loopback spec");
+    let mut listener = listen.bind().expect("loopback bind");
+    let addr = listener.local_addr();
+    let state = expose_service::ServerState::new();
+    let options = expose_service::ServeOptions::new()
+        .config(expose_service::ServiceConfig::default().workers(workers));
+    std::thread::scope(|scope| {
+        let server_state = std::sync::Arc::clone(&state);
+        let server = scope.spawn(move || {
+            expose_service::serve_listener(listener.as_mut(), &options, &server_state)
+                .expect("latency server failed");
+        });
+        let report = expose_service::run_soak(&expose_service::SoakOptions {
+            addr,
+            clients,
+            seconds: 0,
+            generated: programs,
+            budget: corpus_budget,
+        })
+        .expect("latency soak failed");
+        state.begin_drain();
+        server.join().expect("latency server thread");
+        LatencyNumbers {
+            clients,
+            jobs: report.jobs,
+            dropped: report.dropped,
+            p50_ms: report.latency_p50_ms,
+            p99_ms: report.latency_p99_ms,
+        }
+    })
 }
 
 /// The numbers of one `--explore` measurement over the corpus.
@@ -560,6 +627,18 @@ fn main() {
         );
         best
     });
+    // Latency trajectory: the same corpus over a real loopback TCP
+    // socket under 8-way client concurrency (one soak pass — the
+    // quantiles are per-job, so a single pass already has hundreds of
+    // samples at full budget).
+    let latency_numbers = throughput.then(|| {
+        let measured = measure_latency(programs, budget, flip_workers, 8);
+        eprintln!(
+            "perf: latency p50 {:.1} ms, p99 {:.1} ms ({} jobs, {} clients, {} dropped)",
+            measured.p50_ms, measured.p99_ms, measured.jobs, measured.clients, measured.dropped
+        );
+        measured
+    });
     // Exploration: the orchestrator over the corpus, strictly-more
     // unique paths than single-trace flip runs (the whole point of
     // closing the solve→seed loop).
@@ -623,6 +702,19 @@ fn main() {
         ),
         None => String::new(),
     };
+    let latency_json = match &latency_numbers {
+        Some(l) => format!(
+            concat!(
+                "  \"latency_clients\": {},\n",
+                "  \"soak_jobs\": {},\n",
+                "  \"soak_dropped\": {},\n",
+                "  \"latency_p50_ms\": {:.3},\n",
+                "  \"latency_p99_ms\": {:.3},\n",
+            ),
+            l.clients, l.jobs, l.dropped, l.p50_ms, l.p99_ms
+        ),
+        None => String::new(),
+    };
 
     let json = format!(
         concat!(
@@ -647,6 +739,7 @@ fn main() {
             "  \"redos_speedup\": {:.1},\n",
             "  \"matcher_fast_path\": {},\n",
             "  \"matcher_fallback\": {},\n",
+            "{}",
             "{}",
             "{}",
             "  \"baseline\": {},\n",
@@ -674,6 +767,7 @@ fn main() {
         optimized.matcher_fallback,
         explore_json,
         throughput_json,
+        latency_json,
         baseline.json(set.len()),
         optimized.json(set.len()),
     );
@@ -726,6 +820,14 @@ fn main() {
                 md,
                 "- **service throughput**: {jobs_per_sec:.1} jobs/sec \
                  ({jobs} jobs, {workers} workers, {wall_ms:.0} ms)"
+            );
+        }
+        if let Some(l) = &latency_numbers {
+            let _ = writeln!(
+                md,
+                "- **service latency**: p50 {:.1} ms, p99 {:.1} ms \
+                 ({} jobs over TCP, {} concurrent clients, {} dropped)",
+                l.p50_ms, l.p99_ms, l.jobs, l.clients, l.dropped,
             );
         }
         if let Some(e) = &explore_numbers {
@@ -793,6 +895,17 @@ fn main() {
         // Advisory on arbitrary machines; the CI gate is the checked-in
         // baseline comparison below.
         eprintln!("perf: WARN — speedup {speedup:.2}x below the 1.5x target");
+    }
+    if let Some(l) = &latency_numbers {
+        // A dropped job means a client's submit never got a response —
+        // the one thing a front-end must never do, on any machine.
+        if l.dropped > 0 {
+            eprintln!(
+                "perf: FAIL — the latency soak dropped {} of {} job(s)",
+                l.dropped, l.jobs
+            );
+            std::process::exit(10);
+        }
     }
     if let Some(e) = &explore_numbers {
         // The loop exists to witness paths one trace's flips cannot; if
@@ -864,6 +977,25 @@ fn main() {
                 }
             } else {
                 eprintln!("perf: baseline has no throughput_jobs_per_sec; gate skipped");
+            }
+        }
+        // Latency gates, same skip-if-missing shape: p50 and p99 may
+        // each regress at most 2x against the checked-in baseline.
+        if let Some(l) = &latency_numbers {
+            for (key, measured) in [("latency_p50_ms", l.p50_ms), ("latency_p99_ms", l.p99_ms)] {
+                if let Some(reference_ms) = extract_number(&reference, key) {
+                    let limit = reference_ms * 2.0;
+                    eprintln!(
+                        "perf: check {key} {measured:.1} ms against baseline {reference_ms:.1} \
+                         (limit {limit:.1})"
+                    );
+                    if measured > limit {
+                        eprintln!("perf: FAIL — {key} regressed more than 2x the baseline");
+                        std::process::exit(10);
+                    }
+                } else {
+                    eprintln!("perf: baseline has no {key}; gate skipped");
+                }
             }
         }
         // Exploration-rate gate, mirroring the throughput one: only

@@ -28,8 +28,8 @@ pub struct Job {
     pub config: EngineConfig,
 }
 
-/// Options for one batch run — the single entry point that replaced the
-/// `run_batch`/`run_batch_with_caches` pair.
+/// Options for one batch run — the single batch entry point (the old
+/// `run_batch`/`run_batch_with_caches` free functions are gone).
 ///
 /// # Examples
 ///
@@ -133,28 +133,6 @@ impl BatchOptions {
     }
 }
 
-/// Runs a batch of jobs on `workers` threads, returning reports in the
-/// order of the input jobs.
-#[deprecated(
-    since = "0.7.0",
-    note = "use `BatchOptions::new().workers(n).run(jobs)`"
-)]
-pub fn run_batch(jobs: Vec<Job>, workers: usize) -> Vec<Report> {
-    BatchOptions::new().workers(workers).run(jobs)
-}
-
-/// [`BatchOptions::run`] with a caller-provided session cache set.
-#[deprecated(
-    since = "0.7.0",
-    note = "use `BatchOptions::new().workers(n).caches(c).run(jobs)`"
-)]
-pub fn run_batch_with_caches(jobs: Vec<Job>, workers: usize, caches: CacheSet) -> Vec<Report> {
-    BatchOptions::new()
-        .workers(workers)
-        .caches(caches)
-        .run(jobs)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -222,20 +200,6 @@ mod tests {
         )]);
         assert_eq!(reports.len(), 1);
         assert!(reports[0].coverage_fraction() > 0.9);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_still_run() {
-        let reports = run_batch(vec![job("wrapped", r#"function f(x) { return 0; }"#)], 1);
-        assert_eq!(reports.len(), 1);
-        let caches = CacheSet::session(8, 8, 0);
-        let reports = run_batch_with_caches(
-            vec![job("wrapped", r#"function f(x) { return 0; }"#)],
-            1,
-            caches,
-        );
-        assert_eq!(reports.len(), 1);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //!
 //! One [`DseCaches`] instance is shared by every flip query of a DSE
 //! run — and, via [`crate::sched::Scheduler`] and
-//! [`crate::batch::run_batch`], across all jobs of a session: the model
+//! [`crate::batch::BatchOptions`], across all jobs of a session: the model
 //! cache amortizes regex→SMT model construction, the query cache
 //! amortizes whole solver queries (child traces share their path prefix
 //! with the parent, so the prefix flip queries repeat verbatim), and a

@@ -50,8 +50,6 @@ pub mod store;
 pub mod sym;
 pub mod value;
 
-#[allow(deprecated)]
-pub use batch::{run_batch, run_batch_with_caches};
 pub use batch::{BatchOptions, Job};
 pub use caching::{CacheSet, DseCaches};
 pub use engine::{run_dse, run_dse_observed, run_dse_with_caches, EngineConfig, Report};

@@ -28,7 +28,9 @@
 
 use std::collections::HashMap;
 use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 use crossbeam::deque::{Injector, Stealer, Worker};
 
@@ -92,6 +94,128 @@ pub struct Progress {
     pub inflight: u64,
     /// Jobs finished but still waiting for an earlier id to drain.
     pub resequencing: u64,
+    /// Jobs submitted but not yet claimed by any shard (the queue
+    /// depth a metrics endpoint reports).
+    pub queued: u64,
+}
+
+/// Number of power-of-two latency buckets: bucket `i` counts samples
+/// in `[2^i, 2^(i+1))` microseconds, so 40 buckets span ~1 µs to ~12
+/// days — far beyond any DSE job.
+const LATENCY_BUCKETS: usize = 40;
+
+/// A lock-free log-scale latency histogram: fixed power-of-two
+/// microsecond buckets updated with relaxed atomics, so shards (and a
+/// service's reader thread) record wall times without ever contending
+/// on a lock. Quantiles are read from a [`LatencySnapshot`]; they are
+/// bucket-granular (exact to within 2x), which is plenty for the
+/// p50/p99 trend a metrics endpoint reports. Like [`ShardStats`],
+/// latencies are observability data — never part of the deterministic
+/// result stream.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> LatencyHistogram {
+        LatencyHistogram::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub const fn new() -> LatencyHistogram {
+        LatencyHistogram {
+            buckets: [const { AtomicU64::new(0) }; LATENCY_BUCKETS],
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+            max_us: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&self, elapsed: Duration) {
+        self.record_us(elapsed.as_micros().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Records one sample given in microseconds.
+    pub fn record_us(&self, us: u64) {
+        let bucket = (63 - us.max(1).leading_zeros() as usize).min(LATENCY_BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough snapshot for reporting (concurrent records
+    /// may straddle the reads; quantiles are bucket-granular anyway).
+    pub fn snapshot(&self) -> LatencySnapshot {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count: u64 = counts.iter().sum();
+        let quantile = |q: f64| -> u64 {
+            if count == 0 {
+                return 0;
+            }
+            let rank = ((count as f64 * q).ceil() as u64).clamp(1, count);
+            let mut seen = 0u64;
+            for (i, n) in counts.iter().enumerate() {
+                seen += n;
+                if seen >= rank {
+                    // Upper bound of the bucket: pessimistic by at
+                    // most 2x, monotone in the rank.
+                    return (1u64 << (i + 1)).saturating_sub(1);
+                }
+            }
+            self.max_us.load(Ordering::Relaxed)
+        };
+        LatencySnapshot {
+            count,
+            sum_us: self.sum_us.load(Ordering::Relaxed),
+            p50_us: quantile(0.50),
+            p99_us: quantile(0.99),
+            max_us: self.max_us.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One point-in-time read of a [`LatencyHistogram`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencySnapshot {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples in microseconds.
+    pub sum_us: u64,
+    /// Median, in microseconds (bucket upper bound).
+    pub p50_us: u64,
+    /// 99th percentile, in microseconds (bucket upper bound).
+    pub p99_us: u64,
+    /// Largest sample, in microseconds (exact).
+    pub max_us: u64,
+}
+
+impl LatencySnapshot {
+    /// Median in milliseconds.
+    pub fn p50_ms(&self) -> f64 {
+        self.p50_us as f64 / 1e3
+    }
+
+    /// 99th percentile in milliseconds.
+    pub fn p99_ms(&self) -> f64 {
+        self.p99_us as f64 / 1e3
+    }
+
+    /// Largest sample in milliseconds.
+    pub fn max_ms(&self) -> f64 {
+        self.max_us as f64 / 1e3
+    }
 }
 
 struct Task {
@@ -122,6 +246,9 @@ struct Shared {
     /// Waited on by the consumer (ordered drain) and by submitters
     /// blocked on backpressure; signaled on completion and drain.
     progress: Condvar,
+    /// Wall time of each completed job, recorded lock-free by the
+    /// shards for the metrics endpoint.
+    latency: LatencyHistogram,
 }
 
 impl Shared {
@@ -188,6 +315,7 @@ impl Scheduler {
             }),
             work_ready: Condvar::new(),
             progress: Condvar::new(),
+            latency: LatencyHistogram::new(),
         });
         let handles = deques
             .into_iter()
@@ -310,7 +438,25 @@ impl Scheduler {
             drained: state.next_emit,
             inflight: state.next_id - state.next_emit,
             resequencing: state.finished.len() as u64,
+            queued: state.queued as u64,
         }
+    }
+
+    /// Whether a [`Scheduler::submit`] would currently block on the
+    /// in-flight bound. A load-shedding front-end checks this to turn
+    /// backpressure into a structured `overloaded` rejection instead of
+    /// stalling its reader. Advisory: the answer can be stale by the
+    /// time a submit runs, which only means one extra job briefly
+    /// blocks.
+    pub fn at_capacity(&self) -> bool {
+        let state = self.shared.lock();
+        self.shared.max_inflight > 0
+            && (state.next_id - state.next_emit) as usize >= self.shared.max_inflight
+    }
+
+    /// A snapshot of the per-job wall-time histogram.
+    pub fn latency(&self) -> LatencySnapshot {
+        self.shared.latency.snapshot()
     }
 
     /// A snapshot of the per-shard scheduling counters.
@@ -357,6 +503,7 @@ fn shard_loop(shared: &Shared, shard: usize, local: &Worker<Task>) {
                 }
                 let Task { id, job } = task;
                 let name = job.name.clone();
+                let started = Instant::now();
                 let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
                     run_dse_with_caches(&job.program, &job.harness, &job.config, &shared.caches)
                 }))
@@ -368,6 +515,7 @@ fn shard_loop(shared: &Shared, shard: usize, local: &Worker<Task>) {
                         .unwrap_or_else(|| "job panicked".to_string());
                     format!("job panicked: {message}")
                 });
+                shared.latency.record(started.elapsed());
                 let mut state = shared.lock();
                 state.shard_stats[shard].jobs_run += 1;
                 state.finished.insert(id, Completion { id, name, outcome });
@@ -575,6 +723,55 @@ mod tests {
         assert_eq!(progress.drained, 2);
         assert_eq!(progress.inflight, 0);
         assert_eq!(progress.resequencing, 0);
+        assert_eq!(progress.queued, 0);
+        // Every completed job left a latency sample behind. Quantiles
+        // are bucket upper bounds, so p50 may exceed the exact max —
+        // but never by more than the max sample's own bucket bound.
+        let latency = scheduler.latency();
+        assert_eq!(latency.count, 2);
+        assert!(latency.p99_us >= latency.p50_us);
+        assert!(latency.sum_us >= latency.max_us);
+        assert!(u128::from(latency.p50_us) <= 2 * u128::from(latency.max_us.max(1)));
         scheduler.join();
+    }
+
+    #[test]
+    fn histogram_quantiles_are_bucket_upper_bounds() {
+        let histogram = LatencyHistogram::new();
+        assert_eq!(histogram.snapshot(), LatencySnapshot::default());
+        // 99 samples in [64, 128) µs and one slow outlier.
+        for i in 0..99u64 {
+            histogram.record_us(64 + (i % 60));
+        }
+        histogram.record_us(250_000);
+        let snapshot = histogram.snapshot();
+        assert_eq!(snapshot.count, 100);
+        assert_eq!(snapshot.p50_us, 127); // upper bound of [64, 128)
+        assert_eq!(snapshot.p99_us, 127); // rank 99 still in the bulk
+        assert_eq!(snapshot.max_us, 250_000);
+        assert!(snapshot.p99_ms() <= snapshot.max_ms());
+        // One more outlier pushes rank-p99 into the slow bucket.
+        histogram.record_us(250_000);
+        let snapshot = histogram.snapshot();
+        assert!(snapshot.p99_us >= 131_071, "p99 {}", snapshot.p99_us);
+    }
+
+    #[test]
+    fn at_capacity_reflects_the_inflight_bound() {
+        let scheduler = Scheduler::start(
+            SchedulerConfig {
+                workers: 1,
+                max_inflight: 2,
+            },
+            CacheSet::session(16, 16, 16),
+        );
+        assert!(!scheduler.at_capacity());
+        scheduler.submit(simple("a", "1"));
+        scheduler.submit(simple("b", "2"));
+        // Two undrained jobs hit the bound even after both complete.
+        assert!(scheduler.at_capacity());
+        scheduler.close();
+        while scheduler.next_ordered().is_some() {}
+        assert!(!scheduler.at_capacity());
     }
 }

@@ -4,8 +4,17 @@
 //! # Stream jobs through the work-stealing scheduler (stdin/stdout):
 //! expose-serve [--workers N] [--max-inflight N]
 //!
-//! # Same protocol over a Unix socket (connections share warm caches):
-//! expose-serve --socket /tmp/expose.sock [--workers N]
+//! # Same protocol over a Unix socket or TCP (connections share warm
+//! # caches; admission control via --max-connections; SIGTERM drains
+//! # gracefully — stop accepting, flush in-flight, close each stream
+//! # with its done line):
+//! expose-serve --listen unix:/tmp/expose.sock [--workers N]
+//! expose-serve --listen tcp:127.0.0.1:7077 [--max-connections N] [--shed]
+//!
+//! # Soak a served tcp: endpoint with concurrent closed-loop clients
+//! # and report exact end-to-end latency quantiles (seconds 0 = one
+//! # corpus pass per client):
+//! expose-serve --soak 127.0.0.1:7077 --clients 8 --seconds 30
 //!
 //! # Serial reference: run the submits through a one-worker batch
 //! # and print the same result lines (the service-smoke CI job diffs
@@ -31,7 +40,7 @@
 //! expose-serve --replay-stream 10 [--workers N]
 //! ```
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, Write};
 
 use expose_dse::sched::Completion;
 use expose_dse::BatchOptions;
@@ -39,14 +48,21 @@ use expose_service::json::{self, Value};
 use expose_service::session::{job_from_submit, ServeOptions, ServiceConfig};
 use expose_service::stream::{fold_responses, record_stream};
 use expose_service::{
-    corpus_explore_lines, corpus_submit_lines, proto, CorpusBudget, ProtoVersion, Request,
+    corpus_explore_lines, corpus_submit_lines, proto, run_soak, serve_listener, CorpusBudget,
+    Listen, ProtoVersion, Request, ServerState, SoakOptions,
 };
 
 struct Options {
     workers: usize,
     flip_workers: Option<usize>,
     max_inflight: usize,
-    socket: Option<String>,
+    listen: Option<String>,
+    max_connections: Option<usize>,
+    shed: bool,
+    metrics_text: bool,
+    soak: Option<String>,
+    clients: usize,
+    seconds: u64,
     batch: bool,
     emit_corpus: Option<usize>,
     emit_stream: Option<usize>,
@@ -62,7 +78,13 @@ fn parse_args() -> Options {
         workers: 0,
         flip_workers: None,
         max_inflight: 256,
-        socket: None,
+        listen: None,
+        max_connections: None,
+        shed: false,
+        metrics_text: false,
+        soak: None,
+        clients: 8,
+        seconds: 0,
         batch: false,
         emit_corpus: None,
         emit_stream: None,
@@ -86,7 +108,27 @@ fn parse_args() -> Options {
             "--max-inflight" => {
                 options.max_inflight = value("--max-inflight").parse().expect("bound")
             }
-            "--socket" => options.socket = Some(value("--socket")),
+            "--listen" => options.listen = Some(value("--listen")),
+            // Hidden alias of `--listen unix:PATH`, kept for one
+            // release.
+            "--socket" => {
+                let path = value("--socket");
+                eprintln!("expose-serve: --socket is deprecated; use --listen unix:{path} instead");
+                options.listen = Some(format!("unix:{path}"));
+            }
+            "--max-connections" => {
+                options.max_connections =
+                    Some(value("--max-connections").parse().expect("connection cap"))
+            }
+            "--shed" => options.shed = true,
+            "--metrics-text" => options.metrics_text = true,
+            "--soak" => {
+                let addr = value("--soak");
+                // Accept both a bare host:port and the tcp: spec form.
+                options.soak = Some(addr.strip_prefix("tcp:").unwrap_or(&addr).to_string());
+            }
+            "--clients" => options.clients = value("--clients").parse().expect("client count"),
+            "--seconds" => options.seconds = value("--seconds").parse().expect("seconds"),
             "--batch" => options.batch = true,
             "--emit-corpus" => {
                 options.emit_corpus = Some(value("--emit-corpus").parse().expect("program count"))
@@ -121,22 +163,23 @@ fn parse_args() -> Options {
 }
 
 fn service_config(options: &Options) -> ServiceConfig {
-    let mut config = ServiceConfig {
-        workers: options.workers,
-        max_inflight: options.max_inflight,
-        ..ServiceConfig::default()
-    };
+    let mut config = ServiceConfig::default()
+        .workers(options.workers)
+        .max_inflight(options.max_inflight)
+        .load_shed(options.shed);
+    if let Some(cap) = options.max_connections {
+        config = config.max_connections(cap);
+    }
     // `--cache-bytes N` caps each session cache at ~N resident bytes
     // (0 = unlimited); the default ceiling lives in ServiceConfig.
     if let Some(bytes) = options.cache_bytes {
-        config.model_cache_byte_budget = bytes;
-        config.query_cache_byte_budget = bytes;
+        config = config.cache_bytes(bytes);
     }
     // `--flip-workers N` sets the default per-trace flip-solving worker
     // count (requests may still override per line). Exploration output
     // must be byte-identical for any value — explore-smoke diffs it.
     if let Some(n) = options.flip_workers {
-        config.engine.flip_workers = n;
+        config = config.flip_workers(n);
     }
     config
 }
@@ -189,7 +232,7 @@ fn run_batch_mode(input: impl BufRead, config: &ServiceConfig) -> std::io::Resul
                         pending.push((name, version, job));
                     }
                     Request::Shutdown => break,
-                    Request::Status | Request::Stats => {
+                    Request::Status | Request::Stats | Request::Metrics => {
                         // Progress queries are meaningless for an
                         // offline batch; the streamed session answers
                         // them instead.
@@ -358,56 +401,114 @@ fn run_replay_stream(generated: usize, options: &Options) -> std::io::Result<()>
     Ok(())
 }
 
+/// SIGTERM/SIGINT → graceful drain: the async-signal handler only
+/// flips a static flag; a watcher thread turns the flag into
+/// [`ServerState::begin_drain`] from safe code.
 #[cfg(unix)]
-fn run_socket(path: &str, config: &ServiceConfig) -> std::io::Result<()> {
-    use std::os::unix::net::UnixListener;
+mod sig {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
 
-    // A stale socket file from a previous run would make bind fail.
-    let _ = std::fs::remove_file(path);
-    let listener = UnixListener::bind(path)?;
-    eprintln!("expose-serve: listening on {path}");
-    // All connections share one warm cache set — the point of running
-    // as a service.
-    let caches = config.cache_set();
-    std::thread::scope(|scope| {
-        for stream in listener.incoming() {
-            let stream = match stream {
-                Ok(stream) => stream,
-                Err(e) => {
-                    eprintln!("expose-serve: accept failed: {e}");
-                    continue;
-                }
-            };
-            let serve = ServeOptions::new()
-                .config(config.clone())
-                .caches(caches.clone());
-            scope.spawn(move || {
-                let reader = match stream.try_clone() {
-                    Ok(clone) => BufReader::new(clone),
-                    Err(e) => {
-                        eprintln!("expose-serve: socket clone failed: {e}");
-                        return;
-                    }
-                };
-                if let Err(e) = serve.serve(reader, stream) {
-                    eprintln!("expose-serve: session failed: {e}");
-                }
-            });
+    use expose_service::ServerState;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    static SIGNALLED: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_signal(_signum: i32) {
+        SIGNALLED.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> isize;
+    }
+
+    pub fn drain_on_signals(state: &Arc<ServerState>) {
+        unsafe {
+            signal(SIGTERM, on_signal);
+            signal(SIGINT, on_signal);
         }
-    });
-    Ok(())
+        let state = Arc::clone(state);
+        std::thread::spawn(move || loop {
+            if SIGNALLED.load(Ordering::SeqCst) {
+                eprintln!("expose-serve: signal received; draining");
+                state.begin_drain();
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        });
+    }
 }
 
 #[cfg(not(unix))]
-fn run_socket(_path: &str, _config: &ServiceConfig) -> std::io::Result<()> {
-    Err(std::io::Error::new(
-        std::io::ErrorKind::Unsupported,
-        "--socket requires a Unix platform",
-    ))
+mod sig {
+    use expose_service::ServerState;
+    use std::sync::Arc;
+
+    pub fn drain_on_signals(_state: &Arc<ServerState>) {}
+}
+
+/// Serves `--listen stdio|unix:PATH|tcp:ADDR` through the admission
+/// front-end: one shared warm cache set, `--max-connections` cap,
+/// graceful drain on SIGTERM/SIGINT.
+fn run_listener(spec: &str, options: &Options) -> std::io::Result<()> {
+    let listen = Listen::parse(spec).map_err(std::io::Error::other)?;
+    let mut listener = listen.bind()?;
+    eprintln!("expose-serve: listening on {}", listener.local_addr());
+    let state = ServerState::new();
+    sig::drain_on_signals(&state);
+    let serve = ServeOptions::new()
+        .config(service_config(options))
+        .metrics_text(options.metrics_text);
+    let summary = serve_listener(listener.as_mut(), &serve, &state)?;
+    eprintln!(
+        "expose-serve: drained, {} connection(s) served, {} refused",
+        summary.connections, summary.rejected
+    );
+    Ok(())
+}
+
+/// Runs the concurrent soak client against an already-serving `tcp:`
+/// endpoint and prints one summary line; exits nonzero if any job got
+/// no response at all.
+fn run_soak_mode(addr: &str, options: &Options) -> std::io::Result<()> {
+    let report = run_soak(&SoakOptions {
+        addr: addr.to_string(),
+        clients: options.clients,
+        seconds: options.seconds,
+        budget: options.budget,
+        ..SoakOptions::default()
+    })?;
+    println!(
+        "soak: clients={} jobs={} completed={} errors={} dropped={} wall_ms={:.0} \
+         p50_ms={:.3} p99_ms={:.3} max_ms={:.3}",
+        options.clients,
+        report.jobs,
+        report.completed,
+        report.errors,
+        report.dropped,
+        report.wall_ms,
+        report.latency_p50_ms,
+        report.latency_p99_ms,
+        report.latency_max_ms,
+    );
+    if report.dropped > 0 {
+        return Err(std::io::Error::other(format!(
+            "{} job(s) got no response from the server",
+            report.dropped
+        )));
+    }
+    Ok(())
 }
 
 fn main() -> std::io::Result<()> {
     let options = parse_args();
+
+    if let Some(addr) = &options.soak {
+        return run_soak_mode(addr, &options);
+    }
 
     if let Some(generated) = options.emit_corpus {
         let stdout = std::io::stdout();
@@ -436,13 +537,14 @@ fn main() -> std::io::Result<()> {
     if options.batch {
         return run_batch_mode(std::io::stdin().lock(), &config);
     }
-    if let Some(path) = &options.socket {
-        return run_socket(path, &config);
+    if let Some(spec) = &options.listen {
+        return run_listener(spec, &options);
     }
 
     let stdin = std::io::stdin();
     let summary = ServeOptions::new()
         .config(config)
+        .metrics_text(options.metrics_text)
         .serve(stdin.lock(), std::io::stdout())?;
     eprintln!(
         "expose-serve: session done, {} job(s), {} request error(s)",

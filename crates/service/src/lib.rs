@@ -3,10 +3,12 @@
 //!
 //! The paper's evaluation shape — thousands of independent DSE jobs —
 //! is exactly what a service should amortize: [`ServeOptions::serve`]
-//! runs one session (submit jobs, query status/stats, stream
-//! re-sequenced results), all sessions of a process can share one warm
+//! runs one session (submit jobs, query status/stats/metrics, stream
+//! re-sequenced results), all sessions of a process share one warm
 //! [`expose_dse::CacheSet`], and the `expose-serve` binary exposes the
-//! whole thing over stdin/stdout or a Unix socket.
+//! whole thing over stdio, a Unix socket, or TCP behind one `--listen`
+//! surface ([`transport`]), with admission control and graceful drain
+//! ([`server`]) and a concurrent soak client ([`soak`]).
 //!
 //! Protocol v2 adds *streaming solve sessions* on top: a client
 //! replays a trace clause by clause (`open_session`/`push`) and poses
@@ -22,17 +24,21 @@
 
 pub mod json;
 pub mod proto;
+pub mod server;
 pub mod session;
+pub mod soak;
 pub mod stream;
+pub mod transport;
 pub mod wire;
 
 pub use proto::{
-    parse_request, result_line, verdict_digest, ErrorCode, ExploreRequest, ProtoVersion, Request,
-    RequestError, SubmitRequest, VerdictDigest,
+    parse_request, result_line, verdict_digest, ErrorCode, ExploreRequest, LifetimeCounters,
+    ProtoVersion, Request, RequestError, SubmitRequest, VerdictDigest,
 };
-#[allow(deprecated)]
-pub use session::{serve, serve_with_caches};
+pub use server::{serve_listener, ServerState, ServerSummary};
 pub use session::{ServeOptions, ServiceConfig, ServiceSummary};
+pub use soak::{run_soak, SoakOptions, SoakReport};
+pub use transport::{Listen, Listener};
 
 use crate::json::escaped;
 

@@ -34,7 +34,7 @@
 //! `service-smoke` CI job enforce this).
 
 use expose_core::SupportLevel;
-use expose_dse::sched::{Completion, Progress, ShardStats};
+use expose_dse::sched::{Completion, LatencySnapshot, Progress, ShardStats};
 use expose_dse::sym::{RegexEvent, SymExpr};
 use expose_dse::Report;
 
@@ -87,6 +87,14 @@ pub enum ErrorCode {
     BadDepth,
     /// A `push` would exceed the configured `max_session_depth`.
     DepthLimit,
+    /// Admission control shed the request or connection: the server is
+    /// at its concurrent-connection cap, or load shedding rejected a
+    /// submit at the in-flight bound. Retry later.
+    Overloaded,
+    /// The server is draining (SIGTERM or an operator drain): it is
+    /// finishing in-flight work and accepts no new connections or
+    /// submissions.
+    Draining,
 }
 
 impl ErrorCode {
@@ -102,6 +110,8 @@ impl ErrorCode {
             ErrorCode::SessionOpen => "session_open",
             ErrorCode::BadDepth => "bad_depth",
             ErrorCode::DepthLimit => "depth_limit",
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::Draining => "draining",
         }
     }
 }
@@ -213,6 +223,10 @@ pub struct OpenSessionRequest {
     /// the padding of SAT input vectors, exactly like a whole-program
     /// trace's `inputs_used`.
     pub inputs_used: usize,
+    /// Per-session depth-limit override, clamped by the service's
+    /// configured `max_session_depth` (a tenant can only lower the
+    /// cap).
+    pub max_depth: Option<usize>,
 }
 
 /// A parsed `push` request (v2): one taken path-condition clause plus
@@ -237,6 +251,9 @@ pub enum Request {
     Status,
     /// Report cache and shard statistics.
     Stats,
+    /// Report the full observability snapshot: scheduler queue depths,
+    /// latency quantiles, caches, lifetime totals, admission counters.
+    Metrics,
     /// Close the session: drain queued jobs, then finish the stream.
     Shutdown,
     /// Open a streaming solve session on this connection (v2).
@@ -367,6 +384,7 @@ pub fn parse_request(line: &str) -> Result<(Request, ProtoVersion), RequestError
         }
         "status" => Request::Status,
         "stats" => Request::Stats,
+        "metrics" => Request::Metrics,
         "shutdown" => Request::Shutdown,
         "open_session" | "push" | "pop" | "solve" | "close_session" | "explore"
             if version != ProtoVersion::V2 =>
@@ -386,6 +404,9 @@ pub fn parse_request(line: &str) -> Result<(Request, ProtoVersion), RequestError
                 name: opt_str(&value, "name").map_err(&bad)?,
                 support,
                 inputs_used: opt_u64(&value, "inputs_used").map_err(&bad)?.unwrap_or(0) as usize,
+                max_depth: opt_u64(&value, "max_depth")
+                    .map_err(&bad)?
+                    .map(|n| n as usize),
             }))
         }
         "push" => {
@@ -651,36 +672,96 @@ pub struct SessionCounters {
     pub prefix_reuse_hits: u64,
 }
 
-/// Renders a `stats` line (scheduling-dependent observability data —
-/// never part of the deterministic result stream).
-pub fn stats_line(caches: &CacheCounters, shards: &[ShardStats], version: ProtoVersion) -> String {
-    let mut out = String::with_capacity(160);
-    open_versioned(&mut out, version);
-    let _ = {
-        use std::fmt::Write as _;
-        write!(
-            out,
-            ",\"type\":\"stats\",\"model_cache\":[{},{}],\"query_cache\":[{},{}],\
-             \"verdict_cache\":[{},{}],\"dfa_tables\":[{},{}],\
-             \"cache_bytes\":[{},{},{}],\"cache_evictions\":[{},{},{}],\"shards\":[",
-            caches.model.0,
-            caches.model.1,
-            caches.query.0,
-            caches.query.1,
-            caches.verdicts.0,
-            caches.verdicts.1,
-            caches.dfa.0,
-            caches.dfa.1,
-            caches.bytes.0,
-            caches.bytes.1,
-            caches.bytes.2,
-            caches.evictions.0,
-            caches.evictions.1,
-            caches.evictions.2,
-        )
-    };
+/// Connection-lifetime streaming-session totals: unlike the `session`
+/// object of a `stats` line (which vanishes when the session closes),
+/// these accumulate across every session the connection ran, so a
+/// drain-time report is complete.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LifetimeCounters {
+    /// Streaming sessions opened on this connection.
+    pub sessions_opened: u64,
+    /// Streaming sessions closed (the rest are still open).
+    pub sessions_closed: u64,
+    /// Flip queries solved across all sessions, open and closed.
+    pub solves: u64,
+    /// Prefix frames reused across those queries.
+    pub prefix_reuse_hits: u64,
+}
+
+/// Admission-control counters of the multi-connection front-end,
+/// rendered into `metrics` lines when the session runs under one.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AdmissionCounters {
+    /// Connections currently being served.
+    pub active: u64,
+    /// Connections admitted since the server started.
+    pub accepted: u64,
+    /// Connections refused with `overloaded`.
+    pub rejected_overloaded: u64,
+    /// Connections refused with `draining`.
+    pub rejected_draining: u64,
+    /// Whether the server is draining.
+    pub draining: bool,
+}
+
+/// Everything a `metrics` line reports. Latency quantiles come from the
+/// scheduler's lock-free histogram ([`LatencySnapshot`]); like `stats`,
+/// the whole line is observability data, never part of the
+/// deterministic result stream.
+#[derive(Debug, Clone)]
+pub struct MetricsReport<'a> {
+    /// Scheduler progress (queue depths included).
+    pub progress: Progress,
+    /// Worker shard count.
+    pub workers: usize,
+    /// Result lines emitted so far on this connection.
+    pub jobs: u64,
+    /// Error lines emitted so far on this connection.
+    pub request_errors: u64,
+    /// Per-job wall-time quantiles from the scheduler.
+    pub job_latency: LatencySnapshot,
+    /// Per-`solve` wall-time quantiles from the streaming sessions.
+    pub solve_latency: LatencySnapshot,
+    /// Cache counters (same data as a `stats` line).
+    pub caches: &'a CacheCounters,
+    /// Per-shard scheduling counters.
+    pub shards: &'a [ShardStats],
+    /// Connection-lifetime session totals.
+    pub lifetime: LifetimeCounters,
+    /// Admission counters when serving under a socket front-end.
+    pub server: Option<AdmissionCounters>,
+    /// The effective `ServiceConfig`, as a rendered JSON object.
+    pub config_json: &'a str,
+}
+
+fn write_cache_counters(out: &mut String, caches: &CacheCounters) {
+    use std::fmt::Write as _;
+    let _ = write!(
+        out,
+        "\"model_cache\":[{},{}],\"query_cache\":[{},{}],\
+         \"verdict_cache\":[{},{}],\"dfa_tables\":[{},{}],\
+         \"cache_bytes\":[{},{},{}],\"cache_evictions\":[{},{},{}]",
+        caches.model.0,
+        caches.model.1,
+        caches.query.0,
+        caches.query.1,
+        caches.verdicts.0,
+        caches.verdicts.1,
+        caches.dfa.0,
+        caches.dfa.1,
+        caches.bytes.0,
+        caches.bytes.1,
+        caches.bytes.2,
+        caches.evictions.0,
+        caches.evictions.1,
+        caches.evictions.2,
+    );
+}
+
+fn write_shards(out: &mut String, shards: &[ShardStats]) {
+    use std::fmt::Write as _;
+    out.push_str("\"shards\":[");
     for (i, shard) in shards.iter().enumerate() {
-        use std::fmt::Write as _;
         if i > 0 {
             out.push(',');
         }
@@ -691,14 +772,112 @@ pub fn stats_line(caches: &CacheCounters, shards: &[ShardStats], version: ProtoV
         );
     }
     out.push(']');
-    if let Some(session) = &caches.session {
-        use std::fmt::Write as _;
+}
+
+fn write_session(out: &mut String, session: &Option<SessionCounters>) {
+    use std::fmt::Write as _;
+    if let Some(session) = session {
         let _ = write!(
             out,
             ",\"session\":{{\"id\":{},\"depth\":{},\"solves\":{},\"prefix_reuse_hits\":{}}}",
             session.id, session.depth, session.solves, session.prefix_reuse_hits
         );
     }
+}
+
+fn write_lifetime(out: &mut String, lifetime: &LifetimeCounters) {
+    use std::fmt::Write as _;
+    let _ = write!(
+        out,
+        "\"lifetime\":{{\"sessions_opened\":{},\"sessions_closed\":{},\
+         \"solves\":{},\"prefix_reuse_hits\":{}}}",
+        lifetime.sessions_opened,
+        lifetime.sessions_closed,
+        lifetime.solves,
+        lifetime.prefix_reuse_hits
+    );
+}
+
+fn write_latency(out: &mut String, key: &str, latency: &LatencySnapshot) {
+    use std::fmt::Write as _;
+    let _ = write!(
+        out,
+        "\"{key}\":{{\"count\":{},\"p50_ms\":{:.3},\"p99_ms\":{:.3},\"max_ms\":{:.3}}}",
+        latency.count,
+        latency.p50_ms(),
+        latency.p99_ms(),
+        latency.max_ms()
+    );
+}
+
+/// Renders a `stats` line (scheduling-dependent observability data —
+/// never part of the deterministic result stream).
+pub fn stats_line(
+    caches: &CacheCounters,
+    shards: &[ShardStats],
+    lifetime: &LifetimeCounters,
+    config_json: &str,
+    version: ProtoVersion,
+) -> String {
+    let mut out = String::with_capacity(256);
+    open_versioned(&mut out, version);
+    out.push_str(",\"type\":\"stats\",");
+    write_cache_counters(&mut out, caches);
+    out.push(',');
+    write_shards(&mut out, shards);
+    write_session(&mut out, &caches.session);
+    out.push(',');
+    write_lifetime(&mut out, lifetime);
+    out.push_str(",\"config\":");
+    out.push_str(config_json);
+    out.push('}');
+    out
+}
+
+/// Renders a `metrics` line — the observability endpoint of the
+/// service.
+pub fn metrics_line(report: &MetricsReport<'_>, version: ProtoVersion) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(512);
+    open_versioned(&mut out, version);
+    let _ = write!(
+        out,
+        ",\"type\":\"metrics\",\"jobs\":{},\"request_errors\":{},\
+         \"scheduler\":{{\"workers\":{},\"submitted\":{},\"drained\":{},\
+         \"inflight\":{},\"resequencing\":{},\"queued\":{}}},",
+        report.jobs,
+        report.request_errors,
+        report.workers,
+        report.progress.submitted,
+        report.progress.drained,
+        report.progress.inflight,
+        report.progress.resequencing,
+        report.progress.queued,
+    );
+    write_latency(&mut out, "job_latency", &report.job_latency);
+    out.push(',');
+    write_latency(&mut out, "solve_latency", &report.solve_latency);
+    out.push(',');
+    write_cache_counters(&mut out, report.caches);
+    out.push(',');
+    write_shards(&mut out, report.shards);
+    write_session(&mut out, &report.caches.session);
+    out.push(',');
+    write_lifetime(&mut out, &report.lifetime);
+    if let Some(server) = &report.server {
+        let _ = write!(
+            out,
+            ",\"server\":{{\"active\":{},\"accepted\":{},\"rejected_overloaded\":{},\
+             \"rejected_draining\":{},\"draining\":{}}}",
+            server.active,
+            server.accepted,
+            server.rejected_overloaded,
+            server.rejected_draining,
+            server.draining,
+        );
+    }
+    out.push_str(",\"config\":");
+    out.push_str(report.config_json);
     out.push('}');
     out
 }

@@ -20,9 +20,10 @@
 //! requests, which keeps them deterministic for any worker count.
 
 use std::io::{BufRead, Write};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
-use expose_dse::sched::{Scheduler, SchedulerConfig};
+use expose_dse::sched::{LatencyHistogram, Scheduler, SchedulerConfig};
 use expose_dse::sym::RegexEvent;
 use expose_dse::{
     explore_observed, parser::parse_program, CacheSet, EngineConfig, ExploreConfig, Harness, Job,
@@ -31,9 +32,11 @@ use expose_dse::{
 use strsolve::Solver;
 
 use crate::proto::{
-    self, CacheCounters, ErrorCode, ExploreRequest, HarnessKind, ProtoVersion, PushRequest,
-    Request, RequestError, SessionCounters, SubmitRequest,
+    self, CacheCounters, ErrorCode, ExploreRequest, HarnessKind, LifetimeCounters, ProtoVersion,
+    PushRequest, Request, RequestError, SessionCounters, SubmitRequest,
 };
+use crate::server::ServerState;
+use crate::transport::{next_line, LineBuffer, LineEvent};
 use crate::wire;
 
 /// Session configuration.
@@ -61,8 +64,23 @@ pub struct ServiceConfig {
     /// session; a `push` beyond it is rejected with `depth_limit`.
     /// Every retained frame (and its retraction snapshot) stays
     /// resident, so unbounded depth would let one connection grow
-    /// server memory without limit.
+    /// server memory without limit. An `open_session` request may
+    /// lower (never raise) this per session via `max_depth`.
     pub max_session_depth: usize,
+    /// Maximum byte length of one request line (`0` = unlimited); an
+    /// oversized line is discarded and answered with `bad_request`
+    /// instead of buffering without bound.
+    pub max_line_bytes: usize,
+    /// Concurrent-connection cap of the socket front-end (`0` =
+    /// unlimited); connections beyond it are refused with
+    /// `overloaded`.
+    pub max_connections: usize,
+    /// Turn scheduler backpressure into load shedding: when the
+    /// in-flight bound is reached, answer a `submit` with an
+    /// `overloaded` error instead of stalling the reader. Off by
+    /// default — shedding is timing-dependent, so the deterministic
+    /// stream contract only holds without it.
+    pub load_shed: bool,
     /// Per-job engine defaults; `submit` fields override per job.
     pub engine: EngineConfig,
 }
@@ -83,12 +101,61 @@ impl Default for ServiceConfig {
             // A trace this deep is far beyond any engine workload; the
             // bound exists to cap per-connection memory, not to be hit.
             max_session_depth: 4096,
+            // 4 MiB comfortably fits every corpus program while keeping
+            // one malicious line from ballooning memory.
+            max_line_bytes: 4 << 20,
+            max_connections: 64,
+            load_shed: false,
             engine,
         }
     }
 }
 
 impl ServiceConfig {
+    /// Sets the worker shard count (`0` = auto).
+    pub fn workers(mut self, workers: usize) -> ServiceConfig {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the in-flight backpressure bound (`0` = unbounded).
+    pub fn max_inflight(mut self, max_inflight: usize) -> ServiceConfig {
+        self.max_inflight = max_inflight;
+        self
+    }
+
+    /// Sets both session cache byte budgets (model and query/verdict)
+    /// to `bytes` — the single `--cache-bytes` knob.
+    pub fn cache_bytes(mut self, bytes: usize) -> ServiceConfig {
+        self.model_cache_byte_budget = bytes;
+        self.query_cache_byte_budget = bytes;
+        self
+    }
+
+    /// Sets the per-trace flip solver worker count (`0` = auto).
+    pub fn flip_workers(mut self, flip_workers: usize) -> ServiceConfig {
+        self.engine.flip_workers = flip_workers;
+        self
+    }
+
+    /// Sets the concurrent-connection cap (`0` = unlimited).
+    pub fn max_connections(mut self, max_connections: usize) -> ServiceConfig {
+        self.max_connections = max_connections;
+        self
+    }
+
+    /// Sets the per-line byte cap (`0` = unlimited).
+    pub fn max_line_bytes(mut self, max_line_bytes: usize) -> ServiceConfig {
+        self.max_line_bytes = max_line_bytes;
+        self
+    }
+
+    /// Enables or disables load shedding at the in-flight bound.
+    pub fn load_shed(mut self, load_shed: bool) -> ServiceConfig {
+        self.load_shed = load_shed;
+        self
+    }
+
     /// A fresh session cache set sized from this configuration.
     pub fn cache_set(&self) -> CacheSet {
         CacheSet::session_with_byte_budgets(
@@ -97,6 +164,36 @@ impl ServiceConfig {
             self.dfa_table_capacity,
             self.model_cache_byte_budget,
             self.query_cache_byte_budget,
+        )
+    }
+
+    /// The effective configuration as a compact JSON object — the
+    /// `config` echo of `stats` and `metrics` lines, so a tenant can
+    /// confirm what the service actually runs with.
+    pub fn echo_json(&self) -> String {
+        format!(
+            "{{\"workers\":{},\"max_inflight\":{},\"max_connections\":{},\
+             \"max_line_bytes\":{},\"load_shed\":{},\"max_session_depth\":{},\
+             \"model_cache_capacity\":{},\"query_cache_capacity\":{},\
+             \"dfa_table_capacity\":{},\"model_cache_byte_budget\":{},\
+             \"query_cache_byte_budget\":{},\"max_executions\":{},\
+             \"max_steps\":{},\"max_flips\":{},\"flip_workers\":{},\"seed\":{}}}",
+            self.workers,
+            self.max_inflight,
+            self.max_connections,
+            self.max_line_bytes,
+            self.load_shed,
+            self.max_session_depth,
+            self.model_cache_capacity,
+            self.query_cache_capacity,
+            self.dfa_table_capacity,
+            self.model_cache_byte_budget,
+            self.query_cache_byte_budget,
+            self.engine.max_executions,
+            self.engine.max_steps,
+            self.engine.max_flips_per_trace,
+            self.engine.flip_workers,
+            self.engine.seed,
         )
     }
 }
@@ -189,12 +286,16 @@ pub fn explore_config_for(request: &ExploreRequest, defaults: &EngineConfig) -> 
 /// introduced, so client-side event indices never shift.
 struct StreamState<'a> {
     id: u64,
+    /// Effective depth cap: the service's `max_session_depth`, lowered
+    /// by the session's `max_depth` override if one was given.
+    max_depth: usize,
     events: Vec<RegexEvent>,
     flips: TraceFlipSession<'a>,
 }
 
-/// Options for serving one NDJSON session — the front door that
-/// subsumes the deprecated [`serve`]/[`serve_with_caches`] pair.
+/// Options for serving one NDJSON session — the single serve entry
+/// point (the old `serve`/`serve_with_caches` free functions are
+/// gone).
 ///
 /// ```no_run
 /// # use expose_service::{ServeOptions, ServiceConfig};
@@ -208,6 +309,8 @@ struct StreamState<'a> {
 pub struct ServeOptions {
     config: ServiceConfig,
     caches: Option<CacheSet>,
+    server: Option<Arc<ServerState>>,
+    metrics_text: bool,
 }
 
 impl ServeOptions {
@@ -228,6 +331,29 @@ impl ServeOptions {
     pub fn caches(mut self, caches: CacheSet) -> ServeOptions {
         self.caches = Some(caches);
         self
+    }
+
+    /// Attaches the shared front-end state: the session polls its
+    /// drain flag between reads (closing gracefully when the server
+    /// drains) and reports its admission counters in `metrics` lines.
+    pub fn server(mut self, state: Arc<ServerState>) -> ServeOptions {
+        self.server = Some(state);
+        self
+    }
+
+    /// Dumps a human-readable metrics block to stderr when the session
+    /// ends (the `--metrics-text` flag).
+    pub fn metrics_text(mut self, enabled: bool) -> ServeOptions {
+        self.metrics_text = enabled;
+        self
+    }
+
+    pub(crate) fn config_ref(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    pub(crate) fn caches_ref(&self) -> Option<&CacheSet> {
+        self.caches.as_ref()
     }
 
     /// Serves one NDJSON session over `input`/`output`. Returns when
@@ -272,6 +398,13 @@ impl ServeOptions {
             out.flush()
         };
 
+        let config_json = config.echo_json();
+        // Wall time of each streamed `solve`, mirroring the
+        // scheduler's per-job histogram.
+        let solve_latency = LatencyHistogram::new();
+        // Streaming-session totals survive close_session, so a
+        // drain-time `stats`/`metrics` report is complete.
+        let mut lifetime = LifetimeCounters::default();
         let mut summary = ServiceSummary::default();
         let mut io_error: Option<std::io::Error> = None;
         // The final `done` line answers in the highest version any
@@ -318,6 +451,52 @@ impl ServeOptions {
                 )))
             };
 
+            // Cache counters assembled identically for `stats` and
+            // `metrics` lines.
+            let collect_caches = |active: &Option<StreamState>| -> CacheCounters {
+                let caches = scheduler.caches();
+                CacheCounters {
+                    model: (caches.model.stats().hits, caches.model.stats().misses),
+                    query: (caches.query.hits(), caches.query.misses()),
+                    verdicts: (caches.verdicts.hits(), caches.verdicts.misses()),
+                    dfa: dfa_tables
+                        .as_ref()
+                        .map(|t| (t.hits(), t.misses()))
+                        .unwrap_or_default(),
+                    bytes: (
+                        caches.model.bytes() as u64,
+                        caches.query.bytes() as u64,
+                        caches.verdicts.bytes() as u64,
+                    ),
+                    evictions: (
+                        caches.model.evictions(),
+                        caches.query.evictions(),
+                        caches.verdicts.evictions(),
+                    ),
+                    session: active.as_ref().map(|stream| {
+                        let stats = stream.flips.session_stats();
+                        SessionCounters {
+                            id: stream.id,
+                            depth: stream.flips.depth() as u64,
+                            solves: stats.solves,
+                            prefix_reuse_hits: stats.prefix_reuse_hits,
+                        }
+                    }),
+                }
+            };
+            // Lifetime totals including the still-open session's
+            // contribution (which close_session would fold in later).
+            let lifetime_view =
+                |lifetime: &LifetimeCounters, active: &Option<StreamState>| -> LifetimeCounters {
+                    let mut view = *lifetime;
+                    if let Some(stream) = active {
+                        let stats = stream.flips.session_stats();
+                        view.solves += stats.solves;
+                        view.prefix_reuse_hits += stats.prefix_reuse_hits;
+                    }
+                    view
+                };
+
             // The reader loop runs inside a closure so an I/O error (a
             // dropped socket, a broken pipe on a status/ack write) cannot
             // `?` past the `close()` below — the emitter only exits once
@@ -326,8 +505,39 @@ impl ServeOptions {
                 let mut active: Option<StreamState> = None;
                 let mut next_session_id: u64 = 0;
                 let mut next_explore_id: u64 = 0;
-                for line in input.lines() {
-                    let line = line?;
+                let mut input = input;
+                let mut line_buf = LineBuffer::new();
+                loop {
+                    let line = match next_line(&mut input, &mut line_buf, config.max_line_bytes)? {
+                        LineEvent::Eof => break,
+                        LineEvent::TimedOut => {
+                            // Socket transports wake the reader
+                            // periodically so a drain is noticed even
+                            // while the peer is idle.
+                            if self.server.as_ref().is_some_and(|s| s.draining()) {
+                                write_line(&proto::error_line(&RequestError::new(
+                                    ErrorCode::Draining,
+                                    "server draining; closing after in-flight work",
+                                    stream_version,
+                                )))?;
+                                break;
+                            }
+                            continue;
+                        }
+                        LineEvent::Oversized { dropped } => {
+                            summary.request_errors += 1;
+                            write_line(&proto::error_line(&RequestError::new(
+                                ErrorCode::BadRequest,
+                                format!(
+                                    "line exceeds the {}-byte limit ({dropped} bytes dropped)",
+                                    config.max_line_bytes
+                                ),
+                                stream_version,
+                            )))?;
+                            continue;
+                        }
+                        LineEvent::Line(line) => line,
+                    };
                     let line = line.trim();
                     if line.is_empty() {
                         continue;
@@ -345,6 +555,18 @@ impl ServeOptions {
                     }
                     match request {
                         Request::Submit(submit) => {
+                            if config.load_shed && scheduler.at_capacity() {
+                                summary.request_errors += 1;
+                                write_line(&proto::error_line(&RequestError::new(
+                                    ErrorCode::Overloaded,
+                                    format!(
+                                        "{} jobs in flight; submission shed — retry later",
+                                        config.max_inflight
+                                    ),
+                                    version,
+                                )))?;
+                                continue;
+                            }
                             // The reader is the only submitter, so the next
                             // id is stable between this read and the
                             // submit call.
@@ -373,40 +595,30 @@ impl ServeOptions {
                             ))?;
                         }
                         Request::Stats => {
-                            let caches = scheduler.caches();
-                            let counters = CacheCounters {
-                                model: (caches.model.stats().hits, caches.model.stats().misses),
-                                query: (caches.query.hits(), caches.query.misses()),
-                                verdicts: (caches.verdicts.hits(), caches.verdicts.misses()),
-                                dfa: dfa_tables
-                                    .as_ref()
-                                    .map(|t| (t.hits(), t.misses()))
-                                    .unwrap_or_default(),
-                                bytes: (
-                                    caches.model.bytes() as u64,
-                                    caches.query.bytes() as u64,
-                                    caches.verdicts.bytes() as u64,
-                                ),
-                                evictions: (
-                                    caches.model.evictions(),
-                                    caches.query.evictions(),
-                                    caches.verdicts.evictions(),
-                                ),
-                                session: active.as_ref().map(|stream| {
-                                    let stats = stream.flips.session_stats();
-                                    SessionCounters {
-                                        id: stream.id,
-                                        depth: stream.flips.depth() as u64,
-                                        solves: stats.solves,
-                                        prefix_reuse_hits: stats.prefix_reuse_hits,
-                                    }
-                                }),
-                            };
                             write_line(&proto::stats_line(
-                                &counters,
+                                &collect_caches(&active),
                                 &scheduler.shard_stats(),
+                                &lifetime_view(&lifetime, &active),
+                                &config_json,
                                 version,
                             ))?;
+                        }
+                        Request::Metrics => {
+                            let progress = scheduler.progress();
+                            let report = proto::MetricsReport {
+                                workers: scheduler.workers(),
+                                jobs: progress.drained,
+                                request_errors: summary.request_errors,
+                                job_latency: scheduler.latency(),
+                                solve_latency: solve_latency.snapshot(),
+                                progress,
+                                caches: &collect_caches(&active),
+                                shards: &scheduler.shard_stats(),
+                                lifetime: lifetime_view(&lifetime, &active),
+                                server: self.server.as_ref().map(|s| s.admission_counters()),
+                                config_json: &config_json,
+                            };
+                            write_line(&proto::metrics_line(&report, version))?;
                         }
                         Request::Shutdown => break,
                         Request::OpenSession(open) => {
@@ -424,6 +636,11 @@ impl ServeOptions {
                             next_session_id += 1;
                             let name = open.name.clone().unwrap_or_else(|| format!("session{id}"));
                             let support = open.support.unwrap_or(config.engine.support);
+                            // A tenant may lower (never raise) the
+                            // service's depth cap for this session.
+                            let max_depth = open.max_depth.map_or(config.max_session_depth, |d| {
+                                d.min(config.max_session_depth)
+                            });
                             let flips = TraceFlipSession::new(
                                 support,
                                 &stream_solver,
@@ -433,8 +650,10 @@ impl ServeOptions {
                             )
                             .retractable()
                             .with_inputs_used(open.inputs_used);
+                            lifetime.sessions_opened += 1;
                             active = Some(StreamState {
                                 id,
+                                max_depth,
                                 events: Vec::new(),
                                 flips,
                             });
@@ -450,14 +669,11 @@ impl ServeOptions {
                                 )?;
                                 continue;
                             };
-                            if stream.flips.depth() >= config.max_session_depth {
+                            if stream.flips.depth() >= stream.max_depth {
                                 reject(
                                     &mut summary.request_errors,
                                     ErrorCode::DepthLimit,
-                                    format!(
-                                        "session depth limit {} reached",
-                                        config.max_session_depth
-                                    ),
+                                    format!("session depth limit {} reached", stream.max_depth),
                                 )?;
                                 continue;
                             }
@@ -544,7 +760,9 @@ impl ServeOptions {
                                 )?;
                                 continue;
                             }
+                            let started = Instant::now();
                             let result = stream.flips.solve(depth);
+                            solve_latency.record(started.elapsed());
                             write_line(&proto::solved_line(stream.id, depth, &result))?;
                         }
                         Request::CloseSession => {
@@ -556,10 +774,14 @@ impl ServeOptions {
                                 )?;
                                 continue;
                             };
+                            let stats = stream.flips.session_stats();
+                            lifetime.sessions_closed += 1;
+                            lifetime.solves += stats.solves;
+                            lifetime.prefix_reuse_hits += stats.prefix_reuse_hits;
                             write_line(&proto::session_closed_line(
                                 stream.id,
                                 stream.flips.depth(),
-                                stream.flips.session_stats(),
+                                stats,
                             ))?;
                         }
                         Request::Explore(explore) => {
@@ -629,41 +851,51 @@ impl ServeOptions {
         });
 
         reader_result?;
+        if self.metrics_text {
+            let progress = scheduler.progress();
+            let job_latency = scheduler.latency();
+            let solve = solve_latency.snapshot();
+            let caches = scheduler.caches();
+            eprintln!(
+                "metrics: jobs={} request_errors={} sessions={}/{} solves={} prefix_reuse={}",
+                summary.jobs,
+                summary.request_errors,
+                lifetime.sessions_opened,
+                lifetime.sessions_closed,
+                lifetime.solves,
+                lifetime.prefix_reuse_hits,
+            );
+            eprintln!(
+                "metrics: scheduler workers={} submitted={} drained={} queued={} \
+                 job_p50_ms={:.3} job_p99_ms={:.3} job_max_ms={:.3}",
+                scheduler.workers(),
+                progress.submitted,
+                progress.drained,
+                progress.queued,
+                job_latency.p50_ms(),
+                job_latency.p99_ms(),
+                job_latency.max_ms(),
+            );
+            eprintln!(
+                "metrics: solve count={} p50_ms={:.3} p99_ms={:.3} cache_bytes=[{},{},{}] \
+                 cache_evictions=[{},{},{}]",
+                solve.count,
+                solve.p50_ms(),
+                solve.p99_ms(),
+                caches.model.bytes(),
+                caches.query.bytes(),
+                caches.verdicts.bytes(),
+                caches.model.evictions(),
+                caches.query.evictions(),
+                caches.verdicts.evictions(),
+            );
+        }
         if let Some(error) = io_error {
             return Err(error);
         }
         write_line(&proto::done_line(summary.jobs, stream_version))?;
         Ok(summary)
     }
-}
-
-/// Serves one NDJSON session with a fresh session cache set.
-#[deprecated(since = "0.7.0", note = "use ServeOptions::new().config(…).serve(…)")]
-pub fn serve<R: BufRead, W: Write + Send>(
-    input: R,
-    output: W,
-    config: &ServiceConfig,
-) -> std::io::Result<ServiceSummary> {
-    ServeOptions::new()
-        .config(config.clone())
-        .serve(input, output)
-}
-
-/// Serves one NDJSON session with a caller-provided cache set.
-#[deprecated(
-    since = "0.7.0",
-    note = "use ServeOptions::new().config(…).caches(…).serve(…)"
-)]
-pub fn serve_with_caches<R: BufRead, W: Write + Send>(
-    input: R,
-    output: W,
-    config: &ServiceConfig,
-    caches: CacheSet,
-) -> std::io::Result<ServiceSummary> {
-    ServeOptions::new()
-        .config(config.clone())
-        .caches(caches)
-        .serve(input, output)
 }
 
 #[cfg(test)]
@@ -997,14 +1229,148 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_serve_wrappers_still_run() {
-        let input = r#"{"type":"shutdown"}"#;
-        let config = quick_config(1);
-        let mut out: Vec<u8> = Vec::new();
-        serve(input.as_bytes(), &mut out, &config).expect("serve");
-        let mut out: Vec<u8> = Vec::new();
-        serve_with_caches(input.as_bytes(), &mut out, &config, config.cache_set())
-            .expect("serve_with_caches");
+    fn metrics_line_reports_lifetime_and_config() {
+        let input = concat!(
+            r#"{"v":2,"type":"open_session","name":"s","inputs_used":1}"#,
+            "\n",
+            r#"{"v":2,"type":"push","events":[{"regex":"^a+$","flags":"","subject":["in",0]}],"cond":["test",0],"taken":true}"#,
+            "\n",
+            r#"{"v":2,"type":"solve","depth":0}"#,
+            "\n",
+            r#"{"v":2,"type":"close_session"}"#,
+            "\n",
+            r#"{"type":"submit","name":"a","program":"function f(x) { return 0; }"}"#,
+            "\n",
+            r#"{"v":2,"type":"metrics"}"#,
+            "\n",
+        );
+        let (lines, summary) = run_lines(input, &quick_config(1));
+        assert_eq!(summary.request_errors, 0, "{lines:?}");
+        let metrics = lines
+            .iter()
+            .find(|l| l.contains(r#""type":"metrics""#))
+            .expect("metrics line");
+        assert!(
+            metrics.starts_with(r#"{"v":2,"type":"metrics""#),
+            "{metrics}"
+        );
+        // The closed session's solves survive in the lifetime totals.
+        assert!(
+            metrics.contains(r#""lifetime":{"sessions_opened":1,"sessions_closed":1,"solves":1"#),
+            "{metrics}"
+        );
+        assert!(metrics.contains(r#""job_latency":{"count":"#), "{metrics}");
+        assert!(
+            metrics.contains(r#""solve_latency":{"count":1"#),
+            "{metrics}"
+        );
+        assert!(metrics.contains(r#""queued":"#), "{metrics}");
+        assert!(
+            metrics.contains(r#""config":{"workers":1,"max_inflight":256"#),
+            "{metrics}"
+        );
+        // No front-end: no server object.
+        assert!(!metrics.contains(r#""server":"#), "{metrics}");
+    }
+
+    #[test]
+    fn stats_echo_config_and_keep_lifetime_after_close() {
+        let input = concat!(
+            r#"{"v":2,"type":"open_session","name":"s","inputs_used":1}"#,
+            "\n",
+            r#"{"v":2,"type":"push","events":[{"regex":"^b+$","flags":"","subject":["in",0]}],"cond":["test",0],"taken":true}"#,
+            "\n",
+            r#"{"v":2,"type":"solve","depth":0}"#,
+            "\n",
+            r#"{"v":2,"type":"close_session"}"#,
+            "\n",
+            r#"{"v":2,"type":"stats"}"#,
+            "\n",
+        );
+        let (lines, summary) = run_lines(input, &quick_config(1));
+        assert_eq!(summary.request_errors, 0, "{lines:?}");
+        let stats = lines
+            .iter()
+            .find(|l| l.contains(r#""type":"stats""#))
+            .expect("stats line");
+        // The session is closed (no "session" object), but its counters
+        // survive in the lifetime totals.
+        assert!(!stats.contains(r#""session":{"#), "{stats}");
+        assert!(
+            stats.contains(r#""lifetime":{"sessions_opened":1,"sessions_closed":1,"solves":1"#),
+            "{stats}"
+        );
+        assert!(stats.contains(r#""config":{"workers":1"#), "{stats}");
+    }
+
+    #[test]
+    fn open_session_max_depth_override_is_clamped() {
+        let push =
+            r#"{"v":2,"type":"push","events":[],"cond":["test",0],"taken":true}"#.to_string();
+        // A session that lowers the cap to 1: the second push must be
+        // rejected with depth_limit.
+        let event_push = r#"{"v":2,"type":"push","events":[{"regex":"^a+$","flags":"","subject":["in",0]}],"cond":["test",0],"taken":true}"#;
+        let input = format!(
+            "{}\n{}\n{}\n",
+            r#"{"v":2,"type":"open_session","name":"s","inputs_used":1,"max_depth":1}"#,
+            event_push,
+            push,
+        );
+        let (lines, summary) = run_lines(&input, &quick_config(1));
+        assert_eq!(summary.request_errors, 1, "{lines:?}");
+        assert!(lines[2].contains(r#""code":"depth_limit""#), "{}", lines[2]);
+        assert!(lines[2].contains("depth limit 1"), "{}", lines[2]);
+    }
+
+    #[test]
+    fn oversized_line_is_bad_request_not_fatal() {
+        let config = ServiceConfig {
+            max_line_bytes: 128,
+            ..quick_config(1)
+        };
+        let long = format!(
+            r#"{{"type":"submit","name":"big","program":"function f(x) {{ return {}; }}"}}"#,
+            "\"x\"".repeat(200)
+        );
+        let input = format!("{long}\n{}\n", r#"{"type":"status"}"#);
+        let (lines, summary) = run_lines(&input, &config);
+        assert_eq!(summary.request_errors, 1);
+        assert!(
+            lines[0].contains(r#""code":"bad_request""#) && lines[0].contains("byte limit"),
+            "{}",
+            lines[0]
+        );
+        // The session keeps serving after the oversized line.
+        assert!(lines[1].contains(r#""type":"status""#), "{}", lines[1]);
+        assert_eq!(lines[2], r#"{"v":1,"type":"done","jobs":0}"#);
+    }
+
+    #[test]
+    fn load_shed_answers_overloaded_at_the_inflight_bound() {
+        // One worker, inflight bound 1, shedding on: the first submit
+        // occupies the slot, and with the reader never draining until
+        // close, later submits shed deterministically once the bound
+        // is visibly reached. Use a slow job to hold the slot.
+        let config = ServiceConfig {
+            max_inflight: 1,
+            load_shed: true,
+            ..quick_config(1)
+        };
+        let slow = r#"{"type":"submit","name":"slow","program":"function f(x) { if (/^[a-z]+[0-9]+$/.test(x)) { return 1; } return 0; }"}"#;
+        let input = format!("{slow}\n{slow}\n{slow}\n");
+        let (lines, summary) = run_lines(&input, &config);
+        // At least one later submit hit the bound and was shed; the
+        // first always runs.
+        let results = lines
+            .iter()
+            .filter(|l| l.contains(r#""type":"result""#))
+            .count();
+        let shed = lines
+            .iter()
+            .filter(|l| l.contains(r#""code":"overloaded""#))
+            .count();
+        assert_eq!(results + shed, 3, "{lines:?}");
+        assert!(results >= 1, "{lines:?}");
+        assert_eq!(summary.request_errors as usize, shed);
     }
 }
